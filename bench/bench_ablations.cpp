@@ -1,0 +1,146 @@
+// Ablation studies for the design choices DESIGN.md calls out (these go
+// beyond the paper's figures but probe its design decisions):
+//  1. Preserve scoring sensitive jobs with the Eq. 2 *prediction* (paper)
+//     vs the measured-microbenchmark oracle — how much does the
+//     regression's error cost?
+//  2. FIFO (paper) vs backfill queue reordering.
+//  3. MIG-style virtualized hardware graphs: small-job packing on
+//     2-instance DGX-V vs the physical machine.
+//  4. Random valid placement vs MAPA scoring — how much of the win is
+//     pattern awareness alone?
+
+#include <iostream>
+#include <memory>
+
+#include "bench_common.hpp"
+#include "graph/patterns.hpp"
+#include "mig/mig.hpp"
+#include "policy/preserve.hpp"
+
+using namespace mapa;
+
+namespace {
+
+void predicted_vs_measured() {
+  std::cout << "--- Ablation 1: Eq. 2 prediction vs microbench oracle ---\n";
+  const auto jobs = bench::paper_job_mix(200, 101);
+  const graph::Graph hw = graph::dgx1_v100();
+
+  policy::PolicyConfig oracle_config;
+  oracle_config.score_sensitive_with_microbench = true;
+
+  const auto predicted = sim::run_simulation(hw, "preserve", jobs);
+  sim::Simulator oracle_sim(
+      hw, std::make_unique<policy::PreservePolicy>(oracle_config));
+  const auto oracle = oracle_sim.run(jobs);
+
+  util::Table t({"scorer", "sens. exec q50", "sens. exec q75",
+                 "sens. measured EffBW q50", "makespan (h)"});
+  for (const auto* r : {&predicted, &oracle}) {
+    const auto exec =
+        sim::pooled_box_plot(*r, sim::RecordField::kExecTime, true);
+    const auto bw =
+        sim::pooled_box_plot(*r, sim::RecordField::kMeasuredEffBw, true);
+    t.add_row({r == &predicted ? "Eq.2 prediction (paper)" : "microbench",
+               util::fixed(exec.median, 1), util::fixed(exec.q75, 1),
+               util::fixed(bw.median, 2),
+               util::fixed(r->makespan_s / 3600.0, 2)});
+  }
+  std::cout << t.render()
+            << "\nExpectation: near-identical rows — the regression is a "
+               "faithful stand-in\nfor microbenchmarking every candidate "
+               "(paper §3.4.3).\n\n";
+}
+
+void fifo_vs_backfill() {
+  std::cout << "--- Ablation 2: FIFO (paper) vs backfill reordering ---\n";
+  const auto jobs = bench::paper_job_mix(200, 103);
+  const graph::Graph hw = graph::dgx1_v100();
+
+  util::Table t({"queue", "makespan (h)", "jobs/h", "mean wait (s)"});
+  for (const bool backfill : {false, true}) {
+    sim::SimConfig config;
+    config.backfill = backfill;
+    sim::Simulator simulator(hw, policy::make_policy("preserve"), config);
+    const auto result = simulator.run(jobs);
+    double wait = 0.0;
+    for (const auto& r : result.records) wait += r.start_s - r.queued_s;
+    wait /= static_cast<double>(result.records.size());
+    t.add_row({backfill ? "backfill(16)" : "FIFO",
+               util::fixed(result.makespan_s / 3600.0, 2),
+               util::fixed(result.throughput_jobs_per_hour(), 1),
+               util::fixed(wait, 1)});
+  }
+  std::cout << t.render()
+            << "\nExpectation: backfill cuts mean queue wait by letting "
+               "small jobs slip\npast a blocked wide head.\n\n";
+}
+
+void mig_packing() {
+  std::cout << "--- Ablation 3: MIG virtualization (2 instances/GPU) ---\n";
+  const graph::Graph physical = graph::dgx1_v100();
+  const auto expansion = mig::expand_mig_uniform(physical, 2);
+
+  // Small-job stream: how many 1-2 GPU jobs fit concurrently?
+  const auto count_fit = [](const graph::Graph& hw) {
+    core::Mapa mapa(hw, policy::make_policy("preserve"));
+    std::size_t placed = 0;
+    bool progressing = true;
+    while (progressing) {
+      progressing = false;
+      if (mapa.allocate(graph::ring(2), true)) {
+        ++placed;
+        progressing = true;
+      }
+      if (mapa.allocate(graph::single_gpu(), false)) {
+        ++placed;
+        progressing = true;
+      }
+    }
+    return placed;
+  };
+  util::Table t({"hardware graph", "devices", "small jobs packed"});
+  t.add_row({"physical DGX-V", std::to_string(physical.num_vertices()),
+             std::to_string(count_fit(physical))});
+  t.add_row({"MIG 2x (virtual)",
+             std::to_string(expansion.virtual_graph.num_vertices()),
+             std::to_string(count_fit(expansion.virtual_graph))});
+  std::cout << t.render()
+            << "\nExpectation: the virtual graph packs ~2x the small jobs "
+               "— the paper's\n§3.3 many-to-one suggestion realized with "
+               "the unmodified core.\n\n";
+}
+
+void random_vs_scored() {
+  std::cout << "--- Ablation 4: random valid placement vs MAPA scoring ---\n";
+  const auto jobs = bench::paper_job_mix(200, 107);
+  const graph::Graph hw = graph::dgx1_v100();
+
+  util::Table t({"policy", "sens. EffBW q25", "sens. EffBW q50",
+                 "sens. exec q75"});
+  for (const std::string name : {"random", "greedy", "preserve"}) {
+    const auto result = sim::run_simulation(hw, name, jobs);
+    const auto bw =
+        sim::pooled_box_plot(result, sim::RecordField::kPredictedEffBw, true);
+    const auto exec =
+        sim::pooled_box_plot(result, sim::RecordField::kExecTime, true);
+    t.add_row({name, util::fixed(bw.q25, 2), util::fixed(bw.median, 2),
+               util::fixed(exec.q75, 1)});
+  }
+  std::cout << t.render()
+            << "\nExpectation: random (pattern-aware but unscored) sits "
+               "between baseline\nand the scored policies — scoring, not "
+               "just matching, drives the win.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("DESIGN.md ablations",
+                      "Scorer fidelity, queue reordering, MIG, random");
+  predicted_vs_measured();
+  fifo_vs_backfill();
+  mig_packing();
+  random_vs_scored();
+  return 0;
+}

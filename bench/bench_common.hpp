@@ -1,0 +1,55 @@
+#pragma once
+// Shared helpers for the figure/table reproduction benches: a uniform
+// header block, box-plot row formatting, and the standard 300-job DGX-V
+// experiment (paper §4 "Jobs configuration") reused by several benches.
+
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::bench {
+
+inline void print_header(const std::string& artifact,
+                         const std::string& what) {
+  std::cout << "==================================================\n"
+            << "Reproduction of " << artifact << "\n"
+            << what << "\n"
+            << "==================================================\n\n";
+}
+
+inline std::vector<std::string> box_plot_cells(const util::BoxPlot& bp,
+                                               int decimals = 1) {
+  return {util::fixed(bp.min, decimals), util::fixed(bp.q25, decimals),
+          util::fixed(bp.median, decimals), util::fixed(bp.q75, decimals),
+          util::fixed(bp.max, decimals), std::to_string(bp.count)};
+}
+
+/// The paper's §4 job mix: 300 jobs, uniform workload mix, uniform 1-5
+/// GPUs, all queued at time zero.
+inline std::vector<workload::Job> paper_job_mix(std::size_t num_jobs = 300,
+                                                std::uint64_t seed = 42) {
+  workload::GeneratorConfig config;
+  config.num_jobs = num_jobs;
+  config.seed = seed;
+  return workload::generate_jobs(config);
+}
+
+/// Run the four paper policies over one job list on one machine.
+inline std::vector<sim::SimResult> run_paper_policies(
+    const graph::Graph& hardware, const std::vector<workload::Job>& jobs) {
+  std::vector<sim::SimResult> results;
+  results.reserve(4);
+  for (const std::string& policy : policy::paper_policy_names()) {
+    results.push_back(sim::run_simulation(hardware, policy, jobs));
+  }
+  return results;
+}
+
+}  // namespace mapa::bench

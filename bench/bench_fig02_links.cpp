@@ -1,0 +1,96 @@
+// Reproduces paper Table 1 (peak link bandwidths), Fig. 2a (achievable
+// bandwidth vs transfer size per link class on the DGX-V), and Fig. 2b
+// (2-GPU CNN training speedup when placed on double NVLink / single NVLink
+// / PCIe pairs).
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "graph/patterns.hpp"
+#include "interconnect/bandwidth_curve.hpp"
+#include "interconnect/microbench.hpp"
+#include "workload/exec_model.hpp"
+
+using namespace mapa;
+
+namespace {
+
+void table1() {
+  std::cout << "--- Table 1: peak bandwidths per link ---\n";
+  util::Table t({"Link", "Bandwidth (GBps)"});
+  using interconnect::LinkType;
+  for (const auto& [name, type] :
+       std::vector<std::pair<std::string, LinkType>>{
+           {"Single NVLink-v1", LinkType::kNvLink1},
+           {"Single NVLink-v2", LinkType::kNvLink2},
+           {"Double NVLink-v2", LinkType::kNvLink2Double},
+           {"16-lane PCIe Gen 3", LinkType::kPcie}}) {
+    t.add_row({name,
+               util::fixed(interconnect::peak_bandwidth_gbps(type), 0)});
+  }
+  std::cout << t.render() << '\n';
+}
+
+void fig2a() {
+  std::cout << "--- Fig. 2a: bandwidth vs data size (GB/s) ---\n";
+  util::Table t({"bytes", "NV2-Double", "NV2-Single", "PCIe"});
+  using interconnect::LinkType;
+  for (double exp = 4.0; exp <= 9.0; exp += 0.5) {
+    const double bytes = std::pow(10.0, exp);
+    t.add_row({"1e" + util::fixed(exp, 1),
+               util::fixed(interconnect::achievable_bandwidth_gbps(
+                               LinkType::kNvLink2Double, bytes), 2),
+               util::fixed(interconnect::achievable_bandwidth_gbps(
+                               LinkType::kNvLink2, bytes), 2),
+               util::fixed(interconnect::achievable_bandwidth_gbps(
+                               LinkType::kPcie, bytes), 2)});
+  }
+  std::cout << t.render()
+            << "\nPaper shape: tiers collapse below ~1e5 bytes and separate "
+               "above;\ndouble NVLink saturates near 50, single near 25, "
+               "PCIe near 12.\n\n";
+}
+
+void fig2b() {
+  std::cout << "--- Fig. 2b: network speedup by link type (2 GPUs) ---\n";
+  // The paper places the job on GPUs (1,5)=double, (1,2)=single, (1,6)=PCIe
+  // (1-based) and reports execution-time speedup relative to PCIe.
+  const graph::Graph hw = graph::dgx1_v100();
+  const graph::Graph pair = graph::ring(2);
+  const auto effbw = [&](graph::VertexId a, graph::VertexId b) {
+    match::Match m;
+    m.mapping = {a, b};
+    return interconnect::measured_effective_bandwidth(pair, hw, m);
+  };
+  const double bw_double = effbw(0, 4);
+  const double bw_single = effbw(0, 1);
+  const double bw_pcie = effbw(0, 5);
+
+  util::Table t({"Network", "NV2-Double", "NV2-Single", "PCIe"});
+  for (const auto& w : workload::all_workloads()) {
+    if (w.name == "cusimann" || w.name == "gmm" || w.name == "jacobi") {
+      continue;  // Fig. 2b plots the six CNNs
+    }
+    const workload::ExecModel model(w);
+    const double t_pcie = model.exec_time_s(2, bw_pcie);
+    t.add_row({w.name,
+               util::fixed(t_pcie / model.exec_time_s(2, bw_double), 2),
+               util::fixed(t_pcie / model.exec_time_s(2, bw_single), 2),
+               "1.00"});
+  }
+  std::cout << t.render()
+            << "\nPaper shape: VGG-16 ~3x on double NVLink vs PCIe; "
+               "GoogleNet/CaffeNet nearly flat.\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Table 1 + Fig. 2",
+                      "Link bandwidths, size ramp, and link-type speedups");
+  table1();
+  fig2a();
+  fig2b();
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Reproduces paper Fig. 5: communication properties of the ML workloads.
+// (a) CDF of collective-call transfer sizes per network (sampled from each
+//     workload's lognormal size profile);
+// (b) the collective-communication calls per GPU per iteration and the
+//     bandwidth-sensitivity classification table.
+
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.hpp"
+#include "util/rng.hpp"
+
+using namespace mapa;
+
+namespace {
+
+void fig5a() {
+  std::cout << "--- Fig. 5a: CDF of collective call sizes ---\n";
+  // Sample each network's size distribution and report the CDF at decade
+  // boundaries (the x-axis of the paper's plot).
+  const std::vector<double> decades = {1e2, 1e3, 1e4, 1e5,
+                                       1e6, 1e7, 1e8, 1e9};
+  std::vector<std::string> columns = {"Network"};
+  for (const double d : decades) {
+    columns.push_back("<=1e" + util::fixed(std::log10(d), 0));
+  }
+  util::Table t(columns);
+
+  util::Rng rng(5);
+  for (const auto& w : workload::all_workloads()) {
+    if (!w.name.starts_with("vgg") && !w.name.starts_with("alex") &&
+        !w.name.starts_with("res") && !w.name.starts_with("incep") &&
+        !w.name.starts_with("goog") && !w.name.starts_with("caffe")) {
+      continue;  // Fig. 5 covers the six CNNs
+    }
+    constexpr int kSamples = 20000;
+    std::vector<double> sizes(kSamples);
+    const double mu = std::log(w.comm.median_bytes);
+    for (int i = 0; i < kSamples; ++i) {
+      sizes[i] = std::exp(rng.normal(mu, w.comm.sigma_log));
+    }
+    std::sort(sizes.begin(), sizes.end());
+    std::vector<std::string> row = {w.name};
+    for (const double d : decades) {
+      const auto below = std::lower_bound(sizes.begin(), sizes.end(), d) -
+                         sizes.begin();
+      row.push_back(util::fixed(static_cast<double>(below) / kSamples, 2));
+    }
+    t.add_row(std::move(row));
+  }
+  std::cout << t.render()
+            << "\nPaper shape: GoogleNet/ResNet mass sits below 1e5 bytes; "
+               "AlexNet, VGG,\nInception, CaffeNet average >= 1e5 bytes.\n\n";
+}
+
+void fig5b() {
+  std::cout << "--- Fig. 5b: communication calls and sensitivity ---\n";
+  util::Table t({"Network", "Comm. calls per iter.", "Bandwidth Sensitive"});
+  for (const char* name : {"alexnet", "inception-v3", "vgg-16", "resnet-50",
+                           "caffenet", "googlenet"}) {
+    const auto& w = workload::workload_by_name(name);
+    t.add_row({w.name, util::fixed(w.comm.calls_per_iter, 0),
+               w.bandwidth_sensitive ? "Yes" : "No"});
+  }
+  std::cout << t.render()
+            << "\nMatches the paper's table exactly (call counts and "
+               "sensitivity labels).\n";
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header("Fig. 5", "Communication properties of ML workloads");
+  fig5a();
+  fig5b();
+  return 0;
+}

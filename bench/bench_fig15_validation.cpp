@@ -1,0 +1,57 @@
+// Reproduces paper Fig. 15 (simulator validation): the effective bandwidth
+// the simulator assigns ("simulated" = Eq. 2 prediction used for scoring)
+// against the "real" measured effective bandwidth (our NCCL-model
+// microbenchmark standing in for the DGX-V runs). The two must correlate
+// strongly for the simulator's EffBW proxy to be sound.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mapa;
+
+int main() {
+  bench::print_header("Fig. 15",
+                      "Simulated (Eq. 2) vs real (microbench) EffBW");
+
+  const auto jobs = bench::paper_job_mix(300, 15);
+  const auto result =
+      sim::run_simulation(graph::dgx1_v100(), "preserve", jobs);
+
+  std::vector<double> real, simulated;
+  for (const auto& r : result.records) {
+    if (r.job.num_gpus < 2) continue;
+    real.push_back(r.measured_effbw);
+    simulated.push_back(r.predicted_effbw);
+  }
+  std::cout << "Multi-GPU allocations compared: " << real.size() << "\n\n";
+
+  // Binned scatter: real EffBW deciles vs mean simulated EffBW.
+  util::Table t({"real EffBW bin", "mean simulated EffBW", "n"});
+  const double lo = util::min_of(real);
+  const double hi = util::max_of(real);
+  const int kBins = 8;
+  for (int b = 0; b < kBins; ++b) {
+    const double from = lo + (hi - lo) * b / kBins;
+    const double to = lo + (hi - lo) * (b + 1) / kBins;
+    std::vector<double> in_bin;
+    for (std::size_t i = 0; i < real.size(); ++i) {
+      if (real[i] >= from && (real[i] < to || b == kBins - 1)) {
+        in_bin.push_back(simulated[i]);
+      }
+    }
+    if (in_bin.empty()) continue;
+    t.add_row({util::fixed(from, 1) + " - " + util::fixed(to, 1),
+               util::fixed(util::mean(in_bin), 2),
+               std::to_string(in_bin.size())});
+  }
+  std::cout << t.render() << '\n';
+
+  const double r = util::pearson(real, simulated);
+  std::cout << "Pearson correlation (real vs simulated EffBW): "
+            << util::fixed(r, 4) << "\n"
+            << "Paper shape: points on the diagonal — the simulation "
+               "adequately\ncaptures the real machine's allocation "
+               "behavior (correlation ~1).\n";
+  return r > 0.9 ? 0 : 1;
+}

@@ -1,0 +1,53 @@
+// Reproduces paper Table 3: per-job execution-time speedup quartiles and
+// throughput of each policy, normalized to Baseline, on the 300-job DGX-V
+// experiment.
+
+#include <iostream>
+
+#include "bench_common.hpp"
+
+using namespace mapa;
+
+int main() {
+  bench::print_header("Table 3",
+                      "Normalized speedup and throughput on DGX-1 V100");
+
+  const auto jobs = bench::paper_job_mix();
+  const auto results = bench::run_paper_policies(graph::dgx1_v100(), jobs);
+  const auto& baseline = results.front();
+
+  // The paper's table normalizes the execution-time distribution quantiles
+  // of each policy to Baseline's, over the bandwidth-sensitive jobs.
+  util::Table t({"Policy", "MIN", "25th %", "50th %", "75th %", "MAX",
+                 "Tput"});
+  t.add_row({"Baseline", "1.000", "1.000", "1.000", "1.000", "1.000",
+             "1.00"});
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto s = sim::quantile_speedup_summary(baseline, results[i], true);
+    t.add_row({s.policy, util::fixed(s.min, 3), util::fixed(s.q25, 3),
+               util::fixed(s.median, 3), util::fixed(s.q75, 3),
+               util::fixed(s.max, 3), util::fixed(s.throughput, 2)});
+  }
+  std::cout << t.render() << '\n';
+
+  std::cout << "Per-job speedup quantiles (alternative reading of the "
+               "table, all jobs):\n";
+  util::Table per_job({"Policy", "MIN", "25th %", "50th %", "75th %", "MAX",
+                       "Tput"});
+  for (std::size_t i = 1; i < results.size(); ++i) {
+    const auto s = sim::speedup_summary(baseline, results[i]);
+    per_job.add_row({s.policy, util::fixed(s.min, 3), util::fixed(s.q25, 3),
+                     util::fixed(s.median, 3), util::fixed(s.q75, 3),
+                     util::fixed(s.max, 3), util::fixed(s.throughput, 2)});
+  }
+  std::cout << per_job.render() << '\n';
+
+  std::cout
+      << "Paper values for reference:\n"
+         "  Topo-aware  1.002 / 1.029 / 1.385 / 1.014 / 1.075, Tput 1.07\n"
+         "  Greedy      0.997 / 1.059 / 1.519 / 1.048 / 1.319, Tput 1.08\n"
+         "  Preserve    1.006 / 1.057 / 1.119 / 1.124 / 1.352, Tput 1.12\n\n"
+         "Paper shape to check: Greedy wins the median; Preserve wins the "
+         "tail\n(75th percentile and MAX) and posts the best throughput.\n";
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Effective-bandwidth model calibration (paper §3.4.3) as an application:
+// regenerate the microbenchmark training set for a machine, fit the Eq. 2
+// coefficients by least squares, and compare against the paper's Table 2.
+//
+//   ./effbw_calibration [topology]   (dgx-v | dgx-p | summit | torus |
+//                                     cubemesh; default dgx-v)
+
+#include <iostream>
+
+#include "graph/topology.hpp"
+#include "interconnect/microbench.hpp"
+#include "score/regression.hpp"
+#include "util/table.hpp"
+
+namespace {
+
+mapa::graph::Graph pick_topology(const std::string& name) {
+  if (name == "dgx-v") return mapa::graph::dgx1_v100();
+  if (name == "dgx-p") return mapa::graph::dgx1_p100();
+  if (name == "summit") return mapa::graph::summit_node();
+  if (name == "torus") return mapa::graph::torus2d_16();
+  if (name == "cubemesh") return mapa::graph::cubemesh_16();
+  throw std::invalid_argument("unknown topology '" + name + "'");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "dgx-v";
+  const mapa::graph::Graph hardware = pick_topology(name);
+
+  // 1. Microbenchmark every distinct link mix reachable by 2-5 GPU rings.
+  const auto samples =
+      mapa::interconnect::generate_training_samples(hardware);
+  std::cout << "Training samples on " << hardware.name() << ": "
+            << samples.size() << " distinct (x, y, z) censuses\n"
+            << "(the paper collects 31 on its DGX-V)\n\n";
+
+  mapa::util::Table sample_table({"x (dbl)", "y (sgl)", "z (pcie)",
+                                  "measured EffBW"});
+  for (const auto& s : samples) {
+    sample_table.add_row({std::to_string(s.census.doubles),
+                          std::to_string(s.census.singles),
+                          std::to_string(s.census.pcie),
+                          mapa::util::fixed(s.measured_gbps, 2)});
+  }
+  std::cout << sample_table.render() << '\n';
+
+  // 2. Fit theta and report the Fig. 12 quality metrics.
+  const auto report = mapa::score::fit_and_evaluate(samples);
+  std::cout << "Fit quality: RelErr "
+            << mapa::util::fixed(report.relative_error, 4) << ", RMSE "
+            << mapa::util::fixed(report.rmse, 4) << ", MAE "
+            << mapa::util::fixed(report.mae, 4) << ", Pearson "
+            << mapa::util::fixed(report.pearson, 4) << "\n"
+            << "(paper Fig. 12: RelErr 0.0709, RMSE 1.5153)\n\n";
+
+  // 3. Compare the refit coefficients with the paper's Table 2.
+  mapa::util::Table theta_table({"coeff", "refit", "paper Table 2"});
+  for (std::size_t i = 0; i < mapa::score::kNumFeatures; ++i) {
+    theta_table.add_row({"theta_" + std::to_string(i + 1),
+                         mapa::util::fixed(report.theta[i], 3),
+                         mapa::util::fixed(mapa::score::kPaperTheta[i], 3)});
+  }
+  std::cout << theta_table.render();
+  return 0;
+}

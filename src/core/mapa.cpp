@@ -1,0 +1,62 @@
+#include "core/mapa.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mapa::core {
+
+Mapa::Mapa(graph::Graph hardware, std::unique_ptr<policy::Policy> policy)
+    : hardware_(std::move(hardware)),
+      policy_(std::move(policy)),
+      busy_(hardware_.num_vertices(), false) {
+  if (policy_ == nullptr) {
+    throw std::invalid_argument("Mapa: null policy");
+  }
+  if (hardware_.num_vertices() == 0) {
+    throw std::invalid_argument("Mapa: empty hardware graph");
+  }
+}
+
+std::size_t Mapa::free_accelerators() const {
+  return static_cast<std::size_t>(
+      std::count(busy_.begin(), busy_.end(), false));
+}
+
+std::optional<Allocation> Mapa::allocate(const graph::Graph& pattern,
+                                         bool bandwidth_sensitive) {
+  policy::AllocationRequest request;
+  request.pattern = &pattern;
+  request.bandwidth_sensitive = bandwidth_sensitive;
+
+  auto result = policy_->allocate(hardware_, busy_, request);
+  if (!result) return std::nullopt;
+
+  // Commit: mark the accelerators busy (§3.6 — remove vertices and their
+  // incident edges from the available graph).
+  for (const graph::VertexId v : result->match.mapping) {
+    if (busy_[v]) {
+      throw std::logic_error("Mapa::allocate: policy returned a busy vertex");
+    }
+  }
+  for (const graph::VertexId v : result->match.mapping) busy_[v] = true;
+
+  Allocation allocation(next_id_++, std::move(*result));
+  live_.emplace_back(allocation.id(), allocation.gpus());
+  return allocation;
+}
+
+void Mapa::release(const Allocation& allocation) { release(allocation.id()); }
+
+void Mapa::release(std::uint64_t allocation_id) {
+  const auto it = std::find_if(
+      live_.begin(), live_.end(),
+      [&](const auto& entry) { return entry.first == allocation_id; });
+  if (it == live_.end()) {
+    throw std::invalid_argument(
+        "Mapa::release: unknown or already-released allocation");
+  }
+  for (const graph::VertexId v : it->second) busy_[v] = false;
+  live_.erase(it);
+}
+
+}  // namespace mapa::core

@@ -1,0 +1,88 @@
+#pragma once
+// The MAPA framework facade (paper Fig. 7): owns the hardware graph and
+// its allocation state (§3.6), and runs the full pipeline for each job —
+// graph pattern matching -> pattern scoring -> pattern selection policy —
+// returning a concrete accelerator allocation.
+//
+// Typical use (see examples/quickstart.cpp):
+//
+//   mapa::core::Mapa mapa(mapa::graph::dgx1_v100(),
+//                         mapa::policy::make_policy("preserve"));
+//   auto ticket = mapa.allocate(mapa::graph::ring(3), /*sensitive=*/true);
+//   if (ticket) { ... run the job on ticket->gpus() ... }
+//   mapa.release(*ticket);
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "policy/policy.hpp"
+
+namespace mapa::core {
+
+/// A granted allocation: which accelerators a job holds plus the scores
+/// MAPA computed when granting it.
+class Allocation {
+ public:
+  std::uint64_t id() const { return id_; }
+
+  /// Hardware vertices held, in pattern-vertex order (gpus()[p] is where
+  /// pattern vertex p runs).
+  const std::vector<graph::VertexId>& gpus() const {
+    return result_.match.mapping;
+  }
+
+  double aggregated_bw() const { return result_.aggregated_bw; }
+  double predicted_effbw() const { return result_.predicted_effbw; }
+  double preserved_bw() const { return result_.preserved_bw; }
+  const policy::AllocationResult& result() const { return result_; }
+
+ private:
+  friend class Mapa;
+  Allocation(std::uint64_t id, policy::AllocationResult result)
+      : id_(id), result_(std::move(result)) {}
+
+  std::uint64_t id_;
+  policy::AllocationResult result_;
+};
+
+class Mapa {
+ public:
+  /// Takes ownership of the hardware graph and the selection policy.
+  Mapa(graph::Graph hardware, std::unique_ptr<policy::Policy> policy);
+
+  const graph::Graph& hardware() const { return hardware_; }
+  const std::string policy_name() const { return policy_->name(); }
+
+  /// Accelerators currently held by live allocations.
+  const std::vector<bool>& busy() const { return busy_; }
+  std::size_t free_accelerators() const;
+
+  /// Run matching + scoring + selection for an application pattern.
+  /// Returns std::nullopt when the job cannot be placed right now
+  /// (insufficient free accelerators or no structural match).
+  std::optional<Allocation> allocate(const graph::Graph& pattern,
+                                     bool bandwidth_sensitive);
+
+  /// Return an allocation's accelerators to the free pool (§3.6
+  /// deallocation). Throws std::invalid_argument for unknown or
+  /// already-released allocation ids.
+  void release(const Allocation& allocation);
+  void release(std::uint64_t allocation_id);
+
+  /// Number of live allocations.
+  std::size_t live_allocations() const { return live_.size(); }
+
+ private:
+  graph::Graph hardware_;
+  std::unique_ptr<policy::Policy> policy_;
+  std::vector<bool> busy_;
+  // id -> vertices held (for release bookkeeping).
+  std::vector<std::pair<std::uint64_t, std::vector<graph::VertexId>>> live_;
+  std::uint64_t next_id_ = 1;
+};
+
+}  // namespace mapa::core

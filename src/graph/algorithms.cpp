@@ -1,0 +1,120 @@
+#include "graph/algorithms.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+namespace mapa::graph {
+
+std::vector<int> connected_components(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<int> comp(n, -1);
+  int next = 0;
+  std::vector<VertexId> stack;
+  for (VertexId root = 0; root < n; ++root) {
+    if (comp[root] != -1) continue;
+    comp[root] = next;
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const VertexId v = stack.back();
+      stack.pop_back();
+      for (const VertexId w : g.neighbors(v)) {
+        if (comp[w] == -1) {
+          comp[w] = next;
+          stack.push_back(w);
+        }
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+bool is_connected(const Graph& g) {
+  if (g.num_vertices() == 0) return true;
+  const auto comp = connected_components(g);
+  return std::all_of(comp.begin(), comp.end(),
+                     [](int c) { return c == 0; });
+}
+
+std::vector<std::size_t> degree_sequence(const Graph& g) {
+  std::vector<std::size_t> degrees;
+  degrees.reserve(g.num_vertices());
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    degrees.push_back(g.degree(v));
+  }
+  std::sort(degrees.rbegin(), degrees.rend());
+  return degrees;
+}
+
+bool preserves_adjacency(const Graph& pattern, const Graph& target,
+                         const std::vector<VertexId>& mapping) {
+  if (mapping.size() != pattern.num_vertices()) return false;
+  std::vector<bool> used(target.num_vertices(), false);
+  for (const VertexId t : mapping) {
+    if (t >= target.num_vertices() || used[t]) return false;
+    used[t] = true;
+  }
+  for (const Edge& e : pattern.edges()) {
+    if (!target.has_edge(mapping[e.u], mapping[e.v])) return false;
+  }
+  return true;
+}
+
+bool preserves_adjacency_exactly(const Graph& pattern, const Graph& target,
+                                 const std::vector<VertexId>& mapping) {
+  if (pattern.num_vertices() != target.num_vertices()) return false;
+  if (!preserves_adjacency(pattern, target, mapping)) return false;
+  for (VertexId u = 0; u < pattern.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < pattern.num_vertices(); ++v) {
+      if (!pattern.has_edge(u, v) &&
+          target.has_edge(mapping[u], mapping[v])) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+std::vector<std::vector<VertexId>> automorphisms(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  std::vector<std::vector<VertexId>> result;
+  std::vector<VertexId> mapping(n, 0);
+  std::vector<bool> used(n, false);
+
+  // Backtracking with degree pruning: an automorphism must map each vertex
+  // to one of equal degree, and adjacency with already-placed vertices must
+  // match exactly in both directions.
+  std::function<void(std::size_t)> place = [&](std::size_t depth) {
+    if (depth == n) {
+      result.push_back(mapping);
+      return;
+    }
+    const auto u = static_cast<VertexId>(depth);
+    for (VertexId candidate = 0; candidate < n; ++candidate) {
+      if (used[candidate]) continue;
+      if (g.degree(candidate) != g.degree(u)) continue;
+      bool ok = true;
+      for (VertexId placed = 0; placed < depth; ++placed) {
+        if (g.has_edge(u, placed) !=
+            g.has_edge(candidate, mapping[placed])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      mapping[u] = candidate;
+      used[candidate] = true;
+      place(depth + 1);
+      used[candidate] = false;
+    }
+  };
+  place(0);
+  return result;
+}
+
+std::size_t automorphism_count(const Graph& g) {
+  return automorphisms(g).size();
+}
+
+}  // namespace mapa::graph

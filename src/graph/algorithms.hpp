@@ -1,0 +1,41 @@
+#pragma once
+// Structural graph algorithms used by the matcher and the policies:
+// connectivity (sanity checks on topologies), automorphism enumeration
+// (symmetry breaking so each allocation is reported once), and mapping
+// validation shared by tests and both isomorphism backends.
+
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// Component id per vertex, ids dense from 0.
+std::vector<int> connected_components(const Graph& g);
+
+/// True when the graph has one component (or is empty).
+bool is_connected(const Graph& g);
+
+/// Sorted (descending) vertex degrees.
+std::vector<std::size_t> degree_sequence(const Graph& g);
+
+/// True if `mapping` (pattern vertex -> target vertex, injective) maps
+/// every pattern edge onto a target edge. Edge labels are ignored, matching
+/// the paper's structure-only isomorphism definition (§3.3).
+bool preserves_adjacency(const Graph& pattern, const Graph& target,
+                         const std::vector<VertexId>& mapping);
+
+/// True if in addition every pattern *non*-edge maps to a target non-edge
+/// (full induced isomorphism; used to enumerate automorphisms).
+bool preserves_adjacency_exactly(const Graph& pattern, const Graph& target,
+                                 const std::vector<VertexId>& mapping);
+
+/// All automorphisms of `g` (adjacency-preserving permutations of its
+/// vertices, ignoring edge labels). Includes the identity. Exponential in
+/// the worst case — intended for application patterns (<= ~12 vertices).
+std::vector<std::vector<VertexId>> automorphisms(const Graph& g);
+
+/// Size of the automorphism group (|Aut(g)|).
+std::size_t automorphism_count(const Graph& g);
+
+}  // namespace mapa::graph

@@ -1,0 +1,68 @@
+#include "graph/dot.hpp"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+namespace mapa::graph {
+
+namespace {
+
+using interconnect::LinkType;
+
+std::string edge_style(LinkType type) {
+  switch (type) {
+    case LinkType::kNvLink2Double:
+      return "color=red penwidth=2";
+    case LinkType::kNvLink2:
+    case LinkType::kNvLink1:
+      return "color=blue";
+    case LinkType::kNvSwitch:
+      return "color=purple";
+    case LinkType::kPcie:
+      return "color=gray style=dashed";
+    case LinkType::kNone:
+      return "color=black";
+  }
+  return "color=black";
+}
+
+}  // namespace
+
+std::string to_dot(const Graph& g) {
+  std::ostringstream os;
+  os << "graph \"" << (g.name().empty() ? "graph" : g.name()) << "\" {\n";
+  os << "  node [shape=box style=rounded];\n";
+
+  std::map<int, std::vector<VertexId>> by_socket;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    by_socket[g.socket(v)].push_back(v);
+  }
+
+  if (by_socket.size() > 1) {
+    for (const auto& [socket, vertices] : by_socket) {
+      os << "  subgraph cluster_socket" << socket << " {\n";
+      os << "    label=\"socket " << socket << "\";\n";
+      for (const VertexId v : vertices) {
+        os << "    g" << v << " [label=\"GPU " << v << "\"];\n";
+      }
+      os << "  }\n";
+    }
+  } else {
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      os << "  g" << v << " [label=\"GPU " << v << "\"];\n";
+    }
+  }
+
+  for (const Edge& e : g.edges()) {
+    os << "  g" << e.u << " -- g" << e.v << " [" << edge_style(e.type);
+    if (e.bandwidth_gbps > 0.0) {
+      os << " label=\"" << e.bandwidth_gbps << "\"";
+    }
+    os << "];\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace mapa::graph

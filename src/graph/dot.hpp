@@ -1,0 +1,17 @@
+#pragma once
+// Graphviz export so hardware and application graphs can be inspected
+// visually (the repo's examples write .dot files next to their output).
+
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// Render `g` in Graphviz DOT. Edge color encodes the link type (double
+/// NVLink bold red, single NVLink blue, PCIe dashed gray) and the label is
+/// the bandwidth in GB/s; vertices are clustered by socket when the graph
+/// has more than one socket.
+std::string to_dot(const Graph& g);
+
+}  // namespace mapa::graph

@@ -1,0 +1,158 @@
+#include "graph/graph.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+#include <unordered_set>
+
+namespace mapa::graph {
+
+Graph::Graph(std::size_t n, std::string name)
+    : num_vertices_(n),
+      name_(std::move(name)),
+      sockets_(n, 0),
+      edge_index_(n * n, -1),
+      adjacency_(n) {}
+
+void Graph::check_vertex(VertexId v, const char* what) const {
+  if (v >= num_vertices_) {
+    throw std::out_of_range(std::string(what) + ": vertex out of range");
+  }
+}
+
+void Graph::set_socket(VertexId v, int socket) {
+  check_vertex(v, "Graph::set_socket");
+  sockets_[v] = socket;
+}
+
+int Graph::socket(VertexId v) const {
+  check_vertex(v, "Graph::socket");
+  return sockets_[v];
+}
+
+void Graph::add_edge(VertexId u, VertexId v, interconnect::LinkType type,
+                     double bandwidth_gbps) {
+  check_vertex(u, "Graph::add_edge");
+  check_vertex(v, "Graph::add_edge");
+  if (u == v) throw std::invalid_argument("Graph::add_edge: self-loop");
+  if (bandwidth_gbps < 0.0) {
+    bandwidth_gbps = interconnect::peak_bandwidth_gbps(type);
+  }
+
+  const std::int32_t existing = edge_index_[matrix_index(u, v)];
+  if (existing >= 0) {
+    // Keep the highest-bandwidth label (paper §3.2).
+    Edge& e = edges_[static_cast<std::size_t>(existing)];
+    if (bandwidth_gbps > e.bandwidth_gbps) {
+      e.type = type;
+      e.bandwidth_gbps = bandwidth_gbps;
+    }
+    return;
+  }
+
+  const auto index = static_cast<std::int32_t>(edges_.size());
+  edges_.push_back(Edge{std::min(u, v), std::max(u, v), type, bandwidth_gbps});
+  edge_index_[matrix_index(u, v)] = index;
+  edge_index_[matrix_index(v, u)] = index;
+  adjacency_[u].push_back(v);
+  adjacency_[v].push_back(u);
+}
+
+bool Graph::has_edge(VertexId u, VertexId v) const {
+  check_vertex(u, "Graph::has_edge");
+  check_vertex(v, "Graph::has_edge");
+  if (u == v) return false;
+  return edge_index_[matrix_index(u, v)] >= 0;
+}
+
+const Edge* Graph::edge(VertexId u, VertexId v) const {
+  check_vertex(u, "Graph::edge");
+  check_vertex(v, "Graph::edge");
+  if (u == v) return nullptr;
+  const std::int32_t index = edge_index_[matrix_index(u, v)];
+  if (index < 0) return nullptr;
+  return &edges_[static_cast<std::size_t>(index)];
+}
+
+double Graph::edge_bandwidth(VertexId u, VertexId v) const {
+  const Edge* e = edge(u, v);
+  return e == nullptr ? 0.0 : e->bandwidth_gbps;
+}
+
+interconnect::LinkType Graph::edge_type(VertexId u, VertexId v) const {
+  const Edge* e = edge(u, v);
+  return e == nullptr ? interconnect::LinkType::kNone : e->type;
+}
+
+const std::vector<VertexId>& Graph::neighbors(VertexId v) const {
+  check_vertex(v, "Graph::neighbors");
+  return adjacency_[v];
+}
+
+double Graph::total_bandwidth() const {
+  double total = 0.0;
+  for (const Edge& e : edges_) total += e.bandwidth_gbps;
+  return total;
+}
+
+Graph Graph::induced_subgraph(std::span<const VertexId> vertices) const {
+  std::unordered_set<VertexId> seen;
+  for (const VertexId v : vertices) {
+    check_vertex(v, "Graph::induced_subgraph");
+    if (!seen.insert(v).second) {
+      throw std::invalid_argument("Graph::induced_subgraph: duplicate vertex");
+    }
+  }
+  Graph sub(vertices.size(), name_.empty() ? "" : name_ + "-sub");
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    sub.set_socket(static_cast<VertexId>(i), sockets_[vertices[i]]);
+  }
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      const Edge* e = edge(vertices[i], vertices[j]);
+      if (e != nullptr) {
+        sub.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(j),
+                     e->type, e->bandwidth_gbps);
+      }
+    }
+  }
+  return sub;
+}
+
+Graph Graph::without_vertices(std::span<const VertexId> removed,
+                              std::vector<VertexId>* surviving) const {
+  std::vector<bool> gone(num_vertices_, false);
+  for (const VertexId v : removed) {
+    check_vertex(v, "Graph::without_vertices");
+    gone[v] = true;
+  }
+  std::vector<VertexId> keep;
+  keep.reserve(num_vertices_);
+  for (VertexId v = 0; v < num_vertices_; ++v) {
+    if (!gone[v]) keep.push_back(v);
+  }
+  if (surviving != nullptr) *surviving = keep;
+  return induced_subgraph(keep);
+}
+
+std::vector<VertexId> Graph::vertex_ids() const {
+  std::vector<VertexId> ids(num_vertices_);
+  for (VertexId v = 0; v < num_vertices_; ++v) ids[v] = v;
+  return ids;
+}
+
+bool Graph::operator==(const Graph& other) const {
+  if (num_vertices_ != other.num_vertices_ ||
+      edges_.size() != other.edges_.size() || sockets_ != other.sockets_) {
+    return false;
+  }
+  for (const Edge& e : edges_) {
+    const Edge* o = other.edge(e.u, e.v);
+    if (o == nullptr || o->type != e.type ||
+        o->bandwidth_gbps != e.bandwidth_gbps) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mapa::graph

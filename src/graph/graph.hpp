@@ -1,0 +1,109 @@
+#pragma once
+// Labeled undirected graph shared by both sides of MAPA (paper §3.1–3.2):
+//
+//  * Hardware graphs — vertices are accelerators, edges are the highest-
+//    bandwidth direct link between a pair (NVLink single/double or PCIe).
+//    Vertices carry a socket id so socket-local policies (Topo-aware) work.
+//  * Application pattern graphs — vertices are required accelerators, edges
+//    mean "these two ranks communicate". Edge labels are ignored on this
+//    side; only adjacency matters for pattern matching.
+//
+// Vertices are dense ids 0..n-1. The paper's figures use 1-based GPU
+// numbers; all APIs here are 0-based (figure GPU k == vertex k-1).
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "interconnect/link.hpp"
+
+namespace mapa::graph {
+
+using VertexId = std::uint32_t;
+
+/// One undirected edge with its link label and bandwidth weight.
+struct Edge {
+  VertexId u = 0;
+  VertexId v = 0;
+  interconnect::LinkType type = interconnect::LinkType::kNone;
+  double bandwidth_gbps = 0.0;
+};
+
+/// Simple undirected graph with labeled, weighted edges.
+class Graph {
+ public:
+  Graph() = default;
+
+  /// Create a graph with `n` isolated vertices, all on socket 0.
+  explicit Graph(std::size_t n, std::string name = {});
+
+  std::size_t num_vertices() const { return num_vertices_; }
+  std::size_t num_edges() const { return edges_.size(); }
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  /// CPU-socket (PCIe-root) id of a vertex; used by Topo-aware allocation.
+  void set_socket(VertexId v, int socket);
+  int socket(VertexId v) const;
+
+  /// Add (or upgrade) the undirected edge {u, v}.
+  ///
+  /// Per the paper, when multiple physical paths exist between a pair the
+  /// edge carries the *highest* available bandwidth, so re-adding an edge
+  /// keeps whichever label has more bandwidth. Self-loops are rejected.
+  /// If `bandwidth_gbps` is negative the peak bandwidth of `type` is used.
+  void add_edge(VertexId u, VertexId v, interconnect::LinkType type,
+                double bandwidth_gbps = -1.0);
+
+  bool has_edge(VertexId u, VertexId v) const;
+
+  /// The edge between u and v, or nullptr when not present.
+  const Edge* edge(VertexId u, VertexId v) const;
+
+  /// Bandwidth of edge {u, v}; 0 when the edge does not exist.
+  double edge_bandwidth(VertexId u, VertexId v) const;
+
+  interconnect::LinkType edge_type(VertexId u, VertexId v) const;
+
+  const std::vector<VertexId>& neighbors(VertexId v) const;
+  std::size_t degree(VertexId v) const { return neighbors(v).size(); }
+
+  const std::vector<Edge>& edges() const { return edges_; }
+
+  /// Sum of all edge bandwidths (GB/s).
+  double total_bandwidth() const;
+
+  /// Induced subgraph on `vertices`; result vertex i corresponds to
+  /// vertices[i]. Socket labels are carried over. Duplicate or out-of-range
+  /// input vertices throw.
+  Graph induced_subgraph(std::span<const VertexId> vertices) const;
+
+  /// Induced subgraph on the complement of `removed` (the paper's G \ M
+  /// used by Preserved Bandwidth). Also returns, via out parameter when
+  /// non-null, the original id of each surviving vertex.
+  Graph without_vertices(std::span<const VertexId> removed,
+                         std::vector<VertexId>* surviving = nullptr) const;
+
+  /// All vertex ids, 0..n-1 (convenience for range iteration).
+  std::vector<VertexId> vertex_ids() const;
+
+  bool operator==(const Graph& other) const;
+
+ private:
+  void check_vertex(VertexId v, const char* what) const;
+  std::size_t matrix_index(VertexId u, VertexId v) const {
+    return static_cast<std::size_t>(u) * num_vertices_ + v;
+  }
+
+  std::size_t num_vertices_ = 0;
+  std::string name_;
+  std::vector<int> sockets_;
+  std::vector<Edge> edges_;
+  // edge_index_[u * n + v] is the index into edges_ or -1.
+  std::vector<std::int32_t> edge_index_;
+  std::vector<std::vector<VertexId>> adjacency_;
+};
+
+}  // namespace mapa::graph

@@ -1,0 +1,119 @@
+#include "graph/parse.hpp"
+
+#include <optional>
+#include <sstream>
+#include <stdexcept>
+#include <vector>
+
+#include "graph/topology.hpp"
+
+namespace mapa::graph {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "topology parse error at line " << line << ": " << message;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+Graph parse_topology(std::istream& in) {
+  std::optional<Graph> graph;
+  std::string pending_name;
+  bool want_fallback = false;
+
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string directive;
+    if (!(line >> directive)) continue;  // blank line
+
+    if (directive == "topology") {
+      if (!(line >> pending_name)) fail(line_no, "expected: topology <name>");
+      if (graph) graph->set_name(pending_name);
+    } else if (directive == "gpus") {
+      std::size_t count = 0;
+      if (!(line >> count) || count == 0) {
+        fail(line_no, "expected: gpus <positive count>");
+      }
+      if (graph) fail(line_no, "duplicate gpus directive");
+      graph.emplace(count, pending_name);
+    } else if (directive == "socket") {
+      if (!graph) fail(line_no, "socket before gpus");
+      int socket = 0;
+      if (!(line >> socket)) fail(line_no, "expected: socket <id> <gpu>...");
+      VertexId v = 0;
+      bool any = false;
+      while (line >> v) {
+        if (v >= graph->num_vertices()) fail(line_no, "gpu id out of range");
+        graph->set_socket(v, socket);
+        any = true;
+      }
+      if (!any) fail(line_no, "socket directive lists no gpus");
+    } else if (directive == "link") {
+      if (!graph) fail(line_no, "link before gpus");
+      VertexId a = 0, b = 0;
+      std::string type_name;
+      if (!(line >> a >> b >> type_name)) {
+        fail(line_no, "expected: link <gpu-a> <gpu-b> <type>");
+      }
+      if (a >= graph->num_vertices() || b >= graph->num_vertices()) {
+        fail(line_no, "gpu id out of range");
+      }
+      const auto type = interconnect::parse_link_type(type_name);
+      if (!type) fail(line_no, "unknown link type '" + type_name + "'");
+      if (a == b) fail(line_no, "self-link");
+      graph->add_edge(a, b, *type);
+    } else if (directive == "pcie_fallback") {
+      if (!graph) fail(line_no, "pcie_fallback before gpus");
+      want_fallback = true;
+    } else {
+      fail(line_no, "unknown directive '" + directive + "'");
+    }
+  }
+
+  if (!graph) throw std::runtime_error("topology parse error: no gpus directive");
+  if (want_fallback) add_pcie_fallback(*graph);
+  return std::move(*graph);
+}
+
+Graph parse_topology_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_topology(in);
+}
+
+std::string serialize_topology(const Graph& g) {
+  std::ostringstream os;
+  if (!g.name().empty()) os << "topology " << g.name() << '\n';
+  os << "gpus " << g.num_vertices() << '\n';
+
+  // Group vertices by socket for compact socket directives.
+  int max_socket = 0;
+  for (VertexId v = 0; v < g.num_vertices(); ++v) {
+    max_socket = std::max(max_socket, g.socket(v));
+  }
+  for (int s = 0; s <= max_socket; ++s) {
+    std::vector<VertexId> members;
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      if (g.socket(v) == s) members.push_back(v);
+    }
+    if (members.empty()) continue;
+    os << "socket " << s;
+    for (const VertexId v : members) os << ' ' << v;
+    os << '\n';
+  }
+
+  for (const Edge& e : g.edges()) {
+    os << "link " << e.u << ' ' << e.v << ' '
+       << interconnect::to_string(e.type) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mapa::graph

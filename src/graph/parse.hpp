@@ -1,0 +1,38 @@
+#pragma once
+// Text format for hardware topologies, standing in for `nvidia-smi topo -m`
+// discovery on machines we cannot touch (see DESIGN.md substitutions).
+//
+// Format (one directive per line; '#' starts a comment):
+//
+//   topology <name>
+//   gpus <count>
+//   socket <socket-id> <gpu> [<gpu> ...]
+//   link <gpu-a> <gpu-b> <type>        # type: NV1 NV2 NV2x2 NVSwitch PCIe
+//   pcie_fallback                      # materialize host-routed PCIe edges
+//
+// Example:
+//   topology mini
+//   gpus 4
+//   socket 0 0 1
+//   socket 1 2 3
+//   link 0 1 NV2x2
+//   link 2 3 NV2
+//   pcie_fallback
+
+#include <iosfwd>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// Parse a topology description; throws std::runtime_error with a
+/// line-numbered message on malformed input.
+Graph parse_topology(std::istream& in);
+Graph parse_topology_string(const std::string& text);
+
+/// Serialize a graph back into the topology format (round-trips through
+/// parse_topology, modulo the pcie_fallback shorthand).
+std::string serialize_topology(const Graph& g);
+
+}  // namespace mapa::graph

@@ -1,0 +1,149 @@
+#include "graph/patterns.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mapa::graph {
+
+namespace {
+
+using interconnect::LinkType;
+
+void require_size(std::size_t n, std::size_t minimum, const char* what) {
+  if (n < minimum) {
+    throw std::invalid_argument(std::string(what) +
+                                ": pattern needs more vertices");
+  }
+}
+
+void add_ring_edges(Graph& g) {
+  const std::size_t n = g.num_vertices();
+  for (VertexId v = 0; v < n; ++v) {
+    const auto next = static_cast<VertexId>((v + 1) % n);
+    if (v != next) g.add_edge(v, next, LinkType::kNone, 0.0);
+  }
+}
+
+void add_tree_edges(Graph& g) {
+  // Balanced binary tree rooted at 0: children of i are 2i+1 and 2i+2.
+  const std::size_t n = g.num_vertices();
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const std::size_t child : {2 * i + 1, 2 * i + 2}) {
+      if (child < n) {
+        g.add_edge(static_cast<VertexId>(i), static_cast<VertexId>(child),
+                   LinkType::kNone, 0.0);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+Graph single_gpu() { return Graph(1, "single"); }
+
+Graph ring(std::size_t n) {
+  require_size(n, 2, "ring");
+  Graph g(n, "ring-" + std::to_string(n));
+  add_ring_edges(g);
+  return g;
+}
+
+Graph chain(std::size_t n) {
+  require_size(n, 2, "chain");
+  Graph g(n, "chain-" + std::to_string(n));
+  for (VertexId v = 0; v + 1 < n; ++v) {
+    g.add_edge(v, v + 1, LinkType::kNone, 0.0);
+  }
+  return g;
+}
+
+Graph binary_tree(std::size_t n) {
+  require_size(n, 2, "binary_tree");
+  Graph g(n, "tree-" + std::to_string(n));
+  add_tree_edges(g);
+  return g;
+}
+
+Graph star(std::size_t n) {
+  require_size(n, 2, "star");
+  Graph g(n, "star-" + std::to_string(n));
+  for (VertexId v = 1; v < n; ++v) g.add_edge(0, v, LinkType::kNone, 0.0);
+  return g;
+}
+
+Graph all_to_all(std::size_t n) {
+  require_size(n, 2, "all_to_all");
+  Graph g(n, "alltoall-" + std::to_string(n));
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v, LinkType::kNone, 0.0);
+    }
+  }
+  return g;
+}
+
+Graph nccl_mix(std::size_t n) {
+  require_size(n, 2, "nccl_mix");
+  Graph g(n, "ncclmix-" + std::to_string(n));
+  add_ring_edges(g);
+  add_tree_edges(g);
+  return g;
+}
+
+Graph make_pattern(PatternKind kind, std::size_t n) {
+  if (n == 0) throw std::invalid_argument("make_pattern: n must be >= 1");
+  if (n == 1) return single_gpu();
+  switch (kind) {
+    case PatternKind::kSingle:
+      throw std::invalid_argument("make_pattern: kSingle requires n == 1");
+    case PatternKind::kRing:
+      return ring(n);
+    case PatternKind::kChain:
+      return chain(n);
+    case PatternKind::kTree:
+      return binary_tree(n);
+    case PatternKind::kStar:
+      return star(n);
+    case PatternKind::kAllToAll:
+      return all_to_all(n);
+    case PatternKind::kNcclMix:
+      return nccl_mix(n);
+  }
+  throw std::invalid_argument("make_pattern: unknown kind");
+}
+
+std::string to_string(PatternKind kind) {
+  switch (kind) {
+    case PatternKind::kSingle:
+      return "Single";
+    case PatternKind::kRing:
+      return "Ring";
+    case PatternKind::kChain:
+      return "Chain";
+    case PatternKind::kTree:
+      return "Tree";
+    case PatternKind::kStar:
+      return "Star";
+    case PatternKind::kAllToAll:
+      return "AllToAll";
+    case PatternKind::kNcclMix:
+      return "NcclMix";
+  }
+  throw std::invalid_argument("to_string(PatternKind): unknown kind");
+}
+
+std::optional<PatternKind> parse_pattern_kind(const std::string& text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "single") return PatternKind::kSingle;
+  if (lower == "ring") return PatternKind::kRing;
+  if (lower == "chain") return PatternKind::kChain;
+  if (lower == "tree") return PatternKind::kTree;
+  if (lower == "star") return PatternKind::kStar;
+  if (lower == "alltoall") return PatternKind::kAllToAll;
+  if (lower == "ncclmix") return PatternKind::kNcclMix;
+  return std::nullopt;
+}
+
+}  // namespace mapa::graph

@@ -1,0 +1,47 @@
+#pragma once
+// Application-pattern-graph factories (paper §3.1, Fig. 8).
+//
+// An application graph's vertices are the accelerators a job needs and its
+// edges the pairs that communicate. NCCL builds rings or trees depending on
+// transfer size, so jobs are modeled as rings, trees, or their union; other
+// communication styles (star / parameter server, all-to-all) are provided
+// for the examples and for stress tests.
+//
+// Pattern edges carry LinkType::kNone with zero bandwidth — only adjacency
+// is meaningful on the application side.
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// The pattern shapes understood by the job-file format.
+enum class PatternKind {
+  kSingle,    // 1 GPU, no communication
+  kRing,      // NCCL ring
+  kChain,     // open ring (tree with fan-out 1)
+  kTree,      // balanced binary tree (NCCL tree algorithm)
+  kStar,      // parameter-server style: rank 0 talks to everyone
+  kAllToAll,  // fully connected
+  kNcclMix,   // union of ring and binary tree (paper Fig. 8, right)
+};
+
+/// Build a pattern of `kind` over n vertices. n must be >= 1, and >= 2 for
+/// every kind except kSingle (a 1-vertex pattern is kSingle regardless).
+Graph make_pattern(PatternKind kind, std::size_t n);
+
+Graph single_gpu();
+Graph ring(std::size_t n);
+Graph chain(std::size_t n);
+Graph binary_tree(std::size_t n);
+Graph star(std::size_t n);
+Graph all_to_all(std::size_t n);
+Graph nccl_mix(std::size_t n);
+
+std::string to_string(PatternKind kind);
+std::optional<PatternKind> parse_pattern_kind(const std::string& text);
+
+}  // namespace mapa::graph

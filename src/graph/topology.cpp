@@ -1,0 +1,138 @@
+#include "graph/topology.hpp"
+
+#include <array>
+
+namespace mapa::graph {
+
+namespace {
+
+using interconnect::LinkType;
+
+struct NvEdge {
+  VertexId u;
+  VertexId v;
+  LinkType type;
+};
+
+// DGX-1V hybrid cube-mesh NVLink matrix (0-based GPU ids). Every V100
+// spends its 6 NVLink-v2 bricks as 2 doubles + 2 singles. See the header
+// comment for the paper cross-checks this edge set satisfies.
+constexpr std::array<NvEdge, 16> kDgx1V100Links = {{
+    {0, 1, LinkType::kNvLink2},       {0, 2, LinkType::kNvLink2},
+    {0, 3, LinkType::kNvLink2Double}, {0, 4, LinkType::kNvLink2Double},
+    {1, 2, LinkType::kNvLink2Double}, {1, 3, LinkType::kNvLink2},
+    {1, 5, LinkType::kNvLink2Double}, {2, 3, LinkType::kNvLink2Double},
+    {2, 6, LinkType::kNvLink2},       {3, 7, LinkType::kNvLink2},
+    {4, 5, LinkType::kNvLink2},       {4, 6, LinkType::kNvLink2},
+    {4, 7, LinkType::kNvLink2Double}, {5, 6, LinkType::kNvLink2Double},
+    {5, 7, LinkType::kNvLink2},       {6, 7, LinkType::kNvLink2Double},
+}};
+
+void finish(Graph& g, Connectivity connectivity) {
+  if (connectivity == Connectivity::kPcieFallback) add_pcie_fallback(g);
+}
+
+}  // namespace
+
+void add_pcie_fallback(Graph& g) {
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    for (VertexId v = u + 1; v < g.num_vertices(); ++v) {
+      if (!g.has_edge(u, v)) g.add_edge(u, v, LinkType::kPcie);
+    }
+  }
+}
+
+Graph dgx1_v100(Connectivity connectivity) {
+  Graph g(8, "DGX-1-V100");
+  for (VertexId v = 0; v < 8; ++v) g.set_socket(v, v < 4 ? 0 : 1);
+  for (const NvEdge& e : kDgx1V100Links) g.add_edge(e.u, e.v, e.type);
+  finish(g, connectivity);
+  return g;
+}
+
+Graph dgx1_p100(Connectivity connectivity) {
+  Graph g(8, "DGX-1-P100");
+  for (VertexId v = 0; v < 8; ++v) g.set_socket(v, v < 4 ? 0 : 1);
+  // Same cube-mesh wiring, but P100 has 4 NVLink-v1 bricks, all single.
+  for (const NvEdge& e : kDgx1V100Links) {
+    g.add_edge(e.u, e.v, LinkType::kNvLink1);
+  }
+  finish(g, connectivity);
+  return g;
+}
+
+Graph summit_node(Connectivity connectivity) {
+  Graph g(6, "Summit");
+  for (VertexId v = 0; v < 6; ++v) g.set_socket(v, v < 3 ? 0 : 1);
+  for (const int base : {0, 3}) {
+    for (int i = 0; i < 3; ++i) {
+      for (int j = i + 1; j < 3; ++j) {
+        g.add_edge(static_cast<VertexId>(base + i),
+                   static_cast<VertexId>(base + j),
+                   LinkType::kNvLink2Double);
+      }
+    }
+  }
+  finish(g, connectivity);
+  return g;
+}
+
+Graph torus2d_16(Connectivity connectivity) {
+  Graph g(16, "Torus-2d");
+  const auto id = [](int row, int col) {
+    return static_cast<VertexId>(((row + 4) % 4) * 4 + (col + 4) % 4);
+  };
+  for (int row = 0; row < 4; ++row) {
+    for (int col = 0; col < 4; ++col) {
+      // Quadrant (2x2 block) sockets: 4 CPUs, 4 GPUs each.
+      g.set_socket(id(row, col), (row / 2) * 2 + col / 2);
+      // Row rings: double NVLink. Column rings: single NVLink.
+      g.add_edge(id(row, col), id(row, col + 1), LinkType::kNvLink2Double);
+      g.add_edge(id(row, col), id(row + 1, col), LinkType::kNvLink2);
+    }
+  }
+  finish(g, connectivity);
+  return g;
+}
+
+Graph cubemesh_16(Connectivity connectivity) {
+  Graph g(16, "Cube-mesh-16");
+  for (VertexId v = 0; v < 16; ++v) g.set_socket(v, v / 4);
+  // Two DGX-1V-style octets ...
+  for (const NvEdge& e : kDgx1V100Links) {
+    g.add_edge(e.u, e.v, e.type);
+    g.add_edge(e.u + 8, e.v + 8, e.type);
+  }
+  // ... bridged by four irregular inter-octet links (DESIGN.md records this
+  // interpretation of Fig. 17b).
+  g.add_edge(0, 8, LinkType::kNvLink2Double);
+  g.add_edge(3, 11, LinkType::kNvLink2);
+  g.add_edge(5, 13, LinkType::kNvLink2);
+  g.add_edge(6, 14, LinkType::kNvLink2Double);
+  finish(g, connectivity);
+  return g;
+}
+
+Graph nvswitch_16(Connectivity connectivity) {
+  Graph g(16, "NVSwitch-16");
+  for (VertexId v = 0; v < 16; ++v) g.set_socket(v, v < 8 ? 0 : 1);
+  for (VertexId u = 0; u < 16; ++u) {
+    for (VertexId v = u + 1; v < 16; ++v) {
+      g.add_edge(u, v, LinkType::kNvSwitch);
+    }
+  }
+  finish(g, connectivity);  // no-op: already fully connected
+  return g;
+}
+
+Graph pcie_only(std::size_t n) {
+  Graph g(n, "PCIe-box");
+  for (VertexId u = 0; u < n; ++u) {
+    for (VertexId v = u + 1; v < n; ++v) {
+      g.add_edge(u, v, LinkType::kPcie);
+    }
+  }
+  return g;
+}
+
+}  // namespace mapa::graph

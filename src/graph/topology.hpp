@@ -1,0 +1,62 @@
+#pragma once
+// Hardware-graph factories for every machine the paper evaluates or
+// sketches (Fig. 1 and Fig. 17), plus reference topologies used in tests
+// and ablations.
+//
+// Each factory can build the graph under two conventions:
+//  * kPcieFallback (paper default, §3.2): the hardware graph is fully
+//    connected — any pair without a direct NVLink gets a PCIe edge, since
+//    a host-routed path always exists.
+//  * kNvlinkOnly: only direct NVLink edges are materialized. Used for the
+//    connectivity ablation (DESIGN.md #3) and by topology-structure tests.
+
+#include <cstddef>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+enum class Connectivity {
+  kPcieFallback,
+  kNvlinkOnly,
+};
+
+/// NVIDIA DGX-1 with Volta V100s (paper Fig. 1c) — 8 GPUs in a hybrid
+/// cube-mesh with single and double NVLink-v2 and two CPU sockets
+/// (GPUs 0-3 and 4-7). The edge set reproduces the published
+/// `nvidia-smi topo -m` matrix and matches every worked example in the
+/// paper (e.g. allocation {0,1,4} = 87 GB/s, ideal {0,2,3} = 125 GB/s,
+/// both in 0-based ids).
+Graph dgx1_v100(Connectivity connectivity = Connectivity::kPcieFallback);
+
+/// NVIDIA DGX-1 with Pascal P100s (paper Fig. 1b) — same cube-mesh edge
+/// set, but all links are single NVLink-v1 (P100 has 4 NVLink ports).
+Graph dgx1_p100(Connectivity connectivity = Connectivity::kPcieFallback);
+
+/// One Summit node (paper Fig. 1a) — 6 V100s, two sockets of 3 GPUs;
+/// GPUs within a socket are fully connected by double NVLink-v2, and
+/// cross-socket traffic goes through the hosts.
+Graph summit_node(Connectivity connectivity = Connectivity::kPcieFallback);
+
+/// 16-GPU 4x4 2-D torus (paper Fig. 17a). Row rings use double NVLink-v2,
+/// column rings single NVLink-v2; each 2x2 quadrant of GPUs shares a CPU
+/// socket. This is the interpretation of the figure recorded in DESIGN.md.
+Graph torus2d_16(Connectivity connectivity = Connectivity::kPcieFallback);
+
+/// 16-GPU cube-mesh (paper Fig. 17b): two DGX-1V-style octets bridged by
+/// four inter-octet NVLinks, giving the deliberately irregular network the
+/// paper uses to stress Greedy. Four sockets of 4 GPUs.
+Graph cubemesh_16(Connectivity connectivity = Connectivity::kPcieFallback);
+
+/// 16-GPU NVSwitch crossbar (DGX-2-like): every pair connected at NVSwitch
+/// port bandwidth. Used as a uniform-topology reference in ablations.
+Graph nvswitch_16(Connectivity connectivity = Connectivity::kPcieFallback);
+
+/// n GPUs with PCIe-only connectivity (no NVLink anywhere); one socket.
+Graph pcie_only(std::size_t n);
+
+/// Add PCIe edges between every unconnected pair (the §3.2 fully-connected
+/// convention) to an NVLink-only graph, in place.
+void add_pcie_fallback(Graph& g);
+
+}  // namespace mapa::graph

@@ -1,0 +1,28 @@
+#include "interconnect/bandwidth_curve.hpp"
+
+#include <stdexcept>
+
+namespace mapa::interconnect {
+
+double achievable_bandwidth_gbps(double peak_gbps, double bytes,
+                                 double latency_s) {
+  if (peak_gbps < 0.0 || bytes < 0.0 || latency_s < 0.0) {
+    throw std::invalid_argument("achievable_bandwidth_gbps: negative input");
+  }
+  if (peak_gbps == 0.0 || bytes == 0.0) return 0.0;
+  const double seconds = latency_s + bytes / (peak_gbps * 1e9);
+  return (bytes / seconds) / 1e9;
+}
+
+double achievable_bandwidth_gbps(LinkType type, double bytes,
+                                 double latency_s) {
+  return achievable_bandwidth_gbps(peak_bandwidth_gbps(type), bytes,
+                                   latency_s);
+}
+
+double ramp_fraction(double peak_gbps, double bytes, double latency_s) {
+  if (peak_gbps <= 0.0) return 0.0;
+  return achievable_bandwidth_gbps(peak_gbps, bytes, latency_s) / peak_gbps;
+}
+
+}  // namespace mapa::interconnect

@@ -1,0 +1,29 @@
+#pragma once
+// Size-dependent achievable bandwidth (paper Fig. 2a): small transfers are
+// latency-bound and reach only a fraction of a link's peak; the ramp
+// saturates around 10^7-10^8 bytes. Modeled with the standard alpha-beta
+// cost  t(S) = alpha + S / B  =>  BW(S) = S / (alpha + S / B).
+
+#include "interconnect/link.hpp"
+
+namespace mapa::interconnect {
+
+/// Per-transfer fixed overhead (seconds). 20 us reproduces the paper's
+/// observation that transfers must exceed ~1e5 bytes before the NVLink
+/// tiers separate from PCIe.
+inline constexpr double kDefaultLatencySeconds = 20e-6;
+
+/// Achievable bandwidth (GB/s) for a transfer of `bytes` over a link with
+/// peak bandwidth `peak_gbps`.
+double achievable_bandwidth_gbps(double peak_gbps, double bytes,
+                                 double latency_s = kDefaultLatencySeconds);
+
+/// Convenience overload by link type.
+double achievable_bandwidth_gbps(LinkType type, double bytes,
+                                 double latency_s = kDefaultLatencySeconds);
+
+/// Fraction of peak reached at `bytes` (the ramp itself, in (0, 1)).
+double ramp_fraction(double peak_gbps, double bytes,
+                     double latency_s = kDefaultLatencySeconds);
+
+}  // namespace mapa::interconnect

@@ -1,0 +1,281 @@
+#include "interconnect/collective.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace mapa::interconnect {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+constexpr std::size_t kExhaustiveRingLimit = 9;
+
+std::optional<RingPlan> ring_exhaustive(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  // Fix vertex 0 as the cycle start to quotient out rotations; reflections
+  // are harmless duplicates.
+  std::vector<VertexId> perm(n - 1);
+  std::iota(perm.begin(), perm.end(), 1);
+
+  RingPlan best;
+  best.bottleneck_gbps = -1.0;
+  std::vector<VertexId> cycle(n);
+  cycle[0] = 0;
+
+  std::function<void(std::size_t, double)> search = [&](std::size_t depth,
+                                                        double bottleneck) {
+    if (bottleneck <= best.bottleneck_gbps) return;  // cannot improve
+    if (depth == n) {
+      const double closing = g.edge_bandwidth(cycle[n - 1], cycle[0]);
+      if (closing <= 0.0) return;
+      const double total = std::min(bottleneck, closing);
+      if (total > best.bottleneck_gbps) {
+        best.bottleneck_gbps = total;
+        best.cycle = cycle;
+      }
+      return;
+    }
+    for (std::size_t i = depth - 1; i < perm.size(); ++i) {
+      std::swap(perm[depth - 1], perm[i]);
+      const VertexId next = perm[depth - 1];
+      const double bw = g.edge_bandwidth(cycle[depth - 1], next);
+      if (bw > 0.0) {
+        cycle[depth] = next;
+        search(depth + 1, std::min(bottleneck, bw));
+      }
+      std::swap(perm[depth - 1], perm[i]);
+    }
+  };
+  search(1, std::numeric_limits<double>::infinity());
+
+  if (best.bottleneck_gbps < 0.0) return std::nullopt;
+  return best;
+}
+
+std::optional<RingPlan> ring_greedy(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  // Greedy: start at 0, repeatedly hop to the unvisited neighbor over the
+  // widest link; then improve the bottleneck with 2-opt passes.
+  std::vector<VertexId> cycle;
+  cycle.reserve(n);
+  std::vector<bool> visited(n, false);
+  cycle.push_back(0);
+  visited[0] = true;
+  while (cycle.size() < n) {
+    const VertexId here = cycle.back();
+    VertexId next = 0;
+    double best_bw = -1.0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (visited[v]) continue;
+      const double bw = g.edge_bandwidth(here, v);
+      if (bw > best_bw) {
+        best_bw = bw;
+        next = v;
+      }
+    }
+    if (best_bw <= 0.0) return std::nullopt;  // stuck: no edge forward
+    cycle.push_back(next);
+    visited[next] = true;
+  }
+  if (g.edge_bandwidth(cycle.back(), cycle.front()) <= 0.0) {
+    return std::nullopt;
+  }
+
+  const auto bottleneck_of = [&](const std::vector<VertexId>& c) {
+    double b = std::numeric_limits<double>::infinity();
+    for (std::size_t i = 0; i < c.size(); ++i) {
+      b = std::min(b, g.edge_bandwidth(c[i], c[(i + 1) % c.size()]));
+    }
+    return b;
+  };
+
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (std::size_t i = 0; i + 1 < n && !improved; ++i) {
+      for (std::size_t j = i + 1; j < n && !improved; ++j) {
+        std::vector<VertexId> candidate = cycle;
+        std::reverse(candidate.begin() + static_cast<std::ptrdiff_t>(i),
+                     candidate.begin() + static_cast<std::ptrdiff_t>(j) + 1);
+        if (bottleneck_of(candidate) > bottleneck_of(cycle)) {
+          cycle = std::move(candidate);
+          improved = true;
+        }
+      }
+    }
+  }
+
+  RingPlan plan;
+  plan.cycle = cycle;
+  plan.bottleneck_gbps = bottleneck_of(cycle);
+  return plan;
+}
+
+}  // namespace
+
+std::optional<RingPlan> best_ring(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return std::nullopt;
+  if (n == 1) return RingPlan{{0}, 0.0};
+  if (n == 2) {
+    const double bw = g.edge_bandwidth(0, 1);
+    if (bw <= 0.0) return std::nullopt;
+    return RingPlan{{0, 1}, bw};
+  }
+  if (n <= kExhaustiveRingLimit) return ring_exhaustive(g);
+  return ring_greedy(g);
+}
+
+std::optional<TreePlan> best_tree(const Graph& g) {
+  const std::size_t n = g.num_vertices();
+  if (n == 0) return std::nullopt;
+  if (n == 1) return TreePlan{{}, 0.0};
+
+  // Kruskal over descending bandwidth builds the maximum-bottleneck
+  // spanning tree.
+  std::vector<graph::Edge> edges = g.edges();
+  std::sort(edges.begin(), edges.end(),
+            [](const graph::Edge& a, const graph::Edge& b) {
+              return a.bandwidth_gbps > b.bandwidth_gbps;
+            });
+
+  std::vector<VertexId> parent(n);
+  std::iota(parent.begin(), parent.end(), 0);
+  std::function<VertexId(VertexId)> find = [&](VertexId v) {
+    while (parent[v] != v) {
+      parent[v] = parent[parent[v]];
+      v = parent[v];
+    }
+    return v;
+  };
+
+  TreePlan plan;
+  plan.bottleneck_gbps = std::numeric_limits<double>::infinity();
+  for (const graph::Edge& e : edges) {
+    const VertexId ru = find(e.u);
+    const VertexId rv = find(e.v);
+    if (ru == rv) continue;
+    parent[ru] = rv;
+    plan.edges.push_back(e);
+    plan.bottleneck_gbps = std::min(plan.bottleneck_gbps, e.bandwidth_gbps);
+    if (plan.edges.size() == n - 1) break;
+  }
+  if (plan.edges.size() != n - 1) return std::nullopt;  // disconnected
+  return plan;
+}
+
+namespace {
+
+/// Shared validation for the collective cost formulas. Returns true when
+/// the collective is trivially free (1 GPU or nothing to send).
+bool collective_is_free(std::size_t gpus, double bytes,
+                        double effective_bw_gbps, const char* what) {
+  if (gpus == 0) {
+    throw std::invalid_argument(std::string(what) + ": 0 gpus");
+  }
+  if (gpus == 1 || bytes <= 0.0) return true;
+  if (effective_bw_gbps <= 0.0) {
+    throw std::invalid_argument(std::string(what) +
+                                ": non-positive bandwidth");
+  }
+  return false;
+}
+
+double log2_ceil(std::size_t n) {
+  double levels = 0.0;
+  std::size_t reach = 1;
+  while (reach < n) {
+    reach *= 2;
+    levels += 1.0;
+  }
+  return levels;
+}
+
+}  // namespace
+
+double ring_allreduce_seconds(std::size_t gpus, double bytes,
+                              double effective_bw_gbps,
+                              double hop_latency_s) {
+  if (collective_is_free(gpus, bytes, effective_bw_gbps,
+                         "ring_allreduce_seconds")) {
+    return 0.0;
+  }
+  const auto k = static_cast<double>(gpus);
+  const double hops = 2.0 * (k - 1.0);
+  const double wire = 2.0 * (k - 1.0) / k * bytes / (effective_bw_gbps * 1e9);
+  return hops * hop_latency_s + wire;
+}
+
+double tree_allreduce_seconds(std::size_t gpus, double bytes,
+                              double effective_bw_gbps,
+                              double hop_latency_s) {
+  if (collective_is_free(gpus, bytes, effective_bw_gbps,
+                         "tree_allreduce_seconds")) {
+    return 0.0;
+  }
+  const double levels = log2_ceil(gpus);
+  return 2.0 * levels * hop_latency_s +
+         2.0 * bytes / (effective_bw_gbps * 1e9);
+}
+
+double broadcast_seconds(std::size_t gpus, double bytes,
+                         double effective_bw_gbps, double hop_latency_s) {
+  if (collective_is_free(gpus, bytes, effective_bw_gbps,
+                         "broadcast_seconds")) {
+    return 0.0;
+  }
+  return log2_ceil(gpus) * hop_latency_s + bytes / (effective_bw_gbps * 1e9);
+}
+
+double allgather_seconds(std::size_t gpus, double bytes,
+                         double effective_bw_gbps, double hop_latency_s) {
+  if (collective_is_free(gpus, bytes, effective_bw_gbps,
+                         "allgather_seconds")) {
+    return 0.0;
+  }
+  const auto k = static_cast<double>(gpus);
+  return (k - 1.0) * hop_latency_s +
+         (k - 1.0) / k * bytes / (effective_bw_gbps * 1e9);
+}
+
+double reduce_scatter_seconds(std::size_t gpus, double bytes,
+                              double effective_bw_gbps,
+                              double hop_latency_s) {
+  // Same wire pattern as all-gather, data flowing the other way.
+  return allgather_seconds(gpus, bytes, effective_bw_gbps, hop_latency_s);
+}
+
+double all_to_all_seconds(std::size_t gpus, double bytes,
+                          double effective_bw_gbps, double hop_latency_s) {
+  if (collective_is_free(gpus, bytes, effective_bw_gbps,
+                         "all_to_all_seconds")) {
+    return 0.0;
+  }
+  const auto k = static_cast<double>(gpus);
+  return (k - 1.0) * hop_latency_s +
+         (k - 1.0) / k * bytes / (effective_bw_gbps * 1e9);
+}
+
+double allreduce_algorithm_bandwidth_gbps(std::size_t gpus, double bytes,
+                                          double seconds) {
+  if (gpus == 0 || seconds <= 0.0) {
+    throw std::invalid_argument(
+        "allreduce_algorithm_bandwidth_gbps: bad inputs");
+  }
+  return bytes / seconds / 1e9;
+}
+
+double allreduce_bus_bandwidth_gbps(std::size_t gpus, double bytes,
+                                    double seconds) {
+  const auto k = static_cast<double>(gpus);
+  if (k < 2.0) return 0.0;
+  return allreduce_algorithm_bandwidth_gbps(gpus, bytes, seconds) * 2.0 *
+         (k - 1.0) / k;
+}
+
+}  // namespace mapa::interconnect

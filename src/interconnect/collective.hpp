@@ -1,0 +1,82 @@
+#pragma once
+// NCCL-style collective-communication structure over an allocated
+// subgraph. NCCL builds rings or trees over the allocated devices (paper
+// §3.1); the quality of the best ring/tree constructible from the
+// allocation's links feeds both the microbenchmark model and the
+// execution-time model.
+
+#include <optional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+class Graph;
+}
+
+namespace mapa::interconnect {
+
+/// Best ring: a Hamiltonian cycle over all vertices of `g` maximizing the
+/// minimum edge bandwidth along the cycle (the ring's bottleneck decides
+/// its all-reduce bus bandwidth). Exhaustive for <= 9 vertices, greedy
+/// (nearest-widest-neighbor + 2-opt on the bottleneck) above.
+struct RingPlan {
+  std::vector<graph::VertexId> cycle;  // visiting order; size == |V(g)|
+  double bottleneck_gbps = 0.0;        // min edge bandwidth along the cycle
+};
+
+/// std::nullopt when no Hamiltonian cycle exists (disconnected subgraph
+/// without PCIe fallback). A 1-vertex graph yields a trivial plan with
+/// bottleneck 0; a 2-vertex graph uses its single edge as the "cycle".
+std::optional<RingPlan> best_ring(const graph::Graph& g);
+
+/// Best tree: spanning tree maximizing the minimum edge bandwidth
+/// (maximum-bottleneck spanning tree via Kruskal on descending bandwidth).
+struct TreePlan {
+  std::vector<graph::Edge> edges;  // |V| - 1 edges
+  double bottleneck_gbps = 0.0;
+};
+
+std::optional<TreePlan> best_tree(const graph::Graph& g);
+
+/// Time (seconds) for one ring all-reduce of `bytes` over `gpus` devices
+/// given the allocation's effective bandwidth. Standard cost:
+///   t = 2 (k-1) hops of latency + 2 (k-1)/k * S / BW.
+double ring_allreduce_seconds(std::size_t gpus, double bytes,
+                              double effective_bw_gbps,
+                              double hop_latency_s = 5e-6);
+
+/// Tree all-reduce (NCCL's small-message algorithm): a reduce up and a
+/// broadcast down a binary tree —
+///   t = 2 ceil(log2 k) * latency + 2 * S / BW.
+double tree_allreduce_seconds(std::size_t gpus, double bytes,
+                              double effective_bw_gbps,
+                              double hop_latency_s = 5e-6);
+
+/// Binary-tree broadcast: t = ceil(log2 k) * latency + S / BW.
+double broadcast_seconds(std::size_t gpus, double bytes,
+                         double effective_bw_gbps,
+                         double hop_latency_s = 5e-6);
+
+/// Ring all-gather / reduce-scatter: t = (k-1) hops + (k-1)/k * S / BW.
+double allgather_seconds(std::size_t gpus, double bytes,
+                         double effective_bw_gbps,
+                         double hop_latency_s = 5e-6);
+double reduce_scatter_seconds(std::size_t gpus, double bytes,
+                              double effective_bw_gbps,
+                              double hop_latency_s = 5e-6);
+
+/// Pairwise-exchange all-to-all: t = (k-1) hops + (k-1)/k * S / BW per
+/// direction, where S is the total buffer per GPU.
+double all_to_all_seconds(std::size_t gpus, double bytes,
+                          double effective_bw_gbps,
+                          double hop_latency_s = 5e-6);
+
+/// NCCL reporting conventions: algorithm bandwidth S/t and the
+/// bus-bandwidth normalization busbw = algbw * 2(k-1)/k for all-reduce.
+double allreduce_algorithm_bandwidth_gbps(std::size_t gpus, double bytes,
+                                          double seconds);
+double allreduce_bus_bandwidth_gbps(std::size_t gpus, double bytes,
+                                    double seconds);
+
+}  // namespace mapa::interconnect

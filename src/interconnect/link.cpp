@@ -1,0 +1,62 @@
+#include "interconnect/link.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mapa::interconnect {
+
+double peak_bandwidth_gbps(LinkType type) {
+  switch (type) {
+    case LinkType::kNone:
+      return 0.0;
+    case LinkType::kPcie:
+      return bw::kPcieGen3x16;
+    case LinkType::kNvLink1:
+      return bw::kNvLink1Single;
+    case LinkType::kNvLink2:
+      return bw::kNvLink2Single;
+    case LinkType::kNvLink2Double:
+      return bw::kNvLink2Double;
+    case LinkType::kNvSwitch:
+      return bw::kNvSwitchPort;
+  }
+  throw std::invalid_argument("peak_bandwidth_gbps: unknown link type");
+}
+
+std::string to_string(LinkType type) {
+  switch (type) {
+    case LinkType::kNone:
+      return "none";
+    case LinkType::kPcie:
+      return "PCIe";
+    case LinkType::kNvLink1:
+      return "NV1";
+    case LinkType::kNvLink2:
+      return "NV2";
+    case LinkType::kNvLink2Double:
+      return "NV2x2";
+    case LinkType::kNvSwitch:
+      return "NVSwitch";
+  }
+  throw std::invalid_argument("to_string(LinkType): unknown link type");
+}
+
+std::optional<LinkType> parse_link_type(const std::string& text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "none") return LinkType::kNone;
+  if (lower == "pcie") return LinkType::kPcie;
+  if (lower == "nv1") return LinkType::kNvLink1;
+  if (lower == "nv2") return LinkType::kNvLink2;
+  if (lower == "nv2x2") return LinkType::kNvLink2Double;
+  if (lower == "nvswitch") return LinkType::kNvSwitch;
+  return std::nullopt;
+}
+
+bool is_nvlink(LinkType type) {
+  return type == LinkType::kNvLink1 || type == LinkType::kNvLink2 ||
+         type == LinkType::kNvLink2Double;
+}
+
+}  // namespace mapa::interconnect

@@ -1,0 +1,51 @@
+#pragma once
+// Inter-accelerator link types and their peak bandwidths (paper Table 1).
+//
+// This header is dependency-free so both the graph substrate (edge labels)
+// and the interconnect performance models can include it.
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mapa::interconnect {
+
+/// Kinds of point-to-point links between accelerators.
+///
+/// `kNone` means "no direct link" — the paper treats such pairs as reachable
+/// through host PCIe (the hardware graph is fully connected), so a kNone
+/// edge is materialized as kPcie when building hardware graphs with the
+/// PCIe-fallback convention.
+enum class LinkType : std::uint8_t {
+  kNone = 0,
+  kPcie,           // 16-lane PCIe Gen 3 routed through the host
+  kNvLink1,        // single NVLink-v1 brick (P100 generation)
+  kNvLink2,        // single NVLink-v2 brick (V100 generation)
+  kNvLink2Double,  // double NVLink-v2 (two bonded bricks)
+  kNvSwitch,       // NVSwitch crossbar port (DGX-2 generation)
+};
+
+/// Peak unidirectional bandwidth in GB/s (paper Table 1; NVSwitch from the
+/// DGX-2 spec the paper cites).
+double peak_bandwidth_gbps(LinkType type);
+
+/// Human-readable short name ("NV2x2", "PCIe", ...).
+std::string to_string(LinkType type);
+
+/// Parse the short name produced by to_string (case-insensitive);
+/// std::nullopt on unknown names.
+std::optional<LinkType> parse_link_type(const std::string& text);
+
+/// True for any NVLink variant (used by NVLink-only graph construction).
+bool is_nvlink(LinkType type);
+
+namespace bw {
+// Paper Table 1 values, named for use in tests and docs.
+inline constexpr double kPcieGen3x16 = 12.0;
+inline constexpr double kNvLink1Single = 20.0;
+inline constexpr double kNvLink2Single = 25.0;
+inline constexpr double kNvLink2Double = 50.0;
+inline constexpr double kNvSwitchPort = 50.0;
+}  // namespace bw
+
+}  // namespace mapa::interconnect

@@ -1,0 +1,122 @@
+#include "interconnect/microbench.hpp"
+
+#include <algorithm>
+#include <map>
+#include <tuple>
+
+#include "graph/patterns.hpp"
+#include "interconnect/bandwidth_curve.hpp"
+#include "interconnect/collective.hpp"
+#include "match/enumerator.hpp"
+#include "score/effbw_model.hpp"
+
+namespace mapa::interconnect {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Bottleneck bandwidth of the best NCCL-style ring over the allocated
+/// vertices, normalized by the fastest link class (0..1).
+double ring_quality(const Graph& hardware, const match::Match& m) {
+  const std::vector<VertexId> vertices = m.sorted_vertices();
+  if (vertices.size() < 2) return 0.0;
+  const Graph sub = hardware.induced_subgraph(vertices);
+  const auto plan = best_ring(sub);
+  if (!plan) return 0.0;
+  return std::clamp(plan->bottleneck_gbps / bw::kNvLink2Double, 0.0, 1.0);
+}
+
+/// Number of pattern-used PCIe edges whose endpoints sit on different
+/// sockets (these cross QPI in Fig. 1's machines).
+int qpi_crossings(const Graph& pattern, const Graph& hardware,
+                  const match::Match& m) {
+  int crossings = 0;
+  for (const graph::Edge& e : pattern.edges()) {
+    const VertexId a = m.mapping[e.u];
+    const VertexId b = m.mapping[e.v];
+    if (hardware.edge_type(a, b) == LinkType::kPcie &&
+        hardware.socket(a) != hardware.socket(b)) {
+      ++crossings;
+    }
+  }
+  return crossings;
+}
+
+}  // namespace
+
+double measured_effective_bandwidth(const Graph& pattern,
+                                    const Graph& hardware,
+                                    const match::Match& m,
+                                    const MicrobenchConfig& config) {
+  if (pattern.num_edges() == 0) return 0.0;
+
+  const score::LinkCensus census =
+      score::used_link_census(pattern, hardware, m);
+  // Primary term: the paper's own measured link-mix dependence, distilled
+  // into Eq. 2 with the published Table 2 coefficients.
+  const double base = std::max(
+      score::predict_effective_bandwidth(score::kPaperTheta, census),
+      config.floor_gbps);
+
+  const double quality = ring_quality(hardware, m);
+  const double structural = base * (1.0 - config.ring_weight) +
+                            base * config.ring_weight * quality;
+  const double with_qpi =
+      structural -
+      config.qpi_penalty_gbps * qpi_crossings(pattern, hardware, m);
+  const double peak = std::max(with_qpi, config.floor_gbps);
+
+  // Fig. 2a ramp: small payloads are latency-bound.
+  return peak * ramp_fraction(peak, config.bytes);
+}
+
+std::vector<double> effbw_size_sweep(const Graph& pattern,
+                                     const Graph& hardware,
+                                     const match::Match& m,
+                                     const std::vector<double>& bytes,
+                                     MicrobenchConfig config) {
+  std::vector<double> result;
+  result.reserve(bytes.size());
+  for (const double b : bytes) {
+    config.bytes = b;
+    result.push_back(
+        measured_effective_bandwidth(pattern, hardware, m, config));
+  }
+  return result;
+}
+
+std::vector<score::EffBwSample> generate_training_samples(
+    const Graph& hardware, std::size_t max_gpus,
+    const MicrobenchConfig& config) {
+  std::map<std::tuple<int, int, int>, double> by_census;
+  for (std::size_t k = 2; k <= max_gpus; ++k) {
+    const Graph pattern = graph::ring(k);
+    match::for_each_match(pattern, hardware, [&](const match::Match& m) {
+      const score::LinkCensus census =
+          score::used_link_census(pattern, hardware, m);
+      const auto key =
+          std::make_tuple(census.doubles, census.singles, census.pcie);
+      if (by_census.find(key) == by_census.end()) {
+        by_census[key] =
+            measured_effective_bandwidth(pattern, hardware, m, config);
+      }
+      return true;
+    });
+  }
+
+  std::vector<score::EffBwSample> samples;
+  samples.reserve(by_census.size());
+  for (const auto& [key, bw] : by_census) {
+    score::EffBwSample sample;
+    sample.census.doubles = std::get<0>(key);
+    sample.census.singles = std::get<1>(key);
+    sample.census.pcie = std::get<2>(key);
+    sample.measured_gbps = bw;
+    samples.push_back(sample);
+  }
+  return samples;
+}
+
+}  // namespace mapa::interconnect

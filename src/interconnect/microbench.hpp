@@ -1,0 +1,66 @@
+#pragma once
+// Synthetic effective-bandwidth microbenchmark.
+//
+// The paper measures EffBW by running the NCCL All-Reduce microbenchmark
+// on each candidate allocation of the real DGX-V (§3.4.1). Without GPU
+// hardware, this module provides the "measured" side of that experiment:
+// a deterministic model whose primary dependence is on the allocation's
+// link mix (x, y, z) — the paper demonstrates that is what effective
+// bandwidth is "strongly related to" (§3.4.3) — plus two structural terms
+// the census cannot see, so the Eq. 2 regression faces realistic residuals:
+//
+//   * ring quality — NCCL builds rings; an allocation whose best ring has a
+//     high bottleneck sustains slightly more bandwidth than a same-census
+//     allocation that forces a narrow hop into every ring.
+//   * QPI penalty — PCIe edges that cross CPU sockets traverse the
+//     inter-socket link and lose a little extra (the Fig. 1 QPI hops).
+//
+// A size-dependent ramp (Fig. 2a) applies on top for small transfers.
+
+#include <cstddef>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "match/match.hpp"
+#include "score/census.hpp"
+#include "score/regression.hpp"
+
+namespace mapa::interconnect {
+
+struct MicrobenchConfig {
+  /// All-reduce payload; the default (256 MiB) is on the saturated part of
+  /// the Fig. 2a ramp, matching how the paper benchmarks peak EffBW.
+  double bytes = 256.0 * 1024 * 1024;
+  /// Weight of the ring-quality structural term (fraction of base EffBW).
+  double ring_weight = 0.08;
+  /// GB/s lost per socket-crossing PCIe edge used by the pattern.
+  double qpi_penalty_gbps = 1.5;
+  /// Floor so degenerate allocations never report non-positive bandwidth.
+  double floor_gbps = 4.0;
+};
+
+/// "Measured" effective bandwidth (GB/s) of allocating `pattern` onto
+/// `hardware` at the vertices given by `m`. Returns 0 for patterns with no
+/// communication edges (e.g. 1-GPU jobs).
+double measured_effective_bandwidth(const graph::Graph& pattern,
+                                    const graph::Graph& hardware,
+                                    const match::Match& m,
+                                    const MicrobenchConfig& config = {});
+
+/// Sweep an allocation across transfer sizes (the Fig. 2a/11b style
+/// series): measured EffBW at each payload size in `bytes`.
+std::vector<double> effbw_size_sweep(const graph::Graph& pattern,
+                                     const graph::Graph& hardware,
+                                     const match::Match& m,
+                                     const std::vector<double>& bytes,
+                                     MicrobenchConfig config = {});
+
+/// Generate the regression training set the paper describes (§3.4.3): run
+/// ring allocations of 2..max_gpus GPUs over `hardware`, keep one sample
+/// per distinct (x, y, z) census, and label each with the microbenchmark.
+/// On the DGX-V this reproduces the paper's "31 samples".
+std::vector<score::EffBwSample> generate_training_samples(
+    const graph::Graph& hardware, std::size_t max_gpus = 5,
+    const MicrobenchConfig& config = {});
+
+}  // namespace mapa::interconnect

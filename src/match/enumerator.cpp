@@ -1,0 +1,206 @@
+#include "match/enumerator.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "util/thread_pool.hpp"
+
+namespace mapa::match {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+const std::vector<bool>* forbidden_or_null(const EnumerateOptions& options) {
+  return options.forbidden.empty() ? nullptr : &options.forbidden;
+}
+
+void enumerate_sequential(const Graph& pattern, const Graph& target,
+                          const MatchVisitor& visit,
+                          const OrderingConstraints& constraints,
+                          const EnumerateOptions& options) {
+  switch (options.backend) {
+    case Backend::kVf2:
+      vf2_enumerate(pattern, target, visit, constraints,
+                    forbidden_or_null(options));
+      return;
+    case Backend::kUllmann:
+      ullmann_enumerate(pattern, target, visit, constraints,
+                        forbidden_or_null(options));
+      return;
+  }
+  throw std::invalid_argument("enumerate: unknown backend");
+}
+
+/// Run one VF2 search per target root vertex across a pool, calling
+/// `per_root` with (root, visitor-compatible lambda). Each root's search is
+/// independent, so no two threads ever produce the same match.
+void enumerate_parallel_roots(
+    const Graph& pattern, const Graph& target,
+    const OrderingConstraints& constraints, const EnumerateOptions& options,
+    const std::function<bool(std::size_t root, const Match&)>& emit) {
+  util::ThreadPool pool(options.threads);
+  std::atomic<bool> stop{false};
+  pool.parallel_for(target.num_vertices(), [&](std::size_t root) {
+    if (stop.load(std::memory_order_relaxed)) return;
+    vf2_enumerate(
+        pattern, target,
+        [&](const Match& m) {
+          if (!emit(root, m)) {
+            stop.store(true, std::memory_order_relaxed);
+            return false;
+          }
+          return !stop.load(std::memory_order_relaxed);
+        },
+        constraints, forbidden_or_null(options),
+        static_cast<std::int64_t>(root));
+  });
+}
+
+}  // namespace
+
+OrderingConstraints symmetry_constraints(const Graph& pattern) {
+  OrderingConstraints constraints;
+  auto group = graph::automorphisms(pattern);
+  if (group.size() <= 1) return constraints;
+
+  // Walk the stabilizer chain: at each vertex v (ascending), make v the
+  // least-mapped member of its orbit, then keep only permutations fixing v.
+  for (VertexId v = 0; v < pattern.num_vertices() && group.size() > 1; ++v) {
+    std::set<VertexId> orbit;
+    for (const auto& sigma : group) orbit.insert(sigma[v]);
+    if (orbit.size() > 1) {
+      for (const VertexId u : orbit) {
+        if (u != v) constraints.emplace_back(v, u);  // mapping[v] < mapping[u]
+      }
+    }
+    std::vector<std::vector<VertexId>> stabilizer;
+    for (auto& sigma : group) {
+      if (sigma[v] == v) stabilizer.push_back(std::move(sigma));
+    }
+    group = std::move(stabilizer);
+  }
+  return constraints;
+}
+
+std::size_t count_matches(const Graph& pattern, const Graph& target,
+                          const EnumerateOptions& options) {
+  const OrderingConstraints constraints =
+      options.break_symmetry ? symmetry_constraints(pattern)
+                             : OrderingConstraints{};
+  if (options.threads <= 1) {
+    std::size_t count = 0;
+    enumerate_sequential(
+        pattern, target,
+        [&](const Match&) {
+          ++count;
+          return true;
+        },
+        constraints, options);
+    return count;
+  }
+  std::atomic<std::size_t> count{0};
+  enumerate_parallel_roots(pattern, target, constraints, options,
+                           [&](std::size_t, const Match&) {
+                             count.fetch_add(1, std::memory_order_relaxed);
+                             return true;
+                           });
+  return count.load();
+}
+
+std::vector<Match> find_matches(const Graph& pattern, const Graph& target,
+                                const EnumerateOptions& options,
+                                std::size_t limit) {
+  const OrderingConstraints constraints =
+      options.break_symmetry ? symmetry_constraints(pattern)
+                             : OrderingConstraints{};
+  std::vector<Match> matches;
+  if (options.threads <= 1) {
+    enumerate_sequential(
+        pattern, target,
+        [&](const Match& m) {
+          matches.push_back(m);
+          return limit == 0 || matches.size() < limit;
+        },
+        constraints, options);
+    return matches;
+  }
+
+  std::mutex mutex;
+  enumerate_parallel_roots(pattern, target, constraints, options,
+                           [&](std::size_t, const Match& m) {
+                             const std::lock_guard<std::mutex> lock(mutex);
+                             matches.push_back(m);
+                             return limit == 0 || matches.size() < limit;
+                           });
+  // Parallel arrival order is nondeterministic; normalize. (With a limit
+  // the *set* may legitimately differ between runs, but stays valid.)
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) { return a.mapping < b.mapping; });
+  return matches;
+}
+
+void for_each_match(const Graph& pattern, const Graph& target,
+                    const MatchVisitor& visit,
+                    const EnumerateOptions& options) {
+  const OrderingConstraints constraints =
+      options.break_symmetry ? symmetry_constraints(pattern)
+                             : OrderingConstraints{};
+  enumerate_sequential(pattern, target, visit, constraints, options);
+}
+
+std::optional<Match> best_match(
+    const Graph& pattern, const Graph& target,
+    const std::function<double(const Match&)>& scorer,
+    const EnumerateOptions& options) {
+  const OrderingConstraints constraints =
+      options.break_symmetry ? symmetry_constraints(pattern)
+                             : OrderingConstraints{};
+
+  struct Best {
+    bool valid = false;
+    double score = 0.0;
+    Match match;
+    void consider(double s, const Match& m) {
+      if (!valid || s > score ||
+          (s == score && m.mapping < match.mapping)) {
+        valid = true;
+        score = s;
+        match = m;
+      }
+    }
+    void merge(const Best& other) {
+      if (other.valid) consider(other.score, other.match);
+    }
+  };
+
+  if (options.threads <= 1) {
+    Best best;
+    enumerate_sequential(
+        pattern, target,
+        [&](const Match& m) {
+          best.consider(scorer(m), m);
+          return true;
+        },
+        constraints, options);
+    if (!best.valid) return std::nullopt;
+    return best.match;
+  }
+
+  std::vector<Best> per_root(target.num_vertices());
+  enumerate_parallel_roots(pattern, target, constraints, options,
+                           [&](std::size_t root, const Match& m) {
+                             per_root[root].consider(scorer(m), m);
+                             return true;
+                           });
+  Best best;
+  for (const Best& b : per_root) best.merge(b);
+  if (!best.valid) return std::nullopt;
+  return best.match;
+}
+
+}  // namespace mapa::match

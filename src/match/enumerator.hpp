@@ -1,0 +1,68 @@
+#pragma once
+// Pattern-aware match enumeration (the role Peregrine plays in the paper).
+//
+// Adds two things on top of the raw backends:
+//  * Symmetry breaking — ordering constraints derived from the pattern's
+//    automorphism group (stabilizer-chain construction) so each distinct
+//    allocation is produced exactly once instead of |Aut(P)| times.
+//  * A parallel driver — the search space is partitioned by the target
+//    vertex assigned to the first-placed pattern vertex and explored
+//    across a thread pool (paper §5.4 notes this data parallelism).
+
+#include <cstddef>
+#include <optional>
+#include <vector>
+
+#include "match/match.hpp"
+#include "match/ullmann.hpp"
+#include "match/vf2.hpp"
+
+namespace mapa::match {
+
+enum class Backend { kVf2, kUllmann };
+
+struct EnumerateOptions {
+  Backend backend = Backend::kVf2;
+  /// Suppress automorphic duplicates. On by default; turning it off is the
+  /// DESIGN.md ablation (every allocation then appears |Aut(P)| times).
+  bool break_symmetry = true;
+  /// Worker threads for the parallel driver; 1 = sequential. Parallelism
+  /// uses the VF2 root split regardless of `backend`.
+  std::size_t threads = 1;
+  /// Target vertices that must not be used (busy accelerators); empty = none.
+  std::vector<bool> forbidden;
+};
+
+/// Ordering constraints that eliminate all automorphisms of `pattern`:
+/// for each orbit of the group (walked down the stabilizer chain), the
+/// orbit's least vertex must take the least target id. Empty when the
+/// pattern has no non-trivial symmetry.
+OrderingConstraints symmetry_constraints(const graph::Graph& pattern);
+
+/// Number of matches of `pattern` in `target` under `options`.
+std::size_t count_matches(const graph::Graph& pattern,
+                          const graph::Graph& target,
+                          const EnumerateOptions& options = {});
+
+/// Collect up to `limit` matches (0 = all). With threads > 1 the order of
+/// results is normalized (sorted) so output stays deterministic.
+std::vector<Match> find_matches(const graph::Graph& pattern,
+                                const graph::Graph& target,
+                                const EnumerateOptions& options = {},
+                                std::size_t limit = 0);
+
+/// Stream matches through `visit` sequentially (ignores options.threads).
+void for_each_match(const graph::Graph& pattern, const graph::Graph& target,
+                    const MatchVisitor& visit,
+                    const EnumerateOptions& options = {});
+
+/// Fold over all matches keeping the one with the highest score.
+/// Ties break deterministically toward the lexicographically smallest
+/// mapping, independent of thread count. Returns nullopt when no match
+/// exists. `scorer` must be thread-safe (it is called concurrently).
+std::optional<Match> best_match(
+    const graph::Graph& pattern, const graph::Graph& target,
+    const std::function<double(const Match&)>& scorer,
+    const EnumerateOptions& options = {});
+
+}  // namespace mapa::match

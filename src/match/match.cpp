@@ -1,0 +1,26 @@
+#include "match/match.hpp"
+
+#include <algorithm>
+
+namespace mapa::match {
+
+std::vector<graph::VertexId> Match::sorted_vertices() const {
+  std::vector<graph::VertexId> vs = mapping;
+  std::sort(vs.begin(), vs.end());
+  return vs;
+}
+
+std::vector<std::pair<graph::VertexId, graph::VertexId>> Match::used_edges(
+    const graph::Graph& pattern) const {
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> edges;
+  edges.reserve(pattern.num_edges());
+  for (const graph::Edge& e : pattern.edges()) {
+    const graph::VertexId a = mapping[e.u];
+    const graph::VertexId b = mapping[e.v];
+    edges.emplace_back(std::min(a, b), std::max(a, b));
+  }
+  std::sort(edges.begin(), edges.end());
+  return edges;
+}
+
+}  // namespace mapa::match

@@ -1,0 +1,38 @@
+#pragma once
+// Common types for the subgraph-isomorphism backends.
+//
+// A Match assigns each application-pattern vertex an accelerator of the
+// hardware graph (paper §3.3): `mapping[p]` is the hardware vertex that
+// pattern vertex p runs on. A match is valid when the mapping is injective
+// and every pattern edge lands on a hardware edge.
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mapa::match {
+
+/// Pattern-vertex -> hardware-vertex assignment.
+struct Match {
+  std::vector<graph::VertexId> mapping;
+
+  /// Hardware vertices used, sorted ascending (the allocation's GPU set).
+  std::vector<graph::VertexId> sorted_vertices() const;
+
+  /// Hardware edges actually used by the pattern (E(P) mapped through the
+  /// match), as sorted (u, v) pairs with u < v. Two matches are the same
+  /// allocation in the paper's sense iff this set and the vertex set agree;
+  /// automorphic matches collapse onto the same key.
+  std::vector<std::pair<graph::VertexId, graph::VertexId>> used_edges(
+      const graph::Graph& pattern) const;
+
+  bool operator==(const Match& other) const = default;
+};
+
+/// Callback receiving each discovered match. Return false to stop the
+/// enumeration early (used for existence queries and match caps).
+using MatchVisitor = std::function<bool(const Match&)>;
+
+}  // namespace mapa::match

@@ -1,0 +1,180 @@
+#include "match/ullmann.hpp"
+
+#include <bit>
+#include <cstdint>
+#include <stdexcept>
+
+namespace mapa::match {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Candidate domains as 64-bit masks; hardware graphs here are far below
+/// 64 vertices (the paper tops out at 16).
+using Bits = std::uint64_t;
+
+class UllmannState {
+ public:
+  UllmannState(const Graph& pattern, const Graph& target,
+               const MatchVisitor& visit,
+               const OrderingConstraints& constraints,
+               const std::vector<bool>* forbidden)
+      : pattern_(pattern),
+        target_(target),
+        visit_(visit),
+        constraints_(constraints),
+        n_(pattern.num_vertices()),
+        m_(target.num_vertices()),
+        mapping_(pattern.num_vertices(), 0) {
+    target_adj_.resize(m_, 0);
+    for (VertexId t = 0; t < m_; ++t) {
+      for (const VertexId nb : target.neighbors(t)) {
+        target_adj_[t] |= Bits{1} << nb;
+      }
+    }
+    domains_.resize(n_, 0);
+    for (VertexId p = 0; p < n_; ++p) {
+      for (VertexId t = 0; t < m_; ++t) {
+        if (forbidden != nullptr && (*forbidden)[t]) continue;
+        if (target.degree(t) >= pattern.degree(p)) {
+          domains_[p] |= Bits{1} << t;
+        }
+      }
+    }
+  }
+
+  bool run() {
+    std::vector<Bits> domains = domains_;
+    if (!refine(domains)) return true;
+    return extend(0, domains);
+  }
+
+ private:
+  /// Classic Ullmann refinement: candidate t for pattern vertex p survives
+  /// only if every pattern neighbor of p still has a candidate adjacent to
+  /// t. Iterates to a fixed point; returns false if a domain empties.
+  bool refine(std::vector<Bits>& domains) const {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId p = 0; p < n_; ++p) {
+        Bits dom = domains[p];
+        while (dom != 0) {
+          const int t = std::countr_zero(dom);
+          dom &= dom - 1;
+          for (const VertexId q : pattern_.neighbors(p)) {
+            if ((domains[q] & target_adj_[static_cast<std::size_t>(t)]) == 0) {
+              domains[p] &= ~(Bits{1} << t);
+              changed = true;
+              break;
+            }
+          }
+        }
+        if (domains[p] == 0) return false;
+      }
+    }
+    return true;
+  }
+
+  bool satisfies_constraints(VertexId p, VertexId t) const {
+    for (const auto& [a, b] : constraints_) {
+      if (a == p && placed_[b] && t >= mapping_[b]) return false;
+      if (b == p && placed_[a] && t <= mapping_[a]) return false;
+    }
+    return true;
+  }
+
+  bool extend(VertexId p, const std::vector<Bits>& domains) {
+    if (p == n_) return visit_(Match{mapping_});
+    Bits dom = domains[p] & ~used_;
+    while (dom != 0) {
+      const auto t = static_cast<VertexId>(std::countr_zero(dom));
+      dom &= dom - 1;
+      if (!satisfies_constraints(p, t)) continue;
+      bool adjacent_ok = true;
+      for (const VertexId q : pattern_.neighbors(p)) {
+        if (q < p && !target_.has_edge(t, mapping_[q])) {
+          adjacent_ok = false;
+          break;
+        }
+      }
+      if (!adjacent_ok) continue;
+
+      // Forward-check: narrow future domains to neighbors of t where the
+      // pattern demands adjacency, and drop t everywhere.
+      std::vector<Bits> next = domains;
+      const Bits t_bit = Bits{1} << t;
+      for (VertexId q = p + 1; q < n_; ++q) {
+        next[q] &= ~t_bit;
+        if (pattern_.has_edge(p, q)) {
+          next[q] &= target_adj_[t];
+        }
+        if (next[q] == 0) {
+          adjacent_ok = false;
+          break;
+        }
+      }
+      if (!adjacent_ok) continue;
+
+      mapping_[p] = t;
+      placed_[p] = true;
+      used_ |= t_bit;
+      const bool keep_going = extend(p + 1, next);
+      used_ &= ~t_bit;
+      placed_[p] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  const MatchVisitor& visit_;
+  const OrderingConstraints& constraints_;
+  std::size_t n_;
+  std::size_t m_;
+  std::vector<Bits> target_adj_;
+  std::vector<Bits> domains_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> placed_ = std::vector<bool>(n_, false);
+  Bits used_ = 0;
+};
+
+}  // namespace
+
+void ullmann_enumerate(const Graph& pattern, const Graph& target,
+                       const MatchVisitor& visit,
+                       const OrderingConstraints& constraints,
+                       const std::vector<bool>* forbidden) {
+  if (pattern.num_vertices() == 0) return;
+  if (pattern.num_vertices() > target.num_vertices()) return;
+  if (target.num_vertices() > 64) {
+    throw std::invalid_argument(
+        "ullmann_enumerate: bit-vector backend supports <= 64 target "
+        "vertices");
+  }
+  if (forbidden != nullptr && forbidden->size() != target.num_vertices()) {
+    throw std::invalid_argument(
+        "ullmann_enumerate: forbidden mask size mismatch");
+  }
+  UllmannState state(pattern, target, visit, constraints, forbidden);
+  state.run();
+}
+
+std::vector<Match> ullmann_all(const Graph& pattern, const Graph& target,
+                               const OrderingConstraints& constraints,
+                               std::size_t limit) {
+  std::vector<Match> matches;
+  ullmann_enumerate(
+      pattern, target,
+      [&](const Match& m) {
+        matches.push_back(m);
+        return limit == 0 || matches.size() < limit;
+      },
+      constraints);
+  return matches;
+}
+
+}  // namespace mapa::match

@@ -1,0 +1,28 @@
+#pragma once
+// Ullmann's subgraph-isomorphism algorithm (1976) with bit-vector candidate
+// domains and the classic refinement step. Kept as a second, independent
+// backend: the test suite cross-checks VF2 and Ullmann against each other
+// on every pattern/topology combination, which guards the matcher MAPA's
+// correctness rests on.
+
+#include <cstddef>
+#include <vector>
+
+#include "match/match.hpp"
+#include "match/vf2.hpp"  // OrderingConstraints
+
+namespace mapa::match {
+
+/// Enumerate all matches of `pattern` in `target` (non-induced, labels
+/// ignored), honoring the same ordering-constraint semantics as VF2.
+void ullmann_enumerate(const graph::Graph& pattern,
+                       const graph::Graph& target, const MatchVisitor& visit,
+                       const OrderingConstraints& constraints = {},
+                       const std::vector<bool>* forbidden = nullptr);
+
+std::vector<Match> ullmann_all(const graph::Graph& pattern,
+                               const graph::Graph& target,
+                               const OrderingConstraints& constraints = {},
+                               std::size_t limit = 0);
+
+}  // namespace mapa::match

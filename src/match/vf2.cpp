@@ -1,0 +1,182 @@
+#include "match/vf2.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mapa::match {
+
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+/// Depth-first VF2 state. Pattern vertices are matched in a static order
+/// chosen so each vertex (after the first) is adjacent to an earlier one
+/// when the pattern is connected — this keeps the frontier connected and
+/// maximizes pruning from adjacency checks.
+class Vf2State {
+ public:
+  Vf2State(const Graph& pattern, const Graph& target,
+           const MatchVisitor& visit, const OrderingConstraints& constraints,
+           const std::vector<bool>* forbidden, std::int64_t root_target)
+      : pattern_(pattern),
+        target_(target),
+        visit_(visit),
+        mapping_(pattern.num_vertices(), 0),
+        used_(target.num_vertices(), false),
+        forbidden_(forbidden),
+        root_target_(root_target) {
+    build_order();
+    // Index constraints by the later-placed endpoint so each is checked as
+    // soon as both endpoints are mapped.
+    std::vector<std::size_t> position(pattern.num_vertices());
+    for (std::size_t i = 0; i < order_.size(); ++i) position[order_[i]] = i;
+    checks_.resize(pattern.num_vertices());
+    for (const auto& [a, b] : constraints) {
+      // Constraint: mapping[a] < mapping[b], checked at whichever endpoint
+      // is placed later.
+      if (position[a] > position[b]) {
+        checks_[a].push_back({b, /*require_greater=*/false});
+      } else {
+        checks_[b].push_back({a, /*require_greater=*/true});
+      }
+    }
+    // Precompute, for each vertex in match order, its already-placed
+    // pattern neighbors.
+    placed_neighbors_.resize(pattern.num_vertices());
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      for (const VertexId nb : pattern.neighbors(order_[i])) {
+        if (position[nb] < i) placed_neighbors_[order_[i]].push_back(nb);
+      }
+    }
+  }
+
+  bool run() { return extend(0); }
+
+ private:
+  struct Check {
+    VertexId other;           // already-placed pattern vertex
+    bool require_greater;     // mapping[current] > mapping[other]?
+  };
+
+  void build_order() {
+    const std::size_t n = pattern_.num_vertices();
+    std::vector<bool> placed(n, false);
+    order_.reserve(n);
+    // Greedy connected order: repeatedly pick the unplaced vertex with the
+    // most placed neighbors (ties by higher degree, then lower id).
+    for (std::size_t step = 0; step < n; ++step) {
+      VertexId best = 0;
+      int best_placed = -1;
+      std::size_t best_degree = 0;
+      for (VertexId v = 0; v < n; ++v) {
+        if (placed[v]) continue;
+        int placed_count = 0;
+        for (const VertexId nb : pattern_.neighbors(v)) {
+          if (placed[nb]) ++placed_count;
+        }
+        const std::size_t degree = pattern_.degree(v);
+        if (placed_count > best_placed ||
+            (placed_count == best_placed && degree > best_degree)) {
+          best = v;
+          best_placed = placed_count;
+          best_degree = degree;
+        }
+      }
+      placed[best] = true;
+      order_.push_back(best);
+    }
+  }
+
+  // Returns false when the visitor requested a stop.
+  bool extend(std::size_t depth) {
+    if (depth == order_.size()) {
+      return visit_(Match{mapping_});
+    }
+    const VertexId u = order_[depth];
+    const std::size_t u_degree = pattern_.degree(u);
+
+    VertexId first = 0;
+    VertexId last = static_cast<VertexId>(target_.num_vertices());
+    if (depth == 0 && root_target_ >= 0) {
+      first = static_cast<VertexId>(root_target_);
+      last = first + 1;
+    }
+    for (VertexId candidate = first; candidate < last; ++candidate) {
+      if (used_[candidate]) continue;
+      if (forbidden_ != nullptr && (*forbidden_)[candidate]) continue;
+      if (target_.degree(candidate) < u_degree) continue;
+
+      bool ok = true;
+      for (const VertexId nb : placed_neighbors_[u]) {
+        if (!target_.has_edge(candidate, mapping_[nb])) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+      for (const Check& check : checks_[u]) {
+        const VertexId other = mapping_[check.other];
+        if (check.require_greater ? (candidate <= other)
+                                  : (candidate >= other)) {
+          ok = false;
+          break;
+        }
+      }
+      if (!ok) continue;
+
+      mapping_[u] = candidate;
+      used_[candidate] = true;
+      const bool keep_going = extend(depth + 1);
+      used_[candidate] = false;
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Graph& pattern_;
+  const Graph& target_;
+  const MatchVisitor& visit_;
+  std::vector<VertexId> order_;
+  std::vector<VertexId> mapping_;
+  std::vector<bool> used_;
+  const std::vector<bool>* forbidden_;
+  std::int64_t root_target_;
+  std::vector<std::vector<Check>> checks_;
+  std::vector<std::vector<VertexId>> placed_neighbors_;
+};
+
+}  // namespace
+
+void vf2_enumerate(const Graph& pattern, const Graph& target,
+                   const MatchVisitor& visit,
+                   const OrderingConstraints& constraints,
+                   const std::vector<bool>* forbidden,
+                   std::int64_t root_target) {
+  if (pattern.num_vertices() == 0) return;
+  if (pattern.num_vertices() > target.num_vertices()) return;
+  if (forbidden != nullptr && forbidden->size() != target.num_vertices()) {
+    throw std::invalid_argument("vf2_enumerate: forbidden mask size mismatch");
+  }
+  if (root_target >= static_cast<std::int64_t>(target.num_vertices())) {
+    throw std::invalid_argument("vf2_enumerate: root_target out of range");
+  }
+  Vf2State state(pattern, target, visit, constraints, forbidden, root_target);
+  state.run();
+}
+
+std::vector<Match> vf2_all(const Graph& pattern, const Graph& target,
+                           const OrderingConstraints& constraints,
+                           std::size_t limit) {
+  std::vector<Match> matches;
+  vf2_enumerate(
+      pattern, target,
+      [&](const Match& m) {
+        matches.push_back(m);
+        return limit == 0 || matches.size() < limit;
+      },
+      constraints);
+  return matches;
+}
+
+}  // namespace mapa::match

@@ -1,0 +1,46 @@
+#pragma once
+// VF2-style subgraph-isomorphism backend (Cordella et al., the algorithm
+// the paper cites for its matching stage).
+//
+// Finds all injective mappings of the pattern into the target that take
+// pattern edges to target edges (non-induced matching — the target may
+// have extra edges among matched vertices, which is the common case here
+// because hardware graphs are fully connected under the PCIe-fallback
+// convention). Edge labels are ignored, per the paper's definition.
+
+#include <cstddef>
+#include <vector>
+
+#include "match/match.hpp"
+
+namespace mapa::match {
+
+/// Ordering constraints for symmetry breaking: each pair (a, b) requires
+/// mapping[a] < mapping[b]. Produced by `symmetry_constraints()` in the
+/// enumerator; an empty list means "emit every raw match".
+using OrderingConstraints =
+    std::vector<std::pair<graph::VertexId, graph::VertexId>>;
+
+/// Enumerate matches of `pattern` in `target`, invoking `visit` for each.
+/// Stops early when `visit` returns false.
+///
+/// `constraints` prunes matches violating mapping[a] < mapping[b]; this is
+/// how automorphic duplicates are suppressed without post-filtering.
+/// `forbidden`, when non-null, marks target vertices that must not be used
+/// (busy accelerators during incremental scheduling).
+/// `root_target`, when >= 0, restricts the first-placed pattern vertex to
+/// that single target vertex — the hook the parallel enumerator uses to
+/// partition the search space across threads without overlap.
+void vf2_enumerate(const graph::Graph& pattern, const graph::Graph& target,
+                   const MatchVisitor& visit,
+                   const OrderingConstraints& constraints = {},
+                   const std::vector<bool>* forbidden = nullptr,
+                   std::int64_t root_target = -1);
+
+/// Convenience: collect up to `limit` matches (0 = unlimited).
+std::vector<Match> vf2_all(const graph::Graph& pattern,
+                           const graph::Graph& target,
+                           const OrderingConstraints& constraints = {},
+                           std::size_t limit = 0);
+
+}  // namespace mapa::match

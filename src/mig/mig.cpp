@@ -1,0 +1,113 @@
+#include "mig/mig.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mapa::mig {
+
+namespace {
+
+using graph::VertexId;
+
+constexpr int kMaxInstances = 7;  // Nvidia MIG hardware limit
+
+}  // namespace
+
+std::vector<VertexId> MigExpansion::instances_of(VertexId physical) const {
+  std::vector<VertexId> result;
+  for (VertexId v = 0; v < physical_of.size(); ++v) {
+    if (physical_of[v] == physical) result.push_back(v);
+  }
+  return result;
+}
+
+std::vector<VertexId> MigExpansion::physical_footprint(
+    std::span<const VertexId> virtual_vertices) const {
+  std::set<VertexId> footprint;
+  for (const VertexId v : virtual_vertices) {
+    if (v >= physical_of.size()) {
+      throw std::out_of_range("MigExpansion::physical_footprint");
+    }
+    footprint.insert(physical_of[v]);
+  }
+  return {footprint.begin(), footprint.end()};
+}
+
+MigExpansion expand_mig(const graph::Graph& physical,
+                        std::span<const int> instances_per_gpu,
+                        const MigOptions& options) {
+  if (instances_per_gpu.size() != physical.num_vertices()) {
+    throw std::invalid_argument("expand_mig: instance count size mismatch");
+  }
+  std::size_t total = 0;
+  for (const int count : instances_per_gpu) {
+    if (count < 1 || count > kMaxInstances) {
+      throw std::invalid_argument(
+          "expand_mig: instances per GPU must be in [1, 7]");
+    }
+    total += static_cast<std::size_t>(count);
+  }
+
+  MigExpansion expansion;
+  expansion.virtual_graph =
+      graph::Graph(total, physical.name().empty()
+                              ? "mig"
+                              : physical.name() + "-mig");
+  expansion.physical_of.reserve(total);
+  expansion.instance_of.reserve(total);
+
+  // first_virtual[p] = id of physical GPU p's first instance.
+  std::vector<VertexId> first_virtual(physical.num_vertices());
+  VertexId next = 0;
+  for (VertexId p = 0; p < physical.num_vertices(); ++p) {
+    first_virtual[p] = next;
+    for (int i = 0; i < instances_per_gpu[p]; ++i) {
+      expansion.virtual_graph.set_socket(next, physical.socket(p));
+      expansion.physical_of.push_back(p);
+      expansion.instance_of.push_back(static_cast<std::uint32_t>(i));
+      ++next;
+    }
+  }
+
+  // On-die fabric between co-located instances.
+  for (VertexId p = 0; p < physical.num_vertices(); ++p) {
+    const int count = instances_per_gpu[p];
+    for (int i = 0; i < count; ++i) {
+      for (int j = i + 1; j < count; ++j) {
+        expansion.virtual_graph.add_edge(
+            first_virtual[p] + static_cast<VertexId>(i),
+            first_virtual[p] + static_cast<VertexId>(j),
+            interconnect::LinkType::kNvSwitch,
+            options.intra_gpu_bandwidth_gbps);
+      }
+    }
+  }
+
+  // Inherited inter-GPU links for every instance pair.
+  for (const graph::Edge& e : physical.edges()) {
+    const int nu = instances_per_gpu[e.u];
+    const int nv = instances_per_gpu[e.v];
+    const double bandwidth =
+        options.share_inter_gpu_bandwidth
+            ? e.bandwidth_gbps / static_cast<double>(nu * nv)
+            : e.bandwidth_gbps;
+    for (int i = 0; i < nu; ++i) {
+      for (int j = 0; j < nv; ++j) {
+        expansion.virtual_graph.add_edge(
+            first_virtual[e.u] + static_cast<VertexId>(i),
+            first_virtual[e.v] + static_cast<VertexId>(j), e.type,
+            bandwidth);
+      }
+    }
+  }
+  return expansion;
+}
+
+MigExpansion expand_mig_uniform(const graph::Graph& physical, int instances,
+                                const MigOptions& options) {
+  const std::vector<int> counts(physical.num_vertices(), instances);
+  return expand_mig(physical, counts, options);
+}
+
+}  // namespace mapa::mig

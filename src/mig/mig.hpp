@@ -1,0 +1,67 @@
+#pragma once
+// Virtualized-accelerator support — the extension the paper sketches in
+// §3.2/§3.3: "MAPA can potentially support many-to-one mapping by
+// representing virtual GPUs as separate nodes in the hardware graph."
+//
+// `expand_mig` turns a physical hardware graph into a virtual one where
+// each physical GPU contributes one vertex per MIG instance:
+//  * instances of the same physical GPU are joined by an on-die fabric
+//    edge (far faster than any inter-GPU link);
+//  * inter-GPU links are inherited by every instance pair, with the
+//    physical link bandwidth either kept at peak or split across the
+//    instance pairs that could share it (the interference accounting the
+//    paper calls out).
+//
+// The expanded graph works with the unmodified matcher and policies, so
+// multiple jobs can land on the same physical GPU — many-to-one mapping
+// with zero changes to the MAPA core.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mapa::mig {
+
+struct MigOptions {
+  /// Bandwidth of the on-die fabric between two instances of the same
+  /// physical GPU (GB/s). MIG slices share the full on-chip crossbar and
+  /// L2, far above NVLink; 200 keeps same-GPU placement strictly
+  /// preferable.
+  double intra_gpu_bandwidth_gbps = 200.0;
+  /// When true, an inherited inter-GPU edge carries
+  /// physical_bw / (instances(u) * instances(v)) — the pessimistic even
+  /// split across every instance pair that could contend for the link.
+  /// When false the peak is inherited unchanged.
+  bool share_inter_gpu_bandwidth = true;
+};
+
+/// A virtual hardware graph plus the mapping back to physical devices.
+struct MigExpansion {
+  graph::Graph virtual_graph;
+  /// physical_of[v] = physical GPU id of virtual vertex v.
+  std::vector<graph::VertexId> physical_of;
+  /// instance_of[v] = slice index within its physical GPU.
+  std::vector<std::uint32_t> instance_of;
+
+  /// Virtual vertices hosted by one physical GPU.
+  std::vector<graph::VertexId> instances_of(graph::VertexId physical) const;
+
+  /// Physical GPUs touched by an allocation over virtual vertices.
+  std::vector<graph::VertexId> physical_footprint(
+      std::span<const graph::VertexId> virtual_vertices) const;
+};
+
+/// Expand `physical` so GPU v contributes `instances_per_gpu[v]` virtual
+/// vertices (each must be in [1, 7] — the MIG hardware limit). Socket
+/// labels are inherited. Throws on size mismatch or out-of-range counts.
+MigExpansion expand_mig(const graph::Graph& physical,
+                        std::span<const int> instances_per_gpu,
+                        const MigOptions& options = {});
+
+/// Uniform expansion: every GPU split into `instances` slices.
+MigExpansion expand_mig_uniform(const graph::Graph& physical, int instances,
+                                const MigOptions& options = {});
+
+}  // namespace mapa::mig

@@ -1,0 +1,23 @@
+#include "policy/baseline.hpp"
+
+namespace mapa::policy {
+
+std::optional<AllocationResult> BaselinePolicy::allocate(
+    const graph::Graph& hardware, const std::vector<bool>& busy,
+    const AllocationRequest& request) {
+  check_inputs(hardware, busy, request);
+  const std::size_t wanted = request.pattern->num_vertices();
+  if (free_count(busy) < wanted) return std::nullopt;
+
+  // Lowest available device ids, assigned to pattern vertices in order —
+  // the Nvidia Docker behavior: no pattern or topology awareness at all.
+  match::Match m;
+  m.mapping.reserve(wanted);
+  for (graph::VertexId v = 0;
+       v < hardware.num_vertices() && m.mapping.size() < wanted; ++v) {
+    if (!busy[v]) m.mapping.push_back(v);
+  }
+  return score_result(hardware, busy, request, std::move(m), config_);
+}
+
+}  // namespace mapa::policy

@@ -1,0 +1,25 @@
+#pragma once
+// Baseline policy: allocate the lowest-numbered available GPUs, exactly how
+// Nvidia Docker assigns devices (paper §4, "Baseline Scheduling Policies").
+// Ignores both the application pattern and the hardware topology.
+
+#include "policy/policy.hpp"
+
+namespace mapa::policy {
+
+class BaselinePolicy final : public Policy {
+ public:
+  explicit BaselinePolicy(PolicyConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "baseline"; }
+
+  std::optional<AllocationResult> allocate(
+      const graph::Graph& hardware, const std::vector<bool>& busy,
+      const AllocationRequest& request) override;
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace mapa::policy

@@ -1,0 +1,29 @@
+#include "policy/greedy.hpp"
+
+#include "score/scores.hpp"
+
+namespace mapa::policy {
+
+std::optional<AllocationResult> GreedyPolicy::allocate(
+    const graph::Graph& hardware, const std::vector<bool>& busy,
+    const AllocationRequest& request) {
+  check_inputs(hardware, busy, request);
+  if (free_count(busy) < request.pattern->num_vertices()) return std::nullopt;
+
+  match::EnumerateOptions options;
+  options.backend = config_.backend;
+  options.break_symmetry = config_.break_symmetry;
+  options.threads = config_.threads;
+  options.forbidden = busy;
+
+  const auto best = match::best_match(
+      *request.pattern, hardware,
+      [&](const match::Match& m) {
+        return score::aggregated_bandwidth(*request.pattern, hardware, m);
+      },
+      options);
+  if (!best) return std::nullopt;
+  return score_result(hardware, busy, request, *best, config_);
+}
+
+}  // namespace mapa::policy

@@ -1,0 +1,26 @@
+#pragma once
+// MAPA Greedy policy: enumerate all pattern matches on the free hardware
+// and pick the one with the highest Aggregated Bandwidth (Eq. 1).
+// Pattern- and topology-aware, but ignores bandwidth sensitivity and may
+// starve future sensitive jobs (the behavior Preserve fixes).
+
+#include "policy/policy.hpp"
+
+namespace mapa::policy {
+
+class GreedyPolicy final : public Policy {
+ public:
+  explicit GreedyPolicy(PolicyConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "greedy"; }
+
+  std::optional<AllocationResult> allocate(
+      const graph::Graph& hardware, const std::vector<bool>& busy,
+      const AllocationRequest& request) override;
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace mapa::policy

@@ -1,0 +1,72 @@
+#include "policy/policy.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "policy/baseline.hpp"
+#include "policy/greedy.hpp"
+#include "policy/preserve.hpp"
+#include "policy/random_policy.hpp"
+#include "policy/topo_aware.hpp"
+#include "score/effbw_model.hpp"
+#include "score/scores.hpp"
+
+namespace mapa::policy {
+
+AllocationResult Policy::score_result(const graph::Graph& hardware,
+                                      const std::vector<bool>& busy,
+                                      const AllocationRequest& request,
+                                      match::Match m,
+                                      const PolicyConfig& config) {
+  AllocationResult result;
+  result.aggregated_bw =
+      score::aggregated_bandwidth(*request.pattern, hardware, m);
+  result.predicted_effbw =
+      config.theta.empty()
+          ? score::predict_effective_bandwidth(*request.pattern, hardware, m)
+          : score::predict_effective_bandwidth(*request.pattern, hardware, m,
+                                               config.theta);
+  result.preserved_bw = score::preserved_bandwidth(hardware, m, busy);
+  result.match = std::move(m);
+  return result;
+}
+
+std::size_t Policy::free_count(const std::vector<bool>& busy) {
+  return static_cast<std::size_t>(
+      std::count(busy.begin(), busy.end(), false));
+}
+
+void Policy::check_inputs(const graph::Graph& hardware,
+                          const std::vector<bool>& busy,
+                          const AllocationRequest& request) {
+  if (request.pattern == nullptr) {
+    throw std::invalid_argument("Policy::allocate: null pattern");
+  }
+  if (busy.size() != hardware.num_vertices()) {
+    throw std::invalid_argument("Policy::allocate: busy mask size mismatch");
+  }
+  if (request.pattern->num_vertices() == 0) {
+    throw std::invalid_argument("Policy::allocate: empty pattern");
+  }
+}
+
+std::unique_ptr<Policy> make_policy(const std::string& name,
+                                    const PolicyConfig& config,
+                                    std::uint64_t random_seed) {
+  if (name == "baseline") return std::make_unique<BaselinePolicy>(config);
+  if (name == "topo-aware") return std::make_unique<TopoAwarePolicy>(config);
+  if (name == "greedy") return std::make_unique<GreedyPolicy>(config);
+  if (name == "preserve") return std::make_unique<PreservePolicy>(config);
+  if (name == "random") {
+    return std::make_unique<RandomPolicy>(random_seed, config);
+  }
+  throw std::invalid_argument("make_policy: unknown policy '" + name + "'");
+}
+
+const std::vector<std::string>& paper_policy_names() {
+  static const std::vector<std::string> names = {"baseline", "topo-aware",
+                                                 "greedy", "preserve"};
+  return names;
+}
+
+}  // namespace mapa::policy

@@ -1,0 +1,90 @@
+#pragma once
+// Allocation-policy interface and the result record shared by all four
+// policies the paper evaluates (Baseline, Topo-aware, Greedy, Preserve)
+// plus the Random ablation policy.
+//
+// A policy receives the full hardware graph, a busy mask (vertices held by
+// running jobs), and the job's application pattern + sensitivity label,
+// and returns a concrete placement (or nothing if the job cannot be placed
+// right now). Scores for the chosen placement are filled in uniformly so
+// the simulator can log allocation quality for every policy.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "match/enumerator.hpp"
+#include "match/match.hpp"
+
+namespace mapa::policy {
+
+/// What a job asks for.
+struct AllocationRequest {
+  const graph::Graph* pattern = nullptr;  // application graph (not owned)
+  bool bandwidth_sensitive = false;
+};
+
+/// A placement decision plus its quality scores.
+struct AllocationResult {
+  match::Match match;             // pattern vertex -> hardware vertex
+  double aggregated_bw = 0.0;     // Eq. 1
+  double predicted_effbw = 0.0;   // Eq. 2 (Table 2 theta unless overridden)
+  double preserved_bw = 0.0;      // Eq. 3 given the current busy mask
+};
+
+/// Knobs shared by the pattern-matching policies.
+struct PolicyConfig {
+  match::Backend backend = match::Backend::kVf2;
+  bool break_symmetry = true;
+  std::size_t threads = 1;  // enumeration/scoring parallelism (§5.4)
+  /// Eq. 2 coefficients used for Predicted EffBW; empty = paper Table 2.
+  std::vector<double> theta;
+  /// Ablation (DESIGN.md #2): when true, Preserve scores sensitive jobs
+  /// with the measured-microbenchmark bandwidth instead of the Eq. 2
+  /// prediction — the oracle the regression approximates.
+  bool score_sensitive_with_microbench = false;
+};
+
+class Policy {
+ public:
+  virtual ~Policy() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Place `request` on the free part of `hardware`. `busy[v]` marks
+  /// accelerators held by running jobs; the mask size must equal the
+  /// hardware vertex count. Returns std::nullopt when the job cannot be
+  /// placed (not enough free accelerators, or no structural match).
+  virtual std::optional<AllocationResult> allocate(
+      const graph::Graph& hardware, const std::vector<bool>& busy,
+      const AllocationRequest& request) = 0;
+
+ protected:
+  /// Score a chosen match uniformly (used by every implementation).
+  static AllocationResult score_result(const graph::Graph& hardware,
+                                       const std::vector<bool>& busy,
+                                       const AllocationRequest& request,
+                                       match::Match m,
+                                       const PolicyConfig& config);
+
+  /// Free-GPU count under a mask.
+  static std::size_t free_count(const std::vector<bool>& busy);
+
+  /// Validate mask size and pattern pointer; throws on misuse.
+  static void check_inputs(const graph::Graph& hardware,
+                           const std::vector<bool>& busy,
+                           const AllocationRequest& request);
+};
+
+/// Factory by paper name: "baseline", "topo-aware", "greedy", "preserve",
+/// "random". Throws std::invalid_argument for unknown names.
+std::unique_ptr<Policy> make_policy(const std::string& name,
+                                    const PolicyConfig& config = {},
+                                    std::uint64_t random_seed = 1);
+
+/// All four paper policy names, in the order of the paper's figures.
+const std::vector<std::string>& paper_policy_names();
+
+}  // namespace mapa::policy

@@ -1,0 +1,46 @@
+#include "policy/preserve.hpp"
+
+#include "interconnect/microbench.hpp"
+#include "score/effbw_model.hpp"
+#include "score/scores.hpp"
+
+namespace mapa::policy {
+
+std::optional<AllocationResult> PreservePolicy::allocate(
+    const graph::Graph& hardware, const std::vector<bool>& busy,
+    const AllocationRequest& request) {
+  check_inputs(hardware, busy, request);
+  if (free_count(busy) < request.pattern->num_vertices()) return std::nullopt;
+
+  match::EnumerateOptions options;
+  options.backend = config_.backend;
+  options.break_symmetry = config_.break_symmetry;
+  options.threads = config_.threads;
+  options.forbidden = busy;
+
+  // Algorithm 1: sensitive jobs maximize Predicted Effective Bandwidth;
+  // insensitive jobs maximize Preserved Bandwidth for future sensitive
+  // arrivals.
+  const auto scorer = [&](const match::Match& m) {
+    if (request.bandwidth_sensitive) {
+      if (config_.score_sensitive_with_microbench) {
+        return interconnect::measured_effective_bandwidth(*request.pattern,
+                                                          hardware, m);
+      }
+      return config_.theta.empty()
+                 ? score::predict_effective_bandwidth(*request.pattern,
+                                                      hardware, m)
+                 : score::predict_effective_bandwidth(*request.pattern,
+                                                      hardware, m,
+                                                      config_.theta);
+    }
+    return score::preserved_bandwidth(hardware, m, busy);
+  };
+
+  const auto best =
+      match::best_match(*request.pattern, hardware, scorer, options);
+  if (!best) return std::nullopt;
+  return score_result(hardware, busy, request, *best, config_);
+}
+
+}  // namespace mapa::policy

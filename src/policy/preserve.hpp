@@ -1,0 +1,27 @@
+#pragma once
+// MAPA Preserve policy (paper Algorithm 1): for bandwidth-sensitive jobs,
+// pick the match with the highest Predicted Effective Bandwidth (Eq. 2);
+// for insensitive jobs, pick the match leaving the highest Preserved
+// Bandwidth (Eq. 3), keeping fast links available for future sensitive
+// arrivals.
+
+#include "policy/policy.hpp"
+
+namespace mapa::policy {
+
+class PreservePolicy final : public Policy {
+ public:
+  explicit PreservePolicy(PolicyConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "preserve"; }
+
+  std::optional<AllocationResult> allocate(
+      const graph::Graph& hardware, const std::vector<bool>& busy,
+      const AllocationRequest& request) override;
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace mapa::policy

@@ -1,0 +1,34 @@
+#include "policy/random_policy.hpp"
+
+namespace mapa::policy {
+
+std::optional<AllocationResult> RandomPolicy::allocate(
+    const graph::Graph& hardware, const std::vector<bool>& busy,
+    const AllocationRequest& request) {
+  check_inputs(hardware, busy, request);
+  if (free_count(busy) < request.pattern->num_vertices()) return std::nullopt;
+
+  match::EnumerateOptions options;
+  options.backend = config_.backend;
+  options.break_symmetry = config_.break_symmetry;
+  options.forbidden = busy;
+
+  // Reservoir-sample one match uniformly from the stream of matches, so we
+  // never materialize the full match set.
+  std::optional<match::Match> sampled;
+  std::size_t seen = 0;
+  match::for_each_match(
+      *request.pattern, hardware,
+      [&](const match::Match& m) {
+        ++seen;
+        if (rng_.uniform_int(1, static_cast<std::int64_t>(seen)) == 1) {
+          sampled = m;
+        }
+        return true;
+      },
+      options);
+  if (!sampled) return std::nullopt;
+  return score_result(hardware, busy, request, std::move(*sampled), config_);
+}
+
+}  // namespace mapa::policy

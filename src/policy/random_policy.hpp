@@ -1,0 +1,27 @@
+#pragma once
+// Random policy (ablation, not in the paper): place the job on a uniformly
+// random valid match. Bounds how much of MAPA's win comes from scoring
+// versus merely from being pattern-aware.
+
+#include "policy/policy.hpp"
+#include "util/rng.hpp"
+
+namespace mapa::policy {
+
+class RandomPolicy final : public Policy {
+ public:
+  explicit RandomPolicy(std::uint64_t seed, PolicyConfig config = {})
+      : config_(std::move(config)), rng_(seed) {}
+
+  std::string name() const override { return "random"; }
+
+  std::optional<AllocationResult> allocate(
+      const graph::Graph& hardware, const std::vector<bool>& busy,
+      const AllocationRequest& request) override;
+
+ private:
+  PolicyConfig config_;
+  util::Rng rng_;
+};
+
+}  // namespace mapa::policy

@@ -1,0 +1,68 @@
+#include "policy/topo_aware.hpp"
+
+#include <algorithm>
+#include <map>
+
+namespace mapa::policy {
+
+std::optional<AllocationResult> TopoAwarePolicy::allocate(
+    const graph::Graph& hardware, const std::vector<bool>& busy,
+    const AllocationRequest& request) {
+  check_inputs(hardware, busy, request);
+  const std::size_t wanted = request.pattern->num_vertices();
+  if (free_count(busy) < wanted) return std::nullopt;
+
+  // Free devices grouped by socket (the leaves of the PCIe hierarchy the
+  // recursive bi-partitioning in Amaral et al. descends).
+  std::map<int, std::vector<graph::VertexId>> free_by_socket;
+  for (graph::VertexId v = 0; v < hardware.num_vertices(); ++v) {
+    if (!busy[v]) free_by_socket[hardware.socket(v)].push_back(v);
+  }
+
+  std::vector<graph::VertexId> chosen;
+  chosen.reserve(wanted);
+
+  // Best-fit: the socket that fits the job with the least slack, keeping
+  // larger contiguous blocks free for later jobs. Ties go to the lower
+  // socket id (deterministic).
+  int best_socket = -1;
+  std::size_t best_slack = 0;
+  for (const auto& [socket, devices] : free_by_socket) {
+    if (devices.size() < wanted) continue;
+    const std::size_t slack = devices.size() - wanted;
+    if (best_socket == -1 || slack < best_slack) {
+      best_socket = socket;
+      best_slack = slack;
+    }
+  }
+  if (best_socket != -1) {
+    const auto& devices = free_by_socket[best_socket];
+    chosen.assign(devices.begin(),
+                  devices.begin() + static_cast<std::ptrdiff_t>(wanted));
+  } else {
+    // No single socket fits: spill across the fewest sockets, taking from
+    // the fullest free sockets first.
+    std::vector<std::pair<int, std::vector<graph::VertexId>>> sockets(
+        free_by_socket.begin(), free_by_socket.end());
+    std::sort(sockets.begin(), sockets.end(),
+              [](const auto& a, const auto& b) {
+                if (a.second.size() != b.second.size()) {
+                  return a.second.size() > b.second.size();
+                }
+                return a.first < b.first;
+              });
+    for (const auto& [socket, devices] : sockets) {
+      for (const graph::VertexId v : devices) {
+        if (chosen.size() == wanted) break;
+        chosen.push_back(v);
+      }
+      if (chosen.size() == wanted) break;
+    }
+  }
+
+  match::Match m;
+  m.mapping = std::move(chosen);
+  return score_result(hardware, busy, request, std::move(m), config_);
+}
+
+}  // namespace mapa::policy

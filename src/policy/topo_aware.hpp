@@ -1,0 +1,27 @@
+#pragma once
+// Topo-aware policy (Amaral et al., the paper's state-of-the-art
+// comparator): recursive bi-partitioning of the PCIe/socket hierarchy, in
+// effect packing a job's GPUs under the same CPU socket whenever they fit
+// (best-fit socket), and spilling across the fewest sockets otherwise.
+// Socket-local, but blind to link heterogeneity inside the socket.
+
+#include "policy/policy.hpp"
+
+namespace mapa::policy {
+
+class TopoAwarePolicy final : public Policy {
+ public:
+  explicit TopoAwarePolicy(PolicyConfig config = {})
+      : config_(std::move(config)) {}
+
+  std::string name() const override { return "topo-aware"; }
+
+  std::optional<AllocationResult> allocate(
+      const graph::Graph& hardware, const std::vector<bool>& busy,
+      const AllocationRequest& request) override;
+
+ private:
+  PolicyConfig config_;
+};
+
+}  // namespace mapa::policy

@@ -1,0 +1,158 @@
+#include "profile/extract.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace mapa::profile {
+
+namespace {
+
+using graph::VertexId;
+
+void require_distinct(const std::vector<std::uint32_t>& ranks) {
+  std::set<std::uint32_t> unique(ranks.begin(), ranks.end());
+  if (unique.size() != ranks.size()) {
+    throw std::invalid_argument(
+        "collective_structure: duplicate ranks in one call");
+  }
+}
+
+void add_ring(graph::Graph& g, const std::vector<std::uint32_t>& ranks) {
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    const auto a = static_cast<VertexId>(ranks[i]);
+    const auto b = static_cast<VertexId>(ranks[(i + 1) % ranks.size()]);
+    if (a != b) g.add_edge(a, b, interconnect::LinkType::kNone, 0.0);
+  }
+}
+
+void add_tree(graph::Graph& g, const std::vector<std::uint32_t>& ranks) {
+  // Balanced binary tree over the rank order, rooted at ranks[0].
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    for (const std::size_t child : {2 * i + 1, 2 * i + 2}) {
+      if (child < ranks.size()) {
+        g.add_edge(static_cast<VertexId>(ranks[i]),
+                   static_cast<VertexId>(ranks[child]),
+                   interconnect::LinkType::kNone, 0.0);
+      }
+    }
+  }
+}
+
+void add_star(graph::Graph& g, const std::vector<std::uint32_t>& ranks) {
+  for (std::size_t i = 1; i < ranks.size(); ++i) {
+    g.add_edge(static_cast<VertexId>(ranks[0]),
+               static_cast<VertexId>(ranks[i]),
+               interconnect::LinkType::kNone, 0.0);
+  }
+}
+
+void add_clique(graph::Graph& g, const std::vector<std::uint32_t>& ranks) {
+  for (std::size_t i = 0; i < ranks.size(); ++i) {
+    for (std::size_t j = i + 1; j < ranks.size(); ++j) {
+      g.add_edge(static_cast<VertexId>(ranks[i]),
+                 static_cast<VertexId>(ranks[j]),
+                 interconnect::LinkType::kNone, 0.0);
+    }
+  }
+}
+
+std::uint32_t highest_rank(const std::vector<std::uint32_t>& ranks) {
+  return *std::max_element(ranks.begin(), ranks.end());
+}
+
+}  // namespace
+
+graph::Graph collective_structure(CollectiveKind kind,
+                                  const std::vector<std::uint32_t>& ranks,
+                                  double bytes,
+                                  const ExtractOptions& options) {
+  if (ranks.size() < 2) {
+    throw std::invalid_argument("collective_structure: need >= 2 ranks");
+  }
+  require_distinct(ranks);
+  graph::Graph g(highest_rank(ranks) + 1);
+
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+    case CollectiveKind::kAllGather:
+    case CollectiveKind::kReduceScatter:
+      // NCCL's bandwidth-bound collectives: rings for large payloads,
+      // trees for small ones (§3.1).
+      if (bytes >= options.ring_threshold_bytes) {
+        add_ring(g, ranks);
+      } else {
+        add_tree(g, ranks);
+      }
+      return g;
+    case CollectiveKind::kBroadcast:
+    case CollectiveKind::kReduce:
+      add_tree(g, ranks);
+      return g;
+    case CollectiveKind::kGather:
+    case CollectiveKind::kScatter:
+      add_star(g, ranks);
+      return g;
+    case CollectiveKind::kAllToAll:
+      add_clique(g, ranks);
+      return g;
+  }
+  throw std::invalid_argument("collective_structure: unknown kind");
+}
+
+std::map<std::pair<VertexId, VertexId>, double> pairwise_traffic(
+    const std::vector<CommEvent>& events, const ExtractOptions& options) {
+  std::map<std::pair<VertexId, VertexId>, double> traffic;
+  for (const CommEvent& e : events) {
+    if (!e.collective) {
+      const auto a = static_cast<VertexId>(std::min(e.ranks[0], e.ranks[1]));
+      const auto b = static_cast<VertexId>(std::max(e.ranks[0], e.ranks[1]));
+      traffic[{a, b}] += e.total_bytes();
+      continue;
+    }
+    const graph::Graph structure =
+        collective_structure(*e.collective, e.ranks, e.bytes, options);
+    if (structure.num_edges() == 0) continue;
+    const double per_edge =
+        e.total_bytes() / static_cast<double>(structure.num_edges());
+    for (const graph::Edge& edge : structure.edges()) {
+      traffic[{std::min(edge.u, edge.v), std::max(edge.u, edge.v)}] +=
+          per_edge;
+    }
+  }
+  return traffic;
+}
+
+graph::Graph extract_application_graph(const std::vector<CommEvent>& events,
+                                       const ExtractOptions& options) {
+  const std::uint32_t n = rank_count(events);
+  if (n == 0) {
+    throw std::invalid_argument("extract_application_graph: empty trace");
+  }
+  graph::Graph g(n, "extracted-" + std::to_string(n));
+  for (const auto& [pair, bytes] : pairwise_traffic(events, options)) {
+    if (bytes >= options.min_total_bytes) {
+      g.add_edge(pair.first, pair.second, interconnect::LinkType::kNone, 0.0);
+    }
+  }
+  return g;
+}
+
+bool estimate_bandwidth_sensitivity(const std::vector<CommEvent>& events,
+                                    double size_threshold_bytes,
+                                    double volume_threshold_bytes) {
+  double total = 0.0;
+  double weighted_size = 0.0;
+  std::uint64_t calls = 0;
+  for (const CommEvent& e : events) {
+    total += e.total_bytes();
+    weighted_size += e.bytes * static_cast<double>(e.count);
+    calls += e.count;
+  }
+  if (calls == 0) return false;
+  const double mean_payload = weighted_size / static_cast<double>(calls);
+  return total >= volume_threshold_bytes &&
+         mean_payload >= size_threshold_bytes;
+}
+
+}  // namespace mapa::profile

@@ -1,0 +1,65 @@
+#pragma once
+// Application-topology extraction (paper §3.1).
+//
+// Two paths, mirroring the paper:
+//  * Source-code analysis — each NCCL API call implies a communication
+//    structure over its rank set (AllReduce builds rings/trees, Broadcast
+//    a tree, Gather/Scatter a star, AllToAll a clique). The application
+//    graph is the union over all calls (Fig. 8: "combining the graph of
+//    all NCCL API calls used in the program").
+//  * Runtime profiling — pairwise traffic recorded in a CommEvent trace
+//    becomes an edge wherever the observed volume exceeds a noise
+//    threshold, so incidental traffic does not inflate the pattern.
+//
+// Both produce a pattern graph ready for the matcher, plus a bandwidth-
+// sensitivity estimate in the spirit of Fig. 5/6.
+
+#include <map>
+#include <vector>
+
+#include "graph/graph.hpp"
+#include "profile/trace.hpp"
+
+namespace mapa::profile {
+
+struct ExtractOptions {
+  /// Pairwise traffic below this total volume is treated as noise and
+  /// produces no edge (runtime-profiling path only).
+  double min_total_bytes = 1.0;
+  /// Collectives with per-call payloads at or above this size are modeled
+  /// as rings (NCCL's large-message algorithm); smaller ones as trees
+  /// (the size-dependent choice the paper describes in §3.1).
+  double ring_threshold_bytes = 1.0e5;
+};
+
+/// The communication structure implied by one collective call over
+/// `ranks` with `bytes` per call (source-analysis path). The rank order
+/// defines ring order / tree layout; rank[0] is the root for rooted
+/// collectives.
+graph::Graph collective_structure(CollectiveKind kind,
+                                  const std::vector<std::uint32_t>& ranks,
+                                  double bytes,
+                                  const ExtractOptions& options = {});
+
+/// Application graph from a trace. The result has `rank_count(events)`
+/// vertices (isolated vertices are kept — a rank that never communicates
+/// still occupies a GPU). Throws on empty traces.
+graph::Graph extract_application_graph(const std::vector<CommEvent>& events,
+                                       const ExtractOptions& options = {});
+
+/// Pairwise traffic totals (bytes) implied by a trace; collectives are
+/// expanded through `collective_structure` with volume split evenly over
+/// the structure's edges.
+std::map<std::pair<graph::VertexId, graph::VertexId>, double>
+pairwise_traffic(const std::vector<CommEvent>& events,
+                 const ExtractOptions& options = {});
+
+/// Bandwidth-sensitivity estimate from a trace (the Fig. 5 reasoning):
+/// a job is bandwidth sensitive when it makes many large transfers —
+/// total volume >= volume_threshold AND mean payload >= size_threshold
+/// (the paper's ~1e5-byte boundary from Fig. 2a).
+bool estimate_bandwidth_sensitivity(const std::vector<CommEvent>& events,
+                                    double size_threshold_bytes = 1.0e5,
+                                    double volume_threshold_bytes = 1.0e9);
+
+}  // namespace mapa::profile

@@ -1,0 +1,144 @@
+#include "profile/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace mapa::profile {
+
+std::string to_string(CollectiveKind kind) {
+  switch (kind) {
+    case CollectiveKind::kAllReduce:
+      return "allreduce";
+    case CollectiveKind::kReduce:
+      return "reduce";
+    case CollectiveKind::kBroadcast:
+      return "broadcast";
+    case CollectiveKind::kGather:
+      return "gather";
+    case CollectiveKind::kScatter:
+      return "scatter";
+    case CollectiveKind::kAllGather:
+      return "allgather";
+    case CollectiveKind::kReduceScatter:
+      return "reducescatter";
+    case CollectiveKind::kAllToAll:
+      return "alltoall";
+  }
+  throw std::invalid_argument("to_string(CollectiveKind): unknown kind");
+}
+
+std::optional<CollectiveKind> parse_collective_kind(const std::string& text) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "allreduce") return CollectiveKind::kAllReduce;
+  if (lower == "reduce") return CollectiveKind::kReduce;
+  if (lower == "broadcast") return CollectiveKind::kBroadcast;
+  if (lower == "gather") return CollectiveKind::kGather;
+  if (lower == "scatter") return CollectiveKind::kScatter;
+  if (lower == "allgather") return CollectiveKind::kAllGather;
+  if (lower == "reducescatter") return CollectiveKind::kReduceScatter;
+  if (lower == "alltoall") return CollectiveKind::kAllToAll;
+  return std::nullopt;
+}
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "trace parse error at line " << line << ": " << message;
+  throw std::runtime_error(os.str());
+}
+
+}  // namespace
+
+std::vector<CommEvent> parse_trace(std::istream& in) {
+  std::vector<CommEvent> events;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    std::istringstream line(raw);
+    std::string kind;
+    if (!(line >> kind)) continue;
+
+    CommEvent event;
+    if (kind == "p2p") {
+      std::uint32_t a = 0, b = 0;
+      if (!(line >> a >> b >> event.bytes)) {
+        fail(line_no, "expected: p2p <src> <dst> <bytes> [count]");
+      }
+      if (a == b) fail(line_no, "p2p with identical endpoints");
+      event.ranks = {a, b};
+    } else if (kind == "coll") {
+      std::string op;
+      if (!(line >> op)) fail(line_no, "expected collective kind");
+      const auto parsed = parse_collective_kind(op);
+      if (!parsed) fail(line_no, "unknown collective '" + op + "'");
+      event.collective = parsed;
+      std::size_t nranks = 0;
+      if (!(line >> nranks) || nranks < 2) {
+        fail(line_no,
+             "expected: coll <kind> <nranks>=2.. <rank>... <bytes> [count]");
+      }
+      event.ranks.reserve(nranks);
+      for (std::size_t i = 0; i < nranks; ++i) {
+        std::uint32_t r = 0;
+        if (!(line >> r)) fail(line_no, "missing rank");
+        event.ranks.push_back(r);
+      }
+      if (!(line >> event.bytes)) fail(line_no, "missing byte count");
+      std::uint64_t repeats = 1;
+      if (line >> repeats) event.count = repeats;
+    } else {
+      fail(line_no, "unknown event kind '" + kind + "'");
+    }
+
+    std::uint64_t count = 1;
+    if (!event.collective && (line >> count)) {
+      event.count = count;
+    }
+    if (event.bytes < 0.0) fail(line_no, "negative byte count");
+    if (event.count == 0) fail(line_no, "zero repeat count");
+    events.push_back(std::move(event));
+  }
+  return events;
+}
+
+std::vector<CommEvent> parse_trace_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_trace(in);
+}
+
+std::string serialize_trace(const std::vector<CommEvent>& events) {
+  std::ostringstream os;
+  os << "# kind participants bytes [count]\n";
+  for (const CommEvent& e : events) {
+    if (e.collective) {
+      os << "coll " << to_string(*e.collective) << ' ' << e.ranks.size();
+      for (const auto r : e.ranks) os << ' ' << r;
+      os << ' ' << e.bytes << ' ' << e.count << '\n';
+    } else {
+      os << "p2p " << e.ranks[0] << ' ' << e.ranks[1] << ' ' << e.bytes
+         << ' ' << e.count << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::uint32_t rank_count(const std::vector<CommEvent>& events) {
+  std::uint32_t highest = 0;
+  bool any = false;
+  for (const CommEvent& e : events) {
+    for (const auto r : e.ranks) {
+      highest = std::max(highest, r);
+      any = true;
+    }
+  }
+  return any ? highest + 1 : 0;
+}
+
+}  // namespace mapa::profile

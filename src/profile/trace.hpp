@@ -1,0 +1,67 @@
+#pragma once
+// Communication traces — the runtime-profiling path of paper §3.1.
+//
+// On a real machine the application topology is discovered by watching
+// NVLink/PCIe counters (`nvidia-smi nvlink`, Fig. 9b) or by intercepting
+// NCCL / cudaMemcpyPeer calls. Here a trace is a portable text log of
+// communication events, standing in for those counters (see DESIGN.md):
+//
+//   # kind  participants          bytes   [count]
+//   p2p     0 1                   1048576 16
+//   coll    allreduce 4 0 1 2 3   4194304 100
+//
+// `p2p` records a source/destination pair; `coll` records a collective
+// with an explicit rank count followed by the rank list and the per-call
+// payload. The optional trailing count repeats the event (hardware
+// counters report totals, not individual calls).
+
+#include <cstdint>
+#include <iosfwd>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace mapa::profile {
+
+/// Collective kinds MAPA understands (the NCCL operations the paper lists
+/// in §6: Reduce, AllReduce, Broadcast, Gather, Scatter, plus AllGather
+/// and ReduceScatter which NCCL also provides).
+enum class CollectiveKind {
+  kAllReduce,
+  kReduce,
+  kBroadcast,
+  kGather,
+  kScatter,
+  kAllGather,
+  kReduceScatter,
+  kAllToAll,
+};
+
+std::string to_string(CollectiveKind kind);
+std::optional<CollectiveKind> parse_collective_kind(const std::string& text);
+
+/// One communication event.
+struct CommEvent {
+  /// Point-to-point events have exactly two ranks; collectives any number
+  /// >= 2. Ranks are job-local (0-based).
+  std::vector<std::uint32_t> ranks;
+  /// Collective kind; nullopt for raw point-to-point traffic.
+  std::optional<CollectiveKind> collective;
+  double bytes = 0.0;          // payload per call
+  std::uint64_t count = 1;     // number of identical calls
+
+  double total_bytes() const { return bytes * static_cast<double>(count); }
+};
+
+/// Parse a trace; throws std::runtime_error with a line number on
+/// malformed input.
+std::vector<CommEvent> parse_trace(std::istream& in);
+std::vector<CommEvent> parse_trace_string(const std::string& text);
+
+/// Serialize events (round-trips through parse_trace).
+std::string serialize_trace(const std::vector<CommEvent>& events);
+
+/// Highest rank mentioned plus one (the job's GPU count), 0 for empty.
+std::uint32_t rank_count(const std::vector<CommEvent>& events);
+
+}  // namespace mapa::profile

@@ -1,0 +1,56 @@
+#include "score/census.hpp"
+
+#include <stdexcept>
+
+namespace mapa::score {
+
+namespace {
+
+using interconnect::LinkType;
+
+void tally(LinkCensus& census, LinkType type) {
+  switch (type) {
+    case LinkType::kNvLink2Double:
+    case LinkType::kNvSwitch:
+      ++census.doubles;
+      return;
+    case LinkType::kNvLink1:
+    case LinkType::kNvLink2:
+      ++census.singles;
+      return;
+    case LinkType::kPcie:
+      ++census.pcie;
+      return;
+    case LinkType::kNone:
+      return;  // unreachable pair in an NVLink-only graph: no usable link
+  }
+  throw std::invalid_argument("tally: unknown link type");
+}
+
+}  // namespace
+
+LinkCensus used_link_census(const graph::Graph& pattern,
+                            const graph::Graph& hardware,
+                            const match::Match& m) {
+  if (m.mapping.size() != pattern.num_vertices()) {
+    throw std::invalid_argument("used_link_census: match/pattern mismatch");
+  }
+  LinkCensus census;
+  for (const graph::Edge& e : pattern.edges()) {
+    tally(census, hardware.edge_type(m.mapping[e.u], m.mapping[e.v]));
+  }
+  return census;
+}
+
+LinkCensus clique_link_census(const graph::Graph& hardware,
+                              std::span<const graph::VertexId> vertices) {
+  LinkCensus census;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      tally(census, hardware.edge_type(vertices[i], vertices[j]));
+    }
+  }
+  return census;
+}
+
+}  // namespace mapa::score

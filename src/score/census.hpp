@@ -1,0 +1,37 @@
+#pragma once
+// Link census of an allocation: how many Double NVLinks (x), Single
+// NVLinks (y), and PCIe links (z) the application pattern actually uses in
+// a matching pattern. The (x, y, z) triple is the input to the paper's
+// effective-bandwidth model (Eq. 2) and the key that distinguishes
+// allocation qualities.
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "match/match.hpp"
+
+namespace mapa::score {
+
+struct LinkCensus {
+  int doubles = 0;  // x: double NVLink edges used
+  int singles = 0;  // y: single NVLink edges used (v1 or v2)
+  int pcie = 0;     // z: PCIe edges used
+
+  int total() const { return doubles + singles + pcie; }
+  bool operator==(const LinkCensus&) const = default;
+};
+
+/// Census of the hardware edges used by `pattern` under `m` in `hardware`
+/// (the edge set E(P) mapped through the match). NVSwitch links count as
+/// doubles (same 50 GB/s class); kNone edges (possible only in hardware
+/// graphs built without PCIe fallback) are ignored.
+LinkCensus used_link_census(const graph::Graph& pattern,
+                            const graph::Graph& hardware,
+                            const match::Match& m);
+
+/// Census of *all* hardware edges among a vertex set (used for ideal /
+/// aggregate bandwidth accounting, e.g. the Fig. 4 fragmentation study).
+LinkCensus clique_link_census(const graph::Graph& hardware,
+                              std::span<const graph::VertexId> vertices);
+
+}  // namespace mapa::score

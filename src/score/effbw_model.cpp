@@ -1,0 +1,61 @@
+#include "score/effbw_model.hpp"
+
+#include <stdexcept>
+
+namespace mapa::score {
+
+std::array<double, kNumFeatures> effbw_features(const LinkCensus& census) {
+  const auto x = static_cast<double>(census.doubles);
+  const auto y = static_cast<double>(census.singles);
+  const auto z = static_cast<double>(census.pcie);
+  return {
+      x,
+      y,
+      z,
+      1.0 / (x + 1.0),
+      1.0 / (y + 1.0),
+      1.0 / (z + 1.0),
+      x * y,
+      y * z,
+      z * x,
+      1.0 / (x * y + 1.0),
+      1.0 / (y * z + 1.0),
+      1.0 / (z * x + 1.0),
+      x * y * z,
+      1.0 / (x * y * z + 1.0),
+  };
+}
+
+double predict_effective_bandwidth(std::span<const double> theta,
+                                   const LinkCensus& census) {
+  if (theta.size() != kNumFeatures) {
+    throw std::invalid_argument(
+        "predict_effective_bandwidth: theta must have 14 entries");
+  }
+  const auto features = effbw_features(census);
+  double result = 0.0;
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    result += theta[i] * features[i];
+  }
+  return result;
+}
+
+double predict_effective_bandwidth(const LinkCensus& census) {
+  return predict_effective_bandwidth(kPaperTheta, census);
+}
+
+double predict_effective_bandwidth(const graph::Graph& pattern,
+                                   const graph::Graph& hardware,
+                                   const match::Match& m,
+                                   std::span<const double> theta) {
+  return predict_effective_bandwidth(theta,
+                                     used_link_census(pattern, hardware, m));
+}
+
+double predict_effective_bandwidth(const graph::Graph& pattern,
+                                   const graph::Graph& hardware,
+                                   const match::Match& m) {
+  return predict_effective_bandwidth(pattern, hardware, m, kPaperTheta);
+}
+
+}  // namespace mapa::score

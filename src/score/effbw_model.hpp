@@ -1,0 +1,53 @@
+#pragma once
+// Predicted Effective Bandwidth model (paper Eq. 2 + Table 2).
+//
+// The model maps a link census (x double NVLinks, y single NVLinks, z PCIe
+// links) to predicted effective bandwidth through 14 fixed nonlinear
+// features whose coefficients theta are learned by least squares. The
+// paper's published Table 2 coefficients are provided as the default
+// parameter set; `score::fit_effbw_model` (regression.hpp) re-learns theta
+// from microbenchmark samples.
+//
+// Calibration cross-checks against the paper's own quoted numbers:
+//   predict(kPaperTheta, {2,1,0}) == 57.857  (the "57.85 GBps" median of
+//                                             Greedy/Preserve in §4.1)
+//   predict(kPaperTheta, {0,0,0}) == 12.337  (the "12.33 GBps" Greedy 25th
+//                                             percentile in §4.1)
+
+#include <array>
+#include <span>
+
+#include "score/census.hpp"
+
+namespace mapa::score {
+
+inline constexpr std::size_t kNumFeatures = 14;
+
+/// Paper Table 2 coefficient values theta_1..theta_14.
+inline constexpr std::array<double, kNumFeatures> kPaperTheta = {
+    16.396, 4.536,  1.556,  -20.694, -9.467, 7.615,  -7.973,
+    12.733, -4.195, -8.413,  62.851, 27.418, -5.114, -46.973,
+};
+
+/// The 14 Eq. 2 features of a census: linear (x, y, z), inverse-linear,
+/// pairwise products, inverse-pairwise, triplet, inverse-triplet.
+std::array<double, kNumFeatures> effbw_features(const LinkCensus& census);
+
+/// Predicted effective bandwidth (GB/s) = theta . features(census).
+double predict_effective_bandwidth(std::span<const double> theta,
+                                   const LinkCensus& census);
+
+/// Predict with the paper's Table 2 coefficients.
+double predict_effective_bandwidth(const LinkCensus& census);
+
+/// Predict for a concrete allocation: census the links `pattern` uses in
+/// `hardware` under `m`, then apply the model.
+double predict_effective_bandwidth(const graph::Graph& pattern,
+                                   const graph::Graph& hardware,
+                                   const match::Match& m,
+                                   std::span<const double> theta);
+double predict_effective_bandwidth(const graph::Graph& pattern,
+                                   const graph::Graph& hardware,
+                                   const match::Match& m);
+
+}  // namespace mapa::score

@@ -1,0 +1,54 @@
+#include "score/regression.hpp"
+
+#include <stdexcept>
+
+#include "util/matrix.hpp"
+#include "util/stats.hpp"
+
+namespace mapa::score {
+
+std::vector<double> fit_effbw_model(std::span<const EffBwSample> samples) {
+  if (samples.size() < kNumFeatures) {
+    throw std::invalid_argument(
+        "fit_effbw_model: need at least 14 samples for a full-rank fit");
+  }
+  util::Matrix design(samples.size(), kNumFeatures);
+  std::vector<double> rhs(samples.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    const auto features = effbw_features(samples[i].census);
+    for (std::size_t j = 0; j < kNumFeatures; ++j) {
+      design(i, j) = features[j];
+    }
+    rhs[i] = samples[i].measured_gbps;
+  }
+  return util::least_squares(design, rhs);
+}
+
+FitReport evaluate_theta(std::span<const double> theta,
+                         std::span<const EffBwSample> samples) {
+  if (samples.empty()) {
+    throw std::invalid_argument("evaluate_theta: no samples");
+  }
+  std::vector<double> predicted;
+  std::vector<double> actual;
+  predicted.reserve(samples.size());
+  actual.reserve(samples.size());
+  for (const EffBwSample& s : samples) {
+    predicted.push_back(predict_effective_bandwidth(theta, s.census));
+    actual.push_back(s.measured_gbps);
+  }
+  FitReport report;
+  report.theta.assign(theta.begin(), theta.end());
+  report.relative_error = util::mean_relative_error(predicted, actual);
+  report.rmse = util::rmse(predicted, actual);
+  report.mae = util::mae(predicted, actual);
+  report.pearson = util::pearson(predicted, actual);
+  return report;
+}
+
+FitReport fit_and_evaluate(std::span<const EffBwSample> samples) {
+  const std::vector<double> theta = fit_effbw_model(samples);
+  return evaluate_theta(theta, samples);
+}
+
+}  // namespace mapa::score

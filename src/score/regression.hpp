@@ -1,0 +1,47 @@
+#pragma once
+// Least-squares fitting of the Eq. 2 effective-bandwidth model (paper
+// §3.4.3). The model is nonlinear in (x, y, z) but linear in theta, so
+// ordinary least squares over the expanded features is exact — no
+// iterative optimizer needed.
+//
+// The paper trains on 31 samples: the exhaustive set of distinct
+// (x, y, z) censuses reachable by 2–5-GPU allocations on the DGX-V,
+// each labeled with a measured NCCL all-reduce bandwidth. We regenerate
+// that sample set from our topology factories and the synthetic
+// microbenchmark (interconnect/microbench.hpp).
+
+#include <span>
+#include <vector>
+
+#include "score/census.hpp"
+#include "score/effbw_model.hpp"
+
+namespace mapa::score {
+
+/// One training sample: a link census and its measured effective bandwidth.
+struct EffBwSample {
+  LinkCensus census;
+  double measured_gbps = 0.0;
+};
+
+/// Quality metrics of a fit, as reported under Fig. 12.
+struct FitReport {
+  std::vector<double> theta;
+  double relative_error = 0.0;  // mean |pred - actual| / actual
+  double rmse = 0.0;
+  double mae = 0.0;
+  double pearson = 0.0;  // predicted vs actual correlation
+};
+
+/// Fit theta by least squares over the Eq. 2 features. Requires at least
+/// kNumFeatures samples with distinct censuses; throws otherwise.
+std::vector<double> fit_effbw_model(std::span<const EffBwSample> samples);
+
+/// Fit and evaluate in one step.
+FitReport fit_and_evaluate(std::span<const EffBwSample> samples);
+
+/// Evaluate an existing theta against samples.
+FitReport evaluate_theta(std::span<const double> theta,
+                         std::span<const EffBwSample> samples);
+
+}  // namespace mapa::score

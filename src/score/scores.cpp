@@ -1,0 +1,101 @@
+#include "score/scores.hpp"
+
+#include <algorithm>
+#include <functional>
+#include <stdexcept>
+
+#include "match/enumerator.hpp"
+
+namespace mapa::score {
+
+double aggregated_bandwidth(const graph::Graph& pattern,
+                            const graph::Graph& hardware,
+                            const match::Match& m) {
+  if (m.mapping.size() != pattern.num_vertices()) {
+    throw std::invalid_argument("aggregated_bandwidth: match size mismatch");
+  }
+  double total = 0.0;
+  for (const graph::Edge& e : pattern.edges()) {
+    total += hardware.edge_bandwidth(m.mapping[e.u], m.mapping[e.v]);
+  }
+  return total;
+}
+
+double preserved_bandwidth(const graph::Graph& hardware, const match::Match& m,
+                           const std::vector<bool>& busy) {
+  if (!busy.empty() && busy.size() != hardware.num_vertices()) {
+    throw std::invalid_argument("preserved_bandwidth: busy mask mismatch");
+  }
+  std::vector<bool> removed(hardware.num_vertices(), false);
+  for (const graph::VertexId v : m.mapping) {
+    if (v >= hardware.num_vertices()) {
+      throw std::invalid_argument("preserved_bandwidth: vertex out of range");
+    }
+    removed[v] = true;
+  }
+  for (std::size_t v = 0; v < busy.size(); ++v) {
+    if (busy[v]) removed[v] = true;
+  }
+  double total = 0.0;
+  for (const graph::Edge& e : hardware.edges()) {
+    if (!removed[e.u] && !removed[e.v]) total += e.bandwidth_gbps;
+  }
+  return total;
+}
+
+double clique_bandwidth(const graph::Graph& hardware,
+                        std::span<const graph::VertexId> vertices) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < vertices.size(); ++i) {
+    for (std::size_t j = i + 1; j < vertices.size(); ++j) {
+      total += hardware.edge_bandwidth(vertices[i], vertices[j]);
+    }
+  }
+  return total;
+}
+
+double ideal_aggregated_bandwidth(const graph::Graph& pattern,
+                                  const graph::Graph& hardware) {
+  double best = 0.0;
+  match::for_each_match(
+      pattern, hardware,
+      [&](const match::Match& m) {
+        best = std::max(best, aggregated_bandwidth(pattern, hardware, m));
+        return true;
+      });
+  return best;
+}
+
+double ideal_clique_bandwidth(const graph::Graph& hardware, std::size_t k) {
+  const std::size_t n = hardware.num_vertices();
+  if (k > n) {
+    throw std::invalid_argument("ideal_clique_bandwidth: k exceeds vertices");
+  }
+  if (k <= 1) return 0.0;
+
+  std::vector<graph::VertexId> chosen;
+  chosen.reserve(k);
+  double best = 0.0;
+  // Enumerate C(n, k) subsets, tracking the running clique bandwidth.
+  std::function<void(graph::VertexId, double)> pick = [&](graph::VertexId from,
+                                                          double acc) {
+    if (chosen.size() == k) {
+      best = std::max(best, acc);
+      return;
+    }
+    const std::size_t still_needed = k - chosen.size();
+    for (graph::VertexId v = from; v + still_needed <= n; ++v) {
+      double gain = 0.0;
+      for (const graph::VertexId c : chosen) {
+        gain += hardware.edge_bandwidth(c, v);
+      }
+      chosen.push_back(v);
+      pick(v + 1, acc + gain);
+      chosen.pop_back();
+    }
+  };
+  pick(0, 0.0);
+  return best;
+}
+
+}  // namespace mapa::score

@@ -1,0 +1,46 @@
+#pragma once
+// The paper's pattern-scoring metrics:
+//   * Aggregated Bandwidth (Eq. 1) — total bandwidth of the hardware links
+//     the application pattern actually uses in a match.
+//   * Preserved Bandwidth (Eq. 3) — bandwidth remaining in the hardware
+//     graph after removing the matched vertices and their incident edges.
+//   * Ideal-allocation bandwidth — the best achievable aggregated
+//     bandwidth for a job of the same shape on an empty machine (the
+//     denominator of the Fig. 4 fragmentation metric).
+
+#include <span>
+
+#include "graph/graph.hpp"
+#include "match/match.hpp"
+
+namespace mapa::score {
+
+/// Eq. 1: sum of w(e) over e in E(P) mapped through the match.
+double aggregated_bandwidth(const graph::Graph& pattern,
+                            const graph::Graph& hardware,
+                            const match::Match& m);
+
+/// Eq. 3: sum of edge bandwidths of the subgraph of `hardware` induced by
+/// the vertices NOT used by the match (G \ M). `busy`, when non-empty,
+/// marks additional vertices already allocated to other jobs, which are
+/// excluded from the preserved set as well.
+double preserved_bandwidth(const graph::Graph& hardware, const match::Match& m,
+                           const std::vector<bool>& busy = {});
+
+/// Sum of all hardware-edge bandwidths among an arbitrary vertex set
+/// (aggregate bandwidth of an allocation viewed as a clique, as used by
+/// the Fig. 4 BW_allocated / BW_ideal ratio).
+double clique_bandwidth(const graph::Graph& hardware,
+                        std::span<const graph::VertexId> vertices);
+
+/// Best aggregated bandwidth any match of `pattern` achieves on an empty
+/// `hardware` graph (BW_IdealAllocation in Fig. 4). Exhaustive search via
+/// the symmetric-broken enumerator.
+double ideal_aggregated_bandwidth(const graph::Graph& pattern,
+                                  const graph::Graph& hardware);
+
+/// Best clique bandwidth over all ways to choose k vertices (clique-form
+/// ideal used when the job's pattern is unknown). Exhaustive over C(n, k).
+double ideal_clique_bandwidth(const graph::Graph& hardware, std::size_t k);
+
+}  // namespace mapa::score

@@ -1,0 +1,184 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+
+namespace mapa::sim {
+
+namespace {
+
+/// One running job inside the engine.
+struct Running {
+  double finish_s = 0.0;
+  std::uint64_t allocation_id = 0;
+  std::size_t record_index = 0;
+
+  bool operator>(const Running& other) const {
+    return finish_s > other.finish_s;
+  }
+};
+
+}  // namespace
+
+double SimResult::throughput_jobs_per_hour() const {
+  if (makespan_s <= 0.0) return 0.0;
+  return static_cast<double>(records.size()) / makespan_s * 3600.0;
+}
+
+const JobRecord* SimResult::find(int job_id) const {
+  for (const JobRecord& r : records) {
+    if (r.job.id == job_id) return &r;
+  }
+  return nullptr;
+}
+
+Simulator::Simulator(graph::Graph hardware,
+                     std::unique_ptr<policy::Policy> policy, SimConfig config)
+    : mapa_(std::move(hardware), std::move(policy)), config_(config) {}
+
+SimResult Simulator::run(const std::vector<workload::Job>& jobs) {
+  for (const workload::Job& job : jobs) {
+    if (job.num_gpus > mapa_.hardware().num_vertices()) {
+      throw std::invalid_argument("Simulator::run: job " +
+                                  std::to_string(job.id) +
+                                  " requests more GPUs than the machine has");
+    }
+  }
+
+  // Arrival order: by arrival time, stable by list position (FIFO).
+  std::vector<std::size_t> arrival_order(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) arrival_order[i] = i;
+  std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].arrival_time_s < jobs[b].arrival_time_s;
+                   });
+
+  SimResult result;
+  result.policy = mapa_.policy_name();
+  result.topology = mapa_.hardware().name();
+  result.records.reserve(jobs.size());
+
+  std::deque<std::size_t> queue;  // indices into `jobs`
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  std::size_t next_arrival = 0;
+  double now = 0.0;
+
+  const auto admit_arrivals = [&](double time) {
+    while (next_arrival < arrival_order.size() &&
+           jobs[arrival_order[next_arrival]].arrival_time_s <= time) {
+      queue.push_back(arrival_order[next_arrival]);
+      ++next_arrival;
+    }
+  };
+  admit_arrivals(now);
+
+  while (!queue.empty() || !running.empty() ||
+         next_arrival < arrival_order.size()) {
+    // Serve the queue: FIFO head first; optionally backfill a later job
+    // past a blocked head (SimConfig.backfill).
+    bool progressed = true;
+    while (progressed && !queue.empty()) {
+      progressed = false;
+
+      std::size_t queue_pos = 0;
+      std::optional<core::Allocation> allocation;
+      double overhead_ms = 0.0;
+      const std::size_t scan_limit =
+          config_.backfill
+              ? std::min(queue.size(), config_.backfill_window + 1)
+              : std::size_t{1};
+      graph::Graph pattern;
+      for (; queue_pos < scan_limit; ++queue_pos) {
+        const workload::Job& candidate = jobs[queue[queue_pos]];
+        pattern = candidate.application_graph();
+        const auto wall_start = std::chrono::steady_clock::now();
+        allocation =
+            mapa_.allocate(pattern, candidate.bandwidth_sensitive);
+        const auto wall_end = std::chrono::steady_clock::now();
+        overhead_ms +=
+            std::chrono::duration<double, std::milli>(wall_end - wall_start)
+                .count();
+        if (allocation) break;
+      }
+      result.total_scheduling_ms += overhead_ms;
+      if (!allocation) break;  // nothing fits: wait for a completion
+
+      const workload::Job& job = jobs[queue[queue_pos]];
+      JobRecord record;
+      record.job = job;
+      record.gpus = allocation->gpus();
+      record.queued_s = job.arrival_time_s;
+      record.start_s = now;
+      record.aggregated_bw = allocation->aggregated_bw();
+      record.predicted_effbw = allocation->predicted_effbw();
+      record.preserved_bw = allocation->preserved_bw();
+      record.scheduling_overhead_ms = overhead_ms;
+
+      match::Match m;
+      m.mapping = allocation->gpus();
+      record.measured_effbw = interconnect::measured_effective_bandwidth(
+          pattern, mapa_.hardware(), m, config_.microbench);
+
+      const workload::ExecModel model(job.profile());
+      const double effbw = config_.exec_uses_measured_effbw
+                               ? record.measured_effbw
+                               : record.predicted_effbw;
+      record.exec_s = model.exec_time_s(job.num_gpus, effbw, job.iter_scale);
+      record.finish_s = now + record.exec_s;
+
+      running.push(
+          Running{record.finish_s, allocation->id(), result.records.size()});
+      result.records.push_back(std::move(record));
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+      progressed = true;
+    }
+
+    if (running.empty() && queue.empty() &&
+        next_arrival >= arrival_order.size()) {
+      break;
+    }
+
+    // Advance time to the next event: a completion or an arrival.
+    double next_time;
+    if (!running.empty() && next_arrival < arrival_order.size()) {
+      next_time = std::min(running.top().finish_s,
+                           jobs[arrival_order[next_arrival]].arrival_time_s);
+    } else if (!running.empty()) {
+      next_time = running.top().finish_s;
+    } else if (next_arrival < arrival_order.size()) {
+      next_time = jobs[arrival_order[next_arrival]].arrival_time_s;
+    } else {
+      // Queue non-empty but nothing running and no arrivals: the head can
+      // never be placed (policy failure on an empty machine).
+      throw std::runtime_error(
+          "Simulator::run: job " +
+          std::to_string(jobs[queue.front()].id) +
+          " cannot be placed even on an idle machine");
+    }
+    now = std::max(now, next_time);
+
+    while (!running.empty() && running.top().finish_s <= now) {
+      mapa_.release(running.top().allocation_id);
+      running.pop();
+    }
+    admit_arrivals(now);
+  }
+
+  result.makespan_s = now;
+  return result;
+}
+
+SimResult run_simulation(const graph::Graph& hardware,
+                         const std::string& policy_name,
+                         const std::vector<workload::Job>& jobs,
+                         const policy::PolicyConfig& policy_config,
+                         const SimConfig& sim_config) {
+  Simulator simulator(hardware, policy::make_policy(policy_name, policy_config),
+                      sim_config);
+  return simulator.run(jobs);
+}
+
+}  // namespace mapa::sim

@@ -1,0 +1,99 @@
+#pragma once
+// The MAPA simulation execution framework (paper Fig. 14): a job file is
+// dispatched into a FIFO queue; whenever accelerators are free the head
+// job is handed to MAPA for allocation; the engine models hardware
+// occupancy over time, releases accelerators on job completion, and logs
+// every job's allocation quality and execution time.
+//
+// The paper's simulator uses effective bandwidth as the execution-time
+// proxy (§5.1). Ours additionally converts effective bandwidth into
+// execution time through the workload ExecModel, which is what the paper
+// does implicitly for its Section 4 numbers by running the real machine.
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/mapa.hpp"
+#include "graph/graph.hpp"
+#include "interconnect/microbench.hpp"
+#include "policy/policy.hpp"
+#include "workload/exec_model.hpp"
+#include "workload/job.hpp"
+
+namespace mapa::sim {
+
+struct SimConfig {
+  /// Microbenchmark settings for the "measured" effective bandwidth that
+  /// drives execution times.
+  interconnect::MicrobenchConfig microbench;
+  /// When false, execution time is driven by the Eq. 2 *predicted*
+  /// bandwidth instead of the measured microbenchmark (the DESIGN.md
+  /// predicted-vs-measured ablation).
+  bool exec_uses_measured_effbw = true;
+  /// Queue reordering (the paper notes MAPA "can employ reordering" while
+  /// evaluating plain FIFO). When true and the FIFO head does not fit,
+  /// up to `backfill_window` later jobs are tried in order and the first
+  /// that fits runs ahead of the blocked head.
+  bool backfill = false;
+  std::size_t backfill_window = 16;
+};
+
+/// Everything logged about one completed job (Fig. 14 log file, plus the
+/// extra scores the benches need).
+struct JobRecord {
+  workload::Job job;
+  std::vector<graph::VertexId> gpus;   // allocation, pattern-vertex order
+  double queued_s = 0.0;               // time entered the queue
+  double start_s = 0.0;                // allocation time
+  double finish_s = 0.0;
+  double exec_s = 0.0;                 // modeled execution time
+  double aggregated_bw = 0.0;          // Eq. 1
+  double predicted_effbw = 0.0;        // Eq. 2
+  double measured_effbw = 0.0;         // synthetic microbenchmark
+  double preserved_bw = 0.0;           // Eq. 3 at allocation time
+  double scheduling_overhead_ms = 0.0; // wall-clock cost of the decision
+};
+
+struct SimResult {
+  std::string policy;
+  std::string topology;
+  std::vector<JobRecord> records;     // in completion order
+  double makespan_s = 0.0;
+  double total_scheduling_ms = 0.0;
+
+  /// Jobs per hour of simulated time (the Table 3 "Tput" basis).
+  double throughput_jobs_per_hour() const;
+
+  /// Record for a job id; nullptr when absent.
+  const JobRecord* find(int job_id) const;
+};
+
+class Simulator {
+ public:
+  /// Takes ownership of the hardware graph and policy.
+  Simulator(graph::Graph hardware, std::unique_ptr<policy::Policy> policy,
+            SimConfig config = {});
+
+  /// Run a job list to completion. Jobs are queued in arrival order (ties
+  /// by position) and served FIFO with head-of-line blocking, mirroring
+  /// the paper's scheduler. Throws if any job requests more accelerators
+  /// than the machine has.
+  SimResult run(const std::vector<workload::Job>& jobs);
+
+  const graph::Graph& hardware() const { return mapa_.hardware(); }
+
+ private:
+  core::Mapa mapa_;
+  SimConfig config_;
+};
+
+/// Convenience: build a simulator for a named policy and run the jobs.
+SimResult run_simulation(const graph::Graph& hardware,
+                         const std::string& policy_name,
+                         const std::vector<workload::Job>& jobs,
+                         const policy::PolicyConfig& policy_config = {},
+                         const SimConfig& sim_config = {});
+
+}  // namespace mapa::sim

@@ -1,0 +1,62 @@
+#include "sim/logger.hpp"
+
+#include <sstream>
+
+#include "util/csv.hpp"
+
+namespace mapa::sim {
+
+std::string to_log_text(const SimResult& result) {
+  std::ostringstream os;
+  os << "ID, Allocation, Topology, Effective BW (GBps)\n";
+  for (const JobRecord& r : result.records) {
+    os << r.job.id << ", (";
+    for (std::size_t i = 0; i < r.gpus.size(); ++i) {
+      if (i != 0) os << ',';
+      os << r.gpus[i];
+    }
+    os << "), " << graph::to_string(r.job.pattern) << ", "
+       << util::format_double(r.predicted_effbw) << '\n';
+  }
+  return os.str();
+}
+
+void write_csv(const SimResult& result, std::ostream& out) {
+  util::CsvWriter csv(out);
+  csv.header({"job_id", "workload", "num_gpus", "pattern", "bw_sensitive",
+              "gpus", "queued_s", "start_s", "finish_s", "exec_s",
+              "aggregated_bw", "predicted_effbw", "measured_effbw",
+              "preserved_bw", "scheduling_overhead_ms"});
+  for (const JobRecord& r : result.records) {
+    std::ostringstream gpus;
+    for (std::size_t i = 0; i < r.gpus.size(); ++i) {
+      if (i != 0) gpus << ' ';
+      gpus << r.gpus[i];
+    }
+    csv.row(std::vector<std::string>{
+        std::to_string(r.job.id),
+        r.job.workload,
+        std::to_string(r.job.num_gpus),
+        graph::to_string(r.job.pattern),
+        r.job.bandwidth_sensitive ? "true" : "false",
+        gpus.str(),
+        util::format_double(r.queued_s),
+        util::format_double(r.start_s),
+        util::format_double(r.finish_s),
+        util::format_double(r.exec_s),
+        util::format_double(r.aggregated_bw),
+        util::format_double(r.predicted_effbw),
+        util::format_double(r.measured_effbw),
+        util::format_double(r.preserved_bw),
+        util::format_double(r.scheduling_overhead_ms),
+    });
+  }
+}
+
+std::string to_csv(const SimResult& result) {
+  std::ostringstream os;
+  write_csv(result, os);
+  return os.str();
+}
+
+}  // namespace mapa::sim

@@ -1,0 +1,20 @@
+#pragma once
+// Run-log serialization (the Fig. 14 "Log File" box): a compact text log
+// in the paper's format and a full CSV with every recorded score, which
+// the benches dump alongside their tables.
+
+#include <iosfwd>
+#include <string>
+
+#include "sim/engine.hpp"
+
+namespace mapa::sim {
+
+/// Paper-style log lines: "ID, Allocation, Topology, Effective BW (GBps)".
+std::string to_log_text(const SimResult& result);
+
+/// Full CSV: one row per job with all scores and times.
+void write_csv(const SimResult& result, std::ostream& out);
+std::string to_csv(const SimResult& result);
+
+}  // namespace mapa::sim

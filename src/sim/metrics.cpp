@@ -1,0 +1,128 @@
+#include "sim/metrics.hpp"
+
+#include <stdexcept>
+
+namespace mapa::sim {
+
+double record_value(const JobRecord& record, RecordField field) {
+  switch (field) {
+    case RecordField::kExecTime:
+      return record.exec_s;
+    case RecordField::kPredictedEffBw:
+      return record.predicted_effbw;
+    case RecordField::kMeasuredEffBw:
+      return record.measured_effbw;
+    case RecordField::kAggregatedBw:
+      return record.aggregated_bw;
+  }
+  throw std::invalid_argument("record_value: unknown field");
+}
+
+namespace {
+
+bool keep_record(const JobRecord& r, RecordField field,
+                 const std::optional<bool>& sensitive_filter) {
+  if (sensitive_filter && r.job.bandwidth_sensitive != *sensitive_filter) {
+    return false;
+  }
+  // Bandwidth fields are undefined for single-GPU jobs.
+  if (field != RecordField::kExecTime && r.job.num_gpus < 2) return false;
+  return true;
+}
+
+}  // namespace
+
+std::map<std::string, util::BoxPlot> per_workload_box_plots(
+    const SimResult& result, RecordField field,
+    std::optional<bool> sensitive_filter) {
+  std::map<std::string, std::vector<double>> samples;
+  for (const JobRecord& r : result.records) {
+    if (!keep_record(r, field, sensitive_filter)) continue;
+    samples[r.job.workload].push_back(record_value(r, field));
+  }
+  std::map<std::string, util::BoxPlot> plots;
+  for (const auto& [name, values] : samples) {
+    plots[name] = util::box_plot(values);
+  }
+  return plots;
+}
+
+util::BoxPlot pooled_box_plot(const SimResult& result, RecordField field,
+                              std::optional<bool> sensitive_filter) {
+  std::vector<double> values;
+  for (const JobRecord& r : result.records) {
+    if (!keep_record(r, field, sensitive_filter)) continue;
+    values.push_back(record_value(r, field));
+  }
+  if (values.empty()) {
+    throw std::invalid_argument("pooled_box_plot: no matching records");
+  }
+  return util::box_plot(values);
+}
+
+SpeedupSummary quantile_speedup_summary(
+    const SimResult& baseline, const SimResult& candidate,
+    std::optional<bool> sensitive_filter) {
+  const auto execs = [&](const SimResult& r) {
+    std::vector<double> values;
+    for (const JobRecord& rec : r.records) {
+      if (sensitive_filter &&
+          rec.job.bandwidth_sensitive != *sensitive_filter) {
+        continue;
+      }
+      values.push_back(rec.exec_s);
+    }
+    return values;
+  };
+  const std::vector<double> base = execs(baseline);
+  const std::vector<double> cand = execs(candidate);
+  if (base.empty() || cand.empty()) {
+    throw std::invalid_argument(
+        "quantile_speedup_summary: no matching records");
+  }
+  const util::BoxPlot b = util::box_plot(base);
+  const util::BoxPlot c = util::box_plot(cand);
+  SpeedupSummary summary;
+  summary.policy = candidate.policy;
+  summary.min = b.min / c.min;
+  summary.q25 = b.q25 / c.q25;
+  summary.median = b.median / c.median;
+  summary.q75 = b.q75 / c.q75;
+  summary.max = b.max / c.max;
+  const double base_tput = baseline.throughput_jobs_per_hour();
+  summary.throughput =
+      base_tput > 0.0 ? candidate.throughput_jobs_per_hour() / base_tput : 0.0;
+  return summary;
+}
+
+SpeedupSummary speedup_summary(const SimResult& baseline,
+                               const SimResult& candidate) {
+  std::vector<double> speedups;
+  speedups.reserve(candidate.records.size());
+  for (const JobRecord& r : candidate.records) {
+    const JobRecord* base = baseline.find(r.job.id);
+    if (base == nullptr) {
+      throw std::invalid_argument(
+          "speedup_summary: job missing from baseline run");
+    }
+    if (r.exec_s <= 0.0) continue;  // zero-length jobs carry no signal
+    speedups.push_back(base->exec_s / r.exec_s);
+  }
+  if (speedups.empty()) {
+    throw std::invalid_argument("speedup_summary: no comparable jobs");
+  }
+  const util::BoxPlot bp = util::box_plot(speedups);
+  SpeedupSummary summary;
+  summary.policy = candidate.policy;
+  summary.min = bp.min;
+  summary.q25 = bp.q25;
+  summary.median = bp.median;
+  summary.q75 = bp.q75;
+  summary.max = bp.max;
+  const double base_tput = baseline.throughput_jobs_per_hour();
+  summary.throughput =
+      base_tput > 0.0 ? candidate.throughput_jobs_per_hour() / base_tput : 0.0;
+  return summary;
+}
+
+}  // namespace mapa::sim

@@ -1,0 +1,65 @@
+#pragma once
+// Post-run analysis: the aggregations behind Fig. 13 (per-workload
+// execution-time and effective-bandwidth distributions) and Table 3
+// (normalized speedup quartiles + throughput vs the baseline policy).
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "util/stats.hpp"
+
+namespace mapa::sim {
+
+/// Per-workload box plots of one record field.
+enum class RecordField {
+  kExecTime,
+  kPredictedEffBw,
+  kMeasuredEffBw,
+  kAggregatedBw,
+};
+
+double record_value(const JobRecord& record, RecordField field);
+
+/// Distribution of `field` per workload name. `sensitive_filter`, when
+/// set, keeps only jobs with that sensitivity. Only multi-GPU jobs are
+/// included for bandwidth fields (1-GPU jobs have no links).
+std::map<std::string, util::BoxPlot> per_workload_box_plots(
+    const SimResult& result, RecordField field,
+    std::optional<bool> sensitive_filter = std::nullopt);
+
+/// Pooled distribution of `field` across all (optionally filtered) jobs.
+util::BoxPlot pooled_box_plot(const SimResult& result, RecordField field,
+                              std::optional<bool> sensitive_filter =
+                                  std::nullopt);
+
+/// Table 3 row: per-job execution-time speedups of `candidate` relative to
+/// `baseline` (matched by job id), summarized at min/quartiles/max, plus
+/// the throughput ratio.
+struct SpeedupSummary {
+  std::string policy;
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  double throughput = 0.0;  // candidate jobs/hour over baseline jobs/hour
+};
+
+SpeedupSummary speedup_summary(const SimResult& baseline,
+                               const SimResult& candidate);
+
+/// Table 3 as the paper computes it: ratios of the execution-time
+/// *distribution* quantiles, baseline over candidate — e.g. MAX is
+/// "baseline worst case / candidate worst case" (the paper's "worst case
+/// execution time reduced by up to 35%" = MAX 1.352), and the 75th %
+/// entry is the paper's "12.4% speedup for 75th percentile of jobs".
+/// `sensitive_filter` restricts to one sensitivity class (the paper's
+/// headline numbers concern the bandwidth-sensitive jobs).
+SpeedupSummary quantile_speedup_summary(
+    const SimResult& baseline, const SimResult& candidate,
+    std::optional<bool> sensitive_filter = std::nullopt);
+
+}  // namespace mapa::sim

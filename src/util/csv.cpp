@@ -1,0 +1,60 @@
+#include "util/csv.hpp"
+
+#include <cmath>
+#include <sstream>
+
+namespace mapa::util {
+
+void CsvWriter::header(const std::vector<std::string>& columns) {
+  write_cells(columns);
+}
+
+void CsvWriter::row(const std::vector<std::string>& cells) {
+  write_cells(cells);
+  ++rows_;
+}
+
+void CsvWriter::row(const std::vector<double>& cells) {
+  std::vector<std::string> formatted;
+  formatted.reserve(cells.size());
+  for (const double v : cells) formatted.push_back(format_double(v));
+  row(formatted);
+}
+
+void CsvWriter::write_cells(const std::vector<std::string>& cells) {
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (i != 0) *out_ << ',';
+    *out_ << escape(cells[i]);
+  }
+  *out_ << '\n';
+}
+
+std::string CsvWriter::escape(const std::string& cell) {
+  const bool needs_quotes =
+      cell.find_first_of(",\"\n") != std::string::npos;
+  if (!needs_quotes) return cell;
+  std::string quoted = "\"";
+  for (const char c : cell) {
+    if (c == '"') quoted += "\"\"";
+    else quoted += c;
+  }
+  quoted += '"';
+  return quoted;
+}
+
+std::string format_double(double value) {
+  if (std::isnan(value)) return "nan";
+  if (std::isinf(value)) return value > 0 ? "inf" : "-inf";
+  // Integers print exactly; everything else gets shortest round-trip-ish.
+  if (value == std::floor(value) && std::abs(value) < 1e15) {
+    std::ostringstream os;
+    os << static_cast<long long>(value);
+    return os.str();
+  }
+  std::ostringstream os;
+  os.precision(12);
+  os << value;
+  return os.str();
+}
+
+}  // namespace mapa::util

@@ -1,0 +1,39 @@
+#pragma once
+// Small CSV writer used by the benchmark harness to dump the raw series
+// behind every figure so plots can be regenerated outside this repo.
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace mapa::util {
+
+/// Streaming CSV writer with RFC-4180 quoting.
+class CsvWriter {
+ public:
+  /// Writes to an externally owned stream; the stream must outlive this.
+  explicit CsvWriter(std::ostream& out) : out_(&out) {}
+
+  /// Write a header row; must be called before any data rows if used.
+  void header(const std::vector<std::string>& columns);
+
+  /// Write one data row of string cells.
+  void row(const std::vector<std::string>& cells);
+
+  /// Write one data row of numeric cells with full precision.
+  void row(const std::vector<double>& cells);
+
+  std::size_t rows_written() const { return rows_; }
+
+ private:
+  void write_cells(const std::vector<std::string>& cells);
+  static std::string escape(const std::string& cell);
+
+  std::ostream* out_;
+  std::size_t rows_ = 0;
+};
+
+/// Format a double with enough digits to round-trip.
+std::string format_double(double value);
+
+}  // namespace mapa::util

@@ -1,0 +1,59 @@
+#pragma once
+// Minimal dense linear algebra for the effective-bandwidth regression
+// (Eq. 2 of the paper). The model is linear in its 14 coefficients once the
+// nonlinear features of (x, y, z) are expanded, so ordinary least squares
+// via Householder QR is exact and numerically stable.
+
+#include <cstddef>
+#include <initializer_list>
+#include <span>
+#include <vector>
+
+namespace mapa::util {
+
+/// Row-major dense matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols, double fill = 0.0);
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c);
+  double at(std::size_t r, std::size_t c) const;
+
+  double& operator()(std::size_t r, std::size_t c) {
+    return data_[r * cols_ + c];
+  }
+  double operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  std::span<const double> row(std::size_t r) const;
+
+  Matrix transpose() const;
+  Matrix multiply(const Matrix& rhs) const;
+  std::vector<double> multiply(std::span<const double> vec) const;
+
+  static Matrix identity(std::size_t n);
+
+  /// Max-abs-difference comparison for tests.
+  double max_abs_diff(const Matrix& other) const;
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Solve min ||A x - b||_2 by Householder QR. Requires rows >= cols and
+/// full column rank; throws std::invalid_argument / std::runtime_error
+/// otherwise.
+std::vector<double> least_squares(const Matrix& a, std::span<const double> b);
+
+/// Solve the square system A x = b by QR (convenience wrapper).
+std::vector<double> solve(const Matrix& a, std::span<const double> b);
+
+}  // namespace mapa::util

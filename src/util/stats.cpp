@@ -1,0 +1,178 @@
+#include "util/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+namespace mapa::util {
+
+namespace {
+
+void require_nonempty(std::span<const double> xs, const char* what) {
+  if (xs.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty sample");
+  }
+}
+
+void require_same_size(std::span<const double> a, std::span<const double> b,
+                       const char* what) {
+  if (a.size() != b.size()) {
+    throw std::invalid_argument(std::string(what) + ": size mismatch");
+  }
+  if (a.empty()) {
+    throw std::invalid_argument(std::string(what) + ": empty sample");
+  }
+}
+
+}  // namespace
+
+double sum(std::span<const double> xs) {
+  // Kahan summation: some benches aggregate millions of per-call times.
+  double total = 0.0;
+  double carry = 0.0;
+  for (const double x : xs) {
+    const double y = x - carry;
+    const double t = total + y;
+    carry = (t - total) - y;
+    total = t;
+  }
+  return total;
+}
+
+double mean(std::span<const double> xs) {
+  require_nonempty(xs, "mean");
+  return sum(xs) / static_cast<double>(xs.size());
+}
+
+double variance(std::span<const double> xs) {
+  require_nonempty(xs, "variance");
+  const double m = mean(xs);
+  double acc = 0.0;
+  for (const double x : xs) acc += (x - m) * (x - m);
+  return acc / static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) { return std::sqrt(variance(xs)); }
+
+double min_of(std::span<const double> xs) {
+  require_nonempty(xs, "min_of");
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double max_of(std::span<const double> xs) {
+  require_nonempty(xs, "max_of");
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double quantile(std::span<const double> xs, double q) {
+  require_nonempty(xs, "quantile");
+  if (q < 0.0 || q > 1.0) {
+    throw std::invalid_argument("quantile: q outside [0, 1]");
+  }
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(pos));
+  const auto hi = static_cast<std::size_t>(std::ceil(pos));
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+BoxPlot box_plot(std::span<const double> xs) {
+  require_nonempty(xs, "box_plot");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  const auto at = [&](double q) {
+    const double pos = q * static_cast<double>(sorted.size() - 1);
+    const auto lo = static_cast<std::size_t>(std::floor(pos));
+    const auto hi = static_cast<std::size_t>(std::ceil(pos));
+    const double frac = pos - static_cast<double>(lo);
+    return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+  };
+  BoxPlot bp;
+  bp.min = sorted.front();
+  bp.q25 = at(0.25);
+  bp.median = at(0.50);
+  bp.q75 = at(0.75);
+  bp.max = sorted.back();
+  bp.count = sorted.size();
+  return bp;
+}
+
+double pearson(std::span<const double> xs, std::span<const double> ys) {
+  require_same_size(xs, ys, "pearson");
+  const double mx = mean(xs);
+  const double my = mean(ys);
+  double sxy = 0.0, sxx = 0.0, syy = 0.0;
+  for (std::size_t i = 0; i < xs.size(); ++i) {
+    const double dx = xs[i] - mx;
+    const double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+double rmse(std::span<const double> predicted,
+            std::span<const double> actual) {
+  require_same_size(predicted, actual, "rmse");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    const double d = predicted[i] - actual[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc / static_cast<double>(predicted.size()));
+}
+
+double mae(std::span<const double> predicted, std::span<const double> actual) {
+  require_same_size(predicted, actual, "mae");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    acc += std::abs(predicted[i] - actual[i]);
+  }
+  return acc / static_cast<double>(predicted.size());
+}
+
+double mean_relative_error(std::span<const double> predicted,
+                           std::span<const double> actual) {
+  require_same_size(predicted, actual, "mean_relative_error");
+  double acc = 0.0;
+  std::size_t n = 0;
+  for (std::size_t i = 0; i < predicted.size(); ++i) {
+    if (actual[i] == 0.0) continue;
+    acc += std::abs(predicted[i] - actual[i]) / std::abs(actual[i]);
+    ++n;
+  }
+  if (n == 0) {
+    throw std::invalid_argument("mean_relative_error: all actuals are zero");
+  }
+  return acc / static_cast<double>(n);
+}
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  require_nonempty(xs, "empirical_cdf");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) /
+                                  static_cast<double>(sorted.size())});
+  }
+  return cdf;
+}
+
+std::string to_string(const BoxPlot& bp) {
+  std::ostringstream os;
+  os.precision(3);
+  os << std::fixed << "[min " << bp.min << " | q25 " << bp.q25 << " | med "
+     << bp.median << " | q75 " << bp.q75 << " | max " << bp.max << " | n="
+     << bp.count << "]";
+  return os.str();
+}
+
+}  // namespace mapa::util

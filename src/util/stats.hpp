@@ -1,0 +1,64 @@
+#pragma once
+// Descriptive statistics used throughout the evaluation harness:
+// quantiles and five-number (box-plot) summaries for the figure benches,
+// correlation / error metrics for the regression model (Fig. 12),
+// and CDF construction for the workload characterization (Fig. 5a).
+
+#include <cstddef>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace mapa::util {
+
+/// Five-number summary as drawn in the paper's box plots.
+struct BoxPlot {
+  double min = 0.0;
+  double q25 = 0.0;
+  double median = 0.0;
+  double q75 = 0.0;
+  double max = 0.0;
+  std::size_t count = 0;
+};
+
+/// One (x, cumulative fraction) point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double fraction = 0.0;
+};
+
+double mean(std::span<const double> xs);
+double variance(std::span<const double> xs);  // population variance
+double stddev(std::span<const double> xs);
+double min_of(std::span<const double> xs);
+double max_of(std::span<const double> xs);
+double sum(std::span<const double> xs);
+
+/// Quantile with linear interpolation between order statistics
+/// (type-7 / NumPy default). `q` must be in [0, 1]; `xs` non-empty.
+double quantile(std::span<const double> xs, double q);
+
+/// Five-number summary of a non-empty sample.
+BoxPlot box_plot(std::span<const double> xs);
+
+/// Pearson correlation coefficient; returns 0 when either side is constant.
+double pearson(std::span<const double> xs, std::span<const double> ys);
+
+/// Root-mean-square error between predictions and observations.
+double rmse(std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean absolute error.
+double mae(std::span<const double> predicted, std::span<const double> actual);
+
+/// Mean relative error |pred - actual| / |actual| over entries with
+/// non-zero actual value.
+double mean_relative_error(std::span<const double> predicted,
+                           std::span<const double> actual);
+
+/// Empirical CDF: sorted sample values with cumulative fractions.
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+/// Render a box plot as a compact single-line summary for console tables.
+std::string to_string(const BoxPlot& bp);
+
+}  // namespace mapa::util

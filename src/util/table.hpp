@@ -1,0 +1,32 @@
+#pragma once
+// Aligned console tables. Every bench binary prints the paper's tables and
+// figure series through this, so outputs stay uniform and diff-friendly.
+
+#include <string>
+#include <vector>
+
+namespace mapa::util {
+
+/// Builds a fixed-column text table and renders it with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> columns);
+
+  void add_row(std::vector<std::string> cells);
+  void add_row(const std::vector<double>& cells);
+
+  /// Render with a header rule; `indent` spaces prefix every line.
+  std::string render(int indent = 0) const;
+
+  std::size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format helpers shared by benches.
+std::string fixed(double value, int decimals);
+std::string percent(double fraction, int decimals = 1);
+
+}  // namespace mapa::util

@@ -1,0 +1,71 @@
+#include "workload/exec_model.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+#include "score/effbw_model.hpp"
+
+namespace mapa::workload {
+
+namespace {
+
+/// Ring all-reduce traffic factor, normalized to 1 at two GPUs.
+double traffic_factor(std::size_t gpus) {
+  if (gpus <= 1) return 0.0;
+  const auto k = static_cast<double>(gpus);
+  return 2.0 * (k - 1.0) / k;  // == 1.0 at k == 2
+}
+
+/// EffBW floor: even the worst allocation communicates at some PCIe-class
+/// rate; prevents division blow-ups for pathological inputs.
+constexpr double kMinEffBw = 4.0;
+
+}  // namespace
+
+double ExecModel::reference_double_nvlink_bw() {
+  return score::predict_effective_bandwidth(
+      score::LinkCensus{.doubles = 1, .singles = 0, .pcie = 0});
+}
+
+double ExecModel::reference_pcie_bw() {
+  return score::predict_effective_bandwidth(
+      score::LinkCensus{.doubles = 0, .singles = 0, .pcie = 1});
+}
+
+ExecModel::ExecModel(const WorkloadProfile& profile) : profile_(profile) {
+  if (profile.ref_exec_time_s <= 0.0) {
+    throw std::invalid_argument("ExecModel: non-positive reference time");
+  }
+  if (profile.pcie_slowdown < 1.0) {
+    throw std::invalid_argument("ExecModel: pcie_slowdown must be >= 1");
+  }
+  const double b_double = reference_double_nvlink_bw();
+  const double b_pcie = reference_pcie_bw();
+  const double s = profile.pcie_slowdown;
+  volume_gb_ =
+      profile.ref_exec_time_s * (s - 1.0) / (1.0 / b_pcie - 1.0 / b_double);
+  compute_s_ = profile.ref_exec_time_s - volume_gb_ / b_double;
+  if (compute_s_ < 0.0) {
+    throw std::invalid_argument(
+        "ExecModel: slowdown too large for the reference time");
+  }
+}
+
+double ExecModel::exec_time_s(std::size_t gpus, double effbw_gbps,
+                              double iter_scale) const {
+  if (gpus == 0) throw std::invalid_argument("ExecModel: zero gpus");
+  if (iter_scale < 0.0) {
+    throw std::invalid_argument("ExecModel: negative iter_scale");
+  }
+  const double factor = traffic_factor(gpus);
+  if (factor == 0.0) return compute_s_ * iter_scale;
+  const double bw = std::max(effbw_gbps, kMinEffBw);
+  return (compute_s_ + volume_gb_ * factor / bw) * iter_scale;
+}
+
+double ExecModel::speedup_vs_pcie(std::size_t gpus, double effbw_gbps) const {
+  const double t_pcie = exec_time_s(gpus, reference_pcie_bw());
+  return t_pcie / exec_time_s(gpus, effbw_gbps);
+}
+
+}  // namespace mapa::workload

@@ -1,0 +1,54 @@
+#pragma once
+// Execution-time model: the paper establishes (Fig. 11c, Fig. 16) that a
+// bandwidth-sensitive job's execution time is a decreasing function of the
+// allocation's effective bandwidth, and flat for insensitive jobs. We make
+// that relation explicit:
+//
+//   T(k, EffBW) = iter_scale * ( C  +  V * f(k) / EffBW )
+//
+// where C is the compute time, V the 2-GPU communication volume, and
+// f(k) = 2 (k - 1) / k the ring all-reduce per-GPU traffic factor
+// (f(1) = 0: single-GPU jobs do not communicate; f(4)/f(2) = 1.5 makes
+// 4-GPU runs slower on the same link, as in Fig. 6).
+//
+// C and V are derived per workload from two calibration points — the
+// 2-GPU double-NVLink reference time and the PCIe slowdown (Fig. 2b) —
+// using the model's own bandwidths for those two allocations, so the
+// calibration is exact by construction:
+//   V = T_ref (s - 1) / (1/B_pcie - 1/B_double),   C = T_ref - V / B_double.
+
+#include "workload/profile.hpp"
+
+namespace mapa::workload {
+
+class ExecModel {
+ public:
+  /// Derive the (C, V) parameters for a workload.
+  explicit ExecModel(const WorkloadProfile& profile);
+
+  /// Execution time (seconds) on `gpus` devices whose allocation measures
+  /// `effbw_gbps` effective bandwidth. `iter_scale` scales iterations
+  /// relative to the profile's reference run (Fig. 6 sweeps this).
+  /// EffBW is floored at a PCIe-class minimum so degenerate inputs cannot
+  /// produce unbounded times.
+  double exec_time_s(std::size_t gpus, double effbw_gbps,
+                     double iter_scale = 1.0) const;
+
+  /// Fig. 2b style speedup: time on PCIe / time on this allocation.
+  double speedup_vs_pcie(std::size_t gpus, double effbw_gbps) const;
+
+  double compute_seconds() const { return compute_s_; }
+  double comm_volume_gb() const { return volume_gb_; }
+
+  /// Model bandwidths of the two calibration allocations (Eq. 2 at
+  /// (1,0,0) and (0,0,1)).
+  static double reference_double_nvlink_bw();
+  static double reference_pcie_bw();
+
+ private:
+  const WorkloadProfile profile_;
+  double compute_s_ = 0.0;
+  double volume_gb_ = 0.0;
+};
+
+}  // namespace mapa::workload

@@ -1,0 +1,52 @@
+#include "workload/generator.hpp"
+
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mapa::workload {
+
+std::vector<Job> generate_jobs(const GeneratorConfig& config) {
+  if (config.num_jobs == 0) {
+    throw std::invalid_argument("generate_jobs: zero jobs requested");
+  }
+  if (config.min_gpus == 0 || config.min_gpus > config.max_gpus) {
+    throw std::invalid_argument("generate_jobs: bad GPU range");
+  }
+
+  std::vector<const WorkloadProfile*> mix;
+  if (config.workload_names.empty()) {
+    for (const WorkloadProfile& w : all_workloads()) mix.push_back(&w);
+  } else {
+    for (const std::string& name : config.workload_names) {
+      mix.push_back(&workload_by_name(name));
+    }
+  }
+
+  util::Rng rng(config.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.num_jobs);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < config.num_jobs; ++i) {
+    const WorkloadProfile* profile = mix[static_cast<std::size_t>(
+        rng.uniform_int(0, static_cast<std::int64_t>(mix.size()) - 1))];
+    Job job;
+    job.id = static_cast<int>(i) + 1;
+    job.workload = profile->name;
+    job.num_gpus = static_cast<std::size_t>(
+        rng.uniform_int(static_cast<std::int64_t>(config.min_gpus),
+                        static_cast<std::int64_t>(config.max_gpus)));
+    job.pattern = job.num_gpus <= 1 ? graph::PatternKind::kSingle
+                                    : profile->pattern;
+    job.bandwidth_sensitive = profile->bandwidth_sensitive;
+    if (config.mean_interarrival_s > 0.0) {
+      // Exponential inter-arrival (Poisson process).
+      arrival += -config.mean_interarrival_s * std::log(1.0 - rng.uniform());
+      job.arrival_time_s = arrival;
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+}  // namespace mapa::workload

@@ -1,0 +1,30 @@
+#pragma once
+// Random job-file generation following the paper's methodology (§4, "Jobs
+// configuration"): a uniform mix of the workloads, each requesting a
+// uniformly distributed number of GPUs in [min_gpus, max_gpus] (the paper
+// uses 1..5, citing Philly's observation that multi-GPU request sizes are
+// roughly uniform).
+
+#include <cstdint>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace mapa::workload {
+
+struct GeneratorConfig {
+  std::size_t num_jobs = 300;   // paper's job-file size
+  std::size_t min_gpus = 1;
+  std::size_t max_gpus = 5;
+  /// Restrict the mix; empty = all nine paper workloads.
+  std::vector<std::string> workload_names;
+  /// Mean inter-arrival gap in seconds; 0 = all jobs arrive at time 0
+  /// (the paper's setup: the whole file is queued up front).
+  double mean_interarrival_s = 0.0;
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic (seeded) job list per the configuration.
+std::vector<Job> generate_jobs(const GeneratorConfig& config);
+
+}  // namespace mapa::workload

@@ -1,0 +1,14 @@
+#include "workload/job.hpp"
+
+namespace mapa::workload {
+
+graph::Graph Job::application_graph() const {
+  if (num_gpus <= 1) return graph::single_gpu();
+  return graph::make_pattern(pattern, num_gpus);
+}
+
+const WorkloadProfile& Job::profile() const {
+  return workload_by_name(workload);
+}
+
+}  // namespace mapa::workload

@@ -1,0 +1,32 @@
+#pragma once
+// Job descriptor — one row of the paper's job file (Fig. 14):
+// "ID, NumGPUs, Topology, BW Sensitive" plus the workload behind it.
+
+#include <cstddef>
+#include <string>
+
+#include "graph/graph.hpp"
+#include "graph/patterns.hpp"
+#include "workload/profile.hpp"
+
+namespace mapa::workload {
+
+struct Job {
+  int id = 0;
+  std::string workload;  // profile name ("vgg-16", ...)
+  std::size_t num_gpus = 1;
+  graph::PatternKind pattern = graph::PatternKind::kRing;
+  bool bandwidth_sensitive = false;
+  double arrival_time_s = 0.0;  // dispatcher release time (0 = immediately)
+  double iter_scale = 1.0;      // iterations relative to the reference run
+
+  /// Build this job's application pattern graph (kSingle when 1 GPU).
+  graph::Graph application_graph() const;
+
+  /// The workload profile; throws when `workload` is unknown.
+  const WorkloadProfile& profile() const;
+
+  bool operator==(const Job&) const = default;
+};
+
+}  // namespace mapa::workload

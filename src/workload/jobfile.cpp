@@ -1,0 +1,125 @@
+#include "workload/jobfile.hpp"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/csv.hpp"
+
+namespace mapa::workload {
+
+namespace {
+
+[[noreturn]] void fail(std::size_t line, const std::string& message) {
+  std::ostringstream os;
+  os << "job file parse error at line " << line << ": " << message;
+  throw std::runtime_error(os.str());
+}
+
+std::string trim(const std::string& s) {
+  const auto begin = s.find_first_not_of(" \t\r");
+  if (begin == std::string::npos) return "";
+  const auto end = s.find_last_not_of(" \t\r");
+  return s.substr(begin, end - begin + 1);
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream in(line);
+  while (std::getline(in, field, ',')) fields.push_back(trim(field));
+  return fields;
+}
+
+bool parse_bool(const std::string& text, std::size_t line) {
+  std::string lower(text);
+  std::transform(lower.begin(), lower.end(), lower.begin(),
+                 [](unsigned char c) { return static_cast<char>(std::tolower(c)); });
+  if (lower == "true" || lower == "1" || lower == "yes") return true;
+  if (lower == "false" || lower == "0" || lower == "no") return false;
+  fail(line, "expected boolean, got '" + text + "'");
+}
+
+}  // namespace
+
+std::vector<Job> parse_job_file(std::istream& in) {
+  std::vector<Job> jobs;
+  std::string raw;
+  std::size_t line_no = 0;
+  while (std::getline(in, raw)) {
+    ++line_no;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.erase(hash);
+    if (trim(raw).empty()) continue;
+
+    const std::vector<std::string> fields = split_fields(raw);
+    if (fields.size() < 5 || fields.size() > 7) {
+      fail(line_no,
+           "expected 5-7 fields: id, workload, num_gpus, topology, "
+           "bw_sensitive[, arrival_s[, iter_scale]]");
+    }
+
+    Job job;
+    try {
+      job.id = std::stoi(fields[0]);
+    } catch (const std::exception&) {
+      fail(line_no, "bad job id '" + fields[0] + "'");
+    }
+    job.workload = fields[1];
+    if (find_workload(job.workload) == nullptr) {
+      fail(line_no, "unknown workload '" + job.workload + "'");
+    }
+    try {
+      const int gpus = std::stoi(fields[2]);
+      if (gpus <= 0) fail(line_no, "num_gpus must be positive");
+      job.num_gpus = static_cast<std::size_t>(gpus);
+    } catch (const std::runtime_error&) {
+      throw;
+    } catch (const std::exception&) {
+      fail(line_no, "bad num_gpus '" + fields[2] + "'");
+    }
+    const auto kind = graph::parse_pattern_kind(fields[3]);
+    if (!kind) fail(line_no, "unknown topology '" + fields[3] + "'");
+    job.pattern = job.num_gpus <= 1 ? graph::PatternKind::kSingle : *kind;
+    job.bandwidth_sensitive = parse_bool(fields[4], line_no);
+    if (fields.size() >= 6) {
+      try {
+        job.arrival_time_s = std::stod(fields[5]);
+      } catch (const std::exception&) {
+        fail(line_no, "bad arrival time '" + fields[5] + "'");
+      }
+      if (job.arrival_time_s < 0.0) fail(line_no, "negative arrival time");
+    }
+    if (fields.size() >= 7) {
+      try {
+        job.iter_scale = std::stod(fields[6]);
+      } catch (const std::exception&) {
+        fail(line_no, "bad iter_scale '" + fields[6] + "'");
+      }
+      if (job.iter_scale <= 0.0) fail(line_no, "iter_scale must be positive");
+    }
+    jobs.push_back(std::move(job));
+  }
+  return jobs;
+}
+
+std::vector<Job> parse_job_file_string(const std::string& text) {
+  std::istringstream in(text);
+  return parse_job_file(in);
+}
+
+std::string serialize_job_file(const std::vector<Job>& jobs) {
+  std::ostringstream os;
+  os << "# id, workload, num_gpus, topology, bw_sensitive, arrival_s, "
+        "iter_scale\n";
+  for (const Job& job : jobs) {
+    os << job.id << ", " << job.workload << ", " << job.num_gpus << ", "
+       << graph::to_string(job.pattern) << ", "
+       << (job.bandwidth_sensitive ? "true" : "false") << ", "
+       << util::format_double(job.arrival_time_s) << ", "
+       << util::format_double(job.iter_scale) << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace mapa::workload

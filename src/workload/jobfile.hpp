@@ -1,0 +1,28 @@
+#pragma once
+// Job-file text format, mirroring Fig. 14's
+// "ID, NumGPUs, Topology, BW Sensitive" rows with the workload name and
+// optional arrival time appended:
+//
+//   # id, workload, num_gpus, topology, bw_sensitive[, arrival_s[, iters]]
+//   1, vgg-16, 3, Ring, true
+//   2, googlenet, 4, Ring, false, 12.5
+//
+// '#' starts a comment; blank lines are skipped.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "workload/job.hpp"
+
+namespace mapa::workload {
+
+/// Parse a job file; throws std::runtime_error with a line number on
+/// malformed input.
+std::vector<Job> parse_job_file(std::istream& in);
+std::vector<Job> parse_job_file_string(const std::string& text);
+
+/// Serialize jobs (round-trips through parse_job_file).
+std::string serialize_job_file(const std::vector<Job>& jobs);
+
+}  // namespace mapa::workload

@@ -1,0 +1,52 @@
+#pragma once
+// Workload catalog: the six Caffe CNN training jobs plus the three
+// non-neural multi-GPU workloads the paper evaluates (§4, "Workloads"),
+// with their communication properties (Fig. 5) and bandwidth-sensitivity
+// labels (Fig. 5b and §4's classification of Cusimann/GMM/Jacobi).
+//
+// Per-workload calibration values stand in for the paper's real-machine
+// measurements (see DESIGN.md): `ref_exec_time_s` is the execution time of
+// a 2-GPU run on a double-NVLink allocation, and `pcie_slowdown` is how
+// much slower the same run is on a PCIe-only allocation — the Fig. 2b
+// speedups read in reverse.
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "graph/patterns.hpp"
+
+namespace mapa::workload {
+
+/// Lognormal model of per-call transfer sizes (Fig. 5a CDFs).
+struct CommProfile {
+  double calls_per_iter = 0.0;    // collective calls per GPU per iteration
+  double median_bytes = 0.0;      // lognormal median (exp(mu))
+  double sigma_log = 1.0;         // lognormal sigma (natural log scale)
+};
+
+struct WorkloadProfile {
+  std::string name;
+  bool bandwidth_sensitive = false;
+  double ref_exec_time_s = 0.0;   // 2-GPU double-NVLink reference time
+  double pcie_slowdown = 1.0;     // T(2-GPU PCIe) / T(2-GPU double NVLink)
+  CommProfile comm;
+  graph::PatternKind pattern = graph::PatternKind::kRing;
+  std::size_t ref_iterations = 7000;  // iterations behind ref_exec_time_s
+};
+
+/// The nine paper workloads, in the order of Fig. 13's panels
+/// (sensitive CNNs, insensitive CNNs, then the non-NN workloads).
+const std::vector<WorkloadProfile>& all_workloads();
+
+/// Only the bandwidth-sensitive / -insensitive subsets.
+std::vector<WorkloadProfile> sensitive_workloads();
+std::vector<WorkloadProfile> insensitive_workloads();
+
+/// Lookup by name; throws std::invalid_argument when unknown.
+const WorkloadProfile& workload_by_name(const std::string& name);
+
+/// Lookup by name; nullptr when unknown.
+const WorkloadProfile* find_workload(const std::string& name);
+
+}  // namespace mapa::workload

@@ -1,0 +1,109 @@
+#include "core/mapa.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::core {
+namespace {
+
+Mapa make_mapa(const std::string& policy = "preserve") {
+  return Mapa(graph::dgx1_v100(), policy::make_policy(policy));
+}
+
+TEST(Mapa, ConstructionValidatesInputs) {
+  EXPECT_THROW(Mapa(graph::dgx1_v100(), nullptr), std::invalid_argument);
+  EXPECT_THROW(Mapa(graph::Graph(0), policy::make_policy("baseline")),
+               std::invalid_argument);
+}
+
+TEST(Mapa, AllocateMarksBusy) {
+  Mapa mapa = make_mapa();
+  EXPECT_EQ(mapa.free_accelerators(), 8u);
+  const auto a = mapa.allocate(graph::ring(3), true);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_EQ(a->gpus().size(), 3u);
+  EXPECT_EQ(mapa.free_accelerators(), 5u);
+  EXPECT_EQ(mapa.live_allocations(), 1u);
+  for (const graph::VertexId v : a->gpus()) {
+    EXPECT_TRUE(mapa.busy()[v]);
+  }
+}
+
+TEST(Mapa, ReleaseReturnsAccelerators) {
+  Mapa mapa = make_mapa();
+  const auto a = mapa.allocate(graph::ring(4), true);
+  ASSERT_TRUE(a.has_value());
+  mapa.release(*a);
+  EXPECT_EQ(mapa.free_accelerators(), 8u);
+  EXPECT_EQ(mapa.live_allocations(), 0u);
+}
+
+TEST(Mapa, DoubleReleaseThrows) {
+  Mapa mapa = make_mapa();
+  const auto a = mapa.allocate(graph::ring(2), true);
+  mapa.release(*a);
+  EXPECT_THROW(mapa.release(*a), std::invalid_argument);
+  EXPECT_THROW(mapa.release(12345u), std::invalid_argument);
+}
+
+TEST(Mapa, AllocationsNeverOverlap) {
+  Mapa mapa = make_mapa("greedy");
+  std::vector<Allocation> allocations;
+  for (int i = 0; i < 4; ++i) {
+    const auto a = mapa.allocate(graph::ring(2), true);
+    ASSERT_TRUE(a.has_value());
+    allocations.push_back(*a);
+  }
+  std::set<graph::VertexId> used;
+  for (const auto& a : allocations) {
+    for (const graph::VertexId v : a.gpus()) {
+      EXPECT_TRUE(used.insert(v).second);
+    }
+  }
+  EXPECT_EQ(used.size(), 8u);
+  EXPECT_FALSE(mapa.allocate(graph::ring(2), true).has_value());
+}
+
+TEST(Mapa, RefusesJobsLargerThanMachine) {
+  Mapa mapa = make_mapa("baseline");
+  EXPECT_FALSE(mapa.allocate(graph::ring(9), true).has_value());
+}
+
+TEST(Mapa, AllocationIdsAreUnique) {
+  Mapa mapa = make_mapa();
+  const auto a = mapa.allocate(graph::ring(2), true);
+  const auto b = mapa.allocate(graph::ring(2), true);
+  ASSERT_TRUE(a && b);
+  EXPECT_NE(a->id(), b->id());
+}
+
+TEST(Mapa, ReuseAfterReleaseReachesFullMachineAgain) {
+  Mapa mapa = make_mapa("preserve");
+  for (int round = 0; round < 3; ++round) {
+    const auto a = mapa.allocate(graph::ring(5), true);
+    const auto b = mapa.allocate(graph::ring(3), false);
+    ASSERT_TRUE(a && b);
+    EXPECT_EQ(mapa.free_accelerators(), 0u);
+    mapa.release(*a);
+    mapa.release(*b);
+    EXPECT_EQ(mapa.free_accelerators(), 8u);
+  }
+}
+
+TEST(Mapa, ScoresExposedOnAllocation) {
+  Mapa mapa = make_mapa("greedy");
+  const auto a = mapa.allocate(graph::ring(3), true);
+  ASSERT_TRUE(a.has_value());
+  EXPECT_DOUBLE_EQ(a->aggregated_bw(), 125.0);  // greedy finds the ideal
+  EXPECT_GT(a->predicted_effbw(), 0.0);
+  EXPECT_GT(a->preserved_bw(), 0.0);
+}
+
+TEST(Mapa, PolicyNameExposed) {
+  EXPECT_EQ(make_mapa("topo-aware").policy_name(), "topo-aware");
+}
+
+}  // namespace
+}  // namespace mapa::core

@@ -1,0 +1,142 @@
+#include "graph/graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mapa::graph {
+namespace {
+
+using interconnect::LinkType;
+
+TEST(Graph, EmptyGraph) {
+  const Graph g(0);
+  EXPECT_EQ(g.num_vertices(), 0u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_DOUBLE_EQ(g.total_bandwidth(), 0.0);
+}
+
+TEST(Graph, AddEdgeDefaultsToPeakBandwidth) {
+  Graph g(2);
+  g.add_edge(0, 1, LinkType::kNvLink2Double);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_TRUE(g.has_edge(1, 0));
+  EXPECT_DOUBLE_EQ(g.edge_bandwidth(0, 1), 50.0);
+  EXPECT_EQ(g.edge_type(0, 1), LinkType::kNvLink2Double);
+}
+
+TEST(Graph, ExplicitBandwidthOverridesPeak) {
+  Graph g(2);
+  g.add_edge(0, 1, LinkType::kPcie, 10.0);
+  EXPECT_DOUBLE_EQ(g.edge_bandwidth(0, 1), 10.0);
+}
+
+TEST(Graph, ReAddKeepsHighestBandwidth) {
+  Graph g(2);
+  g.add_edge(0, 1, LinkType::kPcie);
+  g.add_edge(0, 1, LinkType::kNvLink2Double);
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_EQ(g.edge_type(0, 1), LinkType::kNvLink2Double);
+
+  // Downgrade attempt is ignored (paper: edges carry the highest link).
+  g.add_edge(0, 1, LinkType::kPcie);
+  EXPECT_EQ(g.edge_type(0, 1), LinkType::kNvLink2Double);
+}
+
+TEST(Graph, SelfLoopRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(1, 1, LinkType::kPcie), std::invalid_argument);
+}
+
+TEST(Graph, OutOfRangeVertexRejected) {
+  Graph g(2);
+  EXPECT_THROW(g.add_edge(0, 2, LinkType::kPcie), std::out_of_range);
+  EXPECT_THROW(g.socket(5), std::out_of_range);
+  EXPECT_THROW(g.neighbors(2), std::out_of_range);
+}
+
+TEST(Graph, NeighborsAndDegree) {
+  Graph g(4);
+  g.add_edge(0, 1, LinkType::kPcie);
+  g.add_edge(0, 2, LinkType::kPcie);
+  EXPECT_EQ(g.degree(0), 2u);
+  EXPECT_EQ(g.degree(3), 0u);
+  const auto& nbs = g.neighbors(0);
+  EXPECT_EQ(nbs.size(), 2u);
+}
+
+TEST(Graph, SocketLabels) {
+  Graph g(3);
+  EXPECT_EQ(g.socket(0), 0);
+  g.set_socket(2, 1);
+  EXPECT_EQ(g.socket(2), 1);
+}
+
+TEST(Graph, TotalBandwidthSumsEdges) {
+  Graph g(3);
+  g.add_edge(0, 1, LinkType::kNvLink2);         // 25
+  g.add_edge(1, 2, LinkType::kNvLink2Double);   // 50
+  EXPECT_DOUBLE_EQ(g.total_bandwidth(), 75.0);
+}
+
+TEST(Graph, EdgeLookupReturnsNullWhenAbsent) {
+  Graph g(3);
+  g.add_edge(0, 1, LinkType::kPcie);
+  EXPECT_EQ(g.edge(0, 2), nullptr);
+  EXPECT_EQ(g.edge(1, 1), nullptr);
+  EXPECT_DOUBLE_EQ(g.edge_bandwidth(0, 2), 0.0);
+  EXPECT_EQ(g.edge_type(0, 2), LinkType::kNone);
+}
+
+TEST(Graph, InducedSubgraphRelabelsAndKeepsEdges) {
+  Graph g(5);
+  g.set_socket(3, 1);
+  g.add_edge(1, 3, LinkType::kNvLink2);
+  g.add_edge(3, 4, LinkType::kPcie);
+  g.add_edge(0, 1, LinkType::kNvLink2Double);
+
+  const std::vector<VertexId> keep = {1, 3, 4};
+  const Graph sub = g.induced_subgraph(keep);
+  EXPECT_EQ(sub.num_vertices(), 3u);
+  EXPECT_EQ(sub.num_edges(), 2u);
+  // keep[0]=1, keep[1]=3, keep[2]=4.
+  EXPECT_TRUE(sub.has_edge(0, 1));
+  EXPECT_TRUE(sub.has_edge(1, 2));
+  EXPECT_FALSE(sub.has_edge(0, 2));
+  EXPECT_EQ(sub.socket(1), 1);
+  EXPECT_EQ(sub.edge_type(0, 1), LinkType::kNvLink2);
+}
+
+TEST(Graph, InducedSubgraphRejectsDuplicates) {
+  Graph g(3);
+  const std::vector<VertexId> dup = {1, 1};
+  EXPECT_THROW(g.induced_subgraph(dup), std::invalid_argument);
+}
+
+TEST(Graph, WithoutVerticesComplementsSelection) {
+  Graph g(4);
+  g.add_edge(0, 1, LinkType::kPcie);
+  g.add_edge(2, 3, LinkType::kNvLink2);
+  const std::vector<VertexId> removed = {0, 1};
+  std::vector<VertexId> surviving;
+  const Graph rest = g.without_vertices(removed, &surviving);
+  EXPECT_EQ(rest.num_vertices(), 2u);
+  EXPECT_EQ(rest.num_edges(), 1u);
+  EXPECT_EQ(surviving, (std::vector<VertexId>{2, 3}));
+  EXPECT_DOUBLE_EQ(rest.total_bandwidth(), 25.0);
+}
+
+TEST(Graph, EqualityComparesStructureAndLabels) {
+  Graph a(2), b(2);
+  a.add_edge(0, 1, LinkType::kPcie);
+  b.add_edge(0, 1, LinkType::kPcie);
+  EXPECT_EQ(a, b);
+  b.add_edge(0, 1, LinkType::kNvLink2);  // upgrade changes label
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Graph, VertexIdsAreDense) {
+  const Graph g(3);
+  EXPECT_EQ(g.vertex_ids(), (std::vector<VertexId>{0, 1, 2}));
+}
+
+}  // namespace
+}  // namespace mapa::graph

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include "graph/dot.hpp"
+#include "graph/parse.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::graph {
+namespace {
+
+constexpr const char* kMiniTopology = R"(
+# a 4-GPU test box
+topology mini
+gpus 4
+socket 0 0 1
+socket 1 2 3
+link 0 1 NV2x2
+link 2 3 NV2
+pcie_fallback
+)";
+
+TEST(ParseTopology, ParsesExample) {
+  const Graph g = parse_topology_string(kMiniTopology);
+  EXPECT_EQ(g.name(), "mini");
+  EXPECT_EQ(g.num_vertices(), 4u);
+  EXPECT_EQ(g.num_edges(), 6u);  // 2 NVLinks + 4 PCIe fallback
+  EXPECT_EQ(g.socket(1), 0);
+  EXPECT_EQ(g.socket(2), 1);
+  EXPECT_EQ(g.edge_type(0, 1), interconnect::LinkType::kNvLink2Double);
+  EXPECT_EQ(g.edge_type(2, 3), interconnect::LinkType::kNvLink2);
+  EXPECT_EQ(g.edge_type(0, 2), interconnect::LinkType::kPcie);
+}
+
+TEST(ParseTopology, WithoutFallbackKeepsOnlyDeclaredLinks) {
+  const Graph g = parse_topology_string(
+      "gpus 3\nlink 0 1 NV2\n");
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(ParseTopology, ErrorsCarryLineNumbers) {
+  try {
+    parse_topology_string("gpus 2\nlink 0 5 NV2\n");
+    FAIL() << "expected parse error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(ParseTopology, RejectsUnknownDirective) {
+  EXPECT_THROW(parse_topology_string("gpus 2\nfrobnicate\n"),
+               std::runtime_error);
+}
+
+TEST(ParseTopology, RejectsUnknownLinkType) {
+  EXPECT_THROW(parse_topology_string("gpus 2\nlink 0 1 WARP\n"),
+               std::runtime_error);
+}
+
+TEST(ParseTopology, RejectsSelfLink) {
+  EXPECT_THROW(parse_topology_string("gpus 2\nlink 1 1 NV2\n"),
+               std::runtime_error);
+}
+
+TEST(ParseTopology, RejectsMissingGpus) {
+  EXPECT_THROW(parse_topology_string("# nothing\n"), std::runtime_error);
+  EXPECT_THROW(parse_topology_string("link 0 1 NV2\n"), std::runtime_error);
+}
+
+TEST(ParseTopology, RejectsDuplicateGpusDirective) {
+  EXPECT_THROW(parse_topology_string("gpus 2\ngpus 3\n"), std::runtime_error);
+}
+
+TEST(SerializeTopology, RoundTripsFactories) {
+  for (const Graph& original :
+       {dgx1_v100(), summit_node(), torus2d_16(), cubemesh_16()}) {
+    const Graph reparsed = parse_topology_string(serialize_topology(original));
+    EXPECT_EQ(reparsed, original) << original.name();
+    EXPECT_EQ(reparsed.name(), original.name());
+  }
+}
+
+TEST(Dot, ContainsVerticesEdgesAndSocketClusters) {
+  const std::string dot = to_dot(dgx1_v100());
+  EXPECT_NE(dot.find("GPU 0"), std::string::npos);
+  EXPECT_NE(dot.find("GPU 7"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_socket0"), std::string::npos);
+  EXPECT_NE(dot.find("cluster_socket1"), std::string::npos);
+  EXPECT_NE(dot.find("g0 -- g1"), std::string::npos);
+  EXPECT_NE(dot.find("color=red"), std::string::npos);    // double NVLink
+  EXPECT_NE(dot.find("style=dashed"), std::string::npos); // PCIe
+}
+
+TEST(Dot, SingleSocketSkipsClusters) {
+  const std::string dot = to_dot(pcie_only(3));
+  EXPECT_EQ(dot.find("cluster_socket"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mapa::graph

@@ -1,0 +1,127 @@
+#include "graph/patterns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace mapa::graph {
+namespace {
+
+TEST(Patterns, SingleGpu) {
+  const Graph g = single_gpu();
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(Patterns, RingStructure) {
+  const Graph g = ring(5);
+  EXPECT_EQ(g.num_vertices(), 5u);
+  EXPECT_EQ(g.num_edges(), 5u);
+  for (VertexId v = 0; v < 5; ++v) EXPECT_EQ(g.degree(v), 2u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Patterns, RingOfTwoIsSingleEdge) {
+  const Graph g = ring(2);
+  EXPECT_EQ(g.num_edges(), 1u);
+}
+
+TEST(Patterns, ChainStructure) {
+  const Graph g = chain(4);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.degree(0), 1u);
+  EXPECT_EQ(g.degree(1), 2u);
+  EXPECT_EQ(g.degree(3), 1u);
+}
+
+TEST(Patterns, BinaryTreeStructure) {
+  const Graph g = binary_tree(7);
+  EXPECT_EQ(g.num_edges(), 6u);
+  EXPECT_EQ(g.degree(0), 2u);  // root: children 1, 2
+  EXPECT_EQ(g.degree(1), 3u);  // children 3, 4 + parent
+  EXPECT_EQ(g.degree(6), 1u);  // leaf
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Patterns, StarStructure) {
+  const Graph g = star(6);
+  EXPECT_EQ(g.num_edges(), 5u);
+  EXPECT_EQ(g.degree(0), 5u);
+  for (VertexId v = 1; v < 6; ++v) EXPECT_EQ(g.degree(v), 1u);
+}
+
+TEST(Patterns, AllToAllIsComplete) {
+  const Graph g = all_to_all(5);
+  EXPECT_EQ(g.num_edges(), 10u);
+}
+
+TEST(Patterns, NcclMixIsRingUnionTree) {
+  const Graph g = nccl_mix(5);
+  const Graph r = ring(5);
+  const Graph t = binary_tree(5);
+  for (const Edge& e : r.edges()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+  for (const Edge& e : t.edges()) EXPECT_TRUE(g.has_edge(e.u, e.v));
+  // No edges beyond the union.
+  std::size_t union_count = 0;
+  for (VertexId u = 0; u < 5; ++u) {
+    for (VertexId v = u + 1; v < 5; ++v) {
+      if (r.has_edge(u, v) || t.has_edge(u, v)) ++union_count;
+    }
+  }
+  EXPECT_EQ(g.num_edges(), union_count);
+}
+
+TEST(Patterns, PatternEdgesCarryNoBandwidth) {
+  for (const Graph& g : {ring(4), chain(4), binary_tree(4), star(4),
+                         all_to_all(4), nccl_mix(4)}) {
+    for (const Edge& e : g.edges()) {
+      EXPECT_DOUBLE_EQ(e.bandwidth_gbps, 0.0) << g.name();
+      EXPECT_EQ(e.type, interconnect::LinkType::kNone) << g.name();
+    }
+  }
+}
+
+TEST(Patterns, SizeValidation) {
+  EXPECT_THROW(ring(1), std::invalid_argument);
+  EXPECT_THROW(chain(0), std::invalid_argument);
+  EXPECT_THROW(star(1), std::invalid_argument);
+}
+
+TEST(MakePattern, DispatchesAllKinds) {
+  EXPECT_EQ(make_pattern(PatternKind::kRing, 4).num_edges(), 4u);
+  EXPECT_EQ(make_pattern(PatternKind::kChain, 4).num_edges(), 3u);
+  EXPECT_EQ(make_pattern(PatternKind::kTree, 4).num_edges(), 3u);
+  EXPECT_EQ(make_pattern(PatternKind::kStar, 4).num_edges(), 3u);
+  EXPECT_EQ(make_pattern(PatternKind::kAllToAll, 4).num_edges(), 6u);
+}
+
+TEST(MakePattern, SizeOneAlwaysSingle) {
+  const Graph g = make_pattern(PatternKind::kRing, 1);
+  EXPECT_EQ(g.num_vertices(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(MakePattern, ZeroRejected) {
+  EXPECT_THROW(make_pattern(PatternKind::kRing, 0), std::invalid_argument);
+}
+
+TEST(PatternKind, RoundTripsThroughStrings) {
+  for (const PatternKind kind :
+       {PatternKind::kSingle, PatternKind::kRing, PatternKind::kChain,
+        PatternKind::kTree, PatternKind::kStar, PatternKind::kAllToAll,
+        PatternKind::kNcclMix}) {
+    const auto parsed = parse_pattern_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_pattern_kind("bogus").has_value());
+}
+
+TEST(PatternKind, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_pattern_kind("RING"), PatternKind::kRing);
+  EXPECT_EQ(parse_pattern_kind("ring"), PatternKind::kRing);
+  EXPECT_EQ(parse_pattern_kind("AllToAll"), PatternKind::kAllToAll);
+}
+
+}  // namespace
+}  // namespace mapa::graph

@@ -1,0 +1,193 @@
+// Verifies every topology factory against the paper's published structure,
+// including the worked bandwidth examples of Section 2.2 (the strongest
+// cross-check that our DGX-1V edge matrix is the paper's machine).
+
+#include "graph/topology.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+
+namespace mapa::graph {
+namespace {
+
+using interconnect::LinkType;
+
+double pair_bw(const Graph& g, VertexId a, VertexId b) {
+  return g.edge_bandwidth(a, b);
+}
+
+TEST(Dgx1V100, HasEightGpusAndFullConnectivityWithFallback) {
+  const Graph g = dgx1_v100();
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 28u);  // complete graph via PCIe fallback
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Dgx1V100, PaperFragmentationExample) {
+  // Paper §2.2: allocation {GPU1, GPU2, GPU5} (1-based) = 87 GB/s
+  // (1 PCIe + 1 single NVLink + 1 double NVLink). 0-based: {0, 1, 4}.
+  const Graph g = dgx1_v100();
+  EXPECT_DOUBLE_EQ(pair_bw(g, 0, 1) + pair_bw(g, 0, 4) + pair_bw(g, 1, 4),
+                   87.0);
+  EXPECT_EQ(g.edge_type(0, 1), LinkType::kNvLink2);
+  EXPECT_EQ(g.edge_type(0, 4), LinkType::kNvLink2Double);
+  EXPECT_EQ(g.edge_type(1, 4), LinkType::kPcie);
+}
+
+TEST(Dgx1V100, PaperIdealAllocationExample) {
+  // Paper §2.2: ideal 3-GPU allocation {GPU1, GPU3, GPU4} = 125 GB/s
+  // (1 single + 2 double NVLinks). 0-based: {0, 2, 3}.
+  const Graph g = dgx1_v100();
+  EXPECT_DOUBLE_EQ(pair_bw(g, 0, 2) + pair_bw(g, 0, 3) + pair_bw(g, 2, 3),
+                   125.0);
+}
+
+TEST(Dgx1V100, PaperFig2LinkChoices) {
+  // Paper §2.1 (Fig. 2b setup): GPUs 1&5 double NVLink, 1&2 single,
+  // 1&6 PCIe (1-based). 0-based: (0,4), (0,1), (0,5).
+  const Graph g = dgx1_v100();
+  EXPECT_EQ(g.edge_type(0, 4), LinkType::kNvLink2Double);
+  EXPECT_EQ(g.edge_type(0, 1), LinkType::kNvLink2);
+  EXPECT_EQ(g.edge_type(0, 5), LinkType::kPcie);
+}
+
+TEST(Dgx1V100, EveryGpuSpendsSixNvlinkBricks) {
+  const Graph g = dgx1_v100(Connectivity::kNvlinkOnly);
+  for (VertexId v = 0; v < 8; ++v) {
+    int bricks = 0;
+    for (const VertexId nb : g.neighbors(v)) {
+      bricks += g.edge_type(v, nb) == LinkType::kNvLink2Double ? 2 : 1;
+    }
+    EXPECT_EQ(bricks, 6) << "GPU " << v;
+  }
+}
+
+TEST(Dgx1V100, SocketsSplitFourFour) {
+  const Graph g = dgx1_v100();
+  for (VertexId v = 0; v < 8; ++v) {
+    EXPECT_EQ(g.socket(v), v < 4 ? 0 : 1);
+  }
+}
+
+TEST(Dgx1V100, NvlinkOnlyHasSixteenLinks) {
+  const Graph g = dgx1_v100(Connectivity::kNvlinkOnly);
+  EXPECT_EQ(g.num_edges(), 16u);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Dgx1P100, SameWiringAllSingleNvlinkV1) {
+  const Graph g = dgx1_p100(Connectivity::kNvlinkOnly);
+  EXPECT_EQ(g.num_vertices(), 8u);
+  EXPECT_EQ(g.num_edges(), 16u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(e.type, LinkType::kNvLink1);
+    EXPECT_DOUBLE_EQ(e.bandwidth_gbps, 20.0);
+  }
+  // P100 has 4 NVLink ports: degree 4 everywhere.
+  for (VertexId v = 0; v < 8; ++v) EXPECT_EQ(g.degree(v), 4u);
+}
+
+TEST(SummitNode, TwoTripletsOfDoubleNvlink) {
+  const Graph g = summit_node(Connectivity::kNvlinkOnly);
+  EXPECT_EQ(g.num_vertices(), 6u);
+  EXPECT_EQ(g.num_edges(), 6u);  // two triangles
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(e.type, LinkType::kNvLink2Double);
+    EXPECT_EQ(g.socket(e.u), g.socket(e.v));  // NVLink never crosses sockets
+  }
+  const Graph full = summit_node();
+  EXPECT_EQ(full.num_edges(), 15u);  // complete with PCIe fallback
+}
+
+TEST(Torus2d, FourByFourRegularStructure) {
+  const Graph g = torus2d_16(Connectivity::kNvlinkOnly);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 32u);  // 16 row + 16 column torus links
+  for (VertexId v = 0; v < 16; ++v) EXPECT_EQ(g.degree(v), 4u);
+  // Row rings double, column rings single.
+  int doubles = 0, singles = 0;
+  for (const Edge& e : g.edges()) {
+    if (e.type == LinkType::kNvLink2Double) ++doubles;
+    if (e.type == LinkType::kNvLink2) ++singles;
+  }
+  EXPECT_EQ(doubles, 16);
+  EXPECT_EQ(singles, 16);
+  EXPECT_TRUE(is_connected(g));
+}
+
+TEST(Torus2d, QuadrantSockets) {
+  const Graph g = torus2d_16();
+  // GPUs 0,1,4,5 form quadrant (0,0) -> socket 0.
+  EXPECT_EQ(g.socket(0), g.socket(1));
+  EXPECT_EQ(g.socket(0), g.socket(4));
+  EXPECT_EQ(g.socket(0), g.socket(5));
+  EXPECT_NE(g.socket(0), g.socket(2));
+  EXPECT_NE(g.socket(0), g.socket(8));
+  EXPECT_NE(g.socket(0), g.socket(10));
+}
+
+TEST(CubeMesh16, TwoOctetsWithFourBridges) {
+  const Graph g = cubemesh_16(Connectivity::kNvlinkOnly);
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 16u * 2 + 4u);
+  EXPECT_TRUE(is_connected(g));
+  // The two octets replicate the DGX-1V matrix.
+  const Graph dgx = dgx1_v100(Connectivity::kNvlinkOnly);
+  for (const Edge& e : dgx.edges()) {
+    EXPECT_EQ(g.edge_type(e.u, e.v), e.type);
+    EXPECT_EQ(g.edge_type(e.u + 8, e.v + 8), e.type);
+  }
+}
+
+TEST(CubeMesh16, IsMoreIrregularThanTorus) {
+  // The paper contrasts the uniform torus with the irregular cube-mesh:
+  // the torus is vertex-transitive (every vertex sees the same degree
+  // profile), the cube-mesh is not.
+  const Graph torus = torus2d_16(Connectivity::kNvlinkOnly);
+  const Graph mesh = cubemesh_16(Connectivity::kNvlinkOnly);
+  const auto torus_degrees = degree_sequence(torus);
+  EXPECT_EQ(torus_degrees.front(), torus_degrees.back());
+  const auto mesh_degrees = degree_sequence(mesh);
+  EXPECT_NE(mesh_degrees.front(), mesh_degrees.back());
+}
+
+TEST(NvSwitch16, UniformCrossbar) {
+  const Graph g = nvswitch_16();
+  EXPECT_EQ(g.num_vertices(), 16u);
+  EXPECT_EQ(g.num_edges(), 120u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(e.type, LinkType::kNvSwitch);
+  }
+}
+
+TEST(PcieOnly, CompleteAtPcieBandwidth) {
+  const Graph g = pcie_only(4);
+  EXPECT_EQ(g.num_edges(), 6u);
+  for (const Edge& e : g.edges()) {
+    EXPECT_EQ(e.type, LinkType::kPcie);
+    EXPECT_DOUBLE_EQ(e.bandwidth_gbps, 12.0);
+  }
+}
+
+TEST(PcieFallback, OnlyFillsMissingPairs) {
+  Graph g(3);
+  g.add_edge(0, 1, LinkType::kNvLink2Double);
+  add_pcie_fallback(g);
+  EXPECT_EQ(g.num_edges(), 3u);
+  EXPECT_EQ(g.edge_type(0, 1), LinkType::kNvLink2Double);  // not downgraded
+  EXPECT_EQ(g.edge_type(0, 2), LinkType::kPcie);
+  EXPECT_EQ(g.edge_type(1, 2), LinkType::kPcie);
+}
+
+TEST(AllFactories, PcieFallbackYieldsCompleteGraphs) {
+  for (const Graph& g :
+       {dgx1_v100(), dgx1_p100(), summit_node(), torus2d_16(), cubemesh_16(),
+        nvswitch_16()}) {
+    const std::size_t n = g.num_vertices();
+    EXPECT_EQ(g.num_edges(), n * (n - 1) / 2) << g.name();
+  }
+}
+
+}  // namespace
+}  // namespace mapa::graph

@@ -1,0 +1,141 @@
+// End-to-end properties of the full MAPA stack: the qualitative claims of
+// the paper's evaluation must hold on reduced-size runs (the full-size
+// reproductions live in bench/).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/topology.hpp"
+#include "score/scores.hpp"
+#include "sim/engine.hpp"
+#include "sim/metrics.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::sim {
+namespace {
+
+std::vector<workload::Job> paper_mix(std::size_t n, std::uint64_t seed = 42) {
+  workload::GeneratorConfig config;
+  config.num_jobs = n;
+  config.seed = seed;
+  return workload::generate_jobs(config);
+}
+
+struct Runs {
+  SimResult baseline;
+  SimResult topo;
+  SimResult greedy;
+  SimResult preserve;
+};
+
+Runs run_all(const graph::Graph& hw, const std::vector<workload::Job>& jobs) {
+  return Runs{
+      run_simulation(hw, "baseline", jobs),
+      run_simulation(hw, "topo-aware", jobs),
+      run_simulation(hw, "greedy", jobs),
+      run_simulation(hw, "preserve", jobs),
+  };
+}
+
+TEST(EndToEnd, MapaPoliciesBeatBaselineEffectiveBandwidth) {
+  // Fig. 13c: Greedy / Preserve lift the median predicted EffBW of
+  // bandwidth-sensitive jobs well above baseline.
+  const auto jobs = paper_mix(120);
+  const auto runs = run_all(graph::dgx1_v100(), jobs);
+  const auto median = [](const SimResult& r) {
+    return pooled_box_plot(r, RecordField::kPredictedEffBw, true).median;
+  };
+  EXPECT_GT(median(runs.greedy), median(runs.baseline));
+  EXPECT_GT(median(runs.preserve), median(runs.baseline));
+}
+
+TEST(EndToEnd, PreserveLiftsTheLowerTailForSensitiveJobs) {
+  // The paper's headline: Preserve reins in the lower tail (25th
+  // percentile of EffBW) relative to Greedy, which starves some
+  // sensitive jobs.
+  const auto jobs = paper_mix(150, 7);
+  const auto runs = run_all(graph::dgx1_v100(), jobs);
+  const auto q25 = [](const SimResult& r) {
+    return pooled_box_plot(r, RecordField::kPredictedEffBw, true).q25;
+  };
+  EXPECT_GE(q25(runs.preserve), q25(runs.greedy) - 1e-9);
+  EXPECT_GT(q25(runs.preserve), q25(runs.baseline));
+}
+
+TEST(EndToEnd, PreserveImprovesSensitiveTailExecutionTime) {
+  // Fig. 13a / Table 3: the 75th percentile execution time of sensitive
+  // jobs improves under Preserve vs baseline.
+  const auto jobs = paper_mix(150, 11);
+  const auto runs = run_all(graph::dgx1_v100(), jobs);
+  const auto q75 = [](const SimResult& r) {
+    return pooled_box_plot(r, RecordField::kExecTime, true).q75;
+  };
+  EXPECT_LT(q75(runs.preserve), q75(runs.baseline));
+}
+
+TEST(EndToEnd, InsensitiveJobsAreLargelyUnaffected) {
+  // Fig. 13b: insensitive execution times barely move across policies.
+  const auto jobs = paper_mix(120, 5);
+  const auto runs = run_all(graph::dgx1_v100(), jobs);
+  const auto med = [](const SimResult& r) {
+    return pooled_box_plot(r, RecordField::kExecTime, false).median;
+  };
+  EXPECT_NEAR(med(runs.preserve) / med(runs.baseline), 1.0, 0.1);
+}
+
+TEST(EndToEnd, SpeedupSummaryFavorsPreserveAtTheTail) {
+  const auto jobs = paper_mix(150, 13);
+  const auto runs = run_all(graph::dgx1_v100(), jobs);
+  const auto preserve = speedup_summary(runs.baseline, runs.preserve);
+  // Table 3 shape: tail speedup (q75/max) above 1, throughput >= baseline.
+  EXPECT_GE(preserve.max, 1.0);
+  EXPECT_GE(preserve.q75, 1.0);
+  EXPECT_GE(preserve.throughput, 0.98);
+}
+
+TEST(EndToEnd, BenefitsGeneralizeToLargerTopologies) {
+  // Section 5: the same qualitative win on the 16-GPU topologies.
+  for (const graph::Graph& hw : {graph::torus2d_16(), graph::cubemesh_16()}) {
+    const auto jobs = paper_mix(80, 17);
+    const auto baseline = run_simulation(hw, "baseline", jobs);
+    const auto preserve = run_simulation(hw, "preserve", jobs);
+    const double base_q25 =
+        pooled_box_plot(baseline, RecordField::kPredictedEffBw, true).q25;
+    const double pres_q25 =
+        pooled_box_plot(preserve, RecordField::kPredictedEffBw, true).q25;
+    EXPECT_GT(pres_q25, base_q25) << hw.name();
+  }
+}
+
+TEST(EndToEnd, FragmentationExistsUnderBaseline) {
+  // Fig. 4's premise: under baseline allocation a large share of multi-GPU
+  // jobs get less aggregated bandwidth than the ideal for their size.
+  const auto jobs = paper_mix(100, 19);
+  const auto result = run_simulation(graph::dgx1_v100(), "baseline", jobs);
+  std::size_t fragmented = 0, multi = 0;
+  for (const auto& r : result.records) {
+    // Restrict to 2-3 GPU jobs where ring == clique, so the comparison
+    // against the clique ideal is apples to apples.
+    if (r.job.num_gpus < 2 || r.job.num_gpus > 3) continue;
+    ++multi;
+    const double ideal = score::ideal_clique_bandwidth(
+        graph::dgx1_v100(), r.job.num_gpus);
+    if (r.aggregated_bw < 0.95 * ideal) ++fragmented;
+  }
+  ASSERT_GT(multi, 0u);
+  EXPECT_GT(static_cast<double>(fragmented) / static_cast<double>(multi),
+            0.3);
+}
+
+TEST(EndToEnd, AllPoliciesCompleteTheSameJobSet) {
+  const auto jobs = paper_mix(90, 23);
+  const auto runs = run_all(graph::summit_node(), jobs);
+  for (const SimResult* r :
+       {&runs.baseline, &runs.topo, &runs.greedy, &runs.preserve}) {
+    EXPECT_EQ(r->records.size(), jobs.size());
+  }
+}
+
+}  // namespace
+}  // namespace mapa::sim

@@ -1,0 +1,81 @@
+#include "interconnect/bandwidth_curve.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mapa::interconnect {
+namespace {
+
+TEST(BandwidthCurve, SaturatesTowardPeak) {
+  const double at_1gb = achievable_bandwidth_gbps(50.0, 1e9);
+  EXPECT_GT(at_1gb, 49.0);
+  EXPECT_LT(at_1gb, 50.0);
+}
+
+TEST(BandwidthCurve, SmallTransfersAreLatencyBound) {
+  // Paper Fig. 2a: below ~1e5 bytes the tiers collapse; achieved bandwidth
+  // is a small fraction of peak.
+  const double small = achievable_bandwidth_gbps(50.0, 1e4);
+  EXPECT_LT(small, 0.05 * 50.0);
+}
+
+TEST(BandwidthCurve, MonotoneInSize) {
+  double previous = 0.0;
+  for (const double bytes : {1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9}) {
+    const double bw = achievable_bandwidth_gbps(25.0, bytes);
+    EXPECT_GT(bw, previous);
+    previous = bw;
+  }
+}
+
+TEST(BandwidthCurve, LinkOrderingPreservedAtAllSizes) {
+  // Fig. 2a: "the relative performance of each link type to each other
+  // remains" across sizes.
+  for (const double bytes : {1e4, 1e5, 1e6, 1e7, 1e8}) {
+    const double pcie = achievable_bandwidth_gbps(LinkType::kPcie, bytes);
+    const double nv2 = achievable_bandwidth_gbps(LinkType::kNvLink2, bytes);
+    const double nv2x2 =
+        achievable_bandwidth_gbps(LinkType::kNvLink2Double, bytes);
+    EXPECT_LT(pcie, nv2);
+    EXPECT_LT(nv2, nv2x2);
+  }
+}
+
+TEST(BandwidthCurve, TiersSeparateOnlyAboveHundredKilobytes) {
+  // At 1e4 bytes double NVLink gains little over PCIe; at 1e7 it is large.
+  const double gain_small =
+      achievable_bandwidth_gbps(LinkType::kNvLink2Double, 1e4) -
+      achievable_bandwidth_gbps(LinkType::kPcie, 1e4);
+  const double gain_large =
+      achievable_bandwidth_gbps(LinkType::kNvLink2Double, 1e7) -
+      achievable_bandwidth_gbps(LinkType::kPcie, 1e7);
+  EXPECT_LT(gain_small, 0.5);
+  EXPECT_GT(gain_large, 20.0);
+}
+
+TEST(BandwidthCurve, ZeroInputsYieldZero) {
+  EXPECT_DOUBLE_EQ(achievable_bandwidth_gbps(0.0, 1e6), 0.0);
+  EXPECT_DOUBLE_EQ(achievable_bandwidth_gbps(50.0, 0.0), 0.0);
+}
+
+TEST(BandwidthCurve, NegativeInputsRejected) {
+  EXPECT_THROW(achievable_bandwidth_gbps(-1.0, 1e6), std::invalid_argument);
+  EXPECT_THROW(achievable_bandwidth_gbps(50.0, -1.0), std::invalid_argument);
+  EXPECT_THROW(achievable_bandwidth_gbps(50.0, 1e6, -1e-6),
+               std::invalid_argument);
+}
+
+TEST(BandwidthCurve, ZeroLatencyReachesPeakExactly) {
+  EXPECT_DOUBLE_EQ(achievable_bandwidth_gbps(50.0, 1e6, 0.0), 50.0);
+}
+
+TEST(RampFraction, BetweenZeroAndOne) {
+  for (const double bytes : {1e3, 1e6, 1e9}) {
+    const double f = ramp_fraction(50.0, bytes);
+    EXPECT_GT(f, 0.0);
+    EXPECT_LT(f, 1.0);
+  }
+  EXPECT_DOUBLE_EQ(ramp_fraction(0.0, 1e6), 0.0);
+}
+
+}  // namespace
+}  // namespace mapa::interconnect

@@ -1,0 +1,142 @@
+#include "interconnect/collective.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::interconnect {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+double cycle_bottleneck(const Graph& g, const std::vector<VertexId>& cycle) {
+  double b = 1e18;
+  for (std::size_t i = 0; i < cycle.size(); ++i) {
+    b = std::min(b, g.edge_bandwidth(cycle[i], cycle[(i + 1) % cycle.size()]));
+  }
+  return b;
+}
+
+TEST(BestRing, TrivialSizes) {
+  EXPECT_FALSE(best_ring(Graph(0)).has_value());
+  const auto one = best_ring(Graph(1));
+  ASSERT_TRUE(one.has_value());
+  EXPECT_DOUBLE_EQ(one->bottleneck_gbps, 0.0);
+}
+
+TEST(BestRing, TwoVerticesUseTheirEdge) {
+  Graph g(2);
+  g.add_edge(0, 1, LinkType::kNvLink2);
+  const auto plan = best_ring(g);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->bottleneck_gbps, 25.0);
+}
+
+TEST(BestRing, TwoVerticesNoEdgeFails) {
+  EXPECT_FALSE(best_ring(Graph(2)).has_value());
+}
+
+TEST(BestRing, PicksTheWidestCycle) {
+  // A 4-cycle with one narrow chord pairing: the optimum avoids PCIe.
+  Graph g(4);
+  g.add_edge(0, 1, LinkType::kNvLink2Double);
+  g.add_edge(1, 2, LinkType::kNvLink2Double);
+  g.add_edge(2, 3, LinkType::kNvLink2Double);
+  g.add_edge(3, 0, LinkType::kNvLink2Double);
+  g.add_edge(0, 2, LinkType::kPcie);
+  g.add_edge(1, 3, LinkType::kPcie);
+  const auto plan = best_ring(g);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->bottleneck_gbps, 50.0);
+  EXPECT_DOUBLE_EQ(cycle_bottleneck(g, plan->cycle), 50.0);
+}
+
+TEST(BestRing, DisconnectedHasNoRing) {
+  Graph g(4);
+  g.add_edge(0, 1, LinkType::kNvLink2);
+  g.add_edge(2, 3, LinkType::kNvLink2);
+  EXPECT_FALSE(best_ring(g).has_value());
+}
+
+TEST(BestRing, ReportedBottleneckMatchesCycle) {
+  const Graph g = graph::dgx1_v100().induced_subgraph(
+      std::vector<VertexId>{0, 1, 2, 4});
+  const auto plan = best_ring(g);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_DOUBLE_EQ(plan->bottleneck_gbps, cycle_bottleneck(g, plan->cycle));
+  EXPECT_EQ(plan->cycle.size(), 4u);
+}
+
+TEST(BestRing, GreedyPathHandlesLargerGraphs) {
+  // 16 vertices exceed the exhaustive limit. The PCIe-fallback torus is
+  // complete, so a Hamiltonian cycle always exists and is at least
+  // PCIe-wide; the heuristic must return a consistent plan.
+  const auto plan = best_ring(graph::torus2d_16());
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_GE(plan->bottleneck_gbps, 12.0);
+  EXPECT_EQ(plan->cycle.size(), 16u);
+  EXPECT_DOUBLE_EQ(plan->bottleneck_gbps, cycle_bottleneck(
+      graph::torus2d_16(), plan->cycle));
+}
+
+TEST(BestTree, MaximumBottleneckSpanningTree) {
+  Graph g(4);
+  g.add_edge(0, 1, LinkType::kNvLink2Double);
+  g.add_edge(1, 2, LinkType::kNvLink2);
+  g.add_edge(2, 3, LinkType::kNvLink2Double);
+  g.add_edge(0, 3, LinkType::kPcie);
+  const auto plan = best_tree(g);
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_EQ(plan->edges.size(), 3u);
+  EXPECT_DOUBLE_EQ(plan->bottleneck_gbps, 25.0);  // avoids the PCIe edge
+}
+
+TEST(BestTree, SingleVertexTrivial) {
+  const auto plan = best_tree(Graph(1));
+  ASSERT_TRUE(plan.has_value());
+  EXPECT_TRUE(plan->edges.empty());
+}
+
+TEST(BestTree, DisconnectedFails) {
+  Graph g(3);
+  g.add_edge(0, 1, LinkType::kNvLink2);
+  EXPECT_FALSE(best_tree(g).has_value());
+}
+
+TEST(BestTree, SummitTripletsNeedPcieToBridge) {
+  const auto nvlink_only =
+      best_tree(graph::summit_node(graph::Connectivity::kNvlinkOnly));
+  EXPECT_FALSE(nvlink_only.has_value());
+  const auto with_fallback = best_tree(graph::summit_node());
+  ASSERT_TRUE(with_fallback.has_value());
+  EXPECT_DOUBLE_EQ(with_fallback->bottleneck_gbps, 12.0);
+}
+
+TEST(RingAllreduce, ScalesWithSizeAndBandwidth) {
+  const double t1 = ring_allreduce_seconds(4, 1e8, 50.0);
+  const double t2 = ring_allreduce_seconds(4, 2e8, 50.0);
+  const double t3 = ring_allreduce_seconds(4, 1e8, 25.0);
+  EXPECT_LT(t1, t2);
+  EXPECT_LT(t1, t3);
+}
+
+TEST(RingAllreduce, SingleGpuAndZeroBytesFree) {
+  EXPECT_DOUBLE_EQ(ring_allreduce_seconds(1, 1e9, 50.0), 0.0);
+  EXPECT_DOUBLE_EQ(ring_allreduce_seconds(4, 0.0, 50.0), 0.0);
+}
+
+TEST(RingAllreduce, InvalidInputsRejected) {
+  EXPECT_THROW(ring_allreduce_seconds(0, 1e6, 50.0), std::invalid_argument);
+  EXPECT_THROW(ring_allreduce_seconds(4, 1e6, 0.0), std::invalid_argument);
+}
+
+TEST(RingAllreduce, MatchesAlphaBetaFormula) {
+  const double t = ring_allreduce_seconds(4, 4e8, 40.0, 5e-6);
+  const double expected = 6.0 * 5e-6 + (2.0 * 3.0 / 4.0) * 4e8 / (40.0 * 1e9);
+  EXPECT_NEAR(t, expected, 1e-12);
+}
+
+}  // namespace
+}  // namespace mapa::interconnect

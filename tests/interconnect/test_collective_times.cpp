@@ -1,0 +1,100 @@
+// Cost formulas for the NCCL collective variants (§6 of the paper lists
+// Reduce / AllReduce / Broadcast / Gather / Scatter as the operations the
+// ML workloads use).
+
+#include <gtest/gtest.h>
+
+#include "interconnect/collective.hpp"
+
+namespace mapa::interconnect {
+namespace {
+
+constexpr double kBytes = 1e8;
+constexpr double kBw = 40.0;
+
+TEST(CollectiveTimes, AllFormulasPositiveAndFiniteForMultiGpu) {
+  for (const std::size_t k : {2u, 3u, 4u, 8u, 16u}) {
+    for (const double t :
+         {ring_allreduce_seconds(k, kBytes, kBw),
+          tree_allreduce_seconds(k, kBytes, kBw),
+          broadcast_seconds(k, kBytes, kBw),
+          allgather_seconds(k, kBytes, kBw),
+          reduce_scatter_seconds(k, kBytes, kBw),
+          all_to_all_seconds(k, kBytes, kBw)}) {
+      EXPECT_GT(t, 0.0) << k;
+      EXPECT_LT(t, 1.0) << k;
+    }
+  }
+}
+
+TEST(CollectiveTimes, SingleGpuAndEmptyPayloadsAreFree) {
+  EXPECT_DOUBLE_EQ(tree_allreduce_seconds(1, kBytes, kBw), 0.0);
+  EXPECT_DOUBLE_EQ(broadcast_seconds(4, 0.0, kBw), 0.0);
+  EXPECT_DOUBLE_EQ(allgather_seconds(1, kBytes, kBw), 0.0);
+  EXPECT_DOUBLE_EQ(all_to_all_seconds(4, 0.0, kBw), 0.0);
+}
+
+TEST(CollectiveTimes, InvalidInputsRejected) {
+  EXPECT_THROW(tree_allreduce_seconds(0, kBytes, kBw),
+               std::invalid_argument);
+  EXPECT_THROW(broadcast_seconds(4, kBytes, 0.0), std::invalid_argument);
+  EXPECT_THROW(allgather_seconds(4, kBytes, -1.0), std::invalid_argument);
+}
+
+TEST(CollectiveTimes, MoreBandwidthIsFaster) {
+  EXPECT_LT(ring_allreduce_seconds(4, kBytes, 50.0),
+            ring_allreduce_seconds(4, kBytes, 12.0));
+  EXPECT_LT(broadcast_seconds(4, kBytes, 50.0),
+            broadcast_seconds(4, kBytes, 12.0));
+}
+
+TEST(CollectiveTimes, TreeBeatsRingForSmallMessages) {
+  // The size-dependent algorithm choice the paper describes: latency
+  // dominates small transfers, where the tree's log-depth wins; wire time
+  // dominates large ones, where the ring's 2x payload factor loses to
+  // nothing.
+  const std::size_t k = 8;
+  EXPECT_LT(tree_allreduce_seconds(k, 1e3, kBw),
+            ring_allreduce_seconds(k, 1e3, kBw));
+  // At very large sizes both are wire-bound; ring moves 2(k-1)/k * S,
+  // tree moves 2 S — ring wins.
+  EXPECT_LT(ring_allreduce_seconds(k, 1e9, kBw),
+            tree_allreduce_seconds(k, 1e9, kBw));
+}
+
+TEST(CollectiveTimes, BroadcastCheaperThanAllReduce) {
+  EXPECT_LT(broadcast_seconds(8, kBytes, kBw),
+            tree_allreduce_seconds(8, kBytes, kBw));
+}
+
+TEST(CollectiveTimes, AllGatherMatchesHandFormula) {
+  const double t = allgather_seconds(4, 4e8, 40.0, 5e-6);
+  const double expected = 3.0 * 5e-6 + (3.0 / 4.0) * 4e8 / (40.0 * 1e9);
+  EXPECT_NEAR(t, expected, 1e-12);
+  EXPECT_DOUBLE_EQ(reduce_scatter_seconds(4, 4e8, 40.0, 5e-6), t);
+}
+
+TEST(CollectiveTimes, BandwidthConversions) {
+  const double seconds = ring_allreduce_seconds(4, kBytes, kBw, 0.0);
+  const double algbw =
+      allreduce_algorithm_bandwidth_gbps(4, kBytes, seconds);
+  const double busbw = allreduce_bus_bandwidth_gbps(4, kBytes, seconds);
+  // With zero latency, busbw equals the wire bandwidth exactly.
+  EXPECT_NEAR(busbw, kBw, 1e-9);
+  EXPECT_NEAR(busbw, algbw * 2.0 * 3.0 / 4.0, 1e-12);
+  EXPECT_THROW(allreduce_algorithm_bandwidth_gbps(4, kBytes, 0.0),
+               std::invalid_argument);
+  EXPECT_DOUBLE_EQ(allreduce_bus_bandwidth_gbps(1, kBytes, 1.0), 0.0);
+}
+
+TEST(CollectiveTimes, LatencyTermScalesWithTopologyDepth) {
+  // Wire time fixed at zero bytes ~ pure latency: ring pays 2(k-1) hops,
+  // tree pays 2 ceil(log2 k).
+  const double ring8 = ring_allreduce_seconds(8, 1.0, 1e9, 1e-3);
+  const double tree8 = tree_allreduce_seconds(8, 1.0, 1e9, 1e-3);
+  EXPECT_NEAR(ring8, 14.0 * 1e-3, 1e-6);
+  EXPECT_NEAR(tree8, 6.0 * 1e-3, 1e-6);
+}
+
+}  // namespace
+}  // namespace mapa::interconnect

@@ -1,0 +1,52 @@
+#include "interconnect/link.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mapa::interconnect {
+namespace {
+
+TEST(Link, PaperTable1Bandwidths) {
+  EXPECT_DOUBLE_EQ(peak_bandwidth_gbps(LinkType::kNvLink1), 20.0);
+  EXPECT_DOUBLE_EQ(peak_bandwidth_gbps(LinkType::kNvLink2), 25.0);
+  EXPECT_DOUBLE_EQ(peak_bandwidth_gbps(LinkType::kNvLink2Double), 50.0);
+  EXPECT_DOUBLE_EQ(peak_bandwidth_gbps(LinkType::kPcie), 12.0);
+  EXPECT_DOUBLE_EQ(peak_bandwidth_gbps(LinkType::kNone), 0.0);
+}
+
+TEST(Link, DoubleNvlinkIsTwiceSingle) {
+  EXPECT_DOUBLE_EQ(peak_bandwidth_gbps(LinkType::kNvLink2Double),
+                   2.0 * peak_bandwidth_gbps(LinkType::kNvLink2));
+}
+
+TEST(Link, NamesRoundTrip) {
+  for (const LinkType t :
+       {LinkType::kNone, LinkType::kPcie, LinkType::kNvLink1,
+        LinkType::kNvLink2, LinkType::kNvLink2Double, LinkType::kNvSwitch}) {
+    const auto parsed = parse_link_type(to_string(t));
+    ASSERT_TRUE(parsed.has_value()) << to_string(t);
+    EXPECT_EQ(*parsed, t);
+  }
+}
+
+TEST(Link, ParseIsCaseInsensitive) {
+  EXPECT_EQ(parse_link_type("nv2x2"), LinkType::kNvLink2Double);
+  EXPECT_EQ(parse_link_type("PCIE"), LinkType::kPcie);
+  EXPECT_EQ(parse_link_type("pcie"), LinkType::kPcie);
+}
+
+TEST(Link, ParseRejectsUnknown) {
+  EXPECT_FALSE(parse_link_type("infiniband").has_value());
+  EXPECT_FALSE(parse_link_type("").has_value());
+}
+
+TEST(Link, IsNvlinkClassification) {
+  EXPECT_TRUE(is_nvlink(LinkType::kNvLink1));
+  EXPECT_TRUE(is_nvlink(LinkType::kNvLink2));
+  EXPECT_TRUE(is_nvlink(LinkType::kNvLink2Double));
+  EXPECT_FALSE(is_nvlink(LinkType::kPcie));
+  EXPECT_FALSE(is_nvlink(LinkType::kNone));
+  EXPECT_FALSE(is_nvlink(LinkType::kNvSwitch));
+}
+
+}  // namespace
+}  // namespace mapa::interconnect

@@ -1,0 +1,151 @@
+#include "interconnect/microbench.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "match/enumerator.hpp"
+#include "score/effbw_model.hpp"
+
+namespace mapa::interconnect {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+using match::Match;
+
+Match match_of(std::vector<VertexId> mapping) {
+  Match m;
+  m.mapping = std::move(mapping);
+  return m;
+}
+
+TEST(Microbench, SingleGpuHasZeroBandwidth) {
+  EXPECT_DOUBLE_EQ(measured_effective_bandwidth(
+                       graph::single_gpu(), graph::dgx1_v100(), match_of({3})),
+                   0.0);
+}
+
+TEST(Microbench, GoodAllocationBeatsFragmentedAllocation) {
+  // Paper §2.2: ideal {0,2,3} vs fragmented {0,1,4} (0-based).
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  const double ideal =
+      measured_effective_bandwidth(pattern, hw, match_of({0, 2, 3}));
+  const double fragmented =
+      measured_effective_bandwidth(pattern, hw, match_of({0, 1, 4}));
+  EXPECT_GT(ideal, fragmented);
+}
+
+TEST(Microbench, TracksLinkMixOrdering) {
+  const Graph hw = graph::dgx1_v100();
+  const Graph pair = graph::ring(2);
+  const double double_nv =
+      measured_effective_bandwidth(pair, hw, match_of({0, 4}));
+  const double single_nv =
+      measured_effective_bandwidth(pair, hw, match_of({0, 1}));
+  const double pcie = measured_effective_bandwidth(pair, hw, match_of({0, 5}));
+  EXPECT_GT(double_nv, single_nv);
+  EXPECT_GT(single_nv, pcie);
+}
+
+TEST(Microbench, CorrelatesWithEq2Base) {
+  // The measured value stays within the structural-term band of the Eq. 2
+  // base prediction (ring weight + QPI penalty are small corrections).
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(4);
+  match::for_each_match(pattern, hw, [&](const Match& m) {
+    const double measured = measured_effective_bandwidth(pattern, hw, m);
+    const double base = std::max(
+        score::predict_effective_bandwidth(
+            score::used_link_census(pattern, hw, m)),
+        4.0);
+    EXPECT_LE(measured, base + 1e-9);
+    // Lower band: structural ring term (-8%) and up to 4 QPI-crossing PCIe
+    // edges (-6 GB/s) below the base, with a hard floor near 4 GB/s.
+    EXPECT_GE(measured, std::max(0.90 * base - 6.5, 3.9));
+    return true;
+  });
+}
+
+TEST(Microbench, QpiPenaltyReducesCrossSocketPcie) {
+  MicrobenchConfig with_penalty;
+  MicrobenchConfig no_penalty;
+  no_penalty.qpi_penalty_gbps = 0.0;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pair = graph::ring(2);
+  // (1,4) is a cross-socket PCIe pair on the DGX-1V.
+  const auto m = match_of({1, 4});
+  EXPECT_LT(measured_effective_bandwidth(pair, hw, m, with_penalty),
+            measured_effective_bandwidth(pair, hw, m, no_penalty));
+  // Same-socket PCIe pair is unaffected: (1,4)... use NVLink-only graph
+  // where (0,5)? On the fallback DGX-V, (2,5)? socket(2)=0 socket(5)=1 —
+  // cross. Same-socket PCIe pairs do not exist on DGX-1V (quads are fully
+  // NVLinked), so use the torus where (0,5) is an intra-socket PCIe pair.
+  const Graph torus = graph::torus2d_16();
+  ASSERT_EQ(torus.edge_type(0, 5), LinkType::kPcie);
+  ASSERT_EQ(torus.socket(0), torus.socket(5));
+  const auto m2 = match_of({0, 5});
+  EXPECT_DOUBLE_EQ(
+      measured_effective_bandwidth(pair, torus, m2, with_penalty),
+      measured_effective_bandwidth(pair, torus, m2, no_penalty));
+}
+
+TEST(Microbench, SizeSweepIsMonotone) {
+  const Graph hw = graph::dgx1_v100();
+  const Graph pair = graph::ring(2);
+  const std::vector<double> sizes = {1e4, 1e5, 1e6, 1e7, 1e8, 1e9};
+  const auto sweep = effbw_size_sweep(pair, hw, match_of({0, 4}), sizes);
+  ASSERT_EQ(sweep.size(), sizes.size());
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GT(sweep[i], sweep[i - 1]);
+  }
+}
+
+TEST(Microbench, DeterministicAcrossCalls) {
+  const Graph hw = graph::cubemesh_16();
+  const Graph pattern = graph::ring(4);
+  const auto m = match_of({0, 1, 2, 3});
+  EXPECT_DOUBLE_EQ(measured_effective_bandwidth(pattern, hw, m),
+                   measured_effective_bandwidth(pattern, hw, m));
+}
+
+TEST(Microbench, FloorAppliesToDegenerateAllocations) {
+  // All-PCIe 5-ring: base Eq. 2 value can dip; result must stay >= floor
+  // times the (near-1) ramp.
+  const Graph hw = graph::pcie_only(8);
+  const Graph pattern = graph::ring(5);
+  const double bw = measured_effective_bandwidth(pattern, hw,
+                                                 match_of({0, 1, 2, 3, 4}));
+  EXPECT_GE(bw, 3.5);
+}
+
+TEST(TrainingSamples, UniqueCensusesLabeled) {
+  const auto samples = generate_training_samples(graph::dgx1_v100());
+  // The paper reports 31 distinct (x, y, z) censuses for 2-5 GPU
+  // allocations on the DGX-V; our edge matrix must be in that ballpark.
+  EXPECT_GE(samples.size(), 20u);
+  EXPECT_LE(samples.size(), 40u);
+  std::set<std::tuple<int, int, int>> seen;
+  for (const auto& s : samples) {
+    EXPECT_TRUE(seen.insert({s.census.doubles, s.census.singles,
+                             s.census.pcie}).second);
+    EXPECT_GT(s.measured_gbps, 0.0);
+    EXPECT_LE(s.census.total(), 5);  // a 5-ring uses 5 edges
+  }
+}
+
+TEST(TrainingSamples, DeterministicAcrossRuns) {
+  const auto a = generate_training_samples(graph::dgx1_v100());
+  const auto b = generate_training_samples(graph::dgx1_v100());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].census, b[i].census);
+    EXPECT_DOUBLE_EQ(a[i].measured_gbps, b[i].measured_gbps);
+  }
+}
+
+}  // namespace
+}  // namespace mapa::interconnect

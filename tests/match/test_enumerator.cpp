@@ -1,0 +1,204 @@
+#include "match/enumerator.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "score/scores.hpp"
+
+namespace mapa::match {
+namespace {
+
+using graph::Graph;
+
+EnumerateOptions raw_options() {
+  EnumerateOptions o;
+  o.break_symmetry = false;
+  return o;
+}
+
+TEST(SymmetryConstraints, EmptyForAsymmetricPattern) {
+  // The smallest asymmetric tree: a spider with legs of lengths 1, 2, 3
+  // (7 vertices). Distinct leg lengths forbid any non-trivial
+  // automorphism, so no constraints should be produced.
+  Graph g(7);
+  g.add_edge(0, 1, interconnect::LinkType::kNone, 0.0);  // leg of length 1
+  g.add_edge(0, 2, interconnect::LinkType::kNone, 0.0);  // leg of length 2
+  g.add_edge(2, 3, interconnect::LinkType::kNone, 0.0);
+  g.add_edge(0, 4, interconnect::LinkType::kNone, 0.0);  // leg of length 3
+  g.add_edge(4, 5, interconnect::LinkType::kNone, 0.0);
+  g.add_edge(5, 6, interconnect::LinkType::kNone, 0.0);
+  ASSERT_EQ(graph::automorphism_count(g), 1u);
+  EXPECT_TRUE(symmetry_constraints(g).empty());
+}
+
+TEST(SymmetryConstraints, NonEmptyForRing) {
+  EXPECT_FALSE(symmetry_constraints(graph::ring(4)).empty());
+}
+
+struct SymmetryCase {
+  std::string name;
+  Graph pattern;
+  Graph target;
+};
+
+class SymmetryBreaking : public ::testing::TestWithParam<SymmetryCase> {};
+
+// The defining property: constrained match count * |Aut(P)| == raw count,
+// i.e. exactly one representative per automorphism class survives.
+TEST_P(SymmetryBreaking, CountsExactlyOnePerOrbit) {
+  const auto& c = GetParam();
+  EnumerateOptions broken;
+  const std::size_t with = count_matches(c.pattern, c.target, broken);
+  const std::size_t raw = count_matches(c.pattern, c.target, raw_options());
+  const std::size_t aut = graph::automorphism_count(c.pattern);
+  EXPECT_EQ(with * aut, raw);
+}
+
+// Every raw match must be an automorphic image of some surviving match.
+TEST_P(SymmetryBreaking, RepresentativesCoverAllAllocations) {
+  const auto& c = GetParam();
+  std::set<std::vector<std::pair<graph::VertexId, graph::VertexId>>>
+      surviving_keys;
+  for (const Match& m : find_matches(c.pattern, c.target)) {
+    surviving_keys.insert(m.used_edges(c.pattern));
+  }
+  for (const Match& m : find_matches(c.pattern, c.target, raw_options())) {
+    EXPECT_TRUE(surviving_keys.count(m.used_edges(c.pattern)))
+        << "raw match not represented";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, SymmetryBreaking,
+    ::testing::Values(
+        SymmetryCase{"ring3_k5", graph::ring(3), graph::all_to_all(5)},
+        SymmetryCase{"ring4_dgxv", graph::ring(4), graph::dgx1_v100()},
+        SymmetryCase{"ring5_dgxv_nvlink", graph::ring(5),
+                     graph::dgx1_v100(graph::Connectivity::kNvlinkOnly)},
+        SymmetryCase{"chain4_dgxv_nvlink", graph::chain(4),
+                     graph::dgx1_v100(graph::Connectivity::kNvlinkOnly)},
+        SymmetryCase{"star4_k6", graph::star(4), graph::all_to_all(6)},
+        SymmetryCase{"alltoall4_k6", graph::all_to_all(4),
+                     graph::all_to_all(6)},
+        SymmetryCase{"tree5_summit", graph::binary_tree(5),
+                     graph::summit_node()},
+        SymmetryCase{"ring4_torus_nvlink", graph::ring(4),
+                     graph::torus2d_16(graph::Connectivity::kNvlinkOnly)}),
+    [](const ::testing::TestParamInfo<SymmetryCase>& info) {
+      return info.param.name;
+    });
+
+TEST(CountMatches, KnownClosedForms) {
+  // Distinct triangles in K5: C(5,3) = 10.
+  EXPECT_EQ(count_matches(graph::ring(3), graph::all_to_all(5)), 10u);
+  // Distinct 4-rings in K6: C(6,4) * 3 cyclic orders = 45.
+  EXPECT_EQ(count_matches(graph::ring(4), graph::all_to_all(6)), 45u);
+  // Distinct 5-rings in K8: C(8,5) * 4!/2 = 56 * 12 = 672.
+  EXPECT_EQ(count_matches(graph::ring(5), graph::all_to_all(8)), 672u);
+}
+
+TEST(CountMatches, UllmannBackendAgrees) {
+  EnumerateOptions vf2;
+  EnumerateOptions ull;
+  ull.backend = Backend::kUllmann;
+  for (const Graph& pattern :
+       {graph::ring(4), graph::chain(3), graph::star(4)}) {
+    EXPECT_EQ(count_matches(pattern, graph::dgx1_v100(), vf2),
+              count_matches(pattern, graph::dgx1_v100(), ull));
+  }
+}
+
+TEST(CountMatches, ParallelAgreesWithSequential) {
+  EnumerateOptions seq;
+  EnumerateOptions par;
+  par.threads = 8;
+  for (const Graph& pattern : {graph::ring(4), graph::ring(5)}) {
+    EXPECT_EQ(count_matches(pattern, graph::torus2d_16(), seq),
+              count_matches(pattern, graph::torus2d_16(), par));
+  }
+}
+
+TEST(FindMatches, ParallelReturnsSameSortedSet) {
+  EnumerateOptions seq;
+  EnumerateOptions par;
+  par.threads = 8;
+  auto a = find_matches(graph::ring(4), graph::dgx1_v100(), seq);
+  auto b = find_matches(graph::ring(4), graph::dgx1_v100(), par);
+  std::sort(a.begin(), a.end(), [](const Match& x, const Match& y) {
+    return x.mapping < y.mapping;
+  });
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].mapping, b[i].mapping);
+  }
+}
+
+TEST(FindMatches, LimitRespected) {
+  const auto matches =
+      find_matches(graph::ring(3), graph::all_to_all(6), {}, 4);
+  EXPECT_EQ(matches.size(), 4u);
+}
+
+TEST(FindMatches, ForbiddenMaskRespected) {
+  EnumerateOptions options;
+  options.forbidden.assign(8, false);
+  options.forbidden[1] = true;
+  for (const Match& m :
+       find_matches(graph::ring(3), graph::dgx1_v100(), options)) {
+    for (const auto v : m.mapping) EXPECT_NE(v, 1u);
+  }
+}
+
+TEST(BestMatch, FindsMaxAggregatedBandwidth) {
+  // On DGX-1V the best 3-ring is the paper's ideal allocation {0, 2, 3}
+  // at 125 GB/s.
+  const Graph pattern = graph::ring(3);
+  const Graph hardware = graph::dgx1_v100();
+  const auto best = best_match(
+      pattern, hardware,
+      [&](const Match& m) {
+        return score::aggregated_bandwidth(pattern, hardware, m);
+      });
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(best->sorted_vertices(), (std::vector<graph::VertexId>{0, 2, 3}));
+  EXPECT_DOUBLE_EQ(score::aggregated_bandwidth(pattern, hardware, *best),
+                   125.0);
+}
+
+TEST(BestMatch, DeterministicAcrossThreadCounts) {
+  const Graph pattern = graph::ring(4);
+  const Graph hardware = graph::cubemesh_16();
+  const auto scorer = [&](const Match& m) {
+    return score::aggregated_bandwidth(pattern, hardware, m);
+  };
+  EnumerateOptions seq;
+  EnumerateOptions par;
+  par.threads = 8;
+  const auto a = best_match(pattern, hardware, scorer, seq);
+  const auto b = best_match(pattern, hardware, scorer, par);
+  ASSERT_TRUE(a.has_value());
+  ASSERT_TRUE(b.has_value());
+  EXPECT_EQ(a->mapping, b->mapping);
+}
+
+TEST(BestMatch, NulloptWhenNoMatchExists) {
+  EXPECT_FALSE(best_match(graph::ring(3), graph::ring(4),
+                          [](const Match&) { return 1.0; })
+                   .has_value());
+}
+
+TEST(ForEachMatch, StreamsEveryMatchOnce) {
+  std::set<std::vector<graph::VertexId>> seen;
+  for_each_match(graph::ring(3), graph::all_to_all(5), [&](const Match& m) {
+    EXPECT_TRUE(seen.insert(m.mapping).second);
+    return true;
+  });
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+}  // namespace
+}  // namespace mapa::match

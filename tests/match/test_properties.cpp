@@ -1,0 +1,140 @@
+// Property sweeps over the (pattern, topology) cross product: invariants
+// that must hold for every combination MAPA can encounter, checked with
+// parameterized gtest.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "match/enumerator.hpp"
+#include "score/scores.hpp"
+
+namespace mapa::match {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct SweepCase {
+  std::string name;
+  graph::PatternKind kind;
+  std::size_t size;
+  Graph target;
+};
+
+std::vector<SweepCase> sweep_cases() {
+  std::vector<SweepCase> cases;
+  const std::vector<std::pair<std::string, Graph>> targets = {
+      {"dgxv", graph::dgx1_v100()},
+      {"dgxv_nv", graph::dgx1_v100(graph::Connectivity::kNvlinkOnly)},
+      {"summit", graph::summit_node()},
+      {"torus_nv", graph::torus2d_16(graph::Connectivity::kNvlinkOnly)},
+      {"cubemesh_nv", graph::cubemesh_16(graph::Connectivity::kNvlinkOnly)},
+  };
+  const std::vector<std::pair<std::string, graph::PatternKind>> kinds = {
+      {"ring", graph::PatternKind::kRing},
+      {"chain", graph::PatternKind::kChain},
+      {"tree", graph::PatternKind::kTree},
+      {"star", graph::PatternKind::kStar},
+  };
+  for (const auto& [tname, target] : targets) {
+    for (const auto& [kname, kind] : kinds) {
+      for (const std::size_t size : {3u, 4u, 5u}) {
+        cases.push_back({kname + std::to_string(size) + "_" + tname, kind,
+                         size, target});
+      }
+    }
+  }
+  return cases;
+}
+
+class MatchSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(MatchSweep, EveryMatchIsValidInjectiveAdjacencyPreserving) {
+  const auto& c = GetParam();
+  const Graph pattern = graph::make_pattern(c.kind, c.size);
+  for_each_match(pattern, c.target, [&](const Match& m) {
+    EXPECT_TRUE(graph::preserves_adjacency(pattern, c.target, m.mapping));
+    return true;
+  });
+}
+
+TEST_P(MatchSweep, BackendsAgreeOnCount) {
+  const auto& c = GetParam();
+  const Graph pattern = graph::make_pattern(c.kind, c.size);
+  EnumerateOptions vf2;
+  EnumerateOptions ull;
+  ull.backend = Backend::kUllmann;
+  EXPECT_EQ(count_matches(pattern, c.target, vf2),
+            count_matches(pattern, c.target, ull));
+}
+
+TEST_P(MatchSweep, SymmetryQuotientIsExact) {
+  const auto& c = GetParam();
+  const Graph pattern = graph::make_pattern(c.kind, c.size);
+  EnumerateOptions raw;
+  raw.break_symmetry = false;
+  EXPECT_EQ(count_matches(pattern, c.target) *
+                graph::automorphism_count(pattern),
+            count_matches(pattern, c.target, raw));
+}
+
+TEST_P(MatchSweep, ForbiddenMaskEqualsInducedSubgraphCount) {
+  // Masking vertices out must yield exactly the matches found on the
+  // induced subgraph of the remaining vertices.
+  const auto& c = GetParam();
+  const Graph pattern = graph::make_pattern(c.kind, c.size);
+
+  EnumerateOptions masked;
+  masked.forbidden.assign(c.target.num_vertices(), false);
+  std::vector<VertexId> keep;
+  for (VertexId v = 0; v < c.target.num_vertices(); ++v) {
+    if (v % 3 == 0) {
+      masked.forbidden[v] = true;
+    } else {
+      keep.push_back(v);
+    }
+  }
+  const Graph induced = c.target.induced_subgraph(keep);
+  EXPECT_EQ(count_matches(pattern, c.target, masked),
+            count_matches(pattern, induced));
+}
+
+TEST_P(MatchSweep, BestMatchScoreIsTheMaximum) {
+  const auto& c = GetParam();
+  const Graph pattern = graph::make_pattern(c.kind, c.size);
+  const auto scorer = [&](const Match& m) {
+    return score::aggregated_bandwidth(pattern, c.target, m);
+  };
+  const auto best = best_match(pattern, c.target, scorer);
+  double max_score = -1.0;
+  for_each_match(pattern, c.target, [&](const Match& m) {
+    max_score = std::max(max_score, scorer(m));
+    return true;
+  });
+  if (max_score < 0.0) {
+    EXPECT_FALSE(best.has_value());
+  } else {
+    ASSERT_TRUE(best.has_value());
+    EXPECT_DOUBLE_EQ(scorer(*best), max_score);
+  }
+}
+
+TEST_P(MatchSweep, ParallelCountMatchesSequential) {
+  const auto& c = GetParam();
+  const Graph pattern = graph::make_pattern(c.kind, c.size);
+  EnumerateOptions par;
+  par.threads = 4;
+  EXPECT_EQ(count_matches(pattern, c.target),
+            count_matches(pattern, c.target, par));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MatchSweep, ::testing::ValuesIn(sweep_cases()),
+    [](const ::testing::TestParamInfo<SweepCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mapa::match

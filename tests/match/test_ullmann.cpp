@@ -1,0 +1,110 @@
+// Cross-checks Ullmann's algorithm against VF2 — two independent
+// implementations must agree on the exact match set for every pattern and
+// topology combination MAPA uses.
+
+#include "match/ullmann.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "match/vf2.hpp"
+
+namespace mapa::match {
+namespace {
+
+using graph::Graph;
+
+std::vector<std::vector<graph::VertexId>> normalized(
+    std::vector<Match> matches) {
+  std::vector<std::vector<graph::VertexId>> mappings;
+  mappings.reserve(matches.size());
+  for (Match& m : matches) mappings.push_back(std::move(m.mapping));
+  std::sort(mappings.begin(), mappings.end());
+  return mappings;
+}
+
+TEST(Ullmann, TriangleInCompleteFour) {
+  EXPECT_EQ(ullmann_all(graph::ring(3), graph::all_to_all(4)).size(), 24u);
+}
+
+TEST(Ullmann, NoTriangleInSquare) {
+  EXPECT_TRUE(ullmann_all(graph::ring(3), graph::ring(4)).empty());
+}
+
+TEST(Ullmann, RejectsTargetsBeyondBitWidth) {
+  EXPECT_THROW(ullmann_all(graph::ring(3), graph::pcie_only(65)),
+               std::invalid_argument);
+}
+
+TEST(Ullmann, ForbiddenVerticesExcluded) {
+  std::vector<bool> forbidden(8, false);
+  forbidden[2] = true;
+  std::size_t count = 0;
+  ullmann_enumerate(
+      graph::ring(3), graph::dgx1_v100(),
+      [&](const Match& m) {
+        for (const auto v : m.mapping) EXPECT_NE(v, 2u);
+        ++count;
+        return true;
+      },
+      {}, &forbidden);
+  EXPECT_EQ(count, 7u * 6u * 5u);
+}
+
+TEST(Ullmann, EarlyStopHonored) {
+  std::size_t seen = 0;
+  ullmann_enumerate(graph::ring(3), graph::all_to_all(6), [&](const Match&) {
+    ++seen;
+    return seen < 3;
+  });
+  EXPECT_EQ(seen, 3u);
+}
+
+struct CrossCheckCase {
+  std::string name;
+  Graph pattern;
+  Graph target;
+};
+
+class UllmannVsVf2 : public ::testing::TestWithParam<CrossCheckCase> {};
+
+TEST_P(UllmannVsVf2, IdenticalMatchSets) {
+  const auto& c = GetParam();
+  EXPECT_EQ(normalized(ullmann_all(c.pattern, c.target)),
+            normalized(vf2_all(c.pattern, c.target)));
+}
+
+TEST_P(UllmannVsVf2, IdenticalUnderConstraints) {
+  const auto& c = GetParam();
+  const OrderingConstraints constraints = {{0, 1}};
+  EXPECT_EQ(normalized(ullmann_all(c.pattern, c.target, constraints)),
+            normalized(vf2_all(c.pattern, c.target, constraints)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combinations, UllmannVsVf2,
+    ::testing::Values(
+        CrossCheckCase{"ring3_dgxv", graph::ring(3), graph::dgx1_v100()},
+        CrossCheckCase{"ring4_dgxv_nvlink", graph::ring(4),
+                       graph::dgx1_v100(graph::Connectivity::kNvlinkOnly)},
+        CrossCheckCase{"ring5_dgxv_nvlink", graph::ring(5),
+                       graph::dgx1_v100(graph::Connectivity::kNvlinkOnly)},
+        CrossCheckCase{"chain4_summit", graph::chain(4),
+                       graph::summit_node()},
+        CrossCheckCase{"tree5_torus_nvlink", graph::binary_tree(5),
+                       graph::torus2d_16(graph::Connectivity::kNvlinkOnly)},
+        CrossCheckCase{"star4_cubemesh_nvlink", graph::star(4),
+                       graph::cubemesh_16(graph::Connectivity::kNvlinkOnly)},
+        CrossCheckCase{"ncclmix4_dgxp100", graph::nccl_mix(4),
+                       graph::dgx1_p100(graph::Connectivity::kNvlinkOnly)},
+        CrossCheckCase{"alltoall3_summit_nvlink", graph::all_to_all(3),
+                       graph::summit_node(graph::Connectivity::kNvlinkOnly)}),
+    [](const ::testing::TestParamInfo<CrossCheckCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mapa::match

@@ -1,0 +1,158 @@
+#include "match/vf2.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::match {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+TEST(Vf2, TriangleInCompleteFour) {
+  // Raw injective mappings of C3 into K4: 4 * 3 * 2 = 24.
+  const auto matches = vf2_all(graph::ring(3), graph::all_to_all(4));
+  EXPECT_EQ(matches.size(), 24u);
+}
+
+TEST(Vf2, ChainInRingFour) {
+  // A path 0-1-2 in C4: middle vertex 4 ways, endpoints ordered 2 ways.
+  const auto matches = vf2_all(graph::chain(3), graph::ring(4));
+  EXPECT_EQ(matches.size(), 8u);
+}
+
+TEST(Vf2, RingFiveInRingFive) {
+  // C5 onto itself: the dihedral group, 10 mappings.
+  const auto matches = vf2_all(graph::ring(5), graph::ring(5));
+  EXPECT_EQ(matches.size(), 10u);
+}
+
+TEST(Vf2, NoMatchWhenPatternLarger) {
+  EXPECT_TRUE(vf2_all(graph::ring(5), graph::ring(4)).empty());
+}
+
+TEST(Vf2, NoTriangleInSquare) {
+  EXPECT_TRUE(vf2_all(graph::ring(3), graph::ring(4)).empty());
+}
+
+TEST(Vf2, StarNeedsHighDegreeCenter) {
+  // Star-4 (center degree 3) cannot embed into C4 (max degree 2).
+  EXPECT_TRUE(vf2_all(graph::star(4), graph::ring(4)).empty());
+  // But embeds into K4: center 4 ways, leaves 3! orders.
+  EXPECT_EQ(vf2_all(graph::star(4), graph::all_to_all(4)).size(), 24u);
+}
+
+TEST(Vf2, AllMatchesPreserveAdjacency) {
+  const Graph pattern = graph::nccl_mix(4);
+  const Graph target = graph::dgx1_v100(graph::Connectivity::kNvlinkOnly);
+  for (const Match& m : vf2_all(pattern, target)) {
+    EXPECT_TRUE(graph::preserves_adjacency(pattern, target, m.mapping));
+  }
+}
+
+TEST(Vf2, MatchesAreDistinct) {
+  auto matches = vf2_all(graph::ring(4), graph::dgx1_v100());
+  std::sort(matches.begin(), matches.end(),
+            [](const Match& a, const Match& b) { return a.mapping < b.mapping; });
+  EXPECT_EQ(std::adjacent_find(matches.begin(), matches.end()),
+            matches.end());
+}
+
+TEST(Vf2, ForbiddenVerticesNeverUsed) {
+  std::vector<bool> forbidden(8, false);
+  forbidden[0] = forbidden[3] = true;
+  const Graph pattern = graph::ring(3);
+  const Graph target = graph::dgx1_v100();
+  std::size_t count = 0;
+  vf2_enumerate(
+      pattern, target,
+      [&](const Match& m) {
+        for (const VertexId v : m.mapping) {
+          EXPECT_NE(v, 0u);
+          EXPECT_NE(v, 3u);
+        }
+        ++count;
+        return true;
+      },
+      {}, &forbidden);
+  // Triangle on the remaining 6 fully connected vertices: 6*5*4 = 120.
+  EXPECT_EQ(count, 120u);
+}
+
+TEST(Vf2, ForbiddenMaskSizeValidated) {
+  const std::vector<bool> bad(3, false);
+  EXPECT_THROW(vf2_enumerate(graph::ring(3), graph::dgx1_v100(),
+                             [](const Match&) { return true; }, {}, &bad),
+               std::invalid_argument);
+}
+
+TEST(Vf2, VisitorCanStopEarly) {
+  std::size_t seen = 0;
+  vf2_enumerate(graph::ring(3), graph::all_to_all(6), [&](const Match&) {
+    ++seen;
+    return seen < 5;
+  });
+  EXPECT_EQ(seen, 5u);
+}
+
+TEST(Vf2, LimitParameterCapsResults) {
+  const auto matches = vf2_all(graph::ring(3), graph::all_to_all(6), {}, 7);
+  EXPECT_EQ(matches.size(), 7u);
+}
+
+TEST(Vf2, OrderingConstraintsFilterMatches) {
+  // Constraint mapping[0] < mapping[1] keeps exactly half the mappings of
+  // an edge into K3 (3 * 2 = 6 raw, 3 constrained).
+  const OrderingConstraints constraints = {{0, 1}};
+  const auto matches =
+      vf2_all(graph::chain(2), graph::all_to_all(3), constraints);
+  EXPECT_EQ(matches.size(), 3u);
+  for (const Match& m : matches) {
+    EXPECT_LT(m.mapping[0], m.mapping[1]);
+  }
+}
+
+TEST(Vf2, RootTargetPartitionsSearchSpace) {
+  const Graph pattern = graph::ring(3);
+  const Graph target = graph::dgx1_v100();
+  const std::size_t total = vf2_all(pattern, target).size();
+  std::size_t split_total = 0;
+  for (std::int64_t root = 0; root < 8; ++root) {
+    vf2_enumerate(
+        pattern, target, [&](const Match&) {
+          ++split_total;
+          return true;
+        },
+        {}, nullptr, root);
+  }
+  EXPECT_EQ(split_total, total);
+}
+
+TEST(Vf2, RootTargetOutOfRangeThrows) {
+  EXPECT_THROW(vf2_enumerate(graph::ring(3), graph::dgx1_v100(),
+                             [](const Match&) { return true; }, {}, nullptr,
+                             8),
+               std::invalid_argument);
+}
+
+TEST(Vf2, SingleVertexPatternMatchesEveryVertex) {
+  const auto matches = vf2_all(graph::single_gpu(), graph::dgx1_v100());
+  EXPECT_EQ(matches.size(), 8u);
+}
+
+TEST(MatchHelpers, SortedVerticesAndUsedEdges) {
+  const Graph pattern = graph::chain(3);
+  Match m;
+  m.mapping = {5, 2, 7};
+  EXPECT_EQ(m.sorted_vertices(), (std::vector<VertexId>{2, 5, 7}));
+  const auto edges = m.used_edges(pattern);
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_EQ(edges[0], (std::pair<VertexId, VertexId>{2, 5}));
+  EXPECT_EQ(edges[1], (std::pair<VertexId, VertexId>{2, 7}));
+}
+
+}  // namespace
+}  // namespace mapa::match

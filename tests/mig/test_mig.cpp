@@ -1,0 +1,125 @@
+#include "mig/mig.hpp"
+
+#include <gtest/gtest.h>
+
+#include "core/mapa.hpp"
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::mig {
+namespace {
+
+using graph::VertexId;
+
+TEST(Mig, UniformExpansionCounts) {
+  const auto expansion = expand_mig_uniform(graph::dgx1_v100(), 2);
+  EXPECT_EQ(expansion.virtual_graph.num_vertices(), 16u);
+  EXPECT_EQ(expansion.physical_of.size(), 16u);
+  // Instances 2v and 2v+1 belong to physical GPU v.
+  for (VertexId v = 0; v < 16; ++v) {
+    EXPECT_EQ(expansion.physical_of[v], v / 2);
+    EXPECT_EQ(expansion.instance_of[v], v % 2);
+  }
+}
+
+TEST(Mig, HeterogeneousExpansion) {
+  graph::Graph physical(3);
+  physical.add_edge(0, 1, interconnect::LinkType::kNvLink2Double);
+  physical.add_edge(1, 2, interconnect::LinkType::kPcie);
+  const std::vector<int> counts = {1, 3, 2};
+  const auto expansion = expand_mig(physical, counts);
+  EXPECT_EQ(expansion.virtual_graph.num_vertices(), 6u);
+  EXPECT_EQ(expansion.instances_of(0).size(), 1u);
+  EXPECT_EQ(expansion.instances_of(1).size(), 3u);
+  EXPECT_EQ(expansion.instances_of(2).size(), 2u);
+}
+
+TEST(Mig, IntraGpuFabricIsFastest) {
+  const auto expansion = expand_mig_uniform(graph::dgx1_v100(), 2);
+  const auto& vg = expansion.virtual_graph;
+  // Instances 0 and 1 share physical GPU 0.
+  EXPECT_EQ(vg.edge_type(0, 1), interconnect::LinkType::kNvSwitch);
+  EXPECT_DOUBLE_EQ(vg.edge_bandwidth(0, 1), 200.0);
+  for (const auto& e : vg.edges()) {
+    if (expansion.physical_of[e.u] != expansion.physical_of[e.v]) {
+      EXPECT_LT(e.bandwidth_gbps, vg.edge_bandwidth(0, 1));
+    }
+  }
+}
+
+TEST(Mig, SharedInterGpuBandwidthSplitsEvenly) {
+  graph::Graph physical(2);
+  physical.add_edge(0, 1, interconnect::LinkType::kNvLink2Double);  // 50
+  const auto shared = expand_mig_uniform(physical, 2);
+  // 2x2 instance pairs share the 50 GB/s link: 12.5 each.
+  EXPECT_DOUBLE_EQ(shared.virtual_graph.edge_bandwidth(0, 2), 12.5);
+
+  MigOptions options;
+  options.share_inter_gpu_bandwidth = false;
+  const auto unshared = expand_mig_uniform(physical, 2, options);
+  EXPECT_DOUBLE_EQ(unshared.virtual_graph.edge_bandwidth(0, 2), 50.0);
+}
+
+TEST(Mig, SocketLabelsInherited) {
+  const auto expansion = expand_mig_uniform(graph::dgx1_v100(), 2);
+  for (VertexId v = 0; v < 16; ++v) {
+    EXPECT_EQ(expansion.virtual_graph.socket(v),
+              expansion.physical_of[v] < 4 ? 0 : 1);
+  }
+}
+
+TEST(Mig, SingleInstancePreservesStructure) {
+  const graph::Graph physical = graph::dgx1_v100();
+  const auto expansion = expand_mig_uniform(physical, 1);
+  EXPECT_EQ(expansion.virtual_graph.num_vertices(), 8u);
+  EXPECT_EQ(expansion.virtual_graph.num_edges(), physical.num_edges());
+  for (const auto& e : physical.edges()) {
+    EXPECT_DOUBLE_EQ(expansion.virtual_graph.edge_bandwidth(e.u, e.v),
+                     e.bandwidth_gbps);
+  }
+}
+
+TEST(Mig, InvalidInstanceCountsRejected) {
+  const graph::Graph physical(2);
+  EXPECT_THROW(expand_mig(physical, std::vector<int>{1}),
+               std::invalid_argument);
+  EXPECT_THROW(expand_mig(physical, std::vector<int>{0, 1}),
+               std::invalid_argument);
+  EXPECT_THROW(expand_mig(physical, std::vector<int>{8, 1}),
+               std::invalid_argument);
+}
+
+TEST(Mig, PhysicalFootprint) {
+  const auto expansion = expand_mig_uniform(graph::dgx1_v100(), 2);
+  const std::vector<VertexId> alloc = {0, 1, 5};
+  EXPECT_EQ(expansion.physical_footprint(alloc),
+            (std::vector<VertexId>{0, 2}));
+  const std::vector<VertexId> bad = {99};
+  EXPECT_THROW(expansion.physical_footprint(bad), std::out_of_range);
+}
+
+TEST(Mig, ManyToOneMappingThroughUnmodifiedMapa) {
+  // The paper's suggestion end to end: two 2-GPU jobs share one DGX-V
+  // quad's physical GPUs when each GPU is split into two instances.
+  const auto expansion = expand_mig_uniform(graph::dgx1_v100(), 2);
+  core::Mapa mapa(expansion.virtual_graph,
+                  policy::make_policy("preserve"));
+  const auto job1 = mapa.allocate(graph::ring(2), true);
+  const auto job2 = mapa.allocate(graph::ring(2), true);
+  ASSERT_TRUE(job1 && job2);
+  // Preserve picks the on-die fabric pair (fastest link class), so each
+  // job occupies both instances of a single physical GPU.
+  EXPECT_EQ(expansion.physical_footprint(job1->gpus()).size(), 1u);
+  EXPECT_EQ(expansion.physical_footprint(job2->gpus()).size(), 1u);
+  EXPECT_NE(expansion.physical_footprint(job1->gpus()),
+            expansion.physical_footprint(job2->gpus()));
+  // 16 virtual devices support many more small jobs than 8 physical ones:
+  // the two 2-GPU jobs hold 4 instances, so 12 more 1-GPU jobs fit.
+  std::size_t placed = 2;
+  while (mapa.allocate(graph::single_gpu(), false)) ++placed;
+  EXPECT_EQ(placed, 14u);
+  EXPECT_EQ(mapa.free_accelerators(), 0u);
+}
+
+}  // namespace
+}  // namespace mapa::mig

@@ -1,0 +1,301 @@
+#include "policy/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "policy/baseline.hpp"
+#include "policy/greedy.hpp"
+#include "policy/preserve.hpp"
+#include "policy/random_policy.hpp"
+#include "policy/topo_aware.hpp"
+#include "score/effbw_model.hpp"
+#include "score/scores.hpp"
+
+namespace mapa::policy {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+AllocationRequest request_for(const Graph& pattern, bool sensitive) {
+  AllocationRequest r;
+  r.pattern = &pattern;
+  r.bandwidth_sensitive = sensitive;
+  return r;
+}
+
+std::vector<bool> no_busy(const Graph& hw) {
+  return std::vector<bool>(hw.num_vertices(), false);
+}
+
+TEST(Baseline, PicksLowestFreeIds) {
+  BaselinePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  const auto result = policy.allocate(hw, no_busy(hw),
+                                      request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->match.mapping, (std::vector<VertexId>{0, 1, 2}));
+}
+
+TEST(Baseline, SkipsBusyIds) {
+  BaselinePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  std::vector<bool> busy = no_busy(hw);
+  busy[0] = busy[2] = true;
+  const Graph pattern = graph::ring(3);
+  const auto result =
+      policy.allocate(hw, busy, request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_EQ(result->match.mapping, (std::vector<VertexId>{1, 3, 4}));
+}
+
+TEST(Baseline, NulloptWhenNotEnoughFree) {
+  BaselinePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  std::vector<bool> busy(8, true);
+  busy[3] = false;
+  const Graph pattern = graph::ring(2);
+  EXPECT_FALSE(policy.allocate(hw, busy, request_for(pattern, true)));
+}
+
+TEST(Baseline, FillsScoreFields) {
+  BaselinePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  const auto result = policy.allocate(hw, no_busy(hw),
+                                      request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  // {0,1,2}: (0,1)=25 + (1,2)=50 + (0,2)=25 = 100.
+  EXPECT_DOUBLE_EQ(result->aggregated_bw, 100.0);
+  EXPECT_GT(result->predicted_effbw, 0.0);
+  EXPECT_GT(result->preserved_bw, 0.0);
+}
+
+TEST(TopoAware, PrefersSingleSocket) {
+  TopoAwarePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  std::vector<bool> busy = no_busy(hw);
+  busy[0] = busy[1] = true;  // socket 0 has only {2,3} free
+  const Graph pattern = graph::ring(3);
+  const auto result =
+      policy.allocate(hw, busy, request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  // Socket 1 ({4..7}, 4 free) is the only socket that fits 3 GPUs.
+  for (const VertexId v : result->match.mapping) {
+    EXPECT_EQ(hw.socket(v), 1);
+  }
+}
+
+TEST(TopoAware, BestFitChoosesTighterSocket) {
+  TopoAwarePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  std::vector<bool> busy = no_busy(hw);
+  busy[0] = true;  // socket 0: 3 free; socket 1: 4 free
+  const Graph pattern = graph::ring(3);
+  const auto result =
+      policy.allocate(hw, busy, request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  // Best fit: socket 0 (slack 0) over socket 1 (slack 1).
+  for (const VertexId v : result->match.mapping) {
+    EXPECT_EQ(hw.socket(v), 0);
+  }
+}
+
+TEST(TopoAware, SpillsAcrossFewestSockets) {
+  TopoAwarePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(5);
+  const auto result = policy.allocate(hw, no_busy(hw),
+                                      request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  // 5 GPUs cannot fit one socket of 4: expect one full socket + 1 spill.
+  int socket0 = 0, socket1 = 0;
+  for (const VertexId v : result->match.mapping) {
+    (hw.socket(v) == 0 ? socket0 : socket1)++;
+  }
+  EXPECT_EQ(std::max(socket0, socket1), 4);
+  EXPECT_EQ(std::min(socket0, socket1), 1);
+}
+
+TEST(Greedy, SelectsMaxAggregatedBandwidth) {
+  GreedyPolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  const auto result = policy.allocate(hw, no_busy(hw),
+                                      request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  EXPECT_DOUBLE_EQ(result->aggregated_bw, 125.0);  // the paper's ideal
+}
+
+TEST(Greedy, RespectsBusyMask) {
+  GreedyPolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  std::vector<bool> busy = no_busy(hw);
+  // Take the whole first quad: best remaining triangle is in {4..7}.
+  busy[0] = busy[1] = busy[2] = busy[3] = true;
+  const Graph pattern = graph::ring(3);
+  const auto result =
+      policy.allocate(hw, busy, request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  for (const VertexId v : result->match.mapping) EXPECT_GE(v, 4u);
+  // Best triangle in the second quad: {4,6,7} = 25+50+50 = 125.
+  EXPECT_DOUBLE_EQ(result->aggregated_bw, 125.0);
+}
+
+TEST(Preserve, SensitiveJobsMaximizePredictedEffBw) {
+  PreservePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  const auto chosen = policy.allocate(hw, no_busy(hw),
+                                      request_for(pattern, true));
+  ASSERT_TRUE(chosen.has_value());
+  // No other match may have higher predicted EffBW.
+  double best = 0.0;
+  match::for_each_match(pattern, hw, [&](const match::Match& m) {
+    best = std::max(best,
+                    score::predict_effective_bandwidth(pattern, hw, m));
+    return true;
+  });
+  EXPECT_DOUBLE_EQ(chosen->predicted_effbw, best);
+}
+
+TEST(Preserve, InsensitiveJobsMaximizePreservedBw) {
+  PreservePolicy policy;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  const auto chosen = policy.allocate(hw, no_busy(hw),
+                                      request_for(pattern, false));
+  ASSERT_TRUE(chosen.has_value());
+  double best = 0.0;
+  match::for_each_match(pattern, hw, [&](const match::Match& m) {
+    best = std::max(best, score::preserved_bandwidth(hw, m));
+    return true;
+  });
+  EXPECT_DOUBLE_EQ(chosen->preserved_bw, best);
+}
+
+TEST(Preserve, InsensitiveThenSensitiveKeepsFastLinks) {
+  // The paper's key scenario: an insensitive job first, then a sensitive
+  // one. Preserve must leave the sensitive job at least as well off as
+  // Greedy does.
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+
+  const auto run = [&](Policy& policy) {
+    std::vector<bool> busy = no_busy(hw);
+    const auto first =
+        policy.allocate(hw, busy, request_for(pattern, false));
+    for (const VertexId v : first->match.mapping) busy[v] = true;
+    const auto second =
+        policy.allocate(hw, busy, request_for(pattern, true));
+    return second->predicted_effbw;
+  };
+
+  PreservePolicy preserve;
+  GreedyPolicy greedy;
+  EXPECT_GE(run(preserve), run(greedy));
+}
+
+TEST(Preserve, ThetaOverrideChangesScoring) {
+  PolicyConfig config;
+  config.theta.assign(score::kNumFeatures, 0.0);
+  config.theta[2] = 100.0;  // reward PCIe links only (z feature)
+  PreservePolicy policy(config);
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  const auto result = policy.allocate(hw, no_busy(hw),
+                                      request_for(pattern, true));
+  ASSERT_TRUE(result.has_value());
+  // With the perverse theta the chosen allocation maximizes PCIe count.
+  const auto census = score::used_link_census(pattern, hw, result->match);
+  EXPECT_GT(census.pcie, 0);
+}
+
+TEST(Random, ValidAndSeedDeterministic) {
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(4);
+  RandomPolicy a(7);
+  RandomPolicy b(7);
+  const auto ra = a.allocate(hw, no_busy(hw), request_for(pattern, true));
+  const auto rb = b.allocate(hw, no_busy(hw), request_for(pattern, true));
+  ASSERT_TRUE(ra.has_value());
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_EQ(ra->match.mapping, rb->match.mapping);
+}
+
+TEST(Random, DifferentSeedsExploreDifferentMatches) {
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(4);
+  std::set<std::vector<VertexId>> seen;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    RandomPolicy policy(seed);
+    const auto r = policy.allocate(hw, no_busy(hw),
+                                   request_for(pattern, true));
+    seen.insert(r->match.mapping);
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(AllPolicies, NulloptWhenMachineFull) {
+  const Graph hw = graph::dgx1_v100();
+  const std::vector<bool> busy(8, true);
+  const Graph pattern = graph::ring(2);
+  for (const std::string name : {"baseline", "topo-aware", "greedy",
+                                 "preserve", "random"}) {
+    const auto policy = make_policy(name);
+    EXPECT_FALSE(policy->allocate(hw, busy, request_for(pattern, true)))
+        << name;
+  }
+}
+
+TEST(AllPolicies, ValidateInputs) {
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(2);
+  const auto policy = make_policy("preserve");
+  const std::vector<bool> bad_mask(3, false);
+  EXPECT_THROW(policy->allocate(hw, bad_mask, request_for(pattern, true)),
+               std::invalid_argument);
+  AllocationRequest null_pattern;
+  EXPECT_THROW(policy->allocate(hw, no_busy(hw), null_pattern),
+               std::invalid_argument);
+}
+
+TEST(AllPolicies, ReturnedVerticesAreFreeAndDistinct) {
+  const Graph hw = graph::torus2d_16();
+  const Graph pattern = graph::ring(4);
+  std::vector<bool> busy(16, false);
+  busy[1] = busy[5] = busy[9] = true;
+  for (const std::string name : {"baseline", "topo-aware", "greedy",
+                                 "preserve", "random"}) {
+    const auto policy = make_policy(name);
+    const auto result =
+        policy->allocate(hw, busy, request_for(pattern, true));
+    ASSERT_TRUE(result.has_value()) << name;
+    std::set<VertexId> unique;
+    for (const VertexId v : result->match.mapping) {
+      EXPECT_FALSE(busy[v]) << name;
+      EXPECT_TRUE(unique.insert(v).second) << name;
+    }
+    EXPECT_EQ(unique.size(), 4u) << name;
+  }
+}
+
+TEST(MakePolicy, KnownNamesAndUnknownRejected) {
+  for (const std::string& name : paper_policy_names()) {
+    EXPECT_EQ(make_policy(name)->name(), name);
+  }
+  EXPECT_THROW(make_policy("mystery"), std::invalid_argument);
+}
+
+TEST(MakePolicy, PaperOrderIsStable) {
+  EXPECT_EQ(paper_policy_names(),
+            (std::vector<std::string>{"baseline", "topo-aware", "greedy",
+                                      "preserve"}));
+}
+
+}  // namespace
+}  // namespace mapa::policy

@@ -1,0 +1,147 @@
+#include "profile/extract.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+
+namespace mapa::profile {
+namespace {
+
+TEST(CollectiveStructure, LargeAllReduceIsRing) {
+  const auto g = collective_structure(CollectiveKind::kAllReduce,
+                                      {0, 1, 2, 3}, 1e6);
+  EXPECT_EQ(g.num_edges(), 4u);
+  for (graph::VertexId v = 0; v < 4; ++v) EXPECT_EQ(g.degree(v), 2u);
+}
+
+TEST(CollectiveStructure, SmallAllReduceIsTree) {
+  const auto g = collective_structure(CollectiveKind::kAllReduce,
+                                      {0, 1, 2, 3}, 1e3);
+  EXPECT_EQ(g.num_edges(), 3u);  // tree over 4 vertices
+  EXPECT_TRUE(graph::is_connected(g));
+}
+
+TEST(CollectiveStructure, ThresholdIsConfigurable) {
+  ExtractOptions options;
+  options.ring_threshold_bytes = 10.0;
+  const auto g = collective_structure(CollectiveKind::kAllReduce,
+                                      {0, 1, 2, 3}, 100.0, options);
+  EXPECT_EQ(g.num_edges(), 4u);  // ring even for 100 bytes
+}
+
+TEST(CollectiveStructure, BroadcastAndReduceAreTrees) {
+  for (const auto kind : {CollectiveKind::kBroadcast,
+                          CollectiveKind::kReduce}) {
+    const auto g = collective_structure(kind, {0, 1, 2, 3, 4}, 1e6);
+    EXPECT_EQ(g.num_edges(), 4u);
+    EXPECT_TRUE(graph::is_connected(g));
+  }
+}
+
+TEST(CollectiveStructure, GatherScatterAreStars) {
+  for (const auto kind : {CollectiveKind::kGather, CollectiveKind::kScatter}) {
+    const auto g = collective_structure(kind, {2, 0, 1, 3}, 1e6);
+    // Root is ranks[0] == vertex 2.
+    EXPECT_EQ(g.degree(2), 3u);
+    EXPECT_EQ(g.degree(0), 1u);
+  }
+}
+
+TEST(CollectiveStructure, AllToAllIsClique) {
+  const auto g =
+      collective_structure(CollectiveKind::kAllToAll, {0, 1, 2, 3}, 1e6);
+  EXPECT_EQ(g.num_edges(), 6u);
+}
+
+TEST(CollectiveStructure, RanksNeedNotBeContiguous) {
+  const auto g = collective_structure(CollectiveKind::kAllReduce,
+                                      {1, 4, 6}, 1e6);
+  EXPECT_EQ(g.num_vertices(), 7u);
+  EXPECT_TRUE(g.has_edge(1, 4));
+  EXPECT_TRUE(g.has_edge(4, 6));
+  EXPECT_TRUE(g.has_edge(1, 6));
+  EXPECT_EQ(g.degree(0), 0u);
+}
+
+TEST(CollectiveStructure, InvalidInputsRejected) {
+  EXPECT_THROW(collective_structure(CollectiveKind::kAllReduce, {0}, 1e6),
+               std::invalid_argument);
+  EXPECT_THROW(
+      collective_structure(CollectiveKind::kAllReduce, {0, 1, 1}, 1e6),
+      std::invalid_argument);
+}
+
+TEST(ExtractGraph, UnionOfNcclCallsMatchesFig8) {
+  // A 5-GPU job issuing large (ring) and small (tree) all-reduces should
+  // extract to the ring+tree union of Fig. 8 (right).
+  const auto events = parse_trace_string(
+      "coll allreduce 5 0 1 2 3 4 4194304 10\n"
+      "coll allreduce 5 0 1 2 3 4 4096 10\n");
+  const auto g = extract_application_graph(events);
+  const auto expected = graph::nccl_mix(5);
+  ASSERT_EQ(g.num_vertices(), expected.num_vertices());
+  EXPECT_EQ(g.num_edges(), expected.num_edges());
+  for (const auto& e : expected.edges()) {
+    EXPECT_TRUE(g.has_edge(e.u, e.v)) << e.u << "-" << e.v;
+  }
+}
+
+TEST(ExtractGraph, NoiseThresholdDropsIncidentalTraffic) {
+  const auto events = parse_trace_string(
+      "p2p 0 1 1000000 100\n"
+      "p2p 0 2 8 1\n");  // 8 bytes of incidental traffic
+  ExtractOptions options;
+  options.min_total_bytes = 1000.0;
+  const auto g = extract_application_graph(events, options);
+  EXPECT_TRUE(g.has_edge(0, 1));
+  EXPECT_FALSE(g.has_edge(0, 2));
+  EXPECT_EQ(g.num_vertices(), 3u);  // rank 2 still occupies a GPU
+}
+
+TEST(ExtractGraph, EmptyTraceRejected) {
+  EXPECT_THROW(extract_application_graph({}), std::invalid_argument);
+}
+
+TEST(PairwiseTraffic, SplitsCollectiveVolumeOverEdges) {
+  const auto events =
+      parse_trace_string("coll allreduce 3 0 1 2 300000 2\n");
+  const auto traffic = pairwise_traffic(events);
+  ASSERT_EQ(traffic.size(), 3u);  // 3-ring
+  for (const auto& [pair, bytes] : traffic) {
+    EXPECT_DOUBLE_EQ(bytes, 600000.0 / 3.0);
+  }
+}
+
+TEST(PairwiseTraffic, AccumulatesAcrossEvents) {
+  const auto events = parse_trace_string(
+      "p2p 0 1 100 2\n"
+      "p2p 1 0 50 1\n");  // both directions accumulate onto one pair
+  const auto traffic = pairwise_traffic(events);
+  ASSERT_EQ(traffic.size(), 1u);
+  EXPECT_DOUBLE_EQ(traffic.begin()->second, 250.0);
+}
+
+TEST(Sensitivity, LargeFrequentTransfersAreSensitive) {
+  // VGG-like: many large all-reduces.
+  const auto sensitive = parse_trace_string(
+      "coll allreduce 4 0 1 2 3 1200000 160001\n");
+  EXPECT_TRUE(estimate_bandwidth_sensitivity(sensitive));
+}
+
+TEST(Sensitivity, SmallTransfersAreInsensitive) {
+  // GoogleNet-like: many tiny messages (below the Fig. 2a ramp knee).
+  const auto small = parse_trace_string(
+      "coll allreduce 4 0 1 2 3 25000 640001\n");
+  EXPECT_FALSE(estimate_bandwidth_sensitivity(small));
+}
+
+TEST(Sensitivity, LowVolumeIsInsensitive) {
+  // CuSimann-like: a few large transfers but negligible total volume.
+  const auto rare = parse_trace_string("p2p 0 1 1000000 3\n");
+  EXPECT_FALSE(estimate_bandwidth_sensitivity(rare));
+  EXPECT_FALSE(estimate_bandwidth_sensitivity({}));
+}
+
+}  // namespace
+}  // namespace mapa::profile

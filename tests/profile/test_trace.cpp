@@ -1,0 +1,95 @@
+#include "profile/trace.hpp"
+
+#include <gtest/gtest.h>
+
+namespace mapa::profile {
+namespace {
+
+TEST(Trace, ParsesP2pAndCollective) {
+  const auto events = parse_trace_string(
+      "# comment\n"
+      "p2p 0 1 1048576 16\n"
+      "coll allreduce 4 0 1 2 3 4194304 100\n");
+  ASSERT_EQ(events.size(), 2u);
+
+  EXPECT_FALSE(events[0].collective.has_value());
+  EXPECT_EQ(events[0].ranks, (std::vector<std::uint32_t>{0, 1}));
+  EXPECT_DOUBLE_EQ(events[0].bytes, 1048576.0);
+  EXPECT_EQ(events[0].count, 16u);
+  EXPECT_DOUBLE_EQ(events[0].total_bytes(), 16.0 * 1048576.0);
+
+  EXPECT_EQ(events[1].collective, CollectiveKind::kAllReduce);
+  EXPECT_EQ(events[1].ranks.size(), 4u);
+  EXPECT_EQ(events[1].count, 100u);
+}
+
+TEST(Trace, CountDefaultsToOne) {
+  const auto events = parse_trace_string(
+      "p2p 0 1 100\ncoll broadcast 2 0 1 200\n");
+  EXPECT_EQ(events[0].count, 1u);
+  EXPECT_EQ(events[1].count, 1u);
+}
+
+TEST(Trace, BlankAndCommentOnlyLinesSkipped) {
+  EXPECT_TRUE(parse_trace_string("\n# nothing\n   \n").empty());
+}
+
+TEST(Trace, ErrorsCarryLineNumbers) {
+  try {
+    parse_trace_string("p2p 0 1 100\np2p 2 2 50\n");
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(Trace, RejectsMalformedEvents) {
+  EXPECT_THROW(parse_trace_string("p2p 0 1\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace_string("p2p 3 3 100\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace_string("warp 0 1 100\n"), std::runtime_error);
+  EXPECT_THROW(parse_trace_string("coll frobnicate 2 0 1 100\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace_string("coll allreduce 1 0 100\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_trace_string("coll allreduce 3 0 1 100\n"),
+               std::runtime_error);  // promised 3 ranks, gave 2
+  EXPECT_THROW(parse_trace_string("p2p 0 1 100 0\n"), std::runtime_error);
+}
+
+TEST(Trace, RoundTripsThroughSerialization) {
+  const auto original = parse_trace_string(
+      "p2p 0 3 65536 4\n"
+      "coll allreduce 3 0 1 2 1000000 7\n"
+      "coll gather 4 2 0 1 3 4096\n");
+  const auto reparsed = parse_trace_string(serialize_trace(original));
+  ASSERT_EQ(reparsed.size(), original.size());
+  for (std::size_t i = 0; i < original.size(); ++i) {
+    EXPECT_EQ(reparsed[i].ranks, original[i].ranks);
+    EXPECT_EQ(reparsed[i].collective, original[i].collective);
+    EXPECT_DOUBLE_EQ(reparsed[i].bytes, original[i].bytes);
+    EXPECT_EQ(reparsed[i].count, original[i].count);
+  }
+}
+
+TEST(Trace, CollectiveKindsRoundTripThroughStrings) {
+  for (const CollectiveKind kind :
+       {CollectiveKind::kAllReduce, CollectiveKind::kReduce,
+        CollectiveKind::kBroadcast, CollectiveKind::kGather,
+        CollectiveKind::kScatter, CollectiveKind::kAllGather,
+        CollectiveKind::kReduceScatter, CollectiveKind::kAllToAll}) {
+    const auto parsed = parse_collective_kind(to_string(kind));
+    ASSERT_TRUE(parsed.has_value());
+    EXPECT_EQ(*parsed, kind);
+  }
+  EXPECT_FALSE(parse_collective_kind("sendrecv").has_value());
+}
+
+TEST(Trace, RankCount) {
+  EXPECT_EQ(rank_count({}), 0u);
+  const auto events =
+      parse_trace_string("p2p 0 1 10\ncoll allreduce 2 2 5 100\n");
+  EXPECT_EQ(rank_count(events), 6u);
+}
+
+}  // namespace
+}  // namespace mapa::profile

@@ -1,0 +1,97 @@
+#include "score/census.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::score {
+namespace {
+
+using graph::VertexId;
+using match::Match;
+
+Match match_of(std::vector<VertexId> mapping) {
+  Match m;
+  m.mapping = std::move(mapping);
+  return m;
+}
+
+TEST(UsedCensus, PaperFragmentedExample) {
+  // {0,1,4} on DGX-1V: 1 double + 1 single + 1 PCIe.
+  const auto census = used_link_census(graph::ring(3), graph::dgx1_v100(),
+                                       match_of({0, 1, 4}));
+  EXPECT_EQ(census, (LinkCensus{.doubles = 1, .singles = 1, .pcie = 1}));
+}
+
+TEST(UsedCensus, PaperIdealExample) {
+  // {0,2,3} on DGX-1V: 2 doubles + 1 single.
+  const auto census = used_link_census(graph::ring(3), graph::dgx1_v100(),
+                                       match_of({0, 2, 3}));
+  EXPECT_EQ(census, (LinkCensus{.doubles = 2, .singles = 1, .pcie = 0}));
+}
+
+TEST(UsedCensus, CountsOnlyPatternEdges) {
+  // A chain uses 2 of the 3 links among its vertices.
+  const auto census = used_link_census(graph::chain(3), graph::dgx1_v100(),
+                                       match_of({0, 2, 3}));
+  EXPECT_EQ(census.total(), 2);
+}
+
+TEST(UsedCensus, SingleGpuIsEmpty) {
+  const auto census = used_link_census(graph::single_gpu(),
+                                       graph::dgx1_v100(), match_of({5}));
+  EXPECT_EQ(census.total(), 0);
+}
+
+TEST(UsedCensus, NvlinkV1CountsAsSingle) {
+  const auto census = used_link_census(graph::ring(2), graph::dgx1_p100(),
+                                       match_of({0, 1}));
+  EXPECT_EQ(census, (LinkCensus{.doubles = 0, .singles = 1, .pcie = 0}));
+}
+
+TEST(UsedCensus, NvSwitchCountsAsDouble) {
+  const auto census = used_link_census(graph::ring(2), graph::nvswitch_16(),
+                                       match_of({0, 9}));
+  EXPECT_EQ(census, (LinkCensus{.doubles = 1, .singles = 0, .pcie = 0}));
+}
+
+TEST(UsedCensus, MissingEdgeIgnoredOnNvlinkOnlyGraph) {
+  // (0,5) has no link on the NVLink-only DGX-1V.
+  const auto census = used_link_census(
+      graph::ring(2), graph::dgx1_v100(graph::Connectivity::kNvlinkOnly),
+      match_of({0, 5}));
+  EXPECT_EQ(census.total(), 0);
+}
+
+TEST(UsedCensus, MismatchedMappingThrows) {
+  EXPECT_THROW(used_link_census(graph::ring(3), graph::dgx1_v100(),
+                                match_of({0, 1})),
+               std::invalid_argument);
+}
+
+TEST(CliqueCensus, CountsAllPairs) {
+  // All links among {0,1,2,3} on DGX-1V: quads are fully NVLinked with
+  // 3 doubles ((0,3),(1,2),(2,3)... actually (0,3),(0,4)x — within the
+  // quad: (0,3),(1,2),(2,3) doubles and (0,1),(0,2),(1,3) singles.
+  const std::vector<VertexId> quad = {0, 1, 2, 3};
+  const auto census = clique_link_census(graph::dgx1_v100(), quad);
+  EXPECT_EQ(census.doubles, 3);
+  EXPECT_EQ(census.singles, 3);
+  EXPECT_EQ(census.pcie, 0);
+}
+
+TEST(CliqueCensus, EmptyAndSingleton) {
+  const std::vector<VertexId> none;
+  EXPECT_EQ(clique_link_census(graph::dgx1_v100(), none).total(), 0);
+  const std::vector<VertexId> one = {4};
+  EXPECT_EQ(clique_link_census(graph::dgx1_v100(), one).total(), 0);
+}
+
+TEST(LinkCensus, TotalSumsFields) {
+  const LinkCensus c{.doubles = 2, .singles = 3, .pcie = 4};
+  EXPECT_EQ(c.total(), 9);
+}
+
+}  // namespace
+}  // namespace mapa::score

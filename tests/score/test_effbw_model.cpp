@@ -1,0 +1,127 @@
+#include "score/effbw_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::score {
+namespace {
+
+TEST(EffBwModel, PaperQuotedMedianValue) {
+  // Eq. 2 with Table 2 theta at (x=2, y=1, z=0) gives 57.857 GB/s — the
+  // "57.85 GBps" median effective bandwidth of Greedy/Preserve quoted in
+  // §4.1. This pins the census convention to the paper's.
+  const double v = predict_effective_bandwidth(
+      LinkCensus{.doubles = 2, .singles = 1, .pcie = 0});
+  EXPECT_NEAR(v, 57.857, 0.01);
+}
+
+TEST(EffBwModel, PaperQuotedQuartileValue) {
+  // Eq. 2 at (0,0,0) gives 12.337 — the "12.33 GBps" 25th percentile the
+  // paper quotes for Greedy.
+  const double v = predict_effective_bandwidth(LinkCensus{});
+  EXPECT_NEAR(v, 12.337, 0.01);
+}
+
+TEST(EffBwModel, SingleLinkTiersAreOrdered) {
+  const double dbl = predict_effective_bandwidth(
+      LinkCensus{.doubles = 1, .singles = 0, .pcie = 0});
+  const double sgl = predict_effective_bandwidth(
+      LinkCensus{.doubles = 0, .singles = 1, .pcie = 0});
+  const double pcie = predict_effective_bandwidth(
+      LinkCensus{.doubles = 0, .singles = 0, .pcie = 1});
+  EXPECT_GT(dbl, sgl);
+  EXPECT_GT(sgl, pcie);
+  // Sanity band: a lone PCIe link lands near its 12 GB/s peak.
+  EXPECT_NEAR(pcie, 10.1, 0.5);
+  EXPECT_NEAR(dbl, 39.1, 0.5);
+}
+
+TEST(EffBwModel, FeatureVectorDefinition) {
+  const auto f = effbw_features(LinkCensus{.doubles = 2, .singles = 3,
+                                           .pcie = 1});
+  ASSERT_EQ(f.size(), kNumFeatures);
+  EXPECT_DOUBLE_EQ(f[0], 2.0);             // x
+  EXPECT_DOUBLE_EQ(f[1], 3.0);             // y
+  EXPECT_DOUBLE_EQ(f[2], 1.0);             // z
+  EXPECT_DOUBLE_EQ(f[3], 1.0 / 3.0);       // 1/(x+1)
+  EXPECT_DOUBLE_EQ(f[4], 1.0 / 4.0);       // 1/(y+1)
+  EXPECT_DOUBLE_EQ(f[5], 1.0 / 2.0);       // 1/(z+1)
+  EXPECT_DOUBLE_EQ(f[6], 6.0);             // xy
+  EXPECT_DOUBLE_EQ(f[7], 3.0);             // yz
+  EXPECT_DOUBLE_EQ(f[8], 2.0);             // zx
+  EXPECT_DOUBLE_EQ(f[9], 1.0 / 7.0);       // 1/(xy+1)
+  EXPECT_DOUBLE_EQ(f[10], 1.0 / 4.0);      // 1/(yz+1)
+  EXPECT_DOUBLE_EQ(f[11], 1.0 / 3.0);      // 1/(zx+1)
+  EXPECT_DOUBLE_EQ(f[12], 6.0);            // xyz
+  EXPECT_DOUBLE_EQ(f[13], 1.0 / 7.0);      // 1/(xyz+1)
+}
+
+TEST(EffBwModel, PredictionIsLinearInTheta) {
+  const LinkCensus census{.doubles = 1, .singles = 2, .pcie = 0};
+  std::vector<double> theta(kNumFeatures, 0.0);
+  theta[0] = 2.0;
+  theta[1] = 3.0;
+  EXPECT_DOUBLE_EQ(predict_effective_bandwidth(theta, census),
+                   2.0 * 1.0 + 3.0 * 2.0);
+}
+
+TEST(EffBwModel, WrongThetaSizeThrows) {
+  const std::vector<double> bad(3, 1.0);
+  EXPECT_THROW(predict_effective_bandwidth(bad, LinkCensus{}),
+               std::invalid_argument);
+}
+
+TEST(EffBwModel, AllocationOverloadMatchesCensusPath) {
+  const graph::Graph hw = graph::dgx1_v100();
+  const graph::Graph tri = graph::ring(3);
+  match::Match m;
+  m.mapping = {0, 2, 3};
+  const double via_alloc = predict_effective_bandwidth(tri, hw, m);
+  const double via_census = predict_effective_bandwidth(
+      used_link_census(tri, hw, m));
+  EXPECT_DOUBLE_EQ(via_alloc, via_census);
+  EXPECT_NEAR(via_alloc, 57.857, 0.01);  // (2,1,0) again
+}
+
+TEST(EffBwModel, UpgradingPcieToDoubleHelpsWhenNvlinksPresent) {
+  // Within the trained range, swapping a PCIe link for a double NVLink
+  // raises predicted bandwidth whenever the allocation already has some
+  // NVLink (y >= 1) or is a single-link allocation.
+  for (int y = 1; y <= 3; ++y) {
+    for (int z = 1; z <= 3; ++z) {
+      if (y + z > 4) continue;
+      const double before = predict_effective_bandwidth(
+          LinkCensus{.doubles = 0, .singles = y, .pcie = z});
+      const double after = predict_effective_bandwidth(
+          LinkCensus{.doubles = 1, .singles = y, .pcie = z - 1});
+      EXPECT_GT(after, before) << "y=" << y << " z=" << z;
+    }
+  }
+  EXPECT_GT(predict_effective_bandwidth(LinkCensus{.doubles = 1}),
+            predict_effective_bandwidth(LinkCensus{.pcie = 1}));
+}
+
+TEST(EffBwModel, KnownNonMonotoneQuirkOfPaperFit) {
+  // Characterization: the paper's 31-sample fit is NOT globally monotone —
+  // at (0,0,3) -> (1,0,2) the prediction *drops* slightly. We pin this
+  // behavior so silent changes to the feature set or coefficients surface.
+  const double all_pcie = predict_effective_bandwidth(
+      LinkCensus{.doubles = 0, .singles = 0, .pcie = 3});
+  const double upgraded = predict_effective_bandwidth(
+      LinkCensus{.doubles = 1, .singles = 0, .pcie = 2});
+  EXPECT_GT(all_pcie, upgraded);
+  EXPECT_NEAR(all_pcie, 11.29, 0.1);
+  EXPECT_NEAR(upgraded, 10.45, 0.1);
+}
+
+TEST(EffBwModel, PaperThetaTable2Values) {
+  EXPECT_DOUBLE_EQ(kPaperTheta[0], 16.396);
+  EXPECT_DOUBLE_EQ(kPaperTheta[7], 12.733);
+  EXPECT_DOUBLE_EQ(kPaperTheta[10], 62.851);
+  EXPECT_DOUBLE_EQ(kPaperTheta[13], -46.973);
+}
+
+}  // namespace
+}  // namespace mapa::score

@@ -1,0 +1,97 @@
+#include "score/regression.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/topology.hpp"
+#include "interconnect/microbench.hpp"
+#include "util/rng.hpp"
+
+namespace mapa::score {
+namespace {
+
+/// Synthetic samples generated directly from a planted theta.
+std::vector<EffBwSample> planted_samples(std::span<const double> theta,
+                                         double noise_sigma,
+                                         std::uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<EffBwSample> samples;
+  for (int x = 0; x <= 3; ++x) {
+    for (int y = 0; y <= 3; ++y) {
+      for (int z = 0; z <= 2; ++z) {
+        EffBwSample s;
+        s.census = LinkCensus{.doubles = x, .singles = y, .pcie = z};
+        s.measured_gbps = predict_effective_bandwidth(theta, s.census) +
+                          (noise_sigma > 0.0 ? rng.normal(0.0, noise_sigma)
+                                             : 0.0);
+        samples.push_back(s);
+      }
+    }
+  }
+  return samples;
+}
+
+TEST(Regression, RecoversPlantedThetaExactly) {
+  const auto samples = planted_samples(kPaperTheta, 0.0, 1);
+  const auto theta = fit_effbw_model(samples);
+  ASSERT_EQ(theta.size(), kNumFeatures);
+  for (std::size_t i = 0; i < kNumFeatures; ++i) {
+    EXPECT_NEAR(theta[i], kPaperTheta[i], 1e-6) << "theta_" << (i + 1);
+  }
+}
+
+TEST(Regression, NoiseKeepsFitClose) {
+  const auto samples = planted_samples(kPaperTheta, 0.5, 2);
+  const auto report = fit_and_evaluate(samples);
+  EXPECT_LT(report.rmse, 1.0);
+  EXPECT_GT(report.pearson, 0.99);
+}
+
+TEST(Regression, TooFewSamplesThrows) {
+  std::vector<EffBwSample> samples(5);
+  EXPECT_THROW(fit_effbw_model(samples), std::invalid_argument);
+}
+
+TEST(Regression, DegenerateIdenticalCensusesThrow) {
+  // 20 copies of the same census: rank-deficient design matrix.
+  std::vector<EffBwSample> samples(
+      20, EffBwSample{LinkCensus{.doubles = 1, .singles = 1, .pcie = 1}, 30.0});
+  EXPECT_THROW(fit_effbw_model(samples), std::exception);
+}
+
+TEST(Regression, FitOnDgxVMicrobenchmarkSamples) {
+  // The paper's §3.4.3 experiment end to end: generate the (x, y, z)
+  // training set from the DGX-V, fit, and check the Fig. 12-quality
+  // metrics. The paper reports RelErr 0.0709 / RMSE 1.52 / MAE 7.05 (their
+  // MAE is unusually large for their RMSE; we require the standard
+  // relationship MAE <= RMSE instead).
+  const auto samples =
+      interconnect::generate_training_samples(graph::dgx1_v100());
+  ASSERT_GE(samples.size(), kNumFeatures);
+  const auto report = fit_and_evaluate(samples);
+  EXPECT_LT(report.relative_error, 0.15);
+  EXPECT_GT(report.pearson, 0.97);
+  EXPECT_LE(report.mae, report.rmse + 1e-9);
+}
+
+TEST(Regression, RefitBeatsPaperThetaOnOwnSamples) {
+  // Least squares minimizes RMSE on its own training set by definition.
+  const auto samples =
+      interconnect::generate_training_samples(graph::dgx1_v100());
+  const auto refit = fit_and_evaluate(samples);
+  const auto paper = evaluate_theta(kPaperTheta, samples);
+  EXPECT_LE(refit.rmse, paper.rmse + 1e-9);
+}
+
+TEST(Regression, EvaluateThetaEmptySamplesThrows) {
+  EXPECT_THROW(evaluate_theta(kPaperTheta, {}), std::invalid_argument);
+}
+
+TEST(Regression, ReportCarriesTheta) {
+  const auto samples = planted_samples(kPaperTheta, 0.0, 3);
+  const auto report = fit_and_evaluate(samples);
+  EXPECT_EQ(report.theta.size(), kNumFeatures);
+  EXPECT_LT(report.relative_error, 1e-6);
+}
+
+}  // namespace
+}  // namespace mapa::score

@@ -1,0 +1,127 @@
+// Scoring invariants swept over every match of representative patterns.
+
+#include <gtest/gtest.h>
+
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "interconnect/microbench.hpp"
+#include "match/enumerator.hpp"
+#include "score/effbw_model.hpp"
+#include "score/scores.hpp"
+
+namespace mapa::score {
+namespace {
+
+using graph::Graph;
+using graph::VertexId;
+
+struct PropertyCase {
+  std::string name;
+  Graph pattern;
+  Graph hardware;
+};
+
+class ScoreSweep : public ::testing::TestWithParam<PropertyCase> {};
+
+TEST_P(ScoreSweep, AggBwNeverExceedsCliqueBandwidth) {
+  // The pattern uses a subset of the links among its vertices.
+  const auto& c = GetParam();
+  match::for_each_match(c.pattern, c.hardware, [&](const match::Match& m) {
+    const auto vertices = m.sorted_vertices();
+    EXPECT_LE(aggregated_bandwidth(c.pattern, c.hardware, m),
+              clique_bandwidth(c.hardware, vertices) + 1e-9);
+    return true;
+  });
+}
+
+TEST_P(ScoreSweep, PreservedPlusRemovedEqualsTotal) {
+  // Eq. 3 sanity: preserved BW + BW of edges incident to the allocation
+  // equals the machine total.
+  const auto& c = GetParam();
+  const double total = c.hardware.total_bandwidth();
+  match::for_each_match(c.pattern, c.hardware, [&](const match::Match& m) {
+    std::vector<bool> removed(c.hardware.num_vertices(), false);
+    for (const VertexId v : m.mapping) removed[v] = true;
+    double incident = 0.0;
+    for (const graph::Edge& e : c.hardware.edges()) {
+      if (removed[e.u] || removed[e.v]) incident += e.bandwidth_gbps;
+    }
+    EXPECT_NEAR(preserved_bandwidth(c.hardware, m) + incident, total, 1e-9);
+    return true;
+  });
+}
+
+TEST_P(ScoreSweep, ScoresInvariantUnderPatternAutomorphism) {
+  // Automorphic re-mappings are the same allocation: identical census,
+  // AggBW, predicted EffBW, preserved BW, and microbench value.
+  const auto& c = GetParam();
+  const auto autos = graph::automorphisms(c.pattern);
+  std::size_t checked = 0;
+  match::for_each_match(c.pattern, c.hardware, [&](const match::Match& m) {
+    for (const auto& sigma : autos) {
+      match::Match remapped;
+      remapped.mapping.resize(m.mapping.size());
+      for (VertexId p = 0; p < m.mapping.size(); ++p) {
+        remapped.mapping[p] = m.mapping[sigma[p]];
+      }
+      EXPECT_EQ(used_link_census(c.pattern, c.hardware, m),
+                used_link_census(c.pattern, c.hardware, remapped));
+      EXPECT_DOUBLE_EQ(
+          aggregated_bandwidth(c.pattern, c.hardware, m),
+          aggregated_bandwidth(c.pattern, c.hardware, remapped));
+      EXPECT_DOUBLE_EQ(preserved_bandwidth(c.hardware, m),
+                       preserved_bandwidth(c.hardware, remapped));
+      EXPECT_DOUBLE_EQ(
+          interconnect::measured_effective_bandwidth(c.pattern, c.hardware,
+                                                     m),
+          interconnect::measured_effective_bandwidth(c.pattern, c.hardware,
+                                                     remapped));
+    }
+    return ++checked < 50;  // bounded: 50 matches x |Aut| remappings
+  });
+  EXPECT_GT(checked, 0u);
+}
+
+TEST_P(ScoreSweep, CensusTotalEqualsPatternEdgesOnCompleteHardware) {
+  const auto& c = GetParam();
+  if (c.hardware.num_edges() !=
+      c.hardware.num_vertices() * (c.hardware.num_vertices() - 1) / 2) {
+    GTEST_SKIP() << "hardware graph not complete";
+  }
+  match::for_each_match(c.pattern, c.hardware, [&](const match::Match& m) {
+    EXPECT_EQ(static_cast<std::size_t>(
+                  used_link_census(c.pattern, c.hardware, m).total()),
+              c.pattern.num_edges());
+    return true;
+  });
+}
+
+TEST_P(ScoreSweep, MicrobenchBoundedByModelPeak) {
+  const auto& c = GetParam();
+  match::for_each_match(c.pattern, c.hardware, [&](const match::Match& m) {
+    const double measured = interconnect::measured_effective_bandwidth(
+        c.pattern, c.hardware, m);
+    EXPECT_GE(measured, 0.0);
+    EXPECT_LT(measured, 150.0);  // far below any physical aggregate
+    return true;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ScoreSweep,
+    ::testing::Values(
+        PropertyCase{"ring3_dgxv", graph::ring(3), graph::dgx1_v100()},
+        PropertyCase{"ring4_dgxv", graph::ring(4), graph::dgx1_v100()},
+        PropertyCase{"ring5_summit", graph::ring(5), graph::summit_node()},
+        PropertyCase{"chain4_dgxp", graph::chain(4), graph::dgx1_p100()},
+        PropertyCase{"star4_torus", graph::star(4),
+                     graph::torus2d_16(graph::Connectivity::kNvlinkOnly)},
+        PropertyCase{"tree5_cubemesh", graph::binary_tree(5),
+                     graph::cubemesh_16(graph::Connectivity::kNvlinkOnly)}),
+    [](const ::testing::TestParamInfo<PropertyCase>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace mapa::score

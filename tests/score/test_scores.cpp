@@ -1,0 +1,136 @@
+#include "score/scores.hpp"
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::score {
+namespace {
+
+using graph::VertexId;
+using match::Match;
+
+Match match_of(std::vector<VertexId> mapping) {
+  Match m;
+  m.mapping = std::move(mapping);
+  return m;
+}
+
+TEST(AggregatedBandwidth, PaperWorkedExamples) {
+  const graph::Graph hw = graph::dgx1_v100();
+  const graph::Graph tri = graph::ring(3);
+  EXPECT_DOUBLE_EQ(aggregated_bandwidth(tri, hw, match_of({0, 1, 4})), 87.0);
+  EXPECT_DOUBLE_EQ(aggregated_bandwidth(tri, hw, match_of({0, 2, 3})), 125.0);
+}
+
+TEST(AggregatedBandwidth, CountsOnlyUsedEdges) {
+  // Chain 0-1-2 mapped to {0,2,3}: uses (0,2)=25 and (2,3)=50 but not
+  // (0,3)=50.
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(
+      aggregated_bandwidth(graph::chain(3), hw, match_of({0, 2, 3})), 75.0);
+}
+
+TEST(AggregatedBandwidth, MappingOrderMatters) {
+  const graph::Graph hw = graph::dgx1_v100();
+  const graph::Graph p = graph::chain(3);
+  // 1-0-4 chain: (1,0)=25 + (0,4)=50 = 75, vs 0-1-4: (0,1)+(1,4)=25+12=37.
+  EXPECT_DOUBLE_EQ(aggregated_bandwidth(p, hw, match_of({1, 0, 4})), 75.0);
+  EXPECT_DOUBLE_EQ(aggregated_bandwidth(p, hw, match_of({0, 1, 4})), 37.0);
+}
+
+TEST(AggregatedBandwidth, SizeMismatchThrows) {
+  EXPECT_THROW(aggregated_bandwidth(graph::ring(3), graph::dgx1_v100(),
+                                    match_of({0, 1})),
+               std::invalid_argument);
+}
+
+TEST(PreservedBandwidth, ComplementInducedSubgraph) {
+  const graph::Graph hw = graph::dgx1_v100();
+  // Removing {0,1,4}: preserved = total bandwidth among {2,3,5,6,7}.
+  const double expected =
+      clique_bandwidth(hw, std::vector<VertexId>{2, 3, 5, 6, 7});
+  EXPECT_DOUBLE_EQ(preserved_bandwidth(hw, match_of({0, 1, 4})), expected);
+}
+
+TEST(PreservedBandwidth, WholeMachineLeavesNothing) {
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(
+      preserved_bandwidth(hw, match_of({0, 1, 2, 3, 4, 5, 6, 7})), 0.0);
+}
+
+TEST(PreservedBandwidth, EmptyAllocationPreservesEverything) {
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(preserved_bandwidth(hw, Match{}), hw.total_bandwidth());
+}
+
+TEST(PreservedBandwidth, BusyMaskExcludesHeldVertices) {
+  const graph::Graph hw = graph::dgx1_v100();
+  std::vector<bool> busy(8, false);
+  busy[6] = busy[7] = true;
+  const double expected =
+      clique_bandwidth(hw, std::vector<VertexId>{2, 3, 5});
+  EXPECT_DOUBLE_EQ(preserved_bandwidth(hw, match_of({0, 1, 4}), busy),
+                   expected);
+}
+
+TEST(PreservedBandwidth, BadBusyMaskThrows) {
+  const std::vector<bool> busy(3, false);
+  EXPECT_THROW(preserved_bandwidth(graph::dgx1_v100(), match_of({0}), busy),
+               std::invalid_argument);
+}
+
+TEST(PreservedBandwidth, OutOfRangeVertexThrows) {
+  EXPECT_THROW(preserved_bandwidth(graph::dgx1_v100(), match_of({42})),
+               std::invalid_argument);
+}
+
+TEST(CliqueBandwidth, PaperExampleValues) {
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(clique_bandwidth(hw, std::vector<VertexId>{0, 1, 4}),
+                   87.0);
+  EXPECT_DOUBLE_EQ(clique_bandwidth(hw, std::vector<VertexId>{0, 2, 3}),
+                   125.0);
+}
+
+TEST(IdealAggregatedBandwidth, MatchesExhaustiveBest) {
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(ideal_aggregated_bandwidth(graph::ring(3), hw), 125.0);
+}
+
+TEST(IdealAggregatedBandwidth, TwoGpusIsBestLink) {
+  EXPECT_DOUBLE_EQ(
+      ideal_aggregated_bandwidth(graph::ring(2), graph::dgx1_v100()), 50.0);
+}
+
+TEST(IdealCliqueBandwidth, MatchesRingIdealForTriangles) {
+  // For 3 vertices clique == ring, so both ideals agree.
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(ideal_clique_bandwidth(hw, 3), 125.0);
+}
+
+TEST(IdealCliqueBandwidth, FullMachineIsTotalBandwidth) {
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(ideal_clique_bandwidth(hw, 8), hw.total_bandwidth());
+}
+
+TEST(IdealCliqueBandwidth, EdgeCases) {
+  const graph::Graph hw = graph::dgx1_v100();
+  EXPECT_DOUBLE_EQ(ideal_clique_bandwidth(hw, 0), 0.0);
+  EXPECT_DOUBLE_EQ(ideal_clique_bandwidth(hw, 1), 0.0);
+  EXPECT_THROW(ideal_clique_bandwidth(hw, 9), std::invalid_argument);
+}
+
+TEST(IdealCliqueBandwidth, MonotoneInK) {
+  const graph::Graph hw = graph::dgx1_v100();
+  double previous = 0.0;
+  for (std::size_t k = 2; k <= 8; ++k) {
+    const double ideal = ideal_clique_bandwidth(hw, k);
+    EXPECT_GT(ideal, previous);
+    previous = ideal;
+  }
+}
+
+}  // namespace
+}  // namespace mapa::score

@@ -1,0 +1,98 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "util/csv.hpp"
+#include "util/table.hpp"
+
+namespace mapa::util {
+namespace {
+
+TEST(Csv, HeaderAndRows) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.header({"a", "b"});
+  csv.row(std::vector<std::string>{"1", "2"});
+  csv.row(std::vector<double>{3.5, 4.0});
+  EXPECT_EQ(out.str(), "a,b\n1,2\n3.5,4\n");
+  EXPECT_EQ(csv.rows_written(), 2u);
+}
+
+TEST(Csv, QuotesCellsWithSpecialCharacters) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<std::string>{"has,comma", "has\"quote", "plain"});
+  EXPECT_EQ(out.str(), "\"has,comma\",\"has\"\"quote\",plain\n");
+}
+
+TEST(Csv, QuotesNewlines) {
+  std::ostringstream out;
+  CsvWriter csv(out);
+  csv.row(std::vector<std::string>{"line1\nline2"});
+  EXPECT_EQ(out.str(), "\"line1\nline2\"\n");
+}
+
+TEST(FormatDouble, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(format_double(42.0), "42");
+  EXPECT_EQ(format_double(-3.0), "-3");
+  EXPECT_EQ(format_double(0.0), "0");
+}
+
+TEST(FormatDouble, SpecialValues) {
+  EXPECT_EQ(format_double(std::numeric_limits<double>::quiet_NaN()), "nan");
+  EXPECT_EQ(format_double(std::numeric_limits<double>::infinity()), "inf");
+  EXPECT_EQ(format_double(-std::numeric_limits<double>::infinity()), "-inf");
+}
+
+TEST(FormatDouble, FractionsKeepPrecision) {
+  EXPECT_EQ(format_double(2.5), "2.5");
+  EXPECT_EQ(format_double(0.125), "0.125");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row(std::vector<std::string>{"a", "1"});
+  t.add_row(std::vector<std::string>{"longer", "22"});
+  const std::string text = t.render();
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(text.begin(), text.end(), '\n'), 4);
+  EXPECT_NE(text.find("name"), std::string::npos);
+  EXPECT_NE(text.find("longer"), std::string::npos);
+  EXPECT_NE(text.find("------"), std::string::npos);
+}
+
+TEST(Table, CellCountMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row(std::vector<std::string>{"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, EmptyColumnsThrows) {
+  EXPECT_THROW(Table(std::vector<std::string>{}), std::invalid_argument);
+}
+
+TEST(Table, NumericRows) {
+  Table t({"x"});
+  t.add_row(std::vector<double>{1.25});
+  EXPECT_NE(t.render().find("1.25"), std::string::npos);
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(Table, IndentPrefixesEveryLine) {
+  Table t({"x"});
+  t.add_row(std::vector<std::string>{"1"});
+  const std::string text = t.render(2);
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    ASSERT_GE(line.size(), 2u);
+    EXPECT_EQ(line.substr(0, 2), "  ");
+  }
+}
+
+TEST(TableFormat, FixedAndPercent) {
+  EXPECT_EQ(fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(percent(0.124, 1), "12.4%");
+}
+
+}  // namespace
+}  // namespace mapa::util

@@ -1,0 +1,141 @@
+#include "util/matrix.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace mapa::util {
+namespace {
+
+TEST(Matrix, ConstructionAndAccess) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_DOUBLE_EQ(m(1, 2), 1.5);
+  m(0, 0) = 7.0;
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 7.0);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix m(2, 2);
+  EXPECT_THROW(m.at(2, 0), std::out_of_range);
+  EXPECT_THROW(m.at(0, 2), std::out_of_range);
+}
+
+TEST(Matrix, InitializerListAndRaggedRejected) {
+  const Matrix m = {{1.0, 2.0}, {3.0, 4.0}};
+  EXPECT_DOUBLE_EQ(m(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3.0);
+  EXPECT_THROW((Matrix{{1.0}, {2.0, 3.0}}), std::invalid_argument);
+}
+
+TEST(Matrix, Transpose) {
+  const Matrix m = {{1.0, 2.0, 3.0}, {4.0, 5.0, 6.0}};
+  const Matrix t = m.transpose();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(2, 1), 6.0);
+}
+
+TEST(Matrix, MultiplyMatchesHandComputation) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix b = {{5.0, 6.0}, {7.0, 8.0}};
+  const Matrix c = a.multiply(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 19.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 22.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 43.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 50.0);
+}
+
+TEST(Matrix, MultiplyDimensionMismatchThrows) {
+  const Matrix a(2, 3);
+  const Matrix b(2, 3);
+  EXPECT_THROW(a.multiply(b), std::invalid_argument);
+}
+
+TEST(Matrix, MatrixVectorProduct) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const std::vector<double> x = {1.0, 1.0};
+  const auto y = a.multiply(x);
+  ASSERT_EQ(y.size(), 2u);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+  EXPECT_DOUBLE_EQ(y[1], 7.0);
+}
+
+TEST(Matrix, IdentityActsAsNeutral) {
+  const Matrix a = {{1.0, 2.0}, {3.0, 4.0}};
+  const Matrix i = Matrix::identity(2);
+  EXPECT_DOUBLE_EQ(a.multiply(i).max_abs_diff(a), 0.0);
+}
+
+TEST(LeastSquares, SolvesExactSquareSystem) {
+  const Matrix a = {{2.0, 1.0}, {1.0, 3.0}};
+  const std::vector<double> b = {5.0, 10.0};
+  const auto x = solve(a, b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(LeastSquares, RecoversPlantedCoefficients) {
+  // Overdetermined consistent system: recovery must be exact.
+  Rng rng(99);
+  const std::vector<double> planted = {3.0, -2.0, 0.5};
+  Matrix a(20, 3);
+  std::vector<double> b(20);
+  for (std::size_t r = 0; r < 20; ++r) {
+    double acc = 0.0;
+    for (std::size_t c = 0; c < 3; ++c) {
+      a(r, c) = rng.uniform(-1.0, 1.0);
+      acc += a(r, c) * planted[c];
+    }
+    b[r] = acc;
+  }
+  const auto x = least_squares(a, b);
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_NEAR(x[c], planted[c], 1e-10);
+  }
+}
+
+TEST(LeastSquares, MinimizesResidualForNoisyData) {
+  // Fit y = 2x + 1 with symmetric noise: coefficients close to truth.
+  Matrix a(100, 2);
+  std::vector<double> b(100);
+  Rng rng(3);
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double x = static_cast<double>(i) / 10.0;
+    a(i, 0) = x;
+    a(i, 1) = 1.0;
+    b[i] = 2.0 * x + 1.0 + rng.normal(0.0, 0.01);
+  }
+  const auto coeff = least_squares(a, b);
+  EXPECT_NEAR(coeff[0], 2.0, 0.01);
+  EXPECT_NEAR(coeff[1], 1.0, 0.05);
+}
+
+TEST(LeastSquares, UnderdeterminedThrows) {
+  const Matrix a(2, 3);
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(least_squares(a, b), std::invalid_argument);
+}
+
+TEST(LeastSquares, RankDeficientThrows) {
+  // Second column is a multiple of the first.
+  const Matrix a = {{1.0, 2.0}, {2.0, 4.0}, {3.0, 6.0}};
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_THROW(least_squares(a, b), std::exception);
+}
+
+TEST(LeastSquares, RhsSizeMismatchThrows) {
+  const Matrix a(3, 2);
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(least_squares(a, b), std::invalid_argument);
+}
+
+TEST(Solve, NonSquareThrows) {
+  const Matrix a(3, 2);
+  const std::vector<double> b = {1.0, 2.0, 3.0};
+  EXPECT_THROW(solve(a, b), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapa::util

@@ -1,0 +1,142 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+namespace mapa::util {
+namespace {
+
+TEST(Rng, SameSeedSameSequence) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.next_u64() == b.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, UniformIntInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const auto v = rng.uniform_int(3, 9);
+    EXPECT_GE(v, 3);
+    EXPECT_LE(v, 9);
+  }
+}
+
+TEST(Rng, UniformIntHitsAllValues) {
+  Rng rng(11);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.uniform_int(1, 5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, UniformIntSingleton) {
+  Rng rng(5);
+  EXPECT_EQ(rng.uniform_int(4, 4), 4);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniform_int(4, 3), std::invalid_argument);
+}
+
+TEST(Rng, UniformIntRoughlyBalanced) {
+  Rng rng(13);
+  std::map<std::int64_t, int> counts;
+  const int draws = 60000;
+  for (int i = 0; i < draws; ++i) ++counts[rng.uniform_int(0, 5)];
+  for (const auto& [value, count] : counts) {
+    EXPECT_NEAR(count, draws / 6.0, draws / 6.0 * 0.1) << "value " << value;
+  }
+}
+
+TEST(Rng, UniformRealInUnitInterval) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRealMeanNearHalf) {
+  Rng rng(19);
+  double sum = 0.0;
+  const int draws = 50000;
+  for (int i = 0; i < draws; ++i) sum += rng.uniform();
+  EXPECT_NEAR(sum / draws, 0.5, 0.01);
+}
+
+TEST(Rng, NormalMomentsRoughlyCorrect) {
+  Rng rng(23);
+  const int draws = 50000;
+  double sum = 0.0, sq = 0.0;
+  for (int i = 0; i < draws; ++i) {
+    const double x = rng.normal(10.0, 2.0);
+    sum += x;
+    sq += x * x;
+  }
+  const double mean = sum / draws;
+  const double var = sq / draws - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.1);
+  EXPECT_NEAR(var, 4.0, 0.2);
+}
+
+TEST(Rng, PickRejectsEmpty) {
+  Rng rng(1);
+  const std::vector<int> empty;
+  EXPECT_THROW(rng.pick(empty), std::invalid_argument);
+}
+
+TEST(Rng, PickCoversAllElements) {
+  Rng rng(29);
+  const std::vector<int> items = {10, 20, 30};
+  std::set<int> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.pick(items));
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(31);
+  std::vector<int> items = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = items;
+  rng.shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, items);
+}
+
+TEST(Rng, ForkProducesIndependentStream) {
+  Rng parent(37);
+  Rng child = parent.fork();
+  // The child stream should not replay the parent stream.
+  Rng parent_copy(37);
+  parent_copy.fork();
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (child.next_u64() == parent.next_u64()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, ChanceExtremes) {
+  Rng rng(41);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.chance(0.0));
+    EXPECT_TRUE(rng.chance(1.0));
+  }
+}
+
+}  // namespace
+}  // namespace mapa::util

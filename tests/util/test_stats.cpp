@@ -1,0 +1,134 @@
+#include "util/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+namespace mapa::util {
+namespace {
+
+TEST(Stats, MeanAndVariance) {
+  const std::vector<double> xs = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(mean(xs), 5.0);
+  EXPECT_DOUBLE_EQ(variance(xs), 4.0);
+  EXPECT_DOUBLE_EQ(stddev(xs), 2.0);
+}
+
+TEST(Stats, EmptySampleThrows) {
+  const std::vector<double> empty;
+  EXPECT_THROW(mean(empty), std::invalid_argument);
+  EXPECT_THROW(quantile(empty, 0.5), std::invalid_argument);
+  EXPECT_THROW(box_plot(empty), std::invalid_argument);
+}
+
+TEST(Stats, SumIsAccurateForManySmallValues) {
+  std::vector<double> xs(1000000, 0.1);
+  EXPECT_NEAR(sum(xs), 100000.0, 1e-6);
+}
+
+TEST(Stats, QuantileEndpoints) {
+  const std::vector<double> xs = {3.0, 1.0, 2.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 1.0), 3.0);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.5), 2.0);
+}
+
+TEST(Stats, QuantileInterpolates) {
+  const std::vector<double> xs = {0.0, 10.0};
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(quantile(xs, 0.75), 7.5);
+}
+
+TEST(Stats, QuantileRejectsOutOfRange) {
+  const std::vector<double> xs = {1.0};
+  EXPECT_THROW(quantile(xs, -0.1), std::invalid_argument);
+  EXPECT_THROW(quantile(xs, 1.1), std::invalid_argument);
+}
+
+TEST(Stats, BoxPlotFiveNumbers) {
+  std::vector<double> xs;
+  for (int i = 1; i <= 101; ++i) xs.push_back(static_cast<double>(i));
+  const BoxPlot bp = box_plot(xs);
+  EXPECT_DOUBLE_EQ(bp.min, 1.0);
+  EXPECT_DOUBLE_EQ(bp.q25, 26.0);
+  EXPECT_DOUBLE_EQ(bp.median, 51.0);
+  EXPECT_DOUBLE_EQ(bp.q75, 76.0);
+  EXPECT_DOUBLE_EQ(bp.max, 101.0);
+  EXPECT_EQ(bp.count, 101u);
+}
+
+TEST(Stats, BoxPlotSingleValue) {
+  const std::vector<double> xs = {42.0};
+  const BoxPlot bp = box_plot(xs);
+  EXPECT_DOUBLE_EQ(bp.min, 42.0);
+  EXPECT_DOUBLE_EQ(bp.median, 42.0);
+  EXPECT_DOUBLE_EQ(bp.max, 42.0);
+}
+
+TEST(Stats, PearsonPerfectCorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0, 4.0};
+  const std::vector<double> ys = {2.0, 4.0, 6.0, 8.0};
+  EXPECT_NEAR(pearson(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Stats, PearsonPerfectAnticorrelation) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::vector<double> ys = {3.0, 2.0, 1.0};
+  EXPECT_NEAR(pearson(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Stats, PearsonConstantSideIsZero) {
+  const std::vector<double> xs = {1.0, 1.0, 1.0};
+  const std::vector<double> ys = {1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(pearson(xs, ys), 0.0);
+}
+
+TEST(Stats, PearsonSizeMismatchThrows) {
+  const std::vector<double> xs = {1.0, 2.0};
+  const std::vector<double> ys = {1.0};
+  EXPECT_THROW(pearson(xs, ys), std::invalid_argument);
+}
+
+TEST(Stats, RmseAndMae) {
+  const std::vector<double> pred = {1.0, 2.0, 3.0};
+  const std::vector<double> actual = {1.0, 4.0, 3.0};
+  EXPECT_NEAR(rmse(pred, actual), std::sqrt(4.0 / 3.0), 1e-12);
+  EXPECT_NEAR(mae(pred, actual), 2.0 / 3.0, 1e-12);
+}
+
+TEST(Stats, RelativeErrorSkipsZeroActuals) {
+  const std::vector<double> pred = {1.1, 5.0};
+  const std::vector<double> actual = {1.0, 0.0};
+  EXPECT_NEAR(mean_relative_error(pred, actual), 0.1, 1e-12);
+}
+
+TEST(Stats, RelativeErrorAllZerosThrows) {
+  const std::vector<double> pred = {1.0};
+  const std::vector<double> actual = {0.0};
+  EXPECT_THROW(mean_relative_error(pred, actual), std::invalid_argument);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotoneAndEndsAtOne) {
+  const std::vector<double> xs = {5.0, 1.0, 3.0, 3.0};
+  const auto cdf = empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 4u);
+  EXPECT_DOUBLE_EQ(cdf.front().value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf.back().value, 5.0);
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_LE(cdf[i - 1].value, cdf[i].value);
+    EXPECT_LT(cdf[i - 1].fraction, cdf[i].fraction);
+  }
+}
+
+TEST(Stats, BoxPlotToStringMentionsQuartiles) {
+  const std::vector<double> xs = {1.0, 2.0, 3.0};
+  const std::string text = to_string(box_plot(xs));
+  EXPECT_NE(text.find("med"), std::string::npos);
+  EXPECT_NE(text.find("q25"), std::string::npos);
+  EXPECT_NE(text.find("n=3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mapa::util

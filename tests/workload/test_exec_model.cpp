@@ -1,0 +1,117 @@
+#include "workload/exec_model.hpp"
+
+#include <gtest/gtest.h>
+
+#include "score/effbw_model.hpp"
+
+namespace mapa::workload {
+namespace {
+
+TEST(ExecModel, CalibrationPointsAreExact) {
+  // By construction: T(2, B_double) == ref and T(2, B_pcie) == ref * s.
+  for (const auto& w : all_workloads()) {
+    const ExecModel model(w);
+    EXPECT_NEAR(model.exec_time_s(2, ExecModel::reference_double_nvlink_bw()),
+                w.ref_exec_time_s, 1e-9)
+        << w.name;
+    EXPECT_NEAR(model.exec_time_s(2, ExecModel::reference_pcie_bw()),
+                w.ref_exec_time_s * w.pcie_slowdown, 1e-9)
+        << w.name;
+  }
+}
+
+TEST(ExecModel, ReferenceBandwidthsComeFromEq2) {
+  EXPECT_DOUBLE_EQ(ExecModel::reference_double_nvlink_bw(),
+                   score::predict_effective_bandwidth(
+                       score::LinkCensus{.doubles = 1}));
+  EXPECT_DOUBLE_EQ(ExecModel::reference_pcie_bw(),
+                   score::predict_effective_bandwidth(
+                       score::LinkCensus{.pcie = 1}));
+  EXPECT_GT(ExecModel::reference_double_nvlink_bw(),
+            ExecModel::reference_pcie_bw());
+}
+
+TEST(ExecModel, MoreBandwidthNeverSlower) {
+  const ExecModel model(workload_by_name("vgg-16"));
+  double previous = 1e18;
+  for (const double bw : {5.0, 10.0, 20.0, 40.0, 60.0, 80.0}) {
+    const double t = model.exec_time_s(3, bw);
+    EXPECT_LT(t, previous);
+    previous = t;
+  }
+}
+
+TEST(ExecModel, InsensitiveWorkloadsBarelyMove) {
+  const ExecModel model(workload_by_name("googlenet"));
+  const double fast = model.exec_time_s(4, 60.0);
+  const double slow = model.exec_time_s(4, 10.0);
+  EXPECT_LT(slow / fast, 1.25);
+}
+
+TEST(ExecModel, SensitiveWorkloadsMoveALot) {
+  const ExecModel model(workload_by_name("vgg-16"));
+  const double fast = model.exec_time_s(4, 60.0);
+  const double slow = model.exec_time_s(4, 10.0);
+  EXPECT_GT(slow / fast, 2.0);
+}
+
+TEST(ExecModel, SingleGpuIgnoresBandwidth) {
+  const ExecModel model(workload_by_name("vgg-16"));
+  EXPECT_DOUBLE_EQ(model.exec_time_s(1, 5.0), model.exec_time_s(1, 500.0));
+  EXPECT_DOUBLE_EQ(model.exec_time_s(1, 5.0), model.compute_seconds());
+}
+
+TEST(ExecModel, FourGpusSlowerThanTwoOnSameLink) {
+  // Fig. 6: with the same link class, the 4-GPU curve sits above the
+  // 2-GPU curve (1.5x the ring traffic).
+  const ExecModel model(workload_by_name("vgg-16"));
+  const double bw = 20.0;
+  EXPECT_GT(model.exec_time_s(4, bw), model.exec_time_s(2, bw));
+}
+
+TEST(ExecModel, IterScaleIsLinear) {
+  const ExecModel model(workload_by_name("alexnet"));
+  const double t1 = model.exec_time_s(3, 30.0, 1.0);
+  const double t2 = model.exec_time_s(3, 30.0, 2.0);
+  EXPECT_NEAR(t2, 2.0 * t1, 1e-9);
+  EXPECT_DOUBLE_EQ(model.exec_time_s(3, 30.0, 0.0), 0.0);
+}
+
+TEST(ExecModel, SpeedupVsPcieMatchesCalibration) {
+  const auto& vgg = workload_by_name("vgg-16");
+  const ExecModel model(vgg);
+  EXPECT_NEAR(
+      model.speedup_vs_pcie(2, ExecModel::reference_double_nvlink_bw()),
+      vgg.pcie_slowdown, 1e-9);
+  EXPECT_NEAR(model.speedup_vs_pcie(2, ExecModel::reference_pcie_bw()), 1.0,
+              1e-9);
+}
+
+TEST(ExecModel, BandwidthFloorPreventsBlowup) {
+  const ExecModel model(workload_by_name("vgg-16"));
+  EXPECT_DOUBLE_EQ(model.exec_time_s(4, 0.0), model.exec_time_s(4, 1e-9));
+  EXPECT_LT(model.exec_time_s(4, 0.0), 1e6);
+}
+
+TEST(ExecModel, InvalidInputsRejected) {
+  const ExecModel model(workload_by_name("vgg-16"));
+  EXPECT_THROW(model.exec_time_s(0, 10.0), std::invalid_argument);
+  EXPECT_THROW(model.exec_time_s(2, 10.0, -1.0), std::invalid_argument);
+
+  WorkloadProfile bad = workload_by_name("vgg-16");
+  bad.ref_exec_time_s = -1.0;
+  EXPECT_THROW(ExecModel{bad}, std::invalid_argument);
+  bad = workload_by_name("vgg-16");
+  bad.pcie_slowdown = 0.5;
+  EXPECT_THROW(ExecModel{bad}, std::invalid_argument);
+}
+
+TEST(ExecModel, CommVolumeScalesWithSlowdown) {
+  const ExecModel vgg(workload_by_name("vgg-16"));
+  const ExecModel googlenet(workload_by_name("googlenet"));
+  EXPECT_GT(vgg.comm_volume_gb(), googlenet.comm_volume_gb());
+  EXPECT_GE(googlenet.comm_volume_gb(), 0.0);
+}
+
+}  // namespace
+}  // namespace mapa::workload

@@ -1,0 +1,200 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "workload/generator.hpp"
+#include "workload/jobfile.hpp"
+
+namespace mapa::workload {
+namespace {
+
+TEST(Generator, ProducesRequestedCount) {
+  GeneratorConfig config;
+  config.num_jobs = 300;
+  const auto jobs = generate_jobs(config);
+  EXPECT_EQ(jobs.size(), 300u);
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(Generator, GpuCountsWithinRangeAndAllPresent) {
+  GeneratorConfig config;
+  config.num_jobs = 500;
+  const auto jobs = generate_jobs(config);
+  std::set<std::size_t> sizes;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.num_gpus, 1u);
+    EXPECT_LE(j.num_gpus, 5u);
+    sizes.insert(j.num_gpus);
+  }
+  EXPECT_EQ(sizes.size(), 5u);  // uniform 1..5 hits every size in 500 draws
+}
+
+TEST(Generator, GpuDistributionRoughlyUniform) {
+  GeneratorConfig config;
+  config.num_jobs = 5000;
+  const auto jobs = generate_jobs(config);
+  std::map<std::size_t, int> counts;
+  for (const auto& j : jobs) ++counts[j.num_gpus];
+  for (const auto& [gpus, count] : counts) {
+    EXPECT_NEAR(count, 1000, 120) << gpus << " GPUs";
+  }
+}
+
+TEST(Generator, UniformWorkloadMix) {
+  GeneratorConfig config;
+  config.num_jobs = 9000;
+  const auto jobs = generate_jobs(config);
+  std::map<std::string, int> counts;
+  for (const auto& j : jobs) ++counts[j.workload];
+  EXPECT_EQ(counts.size(), all_workloads().size());
+  for (const auto& [name, count] : counts) {
+    EXPECT_NEAR(count, 1000, 150) << name;
+  }
+}
+
+TEST(Generator, DeterministicForSeed) {
+  GeneratorConfig config;
+  config.num_jobs = 50;
+  const auto a = generate_jobs(config);
+  const auto b = generate_jobs(config);
+  EXPECT_EQ(a, b);
+  config.seed = 43;
+  const auto c = generate_jobs(config);
+  EXPECT_NE(a, c);
+}
+
+TEST(Generator, SensitivityInheritedFromProfile) {
+  GeneratorConfig config;
+  config.num_jobs = 200;
+  for (const auto& j : generate_jobs(config)) {
+    EXPECT_EQ(j.bandwidth_sensitive,
+              workload_by_name(j.workload).bandwidth_sensitive);
+  }
+}
+
+TEST(Generator, SingleGpuJobsUseSinglePattern) {
+  GeneratorConfig config;
+  config.num_jobs = 200;
+  for (const auto& j : generate_jobs(config)) {
+    if (j.num_gpus == 1) {
+      EXPECT_EQ(j.pattern, graph::PatternKind::kSingle);
+    }
+  }
+}
+
+TEST(Generator, RestrictedMixHonored) {
+  GeneratorConfig config;
+  config.num_jobs = 60;
+  config.workload_names = {"vgg-16", "googlenet"};
+  for (const auto& j : generate_jobs(config)) {
+    EXPECT_TRUE(j.workload == "vgg-16" || j.workload == "googlenet");
+  }
+}
+
+TEST(Generator, PoissonArrivalsAreMonotone) {
+  GeneratorConfig config;
+  config.num_jobs = 100;
+  config.mean_interarrival_s = 10.0;
+  const auto jobs = generate_jobs(config);
+  double previous = 0.0;
+  for (const auto& j : jobs) {
+    EXPECT_GE(j.arrival_time_s, previous);
+    previous = j.arrival_time_s;
+  }
+  EXPECT_GT(jobs.back().arrival_time_s, 0.0);
+}
+
+TEST(Generator, InvalidConfigRejected) {
+  GeneratorConfig config;
+  config.num_jobs = 0;
+  EXPECT_THROW(generate_jobs(config), std::invalid_argument);
+  config.num_jobs = 10;
+  config.min_gpus = 5;
+  config.max_gpus = 2;
+  EXPECT_THROW(generate_jobs(config), std::invalid_argument);
+  config.min_gpus = 0;
+  config.max_gpus = 2;
+  EXPECT_THROW(generate_jobs(config), std::invalid_argument);
+}
+
+TEST(Job, ApplicationGraphShapes) {
+  Job job;
+  job.workload = "vgg-16";
+  job.num_gpus = 4;
+  job.pattern = graph::PatternKind::kRing;
+  EXPECT_EQ(job.application_graph().num_edges(), 4u);
+  job.num_gpus = 1;
+  EXPECT_EQ(job.application_graph().num_vertices(), 1u);
+  EXPECT_EQ(job.application_graph().num_edges(), 0u);
+}
+
+TEST(Job, ProfileLookup) {
+  Job job;
+  job.workload = "gmm";
+  EXPECT_EQ(job.profile().name, "gmm");
+  job.workload = "unknown";
+  EXPECT_THROW(job.profile(), std::invalid_argument);
+}
+
+TEST(JobFile, RoundTrip) {
+  GeneratorConfig config;
+  config.num_jobs = 40;
+  config.mean_interarrival_s = 5.0;
+  const auto jobs = generate_jobs(config);
+  const auto reparsed = parse_job_file_string(serialize_job_file(jobs));
+  ASSERT_EQ(reparsed.size(), jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(reparsed[i].id, jobs[i].id);
+    EXPECT_EQ(reparsed[i].workload, jobs[i].workload);
+    EXPECT_EQ(reparsed[i].num_gpus, jobs[i].num_gpus);
+    EXPECT_EQ(reparsed[i].pattern, jobs[i].pattern);
+    EXPECT_EQ(reparsed[i].bandwidth_sensitive, jobs[i].bandwidth_sensitive);
+    EXPECT_NEAR(reparsed[i].arrival_time_s, jobs[i].arrival_time_s, 1e-6);
+  }
+}
+
+TEST(JobFile, ParsesMinimalRow) {
+  const auto jobs = parse_job_file_string("1, vgg-16, 3, Ring, true\n");
+  ASSERT_EQ(jobs.size(), 1u);
+  EXPECT_EQ(jobs[0].workload, "vgg-16");
+  EXPECT_EQ(jobs[0].num_gpus, 3u);
+  EXPECT_TRUE(jobs[0].bandwidth_sensitive);
+  EXPECT_DOUBLE_EQ(jobs[0].arrival_time_s, 0.0);
+}
+
+TEST(JobFile, SkipsCommentsAndBlanks) {
+  const auto jobs = parse_job_file_string(
+      "# header\n\n1, gmm, 2, Star, false\n  \n# trailing\n");
+  EXPECT_EQ(jobs.size(), 1u);
+}
+
+TEST(JobFile, ErrorsCarryLineNumbers) {
+  try {
+    parse_job_file_string("1, vgg-16, 3, Ring, true\n2, bogus, 1, Ring, no\n");
+    FAIL() << "expected error";
+  } catch (const std::runtime_error& e) {
+    EXPECT_NE(std::string(e.what()).find("line 2"), std::string::npos);
+  }
+}
+
+TEST(JobFile, RejectsMalformedRows) {
+  EXPECT_THROW(parse_job_file_string("1, vgg-16, 3\n"), std::runtime_error);
+  EXPECT_THROW(parse_job_file_string("x, vgg-16, 3, Ring, true\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_job_file_string("1, vgg-16, 0, Ring, true\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_job_file_string("1, vgg-16, 3, Blob, true\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_job_file_string("1, vgg-16, 3, Ring, maybe\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_job_file_string("1, vgg-16, 3, Ring, true, -5\n"),
+               std::runtime_error);
+  EXPECT_THROW(parse_job_file_string("1, vgg-16, 3, Ring, true, 0, 0\n"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mapa::workload

@@ -1,0 +1,98 @@
+#include "workload/profile.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace mapa::workload {
+namespace {
+
+TEST(Profiles, NinePaperWorkloads) {
+  const auto& all = all_workloads();
+  EXPECT_EQ(all.size(), 9u);
+  std::set<std::string> names;
+  for (const auto& w : all) names.insert(w.name);
+  for (const char* expected :
+       {"vgg-16", "alexnet", "resnet-50", "inception-v3", "caffenet",
+        "googlenet", "cusimann", "gmm", "jacobi"}) {
+    EXPECT_TRUE(names.count(expected)) << expected;
+  }
+}
+
+TEST(Profiles, SensitivityLabelsMatchFig5b) {
+  // Paper Fig. 5b: AlexNet / Inception-v3 / VGG-16 / Resnet-50 sensitive,
+  // CaffeNet / GoogleNet insensitive; §4 adds Cusimann / GMM / Jacobi as
+  // insensitive.
+  EXPECT_TRUE(workload_by_name("vgg-16").bandwidth_sensitive);
+  EXPECT_TRUE(workload_by_name("alexnet").bandwidth_sensitive);
+  EXPECT_TRUE(workload_by_name("resnet-50").bandwidth_sensitive);
+  EXPECT_TRUE(workload_by_name("inception-v3").bandwidth_sensitive);
+  EXPECT_FALSE(workload_by_name("caffenet").bandwidth_sensitive);
+  EXPECT_FALSE(workload_by_name("googlenet").bandwidth_sensitive);
+  EXPECT_FALSE(workload_by_name("cusimann").bandwidth_sensitive);
+  EXPECT_FALSE(workload_by_name("gmm").bandwidth_sensitive);
+  EXPECT_FALSE(workload_by_name("jacobi").bandwidth_sensitive);
+}
+
+TEST(Profiles, CommCallsMatchFig5bTable) {
+  EXPECT_DOUBLE_EQ(workload_by_name("alexnet").comm.calls_per_iter, 80001.0);
+  EXPECT_DOUBLE_EQ(workload_by_name("inception-v3").comm.calls_per_iter,
+                   2830001.0);
+  EXPECT_DOUBLE_EQ(workload_by_name("vgg-16").comm.calls_per_iter, 160001.0);
+  EXPECT_DOUBLE_EQ(workload_by_name("resnet-50").comm.calls_per_iter,
+                   1600001.0);
+  EXPECT_DOUBLE_EQ(workload_by_name("caffenet").comm.calls_per_iter, 84936.0);
+  EXPECT_DOUBLE_EQ(workload_by_name("googlenet").comm.calls_per_iter,
+                   640001.0);
+}
+
+TEST(Profiles, SensitiveNetworksSlowDownMoreOnPcie) {
+  // Fig. 2b ordering: VGG ~3x, GoogleNet barely affected.
+  const double vgg = workload_by_name("vgg-16").pcie_slowdown;
+  const double googlenet = workload_by_name("googlenet").pcie_slowdown;
+  EXPECT_NEAR(vgg, 3.0, 0.01);
+  EXPECT_LT(googlenet, 1.1);
+  for (const auto& w : sensitive_workloads()) {
+    EXPECT_GE(w.pcie_slowdown, 1.3) << w.name;
+  }
+  for (const auto& w : insensitive_workloads()) {
+    EXPECT_LE(w.pcie_slowdown, 1.1) << w.name;
+  }
+}
+
+TEST(Profiles, JacobiUnderThreePercent) {
+  // Paper: "less than 3% execution time improvement with Jacobi".
+  EXPECT_LE(workload_by_name("jacobi").pcie_slowdown, 1.03);
+}
+
+TEST(Profiles, SubsetsPartitionTheCatalog) {
+  EXPECT_EQ(sensitive_workloads().size() + insensitive_workloads().size(),
+            all_workloads().size());
+  EXPECT_EQ(sensitive_workloads().size(), 4u);
+}
+
+TEST(Profiles, LookupBehaviour) {
+  EXPECT_EQ(find_workload("vgg-16")->name, "vgg-16");
+  EXPECT_EQ(find_workload("nope"), nullptr);
+  EXPECT_THROW(workload_by_name("nope"), std::invalid_argument);
+}
+
+TEST(Profiles, AllHavePositiveCalibration) {
+  for (const auto& w : all_workloads()) {
+    EXPECT_GT(w.ref_exec_time_s, 0.0) << w.name;
+    EXPECT_GE(w.pcie_slowdown, 1.0) << w.name;
+    EXPECT_GT(w.comm.calls_per_iter, 0.0) << w.name;
+    EXPECT_GT(w.comm.median_bytes, 0.0) << w.name;
+    EXPECT_GT(w.ref_iterations, 0u) << w.name;
+  }
+}
+
+TEST(Profiles, CommunicationSizeSeparatesSensitiveClasses) {
+  // Paper §2.3: transfers must exceed ~1e5 bytes to exploit fast links.
+  // GoogleNet's median is below that threshold; VGG's far above.
+  EXPECT_LT(workload_by_name("googlenet").comm.median_bytes, 1e5);
+  EXPECT_GT(workload_by_name("vgg-16").comm.median_bytes, 1e5);
+}
+
+}  // namespace
+}  // namespace mapa::workload
