@@ -55,11 +55,15 @@ int main() {
           interconnect::measured_effective_bandwidth(pattern, hw, m);
       const double predicted =
           score::predict_effective_bandwidth(report.theta, census);
+      std::string census_key = "(";
+      census_key += std::to_string(census.doubles);
+      census_key += ',';
+      census_key += std::to_string(census.singles);
+      census_key += ',';
+      census_key += std::to_string(census.pcie);
+      census_key += ')';
       scatter.add_row(
-          {std::to_string(k),
-           "(" + std::to_string(census.doubles) + "," +
-               std::to_string(census.singles) + "," +
-               std::to_string(census.pcie) + ")",
+          {std::to_string(k), census_key,
            util::fixed(actual, 2), util::fixed(predicted, 2),
            util::fixed(std::abs(predicted - actual) /
                            std::max(actual, 1e-9), 3)});
