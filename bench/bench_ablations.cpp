@@ -135,12 +135,13 @@ void random_vs_scored() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "ablations");
   bench::print_header("DESIGN.md ablations",
                       "Scorer fidelity, queue reordering, MIG, random");
   predicted_vs_measured();
   fifo_vs_backfill();
   mig_packing();
   random_vs_scored();
-  return 0;
+  return report.write();
 }

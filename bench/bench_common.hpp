@@ -1,10 +1,17 @@
 #pragma once
 // Shared helpers for the figure/table reproduction benches: a uniform
-// header block, box-plot row formatting, and the standard 300-job DGX-V
-// experiment (paper §4 "Jobs configuration") reused by several benches.
+// header block, box-plot row formatting, the standard 300-job DGX-V
+// experiment (paper §4 "Jobs configuration") reused by several benches,
+// and the `--json` perf-trajectory writer every driver feeds so each PR
+// can commit measured BENCH_*.json points.
 
+#include <chrono>
+#include <fstream>
 #include <iostream>
+#include <limits>
+#include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "graph/topology.hpp"
@@ -15,6 +22,70 @@
 #include "workload/generator.hpp"
 
 namespace mapa::bench {
+
+/// Machine-readable perf trajectory for a bench driver. Construct at the
+/// top of main with argc/argv; when the driver was invoked with `--json`
+/// (or `--json=path`), `write()` dumps the recorded metrics plus total
+/// wall-clock to BENCH_<name>.json. Without the flag everything is a
+/// no-op, so drivers stay pure stdout tools by default.
+class JsonReport {
+ public:
+  JsonReport(int argc, char** argv, std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json") {
+        enabled_ = true;
+      } else if (arg.rfind("--json=", 0) == 0) {
+        enabled_ = true;
+        path_ = arg.substr(7);
+      }
+    }
+    if (path_.empty()) path_ = "BENCH_" + name_ + ".json";
+  }
+
+  bool enabled() const { return enabled_; }
+  const std::string& path() const { return path_; }
+
+  void metric(const std::string& key, double value) {
+    metrics_.emplace_back(key, value);
+  }
+
+  /// Call at the end of main. Returns 0 on success (the driver's exit
+  /// status), 1 when the file could not be written.
+  int write() {
+    if (!enabled_) return 0;
+    const double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    std::ostringstream out;
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << "{\n  \"bench\": \"" << name_ << "\",\n  \"metrics\": {";
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      out << (i == 0 ? "\n" : ",\n") << "    \"" << metrics_[i].first
+          << "\": " << metrics_[i].second;
+    }
+    out << (metrics_.empty() ? "" : "\n  ") << "},\n  \"wall_s\": " << wall_s
+        << "\n}\n";
+    std::ofstream file(path_);
+    file << out.str();
+    file.close();  // flush before checking so buffered failures surface
+    if (!file) {
+      std::cerr << "failed to write " << path_ << "\n";
+      return 1;
+    }
+    std::cout << "\nwrote " << path_ << "\n";
+    return 0;
+  }
+
+ private:
+  std::string name_;
+  std::string path_;
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point start_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
 
 inline void print_header(const std::string& artifact,
                          const std::string& what) {

@@ -86,11 +86,23 @@ void fig2b() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig02_links");
   bench::print_header("Table 1 + Fig. 2",
                       "Link bandwidths, size ramp, and link-type speedups");
   table1();
   fig2a();
   fig2b();
-  return 0;
+
+  const graph::Graph hw = graph::dgx1_v100();
+  const graph::Graph pair = graph::ring(2);
+  const auto effbw = [&](graph::VertexId a, graph::VertexId b) {
+    match::Match m;
+    m.mapping = {a, b};
+    return interconnect::measured_effective_bandwidth(pair, hw, m);
+  };
+  report.metric("effbw_pair_double_gbps", effbw(0, 4));
+  report.metric("effbw_pair_single_gbps", effbw(0, 1));
+  report.metric("effbw_pair_pcie_gbps", effbw(0, 5));
+  return report.write();
 }

@@ -13,7 +13,8 @@
 
 using namespace mapa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig04_fragmentation");
   bench::print_header(
       "Fig. 4", "BW_allocated / BW_ideal under baseline allocation, 100 jobs");
 
@@ -56,5 +57,10 @@ int main() {
   std::cout << "\nPaper shape: a large majority of jobs sit below quality "
                "1.0, and\nsmaller jobs fragment harder (wider, lower "
                "boxes for 2-3 GPUs).\n";
-  return 0;
+  if (quality.count(3)) {
+    const auto bp3 = util::box_plot(quality[3]);
+    report.metric("quality_3gpu_q25", bp3.q25);
+    report.metric("quality_3gpu_q75", bp3.q75);
+  }
+  return report.write();
 }

@@ -69,9 +69,10 @@ void fig5b() {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig05_workloads");
   bench::print_header("Fig. 5", "Communication properties of ML workloads");
   fig5a();
   fig5b();
-  return 0;
+  return report.write();
 }

@@ -50,7 +50,8 @@ void series(const std::string& workload_name) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig06_scaling");
   bench::print_header("Fig. 6",
                       "Execution time vs iterations, NVLink vs PCIe");
   series("googlenet");
@@ -59,5 +60,5 @@ int main() {
                "each other\n(insensitive); VGG-16's PCIe curves diverge "
                "sharply upward and the gap\ngrows with iteration count "
                "and GPU count.\n";
-  return 0;
+  return report.write();
 }

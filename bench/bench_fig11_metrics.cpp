@@ -17,7 +17,8 @@
 
 using namespace mapa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig11_metrics");
   bench::print_header("Fig. 11",
                       "AggBW vs EffBW vs execution time (VGG-16 allocations)");
 
@@ -81,5 +82,8 @@ int main() {
   std::cout << "Paper shape: exec time spreads widely within AggBW bins "
                "(a), while\nEffBW bins order execution time cleanly and "
                "tightly (c).\n";
-  return 0;
+  report.metric("pearson_aggbw_exec", util::pearson(agg, exec_time));
+  report.metric("pearson_aggbw_effbw", util::pearson(agg, eff));
+  report.metric("pearson_effbw_exec", util::pearson(eff, exec_time));
+  return report.write();
 }

@@ -17,7 +17,8 @@
 
 using namespace mapa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport json(argc, argv, "fig12_regression");
   bench::print_header("Table 2 + Fig. 12",
                       "Effective-bandwidth regression on DGX-V samples");
 
@@ -83,5 +84,9 @@ int main() {
             << "\nPaper shape: points hug the diagonal across all job "
                "sizes — the link\nmix, not the job size, determines "
                "effective bandwidth.\n";
-  return 0;
+  json.metric("relative_error", report.relative_error);
+  json.metric("rmse", report.rmse);
+  json.metric("mae", report.mae);
+  json.metric("pearson", report.pearson);
+  return json.write();
 }

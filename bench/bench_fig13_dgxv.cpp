@@ -52,7 +52,8 @@ void panel(const std::vector<sim::SimResult>& results,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig13_dgxv");
   bench::print_header("Fig. 13",
                       "DGX-V, 300 jobs, four policies, four panels");
 
@@ -76,5 +77,11 @@ int main() {
          "baseline and\n   Topo-aware; Greedy's q25 dips (starved jobs), "
          "Preserve's does not.\n"
          " - (b)/(d) insensitive workloads barely move across policies.\n";
-  return 0;
+  for (const auto& r : results) {
+    report.metric(r.policy + "_makespan_s", r.makespan_s);
+    report.metric(r.policy + "_scheduling_ms", r.total_scheduling_ms);
+    report.metric(r.policy + "_cache_hits",
+                  static_cast<double>(r.match_cache_hits));
+  }
+  return report.write();
 }

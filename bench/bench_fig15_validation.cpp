@@ -10,7 +10,8 @@
 
 using namespace mapa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig15_validation");
   bench::print_header("Fig. 15",
                       "Simulated (Eq. 2) vs real (microbench) EffBW");
 
@@ -53,5 +54,7 @@ int main() {
             << "Paper shape: points on the diagonal — the simulation "
                "adequately\ncaptures the real machine's allocation "
                "behavior (correlation ~1).\n";
-  return r > 0.9 ? 0 : 1;
+  report.metric("pearson_real_vs_simulated", r);
+  const int json_status = report.write();
+  return r > 0.9 ? json_status : 1;
 }

@@ -11,7 +11,8 @@
 
 using namespace mapa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig16_proxy");
   bench::print_header("Fig. 16",
                       "Effective bandwidth vs execution time per workload");
 
@@ -46,5 +47,7 @@ int main() {
             << "Paper shape: sensitive curves fall steeply then flatten "
                "past ~50 GBps;\ninsensitive curves are flat — EffBW is a "
                "sound proxy for exec time.\n";
-  return 0;
+  report.metric("vgg16_gain_10_to_40_s", low_gain);
+  report.metric("vgg16_gain_50_to_80_s", high_gain);
+  return report.write();
 }

@@ -62,7 +62,8 @@ void topology_panel(const graph::Graph& hw,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "fig18_topologies");
   bench::print_header("Fig. 18",
                       "16-GPU Torus-2d and Cube-mesh, sensitive workloads");
   const auto jobs = bench::paper_job_mix(300, 18);
@@ -73,5 +74,5 @@ int main() {
          "on both\ntopologies; on the irregular Cube-mesh, Preserve's "
          "median approaches\nGreedy's q75 and baseline's max — more than "
          "half its jobs beat all of\nbaseline's.\n";
-  return 0;
+  return report.write();
 }

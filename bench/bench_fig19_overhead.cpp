@@ -11,7 +11,10 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+#include <string>
 #include <thread>
+#include <vector>
 
 #include "graph/patterns.hpp"
 #include "graph/topology.hpp"
@@ -142,7 +145,25 @@ void RegisterBenchmarks() {
 
 int main(int argc, char** argv) {
   RegisterBenchmarks();
-  benchmark::Initialize(&argc, argv);
+  // `--json` is the uniform perf-trajectory flag across all bench drivers;
+  // here it maps onto google-benchmark's own JSON reporter.
+  std::vector<std::string> args;
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json" || arg.rfind("--json=", 0) == 0) {
+      const std::string path = arg == "--json" ? "BENCH_fig19_overhead.json"
+                                               : arg.substr(7);
+      args.emplace_back("--benchmark_out=" + path);
+      args.emplace_back("--benchmark_out_format=json");
+    } else {
+      args.emplace_back(std::move(arg));
+    }
+  }
+  std::vector<char*> arg_ptrs;
+  arg_ptrs.reserve(args.size());
+  for (std::string& arg : args) arg_ptrs.push_back(arg.data());
+  int adjusted_argc = static_cast<int>(arg_ptrs.size());
+  benchmark::Initialize(&adjusted_argc, arg_ptrs.data());
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

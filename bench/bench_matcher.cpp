@@ -1,0 +1,203 @@
+// Matcher microbench: the measured perf trajectory for the bitset matching
+// core. Times symmetry-broken match enumeration (the count_matches hot path
+// every simulated job pays, paper Fig. 19) with
+//
+//  * the seed matcher — the generic VF2 inner loop with a per-leaf visitor
+//    and Match materialization, exactly what the seed's count_matches did;
+//  * the bitset core — BitGraph domains + leaf counting;
+//  * the Ullmann backend, as the independent cross-check;
+//
+// across the paper's pattern shapes on the 8-GPU DGX-1V and the 16-GPU
+// topologies, plus the allocation-state match cache on a repeat-fleet-state
+// Preserve workload. `--json` writes BENCH_matching.json (headline:
+// dgx1v_enumeration_speedup, the geometric-mean bitset-vs-seed speedup on
+// DGX-1V).
+
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/patterns.hpp"
+#include "match/enumerator.hpp"
+#include "match/ullmann.hpp"
+#include "match/vf2.hpp"
+#include "policy/match_cache.hpp"
+#include "policy/preserve.hpp"
+
+using namespace mapa;
+
+namespace {
+
+/// Best-of-N wall time of `fn`, autoscaled so each sample runs >= ~20 ms.
+template <typename Fn>
+double time_us(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  // Calibrate the iteration count on one probe run.
+  auto probe_start = clock::now();
+  fn();
+  const double probe_us =
+      std::chrono::duration<double, std::micro>(clock::now() - probe_start)
+          .count();
+  const std::size_t iters =
+      probe_us >= 20000.0
+          ? 1
+          : static_cast<std::size_t>(20000.0 / (probe_us + 0.1)) + 1;
+  double best_us = probe_us;
+  for (int sample = 0; sample < 3; ++sample) {
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double us =
+        std::chrono::duration<double, std::micro>(clock::now() - start)
+            .count() /
+        static_cast<double>(iters);
+    best_us = std::min(best_us, us);
+  }
+  return best_us;
+}
+
+/// The seed count_matches: generic VF2 inner loop, visitor per match.
+std::size_t seed_count(const graph::Graph& pattern, const graph::Graph& target,
+                       const match::OrderingConstraints& constraints) {
+  std::size_t count = 0;
+  match::vf2_enumerate_generic(
+      pattern, target,
+      [&](const match::Match&) {
+        ++count;
+        return true;
+      },
+      constraints);
+  return count;
+}
+
+struct Case {
+  std::string name;
+  graph::Graph pattern;
+};
+
+std::vector<Case> pattern_cases(std::size_t max_size) {
+  std::vector<Case> cases;
+  const std::vector<std::pair<std::string, graph::PatternKind>> kinds = {
+      {"ring", graph::PatternKind::kRing},
+      {"chain", graph::PatternKind::kChain},
+      {"tree", graph::PatternKind::kTree},
+      {"star", graph::PatternKind::kStar},
+  };
+  for (const auto& [kname, kind] : kinds) {
+    for (std::size_t size = 3; size <= max_size; ++size) {
+      cases.push_back(
+          {kname + std::to_string(size), graph::make_pattern(kind, size)});
+    }
+  }
+  return cases;
+}
+
+/// Preserve-policy allocations over a cycling fleet state (the engine's
+/// repeat-state workload the cache is built for).
+double time_allocations(policy::PreservePolicy& policy,
+                        const graph::Graph& hw, int rounds) {
+  const graph::Graph pattern = graph::ring(3);
+  policy::AllocationRequest request;
+  request.pattern = &pattern;
+  request.bandwidth_sensitive = false;
+  // Fleet cycles through 8 busy states of 2 GPUs each.
+  std::vector<std::vector<bool>> states;
+  for (std::size_t shift = 0; shift < 8; ++shift) {
+    std::vector<bool> busy(hw.num_vertices(), false);
+    busy[shift % hw.num_vertices()] = true;
+    busy[(shift + 3) % hw.num_vertices()] = true;
+    states.push_back(std::move(busy));
+  }
+  return time_us([&] {
+    for (int round = 0; round < rounds; ++round) {
+      const auto& busy = states[static_cast<std::size_t>(round) % states.size()];
+      auto result = policy.allocate(hw, busy, request);
+      if (!result) std::abort();
+    }
+  });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "matching");
+  bench::print_header("bench_matcher",
+                      "Bitset matching core vs. seed matcher, plus the "
+                      "allocation-state match cache");
+
+  const std::vector<std::pair<std::string, graph::Graph>> machines = {
+      {"dgx1v", graph::dgx1_v100()},
+      {"nvswitch16", graph::nvswitch_16()},
+      {"torus16", graph::torus2d_16()},
+  };
+
+  util::Table table(
+      {"machine", "pattern", "matches", "seed_us", "bitset_us", "ullmann_us",
+       "speedup"});
+  double dgx_log_speedup_sum = 0.0;
+  std::size_t dgx_cases = 0;
+  for (const auto& [mname, hw] : machines) {
+    // 16-GPU machines cap at 6-vertex patterns to keep the smoke run fast.
+    const std::size_t max_size = hw.num_vertices() <= 8 ? 8 : 6;
+    for (const Case& c : pattern_cases(max_size)) {
+      if (c.pattern.num_vertices() > hw.num_vertices()) continue;
+      const auto constraints = match::symmetry_constraints(c.pattern);
+      const std::size_t expected = seed_count(c.pattern, hw, constraints);
+      if (match::vf2_count(c.pattern, hw, constraints) != expected ||
+          match::ullmann_count(c.pattern, hw, constraints) != expected) {
+        std::cerr << "backend mismatch on " << mname << "/" << c.name << "\n";
+        return 1;
+      }
+      const double seed_us =
+          time_us([&] { (void)seed_count(c.pattern, hw, constraints); });
+      const double bitset_us =
+          time_us([&] { (void)match::vf2_count(c.pattern, hw, constraints); });
+      const double ullmann_us = time_us(
+          [&] { (void)match::ullmann_count(c.pattern, hw, constraints); });
+      const double speedup = seed_us / bitset_us;
+      table.add_row({mname, c.name, std::to_string(expected),
+                     util::fixed(seed_us, 1), util::fixed(bitset_us, 1),
+                     util::fixed(ullmann_us, 1), util::fixed(speedup, 2)});
+      if (mname == "dgx1v") {
+        dgx_log_speedup_sum += std::log(speedup);
+        ++dgx_cases;
+        report.metric("dgx1v_" + c.name + "_seed_us", seed_us);
+        report.metric("dgx1v_" + c.name + "_bitset_us", bitset_us);
+        report.metric("dgx1v_" + c.name + "_ullmann_us", ullmann_us);
+      }
+    }
+  }
+  std::cout << table.render();
+
+  const double dgx_speedup =
+      std::exp(dgx_log_speedup_sum / static_cast<double>(dgx_cases));
+  std::cout << "\n8-GPU DGX-1V enumeration speedup (geomean, bitset core vs "
+               "seed matcher): "
+            << util::fixed(dgx_speedup, 2) << "x\n";
+  report.metric("dgx1v_enumeration_speedup", dgx_speedup);
+
+  // Match cache on a repeat-fleet-state Preserve workload.
+  {
+    const graph::Graph hw = graph::dgx1_v100();
+    policy::PreservePolicy cold;
+    const double uncached_us = time_allocations(cold, hw, 64);
+    policy::PreservePolicy warm;
+    auto cache = std::make_shared<policy::MatchCache>();
+    warm.set_match_cache(cache);
+    const double cached_us = time_allocations(warm, hw, 64);
+    const auto stats = cache->stats();
+    std::cout << "\nPreserve allocate, 64 decisions over 8 repeat fleet "
+                 "states on DGX-1V:\n  uncached "
+              << util::fixed(uncached_us, 1) << " us, cached "
+              << util::fixed(cached_us, 1) << " us ("
+              << util::fixed(uncached_us / cached_us, 2) << "x, "
+              << stats.hits << " hits / " << stats.misses << " misses)\n";
+    report.metric("preserve_allocate_uncached_us", uncached_us);
+    report.metric("preserve_allocate_cached_us", cached_us);
+    report.metric("match_cache_allocate_speedup", uncached_us / cached_us);
+  }
+
+  return report.write();
+}

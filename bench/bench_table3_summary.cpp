@@ -8,7 +8,8 @@
 
 using namespace mapa;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "table3_summary");
   bench::print_header("Table 3",
                       "Normalized speedup and throughput on DGX-1 V100");
 
@@ -27,6 +28,8 @@ int main() {
     t.add_row({s.policy, util::fixed(s.min, 3), util::fixed(s.q25, 3),
                util::fixed(s.median, 3), util::fixed(s.q75, 3),
                util::fixed(s.max, 3), util::fixed(s.throughput, 2)});
+    report.metric(s.policy + "_median_speedup", s.median);
+    report.metric(s.policy + "_throughput", s.throughput);
   }
   std::cout << t.render() << '\n';
 
@@ -49,5 +52,5 @@ int main() {
          "  Preserve    1.006 / 1.057 / 1.119 / 1.124 / 1.352, Tput 1.12\n\n"
          "Paper shape to check: Greedy wins the median; Preserve wins the "
          "tail\n(75th percentile and MAX) and posts the best throughput.\n";
-  return 0;
+  return report.write();
 }

@@ -57,6 +57,10 @@ class Mapa {
   const graph::Graph& hardware() const { return hardware_; }
   const std::string policy_name() const { return policy_->name(); }
 
+  /// The selection policy (e.g. to install a match cache post-construction).
+  policy::Policy& policy() { return *policy_; }
+  const policy::Policy& policy() const { return *policy_; }
+
   /// Accelerators currently held by live allocations.
   const std::vector<bool>& busy() const { return busy_; }
   std::size_t free_accelerators() const;

@@ -117,4 +117,19 @@ std::size_t automorphism_count(const Graph& g) {
   return automorphisms(g).size();
 }
 
+std::uint64_t adjacency_fingerprint(const Graph& g) {
+  // FNV-1a over the vertex count and each undirected edge (u, v), u < v,
+  // in insertion order. Stable across runs and platforms.
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 0x100000001b3ULL;
+  };
+  mix(g.num_vertices());
+  for (const Edge& e : g.edges()) {
+    mix((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+  }
+  return hash;
+}
+
 }  // namespace mapa::graph

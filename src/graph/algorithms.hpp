@@ -1,9 +1,11 @@
 #pragma once
 // Structural graph algorithms used by the matcher and the policies:
 // connectivity (sanity checks on topologies), automorphism enumeration
-// (symmetry breaking so each allocation is reported once), and mapping
-// validation shared by tests and both isomorphism backends.
+// (symmetry breaking so each allocation is reported once), mapping
+// validation shared by tests and both isomorphism backends, and the
+// adjacency fingerprint the match cache keys on.
 
+#include <cstdint>
 #include <vector>
 
 #include "graph/graph.hpp"
@@ -37,5 +39,14 @@ std::vector<std::vector<VertexId>> automorphisms(const Graph& g);
 
 /// Size of the automorphism group (|Aut(g)|).
 std::size_t automorphism_count(const Graph& g);
+
+/// Order-sensitive hash of the graph's vertex count and adjacency
+/// structure (edge labels and bandwidths are ignored — matching is
+/// structure-only per §3.3). Equal fingerprints on equally-sized graphs
+/// mean identical adjacency, up to hash collisions; the match cache uses
+/// this both as the canonical pattern key (the pattern factories build
+/// each shape with one fixed labeling, so repeat jobs of a shape collide
+/// onto one entry) and to detect hardware-graph changes.
+std::uint64_t adjacency_fingerprint(const Graph& g);
 
 }  // namespace mapa::graph

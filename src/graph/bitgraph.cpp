@@ -1,0 +1,40 @@
+#include "graph/bitgraph.hpp"
+
+#include <bit>
+#include <stdexcept>
+
+namespace mapa::graph {
+
+std::size_t VertexMask::count() const {
+  std::size_t total = 0;
+  for (const std::uint64_t w : words_) {
+    total += static_cast<std::size_t>(std::popcount(w));
+  }
+  return total;
+}
+
+bool VertexMask::none() const {
+  for (const std::uint64_t w : words_) {
+    if (w != 0) return false;
+  }
+  return true;
+}
+
+BitGraph::BitGraph(const Graph& g) : n_(g.num_vertices()) {
+  if (n_ > kMaxVertices) {
+    throw std::invalid_argument(
+        "BitGraph: graph exceeds 64 vertices; use the generic path");
+  }
+  all_ = n_ == 64 ? ~std::uint64_t{0}
+                  : (std::uint64_t{1} << n_) - 1;
+  for (VertexId v = 0; v < n_; ++v) {
+    std::uint64_t row = 0;
+    for (const VertexId nb : g.neighbors(v)) {
+      row |= std::uint64_t{1} << nb;
+    }
+    rows_[v] = row;
+    degrees_[v] = static_cast<std::uint8_t>(g.degree(v));
+  }
+}
+
+}  // namespace mapa::graph

@@ -1,0 +1,99 @@
+#pragma once
+// Bitset matching core (Glasgow-solver style): word-per-vertex adjacency
+// for hardware graphs with at most 64 accelerators, which covers every
+// machine the paper evaluates (it tops out at 16). One uint64_t row per
+// vertex lets the subgraph matchers test edges and intersect candidate
+// domains with single bitwise ops instead of indexed matrix lookups;
+// targets above 64 vertices fall back to the generic `Graph`-based path.
+//
+// `VertexMask` is the companion free/busy-set representation used to plumb
+// forbidden (busy) accelerators through the matching stack: a word-array
+// bitset that degenerates to a single uint64_t for the <= 64 fast path and
+// doubles as the allocation-state half of the policy match-cache key.
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// A set of hardware vertices as a word-array bitset. An empty mask
+/// (size() == 0) means "no vertices masked" and is the default for the
+/// matching APIs.
+class VertexMask {
+ public:
+  VertexMask() = default;
+
+  /// Mask over `n` vertices, all bits clear.
+  explicit VertexMask(std::size_t n)
+      : size_(n), words_((n + 63) / 64, 0) {}
+
+  /// Busy mask -> vertex mask (bit v set iff busy[v]).
+  static VertexMask of_busy(const std::vector<bool>& busy) {
+    VertexMask mask(busy.size());
+    for (std::size_t v = 0; v < busy.size(); ++v) {
+      if (busy[v]) mask.set(static_cast<VertexId>(v));
+    }
+    return mask;
+  }
+
+  std::size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  bool test(VertexId v) const {
+    return (words_[v >> 6] >> (v & 63)) & 1;
+  }
+  void set(VertexId v) { words_[v >> 6] |= std::uint64_t{1} << (v & 63); }
+  void reset(VertexId v) { words_[v >> 6] &= ~(std::uint64_t{1} << (v & 63)); }
+
+  /// Number of set bits.
+  std::size_t count() const;
+  bool none() const;
+
+  /// Word `i` of the underlying storage (word 0 covers vertices 0..63 —
+  /// the whole mask for <= 64-vertex graphs).
+  std::uint64_t word(std::size_t i) const { return words_[i]; }
+  const std::vector<std::uint64_t>& words() const { return words_; }
+
+  bool operator==(const VertexMask&) const = default;
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+/// Word-per-vertex adjacency view of a `Graph` with <= 64 vertices.
+/// Construction is O(n + m) with no heap allocation; intended to be built
+/// per enumeration (hardware graphs are tiny) or kept alongside a graph.
+class BitGraph {
+ public:
+  static constexpr std::size_t kMaxVertices = 64;
+
+  static bool fits(const Graph& g) { return g.num_vertices() <= kMaxVertices; }
+
+  /// Throws std::invalid_argument when the graph has more than 64 vertices.
+  explicit BitGraph(const Graph& g);
+
+  std::size_t num_vertices() const { return n_; }
+
+  /// Neighbors of `v` as a bitmask.
+  std::uint64_t row(VertexId v) const { return rows_[v]; }
+
+  /// All vertices of the graph as a bitmask (the full candidate domain).
+  std::uint64_t all_vertices() const { return all_; }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    return (rows_[u] >> v) & 1;
+  }
+
+  std::size_t degree(VertexId v) const { return degrees_[v]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::uint64_t all_ = 0;
+  std::uint64_t rows_[kMaxVertices] = {};
+  std::uint8_t degrees_[kMaxVertices] = {};
+};
+
+}  // namespace mapa::graph

@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <stdexcept>
-#include <unordered_set>
 
 namespace mapa::graph {
 
@@ -11,6 +10,7 @@ Graph::Graph(std::size_t n, std::string name)
       name_(std::move(name)),
       sockets_(n, 0),
       edge_index_(n * n, -1),
+      bandwidth_matrix_(n * n, 0.0),
       adjacency_(n) {}
 
 void Graph::check_vertex(VertexId v, const char* what) const {
@@ -45,6 +45,8 @@ void Graph::add_edge(VertexId u, VertexId v, interconnect::LinkType type,
     if (bandwidth_gbps > e.bandwidth_gbps) {
       e.type = type;
       e.bandwidth_gbps = bandwidth_gbps;
+      bandwidth_matrix_[matrix_index(u, v)] = bandwidth_gbps;
+      bandwidth_matrix_[matrix_index(v, u)] = bandwidth_gbps;
     }
     return;
   }
@@ -53,29 +55,10 @@ void Graph::add_edge(VertexId u, VertexId v, interconnect::LinkType type,
   edges_.push_back(Edge{std::min(u, v), std::max(u, v), type, bandwidth_gbps});
   edge_index_[matrix_index(u, v)] = index;
   edge_index_[matrix_index(v, u)] = index;
+  bandwidth_matrix_[matrix_index(u, v)] = bandwidth_gbps;
+  bandwidth_matrix_[matrix_index(v, u)] = bandwidth_gbps;
   adjacency_[u].push_back(v);
   adjacency_[v].push_back(u);
-}
-
-bool Graph::has_edge(VertexId u, VertexId v) const {
-  check_vertex(u, "Graph::has_edge");
-  check_vertex(v, "Graph::has_edge");
-  if (u == v) return false;
-  return edge_index_[matrix_index(u, v)] >= 0;
-}
-
-const Edge* Graph::edge(VertexId u, VertexId v) const {
-  check_vertex(u, "Graph::edge");
-  check_vertex(v, "Graph::edge");
-  if (u == v) return nullptr;
-  const std::int32_t index = edge_index_[matrix_index(u, v)];
-  if (index < 0) return nullptr;
-  return &edges_[static_cast<std::size_t>(index)];
-}
-
-double Graph::edge_bandwidth(VertexId u, VertexId v) const {
-  const Edge* e = edge(u, v);
-  return e == nullptr ? 0.0 : e->bandwidth_gbps;
 }
 
 interconnect::LinkType Graph::edge_type(VertexId u, VertexId v) const {
@@ -95,12 +78,17 @@ double Graph::total_bandwidth() const {
 }
 
 Graph Graph::induced_subgraph(std::span<const VertexId> vertices) const {
-  std::unordered_set<VertexId> seen;
+  // Reusable scratch mask instead of a per-call unordered_set: the Preserve
+  // scorer calls this per candidate match, so the hash-set allocation was a
+  // measurable share of the allocation decision.
+  thread_local std::vector<std::uint8_t> seen;
+  seen.assign(num_vertices_, 0);
   for (const VertexId v : vertices) {
     check_vertex(v, "Graph::induced_subgraph");
-    if (!seen.insert(v).second) {
+    if (seen[v] != 0) {
       throw std::invalid_argument("Graph::induced_subgraph: duplicate vertex");
     }
+    seen[v] = 1;
   }
   Graph sub(vertices.size(), name_.empty() ? "" : name_ + "-sub");
   for (std::size_t i = 0; i < vertices.size(); ++i) {
@@ -120,10 +108,11 @@ Graph Graph::induced_subgraph(std::span<const VertexId> vertices) const {
 
 Graph Graph::without_vertices(std::span<const VertexId> removed,
                               std::vector<VertexId>* surviving) const {
-  std::vector<bool> gone(num_vertices_, false);
+  thread_local std::vector<std::uint8_t> gone;
+  gone.assign(num_vertices_, 0);
   for (const VertexId v : removed) {
     check_vertex(v, "Graph::without_vertices");
-    gone[v] = true;
+    gone[v] = 1;
   }
   std::vector<VertexId> keep;
   keep.reserve(num_vertices_);

@@ -11,6 +11,7 @@
 // Vertices are dense ids 0..n-1. The paper's figures use 1-based GPU
 // numbers; all APIs here are 0-based (figure GPU k == vertex k-1).
 
+#include <cassert>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -57,13 +58,31 @@ class Graph {
   void add_edge(VertexId u, VertexId v, interconnect::LinkType type,
                 double bandwidth_gbps = -1.0);
 
-  bool has_edge(VertexId u, VertexId v) const;
+  /// Hot-path accessors. Vertex ids are asserted in debug builds and
+  /// unchecked in release (the matchers and scorers call these millions of
+  /// times per allocation decision); the mutation APIs above stay checked.
+  bool has_edge(VertexId u, VertexId v) const {
+    assert(u < num_vertices_ && v < num_vertices_);
+    if (u == v) return false;
+    return edge_index_[matrix_index(u, v)] >= 0;
+  }
 
   /// The edge between u and v, or nullptr when not present.
-  const Edge* edge(VertexId u, VertexId v) const;
+  const Edge* edge(VertexId u, VertexId v) const {
+    assert(u < num_vertices_ && v < num_vertices_);
+    if (u == v) return nullptr;
+    const std::int32_t index = edge_index_[matrix_index(u, v)];
+    if (index < 0) return nullptr;
+    return &edges_[static_cast<std::size_t>(index)];
+  }
 
-  /// Bandwidth of edge {u, v}; 0 when the edge does not exist.
-  double edge_bandwidth(VertexId u, VertexId v) const;
+  /// Bandwidth of edge {u, v}; 0 when the edge does not exist. One dense
+  /// matrix load — the pairwise-bandwidth matrix is maintained by
+  /// add_edge so scoring pays no indirection through the edge list.
+  double edge_bandwidth(VertexId u, VertexId v) const {
+    assert(u < num_vertices_ && v < num_vertices_);
+    return bandwidth_matrix_[matrix_index(u, v)];
+  }
 
   interconnect::LinkType edge_type(VertexId u, VertexId v) const;
 
@@ -103,6 +122,9 @@ class Graph {
   std::vector<Edge> edges_;
   // edge_index_[u * n + v] is the index into edges_ or -1.
   std::vector<std::int32_t> edge_index_;
+  // bandwidth_matrix_[u * n + v] is the edge bandwidth or 0 (dense, kept
+  // in lockstep with edge_index_ by add_edge).
+  std::vector<double> bandwidth_matrix_;
   std::vector<std::vector<VertexId>> adjacency_;
 };
 

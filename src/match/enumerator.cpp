@@ -15,7 +15,7 @@ namespace {
 using graph::Graph;
 using graph::VertexId;
 
-const std::vector<bool>* forbidden_or_null(const EnumerateOptions& options) {
+const graph::VertexMask* forbidden_or_null(const EnumerateOptions& options) {
   return options.forbidden.empty() ? nullptr : &options.forbidden;
 }
 
@@ -93,22 +93,30 @@ std::size_t count_matches(const Graph& pattern, const Graph& target,
       options.break_symmetry ? symmetry_constraints(pattern)
                              : OrderingConstraints{};
   if (options.threads <= 1) {
-    std::size_t count = 0;
-    enumerate_sequential(
-        pattern, target,
-        [&](const Match&) {
-          ++count;
-          return true;
-        },
-        constraints, options);
-    return count;
+    // Leaf-counting paths: no Match materialization, no visitor call.
+    switch (options.backend) {
+      case Backend::kVf2:
+        return vf2_count(pattern, target, constraints,
+                         forbidden_or_null(options));
+      case Backend::kUllmann:
+        return ullmann_count(pattern, target, constraints,
+                             forbidden_or_null(options));
+    }
+    throw std::invalid_argument("count_matches: unknown backend");
   }
+  // Parallel: one leaf-counting VF2 search per root vertex.
+  if (pattern.num_vertices() == 0 ||
+      pattern.num_vertices() > target.num_vertices()) {
+    return 0;
+  }
+  util::ThreadPool pool(options.threads);
   std::atomic<std::size_t> count{0};
-  enumerate_parallel_roots(pattern, target, constraints, options,
-                           [&](std::size_t, const Match&) {
-                             count.fetch_add(1, std::memory_order_relaxed);
-                             return true;
-                           });
+  pool.parallel_for(target.num_vertices(), [&](std::size_t root) {
+    count.fetch_add(vf2_count(pattern, target, constraints,
+                              forbidden_or_null(options),
+                              static_cast<std::int64_t>(root)),
+                    std::memory_order_relaxed);
+  });
   return count.load();
 }
 

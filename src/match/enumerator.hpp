@@ -29,8 +29,10 @@ struct EnumerateOptions {
   /// Worker threads for the parallel driver; 1 = sequential. Parallelism
   /// uses the VF2 root split regardless of `backend`.
   std::size_t threads = 1;
-  /// Target vertices that must not be used (busy accelerators); empty = none.
-  std::vector<bool> forbidden;
+  /// Target vertices that must not be used (busy accelerators) as a
+  /// free-GPU bitmask; a default-constructed (empty) mask means none.
+  /// Build from a busy vector with graph::VertexMask::of_busy().
+  graph::VertexMask forbidden;
 };
 
 /// Ordering constraints that eliminate all automorphisms of `pattern`:

@@ -8,8 +8,10 @@ namespace mapa::match {
 
 namespace {
 
+using graph::BitGraph;
 using graph::Graph;
 using graph::VertexId;
+using graph::VertexMask;
 
 /// Candidate domains as 64-bit masks; hardware graphs here are far below
 /// 64 vertices (the paper tops out at 16).
@@ -17,31 +19,27 @@ using Bits = std::uint64_t;
 
 class UllmannState {
  public:
-  UllmannState(const Graph& pattern, const Graph& target,
-               const MatchVisitor& visit,
+  UllmannState(const BitGraph& pattern, const BitGraph& target,
+               const MatchVisitor* visit,
                const OrderingConstraints& constraints,
-               const std::vector<bool>* forbidden)
+               const VertexMask* forbidden)
       : pattern_(pattern),
         target_(target),
         visit_(visit),
         constraints_(constraints),
         n_(pattern.num_vertices()),
-        m_(target.num_vertices()),
-        mapping_(pattern.num_vertices(), 0) {
-    target_adj_.resize(m_, 0);
-    for (VertexId t = 0; t < m_; ++t) {
-      for (const VertexId nb : target.neighbors(t)) {
-        target_adj_[t] |= Bits{1} << nb;
-      }
-    }
+        m_(target.num_vertices()) {
+    scratch_.mapping.assign(n_, 0);
+    const Bits allowed = forbidden == nullptr
+                             ? target.all_vertices()
+                             : target.all_vertices() & ~forbidden->word(0);
     domains_.resize(n_, 0);
     for (VertexId p = 0; p < n_; ++p) {
+      Bits dom = 0;
       for (VertexId t = 0; t < m_; ++t) {
-        if (forbidden != nullptr && (*forbidden)[t]) continue;
-        if (target.degree(t) >= pattern.degree(p)) {
-          domains_[p] |= Bits{1} << t;
-        }
+        if (target.degree(t) >= pattern.degree(p)) dom |= Bits{1} << t;
       }
+      domains_[p] = dom & allowed;
     }
   }
 
@@ -50,6 +48,8 @@ class UllmannState {
     if (!refine(domains)) return true;
     return extend(0, domains);
   }
+
+  std::size_t count() const { return count_; }
 
  private:
   /// Classic Ullmann refinement: candidate t for pattern vertex p survives
@@ -64,8 +64,11 @@ class UllmannState {
         while (dom != 0) {
           const int t = std::countr_zero(dom);
           dom &= dom - 1;
-          for (const VertexId q : pattern_.neighbors(p)) {
-            if ((domains[q] & target_adj_[static_cast<std::size_t>(t)]) == 0) {
+          Bits nbs = pattern_.row(p);
+          while (nbs != 0) {
+            const auto q = static_cast<VertexId>(std::countr_zero(nbs));
+            nbs &= nbs - 1;
+            if ((domains[q] & target_.row(static_cast<VertexId>(t))) == 0) {
               domains[p] &= ~(Bits{1} << t);
               changed = true;
               break;
@@ -79,78 +82,81 @@ class UllmannState {
   }
 
   bool satisfies_constraints(VertexId p, VertexId t) const {
+    const std::vector<VertexId>& mapping = scratch_.mapping;
     for (const auto& [a, b] : constraints_) {
-      if (a == p && placed_[b] && t >= mapping_[b]) return false;
-      if (b == p && placed_[a] && t <= mapping_[a]) return false;
+      if (a == p && b < p && t >= mapping[b]) return false;
+      if (b == p && a < p && t <= mapping[a]) return false;
     }
     return true;
   }
 
   bool extend(VertexId p, const std::vector<Bits>& domains) {
-    if (p == n_) return visit_(Match{mapping_});
+    std::vector<VertexId>& mapping = scratch_.mapping;
+    if (p == n_) {
+      if (visit_ == nullptr) {
+        ++count_;
+        return true;
+      }
+      return (*visit_)(scratch_);
+    }
+    // Adjacency to already-placed pattern neighbors, folded into the
+    // candidate mask up front instead of per-candidate edge probes.
     Bits dom = domains[p] & ~used_;
+    Bits earlier = pattern_.row(p) & ((Bits{1} << p) - 1);
+    while (earlier != 0) {
+      const auto q = static_cast<VertexId>(std::countr_zero(earlier));
+      earlier &= earlier - 1;
+      dom &= target_.row(mapping[q]);
+    }
     while (dom != 0) {
       const auto t = static_cast<VertexId>(std::countr_zero(dom));
       dom &= dom - 1;
       if (!satisfies_constraints(p, t)) continue;
-      bool adjacent_ok = true;
-      for (const VertexId q : pattern_.neighbors(p)) {
-        if (q < p && !target_.has_edge(t, mapping_[q])) {
-          adjacent_ok = false;
-          break;
-        }
-      }
-      if (!adjacent_ok) continue;
 
       // Forward-check: narrow future domains to neighbors of t where the
       // pattern demands adjacency, and drop t everywhere.
+      bool viable = true;
       std::vector<Bits> next = domains;
       const Bits t_bit = Bits{1} << t;
       for (VertexId q = p + 1; q < n_; ++q) {
         next[q] &= ~t_bit;
         if (pattern_.has_edge(p, q)) {
-          next[q] &= target_adj_[t];
+          next[q] &= target_.row(t);
         }
         if (next[q] == 0) {
-          adjacent_ok = false;
+          viable = false;
           break;
         }
       }
-      if (!adjacent_ok) continue;
+      if (!viable) continue;
 
-      mapping_[p] = t;
-      placed_[p] = true;
+      mapping[p] = t;
       used_ |= t_bit;
       const bool keep_going = extend(p + 1, next);
       used_ &= ~t_bit;
-      placed_[p] = false;
       if (!keep_going) return false;
     }
     return true;
   }
 
-  const Graph& pattern_;
-  const Graph& target_;
-  const MatchVisitor& visit_;
+  const BitGraph& pattern_;
+  const BitGraph& target_;
+  const MatchVisitor* visit_;
   const OrderingConstraints& constraints_;
   std::size_t n_;
   std::size_t m_;
-  std::vector<Bits> target_adj_;
   std::vector<Bits> domains_;
-  std::vector<VertexId> mapping_;
-  std::vector<bool> placed_ = std::vector<bool>(n_, false);
   Bits used_ = 0;
+  std::size_t count_ = 0;
+  Match scratch_;  // mapping updated in place; visitors copy if they keep it
 };
 
-}  // namespace
-
-void ullmann_enumerate(const Graph& pattern, const Graph& target,
-                       const MatchVisitor& visit,
-                       const OrderingConstraints& constraints,
-                       const std::vector<bool>* forbidden) {
-  if (pattern.num_vertices() == 0) return;
-  if (pattern.num_vertices() > target.num_vertices()) return;
-  if (target.num_vertices() > 64) {
+/// Returns false when the search is trivially empty; throws on misuse.
+bool validate(const Graph& pattern, const Graph& target,
+              const VertexMask* forbidden) {
+  if (pattern.num_vertices() == 0) return false;
+  if (pattern.num_vertices() > target.num_vertices()) return false;
+  if (target.num_vertices() > BitGraph::kMaxVertices) {
     throw std::invalid_argument(
         "ullmann_enumerate: bit-vector backend supports <= 64 target "
         "vertices");
@@ -159,8 +165,33 @@ void ullmann_enumerate(const Graph& pattern, const Graph& target,
     throw std::invalid_argument(
         "ullmann_enumerate: forbidden mask size mismatch");
   }
-  UllmannState state(pattern, target, visit, constraints, forbidden);
+  return true;
+}
+
+}  // namespace
+
+void ullmann_enumerate(const Graph& pattern, const Graph& target,
+                       const MatchVisitor& visit,
+                       const OrderingConstraints& constraints,
+                       const VertexMask* forbidden) {
+  if (!validate(pattern, target, forbidden)) return;
+  const BitGraph pattern_bits(pattern);
+  const BitGraph target_bits(target);
+  UllmannState state(pattern_bits, target_bits, &visit, constraints,
+                     forbidden);
   state.run();
+}
+
+std::size_t ullmann_count(const Graph& pattern, const Graph& target,
+                          const OrderingConstraints& constraints,
+                          const VertexMask* forbidden) {
+  if (!validate(pattern, target, forbidden)) return 0;
+  const BitGraph pattern_bits(pattern);
+  const BitGraph target_bits(target);
+  UllmannState state(pattern_bits, target_bits, nullptr, constraints,
+                     forbidden);
+  state.run();
+  return state.count();
 }
 
 std::vector<Match> ullmann_all(const Graph& pattern, const Graph& target,

@@ -3,11 +3,14 @@
 // domains and the classic refinement step. Kept as a second, independent
 // backend: the test suite cross-checks VF2 and Ullmann against each other
 // on every pattern/topology combination, which guards the matcher MAPA's
-// correctness rests on.
+// correctness rests on. Both pattern and target adjacency are BitGraph
+// word rows, so refinement and the forward-checking loop are pure bitwise
+// ops; targets above 64 vertices are rejected (use the VF2 generic path).
 
 #include <cstddef>
 #include <vector>
 
+#include "graph/bitgraph.hpp"
 #include "match/match.hpp"
 #include "match/vf2.hpp"  // OrderingConstraints
 
@@ -18,7 +21,13 @@ namespace mapa::match {
 void ullmann_enumerate(const graph::Graph& pattern,
                        const graph::Graph& target, const MatchVisitor& visit,
                        const OrderingConstraints& constraints = {},
-                       const std::vector<bool>* forbidden = nullptr);
+                       const graph::VertexMask* forbidden = nullptr);
+
+/// Number of matches, counted at the leaves without materializing a Match.
+std::size_t ullmann_count(const graph::Graph& pattern,
+                          const graph::Graph& target,
+                          const OrderingConstraints& constraints = {},
+                          const graph::VertexMask* forbidden = nullptr);
 
 std::vector<Match> ullmann_all(const graph::Graph& pattern,
                                const graph::Graph& target,

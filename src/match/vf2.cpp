@@ -1,99 +1,198 @@
 #include "match/vf2.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <stdexcept>
 
 namespace mapa::match {
 
 namespace {
 
+using graph::BitGraph;
 using graph::Graph;
 using graph::VertexId;
+using graph::VertexMask;
 
-/// Depth-first VF2 state. Pattern vertices are matched in a static order
-/// chosen so each vertex (after the first) is adjacent to an earlier one
-/// when the pattern is connected — this keeps the frontier connected and
-/// maximizes pruning from adjacency checks.
-class Vf2State {
- public:
-  Vf2State(const Graph& pattern, const Graph& target,
-           const MatchVisitor& visit, const OrderingConstraints& constraints,
-           const std::vector<bool>* forbidden, std::int64_t root_target)
-      : pattern_(pattern),
-        target_(target),
-        visit_(visit),
-        mapping_(pattern.num_vertices(), 0),
-        used_(target.num_vertices(), false),
-        forbidden_(forbidden),
-        root_target_(root_target) {
-    build_order();
-    // Index constraints by the later-placed endpoint so each is checked as
-    // soon as both endpoints are mapped.
-    std::vector<std::size_t> position(pattern.num_vertices());
-    for (std::size_t i = 0; i < order_.size(); ++i) position[order_[i]] = i;
-    checks_.resize(pattern.num_vertices());
-    for (const auto& [a, b] : constraints) {
-      // Constraint: mapping[a] < mapping[b], checked at whichever endpoint
-      // is placed later.
-      if (position[a] > position[b]) {
-        checks_[a].push_back({b, /*require_greater=*/false});
-      } else {
-        checks_[b].push_back({a, /*require_greater=*/true});
+/// One symmetry-breaking check, indexed by the later-placed endpoint so it
+/// fires as soon as both endpoints are mapped.
+struct Check {
+  VertexId other;        // already-placed pattern vertex
+  bool require_greater;  // mapping[current] > mapping[other]?
+};
+
+/// The static part of a VF2 search, shared by the bitset core and the
+/// generic fallback: a match order chosen so each vertex (after the first)
+/// is adjacent to an earlier one when the pattern is connected — this keeps
+/// the frontier connected and maximizes pruning from adjacency checks —
+/// plus, per pattern vertex, its already-placed neighbors and constraint
+/// checks.
+struct Vf2Plan {
+  std::vector<VertexId> order;
+  std::vector<std::vector<VertexId>> placed_neighbors;  // by pattern vertex
+  std::vector<std::vector<Check>> checks;               // by pattern vertex
+};
+
+Vf2Plan make_plan(const Graph& pattern, const OrderingConstraints& constraints) {
+  const std::size_t n = pattern.num_vertices();
+  Vf2Plan plan;
+  std::vector<bool> placed(n, false);
+  plan.order.reserve(n);
+  // Greedy connected order: repeatedly pick the unplaced vertex with the
+  // most placed neighbors (ties by higher degree, then lower id).
+  for (std::size_t step = 0; step < n; ++step) {
+    VertexId best = 0;
+    int best_placed = -1;
+    std::size_t best_degree = 0;
+    for (VertexId v = 0; v < n; ++v) {
+      if (placed[v]) continue;
+      int placed_count = 0;
+      for (const VertexId nb : pattern.neighbors(v)) {
+        if (placed[nb]) ++placed_count;
+      }
+      const std::size_t degree = pattern.degree(v);
+      if (placed_count > best_placed ||
+          (placed_count == best_placed && degree > best_degree)) {
+        best = v;
+        best_placed = placed_count;
+        best_degree = degree;
       }
     }
-    // Precompute, for each vertex in match order, its already-placed
-    // pattern neighbors.
-    placed_neighbors_.resize(pattern.num_vertices());
-    for (std::size_t i = 0; i < order_.size(); ++i) {
-      for (const VertexId nb : pattern.neighbors(order_[i])) {
-        if (position[nb] < i) placed_neighbors_[order_[i]].push_back(nb);
+    placed[best] = true;
+    plan.order.push_back(best);
+  }
+
+  std::vector<std::size_t> position(n);
+  for (std::size_t i = 0; i < n; ++i) position[plan.order[i]] = i;
+
+  plan.checks.resize(n);
+  for (const auto& [a, b] : constraints) {
+    // Constraint: mapping[a] < mapping[b], checked at whichever endpoint
+    // is placed later.
+    if (position[a] > position[b]) {
+      plan.checks[a].push_back({b, /*require_greater=*/false});
+    } else {
+      plan.checks[b].push_back({a, /*require_greater=*/true});
+    }
+  }
+
+  plan.placed_neighbors.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (const VertexId nb : pattern.neighbors(plan.order[i])) {
+      if (position[nb] < i) plan.placed_neighbors[plan.order[i]].push_back(nb);
+    }
+  }
+  return plan;
+}
+
+/// Bitset core: candidate domains live in one uint64_t, pruned by ANDing
+/// BitGraph adjacency rows of already-placed neighbors. `visit == nullptr`
+/// switches to pure counting (no Match materialization at the leaves).
+class Vf2BitState {
+ public:
+  Vf2BitState(const Vf2Plan& plan, const BitGraph& target,
+              const Graph& pattern, const MatchVisitor* visit,
+              const VertexMask* forbidden, std::int64_t root_target)
+      : plan_(plan), target_(target), visit_(visit), root_target_(root_target) {
+    scratch_.mapping.assign(pattern.num_vertices(), 0);
+    const std::uint64_t allowed =
+        forbidden == nullptr ? target.all_vertices()
+                             : target.all_vertices() & ~forbidden->word(0);
+    // Degree prefilter folded into the initial domain of each pattern
+    // vertex: only unforbidden target vertices of sufficient degree.
+    deg_ok_.assign(pattern.num_vertices(), 0);
+    for (VertexId u = 0; u < pattern.num_vertices(); ++u) {
+      const std::size_t need = pattern.degree(u);
+      std::uint64_t dom = 0;
+      for (VertexId t = 0; t < target.num_vertices(); ++t) {
+        if (target.degree(t) >= need) dom |= std::uint64_t{1} << t;
       }
+      deg_ok_[u] = dom & allowed;
     }
   }
 
   bool run() { return extend(0); }
 
- private:
-  struct Check {
-    VertexId other;           // already-placed pattern vertex
-    bool require_greater;     // mapping[current] > mapping[other]?
-  };
+  std::size_t count() const { return count_; }
 
-  void build_order() {
-    const std::size_t n = pattern_.num_vertices();
-    std::vector<bool> placed(n, false);
-    order_.reserve(n);
-    // Greedy connected order: repeatedly pick the unplaced vertex with the
-    // most placed neighbors (ties by higher degree, then lower id).
-    for (std::size_t step = 0; step < n; ++step) {
-      VertexId best = 0;
-      int best_placed = -1;
-      std::size_t best_degree = 0;
-      for (VertexId v = 0; v < n; ++v) {
-        if (placed[v]) continue;
-        int placed_count = 0;
-        for (const VertexId nb : pattern_.neighbors(v)) {
-          if (placed[nb]) ++placed_count;
-        }
-        const std::size_t degree = pattern_.degree(v);
-        if (placed_count > best_placed ||
-            (placed_count == best_placed && degree > best_degree)) {
-          best = v;
-          best_placed = placed_count;
-          best_degree = degree;
-        }
-      }
-      placed[best] = true;
-      order_.push_back(best);
-    }
+ private:
+  static std::uint64_t bits_above(VertexId v) {
+    return v >= 63 ? 0 : ~std::uint64_t{0} << (v + 1);
+  }
+  static std::uint64_t bits_below(VertexId v) {
+    return (std::uint64_t{1} << v) - 1;
   }
 
   // Returns false when the visitor requested a stop.
   bool extend(std::size_t depth) {
-    if (depth == order_.size()) {
+    std::vector<VertexId>& mapping = scratch_.mapping;
+    if (depth == plan_.order.size()) {
+      if (visit_ == nullptr) {
+        ++count_;
+        return true;
+      }
+      return (*visit_)(scratch_);
+    }
+    const VertexId u = plan_.order[depth];
+
+    std::uint64_t cand = deg_ok_[u] & ~used_;
+    for (const VertexId nb : plan_.placed_neighbors[u]) {
+      cand &= target_.row(mapping[nb]);
+    }
+    for (const Check& check : plan_.checks[u]) {
+      const VertexId other = mapping[check.other];
+      cand &= check.require_greater ? bits_above(other) : bits_below(other);
+    }
+    if (depth == 0 && root_target_ >= 0) {
+      cand &= std::uint64_t{1} << root_target_;
+    }
+
+    while (cand != 0) {
+      const auto t = static_cast<VertexId>(std::countr_zero(cand));
+      cand &= cand - 1;
+      mapping[u] = t;
+      used_ |= std::uint64_t{1} << t;
+      const bool keep_going = extend(depth + 1);
+      used_ &= ~(std::uint64_t{1} << t);
+      if (!keep_going) return false;
+    }
+    return true;
+  }
+
+  const Vf2Plan& plan_;
+  const BitGraph& target_;
+  const MatchVisitor* visit_;
+  std::int64_t root_target_;
+  std::vector<std::uint64_t> deg_ok_;
+  std::uint64_t used_ = 0;
+  std::size_t count_ = 0;
+  Match scratch_;  // mapping updated in place; visitors copy if they keep it
+};
+
+/// Generic fallback (the seed inner loop): Graph::has_edge adjacency tests
+/// and a vector<bool> used-set, for targets that do not fit in 64 bits.
+class Vf2State {
+ public:
+  Vf2State(const Vf2Plan& plan, const Graph& pattern, const Graph& target,
+           const MatchVisitor& visit, const VertexMask* forbidden,
+           std::int64_t root_target)
+      : plan_(plan),
+        pattern_(pattern),
+        target_(target),
+        visit_(visit),
+        mapping_(pattern.num_vertices(), 0),
+        used_(target.num_vertices(), false),
+        forbidden_(forbidden),
+        root_target_(root_target) {}
+
+  bool run() { return extend(0); }
+
+ private:
+  // Returns false when the visitor requested a stop.
+  bool extend(std::size_t depth) {
+    if (depth == plan_.order.size()) {
       return visit_(Match{mapping_});
     }
-    const VertexId u = order_[depth];
+    const VertexId u = plan_.order[depth];
     const std::size_t u_degree = pattern_.degree(u);
 
     VertexId first = 0;
@@ -104,18 +203,18 @@ class Vf2State {
     }
     for (VertexId candidate = first; candidate < last; ++candidate) {
       if (used_[candidate]) continue;
-      if (forbidden_ != nullptr && (*forbidden_)[candidate]) continue;
+      if (forbidden_ != nullptr && forbidden_->test(candidate)) continue;
       if (target_.degree(candidate) < u_degree) continue;
 
       bool ok = true;
-      for (const VertexId nb : placed_neighbors_[u]) {
+      for (const VertexId nb : plan_.placed_neighbors[u]) {
         if (!target_.has_edge(candidate, mapping_[nb])) {
           ok = false;
           break;
         }
       }
       if (!ok) continue;
-      for (const Check& check : checks_[u]) {
+      for (const Check& check : plan_.checks[u]) {
         const VertexId other = mapping_[check.other];
         if (check.require_greater ? (candidate <= other)
                                   : (candidate >= other)) {
@@ -134,35 +233,88 @@ class Vf2State {
     return true;
   }
 
+  const Vf2Plan& plan_;
   const Graph& pattern_;
   const Graph& target_;
   const MatchVisitor& visit_;
-  std::vector<VertexId> order_;
   std::vector<VertexId> mapping_;
   std::vector<bool> used_;
-  const std::vector<bool>* forbidden_;
+  const VertexMask* forbidden_;
   std::int64_t root_target_;
-  std::vector<std::vector<Check>> checks_;
-  std::vector<std::vector<VertexId>> placed_neighbors_;
 };
+
+/// Shared argument validation; returns false when the search is trivially
+/// empty (and nothing should run).
+bool validate(const char* what, const Graph& pattern, const Graph& target,
+              const VertexMask* forbidden, std::int64_t root_target) {
+  if (pattern.num_vertices() == 0) return false;
+  if (pattern.num_vertices() > target.num_vertices()) return false;
+  if (forbidden != nullptr && forbidden->size() != target.num_vertices()) {
+    throw std::invalid_argument(std::string(what) +
+                                ": forbidden mask size mismatch");
+  }
+  if (root_target >= static_cast<std::int64_t>(target.num_vertices())) {
+    throw std::invalid_argument(std::string(what) +
+                                ": root_target out of range");
+  }
+  return true;
+}
 
 }  // namespace
 
 void vf2_enumerate(const Graph& pattern, const Graph& target,
                    const MatchVisitor& visit,
                    const OrderingConstraints& constraints,
-                   const std::vector<bool>* forbidden,
-                   std::int64_t root_target) {
-  if (pattern.num_vertices() == 0) return;
-  if (pattern.num_vertices() > target.num_vertices()) return;
-  if (forbidden != nullptr && forbidden->size() != target.num_vertices()) {
-    throw std::invalid_argument("vf2_enumerate: forbidden mask size mismatch");
+                   const VertexMask* forbidden, std::int64_t root_target) {
+  if (!validate("vf2_enumerate", pattern, target, forbidden, root_target)) {
+    return;
   }
-  if (root_target >= static_cast<std::int64_t>(target.num_vertices())) {
-    throw std::invalid_argument("vf2_enumerate: root_target out of range");
+  const Vf2Plan plan = make_plan(pattern, constraints);
+  if (BitGraph::fits(target)) {
+    const BitGraph bits(target);
+    Vf2BitState state(plan, bits, pattern, &visit, forbidden, root_target);
+    state.run();
+    return;
   }
-  Vf2State state(pattern, target, visit, constraints, forbidden, root_target);
+  Vf2State state(plan, pattern, target, visit, forbidden, root_target);
   state.run();
+}
+
+void vf2_enumerate_generic(const Graph& pattern, const Graph& target,
+                           const MatchVisitor& visit,
+                           const OrderingConstraints& constraints,
+                           const VertexMask* forbidden,
+                           std::int64_t root_target) {
+  if (!validate("vf2_enumerate_generic", pattern, target, forbidden,
+                root_target)) {
+    return;
+  }
+  const Vf2Plan plan = make_plan(pattern, constraints);
+  Vf2State state(plan, pattern, target, visit, forbidden, root_target);
+  state.run();
+}
+
+std::size_t vf2_count(const Graph& pattern, const Graph& target,
+                      const OrderingConstraints& constraints,
+                      const VertexMask* forbidden, std::int64_t root_target) {
+  if (!validate("vf2_count", pattern, target, forbidden, root_target)) {
+    return 0;
+  }
+  const Vf2Plan plan = make_plan(pattern, constraints);
+  if (BitGraph::fits(target)) {
+    const BitGraph bits(target);
+    Vf2BitState state(plan, bits, pattern, nullptr, forbidden, root_target);
+    state.run();
+    return state.count();
+  }
+  std::size_t count = 0;
+  const MatchVisitor counter = [&](const Match&) {
+    ++count;
+    return true;
+  };
+  Vf2State state(plan, pattern, target, counter, forbidden, root_target);
+  state.run();
+  return count;
 }
 
 std::vector<Match> vf2_all(const Graph& pattern, const Graph& target,

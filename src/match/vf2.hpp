@@ -7,10 +7,20 @@
 // have extra edges among matched vertices, which is the common case here
 // because hardware graphs are fully connected under the PCIe-fallback
 // convention). Edge labels are ignored, per the paper's definition.
+//
+// Two inner loops share one search plan:
+//  * the bitset core (targets <= 64 vertices, every machine in the paper):
+//    candidate domains are uint64_t masks intersected against BitGraph
+//    adjacency rows, so the per-node cost is a handful of bitwise ops;
+//  * the generic fallback (targets > 64 vertices): the seed's
+//    Graph::has_edge-based loop, also kept callable directly as the
+//    reference implementation for differential tests and as the perf
+//    baseline `bench_matcher` measures the bitset core against.
 
 #include <cstddef>
 #include <vector>
 
+#include "graph/bitgraph.hpp"
 #include "match/match.hpp"
 
 namespace mapa::match {
@@ -22,7 +32,9 @@ using OrderingConstraints =
     std::vector<std::pair<graph::VertexId, graph::VertexId>>;
 
 /// Enumerate matches of `pattern` in `target`, invoking `visit` for each.
-/// Stops early when `visit` returns false.
+/// Stops early when `visit` returns false. Dispatches to the bitset core
+/// when the target fits in 64 vertices, else to the generic fallback; both
+/// produce matches in the same order.
 ///
 /// `constraints` prunes matches violating mapping[a] < mapping[b]; this is
 /// how automorphic duplicates are suppressed without post-filtering.
@@ -34,8 +46,25 @@ using OrderingConstraints =
 void vf2_enumerate(const graph::Graph& pattern, const graph::Graph& target,
                    const MatchVisitor& visit,
                    const OrderingConstraints& constraints = {},
-                   const std::vector<bool>* forbidden = nullptr,
+                   const graph::VertexMask* forbidden = nullptr,
                    std::int64_t root_target = -1);
+
+/// The generic (seed) inner loop, regardless of target size. Reference
+/// implementation for the differential test suite and the `bench_matcher`
+/// baseline; `vf2_enumerate` uses it automatically above 64 vertices.
+void vf2_enumerate_generic(const graph::Graph& pattern,
+                           const graph::Graph& target,
+                           const MatchVisitor& visit,
+                           const OrderingConstraints& constraints = {},
+                           const graph::VertexMask* forbidden = nullptr,
+                           std::int64_t root_target = -1);
+
+/// Number of matches, without materializing a Match per result (the bitset
+/// core counts leaves directly; no per-match vector copy or callback).
+std::size_t vf2_count(const graph::Graph& pattern, const graph::Graph& target,
+                      const OrderingConstraints& constraints = {},
+                      const graph::VertexMask* forbidden = nullptr,
+                      std::int64_t root_target = -1);
 
 /// Convenience: collect up to `limit` matches (0 = unlimited).
 std::vector<Match> vf2_all(const graph::Graph& pattern,

@@ -1,5 +1,6 @@
 #include "policy/greedy.hpp"
 
+#include "policy/match_cache.hpp"
 #include "score/scores.hpp"
 
 namespace mapa::policy {
@@ -14,14 +15,13 @@ std::optional<AllocationResult> GreedyPolicy::allocate(
   options.backend = config_.backend;
   options.break_symmetry = config_.break_symmetry;
   options.threads = config_.threads;
-  options.forbidden = busy;
+  options.forbidden = graph::VertexMask::of_busy(busy);
 
-  const auto best = match::best_match(
-      *request.pattern, hardware,
+  const auto best = best_cached_match(
+      cache(), *request.pattern, hardware, options,
       [&](const match::Match& m) {
         return score::aggregated_bandwidth(*request.pattern, hardware, m);
-      },
-      options);
+      });
   if (!best) return std::nullopt;
   return score_result(hardware, busy, request, *best, config_);
 }

@@ -1,0 +1,159 @@
+#include "policy/match_cache.hpp"
+
+#include "graph/algorithms.hpp"
+
+namespace mapa::policy {
+
+namespace {
+
+std::uint64_t mix_hash(std::uint64_t hash, std::uint64_t value) {
+  hash ^= value + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+  return hash;
+}
+
+}  // namespace
+
+std::size_t MatchCache::KeyHash::operator()(const Key& key) const {
+  std::uint64_t hash = mix_hash(key.pattern_fp, key.flags);
+  for (const std::uint64_t word : key.busy_words) {
+    hash = mix_hash(hash, word);
+  }
+  return static_cast<std::size_t>(hash);
+}
+
+MatchCache::MatchCache(MatchCacheConfig config) : config_(config) {}
+
+MatchCacheStats MatchCache::stats() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::size_t MatchCache::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+void MatchCache::clear() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  entries_.clear();
+  index_.clear();
+}
+
+void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
+  const std::uint64_t fp = graph::adjacency_fingerprint(hardware);
+  if (hardware_seen_ && fp == hardware_fp_ &&
+      hardware.num_vertices() == hardware_vertices_) {
+    return;
+  }
+  if (hardware_seen_) {
+    ++stats_.invalidations;
+    entries_.clear();
+    index_.clear();
+  }
+  hardware_seen_ = true;
+  hardware_fp_ = fp;
+  hardware_vertices_ = hardware.num_vertices();
+}
+
+void MatchCache::touch_locked(std::list<Entry>::iterator it) {
+  entries_.splice(entries_.begin(), entries_, it);
+}
+
+void MatchCache::store_locked(Key key, std::vector<match::Match> matches,
+                              bool oversized) {
+  if (config_.max_entries == 0) return;  // a cache that holds nothing
+  while (entries_.size() >= config_.max_entries) {
+    index_.erase(entries_.back().key);
+    entries_.pop_back();
+    ++stats_.evictions;
+  }
+  entries_.push_front(Entry{key, std::move(matches), oversized});
+  index_.emplace(std::move(key), entries_.begin());
+}
+
+void MatchCache::for_each_match(const graph::Graph& pattern,
+                                const graph::Graph& hardware,
+                                const match::EnumerateOptions& options,
+                                const match::MatchVisitor& visit) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  refresh_hardware_locked(hardware);
+
+  Key key;
+  key.pattern_fp = graph::adjacency_fingerprint(pattern);
+  key.flags = static_cast<std::uint64_t>(options.backend) |
+              (options.break_symmetry ? std::uint64_t{1} << 8 : 0);
+  key.busy_words = options.forbidden.words();
+
+  const auto found = index_.find(key);
+  if (found != index_.end()) {
+    touch_locked(found->second);
+    const Entry& entry = *found->second;
+    if (!entry.oversized) {
+      ++stats_.hits;
+      for (const match::Match& m : entry.matches) {
+        if (!visit(m)) return;
+      }
+      return;
+    }
+    // Known-oversized: stream live, don't try to collect again.
+    ++stats_.bypasses;
+    match::for_each_match(pattern, hardware, visit, options);
+    return;
+  }
+
+  // Miss: enumerate once, teeing matches into a candidate entry.
+  ++stats_.misses;
+  std::vector<match::Match> collected;
+  bool oversized = false;
+  bool stopped = false;
+  match::for_each_match(
+      pattern, hardware,
+      [&](const match::Match& m) {
+        if (!oversized) {
+          if (collected.size() >= config_.max_matches_per_entry) {
+            oversized = true;
+            collected.clear();
+            collected.shrink_to_fit();
+          } else {
+            collected.push_back(m);
+          }
+        }
+        if (!visit(m)) {
+          stopped = true;
+          return false;
+        }
+        return true;
+      },
+      options);
+  // An early-stopped enumeration is incomplete; only a full one is
+  // replayable (an oversized marker is always safe to remember).
+  if (!stopped || oversized) {
+    store_locked(std::move(key), std::move(collected), oversized);
+  }
+}
+
+std::optional<match::Match> best_cached_match(
+    MatchCache* cache, const graph::Graph& pattern,
+    const graph::Graph& hardware, const match::EnumerateOptions& options,
+    const std::function<double(const match::Match&)>& scorer) {
+  if (cache == nullptr) {
+    return match::best_match(pattern, hardware, scorer, options);
+  }
+  bool valid = false;
+  double best_score = 0.0;
+  match::Match best;
+  cache->for_each_match(pattern, hardware, options, [&](const match::Match& m) {
+    const double score = scorer(m);
+    if (!valid || score > best_score ||
+        (score == best_score && m.mapping < best.mapping)) {
+      valid = true;
+      best_score = score;
+      best = m;
+    }
+    return true;
+  });
+  if (!valid) return std::nullopt;
+  return best;
+}
+
+}  // namespace mapa::policy

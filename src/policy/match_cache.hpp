@@ -1,0 +1,112 @@
+#pragma once
+// Allocation-state match cache. The simulation engine replays thousands of
+// jobs against a fleet whose busy/free state cycles through a small set of
+// configurations, so the same (pattern shape, free-GPU set) enumeration is
+// re-run constantly — the paper's own overhead study (Fig. 19) shows that
+// search is the dominant scheduling cost. This cache keys the
+// symmetry-broken match list by
+//
+//   (canonical pattern hash, free-GPU mask, backend + symmetry flags)
+//
+// and replays stored enumerations instead of re-searching. The pattern hash
+// is the adjacency fingerprint (the pattern factories build each shape with
+// one fixed labeling, so repeat jobs of one shape share an entry); the
+// free-GPU mask is the busy VertexMask's words. The cache pins the hardware
+// graph's fingerprint and invalidates itself wholesale when a different
+// hardware graph shows up. Entries are LRU-evicted, and match sets above
+// `max_matches_per_entry` are remembered as oversized and always enumerated
+// live (bypass) so one 10^7-match search cannot blow up memory.
+
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "graph/bitgraph.hpp"
+#include "graph/graph.hpp"
+#include "match/enumerator.hpp"
+#include "match/match.hpp"
+
+namespace mapa::policy {
+
+struct MatchCacheConfig {
+  /// LRU capacity in entries (distinct fleet states x pattern shapes).
+  std::size_t max_entries = 256;
+  /// Match lists longer than this are not stored; the key is remembered as
+  /// oversized and later calls enumerate live.
+  std::size_t max_matches_per_entry = 1 << 18;
+};
+
+struct MatchCacheStats {
+  std::uint64_t hits = 0;           // replayed a stored match list
+  std::uint64_t misses = 0;         // enumerated and (maybe) stored
+  std::uint64_t bypasses = 0;       // known-oversized key, enumerated live
+  std::uint64_t invalidations = 0;  // wholesale clears on hardware change
+  std::uint64_t evictions = 0;      // LRU evictions
+};
+
+class MatchCache {
+ public:
+  explicit MatchCache(MatchCacheConfig config = {});
+
+  /// Stream the symmetry-broken match set of `pattern` on `hardware`
+  /// (restricted by `options.forbidden`, the busy mask) through `visit`, in
+  /// the same order the live enumerator produces — replaying the cached
+  /// list on a hit, enumerating (and storing) on a miss. Early-stopped
+  /// enumerations (visitor returned false) are never stored. Thread-safe,
+  /// but the visitor runs under the cache lock; do not re-enter the cache
+  /// from inside it. `options.threads` is ignored (replay is sequential).
+  void for_each_match(const graph::Graph& pattern,
+                      const graph::Graph& hardware,
+                      const match::EnumerateOptions& options,
+                      const match::MatchVisitor& visit);
+
+  MatchCacheStats stats() const;
+  std::size_t size() const;
+  void clear();
+
+ private:
+  struct Key {
+    std::uint64_t pattern_fp = 0;
+    std::uint64_t flags = 0;  // backend | (break_symmetry << 8)
+    std::vector<std::uint64_t> busy_words;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& key) const;
+  };
+  struct Entry {
+    Key key;
+    std::vector<match::Match> matches;
+    bool oversized = false;
+  };
+
+  void refresh_hardware_locked(const graph::Graph& hardware);
+  void touch_locked(std::list<Entry>::iterator it);
+  void store_locked(Key key, std::vector<match::Match> matches,
+                    bool oversized);
+
+  mutable std::mutex mutex_;
+  MatchCacheConfig config_;
+  MatchCacheStats stats_;
+  std::uint64_t hardware_fp_ = 0;
+  std::size_t hardware_vertices_ = 0;
+  bool hardware_seen_ = false;
+  std::list<Entry> entries_;  // most recently used first
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+};
+
+/// Fold over the match set keeping the highest-scoring match, through the
+/// cache when `cache` is non-null, with exactly `match::best_match`'s
+/// tie-breaking (lexicographically smallest mapping). Without a cache this
+/// defers to match::best_match, keeping the parallel-scoring path.
+std::optional<match::Match> best_cached_match(
+    MatchCache* cache, const graph::Graph& pattern,
+    const graph::Graph& hardware, const match::EnumerateOptions& options,
+    const std::function<double(const match::Match&)>& scorer);
+
+}  // namespace mapa::policy

@@ -20,6 +20,8 @@
 
 namespace mapa::policy {
 
+class MatchCache;
+
 /// What a job asks for.
 struct AllocationRequest {
   const graph::Graph* pattern = nullptr;  // application graph (not owned)
@@ -38,7 +40,10 @@ struct AllocationResult {
 struct PolicyConfig {
   match::Backend backend = match::Backend::kVf2;
   bool break_symmetry = true;
-  std::size_t threads = 1;  // enumeration/scoring parallelism (§5.4)
+  /// Enumeration/scoring parallelism (§5.4). Only effective while no match
+  /// cache is installed: the cache streams replays and miss enumerations
+  /// sequentially (cache hits are far cheaper than a parallel re-search).
+  std::size_t threads = 1;
   /// Eq. 2 coefficients used for Predicted EffBW; empty = paper Table 2.
   std::vector<double> theta;
   /// Ablation (DESIGN.md #2): when true, Preserve scores sensitive jobs
@@ -61,7 +66,18 @@ class Policy {
       const graph::Graph& hardware, const std::vector<bool>& busy,
       const AllocationRequest& request) = 0;
 
+  /// Install an allocation-state match cache (see match_cache.hpp). The
+  /// enumerating policies (greedy, preserve, random) reuse cached
+  /// enumerations through it; the non-matching policies ignore it. Null
+  /// disables caching.
+  void set_match_cache(std::shared_ptr<MatchCache> cache) {
+    match_cache_ = std::move(cache);
+  }
+  const MatchCache* match_cache() const { return match_cache_.get(); }
+
  protected:
+  MatchCache* cache() const { return match_cache_.get(); }
+
   /// Score a chosen match uniformly (used by every implementation).
   static AllocationResult score_result(const graph::Graph& hardware,
                                        const std::vector<bool>& busy,
@@ -76,6 +92,9 @@ class Policy {
   static void check_inputs(const graph::Graph& hardware,
                            const std::vector<bool>& busy,
                            const AllocationRequest& request);
+
+ private:
+  std::shared_ptr<MatchCache> match_cache_;
 };
 
 /// Factory by paper name: "baseline", "topo-aware", "greedy", "preserve",

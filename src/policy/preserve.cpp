@@ -1,6 +1,7 @@
 #include "policy/preserve.hpp"
 
 #include "interconnect/microbench.hpp"
+#include "policy/match_cache.hpp"
 #include "score/effbw_model.hpp"
 #include "score/scores.hpp"
 
@@ -16,7 +17,7 @@ std::optional<AllocationResult> PreservePolicy::allocate(
   options.backend = config_.backend;
   options.break_symmetry = config_.break_symmetry;
   options.threads = config_.threads;
-  options.forbidden = busy;
+  options.forbidden = graph::VertexMask::of_busy(busy);
 
   // Algorithm 1: sensitive jobs maximize Predicted Effective Bandwidth;
   // insensitive jobs maximize Preserved Bandwidth for future sensitive
@@ -34,11 +35,12 @@ std::optional<AllocationResult> PreservePolicy::allocate(
                                                       hardware, m,
                                                       config_.theta);
     }
-    return score::preserved_bandwidth(hardware, m, busy);
+    // Mask overload: the busy mask is already in options.forbidden.
+    return score::preserved_bandwidth(hardware, m, options.forbidden);
   };
 
   const auto best =
-      match::best_match(*request.pattern, hardware, scorer, options);
+      best_cached_match(cache(), *request.pattern, hardware, options, scorer);
   if (!best) return std::nullopt;
   return score_result(hardware, busy, request, *best, config_);
 }

@@ -1,5 +1,7 @@
 #include "policy/random_policy.hpp"
 
+#include "policy/match_cache.hpp"
+
 namespace mapa::policy {
 
 std::optional<AllocationResult> RandomPolicy::allocate(
@@ -11,22 +13,25 @@ std::optional<AllocationResult> RandomPolicy::allocate(
   match::EnumerateOptions options;
   options.backend = config_.backend;
   options.break_symmetry = config_.break_symmetry;
-  options.forbidden = busy;
+  options.forbidden = graph::VertexMask::of_busy(busy);
 
   // Reservoir-sample one match uniformly from the stream of matches, so we
-  // never materialize the full match set.
+  // never materialize the full match set. Replaying a cached enumeration
+  // yields the same stream, so sampling stays identical with caching on.
   std::optional<match::Match> sampled;
   std::size_t seen = 0;
-  match::for_each_match(
-      *request.pattern, hardware,
-      [&](const match::Match& m) {
-        ++seen;
-        if (rng_.uniform_int(1, static_cast<std::int64_t>(seen)) == 1) {
-          sampled = m;
-        }
-        return true;
-      },
-      options);
+  const match::MatchVisitor sample = [&](const match::Match& m) {
+    ++seen;
+    if (rng_.uniform_int(1, static_cast<std::int64_t>(seen)) == 1) {
+      sampled = m;
+    }
+    return true;
+  };
+  if (cache() != nullptr) {
+    cache()->for_each_match(*request.pattern, hardware, options, sample);
+  } else {
+    match::for_each_match(*request.pattern, hardware, sample, options);
+  }
   if (!sampled) return std::nullopt;
   return score_result(hardware, busy, request, std::move(*sampled), config_);
 }

@@ -21,26 +21,61 @@ double aggregated_bandwidth(const graph::Graph& pattern,
   return total;
 }
 
+namespace {
+
+/// Eq. 3 core over a removed-vertex mask; the <= 64-vertex fast path is a
+/// single word, larger graphs walk the mask words.
+double preserved_over_mask(const graph::Graph& hardware,
+                           const graph::VertexMask& removed) {
+  if (hardware.num_vertices() == 0) return 0.0;  // mask has no words
+  double total = 0.0;
+  if (hardware.num_vertices() <= graph::BitGraph::kMaxVertices) {
+    const std::uint64_t gone = removed.word(0);
+    for (const graph::Edge& e : hardware.edges()) {
+      if ((((gone >> e.u) | (gone >> e.v)) & 1) == 0) {
+        total += e.bandwidth_gbps;
+      }
+    }
+    return total;
+  }
+  for (const graph::Edge& e : hardware.edges()) {
+    if (!removed.test(e.u) && !removed.test(e.v)) total += e.bandwidth_gbps;
+  }
+  return total;
+}
+
+}  // namespace
+
 double preserved_bandwidth(const graph::Graph& hardware, const match::Match& m,
                            const std::vector<bool>& busy) {
   if (!busy.empty() && busy.size() != hardware.num_vertices()) {
     throw std::invalid_argument("preserved_bandwidth: busy mask mismatch");
   }
-  std::vector<bool> removed(hardware.num_vertices(), false);
+  graph::VertexMask removed = graph::VertexMask::of_busy(busy);
+  if (removed.empty()) removed = graph::VertexMask(hardware.num_vertices());
   for (const graph::VertexId v : m.mapping) {
     if (v >= hardware.num_vertices()) {
       throw std::invalid_argument("preserved_bandwidth: vertex out of range");
     }
-    removed[v] = true;
+    removed.set(v);
   }
-  for (std::size_t v = 0; v < busy.size(); ++v) {
-    if (busy[v]) removed[v] = true;
+  return preserved_over_mask(hardware, removed);
+}
+
+double preserved_bandwidth(const graph::Graph& hardware, const match::Match& m,
+                           const graph::VertexMask& busy) {
+  if (!busy.empty() && busy.size() != hardware.num_vertices()) {
+    throw std::invalid_argument("preserved_bandwidth: busy mask mismatch");
   }
-  double total = 0.0;
-  for (const graph::Edge& e : hardware.edges()) {
-    if (!removed[e.u] && !removed[e.v]) total += e.bandwidth_gbps;
+  graph::VertexMask removed =
+      busy.empty() ? graph::VertexMask(hardware.num_vertices()) : busy;
+  for (const graph::VertexId v : m.mapping) {
+    if (v >= hardware.num_vertices()) {
+      throw std::invalid_argument("preserved_bandwidth: vertex out of range");
+    }
+    removed.set(v);
   }
-  return total;
+  return preserved_over_mask(hardware, removed);
 }
 
 double clique_bandwidth(const graph::Graph& hardware,

@@ -10,6 +10,7 @@
 
 #include <span>
 
+#include "graph/bitgraph.hpp"
 #include "graph/graph.hpp"
 #include "match/match.hpp"
 
@@ -26,6 +27,11 @@ double aggregated_bandwidth(const graph::Graph& pattern,
 /// excluded from the preserved set as well.
 double preserved_bandwidth(const graph::Graph& hardware, const match::Match& m,
                            const std::vector<bool>& busy = {});
+
+/// Same, with the busy set already in mask form (the representation the
+/// matching core carries); avoids re-deriving the mask per scored match.
+double preserved_bandwidth(const graph::Graph& hardware, const match::Match& m,
+                           const graph::VertexMask& busy);
 
 /// Sum of all hardware-edge bandwidths among an arbitrary vertex set
 /// (aggregate bandwidth of an allocation viewed as a clique, as used by

@@ -6,6 +6,8 @@
 #include <queue>
 #include <stdexcept>
 
+#include "policy/match_cache.hpp"
+
 namespace mapa::sim {
 
 namespace {
@@ -37,7 +39,12 @@ const JobRecord* SimResult::find(int job_id) const {
 
 Simulator::Simulator(graph::Graph hardware,
                      std::unique_ptr<policy::Policy> policy, SimConfig config)
-    : mapa_(std::move(hardware), std::move(policy)), config_(config) {}
+    : mapa_(std::move(hardware), std::move(policy)), config_(config) {
+  if (config_.use_match_cache) {
+    cache_ = std::make_shared<policy::MatchCache>();
+    mapa_.policy().set_match_cache(cache_);
+  }
+}
 
 SimResult Simulator::run(const std::vector<workload::Job>& jobs) {
   for (const workload::Job& job : jobs) {
@@ -168,6 +175,11 @@ SimResult Simulator::run(const std::vector<workload::Job>& jobs) {
   }
 
   result.makespan_s = now;
+  if (cache_ != nullptr) {
+    const policy::MatchCacheStats stats = cache_->stats();
+    result.match_cache_hits = stats.hits;
+    result.match_cache_misses = stats.misses;
+  }
   return result;
 }
 

@@ -38,6 +38,12 @@ struct SimConfig {
   /// that fits runs ahead of the blocked head.
   bool backfill = false;
   std::size_t backfill_window = 16;
+  /// Install an allocation-state match cache on the policy so repeat fleet
+  /// states replay prior enumerations (see policy/match_cache.hpp). Cached
+  /// and uncached runs produce identical job records; only the scheduling
+  /// wall-clock changes. Note the cache path enumerates and scores
+  /// sequentially — turn this off to exercise PolicyConfig::threads.
+  bool use_match_cache = true;
 };
 
 /// Everything logged about one completed job (Fig. 14 log file, plus the
@@ -62,6 +68,10 @@ struct SimResult {
   std::vector<JobRecord> records;     // in completion order
   double makespan_s = 0.0;
   double total_scheduling_ms = 0.0;
+  // Match-cache accounting for the run (zeros when caching is off or the
+  // policy does not enumerate).
+  std::uint64_t match_cache_hits = 0;
+  std::uint64_t match_cache_misses = 0;
 
   /// Jobs per hour of simulated time (the Table 3 "Tput" basis).
   double throughput_jobs_per_hour() const;
@@ -87,6 +97,7 @@ class Simulator {
  private:
   core::Mapa mapa_;
   SimConfig config_;
+  std::shared_ptr<policy::MatchCache> cache_;  // null when caching is off
 };
 
 /// Convenience: build a simulator for a named policy and run the jobs.

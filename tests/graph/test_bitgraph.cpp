@@ -1,0 +1,101 @@
+// BitGraph / VertexMask: the bitset views must agree exactly with the
+// Graph they were built from, and the dense bandwidth matrix must agree
+// with the edge list, on every topology the paper uses.
+
+#include <gtest/gtest.h>
+
+#include "graph/bitgraph.hpp"
+#include "graph/topology.hpp"
+
+namespace mapa::graph {
+namespace {
+
+std::vector<std::pair<std::string, Graph>> all_topologies() {
+  return {
+      {"dgxv", dgx1_v100()},
+      {"dgxp", dgx1_p100()},
+      {"summit", summit_node()},
+      {"torus", torus2d_16()},
+      {"cubemesh", cubemesh_16()},
+      {"nvswitch", nvswitch_16()},
+      {"dgxv_nv", dgx1_v100(Connectivity::kNvlinkOnly)},
+      {"torus_nv", torus2d_16(Connectivity::kNvlinkOnly)},
+  };
+}
+
+TEST(BitGraph, RowsMatchHasEdgeOnEveryTopology) {
+  for (const auto& [name, g] : all_topologies()) {
+    SCOPED_TRACE(name);
+    const BitGraph bits(g);
+    ASSERT_EQ(bits.num_vertices(), g.num_vertices());
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      EXPECT_EQ(bits.degree(u), g.degree(u));
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        EXPECT_EQ(bits.has_edge(u, v), g.has_edge(u, v))
+            << "edge {" << u << ", " << v << "}";
+      }
+    }
+  }
+}
+
+TEST(BitGraph, AllVerticesMaskHasExactlyNBits) {
+  const BitGraph bits(dgx1_v100());
+  EXPECT_EQ(bits.all_vertices(), 0xFFu);
+  const BitGraph big(pcie_only(64));
+  EXPECT_EQ(big.all_vertices(), ~std::uint64_t{0});
+}
+
+TEST(BitGraph, RejectsGraphsBeyond64Vertices) {
+  EXPECT_FALSE(BitGraph::fits(pcie_only(65)));
+  EXPECT_THROW(BitGraph{pcie_only(65)}, std::invalid_argument);
+}
+
+TEST(BandwidthMatrix, AgreesWithEdgeList) {
+  for (const auto& [name, g] : all_topologies()) {
+    SCOPED_TRACE(name);
+    for (VertexId u = 0; u < g.num_vertices(); ++u) {
+      for (VertexId v = 0; v < g.num_vertices(); ++v) {
+        const Edge* e = g.edge(u, v);
+        EXPECT_DOUBLE_EQ(g.edge_bandwidth(u, v),
+                         e == nullptr ? 0.0 : e->bandwidth_gbps);
+      }
+    }
+  }
+}
+
+TEST(BandwidthMatrix, TracksEdgeUpgrades) {
+  Graph g(2);
+  g.add_edge(0, 1, interconnect::LinkType::kPcie);
+  const double pcie = g.edge_bandwidth(0, 1);
+  g.add_edge(0, 1, interconnect::LinkType::kNvLink2Double);
+  EXPECT_GT(g.edge_bandwidth(0, 1), pcie);
+  EXPECT_DOUBLE_EQ(g.edge_bandwidth(1, 0), g.edge_bandwidth(0, 1));
+}
+
+TEST(VertexMask, SetTestCountRoundTrip) {
+  VertexMask mask(70);  // forces two words
+  EXPECT_TRUE(mask.none());
+  mask.set(0);
+  mask.set(63);
+  mask.set(69);
+  EXPECT_EQ(mask.count(), 3u);
+  EXPECT_TRUE(mask.test(63));
+  EXPECT_FALSE(mask.test(64));
+  EXPECT_TRUE(mask.test(69));
+  mask.reset(63);
+  EXPECT_FALSE(mask.test(63));
+  EXPECT_EQ(mask.count(), 2u);
+}
+
+TEST(VertexMask, OfBusyMatchesVector) {
+  std::vector<bool> busy = {true, false, false, true, true, false};
+  const VertexMask mask = VertexMask::of_busy(busy);
+  ASSERT_EQ(mask.size(), busy.size());
+  for (std::size_t v = 0; v < busy.size(); ++v) {
+    EXPECT_EQ(mask.test(static_cast<VertexId>(v)), busy[v]);
+  }
+  EXPECT_EQ(mask.word(0), 0b011001u);
+}
+
+}  // namespace
+}  // namespace mapa::graph

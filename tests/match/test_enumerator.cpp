@@ -145,8 +145,8 @@ TEST(FindMatches, LimitRespected) {
 
 TEST(FindMatches, ForbiddenMaskRespected) {
   EnumerateOptions options;
-  options.forbidden.assign(8, false);
-  options.forbidden[1] = true;
+  options.forbidden = graph::VertexMask(8);
+  options.forbidden.set(1);
   for (const Match& m :
        find_matches(graph::ring(3), graph::dgx1_v100(), options)) {
     for (const auto v : m.mapping) EXPECT_NE(v, 1u);

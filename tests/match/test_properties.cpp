@@ -87,11 +87,11 @@ TEST_P(MatchSweep, ForbiddenMaskEqualsInducedSubgraphCount) {
   const Graph pattern = graph::make_pattern(c.kind, c.size);
 
   EnumerateOptions masked;
-  masked.forbidden.assign(c.target.num_vertices(), false);
+  masked.forbidden = graph::VertexMask(c.target.num_vertices());
   std::vector<VertexId> keep;
   for (VertexId v = 0; v < c.target.num_vertices(); ++v) {
     if (v % 3 == 0) {
-      masked.forbidden[v] = true;
+      masked.forbidden.set(v);
     } else {
       keep.push_back(v);
     }

@@ -40,8 +40,8 @@ TEST(Ullmann, RejectsTargetsBeyondBitWidth) {
 }
 
 TEST(Ullmann, ForbiddenVerticesExcluded) {
-  std::vector<bool> forbidden(8, false);
-  forbidden[2] = true;
+  graph::VertexMask forbidden(8);
+  forbidden.set(2);
   std::size_t count = 0;
   ullmann_enumerate(
       graph::ring(3), graph::dgx1_v100(),

@@ -62,8 +62,9 @@ TEST(Vf2, MatchesAreDistinct) {
 }
 
 TEST(Vf2, ForbiddenVerticesNeverUsed) {
-  std::vector<bool> forbidden(8, false);
-  forbidden[0] = forbidden[3] = true;
+  graph::VertexMask forbidden(8);
+  forbidden.set(0);
+  forbidden.set(3);
   const Graph pattern = graph::ring(3);
   const Graph target = graph::dgx1_v100();
   std::size_t count = 0;
@@ -83,7 +84,7 @@ TEST(Vf2, ForbiddenVerticesNeverUsed) {
 }
 
 TEST(Vf2, ForbiddenMaskSizeValidated) {
-  const std::vector<bool> bad(3, false);
+  const graph::VertexMask bad(3);
   EXPECT_THROW(vf2_enumerate(graph::ring(3), graph::dgx1_v100(),
                              [](const Match&) { return true; }, {}, &bad),
                std::invalid_argument);
