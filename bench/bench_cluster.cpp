@@ -1,0 +1,181 @@
+// Fleet scaling study (cluster/): sweeps fleet size 1 -> 32 homogeneous
+// DGX-1V servers under three server-selection policies, plus a mixed
+// heterogeneous fleet, and reports scheduling wall-clock, fleet
+// throughput, queue waits, utilization balance, and cache behavior. This
+// is the perf-trajectory point for the cluster subsystem: the scaling
+// curve shows how dispatch cost grows with fleet size.
+//
+//   ./bench_cluster [jobs_per_server] [--json[=path]]
+
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/fleet.hpp"
+#include "cluster/metrics.hpp"
+#include "graph/topology.hpp"
+#include "util/stats.hpp"
+
+using namespace mapa;
+
+namespace {
+
+struct RunPoint {
+  std::string fleet;
+  std::size_t servers = 0;
+  std::string selection;
+  double wall_ms = 0.0;
+  double makespan_h = 0.0;
+  double jobs_per_hour = 0.0;
+  double wait_median_s = 0.0;
+  double utilization_mean = 0.0;
+  double quality_spread = 0.0;
+  double cache_hit_rate = 0.0;
+};
+
+RunPoint run_point(const std::string& fleet_name,
+                   std::vector<graph::Graph> topologies,
+                   const std::string& selection,
+                   const std::vector<workload::Job>& jobs) {
+  cluster::ClusterConfig config;
+  config.selection = selection;
+  config.threads = std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  config.seed = 42;
+
+  const std::size_t servers = topologies.size();
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto result =
+      cluster::run_fleet(std::move(topologies), "preserve", jobs, config);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  RunPoint point;
+  point.fleet = fleet_name;
+  point.servers = servers;
+  point.selection = selection;
+  point.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  point.makespan_h = result.makespan_s / 3600.0;
+  point.jobs_per_hour = result.throughput_jobs_per_hour();
+  point.wait_median_s = cluster::queue_wait_box_plot(result).median;
+  point.utilization_mean =
+      util::mean(cluster::per_server_utilization(result));
+  point.quality_spread = cluster::allocation_quality_spread(result);
+  point.cache_hit_rate = cluster::fleet_cache_hit_rate(result);
+  return point;
+}
+
+std::vector<workload::Job> fleet_trace(std::size_t servers,
+                                       std::size_t jobs_per_server,
+                                       std::size_t max_gpus) {
+  workload::FleetTraceConfig config;
+  config.num_jobs = jobs_per_server * servers;
+  // Scale offered load with fleet size so per-server pressure is constant
+  // across the sweep (one arrival per 20 s per server).
+  config.arrival_rate_per_s = 0.05 * static_cast<double>(servers);
+  config.max_gpus = max_gpus;
+  config.seed = 42;
+  return workload::generate_fleet_trace(config);
+}
+
+std::string metric_key(const RunPoint& p, const std::string& what) {
+  std::string selection = p.selection;
+  for (char& c : selection) {
+    if (c == '-') c = '_';
+  }
+  return p.fleet + "_n" + std::to_string(p.servers) + "_" + selection + "_" +
+         what;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "cluster");
+  std::size_t jobs_per_server = 25;
+  if (argc > 1 && argv[1][0] != '-') {
+    jobs_per_server = static_cast<std::size_t>(std::stoul(argv[1]));
+  }
+
+  bench::print_header(
+      "cluster/ fleet scheduler",
+      "Fleet-size scaling sweep (1 -> 32 DGX-1V) x server-selection "
+      "policies, plus a mixed heterogeneous fleet");
+
+  const std::vector<std::string> selections = {"first-fit", "least-loaded",
+                                               "best-score"};
+  const std::vector<std::size_t> fleet_sizes = {1, 2, 4, 8, 16, 32};
+
+  util::Table table({"fleet", "servers", "selection", "wall (ms)",
+                     "makespan (h)", "jobs/h", "wait p50 (s)", "mean util",
+                     "EffBW spread", "cache hit"});
+  std::vector<RunPoint> points;
+
+  for (const std::size_t n : fleet_sizes) {
+    const auto jobs = fleet_trace(n, jobs_per_server, /*max_gpus=*/5);
+    for (const std::string& selection : selections) {
+      std::vector<graph::Graph> fleet;
+      for (std::size_t i = 0; i < n; ++i) fleet.push_back(graph::dgx1_v100());
+      points.push_back(run_point("dgx1v", std::move(fleet), selection, jobs));
+    }
+  }
+
+  // Mixed heterogeneous fleet: two of each machine class the paper draws
+  // (8-GPU cube-mesh, 6-GPU Summit node, 16-GPU torus, 16-GPU NVSwitch).
+  {
+    const auto jobs = fleet_trace(8, jobs_per_server, /*max_gpus=*/5);
+    for (const std::string& selection : selections) {
+      std::vector<graph::Graph> fleet;
+      for (int i = 0; i < 2; ++i) {
+        fleet.push_back(graph::dgx1_v100());
+        fleet.push_back(graph::summit_node());
+        fleet.push_back(graph::torus2d_16());
+        fleet.push_back(graph::nvswitch_16());
+      }
+      points.push_back(run_point("mixed", std::move(fleet), selection, jobs));
+    }
+  }
+
+  for (const RunPoint& p : points) {
+    table.add_row({p.fleet, std::to_string(p.servers), p.selection,
+                   util::fixed(p.wall_ms, 1), util::fixed(p.makespan_h, 2),
+                   util::fixed(p.jobs_per_hour, 1),
+                   util::fixed(p.wait_median_s, 1),
+                   util::fixed(p.utilization_mean, 3),
+                   util::fixed(p.quality_spread, 2),
+                   util::fixed(p.cache_hit_rate, 3)});
+    report.metric(metric_key(p, "wall_ms"), p.wall_ms);
+    report.metric(metric_key(p, "jobs_per_hour"), p.jobs_per_hour);
+    report.metric(metric_key(p, "wait_median_s"), p.wait_median_s);
+    report.metric(metric_key(p, "utilization_mean"), p.utilization_mean);
+    report.metric(metric_key(p, "cache_hit_rate"), p.cache_hit_rate);
+  }
+  std::cout << table.render() << '\n';
+
+  // Headline scaling metric: dispatch wall-clock per job at the sweep's
+  // extremes under best-score (every server probed for every placement).
+  double wall_n1 = 0.0;
+  double wall_n32 = 0.0;
+  for (const RunPoint& p : points) {
+    if (p.fleet != "dgx1v" || p.selection != "best-score") continue;
+    if (p.servers == 1) wall_n1 = p.wall_ms;
+    if (p.servers == 32) wall_n32 = p.wall_ms;
+  }
+  const double jobs_n1 = static_cast<double>(jobs_per_server);
+  const double jobs_n32 = static_cast<double>(jobs_per_server) * 32.0;
+  if (wall_n1 > 0.0 && wall_n32 > 0.0) {
+    const double per_job_n1 = wall_n1 / jobs_n1;
+    const double per_job_n32 = wall_n32 / jobs_n32;
+    std::cout << "best-score dispatch cost: " << util::fixed(per_job_n1, 3)
+              << " ms/job at n=1 vs " << util::fixed(per_job_n32, 3)
+              << " ms/job at n=32 ("
+              << util::fixed(per_job_n32 / per_job_n1, 2) << "x)\n";
+    report.metric("best_score_ms_per_job_n1", per_job_n1);
+    report.metric("best_score_ms_per_job_n32", per_job_n32);
+    report.metric("best_score_per_job_scaling_n32_over_n1",
+                  per_job_n32 / per_job_n1);
+  }
+
+  return report.write();
+}

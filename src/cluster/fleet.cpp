@@ -1,0 +1,372 @@
+#include "cluster/fleet.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <queue>
+#include <stdexcept>
+#include <utility>
+
+#include "interconnect/microbench.hpp"
+#include "policy/match_cache.hpp"
+#include "util/rng.hpp"
+#include "workload/exec_model.hpp"
+
+namespace mapa::cluster {
+
+namespace {
+
+/// One running job inside the fleet loop.
+struct Running {
+  double finish_s = 0.0;
+  std::size_t server = 0;
+  std::uint64_t allocation_id = 0;
+
+  bool operator>(const Running& other) const {
+    return finish_s > other.finish_s;
+  }
+};
+
+}  // namespace
+
+double FleetResult::throughput_jobs_per_hour() const {
+  if (makespan_s <= 0.0) return 0.0;
+  return static_cast<double>(records.size()) / makespan_s * 3600.0;
+}
+
+const FleetRecord* FleetResult::find(int job_id) const {
+  for (const FleetRecord& r : records) {
+    if (r.record.job.id == job_id) return &r;
+  }
+  return nullptr;
+}
+
+FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
+                               ClusterConfig config)
+    : config_(std::move(config)) {
+  if (specs.empty()) {
+    throw std::invalid_argument("FleetSimulator: empty fleet");
+  }
+  selection_ = make_selection(config_.selection);
+
+  // The master seed derives one policy sub-seed per server, in fleet
+  // order, so stochastic policies are reproducible across thread counts.
+  util::Rng seed_stream(config_.seed);
+  servers_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ServerSpec& spec = specs[i];
+    const std::uint64_t policy_seed = seed_stream.next_u64();
+    std::string name = spec.name.empty()
+                           ? spec.topology.name() + "-" + std::to_string(i)
+                           : std::move(spec.name);
+    Server server{std::move(name), spec.policy,
+                  core::Mapa(std::move(spec.topology),
+                             policy::make_policy(spec.policy, config_.policy,
+                                                 policy_seed)),
+                  nullptr, false};
+    if (config_.sim.use_match_cache) {
+      server.cache = std::make_shared<policy::MatchCache>();
+      server.mapa.policy().set_match_cache(server.cache);
+    }
+    servers_.push_back(std::move(server));
+  }
+
+  // Metrics and examples key per-server aggregations by name; duplicates
+  // would silently merge two servers' samples.
+  for (std::size_t i = 0; i < servers_.size(); ++i) {
+    for (std::size_t j = i + 1; j < servers_.size(); ++j) {
+      if (servers_[i].name == servers_[j].name) {
+        throw std::invalid_argument("FleetSimulator: duplicate server name '" +
+                                    servers_[i].name + "'");
+      }
+    }
+  }
+
+  for (const ServerEvent& event : config_.events) {
+    if (event.server >= servers_.size()) {
+      throw std::invalid_argument(
+          "FleetSimulator: event names server " +
+          std::to_string(event.server) + " but the fleet has " +
+          std::to_string(servers_.size()) + " servers");
+    }
+  }
+
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  }
+}
+
+const graph::Graph& FleetSimulator::hardware(std::size_t server) const {
+  if (server >= servers_.size()) {
+    throw std::out_of_range("FleetSimulator::hardware: bad server index");
+  }
+  return servers_[server].mapa.hardware();
+}
+
+std::vector<ServerProbe> FleetSimulator::probe(const graph::Graph& pattern,
+                                               const workload::Job& job) {
+  std::vector<std::size_t> eligible;
+  eligible.reserve(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (servers_[s].draining) continue;
+    if (job.num_gpus > servers_[s].mapa.hardware().num_vertices()) continue;
+    eligible.push_back(s);
+  }
+
+  // Probes touch only their own server's policy, cache, and busy mask, so
+  // they are independent; results land at fixed indices and the selection
+  // scans them in server order — thread count cannot change the outcome.
+  std::vector<ServerProbe> probes;
+  const auto probe_one = [&](std::size_t k) {
+    Server& server = servers_[eligible[k]];
+    ServerProbe p;
+    p.server = eligible[k];
+    p.total_gpus = server.mapa.hardware().num_vertices();
+    p.free_gpus = server.mapa.free_accelerators();
+    p.bandwidth_sensitive = job.bandwidth_sensitive;
+    policy::AllocationRequest request;
+    request.pattern = &pattern;
+    request.bandwidth_sensitive = job.bandwidth_sensitive;
+    p.placement = server.mapa.policy().allocate(server.mapa.hardware(),
+                                                server.mapa.busy(), request);
+    probes[k] = std::move(p);
+  };
+  if (!selection_->needs_all_probes()) {
+    // First-fit never looks past the first fitting probe: run the matchers
+    // sequentially in server order and stop at the first fit, so dispatch
+    // cost stays O(1) probes instead of O(fleet size).
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      probes.resize(k + 1);
+      probe_one(k);
+      if (probes[k].fits()) break;
+    }
+  } else if (pool_ != nullptr && eligible.size() > 1) {
+    probes.resize(eligible.size());
+    pool_->parallel_for(eligible.size(), probe_one);
+  } else {
+    probes.resize(eligible.size());
+    for (std::size_t k = 0; k < eligible.size(); ++k) probe_one(k);
+  }
+  return probes;
+}
+
+FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
+  std::size_t max_server_gpus = 0;
+  for (const Server& server : servers_) {
+    max_server_gpus =
+        std::max(max_server_gpus, server.mapa.hardware().num_vertices());
+  }
+  for (const workload::Job& job : jobs) {
+    if (job.num_gpus > max_server_gpus) {
+      throw std::invalid_argument(
+          "FleetSimulator::run: job " + std::to_string(job.id) +
+          " requests more GPUs than any server has");
+    }
+  }
+
+  // Arrival order: by arrival time, stable by list position (FIFO) —
+  // mirrors sim::Simulator so a 1-server fleet reproduces its schedule.
+  std::vector<std::size_t> arrival_order(jobs.size());
+  for (std::size_t i = 0; i < jobs.size(); ++i) arrival_order[i] = i;
+  std::stable_sort(arrival_order.begin(), arrival_order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return jobs[a].arrival_time_s < jobs[b].arrival_time_s;
+                   });
+
+  std::vector<ServerEvent> events = config_.events;
+  std::stable_sort(events.begin(), events.end(),
+                   [](const ServerEvent& a, const ServerEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  for (Server& server : servers_) server.draining = false;
+
+  // Caches live for the simulator's lifetime; snapshot their counters so
+  // this run reports per-run deltas even on a reused FleetSimulator.
+  std::vector<policy::MatchCacheStats> cache_baseline(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (servers_[s].cache != nullptr) {
+      cache_baseline[s] = servers_[s].cache->stats();
+    }
+  }
+
+  FleetResult result;
+  result.selection = selection_->name();
+  result.records.reserve(jobs.size());
+  result.servers.resize(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerResult& sr = result.servers[s];
+    sr.name = servers_[s].name;
+    sr.topology = servers_[s].mapa.hardware().name();
+    sr.policy = servers_[s].policy_name;
+    sr.num_gpus = servers_[s].mapa.hardware().num_vertices();
+  }
+
+  std::deque<std::size_t> queue;  // indices into `jobs`
+  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  std::size_t next_arrival = 0;
+  std::size_t next_event = 0;
+  double now = 0.0;
+
+  const auto admit_arrivals = [&](double time) {
+    while (next_arrival < arrival_order.size() &&
+           jobs[arrival_order[next_arrival]].arrival_time_s <= time) {
+      queue.push_back(arrival_order[next_arrival]);
+      ++next_arrival;
+    }
+  };
+  const auto apply_events = [&](double time) {
+    while (next_event < events.size() && events[next_event].time_s <= time) {
+      const ServerEvent& event = events[next_event];
+      servers_[event.server].draining =
+          event.kind == ServerEvent::Kind::kDrain;
+      ++next_event;
+    }
+  };
+  apply_events(now);
+  admit_arrivals(now);
+
+  // Events are pure wakeups for queued work: once the queue, running set,
+  // and arrivals are exhausted, remaining drains/restores can't change
+  // anything and must not extend the makespan.
+  while (!queue.empty() || !running.empty() ||
+         next_arrival < arrival_order.size()) {
+    // Serve the queue: FIFO head first; optionally backfill a later job
+    // past a blocked head (SimConfig.backfill, same window semantics as
+    // the single-server engine).
+    bool progressed = true;
+    while (progressed && !queue.empty()) {
+      progressed = false;
+
+      std::size_t queue_pos = 0;
+      std::optional<std::size_t> chosen_probe;
+      std::vector<ServerProbe> probes;
+      double overhead_ms = 0.0;
+      const std::size_t scan_limit =
+          config_.sim.backfill
+              ? std::min(queue.size(), config_.sim.backfill_window + 1)
+              : std::size_t{1};
+      graph::Graph pattern;
+      for (; queue_pos < scan_limit; ++queue_pos) {
+        const workload::Job& candidate = jobs[queue[queue_pos]];
+        pattern = candidate.application_graph();
+        const auto wall_start = std::chrono::steady_clock::now();
+        probes = probe(pattern, candidate);
+        chosen_probe = selection_->select(probes);
+        const auto wall_end = std::chrono::steady_clock::now();
+        overhead_ms +=
+            std::chrono::duration<double, std::milli>(wall_end - wall_start)
+                .count();
+        if (chosen_probe) break;
+      }
+      result.total_scheduling_ms += overhead_ms;
+      if (!chosen_probe) break;  // nothing fits anywhere: wait for an event
+
+      ServerProbe& winner = probes[*chosen_probe];
+      Server& server = servers_[winner.server];
+      const workload::Job& job = jobs[queue[queue_pos]];
+      const core::Allocation allocation =
+          server.mapa.commit(std::move(*winner.placement));
+
+      sim::JobRecord record;
+      record.job = job;
+      record.gpus = allocation.gpus();
+      record.queued_s = job.arrival_time_s;
+      record.start_s = now;
+      record.aggregated_bw = allocation.aggregated_bw();
+      record.predicted_effbw = allocation.predicted_effbw();
+      record.preserved_bw = allocation.preserved_bw();
+      record.scheduling_overhead_ms = overhead_ms;
+
+      match::Match m;
+      m.mapping = allocation.gpus();
+      record.measured_effbw = interconnect::measured_effective_bandwidth(
+          pattern, server.mapa.hardware(), m, config_.sim.microbench);
+
+      const workload::ExecModel model(job.profile());
+      const double effbw = config_.sim.exec_uses_measured_effbw
+                               ? record.measured_effbw
+                               : record.predicted_effbw;
+      record.exec_s = model.exec_time_s(job.num_gpus, effbw, job.iter_scale);
+      record.finish_s = now + record.exec_s;
+
+      ServerResult& sr = result.servers[winner.server];
+      ++sr.jobs_placed;
+      sr.busy_gpu_seconds +=
+          static_cast<double>(record.gpus.size()) * record.exec_s;
+
+      running.push(Running{record.finish_s, winner.server, allocation.id()});
+      result.records.push_back(FleetRecord{std::move(record), winner.server});
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+      progressed = true;
+    }
+
+    if (running.empty() && queue.empty() &&
+        next_arrival >= arrival_order.size()) {
+      break;
+    }
+
+    // Advance time to the next event: a completion, an arrival, or a
+    // scheduled drain/restore.
+    bool have_next = false;
+    double next_time = 0.0;
+    const auto consider = [&](double t) {
+      if (!have_next || t < next_time) next_time = t;
+      have_next = true;
+    };
+    if (!running.empty()) consider(running.top().finish_s);
+    if (next_arrival < arrival_order.size()) {
+      consider(jobs[arrival_order[next_arrival]].arrival_time_s);
+    }
+    if (next_event < events.size()) consider(events[next_event].time_s);
+    if (!have_next) {
+      // Queue non-empty but nothing running, arriving, or scheduled: the
+      // head can never be placed (no structural match on any idle
+      // eligible server, or the whole fleet is drained for good).
+      throw std::runtime_error(
+          "FleetSimulator::run: job " +
+          std::to_string(jobs[queue.front()].id) +
+          " cannot be placed on any idle server");
+    }
+    now = std::max(now, next_time);
+
+    while (!running.empty() && running.top().finish_s <= now) {
+      servers_[running.top().server].mapa.release(running.top().allocation_id);
+      running.pop();
+    }
+    apply_events(now);
+    admit_arrivals(now);
+  }
+
+  result.makespan_s = now;
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerResult& sr = result.servers[s];
+    if (result.makespan_s > 0.0 && sr.num_gpus > 0) {
+      sr.utilization = sr.busy_gpu_seconds /
+                       (static_cast<double>(sr.num_gpus) * result.makespan_s);
+    }
+    if (servers_[s].cache != nullptr) {
+      const policy::MatchCacheStats stats = servers_[s].cache->stats();
+      sr.match_cache_hits = stats.hits - cache_baseline[s].hits;
+      sr.match_cache_misses = stats.misses - cache_baseline[s].misses;
+    }
+  }
+  return result;
+}
+
+FleetResult run_fleet(std::vector<graph::Graph> topologies,
+                      const std::string& policy_name,
+                      const std::vector<workload::Job>& jobs,
+                      const ClusterConfig& config) {
+  std::vector<ServerSpec> specs;
+  specs.reserve(topologies.size());
+  for (graph::Graph& topology : topologies) {
+    ServerSpec spec;
+    spec.topology = std::move(topology);
+    spec.policy = policy_name;
+    specs.push_back(std::move(spec));
+  }
+  FleetSimulator simulator(std::move(specs), config);
+  return simulator.run(jobs);
+}
+
+}  // namespace mapa::cluster

@@ -1,0 +1,173 @@
+#pragma once
+// cluster/ — a discrete-event fleet scheduler layered above the
+// single-server MAPA engine (sim/engine.hpp). Where sim::Simulator models one
+// multi-GPU server behind a FIFO queue, FleetSimulator owns N server
+// instances — each a hardware graph with its own allocation policy and
+// allocation-state match cache — behind one fleet-level dispatcher queue.
+// For every queue candidate the dispatcher probes each eligible server's
+// matcher (dry-run allocate against that server's busy mask) and a
+// pluggable ServerSelection (cluster/selection.hpp) picks the winner; the
+// probed placement is then committed without re-running the search
+// (core::Mapa::commit). Optional drain/restore events take servers out of
+// and back into rotation mid-run, so heterogeneous-fleet, imbalance, and
+// maintenance scenarios are all expressible.
+//
+// Per-server probes are independent (each touches only its own policy,
+// cache, and busy mask), so they fan out across a util::ThreadPool when
+// ClusterConfig::threads > 1 and merge in fixed server order.
+//
+// Determinism contract: for a fixed server list, job list, and
+// configuration, run() produces identical FleetResult contents — records,
+// their order, simulated times, placements, and per-server statistics —
+// regardless of ClusterConfig::threads and of match-cache state. The only
+// exceptions are the wall-clock fields (FleetResult::total_scheduling_ms
+// and JobRecord::scheduling_overhead_ms), which measure real elapsed time.
+// ClusterConfig::seed is the single master seed of a fleet run: it derives
+// one sub-seed per server (in fleet order, via util::Rng) for stochastic
+// policies such as "random", and callers should feed the same seed to
+// workload::FleetTraceConfig::seed so trace generation and scheduling are
+// reproducible from one number. For the deterministic policies, a
+// 1-server fleet under "first-fit" reproduces sim::Simulator's job
+// records exactly (tests/cluster enforces this); under "random" the two
+// diverge only because the fleet seeds its policy from ClusterConfig::seed
+// while the engine uses make_policy's default seed.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/selection.hpp"
+#include "core/mapa.hpp"
+#include "graph/graph.hpp"
+#include "policy/policy.hpp"
+#include "sim/engine.hpp"
+#include "util/thread_pool.hpp"
+#include "workload/job.hpp"
+
+namespace mapa::cluster {
+
+/// One server of the fleet: a topology plus the allocation policy it runs.
+struct ServerSpec {
+  /// Display name; empty = "<topology>-<index>".
+  std::string name;
+  graph::Graph topology;
+  /// Policy factory name ("baseline", "topo-aware", "greedy", "preserve",
+  /// "random"); see policy::make_policy.
+  std::string policy = "preserve";
+};
+
+/// Scheduled fleet-state change: a server leaves rotation (drain — running
+/// jobs finish, no new placements) or re-enters it (restore).
+struct ServerEvent {
+  enum class Kind { kDrain, kRestore };
+  double time_s = 0.0;
+  std::size_t server = 0;  // index into the fleet's server list
+  Kind kind = Kind::kDrain;
+};
+
+struct ClusterConfig {
+  /// Per-server engine knobs (microbench, exec model source, backfill,
+  /// match cache), applied identically to every server.
+  sim::SimConfig sim;
+  /// Per-server policy knobs, applied identically to every server. Keep
+  /// `policy.threads` at 1: the fleet parallelizes across servers instead
+  /// (see `threads`), and nesting both oversubscribes the machine.
+  policy::PolicyConfig policy;
+  /// Server-selection policy name; see cluster/selection.hpp.
+  std::string selection = "first-fit";
+  /// Probe fan-out across servers (1 = sequential). Never changes results;
+  /// see the determinism contract above.
+  std::size_t threads = 1;
+  /// Master seed; derives per-server policy sub-seeds in fleet order.
+  std::uint64_t seed = 42;
+  /// Drain/restore schedule (any order; sorted by time internally).
+  std::vector<ServerEvent> events;
+};
+
+/// A completed job plus where it ran.
+struct FleetRecord {
+  sim::JobRecord record;
+  std::size_t server = 0;  // index into FleetResult::servers
+};
+
+/// Per-server summary of a fleet run.
+struct ServerResult {
+  std::string name;
+  std::string topology;
+  std::string policy;
+  std::size_t num_gpus = 0;
+  std::size_t jobs_placed = 0;
+  /// GPU-seconds of modeled busy time accumulated on this server.
+  double busy_gpu_seconds = 0.0;
+  /// busy_gpu_seconds / (num_gpus * makespan); 0 for an empty run.
+  double utilization = 0.0;
+  // Match-cache accounting (zeros when caching is off).
+  std::uint64_t match_cache_hits = 0;
+  std::uint64_t match_cache_misses = 0;
+};
+
+struct FleetResult {
+  std::string selection;
+  std::vector<ServerResult> servers;
+  /// Placement order (same convention as sim::SimResult::records).
+  std::vector<FleetRecord> records;
+  double makespan_s = 0.0;
+  /// Wall-clock cost of all dispatch decisions (probes + selection);
+  /// excluded from the determinism contract.
+  double total_scheduling_ms = 0.0;
+
+  /// Jobs per hour of simulated time across the whole fleet.
+  double throughput_jobs_per_hour() const;
+
+  /// Record for a job id; nullptr when absent.
+  const FleetRecord* find(int job_id) const;
+};
+
+class FleetSimulator {
+ public:
+  /// Takes ownership of the server topologies; builds one policy (and,
+  /// when configured, one match cache) per server. Throws on an empty
+  /// fleet, unknown policy/selection names, duplicate server names, or
+  /// events naming a server the fleet does not have.
+  explicit FleetSimulator(std::vector<ServerSpec> servers,
+                          ClusterConfig config = {});
+
+  /// Run a job list to completion: jobs queue in arrival order and are
+  /// served FIFO (optionally backfilled past a blocked head, mirroring
+  /// sim::Simulator). Throws std::invalid_argument when a job requests more
+  /// accelerators than any server has, and std::runtime_error when a
+  /// queued job can never be placed (idle fleet, no pending arrivals or
+  /// events).
+  FleetResult run(const std::vector<workload::Job>& jobs);
+
+  std::size_t num_servers() const { return servers_.size(); }
+  const graph::Graph& hardware(std::size_t server) const;
+
+ private:
+  struct Server {
+    std::string name;
+    std::string policy_name;
+    core::Mapa mapa;
+    std::shared_ptr<policy::MatchCache> cache;  // null when caching is off
+    bool draining = false;
+  };
+
+  std::vector<ServerProbe> probe(const graph::Graph& pattern,
+                                 const workload::Job& job);
+
+  ClusterConfig config_;
+  std::vector<Server> servers_;
+  std::unique_ptr<ServerSelection> selection_;
+  std::unique_ptr<util::ThreadPool> pool_;  // null when threads <= 1
+};
+
+/// Convenience: build a fleet over `topologies` (one spec per graph, all
+/// running `policy_name`) and run the jobs.
+FleetResult run_fleet(std::vector<graph::Graph> topologies,
+                      const std::string& policy_name,
+                      const std::vector<workload::Job>& jobs,
+                      const ClusterConfig& config = {});
+
+}  // namespace mapa::cluster

@@ -1,0 +1,82 @@
+#include "cluster/metrics.hpp"
+
+#include <algorithm>
+
+#include "util/stats.hpp"
+
+namespace mapa::cluster {
+
+util::BoxPlot queue_wait_box_plot(const FleetResult& result) {
+  std::vector<double> waits;
+  waits.reserve(result.records.size());
+  for (const FleetRecord& r : result.records) {
+    waits.push_back(r.record.start_s - r.record.queued_s);
+  }
+  if (waits.empty()) return {};
+  return util::box_plot(waits);
+}
+
+std::map<std::string, util::BoxPlot> per_server_box_plots(
+    const FleetResult& result, sim::RecordField field) {
+  std::map<std::string, std::vector<double>> samples;
+  for (const FleetRecord& r : result.records) {
+    // Bandwidth fields are undefined for single-GPU jobs (no links).
+    if (field != sim::RecordField::kExecTime && r.record.job.num_gpus < 2) {
+      continue;
+    }
+    samples[result.servers[r.server].name].push_back(
+        sim::record_value(r.record, field));
+  }
+  std::map<std::string, util::BoxPlot> plots;
+  for (const auto& [name, values] : samples) {
+    plots[name] = util::box_plot(values);
+  }
+  return plots;
+}
+
+std::vector<double> per_server_utilization(const FleetResult& result) {
+  std::vector<double> utilization;
+  utilization.reserve(result.servers.size());
+  for (const ServerResult& s : result.servers) {
+    utilization.push_back(s.utilization);
+  }
+  return utilization;
+}
+
+double allocation_quality_spread(const FleetResult& result) {
+  std::vector<double> sums(result.servers.size(), 0.0);
+  std::vector<std::size_t> counts(result.servers.size(), 0);
+  for (const FleetRecord& r : result.records) {
+    if (r.record.job.num_gpus < 2) continue;
+    sums[r.server] += r.record.predicted_effbw;
+    ++counts[r.server];
+  }
+  bool any = false;
+  double lo = 0.0;
+  double hi = 0.0;
+  for (std::size_t s = 0; s < sums.size(); ++s) {
+    if (counts[s] == 0) continue;
+    const double mean = sums[s] / static_cast<double>(counts[s]);
+    if (!any) {
+      lo = hi = mean;
+      any = true;
+    } else {
+      lo = std::min(lo, mean);
+      hi = std::max(hi, mean);
+    }
+  }
+  return any ? hi - lo : 0.0;
+}
+
+double fleet_cache_hit_rate(const FleetResult& result) {
+  std::uint64_t hits = 0;
+  std::uint64_t lookups = 0;
+  for (const ServerResult& s : result.servers) {
+    hits += s.match_cache_hits;
+    lookups += s.match_cache_hits + s.match_cache_misses;
+  }
+  if (lookups == 0) return 0.0;
+  return static_cast<double>(hits) / static_cast<double>(lookups);
+}
+
+}  // namespace mapa::cluster

@@ -1,0 +1,41 @@
+#pragma once
+// Fleet-level post-run analysis, mirroring sim/metrics for FleetResult:
+// queue-wait distributions, per-server record-field box plots, the
+// cross-server allocation-quality spread, and pooled cache hit rates.
+// Everything is computed from the FleetResult alone so benches and
+// examples can aggregate without re-running the simulation.
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "sim/metrics.hpp"
+#include "util/stats.hpp"
+
+namespace mapa::cluster {
+
+/// Queue-wait (start - arrival) distribution across the whole fleet.
+util::BoxPlot queue_wait_box_plot(const FleetResult& result);
+
+/// Distribution of `field` per server name. Bandwidth fields keep only
+/// multi-GPU jobs (1-GPU jobs have no links), matching sim/metrics;
+/// servers that placed no qualifying job are omitted.
+std::map<std::string, util::BoxPlot> per_server_box_plots(
+    const FleetResult& result, sim::RecordField field);
+
+/// Per-server utilization in fleet order (copied from ServerResult).
+std::vector<double> per_server_utilization(const FleetResult& result);
+
+/// Cross-server allocation-quality spread: max - min of the per-server
+/// mean predicted effective bandwidth over multi-GPU jobs. 0 when fewer
+/// than two servers placed a multi-GPU job. A large spread means the
+/// dispatcher is feeding some servers systematically worse placements.
+double allocation_quality_spread(const FleetResult& result);
+
+/// Pooled match-cache hit rate over every server's cache; 0 when no
+/// lookups happened (caching off, or non-enumerating policies).
+double fleet_cache_hit_rate(const FleetResult& result);
+
+}  // namespace mapa::cluster

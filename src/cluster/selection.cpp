@@ -1,0 +1,116 @@
+#include "cluster/selection.hpp"
+
+#include <stdexcept>
+
+namespace mapa::cluster {
+
+double ServerProbe::score() const {
+  if (!placement) return 0.0;
+  return bandwidth_sensitive ? placement->predicted_effbw
+                             : placement->preserved_bw;
+}
+
+namespace {
+
+/// All six built-in selections share one comparison skeleton: scan the
+/// fitting probes in server order and keep the current winner unless the
+/// challenger is strictly better, so every tie resolves to the lowest
+/// server index by construction.
+class StandardSelection final : public ServerSelection {
+ public:
+  enum class Mode {
+    kFirstFit,
+    kLeastLoaded,
+    kPack,
+    kBestScore,
+    kBestScorePack,
+    kBestScoreSpread,
+  };
+
+  StandardSelection(std::string name, Mode mode)
+      : name_(std::move(name)), mode_(mode) {}
+
+  std::string name() const override { return name_; }
+
+  bool needs_all_probes() const override {
+    return mode_ != Mode::kFirstFit;
+  }
+
+  std::optional<std::size_t> select(
+      const std::vector<ServerProbe>& probes) const override {
+    std::optional<std::size_t> winner;
+    for (std::size_t i = 0; i < probes.size(); ++i) {
+      if (!probes[i].fits()) continue;
+      if (!winner) {
+        winner = i;
+        if (mode_ == Mode::kFirstFit) break;
+        continue;
+      }
+      if (beats(probes[i], probes[*winner])) winner = i;
+    }
+    return winner;
+  }
+
+ private:
+  bool beats(const ServerProbe& challenger, const ServerProbe& incumbent) const {
+    switch (mode_) {
+      case Mode::kFirstFit:
+        return false;
+      case Mode::kLeastLoaded:
+        return challenger.free_fraction() > incumbent.free_fraction();
+      case Mode::kPack:
+        return challenger.free_fraction() < incumbent.free_fraction();
+      case Mode::kBestScore:
+        return challenger.score() > incumbent.score();
+      case Mode::kBestScorePack:
+        if (challenger.score() != incumbent.score()) {
+          return challenger.score() > incumbent.score();
+        }
+        return challenger.free_fraction() < incumbent.free_fraction();
+      case Mode::kBestScoreSpread:
+        if (challenger.score() != incumbent.score()) {
+          return challenger.score() > incumbent.score();
+        }
+        return challenger.free_fraction() > incumbent.free_fraction();
+    }
+    return false;  // unreachable
+  }
+
+  std::string name_;
+  Mode mode_;
+};
+
+}  // namespace
+
+std::unique_ptr<ServerSelection> make_selection(const std::string& name) {
+  using Mode = StandardSelection::Mode;
+  if (name == "first-fit") {
+    return std::make_unique<StandardSelection>(name, Mode::kFirstFit);
+  }
+  if (name == "least-loaded") {
+    return std::make_unique<StandardSelection>(name, Mode::kLeastLoaded);
+  }
+  if (name == "pack") {
+    return std::make_unique<StandardSelection>(name, Mode::kPack);
+  }
+  if (name == "best-score") {
+    return std::make_unique<StandardSelection>(name, Mode::kBestScore);
+  }
+  if (name == "best-score-pack") {
+    return std::make_unique<StandardSelection>(name, Mode::kBestScorePack);
+  }
+  if (name == "best-score-spread") {
+    return std::make_unique<StandardSelection>(name, Mode::kBestScoreSpread);
+  }
+  throw std::invalid_argument("make_selection: unknown selection '" + name +
+                              "'");
+}
+
+const std::vector<std::string>& selection_names() {
+  static const std::vector<std::string> names = {
+      "first-fit",  "least-loaded",    "pack",
+      "best-score", "best-score-pack", "best-score-spread"};
+  return names;
+}
+
+}  // namespace mapa::cluster

@@ -1,0 +1,81 @@
+#pragma once
+// Server-selection policies for the fleet dispatcher (cluster/fleet.hpp).
+//
+// When the fleet queue head is considered, every eligible server (not
+// draining, enough free accelerators) is probed: its own MAPA policy runs
+// a full match-and-score pass against the server's current busy mask
+// without committing anything. A ServerSelection then picks the winning
+// probe. Policies range from placement-oblivious (first-fit, least-loaded,
+// pack) to quality-driven (best-score: place where the MAPA score of the
+// probed allocation is highest, with packing/spreading tie-break variants
+// for consolidating or balancing the fleet).
+//
+// Selections must be deterministic: probes arrive in ascending server
+// order and every tie is broken toward the lowest server index, so fleet
+// runs are reproducible regardless of how many threads computed the probes.
+
+#include <cstddef>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "policy/policy.hpp"
+
+namespace mapa::cluster {
+
+/// One server's dry-run answer for the job under consideration.
+struct ServerProbe {
+  std::size_t server = 0;      // index into the fleet's server list
+  std::size_t free_gpus = 0;   // free accelerators at probe time
+  std::size_t total_gpus = 0;  // server size
+  bool bandwidth_sensitive = false;  // the probed job's sensitivity label
+  /// The policy's placement, or nullopt when the job does not fit here.
+  std::optional<policy::AllocationResult> placement;
+
+  bool fits() const { return placement.has_value(); }
+
+  /// Free capacity fraction (comparable across heterogeneous servers).
+  double free_fraction() const {
+    return total_gpus == 0
+               ? 0.0
+               : static_cast<double>(free_gpus) / static_cast<double>(total_gpus);
+  }
+
+  /// The MAPA score of the probed placement, mirroring Algorithm 1's
+  /// objective: predicted effective bandwidth for bandwidth-sensitive
+  /// jobs, preserved bandwidth otherwise. 0 when the job does not fit.
+  double score() const;
+};
+
+/// Picks which server a job runs on, given one probe per eligible server.
+class ServerSelection {
+ public:
+  virtual ~ServerSelection() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Index into `probes` of the winner, or nullopt when no probe fits.
+  /// `probes` is ordered by ascending server index; implementations must
+  /// be deterministic and break ties toward the lowest server index.
+  virtual std::optional<std::size_t> select(
+      const std::vector<ServerProbe>& probes) const = 0;
+
+  /// False when the winner never depends on probes past the first fitting
+  /// one (first-fit): the dispatcher then probes servers sequentially and
+  /// stops at the first fit instead of running every server's matcher.
+  virtual bool needs_all_probes() const { return true; }
+};
+
+/// Factory by name: "first-fit" (lowest server index that fits),
+/// "least-loaded" (spread: highest free fraction), "pack" (consolidate:
+/// lowest free fraction), "best-score" (highest MAPA score), and the
+/// "best-score-pack" / "best-score-spread" variants that break score ties
+/// toward the most- / least-loaded server. Throws std::invalid_argument
+/// for unknown names.
+std::unique_ptr<ServerSelection> make_selection(const std::string& name);
+
+/// All selection-policy names, in the factory's order.
+const std::vector<std::string>& selection_names();
+
+}  // namespace mapa::cluster

@@ -30,17 +30,20 @@ std::optional<Allocation> Mapa::allocate(const graph::Graph& pattern,
 
   auto result = policy_->allocate(hardware_, busy_, request);
   if (!result) return std::nullopt;
+  return commit(std::move(*result));
+}
 
+Allocation Mapa::commit(policy::AllocationResult result) {
   // Commit: mark the accelerators busy (§3.6 — remove vertices and their
   // incident edges from the available graph).
-  for (const graph::VertexId v : result->match.mapping) {
-    if (busy_[v]) {
-      throw std::logic_error("Mapa::allocate: policy returned a busy vertex");
+  for (const graph::VertexId v : result.match.mapping) {
+    if (v >= busy_.size() || busy_[v]) {
+      throw std::logic_error("Mapa::commit: placement maps a busy vertex");
     }
   }
-  for (const graph::VertexId v : result->match.mapping) busy_[v] = true;
+  for (const graph::VertexId v : result.match.mapping) busy_[v] = true;
 
-  Allocation allocation(next_id_++, std::move(*result));
+  Allocation allocation(next_id_++, std::move(result));
   live_.emplace_back(allocation.id(), allocation.gpus());
   return allocation;
 }

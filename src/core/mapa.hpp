@@ -71,6 +71,14 @@ class Mapa {
   std::optional<Allocation> allocate(const graph::Graph& pattern,
                                      bool bandwidth_sensitive);
 
+  /// Adopt an externally computed placement — e.g. a fleet dispatcher that
+  /// probed this machine's policy directly and now commits the winning
+  /// probe without re-running the search. Marks the mapped accelerators
+  /// busy and returns the allocation ticket, exactly as if allocate() had
+  /// produced `result`. Throws std::logic_error when any mapped vertex is
+  /// already busy (the probe is stale).
+  Allocation commit(policy::AllocationResult result);
+
   /// Return an allocation's accelerators to the free pool (§3.6
   /// deallocation). Throws std::invalid_argument for unknown or
   /// already-released allocation ids.

@@ -1,10 +1,45 @@
 #include "workload/generator.hpp"
 
+#include <cmath>
 #include <stdexcept>
 
 #include "util/rng.hpp"
 
 namespace mapa::workload {
+
+namespace {
+
+/// Resolve a workload-name list into profile pointers (empty = all nine).
+std::vector<const WorkloadProfile*> resolve_mix(
+    const std::vector<std::string>& names) {
+  std::vector<const WorkloadProfile*> mix;
+  if (names.empty()) {
+    for (const WorkloadProfile& w : all_workloads()) mix.push_back(&w);
+  } else {
+    for (const std::string& name : names) {
+      mix.push_back(&workload_by_name(name));
+    }
+  }
+  return mix;
+}
+
+Job draw_job(util::Rng& rng, const std::vector<const WorkloadProfile*>& mix,
+             int id, std::size_t min_gpus, std::size_t max_gpus) {
+  const WorkloadProfile* profile = mix[static_cast<std::size_t>(
+      rng.uniform_int(0, static_cast<std::int64_t>(mix.size()) - 1))];
+  Job job;
+  job.id = id;
+  job.workload = profile->name;
+  job.num_gpus = static_cast<std::size_t>(
+      rng.uniform_int(static_cast<std::int64_t>(min_gpus),
+                      static_cast<std::int64_t>(max_gpus)));
+  job.pattern = job.num_gpus <= 1 ? graph::PatternKind::kSingle
+                                  : profile->pattern;
+  job.bandwidth_sensitive = profile->bandwidth_sensitive;
+  return job;
+}
+
+}  // namespace
 
 std::vector<Job> generate_jobs(const GeneratorConfig& config) {
   if (config.num_jobs == 0) {
@@ -14,36 +49,62 @@ std::vector<Job> generate_jobs(const GeneratorConfig& config) {
     throw std::invalid_argument("generate_jobs: bad GPU range");
   }
 
-  std::vector<const WorkloadProfile*> mix;
-  if (config.workload_names.empty()) {
-    for (const WorkloadProfile& w : all_workloads()) mix.push_back(&w);
-  } else {
-    for (const std::string& name : config.workload_names) {
-      mix.push_back(&workload_by_name(name));
+  const auto mix = resolve_mix(config.workload_names);
+  util::Rng rng(config.seed);
+  std::vector<Job> jobs;
+  jobs.reserve(config.num_jobs);
+  double arrival = 0.0;
+  for (std::size_t i = 0; i < config.num_jobs; ++i) {
+    Job job = draw_job(rng, mix, static_cast<int>(i) + 1, config.min_gpus,
+                       config.max_gpus);
+    if (config.mean_interarrival_s > 0.0) {
+      // Exponential inter-arrival (Poisson process).
+      arrival += -config.mean_interarrival_s * std::log(1.0 - rng.uniform());
+      job.arrival_time_s = arrival;
     }
+    jobs.push_back(std::move(job));
   }
+  return jobs;
+}
+
+std::vector<Job> generate_fleet_trace(const FleetTraceConfig& config) {
+  if (config.num_jobs == 0) {
+    throw std::invalid_argument("generate_fleet_trace: zero jobs requested");
+  }
+  if (config.min_gpus == 0 || config.min_gpus > config.max_gpus) {
+    throw std::invalid_argument("generate_fleet_trace: bad GPU range");
+  }
+  if (!(config.arrival_rate_per_s > 0.0)) {
+    throw std::invalid_argument(
+        "generate_fleet_trace: arrival rate must be > 0");
+  }
+  if (!(config.duration_alpha > 0.0)) {
+    throw std::invalid_argument(
+        "generate_fleet_trace: duration alpha must be > 0");
+  }
+  if (!(config.duration_tail_cap >= 1.0)) {
+    throw std::invalid_argument(
+        "generate_fleet_trace: duration tail cap must be >= 1");
+  }
+
+  const auto mix = resolve_mix(config.workload_names);
+  const double mean_gap_s = 1.0 / config.arrival_rate_per_s;
+  // Bounded Pareto inverse CDF on [1, cap]: most draws land near 1, the
+  // tail decays as x^-alpha until the cap.
+  const double cap_term =
+      1.0 - std::pow(config.duration_tail_cap, -config.duration_alpha);
 
   util::Rng rng(config.seed);
   std::vector<Job> jobs;
   jobs.reserve(config.num_jobs);
   double arrival = 0.0;
   for (std::size_t i = 0; i < config.num_jobs; ++i) {
-    const WorkloadProfile* profile = mix[static_cast<std::size_t>(
-        rng.uniform_int(0, static_cast<std::int64_t>(mix.size()) - 1))];
-    Job job;
-    job.id = static_cast<int>(i) + 1;
-    job.workload = profile->name;
-    job.num_gpus = static_cast<std::size_t>(
-        rng.uniform_int(static_cast<std::int64_t>(config.min_gpus),
-                        static_cast<std::int64_t>(config.max_gpus)));
-    job.pattern = job.num_gpus <= 1 ? graph::PatternKind::kSingle
-                                    : profile->pattern;
-    job.bandwidth_sensitive = profile->bandwidth_sensitive;
-    if (config.mean_interarrival_s > 0.0) {
-      // Exponential inter-arrival (Poisson process).
-      arrival += -config.mean_interarrival_s * std::log(1.0 - rng.uniform());
-      job.arrival_time_s = arrival;
-    }
+    Job job = draw_job(rng, mix, static_cast<int>(i) + 1, config.min_gpus,
+                       config.max_gpus);
+    arrival += -mean_gap_s * std::log(1.0 - rng.uniform());
+    job.arrival_time_s = arrival;
+    job.iter_scale =
+        std::pow(1.0 - rng.uniform() * cap_term, -1.0 / config.duration_alpha);
     jobs.push_back(std::move(job));
   }
   return jobs;

@@ -27,4 +27,31 @@ struct GeneratorConfig {
 /// Deterministic (seeded) job list per the configuration.
 std::vector<Job> generate_jobs(const GeneratorConfig& config);
 
+/// Fleet-scale trace preset for the cluster/ benches and examples: a
+/// Poisson arrival process at `arrival_rate_per_s` plus a heavy-tailed
+/// duration mix — each job's `iter_scale` is drawn from a bounded
+/// Pareto(`duration_alpha`) on [1, `duration_tail_cap`], so most jobs are
+/// short while a fat tail of stragglers keeps servers occupied across
+/// many arrivals (the imbalance fleet schedulers exist to absorb).
+struct FleetTraceConfig {
+  std::size_t num_jobs = 1000;
+  /// Poisson arrival rate (jobs per second of simulated time); the mean
+  /// inter-arrival gap is 1 / rate. Must be > 0.
+  double arrival_rate_per_s = 0.05;
+  std::size_t min_gpus = 1;
+  std::size_t max_gpus = 8;
+  /// Pareto shape for the iter_scale duration mix; smaller = heavier tail.
+  double duration_alpha = 1.5;
+  /// Upper bound on iter_scale (truncates the Pareto tail). Must be >= 1.
+  double duration_tail_cap = 50.0;
+  /// Restrict the mix; empty = all nine paper workloads.
+  std::vector<std::string> workload_names;
+  /// Single seed for the whole trace; pair it with ClusterConfig::seed for
+  /// a fully reproducible fleet experiment.
+  std::uint64_t seed = 42;
+};
+
+/// Deterministic (seeded) fleet-scale job list per the configuration.
+std::vector<Job> generate_fleet_trace(const FleetTraceConfig& config);
+
 }  // namespace mapa::workload

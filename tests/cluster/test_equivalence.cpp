@@ -1,0 +1,140 @@
+// Cluster/engine equivalence: a 1-server fleet under first-fit selection
+// must reproduce sim::Simulator's job records exactly — same placements, same
+// simulated times, same scores, same cache behavior — on the same trace.
+// This pins the fleet dispatcher's serve loop (including backfill and the
+// unplaceable-job throw) to the single-server engine's semantics.
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "sim/engine.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+/// Field-by-field record equality, excluding only the wall-clock
+/// scheduling_overhead_ms (real elapsed time, outside the determinism
+/// contract).
+void expect_equivalent(const sim::SimResult& engine,
+                       const FleetResult& fleet) {
+  ASSERT_EQ(engine.records.size(), fleet.records.size());
+  for (std::size_t i = 0; i < engine.records.size(); ++i) {
+    const sim::JobRecord& e = engine.records[i];
+    const sim::JobRecord& f = fleet.records[i].record;
+    EXPECT_EQ(fleet.records[i].server, 0u);
+    EXPECT_EQ(e.job, f.job);
+    EXPECT_EQ(e.gpus, f.gpus);
+    EXPECT_DOUBLE_EQ(e.queued_s, f.queued_s);
+    EXPECT_DOUBLE_EQ(e.start_s, f.start_s);
+    EXPECT_DOUBLE_EQ(e.finish_s, f.finish_s);
+    EXPECT_DOUBLE_EQ(e.exec_s, f.exec_s);
+    EXPECT_DOUBLE_EQ(e.aggregated_bw, f.aggregated_bw);
+    EXPECT_DOUBLE_EQ(e.predicted_effbw, f.predicted_effbw);
+    EXPECT_DOUBLE_EQ(e.measured_effbw, f.measured_effbw);
+    EXPECT_DOUBLE_EQ(e.preserved_bw, f.preserved_bw);
+  }
+  EXPECT_DOUBLE_EQ(engine.makespan_s, fleet.makespan_s);
+  ASSERT_EQ(fleet.servers.size(), 1u);
+  EXPECT_EQ(engine.match_cache_hits, fleet.servers[0].match_cache_hits);
+  EXPECT_EQ(engine.match_cache_misses, fleet.servers[0].match_cache_misses);
+}
+
+FleetResult run_one_server_fleet(const std::string& policy,
+                                 const std::vector<workload::Job>& jobs,
+                                 const sim::SimConfig& sim_config = {}) {
+  ClusterConfig config;
+  config.sim = sim_config;
+  config.selection = "first-fit";
+  return run_fleet({graph::dgx1_v100()}, policy, jobs, config);
+}
+
+TEST(Equivalence, PreserveOnThePaperMix) {
+  workload::GeneratorConfig generator;
+  generator.num_jobs = 80;
+  generator.seed = 5;
+  const auto jobs = workload::generate_jobs(generator);
+
+  const auto engine =
+      sim::run_simulation(graph::dgx1_v100(), "preserve", jobs);
+  const auto fleet = run_one_server_fleet("preserve", jobs);
+  expect_equivalent(engine, fleet);
+}
+
+TEST(Equivalence, GreedyOnThePaperMix) {
+  workload::GeneratorConfig generator;
+  generator.num_jobs = 60;
+  generator.seed = 9;
+  const auto jobs = workload::generate_jobs(generator);
+
+  const auto engine = sim::run_simulation(graph::dgx1_v100(), "greedy", jobs);
+  const auto fleet = run_one_server_fleet("greedy", jobs);
+  expect_equivalent(engine, fleet);
+}
+
+TEST(Equivalence, PoissonArrivalsWithBackfill) {
+  workload::FleetTraceConfig generator;
+  generator.num_jobs = 80;
+  generator.seed = 21;
+  generator.max_gpus = 5;
+  generator.arrival_rate_per_s = 0.02;
+  const auto jobs = workload::generate_fleet_trace(generator);
+
+  sim::SimConfig sim_config;
+  sim_config.backfill = true;
+  sim_config.backfill_window = 4;
+  const auto engine = sim::run_simulation(graph::dgx1_v100(), "preserve",
+                                          jobs, {}, sim_config);
+  const auto fleet = run_one_server_fleet("preserve", jobs, sim_config);
+  expect_equivalent(engine, fleet);
+}
+
+TEST(Equivalence, MatchCacheOff) {
+  workload::GeneratorConfig generator;
+  generator.num_jobs = 50;
+  generator.seed = 3;
+  const auto jobs = workload::generate_jobs(generator);
+
+  sim::SimConfig sim_config;
+  sim_config.use_match_cache = false;
+  const auto engine = sim::run_simulation(graph::dgx1_v100(), "preserve",
+                                          jobs, {}, sim_config);
+  const auto fleet = run_one_server_fleet("preserve", jobs, sim_config);
+  expect_equivalent(engine, fleet);
+}
+
+TEST(Equivalence, MultiThreadedProbesChangeNothing) {
+  workload::GeneratorConfig generator;
+  generator.num_jobs = 60;
+  generator.seed = 29;
+  const auto jobs = workload::generate_jobs(generator);
+
+  const auto engine =
+      sim::run_simulation(graph::dgx1_v100(), "preserve", jobs);
+  ClusterConfig config;
+  config.selection = "first-fit";
+  config.threads = 8;
+  const auto fleet = run_fleet({graph::dgx1_v100()}, "preserve", jobs, config);
+  expect_equivalent(engine, fleet);
+}
+
+TEST(Equivalence, BothRejectTheStructurallyUnplaceable) {
+  // A job bigger than the machine: the engine and the fleet throw the same
+  // way (invalid_argument up front).
+  workload::Job big;
+  big.id = 1;
+  big.workload = "vgg-16";
+  big.num_gpus = 9;
+  big.pattern = graph::PatternKind::kRing;
+
+  sim::Simulator engine(graph::dgx1_v100(), policy::make_policy("preserve"));
+  EXPECT_THROW(engine.run({big}), std::invalid_argument);
+  FleetSimulator fleet({ServerSpec{"", graph::dgx1_v100(), "preserve"}});
+  EXPECT_THROW(fleet.run({big}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapa::cluster

@@ -1,0 +1,336 @@
+// Fleet-scheduler integration tests: completion accounting, the
+// thread-count determinism contract, selection-policy placement behavior,
+// drain/restore events, heterogeneous fleets, and the fleet metrics
+// helpers.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "cluster/metrics.hpp"
+#include "graph/topology.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+workload::Job job_of(int id, const std::string& workload, std::size_t gpus,
+                     double arrival_s = 0.0) {
+  workload::Job j;
+  j.id = id;
+  j.workload = workload;
+  j.num_gpus = gpus;
+  j.pattern = gpus <= 1 ? graph::PatternKind::kSingle
+                        : graph::PatternKind::kRing;
+  j.bandwidth_sensitive =
+      workload::workload_by_name(workload).bandwidth_sensitive;
+  j.arrival_time_s = arrival_s;
+  return j;
+}
+
+std::vector<graph::Graph> dgx_fleet(std::size_t n) {
+  std::vector<graph::Graph> fleet;
+  for (std::size_t i = 0; i < n; ++i) fleet.push_back(graph::dgx1_v100());
+  return fleet;
+}
+
+std::vector<workload::Job> trace(std::size_t num_jobs, std::uint64_t seed,
+                                 std::size_t max_gpus = 5) {
+  workload::FleetTraceConfig config;
+  config.num_jobs = num_jobs;
+  config.seed = seed;
+  config.max_gpus = max_gpus;
+  config.arrival_rate_per_s = 0.1;
+  return workload::generate_fleet_trace(config);
+}
+
+TEST(Fleet, CompletesEveryJobExactlyOnce) {
+  const auto jobs = trace(120, 7);
+  const auto result = run_fleet(dgx_fleet(4), "preserve", jobs);
+  EXPECT_EQ(result.records.size(), jobs.size());
+  std::set<int> ids;
+  for (const auto& r : result.records) {
+    EXPECT_TRUE(ids.insert(r.record.job.id).second);
+    EXPECT_LT(r.server, result.servers.size());
+  }
+  std::size_t placed = 0;
+  for (const auto& s : result.servers) placed += s.jobs_placed;
+  EXPECT_EQ(placed, jobs.size());
+}
+
+TEST(Fleet, DeterministicAcrossThreadCounts) {
+  const auto jobs = trace(100, 11);
+  ClusterConfig config;
+  config.selection = "best-score";
+
+  config.threads = 1;
+  FleetSimulator single(
+      {ServerSpec{"", graph::dgx1_v100(), "preserve"},
+       ServerSpec{"", graph::nvswitch_16(), "preserve"},
+       ServerSpec{"", graph::torus2d_16(), "preserve"},
+       ServerSpec{"", graph::summit_node(), "preserve"}},
+      config);
+  const auto a = single.run(jobs);
+
+  config.threads = 8;
+  FleetSimulator threaded(
+      {ServerSpec{"", graph::dgx1_v100(), "preserve"},
+       ServerSpec{"", graph::nvswitch_16(), "preserve"},
+       ServerSpec{"", graph::torus2d_16(), "preserve"},
+       ServerSpec{"", graph::summit_node(), "preserve"}},
+      config);
+  const auto b = threaded.run(jobs);
+
+  // Everything but the wall-clock fields must be byte-identical (the
+  // cluster/fleet.hpp determinism contract).
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].server, b.records[i].server);
+    EXPECT_EQ(a.records[i].record.job, b.records[i].record.job);
+    EXPECT_EQ(a.records[i].record.gpus, b.records[i].record.gpus);
+    EXPECT_DOUBLE_EQ(a.records[i].record.start_s, b.records[i].record.start_s);
+    EXPECT_DOUBLE_EQ(a.records[i].record.finish_s,
+                     b.records[i].record.finish_s);
+    EXPECT_DOUBLE_EQ(a.records[i].record.predicted_effbw,
+                     b.records[i].record.predicted_effbw);
+  }
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t s = 0; s < a.servers.size(); ++s) {
+    EXPECT_EQ(a.servers[s].jobs_placed, b.servers[s].jobs_placed);
+    EXPECT_DOUBLE_EQ(a.servers[s].utilization, b.servers[s].utilization);
+    EXPECT_EQ(a.servers[s].match_cache_hits, b.servers[s].match_cache_hits);
+    EXPECT_EQ(a.servers[s].match_cache_misses,
+              b.servers[s].match_cache_misses);
+  }
+}
+
+TEST(Fleet, FirstFitKeepsFillingTheLowestServer) {
+  ClusterConfig config;
+  config.selection = "first-fit";
+  const auto result = run_fleet(
+      dgx_fleet(2), "preserve",
+      {job_of(1, "vgg-16", 1), job_of(2, "vgg-16", 1)}, config);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].server, 0u);
+  EXPECT_EQ(result.records[1].server, 0u);
+}
+
+TEST(Fleet, LeastLoadedSpreadsAcrossServers) {
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  const auto result = run_fleet(
+      dgx_fleet(2), "preserve",
+      {job_of(1, "vgg-16", 1), job_of(2, "vgg-16", 1)}, config);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].server, 0u);  // tie on empty fleet -> lowest
+  EXPECT_EQ(result.records[1].server, 1u);  // server 0 now has less free
+}
+
+TEST(Fleet, PackConsolidatesOnOneServer) {
+  ClusterConfig config;
+  config.selection = "pack";
+  const auto result = run_fleet(
+      dgx_fleet(2), "preserve",
+      {job_of(1, "vgg-16", 1), job_of(2, "vgg-16", 1)}, config);
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.records[0].server, 0u);
+  EXPECT_EQ(result.records[1].server, 0u);
+}
+
+TEST(Fleet, BestScorePrefersTheBetterTopology) {
+  // A bandwidth-sensitive ring scores a far higher predicted EffBW on the
+  // NVLink cube-mesh than on a PCIe-only box; first-fit would settle for
+  // server 0, best-score must not.
+  ClusterConfig config;
+  config.selection = "best-score";
+  const auto result =
+      run_fleet({graph::pcie_only(8), graph::dgx1_v100()}, "preserve",
+                {job_of(1, "vgg-16", 3)}, config);
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].server, 1u);
+}
+
+TEST(Fleet, DrainedServerAcceptsNothing) {
+  ClusterConfig config;
+  config.selection = "least-loaded";  // would otherwise use both servers
+  config.events = {{0.0, 1, ServerEvent::Kind::kDrain}};
+  const auto result =
+      run_fleet(dgx_fleet(2), "preserve", trace(40, 13), config);
+  EXPECT_EQ(result.records.size(), 40u);
+  for (const auto& r : result.records) EXPECT_EQ(r.server, 0u);
+  EXPECT_EQ(result.servers[1].jobs_placed, 0u);
+  EXPECT_DOUBLE_EQ(result.servers[1].utilization, 0.0);
+}
+
+TEST(Fleet, RestoreBringsAServerBack) {
+  // The only server is drained until t=100: jobs queued at t=0 must wait
+  // for the restore event even though the machine is idle.
+  ClusterConfig config;
+  config.events = {{0.0, 0, ServerEvent::Kind::kDrain},
+                   {100.0, 0, ServerEvent::Kind::kRestore}};
+  const auto result = run_fleet(
+      dgx_fleet(1), "preserve",
+      {job_of(1, "vgg-16", 2), job_of(2, "gmm", 2)}, config);
+  ASSERT_EQ(result.records.size(), 2u);
+  for (const auto& r : result.records) EXPECT_GE(r.record.start_s, 100.0);
+}
+
+TEST(Fleet, BigJobsLandOnBigServers) {
+  // Baseline policy: enumerating a 12-vertex ring on the K16 NVSwitch is
+  // combinatorially infeasible, and placement-not-quality is the point.
+  const auto result =
+      run_fleet({graph::dgx1_v100(), graph::nvswitch_16()}, "baseline",
+                {job_of(1, "vgg-16", 12), job_of(2, "vgg-16", 10)});
+  ASSERT_EQ(result.records.size(), 2u);
+  for (const auto& r : result.records) EXPECT_EQ(r.server, 1u);
+}
+
+TEST(Fleet, JobBiggerThanEveryServerThrows) {
+  FleetSimulator fleet({ServerSpec{"", graph::dgx1_v100(), "preserve"}});
+  EXPECT_THROW(fleet.run({job_of(1, "vgg-16", 9)}), std::invalid_argument);
+}
+
+TEST(Fleet, FullyDrainedFleetThrowsForUnplaceableJob) {
+  ClusterConfig config;
+  config.events = {{0.0, 0, ServerEvent::Kind::kDrain}};
+  FleetSimulator fleet({ServerSpec{"", graph::dgx1_v100(), "preserve"}},
+                       config);
+  EXPECT_THROW(fleet.run({job_of(1, "vgg-16", 2)}), std::runtime_error);
+}
+
+TEST(Fleet, ConstructorValidatesConfig) {
+  EXPECT_THROW(FleetSimulator({}), std::invalid_argument);
+
+  ClusterConfig bad_selection;
+  bad_selection.selection = "no-such-selection";
+  EXPECT_THROW(FleetSimulator({ServerSpec{"", graph::dgx1_v100()}},
+                              bad_selection),
+               std::invalid_argument);
+
+  ClusterConfig bad_event;
+  bad_event.events = {{0.0, 5, ServerEvent::Kind::kDrain}};
+  EXPECT_THROW(FleetSimulator({ServerSpec{"", graph::dgx1_v100()}},
+                              bad_event),
+               std::invalid_argument);
+
+  EXPECT_THROW(FleetSimulator({ServerSpec{"", graph::dgx1_v100(),
+                                          "no-such-policy"}}),
+               std::invalid_argument);
+}
+
+TEST(Fleet, TrailingEventsDoNotInflateTheMakespan) {
+  // A maintenance window scheduled long after the last job completes is a
+  // pure no-op: it must not drag makespan (and thus throughput and
+  // utilization) out to the event time.
+  const auto jobs = std::vector<workload::Job>{job_of(1, "vgg-16", 2)};
+  const auto plain = run_fleet(dgx_fleet(1), "preserve", jobs);
+
+  ClusterConfig config;
+  config.events = {{1.0e6, 0, ServerEvent::Kind::kDrain},
+                   {2.0e6, 0, ServerEvent::Kind::kRestore}};
+  const auto with_trailing = run_fleet(dgx_fleet(1), "preserve", jobs, config);
+  EXPECT_DOUBLE_EQ(with_trailing.makespan_s, plain.makespan_s);
+  EXPECT_DOUBLE_EQ(with_trailing.servers[0].utilization,
+                   plain.servers[0].utilization);
+}
+
+TEST(Fleet, DuplicateServerNamesAreRejected) {
+  EXPECT_THROW(
+      FleetSimulator({ServerSpec{"rack-a", graph::dgx1_v100(), "preserve"},
+                      ServerSpec{"rack-a", graph::nvswitch_16(), "preserve"}}),
+      std::invalid_argument);
+}
+
+TEST(Fleet, FirstFitProbesStopAtTheFirstFit) {
+  // Every job fits server 0, so the lazy first-fit probe path must never
+  // touch server 1's matcher (its cache sees zero lookups).
+  ClusterConfig config;
+  config.selection = "first-fit";
+  const auto result = run_fleet(
+      dgx_fleet(2), "preserve",
+      {job_of(1, "vgg-16", 2), job_of(2, "gmm", 2), job_of(3, "jacobi", 2)},
+      config);
+  EXPECT_EQ(result.servers[0].jobs_placed, 3u);
+  EXPECT_EQ(result.servers[1].match_cache_hits, 0u);
+  EXPECT_EQ(result.servers[1].match_cache_misses, 0u);
+}
+
+TEST(Fleet, ReusedSimulatorReportsPerRunCacheStats) {
+  FleetSimulator fleet({ServerSpec{"", graph::dgx1_v100(), "preserve"}});
+  const auto jobs =
+      std::vector<workload::Job>{job_of(1, "vgg-16", 2), job_of(2, "gmm", 2)};
+  const auto first = fleet.run(jobs);
+  const auto second = fleet.run(jobs);
+  // The replay hits the warmed cache, but counters must be per-run deltas,
+  // not cumulative: total lookups stay equal across the two runs.
+  EXPECT_EQ(first.servers[0].match_cache_hits +
+                first.servers[0].match_cache_misses,
+            second.servers[0].match_cache_hits +
+                second.servers[0].match_cache_misses);
+  EXPECT_GT(second.servers[0].match_cache_hits,
+            first.servers[0].match_cache_hits);
+}
+
+TEST(Fleet, ServerNamesDefaultToTopologyAndIndex) {
+  FleetSimulator fleet({ServerSpec{"", graph::dgx1_v100(), "preserve"},
+                        ServerSpec{"rack-b", graph::dgx1_v100(), "preserve"}});
+  const auto result = fleet.run({job_of(1, "vgg-16", 1)});
+  EXPECT_EQ(result.servers[0].name,
+            graph::dgx1_v100().name() + "-0");
+  EXPECT_EQ(result.servers[1].name, "rack-b");
+}
+
+TEST(FleetMetrics, UtilizationAndWaitsAreSane) {
+  const auto jobs = trace(80, 17);
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  const auto result = run_fleet(dgx_fleet(3), "preserve", jobs, config);
+
+  for (const auto& s : result.servers) {
+    EXPECT_GE(s.utilization, 0.0);
+    EXPECT_LE(s.utilization, 1.0 + 1e-9);
+  }
+  const auto waits = queue_wait_box_plot(result);
+  EXPECT_EQ(waits.count, jobs.size());
+  EXPECT_GE(waits.min, 0.0);
+  EXPECT_GT(result.throughput_jobs_per_hour(), 0.0);
+  EXPECT_GT(result.makespan_s, 0.0);
+
+  const double hit_rate = fleet_cache_hit_rate(result);
+  EXPECT_GE(hit_rate, 0.0);
+  EXPECT_LE(hit_rate, 1.0);
+  EXPECT_GE(allocation_quality_spread(result), 0.0);
+
+  const auto utilization = per_server_utilization(result);
+  ASSERT_EQ(utilization.size(), result.servers.size());
+  for (std::size_t s = 0; s < utilization.size(); ++s) {
+    EXPECT_DOUBLE_EQ(utilization[s], result.servers[s].utilization);
+  }
+
+  const auto plots =
+      per_server_box_plots(result, sim::RecordField::kPredictedEffBw);
+  std::size_t plotted = 0;
+  for (const auto& [name, plot] : plots) {
+    bool known = false;
+    for (const auto& s : result.servers) known |= (s.name == name);
+    EXPECT_TRUE(known) << name;
+    plotted += plot.count;
+  }
+  std::size_t multi_gpu = 0;
+  for (const auto& r : result.records) multi_gpu += r.record.job.num_gpus >= 2;
+  EXPECT_EQ(plotted, multi_gpu);
+}
+
+TEST(FleetMetrics, FindLocatesJobs) {
+  const auto result = run_fleet(dgx_fleet(2), "preserve",
+                                {job_of(1, "vgg-16", 2), job_of(7, "gmm", 3)});
+  ASSERT_NE(result.find(7), nullptr);
+  EXPECT_EQ(result.find(7)->record.job.id, 7);
+  EXPECT_EQ(result.find(99), nullptr);
+}
+
+}  // namespace
+}  // namespace mapa::cluster

@@ -1,0 +1,171 @@
+// Unit tests for the fleet server-selection policies (cluster/selection.hpp)
+// over hand-built probe sets: winner choice, tie-breaking toward the lowest
+// server index, and the probe score's Algorithm-1 objective switch.
+
+#include <gtest/gtest.h>
+
+#include <optional>
+
+#include "cluster/selection.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+ServerProbe make_probe(std::size_t server, std::size_t free_gpus,
+                       std::size_t total_gpus,
+                       std::optional<double> score = std::nullopt,
+                       bool sensitive = true) {
+  ServerProbe p;
+  p.server = server;
+  p.free_gpus = free_gpus;
+  p.total_gpus = total_gpus;
+  p.bandwidth_sensitive = sensitive;
+  if (score) {
+    policy::AllocationResult result;
+    if (sensitive) {
+      result.predicted_effbw = *score;
+    } else {
+      result.preserved_bw = *score;
+    }
+    p.placement = std::move(result);
+  }
+  return p;
+}
+
+TEST(Selection, ProbeScoreFollowsSensitivity) {
+  policy::AllocationResult result;
+  result.predicted_effbw = 80.0;
+  result.preserved_bw = 120.0;
+
+  ServerProbe sensitive;
+  sensitive.bandwidth_sensitive = true;
+  sensitive.placement = result;
+  EXPECT_DOUBLE_EQ(sensitive.score(), 80.0);
+
+  ServerProbe insensitive;
+  insensitive.bandwidth_sensitive = false;
+  insensitive.placement = result;
+  EXPECT_DOUBLE_EQ(insensitive.score(), 120.0);
+
+  ServerProbe no_fit;
+  EXPECT_DOUBLE_EQ(no_fit.score(), 0.0);
+}
+
+TEST(Selection, FirstFitPicksFirstFittingProbe) {
+  const auto selection = make_selection("first-fit");
+  const std::vector<ServerProbe> probes = {
+      make_probe(0, 2, 8),             // no placement: does not fit
+      make_probe(1, 3, 8, 10.0),
+      make_probe(2, 8, 8, 99.0),
+  };
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 1u);
+}
+
+TEST(Selection, NoFittingProbeReturnsNullopt) {
+  for (const std::string& name : selection_names()) {
+    const auto selection = make_selection(name);
+    EXPECT_FALSE(selection->select({}).has_value()) << name;
+    const std::vector<ServerProbe> blocked = {make_probe(0, 0, 8),
+                                              make_probe(1, 1, 8)};
+    EXPECT_FALSE(selection->select(blocked).has_value()) << name;
+  }
+}
+
+TEST(Selection, LeastLoadedPicksHighestFreeFraction) {
+  const auto selection = make_selection("least-loaded");
+  // 4/8 = 0.5 beats 6/16 = 0.375 even though 6 > 4 absolute.
+  const std::vector<ServerProbe> probes = {make_probe(0, 4, 8, 1.0),
+                                           make_probe(1, 6, 16, 1.0)};
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 0u);
+}
+
+TEST(Selection, LeastLoadedTieBreaksLowestServerIndex) {
+  const auto selection = make_selection("least-loaded");
+  const std::vector<ServerProbe> probes = {make_probe(2, 4, 8, 1.0),
+                                           make_probe(5, 8, 16, 9.0)};
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 2u);
+}
+
+TEST(Selection, PackPicksLowestFreeFraction) {
+  const auto selection = make_selection("pack");
+  const std::vector<ServerProbe> probes = {make_probe(0, 8, 8, 1.0),
+                                           make_probe(1, 3, 8, 1.0),
+                                           make_probe(2, 5, 8, 1.0)};
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 1u);
+}
+
+TEST(Selection, BestScorePicksHighestScore) {
+  const auto selection = make_selection("best-score");
+  const std::vector<ServerProbe> probes = {make_probe(0, 8, 8, 50.0),
+                                           make_probe(1, 8, 8, 125.0),
+                                           make_probe(2, 8, 8, 87.0)};
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 1u);
+}
+
+TEST(Selection, BestScoreTieBreaksLowestServerIndex) {
+  const auto selection = make_selection("best-score");
+  const std::vector<ServerProbe> probes = {make_probe(3, 2, 8, 50.0),
+                                           make_probe(4, 8, 8, 50.0)};
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 3u);
+}
+
+TEST(Selection, BestScorePackTieBreaksTowardMostLoaded) {
+  const auto selection = make_selection("best-score-pack");
+  const std::vector<ServerProbe> probes = {make_probe(0, 8, 8, 50.0),
+                                           make_probe(1, 2, 8, 50.0),
+                                           make_probe(2, 5, 8, 50.0)};
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 1u);
+}
+
+TEST(Selection, BestScoreSpreadTieBreaksTowardLeastLoaded) {
+  const auto selection = make_selection("best-score-spread");
+  const std::vector<ServerProbe> probes = {make_probe(0, 2, 8, 50.0),
+                                           make_probe(1, 8, 8, 50.0),
+                                           make_probe(2, 5, 8, 50.0)};
+  const auto pick = selection->select(probes);
+  ASSERT_TRUE(pick.has_value());
+  EXPECT_EQ(probes[*pick].server, 1u);
+}
+
+TEST(Selection, BestScoreVariantsStillPreferHigherScore) {
+  for (const std::string& name :
+       {std::string("best-score-pack"), std::string("best-score-spread")}) {
+    const auto selection = make_selection(name);
+    const std::vector<ServerProbe> probes = {make_probe(0, 1, 8, 10.0),
+                                             make_probe(1, 8, 8, 90.0)};
+    const auto pick = selection->select(probes);
+    ASSERT_TRUE(pick.has_value()) << name;
+    EXPECT_EQ(probes[*pick].server, 1u) << name;
+  }
+}
+
+TEST(Selection, FactoryRoundTripsEveryName) {
+  ASSERT_EQ(selection_names().size(), 6u);
+  for (const std::string& name : selection_names()) {
+    const auto selection = make_selection(name);
+    ASSERT_NE(selection, nullptr);
+    EXPECT_EQ(selection->name(), name);
+  }
+}
+
+TEST(Selection, FactoryRejectsUnknownName) {
+  EXPECT_THROW(make_selection("round-robin"), std::invalid_argument);
+  EXPECT_THROW(make_selection(""), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapa::cluster

@@ -88,6 +88,66 @@ TEST(Backfill, MakespanStaysInFifoBallparkOnPaperMix) {
   EXPECT_GE(backfill.makespan_s, fifo.makespan_s * 0.90);
 }
 
+// Window-exhaustion scenario: after the 5-GPU job occupies the machine,
+// the 8-GPU head blocks, two 4-GPU jobs behind it also don't fit in the 3
+// free GPUs, and the first job that *would* fit (2 GPUs) sits at queue
+// position 3 behind the head — reachable only when backfill_window >= 3.
+std::vector<workload::Job> window_scenario() {
+  return {job_of(1, "vgg-16", 5), job_of(2, "alexnet", 8),
+          job_of(3, "resnet-50", 4), job_of(4, "gmm", 4),
+          job_of(5, "jacobi", 2)};
+}
+
+SimResult run_windowed(std::size_t window,
+                       const std::vector<workload::Job>& jobs) {
+  SimConfig config;
+  config.backfill = true;
+  config.backfill_window = window;
+  Simulator simulator(graph::dgx1_v100(),
+                      policy::make_policy("preserve"), config);
+  return simulator.run(jobs);
+}
+
+TEST(Backfill, WindowExhaustedLeavesLaterFitBlocked) {
+  // Window 2 scans only the head plus jobs 3 and 4; the fitting job 5 is
+  // beyond the window, so head-of-line blocking persists exactly as FIFO.
+  const auto result = run_windowed(2, window_scenario());
+  const JobRecord* j5 = result.find(5);
+  ASSERT_NE(j5, nullptr);
+  EXPECT_GT(j5->start_s, 0.0);
+}
+
+TEST(Backfill, WindowJustLargeEnoughReachesTheFit) {
+  const auto result = run_windowed(3, window_scenario());
+  const JobRecord* j5 = result.find(5);
+  ASSERT_NE(j5, nullptr);
+  EXPECT_DOUBLE_EQ(j5->start_s, 0.0);  // ran alongside job 1
+}
+
+TEST(Backfill, ExhaustedWindowMatchesFifoSchedule) {
+  // When nothing inside the window fits, the backfilled schedule must be
+  // indistinguishable from plain FIFO — the scan may not reorder anything.
+  const auto windowed = run_windowed(2, window_scenario());
+  const auto fifo = run(false, window_scenario());
+  ASSERT_EQ(windowed.records.size(), fifo.records.size());
+  for (std::size_t i = 0; i < fifo.records.size(); ++i) {
+    EXPECT_EQ(windowed.records[i].job.id, fifo.records[i].job.id);
+    EXPECT_DOUBLE_EQ(windowed.records[i].start_s, fifo.records[i].start_s);
+    EXPECT_DOUBLE_EQ(windowed.records[i].finish_s, fifo.records[i].finish_s);
+  }
+}
+
+TEST(Backfill, HeadOfLineRunsFirstWheneverItFits) {
+  // Backfill must never punish a head that fits: with the whole machine
+  // free the head starts immediately even when later jobs score better.
+  const auto result = run(true, {job_of(1, "alexnet", 8), job_of(2, "gmm", 2),
+                                 job_of(3, "jacobi", 2)});
+  const JobRecord* j1 = result.find(1);
+  ASSERT_NE(j1, nullptr);
+  EXPECT_DOUBLE_EQ(j1->start_s, 0.0);
+  EXPECT_EQ(result.records.front().job.id, 1);
+}
+
 TEST(Backfill, WindowZeroDegeneratesToFifo) {
   SimConfig config;
   config.backfill = true;

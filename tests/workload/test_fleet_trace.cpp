@@ -1,0 +1,140 @@
+// Fleet-scale trace preset tests (workload/generator.hpp): seeded
+// determinism, Poisson arrival statistics, the bounded-Pareto heavy-tailed
+// duration mix, and configuration validation.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "workload/generator.hpp"
+
+namespace mapa::workload {
+namespace {
+
+FleetTraceConfig base_config() {
+  FleetTraceConfig config;
+  config.num_jobs = 400;
+  config.arrival_rate_per_s = 0.1;
+  config.seed = 99;
+  return config;
+}
+
+TEST(FleetTrace, SameSeedSameTrace) {
+  const auto a = generate_fleet_trace(base_config());
+  const auto b = generate_fleet_trace(base_config());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(FleetTrace, DifferentSeedDifferentTrace) {
+  auto config = base_config();
+  const auto a = generate_fleet_trace(config);
+  config.seed = 100;
+  const auto b = generate_fleet_trace(config);
+  bool any_difference = false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    any_difference |= !(a[i] == b[i]);
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(FleetTrace, IdsAreSequentialFromOne) {
+  const auto jobs = generate_fleet_trace(base_config());
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(jobs[i].id, static_cast<int>(i) + 1);
+  }
+}
+
+TEST(FleetTrace, ArrivalsFormAPoissonProcess) {
+  const auto config = base_config();
+  const auto jobs = generate_fleet_trace(config);
+  double previous = 0.0;
+  double total_gap = 0.0;
+  for (const Job& job : jobs) {
+    EXPECT_GE(job.arrival_time_s, previous);
+    total_gap += job.arrival_time_s - previous;
+    previous = job.arrival_time_s;
+  }
+  // Mean inter-arrival gap must sit near 1/rate (within 15% at n=400).
+  const double mean_gap = total_gap / static_cast<double>(jobs.size());
+  const double expected = 1.0 / config.arrival_rate_per_s;
+  EXPECT_NEAR(mean_gap, expected, 0.15 * expected);
+}
+
+TEST(FleetTrace, DurationMixIsHeavyTailedWithinBounds) {
+  const auto config = base_config();
+  const auto jobs = generate_fleet_trace(config);
+  std::vector<double> scales;
+  for (const Job& job : jobs) {
+    EXPECT_GE(job.iter_scale, 1.0);
+    EXPECT_LE(job.iter_scale, config.duration_tail_cap);
+    scales.push_back(job.iter_scale);
+  }
+  std::sort(scales.begin(), scales.end());
+  // Pareto(1.5) on [1, 50]: the median is ~2^(2/3) ≈ 1.6, while the tail
+  // reaches far beyond — most jobs short, a fat straggler tail.
+  const double median = scales[scales.size() / 2];
+  EXPECT_LT(median, 3.0);
+  EXPECT_GT(scales.back(), 10.0);
+}
+
+TEST(FleetTrace, GpuRangeAndPatternsRespected) {
+  auto config = base_config();
+  config.min_gpus = 2;
+  config.max_gpus = 6;
+  const auto jobs = generate_fleet_trace(config);
+  for (const Job& job : jobs) {
+    EXPECT_GE(job.num_gpus, 2u);
+    EXPECT_LE(job.num_gpus, 6u);
+    EXPECT_NE(job.pattern, graph::PatternKind::kSingle);
+  }
+
+  config.min_gpus = 1;
+  config.max_gpus = 1;
+  for (const Job& job : generate_fleet_trace(config)) {
+    EXPECT_EQ(job.pattern, graph::PatternKind::kSingle);
+  }
+}
+
+TEST(FleetTrace, WorkloadRestrictionHonored) {
+  auto config = base_config();
+  config.workload_names = {"vgg-16", "gmm"};
+  for (const Job& job : generate_fleet_trace(config)) {
+    EXPECT_TRUE(job.workload == "vgg-16" || job.workload == "gmm");
+  }
+}
+
+TEST(FleetTrace, ValidatesConfiguration) {
+  auto config = base_config();
+  config.num_jobs = 0;
+  EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
+
+  config = base_config();
+  config.min_gpus = 0;
+  EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
+
+  config = base_config();
+  config.min_gpus = 6;
+  config.max_gpus = 2;
+  EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
+
+  config = base_config();
+  config.arrival_rate_per_s = 0.0;
+  EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
+
+  config = base_config();
+  config.duration_alpha = 0.0;
+  EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
+
+  config = base_config();
+  config.duration_tail_cap = 0.5;
+  EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
+
+  config = base_config();
+  config.workload_names = {"no-such-workload"};
+  EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapa::workload
