@@ -1,0 +1,273 @@
+// Wide-matching-core microbench: the measured perf trajectory for the
+// >64-vertex word-array path (graph::WideBitGraph). Times symmetry-broken
+// match enumeration on multi-node racks —
+//
+//  * the generic baseline — the seed VF2 inner loop
+//    (vf2_enumerate_generic), which was the production path above 64
+//    vertices before the wide core existed;
+//  * the bitset path — whatever vf2_count dispatches to (single-word
+//    BitGraph at 64 vertices, WideBitGraph above);
+//  * the Ullmann backend, as the independent cross-check;
+//
+// across the paper's pattern shapes on a 64-GPU rack (the <= 64
+// specialization boundary), a 72-GPU Summit rack row, a 128-GPU DGX rack,
+// and a 256-GPU double rack, plus a busy-mask sweep and the match cache
+// replaying multi-word rack states. Every case first asserts that all
+// backends agree with the generic baseline match-for-match. `--json`
+// writes BENCH_widegraph.json (headline: rack128_enumeration_speedup, the
+// geometric-mean wide-vs-generic speedup on the 128-GPU rack).
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "graph/patterns.hpp"
+#include "graph/widebitgraph.hpp"
+#include "match/enumerator.hpp"
+#include "match/ullmann.hpp"
+#include "match/vf2.hpp"
+#include "policy/match_cache.hpp"
+
+using namespace mapa;
+
+namespace {
+
+/// Best-of-N wall time of `fn`, autoscaled so each sample runs >= ~20 ms.
+template <typename Fn>
+double time_us(Fn&& fn) {
+  using clock = std::chrono::steady_clock;
+  auto probe_start = clock::now();
+  fn();
+  const double probe_us =
+      std::chrono::duration<double, std::micro>(clock::now() - probe_start)
+          .count();
+  const std::size_t iters =
+      probe_us >= 20000.0
+          ? 1
+          : static_cast<std::size_t>(20000.0 / (probe_us + 0.1)) + 1;
+  double best_us = probe_us;
+  for (int sample = 0; sample < 3; ++sample) {
+    const auto start = clock::now();
+    for (std::size_t i = 0; i < iters; ++i) fn();
+    const double us =
+        std::chrono::duration<double, std::micro>(clock::now() - start)
+            .count() /
+        static_cast<double>(iters);
+    best_us = std::min(best_us, us);
+  }
+  return best_us;
+}
+
+/// The pre-wide production path above 64 vertices: generic VF2 inner loop
+/// with a per-leaf visitor.
+std::size_t generic_count(const graph::Graph& pattern,
+                          const graph::Graph& target,
+                          const match::OrderingConstraints& constraints,
+                          const graph::VertexMask* forbidden = nullptr) {
+  std::size_t count = 0;
+  match::vf2_enumerate_generic(
+      pattern, target,
+      [&](const match::Match&) {
+        ++count;
+        return true;
+      },
+      constraints, forbidden);
+  return count;
+}
+
+/// Matches of the dispatching path, for the record-identity check.
+std::vector<match::Match> collect_dispatched(
+    const graph::Graph& pattern, const graph::Graph& target,
+    const match::OrderingConstraints& constraints,
+    const graph::VertexMask* forbidden = nullptr) {
+  std::vector<match::Match> matches;
+  match::vf2_enumerate(
+      pattern, target,
+      [&](const match::Match& m) {
+        matches.push_back(m);
+        return true;
+      },
+      constraints, forbidden);
+  return matches;
+}
+
+struct Case {
+  std::string name;
+  graph::Graph pattern;
+};
+
+std::vector<Case> pattern_cases(std::size_t max_size) {
+  std::vector<Case> cases;
+  const std::vector<std::pair<std::string, graph::PatternKind>> kinds = {
+      {"ring", graph::PatternKind::kRing},
+      {"chain", graph::PatternKind::kChain},
+      {"tree", graph::PatternKind::kTree},
+      {"star", graph::PatternKind::kStar},
+  };
+  for (const auto& [kname, kind] : kinds) {
+    for (std::size_t size = 3; size <= max_size; ++size) {
+      cases.push_back(
+          {kname + std::to_string(size), graph::make_pattern(kind, size)});
+    }
+  }
+  return cases;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "widegraph");
+  bench::print_header(
+      "bench_widegraph",
+      "Wide bitset matching core (>64-vertex racks) vs. the generic "
+      "baseline, plus multi-word match-cache replay");
+
+  // NVLink-only racks: sparse like the real fabric, so full enumeration
+  // is meaningful at every size (under PCIe fallback a rack is a clique
+  // and match sets explode combinatorially).
+  const std::vector<std::pair<std::string, graph::Graph>> machines = {
+      {"rack64", graph::dgx_rack(8, graph::Connectivity::kNvlinkOnly)},
+      {"rack72", graph::summit_rack(12, graph::Connectivity::kNvlinkOnly)},
+      {"rack128", graph::dgx_rack(16, graph::Connectivity::kNvlinkOnly)},
+      {"rack256", graph::dgx_rack(32, graph::Connectivity::kNvlinkOnly)},
+  };
+
+  util::Table table({"machine", "pattern", "matches", "generic_us", "bit_us",
+                     "ullmann_us", "speedup"});
+  double rack128_log_speedup_sum = 0.0;
+  std::size_t rack128_cases = 0;
+  for (const auto& [mname, hw] : machines) {
+    for (const Case& c : pattern_cases(6)) {
+      const auto constraints = match::symmetry_constraints(c.pattern);
+      const std::size_t expected = generic_count(c.pattern, hw, constraints);
+      if (match::vf2_count(c.pattern, hw, constraints) != expected ||
+          match::ullmann_count(c.pattern, hw, constraints) != expected) {
+        std::cerr << "backend count mismatch on " << mname << "/" << c.name
+                  << "\n";
+        return 1;
+      }
+      const double generic_us =
+          time_us([&] { (void)generic_count(c.pattern, hw, constraints); });
+      const double bit_us =
+          time_us([&] { (void)match::vf2_count(c.pattern, hw, constraints); });
+      const double ullmann_us = time_us(
+          [&] { (void)match::ullmann_count(c.pattern, hw, constraints); });
+      const double speedup = generic_us / bit_us;
+      table.add_row({mname, c.name, std::to_string(expected),
+                     util::fixed(generic_us, 1), util::fixed(bit_us, 1),
+                     util::fixed(ullmann_us, 1), util::fixed(speedup, 2)});
+      if (mname == "rack128") {
+        rack128_log_speedup_sum += std::log(speedup);
+        ++rack128_cases;
+        report.metric("rack128_" + c.name + "_generic_us", generic_us);
+        report.metric("rack128_" + c.name + "_wide_us", bit_us);
+        report.metric("rack128_" + c.name + "_ullmann_us", ullmann_us);
+      }
+    }
+  }
+  std::cout << table.render();
+
+  const double rack128_speedup =
+      std::exp(rack128_log_speedup_sum / static_cast<double>(rack128_cases));
+  std::cout << "\n128-GPU rack enumeration speedup (geomean, wide core vs "
+               "generic baseline): "
+            << util::fixed(rack128_speedup, 2) << "x\n";
+  report.metric("rack128_enumeration_speedup", rack128_speedup);
+
+  // Busy-mask sweep on the 128-GPU rack: half the fleet busy, chosen so
+  // live candidate bits straddle the 64-bit word boundary, and a
+  // record-identity check of the wide stream against the generic one.
+  {
+    const graph::Graph hw = machines[2].second;
+    graph::VertexMask busy(hw.num_vertices());
+    for (graph::VertexId v = 32; v < 96; ++v) busy.set(v);
+    const graph::Graph pattern = graph::ring(4);
+    const auto constraints = match::symmetry_constraints(pattern);
+    const auto wide_matches = collect_dispatched(pattern, hw, constraints, &busy);
+    std::vector<match::Match> generic_matches;
+    match::vf2_enumerate_generic(
+        pattern, hw,
+        [&](const match::Match& m) {
+          generic_matches.push_back(m);
+          return true;
+        },
+        constraints, &busy);
+    if (wide_matches != generic_matches) {
+      std::cerr << "wide path diverged from the generic baseline under a "
+                   "multi-word busy mask\n";
+      return 1;
+    }
+    const double generic_us = time_us(
+        [&] { (void)generic_count(pattern, hw, constraints, &busy); });
+    const double wide_us = time_us(
+        [&] { (void)match::vf2_count(pattern, hw, constraints, &busy); });
+    std::cout << "\nring4 on rack128, 64 of 128 GPUs busy (mask straddles "
+                 "the word boundary): generic "
+              << util::fixed(generic_us, 1) << " us, wide "
+              << util::fixed(wide_us, 1) << " us ("
+              << util::fixed(generic_us / wide_us, 2) << "x), "
+              << wide_matches.size() << " matches, record-identical\n";
+    report.metric("rack128_masked_generic_us", generic_us);
+    report.metric("rack128_masked_wide_us", wide_us);
+    report.metric("rack128_masked_speedup", generic_us / wide_us);
+  }
+
+  // Match-cache replay of repeat rack states: 8 cycling two-word busy
+  // masks, enumerated once each and then replayed from cache.
+  {
+    const graph::Graph hw = machines[2].second;
+    const graph::Graph pattern = graph::ring(3);
+    std::vector<graph::VertexMask> states;
+    for (std::size_t shift = 0; shift < 8; ++shift) {
+      // Distinct sliding 64-GPU busy windows; every one spans both words.
+      graph::VertexMask busy(hw.num_vertices());
+      for (std::size_t i = 0; i < 64; ++i) {
+        busy.set(static_cast<graph::VertexId>((shift * 16 + i) %
+                                              hw.num_vertices()));
+      }
+      states.push_back(std::move(busy));
+    }
+    const auto run_states = [&](policy::MatchCache* cache) {
+      std::size_t total = 0;
+      for (const auto& busy : states) {
+        match::EnumerateOptions options;
+        options.forbidden = busy;
+        if (cache != nullptr) {
+          cache->for_each_match(pattern, hw, options, [&](const match::Match&) {
+            ++total;
+            return true;
+          });
+        } else {
+          match::for_each_match(
+              pattern, hw,
+              [&](const match::Match&) {
+                ++total;
+                return true;
+              },
+              options);
+        }
+      }
+      return total;
+    };
+    const double live_us = time_us([&] { (void)run_states(nullptr); });
+    policy::MatchCache cache;
+    (void)run_states(&cache);  // warm: one miss per state
+    const double replay_us = time_us([&] { (void)run_states(&cache); });
+    const auto stats = cache.stats();
+    std::cout << "\nring3 over 8 repeat two-word fleet states on rack128: "
+                 "live "
+              << util::fixed(live_us, 1) << " us, cached replay "
+              << util::fixed(replay_us, 1) << " us ("
+              << util::fixed(live_us / replay_us, 2) << "x, " << stats.hits
+              << " hits / " << stats.misses << " misses)\n";
+    report.metric("widecache_live_us", live_us);
+    report.metric("widecache_replay_us", replay_us);
+    report.metric("widecache_replay_speedup", live_us / replay_us);
+  }
+
+  return report.write();
+}

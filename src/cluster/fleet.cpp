@@ -7,6 +7,7 @@
 #include <stdexcept>
 #include <utility>
 
+#include "graph/topology.hpp"
 #include "interconnect/microbench.hpp"
 #include "policy/match_cache.hpp"
 #include "util/rng.hpp"
@@ -367,6 +368,21 @@ FleetResult run_fleet(std::vector<graph::Graph> topologies,
   }
   FleetSimulator simulator(std::move(specs), config);
   return simulator.run(jobs);
+}
+
+std::vector<ServerSpec> rack_fleet_specs(std::size_t racks,
+                                         std::size_t nodes_per_rack,
+                                         const std::string& policy_name) {
+  std::vector<ServerSpec> specs;
+  specs.reserve(racks);
+  for (std::size_t r = 0; r < racks; ++r) {
+    ServerSpec spec;
+    spec.name = "rack-" + std::to_string(r);
+    spec.topology = graph::dgx_rack(nodes_per_rack);
+    spec.policy = policy_name;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
 }
 
 }  // namespace mapa::cluster

@@ -10,7 +10,10 @@
 // probed placement is then committed without re-running the search
 // (core::Mapa::commit). Optional drain/restore events take servers out of
 // and back into rotation mid-run, so heterogeneous-fleet, imbalance, and
-// maintenance scenarios are all expressible.
+// maintenance scenarios are all expressible. Servers can be any topology
+// the matcher handles — single nodes or >64-GPU racks on the wide bitset
+// path (rack_fleet_specs below; docs/ARCHITECTURE.md has the dispatch
+// table).
 //
 // Per-server probes are independent (each touches only its own policy,
 // cache, and busy mask), so they fan out across a util::ThreadPool when
@@ -169,5 +172,18 @@ FleetResult run_fleet(std::vector<graph::Graph> topologies,
                       const std::string& policy_name,
                       const std::vector<workload::Job>& jobs,
                       const ClusterConfig& config = {});
+
+/// Wide-topology fleet preset: `racks` servers, each a DGX rack of
+/// `nodes_per_rack` 8-GPU nodes (graph::dgx_rack; 16 nodes = a 128-GPU
+/// server whose matcher runs on the wide bitset path), all running
+/// `policy_name`. Defaults to "topo-aware": the non-enumerating policies
+/// are the sensible choice at rack scale, because under the PCIe-fallback
+/// convention a rack graph is fully connected and the enumerating
+/// policies' match sets grow combinatorially with free GPUs. Pair with
+/// workload::rack_trace_config for a job mix that spans node boundaries.
+std::vector<ServerSpec> rack_fleet_specs(std::size_t racks,
+                                         std::size_t nodes_per_rack,
+                                         const std::string& policy_name =
+                                             "topo-aware");
 
 }  // namespace mapa::cluster

@@ -2,8 +2,11 @@
 // Fleet-level post-run analysis, mirroring sim/metrics for FleetResult:
 // queue-wait distributions, per-server record-field box plots, the
 // cross-server allocation-quality spread, and pooled cache hit rates.
-// Everything is computed from the FleetResult alone so benches and
-// examples can aggregate without re-running the simulation.
+// Everything is computed from the FleetResult alone — the immutable log
+// the dispatcher's probe-then-commit loop (fleet.hpp; winners adopted
+// via core::Mapa::commit) leaves behind — so benches and examples can
+// aggregate without re-running the simulation, and identical results
+// aggregate to identical metrics under the fleet determinism contract.
 
 #include <map>
 #include <optional>

@@ -1,14 +1,17 @@
 #pragma once
 // Server-selection policies for the fleet dispatcher (cluster/fleet.hpp).
 //
-// When the fleet queue head is considered, every eligible server (not
-// draining, enough free accelerators) is probed: its own MAPA policy runs
-// a full match-and-score pass against the server's current busy mask
-// without committing anything. A ServerSelection then picks the winning
-// probe. Policies range from placement-oblivious (first-fit, least-loaded,
-// pack) to quality-driven (best-score: place where the MAPA score of the
-// probed allocation is highest, with packing/spreading tie-break variants
-// for consolidating or balancing the fleet).
+// This is the middle step of the dispatcher's probe-then-commit flow:
+// when the fleet queue head is considered, every eligible server (not
+// draining, enough free accelerators) is probed — its own MAPA policy
+// runs a full match-and-score pass against the server's current busy
+// mask without committing anything — a ServerSelection picks the winning
+// probe, and only that winner's placement is adopted, via
+// core::Mapa::commit, with no re-search. Policies range from
+// placement-oblivious (first-fit, least-loaded, pack) to quality-driven
+// (best-score: place where the MAPA score of the probed allocation is
+// highest, with packing/spreading tie-break variants for consolidating
+// or balancing the fleet).
 //
 // Selections must be deterministic: probes arrive in ascending server
 // order and every tie is broken toward the lowest server index, so fleet

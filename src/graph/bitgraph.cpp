@@ -20,10 +20,23 @@ bool VertexMask::none() const {
   return true;
 }
 
+std::uint64_t VertexMask::fingerprint() const {
+  // splitmix64-style mix over (size, words...). Seeded away from zero so
+  // an empty mask and a one-word all-clear mask fingerprint differently.
+  std::uint64_t hash = 0x243f6a8885a308d3ULL;  // pi fractional bits
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value + 0x9e3779b97f4a7c15ULL + (hash << 6) + (hash >> 2);
+  };
+  mix(size_);
+  for (const std::uint64_t w : words_) mix(w);
+  return hash;
+}
+
 BitGraph::BitGraph(const Graph& g) : n_(g.num_vertices()) {
   if (n_ > kMaxVertices) {
     throw std::invalid_argument(
-        "BitGraph: graph exceeds 64 vertices; use the generic path");
+        "BitGraph: graph exceeds 64 vertices; use graph::WideBitGraph (up "
+        "to 512 vertices) or the generic matcher path beyond that");
   }
   all_ = n_ == 64 ? ~std::uint64_t{0}
                   : (std::uint64_t{1} << n_) - 1;

@@ -4,7 +4,9 @@
 // machine the paper evaluates (it tops out at 16). One uint64_t row per
 // vertex lets the subgraph matchers test edges and intersect candidate
 // domains with single bitwise ops instead of indexed matrix lookups;
-// targets above 64 vertices fall back to the generic `Graph`-based path.
+// targets above 64 vertices run on the word-array `WideBitGraph`
+// (graph/widebitgraph.hpp) up to 512 vertices, and on the generic
+// `Graph`-based path beyond that.
 //
 // `VertexMask` is the companion free/busy-set representation used to plumb
 // forbidden (busy) accelerators through the matching stack: a word-array
@@ -55,6 +57,14 @@ class VertexMask {
   /// the whole mask for <= 64-vertex graphs).
   std::uint64_t word(std::size_t i) const { return words_[i]; }
   const std::vector<std::uint64_t>& words() const { return words_; }
+  std::size_t num_words() const { return words_.size(); }
+
+  /// Order-sensitive 64-bit hash of (size, words). The match cache keys
+  /// allocation states by this fingerprint instead of copying the word
+  /// array into every key, so single-word DGX masks and multi-word rack
+  /// masks cost the same per lookup (see policy/match_cache.hpp for the
+  /// collision-probability argument).
+  std::uint64_t fingerprint() const;
 
   bool operator==(const VertexMask&) const = default;
 

@@ -1,6 +1,8 @@
 #include "graph/topology.hpp"
 
 #include <array>
+#include <stdexcept>
+#include <string>
 
 namespace mapa::graph {
 
@@ -30,6 +32,35 @@ constexpr std::array<NvEdge, 16> kDgx1V100Links = {{
 
 void finish(Graph& g, Connectivity connectivity) {
   if (connectivity == Connectivity::kPcieFallback) add_pcie_fallback(g);
+}
+
+/// `nodes` copies of the NVLink-only `node` graph with renumbered vertices
+/// and sockets, ring-bridged by one double-NVLink rail per consecutive
+/// node pair (see the rack-builder comment in the header).
+Graph make_rack(const Graph& node, std::size_t nodes, const std::string& name,
+                Connectivity connectivity) {
+  if (nodes == 0) {
+    throw std::invalid_argument(name + ": a rack needs at least one node");
+  }
+  const std::size_t size = node.num_vertices();
+  Graph g(nodes * size, name + "-" + std::to_string(nodes));
+  for (std::size_t i = 0; i < nodes; ++i) {
+    const auto base = static_cast<VertexId>(i * size);
+    for (VertexId v = 0; v < size; ++v) {
+      g.set_socket(base + v, static_cast<int>(i) * 2 + node.socket(v));
+    }
+    for (const Edge& e : node.edges()) {
+      g.add_edge(base + e.u, base + e.v, e.type, e.bandwidth_gbps);
+    }
+  }
+  for (std::size_t i = 0; nodes > 1 && i < nodes; ++i) {
+    if (nodes == 2 && i == 1) break;  // avoid doubling the single bridge
+    const std::size_t next = (i + 1) % nodes;
+    g.add_edge(static_cast<VertexId>(i * size + size - 1),
+               static_cast<VertexId>(next * size), LinkType::kNvLink2Double);
+  }
+  finish(g, connectivity);
+  return g;
 }
 
 }  // namespace
@@ -123,6 +154,16 @@ Graph nvswitch_16(Connectivity connectivity) {
   }
   finish(g, connectivity);  // no-op: already fully connected
   return g;
+}
+
+Graph summit_rack(std::size_t nodes, Connectivity connectivity) {
+  return make_rack(summit_node(Connectivity::kNvlinkOnly), nodes,
+                   "Summit-rack", connectivity);
+}
+
+Graph dgx_rack(std::size_t nodes, Connectivity connectivity) {
+  return make_rack(dgx1_v100(Connectivity::kNvlinkOnly), nodes, "DGX-rack",
+                   connectivity);
 }
 
 Graph pcie_only(std::size_t n) {

@@ -55,6 +55,28 @@ Graph nvswitch_16(Connectivity connectivity = Connectivity::kPcieFallback);
 /// n GPUs with PCIe-only connectivity (no NVLink anywhere); one socket.
 Graph pcie_only(std::size_t n);
 
+/// Multi-node rack builders (the ROADMAP's fleet-scale targets; the paper
+/// itself tops out at 16 accelerators). Each builds `nodes` copies of the
+/// single-node graph — vertex v of node i becomes i * node_size + v, and
+/// sockets are renumbered i * 2 + local socket — and bridges consecutive
+/// nodes into a ring with one double-NVLink rail (last GPU of node i to
+/// first GPU of node i + 1), a sparse stand-in for the inter-node fabric
+/// that keeps the kNvlinkOnly rack connected so cross-node allocations
+/// are expressible. Under kPcieFallback every remaining pair additionally
+/// gets a host-routed PCIe edge, per the paper's §3.2 convention.
+///
+/// These are the wide-matching-path targets: above 64 GPUs enumeration
+/// runs on graph::WideBitGraph word-array domains (docs/ARCHITECTURE.md
+/// has the dispatch table). Throws std::invalid_argument when nodes == 0.
+
+/// `nodes` Summit nodes (6 V100s each): 22 nodes = a 132-GPU rack row.
+Graph summit_rack(std::size_t nodes,
+                  Connectivity connectivity = Connectivity::kPcieFallback);
+
+/// `nodes` DGX-1V nodes (8 V100s each): 16 nodes = a 128-GPU rack.
+Graph dgx_rack(std::size_t nodes,
+               Connectivity connectivity = Connectivity::kPcieFallback);
+
 /// Add PCIe edges between every unconnected pair (the §3.2 fully-connected
 /// convention) to an NVLink-only graph, in place.
 void add_pcie_fallback(Graph& g);

@@ -1,0 +1,28 @@
+#include "graph/widebitgraph.hpp"
+
+#include <stdexcept>
+#include <string>
+
+namespace mapa::graph {
+
+WideBitGraph::WideBitGraph(const Graph& g)
+    : n_(g.num_vertices()), words_((n_ + 63) / 64) {
+  if (n_ > kMaxVertices) {
+    throw std::invalid_argument(
+        "WideBitGraph: graph exceeds " + std::to_string(kMaxVertices) +
+        " vertices; use the generic matcher path (vf2_enumerate_generic)");
+  }
+  rows_.assign(n_ * words_, 0);
+  all_.assign(words_, 0);
+  degrees_.assign(n_, 0);
+  for (VertexId v = 0; v < n_; ++v) {
+    all_[v >> 6] |= std::uint64_t{1} << (v & 63);
+    std::uint64_t* row = rows_.data() + static_cast<std::size_t>(v) * words_;
+    for (const VertexId nb : g.neighbors(v)) {
+      row[nb >> 6] |= std::uint64_t{1} << (nb & 63);
+    }
+    degrees_[v] = static_cast<std::uint16_t>(g.degree(v));
+  }
+}
+
+}  // namespace mapa::graph

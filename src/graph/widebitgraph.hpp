@@ -1,0 +1,68 @@
+#pragma once
+// Wide bitset matching core: word-array row adjacency for hardware graphs
+// beyond the 64-accelerator single-word `BitGraph` — multi-node racks
+// (Summit-style nodes, DGX racks) and `mig/`-partitioned fleets flattened
+// into one target graph. Each vertex row is `num_words()` consecutive
+// uint64_t words, so the subgraph matchers intersect candidate domains
+// with a short word loop (AND + countr_zero per word, early exit on an
+// empty domain) instead of per-candidate indexed matrix lookups.
+//
+// Dispatch rule (see docs/ARCHITECTURE.md): targets with <= 64 vertices
+// stay on the single-word `BitGraph` core (DGX-class hot paths pay zero
+// extra indirection), targets with 65..kMaxVertices vertices run on this
+// wide core, and anything larger falls back to the generic `Graph`-based
+// inner loop (`vf2_enumerate_generic`).
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// Word-array adjacency view of a `Graph` with up to kMaxVertices
+/// vertices. Construction is O(n * words + m); intended to be built per
+/// enumeration (even rack-scale hardware graphs are small) or kept
+/// alongside a graph.
+class WideBitGraph {
+ public:
+  /// ~512 vertices covers every multi-node rack the ROADMAP targets (a
+  /// 64-node Summit rack is 384 GPUs) while keeping rows short enough
+  /// that the word loop stays in cache.
+  static constexpr std::size_t kMaxVertices = 512;
+
+  static bool fits(const Graph& g) { return g.num_vertices() <= kMaxVertices; }
+
+  /// Throws std::invalid_argument when the graph exceeds kMaxVertices
+  /// (use vf2_enumerate_generic beyond that).
+  explicit WideBitGraph(const Graph& g);
+
+  std::size_t num_vertices() const { return n_; }
+
+  /// Words per row (and per VertexMask over this graph): ceil(n / 64).
+  std::size_t num_words() const { return words_; }
+
+  /// Neighbors of `v` as a word array of num_words() words.
+  const std::uint64_t* row(VertexId v) const {
+    return rows_.data() + static_cast<std::size_t>(v) * words_;
+  }
+
+  /// All vertices of the graph (the full candidate domain), num_words()
+  /// words.
+  const std::uint64_t* all_vertices() const { return all_.data(); }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    return (row(u)[v >> 6] >> (v & 63)) & 1;
+  }
+
+  std::size_t degree(VertexId v) const { return degrees_[v]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> rows_;  // n_ * words_, row-major
+  std::vector<std::uint64_t> all_;   // words_
+  std::vector<std::uint16_t> degrees_;
+};
+
+}  // namespace mapa::graph

@@ -1,8 +1,12 @@
 #include "match/ullmann.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstdint>
 #include <stdexcept>
+#include <string>
+
+#include "graph/widebitgraph.hpp"
 
 namespace mapa::match {
 
@@ -12,6 +16,7 @@ using graph::BitGraph;
 using graph::Graph;
 using graph::VertexId;
 using graph::VertexMask;
+using graph::WideBitGraph;
 
 /// Candidate domains as 64-bit masks; hardware graphs here are far below
 /// 64 vertices (the paper tops out at 16).
@@ -151,15 +156,208 @@ class UllmannState {
   Match scratch_;  // mapping updated in place; visitors copy if they keep it
 };
 
+/// Wide variant (targets of 65..WideBitGraph::kMaxVertices vertices):
+/// identical search to UllmannState — same refinement, same constraint
+/// handling, same forward-check — but every candidate domain is a span of
+/// `tw_` words ANDed against WideBitGraph rows. Forward-checked domain
+/// copies live in a preallocated depth-indexed buffer, so the inner loop
+/// performs no heap allocation.
+class UllmannWideState {
+ public:
+  UllmannWideState(const WideBitGraph& pattern, const WideBitGraph& target,
+                   const MatchVisitor* visit,
+                   const OrderingConstraints& constraints,
+                   const VertexMask* forbidden)
+      : pattern_(pattern),
+        target_(target),
+        visit_(visit),
+        constraints_(constraints),
+        n_(pattern.num_vertices()),
+        m_(target.num_vertices()),
+        tw_(target.num_words()) {
+    scratch_.mapping.assign(n_, 0);
+    std::vector<std::uint64_t> allowed(target.all_vertices(),
+                                       target.all_vertices() + tw_);
+    if (forbidden != nullptr) {
+      for (std::size_t w = 0; w < tw_; ++w) allowed[w] &= ~forbidden->word(w);
+    }
+    domains_.assign(n_ * tw_, 0);
+    for (VertexId p = 0; p < n_; ++p) {
+      std::uint64_t* dom = domains_.data() + p * tw_;
+      for (VertexId t = 0; t < m_; ++t) {
+        if (target.degree(t) >= pattern.degree(p)) {
+          dom[t >> 6] |= std::uint64_t{1} << (t & 63);
+        }
+      }
+      for (std::size_t w = 0; w < tw_; ++w) dom[w] &= allowed[w];
+    }
+    used_.assign(tw_, 0);
+    buffers_.assign(n_ * n_ * tw_, 0);  // forward-check domains, per depth
+  }
+
+  bool run() {
+    if (!refine(domains_.data())) return true;
+    return extend(0, domains_.data());
+  }
+
+  std::size_t count() const { return count_; }
+
+ private:
+  bool domain_empty(const std::uint64_t* dom) const {
+    std::uint64_t acc = 0;
+    for (std::size_t w = 0; w < tw_; ++w) acc |= dom[w];
+    return acc == 0;
+  }
+
+  /// Classic Ullmann refinement over word spans: candidate t for pattern
+  /// vertex p survives only if every pattern neighbor of p still has a
+  /// candidate adjacent to t. Iterates to a fixed point; returns false if
+  /// a domain empties.
+  bool refine(std::uint64_t* domains) const {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (VertexId p = 0; p < n_; ++p) {
+        std::uint64_t* dom = domains + p * tw_;
+        for (std::size_t w = 0; w < tw_; ++w) {
+          std::uint64_t word = dom[w];
+          while (word != 0) {
+            const auto t = static_cast<VertexId>(
+                (w << 6) + static_cast<std::size_t>(std::countr_zero(word)));
+            word &= word - 1;
+            const std::uint64_t* trow = target_.row(t);
+            const std::uint64_t* prow = pattern_.row(p);
+            bool dead = false;
+            for (std::size_t pw = 0; pw < pattern_.num_words() && !dead;
+                 ++pw) {
+              std::uint64_t nbs = prow[pw];
+              while (nbs != 0) {
+                const auto q = static_cast<VertexId>(
+                    (pw << 6) +
+                    static_cast<std::size_t>(std::countr_zero(nbs)));
+                nbs &= nbs - 1;
+                const std::uint64_t* qdom = domains + q * tw_;
+                std::uint64_t acc = 0;
+                for (std::size_t w2 = 0; w2 < tw_; ++w2) {
+                  acc |= qdom[w2] & trow[w2];
+                }
+                if (acc == 0) {
+                  dead = true;
+                  break;
+                }
+              }
+            }
+            if (dead) {
+              dom[w] &= ~(std::uint64_t{1} << (t & 63));
+              changed = true;
+            }
+          }
+        }
+        if (domain_empty(dom)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool satisfies_constraints(VertexId p, VertexId t) const {
+    const std::vector<VertexId>& mapping = scratch_.mapping;
+    for (const auto& [a, b] : constraints_) {
+      if (a == p && b < p && t >= mapping[b]) return false;
+      if (b == p && a < p && t <= mapping[a]) return false;
+    }
+    return true;
+  }
+
+  bool extend(VertexId p, const std::uint64_t* domains) {
+    std::vector<VertexId>& mapping = scratch_.mapping;
+    if (p == n_) {
+      if (visit_ == nullptr) {
+        ++count_;
+        return true;
+      }
+      return (*visit_)(scratch_);
+    }
+    // Adjacency to already-placed pattern neighbors, folded into the
+    // candidate span up front instead of per-candidate edge probes.
+    std::uint64_t cand[WideBitGraph::kMaxVertices / 64];
+    const std::uint64_t* dom = domains + p * tw_;
+    for (std::size_t w = 0; w < tw_; ++w) cand[w] = dom[w] & ~used_[w];
+    const std::uint64_t* prow = pattern_.row(p);
+    const std::size_t p_word = p >> 6;
+    for (std::size_t pw = 0; pw <= p_word; ++pw) {
+      std::uint64_t earlier = prow[pw];
+      if (pw == p_word) earlier &= (std::uint64_t{1} << (p & 63)) - 1;
+      while (earlier != 0) {
+        const auto q = static_cast<VertexId>(
+            (pw << 6) + static_cast<std::size_t>(std::countr_zero(earlier)));
+        earlier &= earlier - 1;
+        const std::uint64_t* qrow = target_.row(mapping[q]);
+        for (std::size_t w = 0; w < tw_; ++w) cand[w] &= qrow[w];
+      }
+    }
+    for (std::size_t w = 0; w < tw_; ++w) {
+      std::uint64_t word = cand[w];
+      while (word != 0) {
+        const std::uint64_t t_bit = word & (~word + 1);
+        const auto t = static_cast<VertexId>(
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+        if (!satisfies_constraints(p, t)) continue;
+
+        // Forward-check: narrow future domains to neighbors of t where
+        // the pattern demands adjacency, and drop t everywhere.
+        std::uint64_t* next = buffers_.data() + p * n_ * tw_;
+        std::copy(domains, domains + n_ * tw_, next);
+        const std::uint64_t* trow = target_.row(t);
+        bool viable = true;
+        for (VertexId q = p + 1; q < n_; ++q) {
+          std::uint64_t* qdom = next + q * tw_;
+          qdom[w] &= ~t_bit;
+          if (pattern_.has_edge(p, q)) {
+            for (std::size_t w2 = 0; w2 < tw_; ++w2) qdom[w2] &= trow[w2];
+          }
+          if (domain_empty(qdom)) {
+            viable = false;
+            break;
+          }
+        }
+        if (!viable) continue;
+
+        mapping[p] = t;
+        used_[w] |= t_bit;
+        const bool keep_going = extend(p + 1, next);
+        used_[w] &= ~t_bit;
+        if (!keep_going) return false;
+      }
+    }
+    return true;
+  }
+
+  const WideBitGraph& pattern_;
+  const WideBitGraph& target_;
+  const MatchVisitor* visit_;
+  const OrderingConstraints& constraints_;
+  std::size_t n_;
+  std::size_t m_;
+  std::size_t tw_;  // words per target-domain span
+  std::vector<std::uint64_t> domains_;  // pattern-vertex-major, tw_ each
+  std::vector<std::uint64_t> used_;
+  std::vector<std::uint64_t> buffers_;  // depth-major forward-check copies
+  std::size_t count_ = 0;
+  Match scratch_;  // mapping updated in place; visitors copy if they keep it
+};
+
 /// Returns false when the search is trivially empty; throws on misuse.
 bool validate(const Graph& pattern, const Graph& target,
               const VertexMask* forbidden) {
   if (pattern.num_vertices() == 0) return false;
   if (pattern.num_vertices() > target.num_vertices()) return false;
-  if (target.num_vertices() > BitGraph::kMaxVertices) {
+  if (target.num_vertices() > WideBitGraph::kMaxVertices) {
     throw std::invalid_argument(
-        "ullmann_enumerate: bit-vector backend supports <= 64 target "
-        "vertices");
+        "ullmann_enumerate: bit-vector backends support <= " +
+        std::to_string(WideBitGraph::kMaxVertices) +
+        " target vertices; use the generic VF2 path "
+        "(vf2_enumerate_generic) beyond that");
   }
   if (forbidden != nullptr && forbidden->size() != target.num_vertices()) {
     throw std::invalid_argument(
@@ -175,10 +373,18 @@ void ullmann_enumerate(const Graph& pattern, const Graph& target,
                        const OrderingConstraints& constraints,
                        const VertexMask* forbidden) {
   if (!validate(pattern, target, forbidden)) return;
-  const BitGraph pattern_bits(pattern);
-  const BitGraph target_bits(target);
-  UllmannState state(pattern_bits, target_bits, &visit, constraints,
-                     forbidden);
+  if (BitGraph::fits(target)) {
+    const BitGraph pattern_bits(pattern);
+    const BitGraph target_bits(target);
+    UllmannState state(pattern_bits, target_bits, &visit, constraints,
+                       forbidden);
+    state.run();
+    return;
+  }
+  const WideBitGraph pattern_bits(pattern);
+  const WideBitGraph target_bits(target);
+  UllmannWideState state(pattern_bits, target_bits, &visit, constraints,
+                         forbidden);
   state.run();
 }
 
@@ -186,10 +392,18 @@ std::size_t ullmann_count(const Graph& pattern, const Graph& target,
                           const OrderingConstraints& constraints,
                           const VertexMask* forbidden) {
   if (!validate(pattern, target, forbidden)) return 0;
-  const BitGraph pattern_bits(pattern);
-  const BitGraph target_bits(target);
-  UllmannState state(pattern_bits, target_bits, nullptr, constraints,
-                     forbidden);
+  if (BitGraph::fits(target)) {
+    const BitGraph pattern_bits(pattern);
+    const BitGraph target_bits(target);
+    UllmannState state(pattern_bits, target_bits, nullptr, constraints,
+                       forbidden);
+    state.run();
+    return state.count();
+  }
+  const WideBitGraph pattern_bits(pattern);
+  const WideBitGraph target_bits(target);
+  UllmannWideState state(pattern_bits, target_bits, nullptr, constraints,
+                         forbidden);
   state.run();
   return state.count();
 }

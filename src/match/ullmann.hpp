@@ -3,9 +3,11 @@
 // domains and the classic refinement step. Kept as a second, independent
 // backend: the test suite cross-checks VF2 and Ullmann against each other
 // on every pattern/topology combination, which guards the matcher MAPA's
-// correctness rests on. Both pattern and target adjacency are BitGraph
-// word rows, so refinement and the forward-checking loop are pure bitwise
-// ops; targets above 64 vertices are rejected (use the VF2 generic path).
+// correctness rests on. Pattern and target adjacency are bitset word rows
+// (single-word BitGraph up to 64 target vertices, word-array WideBitGraph
+// up to 512 — multi-node racks), so refinement and the forward-checking
+// loop are pure bitwise ops; targets above 512 vertices are rejected (use
+// the VF2 generic path, vf2_enumerate_generic).
 
 #include <cstddef>
 #include <vector>

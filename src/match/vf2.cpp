@@ -4,6 +4,8 @@
 #include <bit>
 #include <stdexcept>
 
+#include "graph/widebitgraph.hpp"
+
 namespace mapa::match {
 
 namespace {
@@ -12,6 +14,7 @@ using graph::BitGraph;
 using graph::Graph;
 using graph::VertexId;
 using graph::VertexMask;
+using graph::WideBitGraph;
 
 /// One symmetry-breaking check, indexed by the later-placed endpoint so it
 /// fires as soon as both endpoints are mapped.
@@ -168,6 +171,139 @@ class Vf2BitState {
   Match scratch_;  // mapping updated in place; visitors copy if they keep it
 };
 
+/// Wide bitset core (targets of 65..WideBitGraph::kMaxVertices vertices —
+/// multi-node racks): the same search as Vf2BitState, but candidate
+/// domains are spans of `words` uint64_t intersected word-by-word against
+/// WideBitGraph adjacency rows, with an early exit as soon as a domain
+/// empties. All per-depth domain scratch is preallocated (depth d owns
+/// slice d of `cand_`), so the inner loop performs no heap allocation.
+class Vf2WideState {
+ public:
+  Vf2WideState(const Vf2Plan& plan, const WideBitGraph& target,
+               const Graph& pattern, const MatchVisitor* visit,
+               const VertexMask* forbidden, std::int64_t root_target)
+      : plan_(plan),
+        target_(target),
+        visit_(visit),
+        root_target_(root_target),
+        words_(target.num_words()) {
+    const std::size_t np = pattern.num_vertices();
+    scratch_.mapping.assign(np, 0);
+    used_.assign(words_, 0);
+    std::vector<std::uint64_t> allowed(target.all_vertices(),
+                                       target.all_vertices() + words_);
+    if (forbidden != nullptr) {
+      for (std::size_t w = 0; w < words_; ++w) {
+        allowed[w] &= ~forbidden->word(w);
+      }
+    }
+    // Degree prefilter folded into the initial domain of each pattern
+    // vertex: only unforbidden target vertices of sufficient degree.
+    deg_ok_.assign(np * words_, 0);
+    for (VertexId u = 0; u < np; ++u) {
+      const std::size_t need = pattern.degree(u);
+      std::uint64_t* dom = deg_ok_.data() + u * words_;
+      for (VertexId t = 0; t < target.num_vertices(); ++t) {
+        if (target.degree(t) >= need) {
+          dom[t >> 6] |= std::uint64_t{1} << (t & 63);
+        }
+      }
+      for (std::size_t w = 0; w < words_; ++w) dom[w] &= allowed[w];
+    }
+    cand_.assign(np * words_, 0);
+  }
+
+  bool run() { return extend(0); }
+
+  std::size_t count() const { return count_; }
+
+ private:
+  static void and_bits_above(std::uint64_t* cand, VertexId v) {
+    const std::size_t wv = v >> 6;
+    for (std::size_t w = 0; w < wv; ++w) cand[w] = 0;
+    const unsigned bit = v & 63u;
+    cand[wv] &= bit == 63 ? 0 : ~std::uint64_t{0} << (bit + 1);
+  }
+  static void and_bits_below(std::uint64_t* cand, std::size_t words,
+                             VertexId v) {
+    const std::size_t wv = v >> 6;
+    cand[wv] &= (std::uint64_t{1} << (v & 63)) - 1;
+    for (std::size_t w = wv + 1; w < words; ++w) cand[w] = 0;
+  }
+
+  // Returns false when the visitor requested a stop.
+  bool extend(std::size_t depth) {
+    std::vector<VertexId>& mapping = scratch_.mapping;
+    if (depth == plan_.order.size()) {
+      if (visit_ == nullptr) {
+        ++count_;
+        return true;
+      }
+      return (*visit_)(scratch_);
+    }
+    const VertexId u = plan_.order[depth];
+
+    std::uint64_t* cand = cand_.data() + depth * words_;
+    const std::uint64_t* dom = deg_ok_.data() + u * words_;
+    std::uint64_t any = 0;
+    for (std::size_t w = 0; w < words_; ++w) {
+      cand[w] = dom[w] & ~used_[w];
+      any |= cand[w];
+    }
+    if (any == 0) return true;
+    for (const VertexId nb : plan_.placed_neighbors[u]) {
+      const std::uint64_t* row = target_.row(mapping[nb]);
+      any = 0;
+      for (std::size_t w = 0; w < words_; ++w) {
+        cand[w] &= row[w];
+        any |= cand[w];
+      }
+      if (any == 0) return true;  // empty domain: prune this subtree
+    }
+    for (const Check& check : plan_.checks[u]) {
+      const VertexId other = mapping[check.other];
+      if (check.require_greater) {
+        and_bits_above(cand, other);
+      } else {
+        and_bits_below(cand, words_, other);
+      }
+    }
+    if (depth == 0 && root_target_ >= 0) {
+      const auto root = static_cast<VertexId>(root_target_);
+      for (std::size_t w = 0; w < words_; ++w) {
+        cand[w] &= w == (root >> 6) ? std::uint64_t{1} << (root & 63) : 0;
+      }
+    }
+
+    for (std::size_t w = 0; w < words_; ++w) {
+      std::uint64_t word = cand[w];
+      while (word != 0) {
+        const std::uint64_t bit = word & (~word + 1);
+        const auto t = static_cast<VertexId>(
+            (w << 6) + static_cast<std::size_t>(std::countr_zero(word)));
+        word &= word - 1;
+        mapping[u] = t;
+        used_[w] |= bit;
+        const bool keep_going = extend(depth + 1);
+        used_[w] &= ~bit;
+        if (!keep_going) return false;
+      }
+    }
+    return true;
+  }
+
+  const Vf2Plan& plan_;
+  const WideBitGraph& target_;
+  const MatchVisitor* visit_;
+  std::int64_t root_target_;
+  std::size_t words_;
+  std::vector<std::uint64_t> deg_ok_;  // pattern-vertex-major, words_ each
+  std::vector<std::uint64_t> used_;
+  std::vector<std::uint64_t> cand_;  // depth-major domain scratch
+  std::size_t count_ = 0;
+  Match scratch_;  // mapping updated in place; visitors copy if they keep it
+};
+
 /// Generic fallback (the seed inner loop): Graph::has_edge adjacency tests
 /// and a vector<bool> used-set, for targets that do not fit in 64 bits.
 class Vf2State {
@@ -276,6 +412,12 @@ void vf2_enumerate(const Graph& pattern, const Graph& target,
     state.run();
     return;
   }
+  if (WideBitGraph::fits(target)) {
+    const WideBitGraph bits(target);
+    Vf2WideState state(plan, bits, pattern, &visit, forbidden, root_target);
+    state.run();
+    return;
+  }
   Vf2State state(plan, pattern, target, visit, forbidden, root_target);
   state.run();
 }
@@ -304,6 +446,12 @@ std::size_t vf2_count(const Graph& pattern, const Graph& target,
   if (BitGraph::fits(target)) {
     const BitGraph bits(target);
     Vf2BitState state(plan, bits, pattern, nullptr, forbidden, root_target);
+    state.run();
+    return state.count();
+  }
+  if (WideBitGraph::fits(target)) {
+    const WideBitGraph bits(target);
+    Vf2WideState state(plan, bits, pattern, nullptr, forbidden, root_target);
     state.run();
     return state.count();
   }

@@ -8,14 +8,17 @@
 // because hardware graphs are fully connected under the PCIe-fallback
 // convention). Edge labels are ignored, per the paper's definition.
 //
-// Two inner loops share one search plan:
+// Three inner loops share one search plan:
 //  * the bitset core (targets <= 64 vertices, every machine in the paper):
 //    candidate domains are uint64_t masks intersected against BitGraph
 //    adjacency rows, so the per-node cost is a handful of bitwise ops;
-//  * the generic fallback (targets > 64 vertices): the seed's
-//    Graph::has_edge-based loop, also kept callable directly as the
-//    reference implementation for differential tests and as the perf
-//    baseline `bench_matcher` measures the bitset core against.
+//  * the wide bitset core (65..512 vertices — multi-node racks): the same
+//    search over word-array domains ANDed against WideBitGraph rows, with
+//    early exit on empty domains (see graph/widebitgraph.hpp);
+//  * the generic loop (the seed inner loop): Graph::has_edge adjacency
+//    tests, kept as the differential-test reference, the perf baseline
+//    `bench_matcher`/`bench_widegraph` measure against, and the fallback
+//    for targets beyond 512 vertices.
 
 #include <cstddef>
 #include <vector>
@@ -33,7 +36,8 @@ using OrderingConstraints =
 
 /// Enumerate matches of `pattern` in `target`, invoking `visit` for each.
 /// Stops early when `visit` returns false. Dispatches to the bitset core
-/// when the target fits in 64 vertices, else to the generic fallback; both
+/// when the target fits in 64 vertices, to the wide (word-array) core up
+/// to 512 vertices, and to the generic loop beyond that; all three
 /// produce matches in the same order.
 ///
 /// `constraints` prunes matches violating mapping[a] < mapping[b]; this is
@@ -50,8 +54,9 @@ void vf2_enumerate(const graph::Graph& pattern, const graph::Graph& target,
                    std::int64_t root_target = -1);
 
 /// The generic (seed) inner loop, regardless of target size. Reference
-/// implementation for the differential test suite and the `bench_matcher`
-/// baseline; `vf2_enumerate` uses it automatically above 64 vertices.
+/// implementation for the differential test suite and the baseline the
+/// `bench_matcher` / `bench_widegraph` drivers measure the bitset cores
+/// against; `vf2_enumerate` uses it automatically above 512 vertices.
 void vf2_enumerate_generic(const graph::Graph& pattern,
                            const graph::Graph& target,
                            const MatchVisitor& visit,

@@ -14,11 +14,8 @@ std::uint64_t mix_hash(std::uint64_t hash, std::uint64_t value) {
 }  // namespace
 
 std::size_t MatchCache::KeyHash::operator()(const Key& key) const {
-  std::uint64_t hash = mix_hash(key.pattern_fp, key.flags);
-  for (const std::uint64_t word : key.busy_words) {
-    hash = mix_hash(hash, word);
-  }
-  return static_cast<std::size_t>(hash);
+  return static_cast<std::size_t>(
+      mix_hash(mix_hash(key.pattern_fp, key.flags), key.mask_fp));
 }
 
 MatchCache::MatchCache(MatchCacheConfig config) : config_(config) {}
@@ -82,7 +79,7 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
   key.pattern_fp = graph::adjacency_fingerprint(pattern);
   key.flags = static_cast<std::uint64_t>(options.backend) |
               (options.break_symmetry ? std::uint64_t{1} << 8 : 0);
-  key.busy_words = options.forbidden.words();
+  key.mask_fp = options.forbidden.fingerprint();
 
   const auto found = index_.find(key);
   if (found != index_.end()) {

@@ -11,11 +11,18 @@
 // and replays stored enumerations instead of re-searching. The pattern hash
 // is the adjacency fingerprint (the pattern factories build each shape with
 // one fixed labeling, so repeat jobs of one shape share an entry); the
-// free-GPU mask is the busy VertexMask's words. The cache pins the hardware
-// graph's fingerprint and invalidates itself wholesale when a different
-// hardware graph shows up. Entries are LRU-evicted, and match sets above
-// `max_matches_per_entry` are remembered as oversized and always enumerated
-// live (bypass) so one 10^7-match search cannot blow up memory.
+// free-GPU mask enters the key as VertexMask::fingerprint(), a 64-bit hash
+// over (size, words...) — one fixed-width field whether the fleet state is
+// a single DGX word or an 8-word rack mask, with no per-lookup word-array
+// copy. Key equality is fingerprint equality: a false hit needs two live
+// states of one pattern to collide in 64 bits, and with <= max_entries
+// (default 256) states resident the birthday bound puts that around 2^-52
+// per workload — far below any failure rate the simulator can observe.
+// The cache pins the hardware graph's fingerprint and invalidates itself
+// wholesale when a different hardware graph shows up. Entries are
+// LRU-evicted, and match sets above `max_matches_per_entry` are remembered
+// as oversized and always enumerated live (bypass) so one 10^7-match
+// search cannot blow up memory.
 
 #include <cstdint>
 #include <functional>
@@ -72,8 +79,8 @@ class MatchCache {
  private:
   struct Key {
     std::uint64_t pattern_fp = 0;
-    std::uint64_t flags = 0;  // backend | (break_symmetry << 8)
-    std::vector<std::uint64_t> busy_words;
+    std::uint64_t flags = 0;    // backend | (break_symmetry << 8)
+    std::uint64_t mask_fp = 0;  // VertexMask::fingerprint() of the busy set
     bool operator==(const Key&) const = default;
   };
   struct KeyHash {

@@ -110,4 +110,16 @@ std::vector<Job> generate_fleet_trace(const FleetTraceConfig& config) {
   return jobs;
 }
 
+FleetTraceConfig rack_trace_config(std::size_t num_jobs, std::uint64_t seed) {
+  FleetTraceConfig config;
+  config.num_jobs = num_jobs;
+  config.seed = seed;
+  // A rack absorbs many single-node jobs at once, so the stream is denser
+  // than the single-server default; 12-GPU jobs overflow any one Summit or
+  // DGX node and force cross-node (multi-mask-word) placements.
+  config.arrival_rate_per_s = 0.2;
+  config.max_gpus = 12;
+  return config;
+}
+
 }  // namespace mapa::workload

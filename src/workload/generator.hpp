@@ -54,4 +54,14 @@ struct FleetTraceConfig {
 /// Deterministic (seeded) fleet-scale job list per the configuration.
 std::vector<Job> generate_fleet_trace(const FleetTraceConfig& config);
 
+/// Wide-topology preset of FleetTraceConfig, tuned for fleets whose
+/// servers are multi-node racks (graph::dgx_rack / graph::summit_rack, on
+/// the >64-vertex wide matching path): a denser arrival stream and a job
+/// mix up to `max_gpus` = 12 accelerators, so placements regularly span
+/// node boundaries and the busy mask exercises several mask words. Pass
+/// the returned config to generate_fleet_trace (tweak fields first as
+/// needed); pair `seed` with cluster::ClusterConfig::seed as usual.
+FleetTraceConfig rack_trace_config(std::size_t num_jobs = 1000,
+                                   std::uint64_t seed = 42);
+
 }  // namespace mapa::workload

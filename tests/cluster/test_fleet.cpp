@@ -324,6 +324,44 @@ TEST(FleetMetrics, UtilizationAndWaitsAreSane) {
   EXPECT_EQ(plotted, multi_gpu);
 }
 
+TEST(Fleet, RackFleetSchedulesOnWideTopologies) {
+  // Rack-scale servers (128 GPUs each — matcher on the wide bitset path)
+  // behind the fleet dispatcher: every job of the rack trace preset lands,
+  // including the 9..12-GPU jobs no single DGX node could hold, and the
+  // run is deterministic across probe thread counts like any other fleet.
+  auto specs = rack_fleet_specs(/*racks=*/2, /*nodes_per_rack=*/16);
+  ASSERT_EQ(specs.size(), 2u);
+  EXPECT_EQ(specs[0].topology.num_vertices(), 128u);
+  EXPECT_EQ(specs[0].policy, "topo-aware");
+
+  workload::FleetTraceConfig trace_config =
+      workload::rack_trace_config(/*num_jobs=*/60, /*seed=*/13);
+  const auto jobs = workload::generate_fleet_trace(trace_config);
+
+  ClusterConfig sequential;
+  FleetSimulator fleet(specs, sequential);
+  const auto result = fleet.run(jobs);
+  EXPECT_EQ(result.records.size(), jobs.size());
+  bool cross_node = false;
+  for (const auto& r : result.records) {
+    cross_node |= r.record.job.num_gpus > 8;
+  }
+  EXPECT_TRUE(cross_node);
+
+  ClusterConfig threaded;
+  threaded.threads = 4;
+  FleetSimulator fleet_threaded(rack_fleet_specs(2, 16), threaded);
+  const auto threaded_result = fleet_threaded.run(jobs);
+  ASSERT_EQ(threaded_result.records.size(), result.records.size());
+  for (std::size_t i = 0; i < result.records.size(); ++i) {
+    EXPECT_EQ(threaded_result.records[i].record.job.id,
+              result.records[i].record.job.id);
+    EXPECT_EQ(threaded_result.records[i].record.gpus,
+              result.records[i].record.gpus);
+    EXPECT_EQ(threaded_result.records[i].server, result.records[i].server);
+  }
+}
+
 TEST(FleetMetrics, FindLocatesJobs) {
   const auto result = run_fleet(dgx_fleet(2), "preserve",
                                 {job_of(1, "vgg-16", 2), job_of(7, "gmm", 3)});

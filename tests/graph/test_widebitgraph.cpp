@@ -1,0 +1,147 @@
+// WideBitGraph (word-array adjacency for 65..512-vertex targets):
+// construction fidelity against the source Graph, the <=64 / <=512 /
+// generic dispatch boundaries, the actionable error messages on both
+// bitset cores, and the VertexMask multi-word fingerprint the match cache
+// keys on.
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <stdexcept>
+
+#include "graph/bitgraph.hpp"
+#include "graph/topology.hpp"
+#include "graph/widebitgraph.hpp"
+
+namespace mapa::graph {
+namespace {
+
+TEST(WideBitGraph, RowsMatchGraphAdjacencyOnA128GpuRack) {
+  const Graph rack = dgx_rack(16, Connectivity::kNvlinkOnly);
+  ASSERT_EQ(rack.num_vertices(), 128u);
+  const WideBitGraph bits(rack);
+  EXPECT_EQ(bits.num_vertices(), 128u);
+  EXPECT_EQ(bits.num_words(), 2u);
+  for (VertexId u = 0; u < rack.num_vertices(); ++u) {
+    EXPECT_EQ(bits.degree(u), rack.degree(u));
+    for (VertexId v = 0; v < rack.num_vertices(); ++v) {
+      ASSERT_EQ(bits.has_edge(u, v), rack.has_edge(u, v))
+          << "edge (" << u << ", " << v << ")";
+    }
+  }
+  // The full candidate domain has every vertex bit set and nothing above.
+  std::size_t all_bits = 0;
+  for (std::size_t w = 0; w < bits.num_words(); ++w) {
+    all_bits += static_cast<std::size_t>(std::popcount(bits.all_vertices()[w]));
+  }
+  EXPECT_EQ(all_bits, 128u);
+}
+
+TEST(WideBitGraph, RowWordsCrossNodeBoundaries) {
+  // In a 16-node DGX rack, the inter-node rail links GPU 63 (last of node
+  // 7, word 0) to GPU 64 (first of node 8, word 1): both row words of the
+  // endpoints must carry the edge.
+  const Graph rack = dgx_rack(16, Connectivity::kNvlinkOnly);
+  const WideBitGraph bits(rack);
+  ASSERT_TRUE(rack.has_edge(63, 64));
+  EXPECT_TRUE(bits.has_edge(63, 64));
+  EXPECT_TRUE(bits.has_edge(64, 63));
+  EXPECT_EQ((bits.row(63)[1] >> 0) & 1, 1u);
+  EXPECT_EQ((bits.row(64)[0] >> 63) & 1, 1u);
+}
+
+TEST(WideBitGraph, DispatchBoundaries) {
+  EXPECT_TRUE(BitGraph::fits(pcie_only(64)));
+  EXPECT_FALSE(BitGraph::fits(pcie_only(65)));
+  EXPECT_TRUE(WideBitGraph::fits(pcie_only(65)));
+  EXPECT_TRUE(WideBitGraph::fits(pcie_only(512)));
+  EXPECT_FALSE(WideBitGraph::fits(Graph(513)));
+}
+
+TEST(WideBitGraph, ErrorMessagesNameTheNextPath) {
+  // BitGraph's >64 rejection must point at the wide alternative, and the
+  // wide core's >512 rejection at the generic matcher path.
+  try {
+    const BitGraph bits(pcie_only(65));
+    FAIL() << "BitGraph accepted 65 vertices";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("WideBitGraph"), std::string::npos)
+        << e.what();
+  }
+  try {
+    const WideBitGraph bits(Graph(513));
+    FAIL() << "WideBitGraph accepted 513 vertices";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("vf2_enumerate_generic"),
+              std::string::npos)
+        << e.what();
+  }
+}
+
+TEST(WideBitGraph, EmptyAndSingleVertexGraphs) {
+  const WideBitGraph empty((Graph(0)));
+  EXPECT_EQ(empty.num_vertices(), 0u);
+  EXPECT_EQ(empty.num_words(), 0u);
+  const WideBitGraph one((Graph(1)));
+  EXPECT_EQ(one.num_words(), 1u);
+  EXPECT_EQ(one.all_vertices()[0], 1u);
+  EXPECT_EQ(one.degree(0), 0u);
+}
+
+TEST(VertexMaskFingerprint, DistinguishesMultiWordStates) {
+  // Two 128-vertex fleet states identical in word 0 but different in word
+  // 1 must fingerprint differently — this is exactly the wide-fleet case
+  // a single-word cache key would alias.
+  VertexMask a(128);
+  VertexMask b(128);
+  a.set(3);
+  b.set(3);
+  EXPECT_EQ(a.fingerprint(), b.fingerprint());
+  b.set(100);
+  EXPECT_NE(a.fingerprint(), b.fingerprint());
+
+  // Same set bits, different mask width: still distinct states.
+  VertexMask narrow(64);
+  VertexMask wide(128);
+  narrow.set(3);
+  wide.set(3);
+  EXPECT_NE(narrow.fingerprint(), wide.fingerprint());
+
+  // Empty vs all-clear one-word mask.
+  EXPECT_NE(VertexMask().fingerprint(), VertexMask(8).fingerprint());
+}
+
+TEST(RackTopologies, StructureAndSockets) {
+  const Graph summit = summit_rack(12, Connectivity::kNvlinkOnly);
+  EXPECT_EQ(summit.num_vertices(), 72u);
+  EXPECT_EQ(summit.name(), "Summit-rack-12");
+  // Node 0 keeps the Summit intra-socket triple wiring...
+  EXPECT_TRUE(summit.has_edge(0, 1));
+  EXPECT_TRUE(summit.has_edge(3, 5));
+  EXPECT_FALSE(summit.has_edge(0, 4));  // cross-socket is host-routed
+  // ...node 1 is the same graph shifted by 6...
+  EXPECT_TRUE(summit.has_edge(6, 7));
+  EXPECT_FALSE(summit.has_edge(0, 7));
+  // ...and the ring rail bridges consecutive nodes plus the wrap-around.
+  EXPECT_TRUE(summit.has_edge(5, 6));
+  EXPECT_TRUE(summit.has_edge(71, 0));
+  EXPECT_EQ(summit.socket(0), 0);
+  EXPECT_EQ(summit.socket(5), 1);
+  EXPECT_EQ(summit.socket(6), 2);
+  EXPECT_EQ(summit.socket(71), 23);
+
+  const Graph dgx = dgx_rack(2, Connectivity::kNvlinkOnly);
+  EXPECT_EQ(dgx.num_vertices(), 16u);
+  // Two nodes: exactly one bridge, not a doubled pair of rails.
+  EXPECT_TRUE(dgx.has_edge(7, 8));
+  EXPECT_EQ(dgx.num_edges(), 2u * 16u + 1u);
+
+  // PCIe fallback fully connects the rack, per the paper's convention.
+  const Graph full = summit_rack(2);
+  EXPECT_EQ(full.num_edges(), 12u * 11u / 2u);
+
+  EXPECT_THROW(dgx_rack(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapa::graph

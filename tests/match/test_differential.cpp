@@ -1,8 +1,9 @@
-// Differential suite for the bitset matching core: on DGX-1V / DGX-2-style
-// (NVSwitch) / torus / Summit topologies, across fixed shapes and randomly
-// generated patterns and busy masks, the bitset VF2 core, the generic
-// (seed) VF2 fallback, and the Ullmann backend must produce identical match
-// sets — and identical symmetry-broken counts.
+// Differential suite for the bitset matching cores: on DGX-1V / DGX-2-style
+// (NVSwitch) / torus / Summit topologies — and, for the wide word-array
+// core, 65..128-vertex racks and random graphs — across fixed shapes and
+// randomly generated patterns and busy masks, the bitset VF2 cores, the
+// generic (seed) VF2 loop, and the Ullmann backend must produce identical
+// match sets — and identical symmetry-broken counts.
 
 #include <gtest/gtest.h>
 
@@ -181,16 +182,121 @@ TEST(Differential, SymmetryBrokenCountsTimesAutGroupEqualsRaw) {
   }
 }
 
-TEST(Differential, GenericFallbackHandlesTargetsBeyond64Vertices) {
-  // Above 64 vertices vf2_enumerate must transparently use the generic
-  // path (and still honor the mask).
+TEST(Differential, WidePathHandlesTargetsBeyond64Vertices) {
+  // Above 64 vertices vf2_enumerate transparently switches to the wide
+  // word-array core (and still honors the mask, which spans two words
+  // here).
   const Graph big = graph::pcie_only(70);
   VertexMask busy(70);
   for (VertexId v = 0; v < 10; ++v) busy.set(v);
+  busy.set(65);  // one busy bit in the high word as well
   const Graph pattern = graph::ring(3);
   const std::size_t masked = vf2_count(pattern, big, {}, &busy);
-  // 60 fully connected free vertices: 60 * 59 * 58 ordered triangles.
-  EXPECT_EQ(masked, 60u * 59u * 58u);
+  // 59 fully connected free vertices: 59 * 58 * 57 ordered triangles.
+  EXPECT_EQ(masked, 59u * 58u * 57u);
+}
+
+TEST(Differential, GenericFallbackHandlesTargetsBeyond512Vertices) {
+  // Beyond WideBitGraph::kMaxVertices (512) the generic loop takes over.
+  const Graph big = graph::pcie_only(520);
+  VertexMask busy(520);
+  for (VertexId v = 0; v < 500; ++v) busy.set(v);
+  const Graph pattern = graph::ring(3);
+  EXPECT_EQ(vf2_count(pattern, big, {}, &busy), 20u * 19u * 18u);
+}
+
+std::vector<std::pair<std::string, Graph>> wide_targets() {
+  // NVLink-only racks keep the edge set sparse enough that full
+  // enumeration stays cheap while still crossing 64-bit word boundaries.
+  return {
+      {"summit_rack12", graph::summit_rack(12, graph::Connectivity::kNvlinkOnly)},
+      {"dgx_rack16", graph::dgx_rack(16, graph::Connectivity::kNvlinkOnly)},
+  };
+}
+
+TEST(Differential, WideFixedShapesOnRackTopologies) {
+  for (const auto& [tname, target] : wide_targets()) {
+    ASSERT_GT(target.num_vertices(), 64u);
+    for (const auto kind :
+         {graph::PatternKind::kRing, graph::PatternKind::kChain,
+          graph::PatternKind::kTree, graph::PatternKind::kStar}) {
+      for (const std::size_t size : {3u, 4u}) {
+        SCOPED_TRACE(tname + "/" + graph::to_string(kind) + "-" +
+                     std::to_string(size));
+        const Graph pattern = graph::make_pattern(kind, size);
+        expect_backends_agree(pattern, target, {}, nullptr);
+        expect_backends_agree(pattern, target, symmetry_constraints(pattern),
+                              nullptr);
+      }
+    }
+  }
+}
+
+TEST(Differential, WideRandomPatternsAndBusyMasksSymmetryBroken) {
+  util::Rng rng(4096);
+  for (const auto& [tname, target] : wide_targets()) {
+    for (int trial = 0; trial < 8; ++trial) {
+      const auto size = static_cast<std::size_t>(rng.uniform_int(2, 4));
+      const Graph pattern = random_pattern(rng, size);
+      const VertexMask busy =
+          random_busy(rng, target.num_vertices(), target.num_vertices() / 2);
+      SCOPED_TRACE(tname + "/trial" + std::to_string(trial));
+      const OrderingConstraints constraints = symmetry_constraints(pattern);
+      expect_backends_agree(pattern, target, constraints, &busy);
+    }
+  }
+}
+
+TEST(Differential, WideRandomSparseGraphs65To128Vertices) {
+  // Random sparse targets straddling the one-word/two-word boundary, with
+  // busy masks concentrated around vertex 64 so candidate words on both
+  // sides of the boundary carry live bits.
+  util::Rng rng(128);
+  for (const std::size_t n : {65u, 96u, 128u}) {
+    for (int trial = 0; trial < 4; ++trial) {
+      Graph target = random_pattern(rng, n);  // spanning tree + extras
+      for (int extra = 0; extra < 64; ++extra) {
+        const auto u = static_cast<VertexId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto v = static_cast<VertexId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (u != v) target.add_edge(u, v, interconnect::LinkType::kNone, 0.0);
+      }
+      VertexMask busy = random_busy(rng, n, n / 3);
+      if (n > 64) busy.set(64);
+      busy.set(63);
+      const Graph pattern = random_pattern(rng, 4);
+      SCOPED_TRACE(std::to_string(n) + "/trial" + std::to_string(trial));
+      const OrderingConstraints constraints = symmetry_constraints(pattern);
+      expect_backends_agree(pattern, target, constraints, &busy);
+    }
+  }
+}
+
+TEST(Differential, WideRootTargetPartitionsMatchSequentialEnumeration) {
+  // The parallel enumerator splits the search by root target vertex; on
+  // the wide path the per-root union must equal the sequential stream.
+  const Graph target = graph::summit_rack(12, graph::Connectivity::kNvlinkOnly);
+  const Graph pattern = graph::chain(3);
+  const auto constraints = symmetry_constraints(pattern);
+  auto expected = collect_bitset(pattern, target, constraints, nullptr);
+  std::vector<Match> by_root;
+  for (VertexId root = 0; root < target.num_vertices(); ++root) {
+    vf2_enumerate(
+        pattern, target,
+        [&](const Match& m) {
+          by_root.push_back(m);
+          return true;
+        },
+        constraints, nullptr, static_cast<std::int64_t>(root));
+  }
+  sort_matches(expected);
+  sort_matches(by_root);
+  EXPECT_EQ(by_root, expected);
+
+  EnumerateOptions threaded;
+  threaded.threads = 4;
+  EXPECT_EQ(find_matches(pattern, target, threaded).size(), expected.size());
 }
 
 }  // namespace

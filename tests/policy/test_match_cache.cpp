@@ -64,6 +64,60 @@ TEST(MatchCache, HitAndMissAccounting) {
   EXPECT_EQ(cache.size(), 3u);
 }
 
+TEST(MatchCache, MultiWordMasksKeyDistinctFleetStates) {
+  // On a 128-GPU rack the busy mask spans two words; states that agree in
+  // word 0 but differ in word 1 must be distinct keys (the mask enters the
+  // key as VertexMask::fingerprint() over every word), and a repeated
+  // two-word state must replay byte-identically.
+  MatchCache cache;
+  const Graph hw = graph::dgx_rack(16, graph::Connectivity::kNvlinkOnly);
+  ASSERT_EQ(hw.num_vertices(), 128u);
+  const Graph pattern = graph::ring(3);
+
+  VertexMask low_only(128);
+  low_only.set(3);
+  const auto options_low = options_with_busy(low_only);
+  const auto first = drain(cache, pattern, hw, options_low);
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  VertexMask both_words = low_only;
+  both_words.set(100);
+  const auto on_both = drain(cache, pattern, hw, options_with_busy(both_words));
+  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  // The high-word busy bit really constrained the match set.
+  EXPECT_LT(on_both.size(), first.size());
+  for (const match::Match& m : on_both) {
+    for (const graph::VertexId v : m.mapping) EXPECT_NE(v, 100u);
+  }
+
+  const auto replay_low = drain(cache, pattern, hw, options_low);
+  const auto replay_both =
+      drain(cache, pattern, hw, options_with_busy(both_words));
+  EXPECT_EQ(cache.stats().hits, 2u);
+  EXPECT_EQ(replay_low, first);
+  EXPECT_EQ(replay_both, on_both);
+}
+
+TEST(MatchCache, WideHardwareChangeInvalidatesWholesale) {
+  MatchCache cache;
+  const Graph pattern = graph::ring(3);
+  VertexMask mostly_busy(128);  // 16 free vertices, spanning both words
+  for (graph::VertexId v = 8; v < 120; ++v) mostly_busy.set(v);
+  const auto options = options_with_busy(mostly_busy);
+  drain(cache, pattern, graph::dgx_rack(16, graph::Connectivity::kNvlinkOnly),
+        options);
+  EXPECT_EQ(cache.size(), 1u);
+  // Same vertex count, different rack wiring: must invalidate.
+  const Graph other = graph::pcie_only(128);
+  const auto on_other = drain(cache, pattern, other, options);
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  match::EnumerateOptions live = options;
+  EXPECT_EQ(on_other.size(), match::count_matches(pattern, other, live));
+}
+
 TEST(MatchCache, InvalidatesOnHardwareChange) {
   MatchCache cache;
   const Graph pattern = graph::ring(3);

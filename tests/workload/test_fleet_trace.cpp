@@ -136,5 +136,21 @@ TEST(FleetTrace, ValidatesConfiguration) {
   EXPECT_THROW(generate_fleet_trace(config), std::invalid_argument);
 }
 
+TEST(RackTraceConfig, PresetSpansNodeBoundaries) {
+  const FleetTraceConfig config = rack_trace_config(/*num_jobs=*/400,
+                                                    /*seed=*/7);
+  EXPECT_EQ(config.num_jobs, 400u);
+  EXPECT_EQ(config.seed, 7u);
+  EXPECT_GT(config.max_gpus, 8u);  // overflows any single DGX/Summit node
+  const auto jobs = generate_fleet_trace(config);
+  ASSERT_EQ(jobs.size(), 400u);
+  // The mix must actually produce node-overflowing jobs, and the preset is
+  // as deterministic as every other generator entry point.
+  bool cross_node = false;
+  for (const Job& job : jobs) cross_node |= job.num_gpus > 8;
+  EXPECT_TRUE(cross_node);
+  EXPECT_EQ(generate_fleet_trace(config), jobs);
+}
+
 }  // namespace
 }  // namespace mapa::workload

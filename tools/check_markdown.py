@@ -1,0 +1,136 @@
+#!/usr/bin/env python3
+"""Dependency-free markdown lint + link check for the repo's docs.
+
+CI runs this over README/ROADMAP/CHANGES/docs so the architecture docs
+cannot rot silently. Checks, per file:
+
+  * fenced code blocks are balanced;
+  * no trailing whitespace outside code fences (it renders as a forced
+    line break on GitHub and is invisible in review);
+  * the first heading is an H1 and heading levels never skip (an H3
+    directly under an H1 breaks the rendered outline);
+  * every relative link target exists on disk, and every fragment
+    (`#anchor`, on its own or after a .md path) resolves to a heading in
+    the target file using GitHub's slug rules.
+
+External http(s) links are intentionally not fetched: CI stays hermetic
+and the job cannot flake on someone else's outage. Exits 1 with
+file:line diagnostics when any check fails.
+
+Usage: tools/check_markdown.py FILE.md [FILE.md ...]
+"""
+
+import re
+import sys
+from pathlib import Path
+
+FENCE = re.compile(r"^\s*(```|~~~)")
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$")
+# Inline [text](target) links; images share the syntax via ![text](target).
+LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+
+
+def slugify(heading: str) -> str:
+    """GitHub's anchor algorithm: lowercase, drop punctuation, dashes."""
+    text = re.sub(r"[*_`\[\]()!]", "", heading.strip().lower())
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_slugs(path: Path) -> set:
+    slugs = set()
+    counts = {}
+    in_fence = False
+    for line in path.read_text(encoding="utf-8").splitlines():
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        match = HEADING.match(line)
+        if match:
+            slug = slugify(match.group(2))
+            n = counts.get(slug, 0)
+            counts[slug] = n + 1
+            slugs.add(slug if n == 0 else f"{slug}-{n}")
+    return slugs
+
+
+def check_file(path: Path) -> list:
+    errors = []
+    lines = path.read_text(encoding="utf-8").splitlines()
+    in_fence = False
+    first_heading_seen = False
+    previous_level = 0
+    for number, line in enumerate(lines, start=1):
+        if FENCE.match(line):
+            in_fence = not in_fence
+            continue
+        if in_fence:
+            continue
+        if line != line.rstrip():
+            errors.append(f"{path}:{number}: trailing whitespace")
+        match = HEADING.match(line)
+        if match:
+            level = len(match.group(1))
+            if not first_heading_seen:
+                if level != 1:
+                    errors.append(
+                        f"{path}:{number}: first heading must be an H1"
+                    )
+                first_heading_seen = True
+            elif previous_level and level > previous_level + 1:
+                errors.append(
+                    f"{path}:{number}: heading level jumps from "
+                    f"H{previous_level} to H{level}"
+                )
+            previous_level = level
+        for link in LINK.finditer(line):
+            errors.extend(check_link(path, number, link.group(1)))
+    if in_fence:
+        errors.append(f"{path}: unbalanced code fence")
+    return errors
+
+
+def check_link(path: Path, number: int, target: str) -> list:
+    if target.startswith(("http://", "https://", "mailto:")):
+        return []  # external: not fetched, CI stays hermetic
+    where = f"{path}:{number}"
+    if target.startswith("#"):
+        if target[1:] not in heading_slugs(path):
+            return [f"{where}: broken anchor {target}"]
+        return []
+    file_part, _, fragment = target.partition("#")
+    resolved = (path.parent / file_part).resolve()
+    if not resolved.exists():
+        return [f"{where}: broken link {target}"]
+    if fragment:
+        if resolved.suffix != ".md":
+            return [f"{where}: fragment on non-markdown target {target}"]
+        if fragment not in heading_slugs(resolved):
+            return [f"{where}: broken anchor {target}"]
+    return []
+
+
+def main(argv: list) -> int:
+    if len(argv) < 2:
+        print(__doc__.strip().splitlines()[-1], file=sys.stderr)
+        return 2
+    errors = []
+    for name in argv[1:]:
+        path = Path(name)
+        if not path.exists():
+            errors.append(f"{path}: no such file")
+            continue
+        errors.extend(check_file(path))
+    for error in errors:
+        print(error, file=sys.stderr)
+    print(
+        f"check_markdown: {len(argv) - 1} files, {len(errors)} problems",
+        file=sys.stderr,
+    )
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
