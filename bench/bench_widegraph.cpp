@@ -216,6 +216,49 @@ int main(int argc, char** argv) {
     report.metric("rack128_masked_speedup", generic_us / wide_us);
   }
 
+  // Empty-search fast-out (ROADMAP perf candidate): zero-match patterns
+  // must reject before wide row construction. Two provably-empty cases on
+  // the 128-GPU rack — a busy mask leaving fewer free GPUs than the
+  // pattern needs, and a star out-degreeing every NVLink-only vertex —
+  // both asserted empty against the generic baseline.
+  {
+    const graph::Graph hw = machines[2].second;
+    graph::VertexMask nearly_full(hw.num_vertices());
+    for (graph::VertexId v = 0; v < hw.num_vertices() - 3; ++v) {
+      nearly_full.set(v);  // 3 free GPUs, ring4 needs 4
+    }
+    const graph::Graph masked_pattern = graph::ring(4);
+    const graph::Graph star_pattern = graph::star(9);  // center degree 8
+    const auto masked_constraints = match::symmetry_constraints(masked_pattern);
+    const auto star_constraints = match::symmetry_constraints(star_pattern);
+    if (generic_count(masked_pattern, hw, masked_constraints, &nearly_full) !=
+            0 ||
+        match::vf2_count(masked_pattern, hw, masked_constraints,
+                         &nearly_full) != 0 ||
+        match::ullmann_count(masked_pattern, hw, masked_constraints,
+                             &nearly_full) != 0 ||
+        match::vf2_count(star_pattern, hw, star_constraints) != 0) {
+      std::cerr << "zero-match fast-out case unexpectedly found matches\n";
+      return 1;
+    }
+    const double generic_us = time_us([&] {
+      (void)generic_count(masked_pattern, hw, masked_constraints,
+                          &nearly_full);
+    });
+    const double wide_us = time_us([&] {
+      (void)match::vf2_count(masked_pattern, hw, masked_constraints,
+                             &nearly_full);
+    });
+    std::cout << "\nring4 on rack128 with only 3 free GPUs (zero matches, "
+                 "degree-census fast-out): generic "
+              << util::fixed(generic_us, 2) << " us, wide "
+              << util::fixed(wide_us, 2) << " us ("
+              << util::fixed(generic_us / wide_us, 2) << "x)\n";
+    report.metric("rack128_zeromatch_generic_us", generic_us);
+    report.metric("rack128_zeromatch_wide_us", wide_us);
+    report.metric("rack128_zeromatch_speedup", generic_us / wide_us);
+  }
+
   // Match-cache replay of repeat rack states: 8 cycling two-word busy
   // masks, enumerated once each and then replayed from cache.
   {

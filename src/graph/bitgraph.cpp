@@ -1,7 +1,6 @@
 #include "graph/bitgraph.hpp"
 
 #include <bit>
-#include <stdexcept>
 
 namespace mapa::graph {
 
@@ -30,24 +29,6 @@ std::uint64_t VertexMask::fingerprint() const {
   mix(size_);
   for (const std::uint64_t w : words_) mix(w);
   return hash;
-}
-
-BitGraph::BitGraph(const Graph& g) : n_(g.num_vertices()) {
-  if (n_ > kMaxVertices) {
-    throw std::invalid_argument(
-        "BitGraph: graph exceeds 64 vertices; use graph::WideBitGraph (up "
-        "to 512 vertices) or the generic matcher path beyond that");
-  }
-  all_ = n_ == 64 ? ~std::uint64_t{0}
-                  : (std::uint64_t{1} << n_) - 1;
-  for (VertexId v = 0; v < n_; ++v) {
-    std::uint64_t row = 0;
-    for (const VertexId nb : g.neighbors(v)) {
-      row |= std::uint64_t{1} << nb;
-    }
-    rows_[v] = row;
-    degrees_[v] = static_cast<std::uint8_t>(g.degree(v));
-  }
 }
 
 }  // namespace mapa::graph

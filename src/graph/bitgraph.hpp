@@ -1,12 +1,11 @@
 #pragma once
-// Bitset matching core (Glasgow-solver style): word-per-vertex adjacency
-// for hardware graphs with at most 64 accelerators, which covers every
-// machine the paper evaluates (it tops out at 16). One uint64_t row per
-// vertex lets the subgraph matchers test edges and intersect candidate
-// domains with single bitwise ops instead of indexed matrix lookups;
-// targets above 64 vertices run on the word-array `WideBitGraph`
-// (graph/widebitgraph.hpp) up to 512 vertices, and on the generic
-// `Graph`-based path beyond that.
+// Single-word bitset view (Glasgow-solver style) for hardware graphs with
+// at most 64 accelerators, which covers every machine the paper evaluates
+// (it tops out at 16). `BitGraph` is a thin adapter over
+// `graph::InlineRows<1>` (graph/bitrows.hpp, the storage the unified
+// matcher cores are instantiated for) that hands rows and the full-domain
+// mask out as plain uint64_t values; targets above 64 vertices run on
+// `graph::DynRows` with no vertex ceiling.
 //
 // `VertexMask` is the companion free/busy-set representation used to plumb
 // forbidden (busy) accelerators through the matching stack: a word-array
@@ -16,6 +15,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "graph/bitrows.hpp"
 #include "graph/graph.hpp"
 
 namespace mapa::graph {
@@ -73,37 +73,36 @@ class VertexMask {
   std::vector<std::uint64_t> words_;
 };
 
-/// Word-per-vertex adjacency view of a `Graph` with <= 64 vertices.
-/// Construction is O(n + m) with no heap allocation; intended to be built
-/// per enumeration (hardware graphs are tiny) or kept alongside a graph.
+/// Word-per-vertex adjacency view of a `Graph` with <= 64 vertices: an
+/// `InlineRows<1>` handing out rows as plain uint64_t masks. Construction
+/// is O(n + m) with no heap allocation; intended to be built per
+/// enumeration (hardware graphs are tiny) or kept alongside a graph.
 class BitGraph {
  public:
-  static constexpr std::size_t kMaxVertices = 64;
+  static constexpr std::size_t kMaxVertices = InlineRows<1>::kMaxVertices;
 
-  static bool fits(const Graph& g) { return g.num_vertices() <= kMaxVertices; }
+  static bool fits(const Graph& g) { return InlineRows<1>::fits(g); }
 
   /// Throws std::invalid_argument when the graph has more than 64 vertices.
-  explicit BitGraph(const Graph& g);
+  explicit BitGraph(const Graph& g) : rows_(g) {}
 
-  std::size_t num_vertices() const { return n_; }
+  std::size_t num_vertices() const { return rows_.num_vertices(); }
 
   /// Neighbors of `v` as a bitmask.
-  std::uint64_t row(VertexId v) const { return rows_[v]; }
+  std::uint64_t row(VertexId v) const { return rows_.row(v)[0]; }
 
   /// All vertices of the graph as a bitmask (the full candidate domain).
-  std::uint64_t all_vertices() const { return all_; }
+  std::uint64_t all_vertices() const { return rows_.all_vertices()[0]; }
 
-  bool has_edge(VertexId u, VertexId v) const {
-    return (rows_[u] >> v) & 1;
-  }
+  bool has_edge(VertexId u, VertexId v) const { return rows_.has_edge(u, v); }
 
-  std::size_t degree(VertexId v) const { return degrees_[v]; }
+  std::size_t degree(VertexId v) const { return rows_.degree(v); }
+
+  /// The underlying storage, for handing to a matcher core directly.
+  const InlineRows<1>& rows() const { return rows_; }
 
  private:
-  std::size_t n_ = 0;
-  std::uint64_t all_ = 0;
-  std::uint64_t rows_[kMaxVertices] = {};
-  std::uint8_t degrees_[kMaxVertices] = {};
+  InlineRows<1> rows_;
 };
 
 }  // namespace mapa::graph

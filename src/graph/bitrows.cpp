@@ -1,17 +1,9 @@
-#include "graph/widebitgraph.hpp"
-
-#include <stdexcept>
-#include <string>
+#include "graph/bitrows.hpp"
 
 namespace mapa::graph {
 
-WideBitGraph::WideBitGraph(const Graph& g)
+DynRows::DynRows(const Graph& g)
     : n_(g.num_vertices()), words_((n_ + 63) / 64) {
-  if (n_ > kMaxVertices) {
-    throw std::invalid_argument(
-        "WideBitGraph: graph exceeds " + std::to_string(kMaxVertices) +
-        " vertices; use the generic matcher path (vf2_enumerate_generic)");
-  }
   rows_.assign(n_ * words_, 0);
   all_.assign(words_, 0);
   degrees_.assign(n_, 0);
@@ -21,7 +13,7 @@ WideBitGraph::WideBitGraph(const Graph& g)
     for (const VertexId nb : g.neighbors(v)) {
       row[nb >> 6] |= std::uint64_t{1} << (nb & 63);
     }
-    degrees_[v] = static_cast<std::uint16_t>(g.degree(v));
+    degrees_[v] = static_cast<std::uint32_t>(g.degree(v));
   }
 }
 

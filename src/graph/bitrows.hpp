@@ -1,0 +1,126 @@
+#pragma once
+// Row-adjacency storages for the unified bit-domain matching core.
+//
+// Both subgraph backends (match/vf2.cpp, match/ullmann.cpp) run one
+// templated state machine over a "Rows" storage — any type providing
+//
+//   num_vertices()            vertex count
+//   num_words()               uint64 words per adjacency row / domain
+//   row(v)                    pointer to v's num_words()-word neighbor row
+//   all_vertices()            pointer to the full-domain word array
+//   degree(v)                 degree of v in the source Graph
+//   static fits(const Graph&) does a graph fit this storage?
+//
+// Two instantiations cover every target size:
+//
+//  * InlineRows<W>: W words per row, storage inline in the object, at most
+//    64 * W vertices. num_words() is static constexpr, so when a matcher
+//    core is instantiated for InlineRows<1> the compiler unrolls every
+//    word loop to the single-uint64 ops the <= 64-vertex hot path has
+//    always compiled to — DGX-class machines pay zero indirection.
+//  * DynRows: heap word-array rows with no vertex ceiling. Racks, rack
+//    rows, and anything larger (the old 512-vertex WideBitGraph limit is
+//    gone) run here; the generic Graph-based loop survives only as the
+//    differential-test baseline, not as a dispatch target.
+//
+// `BitGraph` (graph/bitgraph.hpp) remains as a thin single-word adapter
+// over InlineRows<1> for code that wants uint64_t masks directly, and
+// `WideBitGraph` (graph/widebitgraph.hpp) is now an alias for DynRows.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// Fixed-width inline row storage: W words per row, <= 64 * W vertices,
+/// no heap allocation. Construction is O(n * W + m).
+template <std::size_t W>
+class InlineRows {
+ public:
+  static constexpr std::size_t kWords = W;
+  static constexpr std::size_t kMaxVertices = 64 * W;
+
+  static bool fits(const Graph& g) { return g.num_vertices() <= kMaxVertices; }
+
+  /// Throws std::invalid_argument when the graph exceeds kMaxVertices
+  /// (build a DynRows instead — it has no ceiling).
+  explicit InlineRows(const Graph& g) : n_(g.num_vertices()) {
+    if (n_ > kMaxVertices) {
+      throw std::invalid_argument(
+          "InlineRows: graph exceeds " + std::to_string(kMaxVertices) +
+          " vertices; use graph::DynRows (heap word-array rows, no ceiling)");
+    }
+    for (VertexId v = 0; v < n_; ++v) {
+      all_[v >> 6] |= std::uint64_t{1} << (v & 63);
+      for (const VertexId nb : g.neighbors(v)) {
+        rows_[v][nb >> 6] |= std::uint64_t{1} << (nb & 63);
+      }
+      degrees_[v] = static_cast<std::uint16_t>(g.degree(v));
+    }
+  }
+
+  std::size_t num_vertices() const { return n_; }
+  static constexpr std::size_t num_words() { return W; }
+
+  /// Neighbors of `v` as a W-word array.
+  const std::uint64_t* row(VertexId v) const { return rows_[v]; }
+
+  /// All vertices of the graph (the full candidate domain), W words.
+  const std::uint64_t* all_vertices() const { return all_; }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    return (rows_[u][v >> 6] >> (v & 63)) & 1;
+  }
+
+  std::size_t degree(VertexId v) const { return degrees_[v]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::uint64_t all_[W] = {};
+  std::uint64_t rows_[kMaxVertices][W] = {};
+  std::uint16_t degrees_[kMaxVertices] = {};
+};
+
+/// Heap word-array row storage with no vertex ceiling. Each row is
+/// num_words() consecutive uint64_t words; construction is
+/// O(n * words + m). Intended to be built per enumeration (even
+/// rack-scale hardware graphs are small) or kept alongside a graph.
+class DynRows {
+ public:
+  static bool fits(const Graph&) { return true; }
+
+  explicit DynRows(const Graph& g);
+
+  std::size_t num_vertices() const { return n_; }
+
+  /// Words per row (and per VertexMask over this graph): ceil(n / 64).
+  std::size_t num_words() const { return words_; }
+
+  /// Neighbors of `v` as a word array of num_words() words.
+  const std::uint64_t* row(VertexId v) const {
+    return rows_.data() + static_cast<std::size_t>(v) * words_;
+  }
+
+  /// All vertices of the graph (the full candidate domain), num_words()
+  /// words.
+  const std::uint64_t* all_vertices() const { return all_.data(); }
+
+  bool has_edge(VertexId u, VertexId v) const {
+    return (row(u)[v >> 6] >> (v & 63)) & 1;
+  }
+
+  std::size_t degree(VertexId v) const { return degrees_[v]; }
+
+ private:
+  std::size_t n_ = 0;
+  std::size_t words_ = 0;
+  std::vector<std::uint64_t> rows_;  // n_ * words_, row-major
+  std::vector<std::uint64_t> all_;   // words_
+  std::vector<std::uint32_t> degrees_;
+};
+
+}  // namespace mapa::graph

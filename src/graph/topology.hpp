@@ -66,8 +66,9 @@ Graph pcie_only(std::size_t n);
 /// gets a host-routed PCIe edge, per the paper's §3.2 convention.
 ///
 /// These are the wide-matching-path targets: above 64 GPUs enumeration
-/// runs on graph::WideBitGraph word-array domains (docs/ARCHITECTURE.md
-/// has the dispatch table). Throws std::invalid_argument when nodes == 0.
+/// runs on graph::DynRows word-array domains with no vertex ceiling
+/// (docs/ARCHITECTURE.md has the dispatch table). Throws
+/// std::invalid_argument when nodes == 0.
 
 /// `nodes` Summit nodes (6 V100s each): 22 nodes = a 132-GPU rack row.
 Graph summit_rack(std::size_t nodes,

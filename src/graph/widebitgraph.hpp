@@ -1,68 +1,15 @@
 #pragma once
-// Wide bitset matching core: word-array row adjacency for hardware graphs
-// beyond the 64-accelerator single-word `BitGraph` — multi-node racks
-// (Summit-style nodes, DGX racks) and `mig/`-partitioned fleets flattened
-// into one target graph. Each vertex row is `num_words()` consecutive
-// uint64_t words, so the subgraph matchers intersect candidate domains
-// with a short word loop (AND + countr_zero per word, early exit on an
-// empty domain) instead of per-candidate indexed matrix lookups.
-//
-// Dispatch rule (see docs/ARCHITECTURE.md): targets with <= 64 vertices
-// stay on the single-word `BitGraph` core (DGX-class hot paths pay zero
-// extra indirection), targets with 65..kMaxVertices vertices run on this
-// wide core, and anything larger falls back to the generic `Graph`-based
-// inner loop (`vf2_enumerate_generic`).
+// Compatibility alias for the pre-BitRows wide matching core. The
+// word-array adjacency view that used to live here (with a 512-vertex
+// ceiling) is now `graph::DynRows` (graph/bitrows.hpp), which has no
+// vertex ceiling: both matcher backends run a single templated core
+// instantiated for `InlineRows<1>` (<= 64 vertices) and `DynRows`
+// (everything else). See docs/ARCHITECTURE.md for the dispatch table.
 
-#include <cstdint>
-#include <vector>
-
-#include "graph/graph.hpp"
+#include "graph/bitrows.hpp"
 
 namespace mapa::graph {
 
-/// Word-array adjacency view of a `Graph` with up to kMaxVertices
-/// vertices. Construction is O(n * words + m); intended to be built per
-/// enumeration (even rack-scale hardware graphs are small) or kept
-/// alongside a graph.
-class WideBitGraph {
- public:
-  /// ~512 vertices covers every multi-node rack the ROADMAP targets (a
-  /// 64-node Summit rack is 384 GPUs) while keeping rows short enough
-  /// that the word loop stays in cache.
-  static constexpr std::size_t kMaxVertices = 512;
-
-  static bool fits(const Graph& g) { return g.num_vertices() <= kMaxVertices; }
-
-  /// Throws std::invalid_argument when the graph exceeds kMaxVertices
-  /// (use vf2_enumerate_generic beyond that).
-  explicit WideBitGraph(const Graph& g);
-
-  std::size_t num_vertices() const { return n_; }
-
-  /// Words per row (and per VertexMask over this graph): ceil(n / 64).
-  std::size_t num_words() const { return words_; }
-
-  /// Neighbors of `v` as a word array of num_words() words.
-  const std::uint64_t* row(VertexId v) const {
-    return rows_.data() + static_cast<std::size_t>(v) * words_;
-  }
-
-  /// All vertices of the graph (the full candidate domain), num_words()
-  /// words.
-  const std::uint64_t* all_vertices() const { return all_.data(); }
-
-  bool has_edge(VertexId u, VertexId v) const {
-    return (row(u)[v >> 6] >> (v & 63)) & 1;
-  }
-
-  std::size_t degree(VertexId v) const { return degrees_[v]; }
-
- private:
-  std::size_t n_ = 0;
-  std::size_t words_ = 0;
-  std::vector<std::uint64_t> rows_;  // n_ * words_, row-major
-  std::vector<std::uint64_t> all_;   // words_
-  std::vector<std::uint16_t> degrees_;
-};
+using WideBitGraph = DynRows;
 
 }  // namespace mapa::graph

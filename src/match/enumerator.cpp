@@ -36,28 +36,65 @@ void enumerate_sequential(const Graph& pattern, const Graph& target,
   throw std::invalid_argument("enumerate: unknown backend");
 }
 
-/// Run one VF2 search per target root vertex across a pool, calling
-/// `per_root` with (root, visitor-compatible lambda). Each root's search is
-/// independent, so no two threads ever produce the same match.
+/// Contiguous root ranges for a parallel split: a few chunks per worker
+/// for load balance, but far fewer than one per root — each range pays
+/// the per-search setup (degree screen, row construction, domains) once
+/// for the whole range, which is what makes the split profitable on
+/// rack-scale targets where setup is proportional to target size.
+std::size_t split_chunks(std::size_t vertices, std::size_t threads) {
+  return std::min(vertices, threads * 4);
+}
+
+/// One root-range search of the selected backend: the candidate set of
+/// the first-placed pattern vertex is restricted to [begin, end), so
+/// disjoint ranges partition the match set without overlap on every
+/// backend.
+void enumerate_root_range(const Graph& pattern, const Graph& target,
+                          const MatchVisitor& visit,
+                          const OrderingConstraints& constraints,
+                          const EnumerateOptions& options, std::size_t begin,
+                          std::size_t end) {
+  switch (options.backend) {
+    case Backend::kVf2:
+      vf2_enumerate(pattern, target, visit, constraints,
+                    forbidden_or_null(options),
+                    static_cast<std::int64_t>(begin),
+                    static_cast<std::int64_t>(end));
+      return;
+    case Backend::kUllmann:
+      ullmann_enumerate(pattern, target, visit, constraints,
+                        forbidden_or_null(options),
+                        static_cast<std::int64_t>(begin),
+                        static_cast<std::int64_t>(end));
+      return;
+  }
+  throw std::invalid_argument("enumerate: unknown backend");
+}
+
+/// Run one search of the selected backend per contiguous root range
+/// across a pool, calling `emit` with (chunk, match). Each range's search
+/// is independent, so no two threads ever produce the same match.
 void enumerate_parallel_roots(
     const Graph& pattern, const Graph& target,
     const OrderingConstraints& constraints, const EnumerateOptions& options,
-    const std::function<bool(std::size_t root, const Match&)>& emit) {
+    const std::function<bool(std::size_t chunk, const Match&)>& emit) {
   util::ThreadPool pool(options.threads);
+  const std::size_t vertices = target.num_vertices();
+  const std::size_t chunks = split_chunks(vertices, options.threads);
   std::atomic<bool> stop{false};
-  pool.parallel_for(target.num_vertices(), [&](std::size_t root) {
+  pool.parallel_for(chunks, [&](std::size_t chunk) {
     if (stop.load(std::memory_order_relaxed)) return;
-    vf2_enumerate(
+    enumerate_root_range(
         pattern, target,
         [&](const Match& m) {
-          if (!emit(root, m)) {
+          if (!emit(chunk, m)) {
             stop.store(true, std::memory_order_relaxed);
             return false;
           }
           return !stop.load(std::memory_order_relaxed);
         },
-        constraints, forbidden_or_null(options),
-        static_cast<std::int64_t>(root));
+        constraints, options, chunk * vertices / chunks,
+        (chunk + 1) * vertices / chunks);
   });
 }
 
@@ -104,18 +141,36 @@ std::size_t count_matches(const Graph& pattern, const Graph& target,
     }
     throw std::invalid_argument("count_matches: unknown backend");
   }
-  // Parallel: one leaf-counting VF2 search per root vertex.
+  // Parallel: one leaf-counting search of the selected backend per
+  // contiguous root range.
+  if (options.backend != Backend::kVf2 &&
+      options.backend != Backend::kUllmann) {
+    throw std::invalid_argument("count_matches: unknown backend");
+  }
   if (pattern.num_vertices() == 0 ||
       pattern.num_vertices() > target.num_vertices()) {
     return 0;
   }
   util::ThreadPool pool(options.threads);
+  const std::size_t vertices = target.num_vertices();
+  const std::size_t chunks = split_chunks(vertices, options.threads);
   std::atomic<std::size_t> count{0};
-  pool.parallel_for(target.num_vertices(), [&](std::size_t root) {
-    count.fetch_add(vf2_count(pattern, target, constraints,
-                              forbidden_or_null(options),
-                              static_cast<std::int64_t>(root)),
-                    std::memory_order_relaxed);
+  pool.parallel_for(chunks, [&](std::size_t chunk) {
+    const auto begin = static_cast<std::int64_t>(chunk * vertices / chunks);
+    const auto end =
+        static_cast<std::int64_t>((chunk + 1) * vertices / chunks);
+    std::size_t rooted = 0;
+    switch (options.backend) {
+      case Backend::kVf2:
+        rooted = vf2_count(pattern, target, constraints,
+                           forbidden_or_null(options), begin, end);
+        break;
+      case Backend::kUllmann:
+        rooted = ullmann_count(pattern, target, constraints,
+                               forbidden_or_null(options), begin, end);
+        break;
+    }
+    count.fetch_add(rooted, std::memory_order_relaxed);
   });
   return count.load();
 }
@@ -149,6 +204,9 @@ std::vector<Match> find_matches(const Graph& pattern, const Graph& target,
   // the *set* may legitimately differ between runs, but stays valid.)
   std::sort(matches.begin(), matches.end(),
             [](const Match& a, const Match& b) { return a.mapping < b.mapping; });
+  // Workers already mid-emit when another chunk hits the limit can each
+  // slip one extra match in; enforce the contract after normalizing.
+  if (limit != 0 && matches.size() > limit) matches.resize(limit);
   return matches;
 }
 
@@ -199,14 +257,15 @@ std::optional<Match> best_match(
     return best.match;
   }
 
-  std::vector<Best> per_root(target.num_vertices());
+  std::vector<Best> per_chunk(
+      split_chunks(target.num_vertices(), options.threads));
   enumerate_parallel_roots(pattern, target, constraints, options,
-                           [&](std::size_t root, const Match& m) {
-                             per_root[root].consider(scorer(m), m);
+                           [&](std::size_t chunk, const Match& m) {
+                             per_chunk[chunk].consider(scorer(m), m);
                              return true;
                            });
   Best best;
-  for (const Best& b : per_root) best.merge(b);
+  for (const Best& b : per_chunk) best.merge(b);
   if (!best.valid) return std::nullopt;
   return best.match;
 }

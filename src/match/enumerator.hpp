@@ -5,9 +5,10 @@
 //  * Symmetry breaking — ordering constraints derived from the pattern's
 //    automorphism group (stabilizer-chain construction) so each distinct
 //    allocation is produced exactly once instead of |Aut(P)| times.
-//  * A parallel driver — the search space is partitioned by the target
-//    vertex assigned to the first-placed pattern vertex and explored
-//    across a thread pool (paper §5.4 notes this data parallelism).
+//  * A parallel driver — the search space is partitioned into contiguous
+//    ranges of the target vertex assigned to the first-placed pattern
+//    vertex and explored across a thread pool (paper §5.4 notes this data
+//    parallelism), on either backend.
 
 #include <cstddef>
 #include <optional>
@@ -27,7 +28,9 @@ struct EnumerateOptions {
   /// DESIGN.md ablation (every allocation then appears |Aut(P)| times).
   bool break_symmetry = true;
   /// Worker threads for the parallel driver; 1 = sequential. Parallelism
-  /// uses the VF2 root split regardless of `backend`.
+  /// splits the search into contiguous root-target ranges (~4 per worker)
+  /// and runs the selected `backend` per range (VF2 and Ullmann both
+  /// support the root split).
   std::size_t threads = 1;
   /// Target vertices that must not be used (busy accelerators) as a
   /// free-GPU bitmask; a default-constructed (empty) mask means none.

@@ -1,0 +1,130 @@
+#pragma once
+// Internal helpers shared by the unified bit-domain matcher cores
+// (Vf2Core<Rows> in match/vf2.cpp, UllmannCore<Rows> in match/ullmann.cpp).
+// Everything here is generic over a graph::BitRows storage — InlineRows<W>
+// or DynRows (graph/bitrows.hpp) — so each backend is written once and
+// instantiated per storage.
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "graph/bitgraph.hpp"
+#include "graph/graph.hpp"
+
+namespace mapa::match::rows {
+
+/// Word count of a Rows storage, a compile-time constant when the storage
+/// fixes it (InlineRows): the matcher cores call this in their inner
+/// loops, so for InlineRows<1> every word loop folds to the single-uint64
+/// ops the <= 64-vertex hot path has always compiled to.
+template <typename Rows>
+inline std::size_t word_count(const Rows& rows) {
+  if constexpr (requires { Rows::kWords; }) {
+    return Rows::kWords;
+  } else {
+    return rows.num_words();
+  }
+}
+
+/// Initial candidate domains, pattern-vertex-major with one
+/// word_count(target)-word span per pattern vertex: unforbidden target
+/// vertices of at least the pattern vertex's degree. `PatternLike` only
+/// needs num_vertices()/degree() (a Graph or any Rows storage works).
+template <typename PatternLike, typename Rows>
+std::vector<std::uint64_t> degree_domains(const PatternLike& pattern,
+                                          const Rows& target,
+                                          const graph::VertexMask* forbidden) {
+  const std::size_t words = word_count(target);
+  std::vector<std::uint64_t> allowed(target.all_vertices(),
+                                     target.all_vertices() + words);
+  if (forbidden != nullptr) {
+    for (std::size_t w = 0; w < words; ++w) {
+      allowed[w] &= ~forbidden->word(w);
+    }
+  }
+  const std::size_t np = pattern.num_vertices();
+  std::vector<std::uint64_t> domains(np * words, 0);
+  for (graph::VertexId u = 0; u < np; ++u) {
+    const std::size_t need = pattern.degree(u);
+    std::uint64_t* dom = domains.data() + u * words;
+    for (graph::VertexId t = 0; t < target.num_vertices(); ++t) {
+      if (target.degree(t) >= need) {
+        dom[t >> 6] |= std::uint64_t{1} << (t & 63);
+      }
+    }
+    for (std::size_t w = 0; w < words; ++w) dom[w] &= allowed[w];
+  }
+  return domains;
+}
+
+/// cand &= { bits strictly above v } over a `words`-word span.
+inline void and_bits_above(std::uint64_t* cand, graph::VertexId v) {
+  const std::size_t wv = v >> 6;
+  for (std::size_t w = 0; w < wv; ++w) cand[w] = 0;
+  const unsigned bit = v & 63u;
+  cand[wv] &= bit == 63 ? 0 : ~std::uint64_t{0} << (bit + 1);
+}
+
+/// cand &= { bits strictly below v } over a `words`-word span.
+inline void and_bits_below(std::uint64_t* cand, std::size_t words,
+                           graph::VertexId v) {
+  const std::size_t wv = v >> 6;
+  cand[wv] &= (std::uint64_t{1} << (v & 63)) - 1;
+  for (std::size_t w = wv + 1; w < words; ++w) cand[w] = 0;
+}
+
+/// cand &= { vertices in [begin, end) } over a `words`-word span (the
+/// root-split hook: the first-placed pattern vertex is pinned to a
+/// contiguous target range, so per-range searches partition the match set
+/// without overlap and the parallel driver amortizes per-search setup
+/// over the whole range instead of paying it per root).
+inline void and_vertex_range(std::uint64_t* cand, std::size_t words,
+                             graph::VertexId begin, graph::VertexId end) {
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::size_t lo = w << 6;
+    std::uint64_t keep = ~std::uint64_t{0};
+    if (begin > lo) {
+      keep = begin - lo >= 64 ? 0 : keep << (begin - lo);
+    }
+    if (end < lo + 64) {
+      keep = end <= lo ? 0 : keep & (~std::uint64_t{0} >> (64 - (end - lo)));
+    }
+    cand[w] &= keep;
+  }
+}
+
+/// Empty-search fast-out: true when the search is provably empty before
+/// any row adjacency is built. Every valid (non-induced) match sends each
+/// pattern vertex to a distinct unforbidden target vertex of at least its
+/// degree, so sorted degree domination is a necessary condition — and with
+/// nested candidate sets (thresholds) it is exactly Hall's condition, so
+/// the screen never rejects a satisfiable instance. Zero-match patterns
+/// (e.g. a star wider than any free vertex's degree, or more pattern
+/// vertices than free GPUs) return without paying domain construction.
+/// Patterns are unlabeled per the paper's definition, so degree is the
+/// only per-vertex invariant to screen on.
+inline bool provably_empty(const graph::Graph& pattern,
+                           const graph::Graph& target,
+                           const graph::VertexMask* forbidden) {
+  std::vector<std::size_t> need;
+  need.reserve(pattern.num_vertices());
+  for (graph::VertexId u = 0; u < pattern.num_vertices(); ++u) {
+    need.push_back(pattern.degree(u));
+  }
+  std::vector<std::size_t> have;
+  have.reserve(target.num_vertices());
+  for (graph::VertexId t = 0; t < target.num_vertices(); ++t) {
+    if (forbidden != nullptr && forbidden->test(t)) continue;
+    have.push_back(target.degree(t));
+  }
+  if (have.size() < need.size()) return true;
+  std::sort(need.begin(), need.end(), std::greater<>());
+  std::sort(have.begin(), have.end(), std::greater<>());
+  for (std::size_t i = 0; i < need.size(); ++i) {
+    if (have[i] < need[i]) return true;
+  }
+  return false;
+}
+
+}  // namespace mapa::match::rows

@@ -6,206 +6,80 @@
 #include <stdexcept>
 #include <string>
 
-#include "graph/widebitgraph.hpp"
+#include "graph/bitrows.hpp"
+#include "match/rows_common.hpp"
 
 namespace mapa::match {
 
 namespace {
 
-using graph::BitGraph;
+using graph::DynRows;
 using graph::Graph;
+using graph::InlineRows;
 using graph::VertexId;
 using graph::VertexMask;
-using graph::WideBitGraph;
 
-/// Candidate domains as 64-bit masks; hardware graphs here are far below
-/// 64 vertices (the paper tops out at 16).
-using Bits = std::uint64_t;
-
-class UllmannState {
+/// The unified Ullmann core, templated over a graph::BitRows storage
+/// (graph/bitrows.hpp) for both the pattern and the target: the classic
+/// refinement step, constraint handling, and forward-checking are all
+/// word-span bitwise ops against the storage's adjacency rows.
+/// Instantiated for InlineRows<1> (targets <= 64 vertices — every word
+/// loop folds to single-uint64 ops) and DynRows (any larger target, no
+/// ceiling). Forward-checked domain copies and per-depth candidate spans
+/// live in preallocated depth-indexed buffers, so the inner loop performs
+/// no heap allocation. `root_begin >= 0` pins pattern vertex 0 (the
+/// first placed) to the target range [root_begin, root_end) — the
+/// root-split hook the parallel enumerator uses to partition the search
+/// across threads without overlap.
+template <typename Rows>
+class UllmannCore {
  public:
-  UllmannState(const BitGraph& pattern, const BitGraph& target,
-               const MatchVisitor* visit,
-               const OrderingConstraints& constraints,
-               const VertexMask* forbidden)
+  UllmannCore(const Rows& pattern, const Rows& target,
+              const MatchVisitor* visit, const OrderingConstraints& constraints,
+              const VertexMask* forbidden, std::int64_t root_begin,
+              std::int64_t root_end)
       : pattern_(pattern),
         target_(target),
         visit_(visit),
         constraints_(constraints),
-        n_(pattern.num_vertices()),
-        m_(target.num_vertices()) {
+        n_(pattern.num_vertices()) {
     scratch_.mapping.assign(n_, 0);
-    const Bits allowed = forbidden == nullptr
-                             ? target.all_vertices()
-                             : target.all_vertices() & ~forbidden->word(0);
-    domains_.resize(n_, 0);
-    for (VertexId p = 0; p < n_; ++p) {
-      Bits dom = 0;
-      for (VertexId t = 0; t < m_; ++t) {
-        if (target.degree(t) >= pattern.degree(p)) dom |= Bits{1} << t;
-      }
-      domains_[p] = dom & allowed;
+    // Degree prefilter folded into the initial domain of each pattern
+    // vertex: only unforbidden target vertices of sufficient degree.
+    domains_ = rows::degree_domains(pattern, target, forbidden);
+    if (root_begin >= 0 && n_ > 0) {
+      rooted_ = true;
+      rows::and_vertex_range(domains_.data(), twords(),
+                             static_cast<VertexId>(root_begin),
+                             static_cast<VertexId>(root_end));
     }
+    used_.assign(twords(), 0);
+    cand_.assign(n_ * twords(), 0);      // per-depth candidate spans
+    buffers_.assign(n_ * n_ * twords(), 0);  // forward-check domains
   }
 
   bool run() {
-    std::vector<Bits> domains = domains_;
-    if (!refine(domains)) return true;
-    return extend(0, domains);
-  }
-
-  std::size_t count() const { return count_; }
-
- private:
-  /// Classic Ullmann refinement: candidate t for pattern vertex p survives
-  /// only if every pattern neighbor of p still has a candidate adjacent to
-  /// t. Iterates to a fixed point; returns false if a domain empties.
-  bool refine(std::vector<Bits>& domains) const {
-    bool changed = true;
-    while (changed) {
-      changed = false;
-      for (VertexId p = 0; p < n_; ++p) {
-        Bits dom = domains[p];
-        while (dom != 0) {
-          const int t = std::countr_zero(dom);
-          dom &= dom - 1;
-          Bits nbs = pattern_.row(p);
-          while (nbs != 0) {
-            const auto q = static_cast<VertexId>(std::countr_zero(nbs));
-            nbs &= nbs - 1;
-            if ((domains[q] & target_.row(static_cast<VertexId>(t))) == 0) {
-              domains[p] &= ~(Bits{1} << t);
-              changed = true;
-              break;
-            }
-          }
-        }
-        if (domains[p] == 0) return false;
-      }
-    }
-    return true;
-  }
-
-  bool satisfies_constraints(VertexId p, VertexId t) const {
-    const std::vector<VertexId>& mapping = scratch_.mapping;
-    for (const auto& [a, b] : constraints_) {
-      if (a == p && b < p && t >= mapping[b]) return false;
-      if (b == p && a < p && t <= mapping[a]) return false;
-    }
-    return true;
-  }
-
-  bool extend(VertexId p, const std::vector<Bits>& domains) {
-    std::vector<VertexId>& mapping = scratch_.mapping;
-    if (p == n_) {
-      if (visit_ == nullptr) {
-        ++count_;
-        return true;
-      }
-      return (*visit_)(scratch_);
-    }
-    // Adjacency to already-placed pattern neighbors, folded into the
-    // candidate mask up front instead of per-candidate edge probes.
-    Bits dom = domains[p] & ~used_;
-    Bits earlier = pattern_.row(p) & ((Bits{1} << p) - 1);
-    while (earlier != 0) {
-      const auto q = static_cast<VertexId>(std::countr_zero(earlier));
-      earlier &= earlier - 1;
-      dom &= target_.row(mapping[q]);
-    }
-    while (dom != 0) {
-      const auto t = static_cast<VertexId>(std::countr_zero(dom));
-      dom &= dom - 1;
-      if (!satisfies_constraints(p, t)) continue;
-
-      // Forward-check: narrow future domains to neighbors of t where the
-      // pattern demands adjacency, and drop t everywhere.
-      bool viable = true;
-      std::vector<Bits> next = domains;
-      const Bits t_bit = Bits{1} << t;
-      for (VertexId q = p + 1; q < n_; ++q) {
-        next[q] &= ~t_bit;
-        if (pattern_.has_edge(p, q)) {
-          next[q] &= target_.row(t);
-        }
-        if (next[q] == 0) {
-          viable = false;
-          break;
-        }
-      }
-      if (!viable) continue;
-
-      mapping[p] = t;
-      used_ |= t_bit;
-      const bool keep_going = extend(p + 1, next);
-      used_ &= ~t_bit;
-      if (!keep_going) return false;
-    }
-    return true;
-  }
-
-  const BitGraph& pattern_;
-  const BitGraph& target_;
-  const MatchVisitor* visit_;
-  const OrderingConstraints& constraints_;
-  std::size_t n_;
-  std::size_t m_;
-  std::vector<Bits> domains_;
-  Bits used_ = 0;
-  std::size_t count_ = 0;
-  Match scratch_;  // mapping updated in place; visitors copy if they keep it
-};
-
-/// Wide variant (targets of 65..WideBitGraph::kMaxVertices vertices):
-/// identical search to UllmannState — same refinement, same constraint
-/// handling, same forward-check — but every candidate domain is a span of
-/// `tw_` words ANDed against WideBitGraph rows. Forward-checked domain
-/// copies live in a preallocated depth-indexed buffer, so the inner loop
-/// performs no heap allocation.
-class UllmannWideState {
- public:
-  UllmannWideState(const WideBitGraph& pattern, const WideBitGraph& target,
-                   const MatchVisitor* visit,
-                   const OrderingConstraints& constraints,
-                   const VertexMask* forbidden)
-      : pattern_(pattern),
-        target_(target),
-        visit_(visit),
-        constraints_(constraints),
-        n_(pattern.num_vertices()),
-        m_(target.num_vertices()),
-        tw_(target.num_words()) {
-    scratch_.mapping.assign(n_, 0);
-    std::vector<std::uint64_t> allowed(target.all_vertices(),
-                                       target.all_vertices() + tw_);
-    if (forbidden != nullptr) {
-      for (std::size_t w = 0; w < tw_; ++w) allowed[w] &= ~forbidden->word(w);
-    }
-    domains_.assign(n_ * tw_, 0);
-    for (VertexId p = 0; p < n_; ++p) {
-      std::uint64_t* dom = domains_.data() + p * tw_;
-      for (VertexId t = 0; t < m_; ++t) {
-        if (target.degree(t) >= pattern.degree(p)) {
-          dom[t >> 6] |= std::uint64_t{1} << (t & 63);
-        }
-      }
-      for (std::size_t w = 0; w < tw_; ++w) dom[w] &= allowed[w];
-    }
-    used_.assign(tw_, 0);
-    buffers_.assign(n_ * n_ * tw_, 0);  // forward-check domains, per depth
-  }
-
-  bool run() {
-    if (!refine(domains_.data())) return true;
+    if (n_ == 0) return true;
+    // Refinement is pure pruning — it never changes the emitted match
+    // stream — and its fixpoint walks every candidate of every pattern
+    // vertex. A root-split search skips it: the narrowed root domain
+    // propagates through extend()'s forward-checking immediately, and
+    // re-paying the global fixpoint per root range would dominate the
+    // whole root-split.
+    if (!rooted_ && !refine(domains_.data())) return true;
     return extend(0, domains_.data());
   }
 
   std::size_t count() const { return count_; }
 
  private:
+  std::size_t twords() const { return rows::word_count(target_); }
+  std::size_t pwords() const { return rows::word_count(pattern_); }
+
   bool domain_empty(const std::uint64_t* dom) const {
+    const std::size_t tw = twords();
     std::uint64_t acc = 0;
-    for (std::size_t w = 0; w < tw_; ++w) acc |= dom[w];
+    for (std::size_t w = 0; w < tw; ++w) acc |= dom[w];
     return acc == 0;
   }
 
@@ -214,12 +88,14 @@ class UllmannWideState {
   /// candidate adjacent to t. Iterates to a fixed point; returns false if
   /// a domain empties.
   bool refine(std::uint64_t* domains) const {
+    const std::size_t tw = twords();
+    const std::size_t pw = pwords();
     bool changed = true;
     while (changed) {
       changed = false;
       for (VertexId p = 0; p < n_; ++p) {
-        std::uint64_t* dom = domains + p * tw_;
-        for (std::size_t w = 0; w < tw_; ++w) {
+        std::uint64_t* dom = domains + p * tw;
+        for (std::size_t w = 0; w < tw; ++w) {
           std::uint64_t word = dom[w];
           while (word != 0) {
             const auto t = static_cast<VertexId>(
@@ -228,17 +104,16 @@ class UllmannWideState {
             const std::uint64_t* trow = target_.row(t);
             const std::uint64_t* prow = pattern_.row(p);
             bool dead = false;
-            for (std::size_t pw = 0; pw < pattern_.num_words() && !dead;
-                 ++pw) {
-              std::uint64_t nbs = prow[pw];
+            for (std::size_t pwi = 0; pwi < pw && !dead; ++pwi) {
+              std::uint64_t nbs = prow[pwi];
               while (nbs != 0) {
                 const auto q = static_cast<VertexId>(
-                    (pw << 6) +
+                    (pwi << 6) +
                     static_cast<std::size_t>(std::countr_zero(nbs)));
                 nbs &= nbs - 1;
-                const std::uint64_t* qdom = domains + q * tw_;
+                const std::uint64_t* qdom = domains + q * tw;
                 std::uint64_t acc = 0;
-                for (std::size_t w2 = 0; w2 < tw_; ++w2) {
+                for (std::size_t w2 = 0; w2 < tw; ++w2) {
                   acc |= qdom[w2] & trow[w2];
                 }
                 if (acc == 0) {
@@ -277,25 +152,26 @@ class UllmannWideState {
       }
       return (*visit_)(scratch_);
     }
+    const std::size_t tw = twords();
     // Adjacency to already-placed pattern neighbors, folded into the
     // candidate span up front instead of per-candidate edge probes.
-    std::uint64_t cand[WideBitGraph::kMaxVertices / 64];
-    const std::uint64_t* dom = domains + p * tw_;
-    for (std::size_t w = 0; w < tw_; ++w) cand[w] = dom[w] & ~used_[w];
+    std::uint64_t* cand = cand_.data() + p * tw;
+    const std::uint64_t* dom = domains + p * tw;
+    for (std::size_t w = 0; w < tw; ++w) cand[w] = dom[w] & ~used_[w];
     const std::uint64_t* prow = pattern_.row(p);
     const std::size_t p_word = p >> 6;
-    for (std::size_t pw = 0; pw <= p_word; ++pw) {
-      std::uint64_t earlier = prow[pw];
-      if (pw == p_word) earlier &= (std::uint64_t{1} << (p & 63)) - 1;
+    for (std::size_t pwi = 0; pwi <= p_word; ++pwi) {
+      std::uint64_t earlier = prow[pwi];
+      if (pwi == p_word) earlier &= (std::uint64_t{1} << (p & 63)) - 1;
       while (earlier != 0) {
         const auto q = static_cast<VertexId>(
-            (pw << 6) + static_cast<std::size_t>(std::countr_zero(earlier)));
+            (pwi << 6) + static_cast<std::size_t>(std::countr_zero(earlier)));
         earlier &= earlier - 1;
         const std::uint64_t* qrow = target_.row(mapping[q]);
-        for (std::size_t w = 0; w < tw_; ++w) cand[w] &= qrow[w];
+        for (std::size_t w = 0; w < tw; ++w) cand[w] &= qrow[w];
       }
     }
-    for (std::size_t w = 0; w < tw_; ++w) {
+    for (std::size_t w = 0; w < tw; ++w) {
       std::uint64_t word = cand[w];
       while (word != 0) {
         const std::uint64_t t_bit = word & (~word + 1);
@@ -306,15 +182,15 @@ class UllmannWideState {
 
         // Forward-check: narrow future domains to neighbors of t where
         // the pattern demands adjacency, and drop t everywhere.
-        std::uint64_t* next = buffers_.data() + p * n_ * tw_;
-        std::copy(domains, domains + n_ * tw_, next);
+        std::uint64_t* next = buffers_.data() + p * n_ * tw;
+        std::copy(domains, domains + n_ * tw, next);
         const std::uint64_t* trow = target_.row(t);
         bool viable = true;
         for (VertexId q = p + 1; q < n_; ++q) {
-          std::uint64_t* qdom = next + q * tw_;
+          std::uint64_t* qdom = next + q * tw;
           qdom[w] &= ~t_bit;
           if (pattern_.has_edge(p, q)) {
-            for (std::size_t w2 = 0; w2 < tw_; ++w2) qdom[w2] &= trow[w2];
+            for (std::size_t w2 = 0; w2 < tw; ++w2) qdom[w2] &= trow[w2];
           }
           if (domain_empty(qdom)) {
             viable = false;
@@ -333,37 +209,64 @@ class UllmannWideState {
     return true;
   }
 
-  const WideBitGraph& pattern_;
-  const WideBitGraph& target_;
+  const Rows& pattern_;
+  const Rows& target_;
   const MatchVisitor* visit_;
   const OrderingConstraints& constraints_;
   std::size_t n_;
-  std::size_t m_;
-  std::size_t tw_;  // words per target-domain span
-  std::vector<std::uint64_t> domains_;  // pattern-vertex-major, tw_ each
+  bool rooted_ = false;
+  std::vector<std::uint64_t> domains_;  // pattern-vertex-major, twords() each
   std::vector<std::uint64_t> used_;
+  std::vector<std::uint64_t> cand_;     // depth-major candidate scratch
   std::vector<std::uint64_t> buffers_;  // depth-major forward-check copies
   std::size_t count_ = 0;
   Match scratch_;  // mapping updated in place; visitors copy if they keep it
 };
 
 /// Returns false when the search is trivially empty; throws on misuse.
+/// Resolves `root_end` in place: -1 with an active root_begin means the
+/// single root root_begin + 1.
 bool validate(const Graph& pattern, const Graph& target,
-              const VertexMask* forbidden) {
+              const VertexMask* forbidden, std::int64_t root_begin,
+              std::int64_t* root_end) {
   if (pattern.num_vertices() == 0) return false;
   if (pattern.num_vertices() > target.num_vertices()) return false;
-  if (target.num_vertices() > WideBitGraph::kMaxVertices) {
-    throw std::invalid_argument(
-        "ullmann_enumerate: bit-vector backends support <= " +
-        std::to_string(WideBitGraph::kMaxVertices) +
-        " target vertices; use the generic VF2 path "
-        "(vf2_enumerate_generic) beyond that");
-  }
   if (forbidden != nullptr && forbidden->size() != target.num_vertices()) {
     throw std::invalid_argument(
         "ullmann_enumerate: forbidden mask size mismatch");
   }
-  return true;
+  if (root_begin < 0) return true;
+  if (*root_end < 0) *root_end = root_begin + 1;
+  if (root_begin >= static_cast<std::int64_t>(target.num_vertices()) ||
+      *root_end > static_cast<std::int64_t>(target.num_vertices())) {
+    throw std::invalid_argument("ullmann_enumerate: root range out of range");
+  }
+  return *root_end > root_begin;  // an empty range matches nothing
+}
+
+/// Run an UllmannCore instantiated for the storage the target fits:
+/// InlineRows<1> up to 64 vertices, DynRows beyond (no ceiling). The
+/// pattern always fits the target's storage (validate() guarantees it is
+/// no larger).
+template <typename Fn>
+void with_core(const Graph& pattern, const Graph& target,
+               const MatchVisitor* visit, const OrderingConstraints& constraints,
+               const VertexMask* forbidden, std::int64_t root_begin,
+               std::int64_t root_end, Fn&& fn) {
+  if (InlineRows<1>::fits(target)) {
+    const InlineRows<1> pattern_rows(pattern);
+    const InlineRows<1> target_rows(target);
+    UllmannCore<InlineRows<1>> core(pattern_rows, target_rows, visit,
+                                    constraints, forbidden, root_begin,
+                                    root_end);
+    fn(core);
+    return;
+  }
+  const DynRows pattern_rows(pattern);
+  const DynRows target_rows(target);
+  UllmannCore<DynRows> core(pattern_rows, target_rows, visit, constraints,
+                            forbidden, root_begin, root_end);
+  fn(core);
 }
 
 }  // namespace
@@ -371,41 +274,27 @@ bool validate(const Graph& pattern, const Graph& target,
 void ullmann_enumerate(const Graph& pattern, const Graph& target,
                        const MatchVisitor& visit,
                        const OrderingConstraints& constraints,
-                       const VertexMask* forbidden) {
-  if (!validate(pattern, target, forbidden)) return;
-  if (BitGraph::fits(target)) {
-    const BitGraph pattern_bits(pattern);
-    const BitGraph target_bits(target);
-    UllmannState state(pattern_bits, target_bits, &visit, constraints,
-                       forbidden);
-    state.run();
-    return;
-  }
-  const WideBitGraph pattern_bits(pattern);
-  const WideBitGraph target_bits(target);
-  UllmannWideState state(pattern_bits, target_bits, &visit, constraints,
-                         forbidden);
-  state.run();
+                       const VertexMask* forbidden, std::int64_t root_begin,
+                       std::int64_t root_end) {
+  if (!validate(pattern, target, forbidden, root_begin, &root_end)) return;
+  if (rows::provably_empty(pattern, target, forbidden)) return;
+  with_core(pattern, target, &visit, constraints, forbidden, root_begin,
+            root_end, [](auto& core) { core.run(); });
 }
 
 std::size_t ullmann_count(const Graph& pattern, const Graph& target,
                           const OrderingConstraints& constraints,
-                          const VertexMask* forbidden) {
-  if (!validate(pattern, target, forbidden)) return 0;
-  if (BitGraph::fits(target)) {
-    const BitGraph pattern_bits(pattern);
-    const BitGraph target_bits(target);
-    UllmannState state(pattern_bits, target_bits, nullptr, constraints,
-                       forbidden);
-    state.run();
-    return state.count();
-  }
-  const WideBitGraph pattern_bits(pattern);
-  const WideBitGraph target_bits(target);
-  UllmannWideState state(pattern_bits, target_bits, nullptr, constraints,
-                         forbidden);
-  state.run();
-  return state.count();
+                          const VertexMask* forbidden,
+                          std::int64_t root_begin, std::int64_t root_end) {
+  if (!validate(pattern, target, forbidden, root_begin, &root_end)) return 0;
+  if (rows::provably_empty(pattern, target, forbidden)) return 0;
+  std::size_t count = 0;
+  with_core(pattern, target, nullptr, constraints, forbidden, root_begin,
+            root_end, [&](auto& core) {
+              core.run();
+              count = core.count();
+            });
+  return count;
 }
 
 std::vector<Match> ullmann_all(const Graph& pattern, const Graph& target,

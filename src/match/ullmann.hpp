@@ -3,13 +3,16 @@
 // domains and the classic refinement step. Kept as a second, independent
 // backend: the test suite cross-checks VF2 and Ullmann against each other
 // on every pattern/topology combination, which guards the matcher MAPA's
-// correctness rests on. Pattern and target adjacency are bitset word rows
-// (single-word BitGraph up to 64 target vertices, word-array WideBitGraph
-// up to 512 — multi-node racks), so refinement and the forward-checking
-// loop are pure bitwise ops; targets above 512 vertices are rejected (use
-// the VF2 generic path, vf2_enumerate_generic).
+// correctness rests on. One templated core (UllmannCore<Rows> in
+// ullmann.cpp, over the graph::BitRows storages of graph/bitrows.hpp)
+// serves every target size: InlineRows<1> up to 64 target vertices — the
+// machines the paper evaluates — and DynRows beyond, with no vertex
+// ceiling. Refinement and the forward-checking loop are pure bitwise ops
+// on both instantiations, and the root-range hook gives Ullmann the same
+// root-split parallelism as VF2.
 
 #include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "graph/bitgraph.hpp"
@@ -20,16 +23,26 @@ namespace mapa::match {
 
 /// Enumerate all matches of `pattern` in `target` (non-induced, labels
 /// ignored), honoring the same ordering-constraint semantics as VF2.
+/// `root_begin`, when >= 0, restricts pattern vertex 0 (the first placed)
+/// to the target range [root_begin, root_end) — `root_end == -1` means
+/// the single root root_begin + 1. Disjoint ranges partition the match
+/// set without overlap; this is the root-split hook the parallel
+/// enumerator uses, handing each worker a contiguous range so per-search
+/// setup is amortized across the range instead of paid per root.
 void ullmann_enumerate(const graph::Graph& pattern,
                        const graph::Graph& target, const MatchVisitor& visit,
                        const OrderingConstraints& constraints = {},
-                       const graph::VertexMask* forbidden = nullptr);
+                       const graph::VertexMask* forbidden = nullptr,
+                       std::int64_t root_begin = -1,
+                       std::int64_t root_end = -1);
 
 /// Number of matches, counted at the leaves without materializing a Match.
 std::size_t ullmann_count(const graph::Graph& pattern,
                           const graph::Graph& target,
                           const OrderingConstraints& constraints = {},
-                          const graph::VertexMask* forbidden = nullptr);
+                          const graph::VertexMask* forbidden = nullptr,
+                          std::int64_t root_begin = -1,
+                          std::int64_t root_end = -1);
 
 std::vector<Match> ullmann_all(const graph::Graph& pattern,
                                const graph::Graph& target,

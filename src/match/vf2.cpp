@@ -4,17 +4,18 @@
 #include <bit>
 #include <stdexcept>
 
-#include "graph/widebitgraph.hpp"
+#include "graph/bitrows.hpp"
+#include "match/rows_common.hpp"
 
 namespace mapa::match {
 
 namespace {
 
-using graph::BitGraph;
+using graph::DynRows;
 using graph::Graph;
+using graph::InlineRows;
 using graph::VertexId;
 using graph::VertexMask;
-using graph::WideBitGraph;
 
 /// One symmetry-breaking check, indexed by the later-placed endpoint so it
 /// fires as soon as both endpoints are mapped.
@@ -23,12 +24,12 @@ struct Check {
   bool require_greater;  // mapping[current] > mapping[other]?
 };
 
-/// The static part of a VF2 search, shared by the bitset core and the
-/// generic fallback: a match order chosen so each vertex (after the first)
-/// is adjacent to an earlier one when the pattern is connected — this keeps
-/// the frontier connected and maximizes pruning from adjacency checks —
-/// plus, per pattern vertex, its already-placed neighbors and constraint
-/// checks.
+/// The static part of a VF2 search, shared by every storage instantiation
+/// and the generic baseline: a match order chosen so each vertex (after
+/// the first) is adjacent to an earlier one when the pattern is connected
+/// — this keeps the frontier connected and maximizes pruning from
+/// adjacency checks — plus, per pattern vertex, its already-placed
+/// neighbors and constraint checks.
 struct Vf2Plan {
   std::vector<VertexId> order;
   std::vector<std::vector<VertexId>> placed_neighbors;  // by pattern vertex
@@ -87,130 +88,34 @@ Vf2Plan make_plan(const Graph& pattern, const OrderingConstraints& constraints) 
   return plan;
 }
 
-/// Bitset core: candidate domains live in one uint64_t, pruned by ANDing
-/// BitGraph adjacency rows of already-placed neighbors. `visit == nullptr`
+/// The unified bit-domain core, templated over a graph::BitRows storage:
+/// candidate domains are word_count(target)-word spans pruned by ANDing
+/// the storage's adjacency rows of already-placed neighbors, with an
+/// early exit as soon as a domain empties. All per-depth domain scratch
+/// is preallocated (depth d owns slice d of `cand_`), so the inner loop
+/// performs no heap allocation. Instantiated for InlineRows<1> (<= 64
+/// vertices — the word loops fold to single-uint64 ops) and DynRows (any
+/// larger target: racks, rack rows, whole pods). `visit == nullptr`
 /// switches to pure counting (no Match materialization at the leaves).
-class Vf2BitState {
+template <typename Rows>
+class Vf2Core {
  public:
-  Vf2BitState(const Vf2Plan& plan, const BitGraph& target,
-              const Graph& pattern, const MatchVisitor* visit,
-              const VertexMask* forbidden, std::int64_t root_target)
-      : plan_(plan), target_(target), visit_(visit), root_target_(root_target) {
-    scratch_.mapping.assign(pattern.num_vertices(), 0);
-    const std::uint64_t allowed =
-        forbidden == nullptr ? target.all_vertices()
-                             : target.all_vertices() & ~forbidden->word(0);
-    // Degree prefilter folded into the initial domain of each pattern
-    // vertex: only unforbidden target vertices of sufficient degree.
-    deg_ok_.assign(pattern.num_vertices(), 0);
-    for (VertexId u = 0; u < pattern.num_vertices(); ++u) {
-      const std::size_t need = pattern.degree(u);
-      std::uint64_t dom = 0;
-      for (VertexId t = 0; t < target.num_vertices(); ++t) {
-        if (target.degree(t) >= need) dom |= std::uint64_t{1} << t;
-      }
-      deg_ok_[u] = dom & allowed;
-    }
-  }
-
-  bool run() { return extend(0); }
-
-  std::size_t count() const { return count_; }
-
- private:
-  static std::uint64_t bits_above(VertexId v) {
-    return v >= 63 ? 0 : ~std::uint64_t{0} << (v + 1);
-  }
-  static std::uint64_t bits_below(VertexId v) {
-    return (std::uint64_t{1} << v) - 1;
-  }
-
-  // Returns false when the visitor requested a stop.
-  bool extend(std::size_t depth) {
-    std::vector<VertexId>& mapping = scratch_.mapping;
-    if (depth == plan_.order.size()) {
-      if (visit_ == nullptr) {
-        ++count_;
-        return true;
-      }
-      return (*visit_)(scratch_);
-    }
-    const VertexId u = plan_.order[depth];
-
-    std::uint64_t cand = deg_ok_[u] & ~used_;
-    for (const VertexId nb : plan_.placed_neighbors[u]) {
-      cand &= target_.row(mapping[nb]);
-    }
-    for (const Check& check : plan_.checks[u]) {
-      const VertexId other = mapping[check.other];
-      cand &= check.require_greater ? bits_above(other) : bits_below(other);
-    }
-    if (depth == 0 && root_target_ >= 0) {
-      cand &= std::uint64_t{1} << root_target_;
-    }
-
-    while (cand != 0) {
-      const auto t = static_cast<VertexId>(std::countr_zero(cand));
-      cand &= cand - 1;
-      mapping[u] = t;
-      used_ |= std::uint64_t{1} << t;
-      const bool keep_going = extend(depth + 1);
-      used_ &= ~(std::uint64_t{1} << t);
-      if (!keep_going) return false;
-    }
-    return true;
-  }
-
-  const Vf2Plan& plan_;
-  const BitGraph& target_;
-  const MatchVisitor* visit_;
-  std::int64_t root_target_;
-  std::vector<std::uint64_t> deg_ok_;
-  std::uint64_t used_ = 0;
-  std::size_t count_ = 0;
-  Match scratch_;  // mapping updated in place; visitors copy if they keep it
-};
-
-/// Wide bitset core (targets of 65..WideBitGraph::kMaxVertices vertices —
-/// multi-node racks): the same search as Vf2BitState, but candidate
-/// domains are spans of `words` uint64_t intersected word-by-word against
-/// WideBitGraph adjacency rows, with an early exit as soon as a domain
-/// empties. All per-depth domain scratch is preallocated (depth d owns
-/// slice d of `cand_`), so the inner loop performs no heap allocation.
-class Vf2WideState {
- public:
-  Vf2WideState(const Vf2Plan& plan, const WideBitGraph& target,
-               const Graph& pattern, const MatchVisitor* visit,
-               const VertexMask* forbidden, std::int64_t root_target)
+  Vf2Core(const Vf2Plan& plan, const Rows& target, const Graph& pattern,
+          const MatchVisitor* visit, const VertexMask* forbidden,
+          std::int64_t root_begin, std::int64_t root_end)
       : plan_(plan),
         target_(target),
         visit_(visit),
-        root_target_(root_target),
-        words_(target.num_words()) {
+        rooted_(root_begin >= 0),
+        root_begin_(rooted_ ? static_cast<VertexId>(root_begin) : 0),
+        root_end_(rooted_ ? static_cast<VertexId>(root_end) : 0) {
     const std::size_t np = pattern.num_vertices();
     scratch_.mapping.assign(np, 0);
-    used_.assign(words_, 0);
-    std::vector<std::uint64_t> allowed(target.all_vertices(),
-                                       target.all_vertices() + words_);
-    if (forbidden != nullptr) {
-      for (std::size_t w = 0; w < words_; ++w) {
-        allowed[w] &= ~forbidden->word(w);
-      }
-    }
+    used_.assign(words(), 0);
     // Degree prefilter folded into the initial domain of each pattern
     // vertex: only unforbidden target vertices of sufficient degree.
-    deg_ok_.assign(np * words_, 0);
-    for (VertexId u = 0; u < np; ++u) {
-      const std::size_t need = pattern.degree(u);
-      std::uint64_t* dom = deg_ok_.data() + u * words_;
-      for (VertexId t = 0; t < target.num_vertices(); ++t) {
-        if (target.degree(t) >= need) {
-          dom[t >> 6] |= std::uint64_t{1} << (t & 63);
-        }
-      }
-      for (std::size_t w = 0; w < words_; ++w) dom[w] &= allowed[w];
-    }
-    cand_.assign(np * words_, 0);
+    deg_ok_ = rows::degree_domains(pattern, target, forbidden);
+    cand_.assign(np * words(), 0);
   }
 
   bool run() { return extend(0); }
@@ -218,18 +123,7 @@ class Vf2WideState {
   std::size_t count() const { return count_; }
 
  private:
-  static void and_bits_above(std::uint64_t* cand, VertexId v) {
-    const std::size_t wv = v >> 6;
-    for (std::size_t w = 0; w < wv; ++w) cand[w] = 0;
-    const unsigned bit = v & 63u;
-    cand[wv] &= bit == 63 ? 0 : ~std::uint64_t{0} << (bit + 1);
-  }
-  static void and_bits_below(std::uint64_t* cand, std::size_t words,
-                             VertexId v) {
-    const std::size_t wv = v >> 6;
-    cand[wv] &= (std::uint64_t{1} << (v & 63)) - 1;
-    for (std::size_t w = wv + 1; w < words; ++w) cand[w] = 0;
-  }
+  std::size_t words() const { return rows::word_count(target_); }
 
   // Returns false when the visitor requested a stop.
   bool extend(std::size_t depth) {
@@ -242,11 +136,12 @@ class Vf2WideState {
       return (*visit_)(scratch_);
     }
     const VertexId u = plan_.order[depth];
+    const std::size_t nw = words();
 
-    std::uint64_t* cand = cand_.data() + depth * words_;
-    const std::uint64_t* dom = deg_ok_.data() + u * words_;
+    std::uint64_t* cand = cand_.data() + depth * nw;
+    const std::uint64_t* dom = deg_ok_.data() + u * nw;
     std::uint64_t any = 0;
-    for (std::size_t w = 0; w < words_; ++w) {
+    for (std::size_t w = 0; w < nw; ++w) {
       cand[w] = dom[w] & ~used_[w];
       any |= cand[w];
     }
@@ -254,7 +149,7 @@ class Vf2WideState {
     for (const VertexId nb : plan_.placed_neighbors[u]) {
       const std::uint64_t* row = target_.row(mapping[nb]);
       any = 0;
-      for (std::size_t w = 0; w < words_; ++w) {
+      for (std::size_t w = 0; w < nw; ++w) {
         cand[w] &= row[w];
         any |= cand[w];
       }
@@ -263,19 +158,16 @@ class Vf2WideState {
     for (const Check& check : plan_.checks[u]) {
       const VertexId other = mapping[check.other];
       if (check.require_greater) {
-        and_bits_above(cand, other);
+        rows::and_bits_above(cand, other);
       } else {
-        and_bits_below(cand, words_, other);
+        rows::and_bits_below(cand, nw, other);
       }
     }
-    if (depth == 0 && root_target_ >= 0) {
-      const auto root = static_cast<VertexId>(root_target_);
-      for (std::size_t w = 0; w < words_; ++w) {
-        cand[w] &= w == (root >> 6) ? std::uint64_t{1} << (root & 63) : 0;
-      }
+    if (depth == 0 && rooted_) {
+      rows::and_vertex_range(cand, nw, root_begin_, root_end_);
     }
 
-    for (std::size_t w = 0; w < words_; ++w) {
+    for (std::size_t w = 0; w < nw; ++w) {
       std::uint64_t word = cand[w];
       while (word != 0) {
         const std::uint64_t bit = word & (~word + 1);
@@ -293,24 +185,26 @@ class Vf2WideState {
   }
 
   const Vf2Plan& plan_;
-  const WideBitGraph& target_;
+  const Rows& target_;
   const MatchVisitor* visit_;
-  std::int64_t root_target_;
-  std::size_t words_;
-  std::vector<std::uint64_t> deg_ok_;  // pattern-vertex-major, words_ each
+  bool rooted_;
+  VertexId root_begin_;  // valid when rooted_
+  VertexId root_end_;    // exclusive, valid when rooted_
+  std::vector<std::uint64_t> deg_ok_;  // pattern-vertex-major, words() each
   std::vector<std::uint64_t> used_;
   std::vector<std::uint64_t> cand_;  // depth-major domain scratch
   std::size_t count_ = 0;
   Match scratch_;  // mapping updated in place; visitors copy if they keep it
 };
 
-/// Generic fallback (the seed inner loop): Graph::has_edge adjacency tests
-/// and a vector<bool> used-set, for targets that do not fit in 64 bits.
+/// Generic baseline (the seed inner loop): Graph::has_edge adjacency tests
+/// and a vector<bool> used-set. Kept only as the differential-test
+/// reference and the perf baseline — no dispatch path selects it.
 class Vf2State {
  public:
   Vf2State(const Vf2Plan& plan, const Graph& pattern, const Graph& target,
            const MatchVisitor& visit, const VertexMask* forbidden,
-           std::int64_t root_target)
+           std::int64_t root_begin, std::int64_t root_end)
       : plan_(plan),
         pattern_(pattern),
         target_(target),
@@ -318,7 +212,8 @@ class Vf2State {
         mapping_(pattern.num_vertices(), 0),
         used_(target.num_vertices(), false),
         forbidden_(forbidden),
-        root_target_(root_target) {}
+        root_begin_(root_begin),
+        root_end_(root_end) {}
 
   bool run() { return extend(0); }
 
@@ -333,9 +228,9 @@ class Vf2State {
 
     VertexId first = 0;
     VertexId last = static_cast<VertexId>(target_.num_vertices());
-    if (depth == 0 && root_target_ >= 0) {
-      first = static_cast<VertexId>(root_target_);
-      last = first + 1;
+    if (depth == 0 && root_begin_ >= 0) {
+      first = static_cast<VertexId>(root_begin_);
+      last = static_cast<VertexId>(root_end_);
     }
     for (VertexId candidate = first; candidate < last; ++candidate) {
       if (used_[candidate]) continue;
@@ -376,24 +271,49 @@ class Vf2State {
   std::vector<VertexId> mapping_;
   std::vector<bool> used_;
   const VertexMask* forbidden_;
-  std::int64_t root_target_;
+  std::int64_t root_begin_;
+  std::int64_t root_end_;
 };
 
 /// Shared argument validation; returns false when the search is trivially
-/// empty (and nothing should run).
+/// empty (and nothing should run). Resolves `root_end` in place: -1 with
+/// an active root_begin means the single root root_begin + 1.
 bool validate(const char* what, const Graph& pattern, const Graph& target,
-              const VertexMask* forbidden, std::int64_t root_target) {
+              const VertexMask* forbidden, std::int64_t root_begin,
+              std::int64_t* root_end) {
   if (pattern.num_vertices() == 0) return false;
   if (pattern.num_vertices() > target.num_vertices()) return false;
   if (forbidden != nullptr && forbidden->size() != target.num_vertices()) {
     throw std::invalid_argument(std::string(what) +
                                 ": forbidden mask size mismatch");
   }
-  if (root_target >= static_cast<std::int64_t>(target.num_vertices())) {
+  if (root_begin < 0) return true;
+  if (*root_end < 0) *root_end = root_begin + 1;
+  if (root_begin >= static_cast<std::int64_t>(target.num_vertices()) ||
+      *root_end > static_cast<std::int64_t>(target.num_vertices())) {
     throw std::invalid_argument(std::string(what) +
-                                ": root_target out of range");
+                                ": root range out of range");
   }
-  return true;
+  return *root_end > root_begin;  // an empty range matches nothing
+}
+
+/// Run `fn(core)` with a Vf2Core instantiated for the storage the target
+/// fits: InlineRows<1> up to 64 vertices, DynRows beyond (no ceiling).
+template <typename Fn>
+void with_core(const Vf2Plan& plan, const Graph& pattern, const Graph& target,
+               const MatchVisitor* visit, const VertexMask* forbidden,
+               std::int64_t root_begin, std::int64_t root_end, Fn&& fn) {
+  if (InlineRows<1>::fits(target)) {
+    const InlineRows<1> rows(target);
+    Vf2Core<InlineRows<1>> core(plan, rows, pattern, visit, forbidden,
+                                root_begin, root_end);
+    fn(core);
+    return;
+  }
+  const DynRows rows(target);
+  Vf2Core<DynRows> core(plan, rows, pattern, visit, forbidden, root_begin,
+                        root_end);
+  fn(core);
 }
 
 }  // namespace
@@ -401,67 +321,49 @@ bool validate(const char* what, const Graph& pattern, const Graph& target,
 void vf2_enumerate(const Graph& pattern, const Graph& target,
                    const MatchVisitor& visit,
                    const OrderingConstraints& constraints,
-                   const VertexMask* forbidden, std::int64_t root_target) {
-  if (!validate("vf2_enumerate", pattern, target, forbidden, root_target)) {
+                   const VertexMask* forbidden, std::int64_t root_begin,
+                   std::int64_t root_end) {
+  if (!validate("vf2_enumerate", pattern, target, forbidden, root_begin,
+                &root_end)) {
     return;
   }
+  if (rows::provably_empty(pattern, target, forbidden)) return;
   const Vf2Plan plan = make_plan(pattern, constraints);
-  if (BitGraph::fits(target)) {
-    const BitGraph bits(target);
-    Vf2BitState state(plan, bits, pattern, &visit, forbidden, root_target);
-    state.run();
-    return;
-  }
-  if (WideBitGraph::fits(target)) {
-    const WideBitGraph bits(target);
-    Vf2WideState state(plan, bits, pattern, &visit, forbidden, root_target);
-    state.run();
-    return;
-  }
-  Vf2State state(plan, pattern, target, visit, forbidden, root_target);
-  state.run();
+  with_core(plan, pattern, target, &visit, forbidden, root_begin, root_end,
+            [](auto& core) { core.run(); });
 }
 
 void vf2_enumerate_generic(const Graph& pattern, const Graph& target,
                            const MatchVisitor& visit,
                            const OrderingConstraints& constraints,
                            const VertexMask* forbidden,
-                           std::int64_t root_target) {
+                           std::int64_t root_begin, std::int64_t root_end) {
   if (!validate("vf2_enumerate_generic", pattern, target, forbidden,
-                root_target)) {
+                root_begin, &root_end)) {
     return;
   }
   const Vf2Plan plan = make_plan(pattern, constraints);
-  Vf2State state(plan, pattern, target, visit, forbidden, root_target);
+  Vf2State state(plan, pattern, target, visit, forbidden, root_begin,
+                 root_end);
   state.run();
 }
 
 std::size_t vf2_count(const Graph& pattern, const Graph& target,
                       const OrderingConstraints& constraints,
-                      const VertexMask* forbidden, std::int64_t root_target) {
-  if (!validate("vf2_count", pattern, target, forbidden, root_target)) {
+                      const VertexMask* forbidden, std::int64_t root_begin,
+                      std::int64_t root_end) {
+  if (!validate("vf2_count", pattern, target, forbidden, root_begin,
+                &root_end)) {
     return 0;
   }
+  if (rows::provably_empty(pattern, target, forbidden)) return 0;
   const Vf2Plan plan = make_plan(pattern, constraints);
-  if (BitGraph::fits(target)) {
-    const BitGraph bits(target);
-    Vf2BitState state(plan, bits, pattern, nullptr, forbidden, root_target);
-    state.run();
-    return state.count();
-  }
-  if (WideBitGraph::fits(target)) {
-    const WideBitGraph bits(target);
-    Vf2WideState state(plan, bits, pattern, nullptr, forbidden, root_target);
-    state.run();
-    return state.count();
-  }
   std::size_t count = 0;
-  const MatchVisitor counter = [&](const Match&) {
-    ++count;
-    return true;
-  };
-  Vf2State state(plan, pattern, target, counter, forbidden, root_target);
-  state.run();
+  with_core(plan, pattern, target, nullptr, forbidden, root_begin, root_end,
+            [&](auto& core) {
+              core.run();
+              count = core.count();
+            });
   return count;
 }
 

@@ -8,17 +8,21 @@
 // because hardware graphs are fully connected under the PCIe-fallback
 // convention). Edge labels are ignored, per the paper's definition.
 //
-// Three inner loops share one search plan:
-//  * the bitset core (targets <= 64 vertices, every machine in the paper):
-//    candidate domains are uint64_t masks intersected against BitGraph
-//    adjacency rows, so the per-node cost is a handful of bitwise ops;
-//  * the wide bitset core (65..512 vertices — multi-node racks): the same
-//    search over word-array domains ANDed against WideBitGraph rows, with
-//    early exit on empty domains (see graph/widebitgraph.hpp);
-//  * the generic loop (the seed inner loop): Graph::has_edge adjacency
-//    tests, kept as the differential-test reference, the perf baseline
-//    `bench_matcher`/`bench_widegraph` measure against, and the fallback
-//    for targets beyond 512 vertices.
+// One templated state machine (Vf2Core<Rows> in vf2.cpp) runs the search
+// over any graph::BitRows storage (graph/bitrows.hpp) and is instantiated
+// twice:
+//  * InlineRows<1> (targets <= 64 vertices, every machine in the paper):
+//    the storage's word count is constexpr 1, so candidate-domain loops
+//    fold to single-uint64 bitwise ops;
+//  * DynRows (any larger target — racks, rack rows, whole pods; there is
+//    no vertex ceiling): the same search over heap word-array domains,
+//    with early exit on empty domains.
+// A degree-census fast-out (match/rows_common.hpp) rejects provably
+// zero-match patterns before any row adjacency is built. The generic loop
+// (the seed inner loop, Graph::has_edge tests) survives only as the
+// differential-test reference and the perf baseline `bench_matcher` /
+// `bench_widegraph` / `bench_bitrows` measure against — no dispatch path
+// selects it.
 
 #include <cstddef>
 #include <vector>
@@ -35,41 +39,46 @@ using OrderingConstraints =
     std::vector<std::pair<graph::VertexId, graph::VertexId>>;
 
 /// Enumerate matches of `pattern` in `target`, invoking `visit` for each.
-/// Stops early when `visit` returns false. Dispatches to the bitset core
-/// when the target fits in 64 vertices, to the wide (word-array) core up
-/// to 512 vertices, and to the generic loop beyond that; all three
-/// produce matches in the same order.
+/// Stops early when `visit` returns false. Dispatches to the bit-domain
+/// core on InlineRows<1> when the target fits in 64 vertices and on
+/// DynRows for anything larger; both instantiations (and the generic
+/// baseline) produce matches in the same order.
 ///
 /// `constraints` prunes matches violating mapping[a] < mapping[b]; this is
 /// how automorphic duplicates are suppressed without post-filtering.
 /// `forbidden`, when non-null, marks target vertices that must not be used
 /// (busy accelerators during incremental scheduling).
-/// `root_target`, when >= 0, restricts the first-placed pattern vertex to
-/// that single target vertex — the hook the parallel enumerator uses to
-/// partition the search space across threads without overlap.
+/// `root_begin`, when >= 0, restricts the first-placed pattern vertex to
+/// the target range [root_begin, root_end) — `root_end == -1` means the
+/// single root root_begin + 1. Disjoint ranges partition the match set
+/// without overlap; this is the root-split hook the parallel enumerator
+/// uses, handing each worker a contiguous range so per-search setup is
+/// amortized across the range instead of paid per root.
 void vf2_enumerate(const graph::Graph& pattern, const graph::Graph& target,
                    const MatchVisitor& visit,
                    const OrderingConstraints& constraints = {},
                    const graph::VertexMask* forbidden = nullptr,
-                   std::int64_t root_target = -1);
+                   std::int64_t root_begin = -1, std::int64_t root_end = -1);
 
 /// The generic (seed) inner loop, regardless of target size. Reference
 /// implementation for the differential test suite and the baseline the
-/// `bench_matcher` / `bench_widegraph` drivers measure the bitset cores
-/// against; `vf2_enumerate` uses it automatically above 512 vertices.
+/// `bench_matcher` / `bench_widegraph` / `bench_bitrows` drivers measure
+/// the bit-domain core against. Never selected by dispatch.
 void vf2_enumerate_generic(const graph::Graph& pattern,
                            const graph::Graph& target,
                            const MatchVisitor& visit,
                            const OrderingConstraints& constraints = {},
                            const graph::VertexMask* forbidden = nullptr,
-                           std::int64_t root_target = -1);
+                           std::int64_t root_begin = -1,
+                           std::int64_t root_end = -1);
 
 /// Number of matches, without materializing a Match per result (the bitset
 /// core counts leaves directly; no per-match vector copy or callback).
 std::size_t vf2_count(const graph::Graph& pattern, const graph::Graph& target,
                       const OrderingConstraints& constraints = {},
                       const graph::VertexMask* forbidden = nullptr,
-                      std::int64_t root_target = -1);
+                      std::int64_t root_begin = -1,
+                      std::int64_t root_end = -1);
 
 /// Convenience: collect up to `limit` matches (0 = unlimited).
 std::vector<Match> vf2_all(const graph::Graph& pattern,

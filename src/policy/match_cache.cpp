@@ -11,12 +11,20 @@ std::uint64_t mix_hash(std::uint64_t hash, std::uint64_t value) {
   return hash;
 }
 
-}  // namespace
-
-std::size_t MatchCache::KeyHash::operator()(const Key& key) const {
-  return static_cast<std::size_t>(
-      mix_hash(mix_hash(key.pattern_fp, key.flags), key.mask_fp));
+/// The unified cache key: (pattern adjacency fingerprint, backend +
+/// symmetry flags, busy-mask fingerprint) mixed into one 64-bit value.
+/// Key equality is fingerprint equality — see the collision-probability
+/// argument in the header.
+std::uint64_t unified_fingerprint(const graph::Graph& pattern,
+                                  const match::EnumerateOptions& options) {
+  const std::uint64_t flags =
+      static_cast<std::uint64_t>(options.backend) |
+      (options.break_symmetry ? std::uint64_t{1} << 8 : 0);
+  return mix_hash(mix_hash(graph::adjacency_fingerprint(pattern), flags),
+                  options.forbidden.fingerprint());
 }
+
+}  // namespace
 
 MatchCache::MatchCache(MatchCacheConfig config) : config_(config) {}
 
@@ -34,6 +42,7 @@ void MatchCache::clear() {
   const std::lock_guard<std::mutex> lock(mutex_);
   entries_.clear();
   index_.clear();
+  oversized_.clear();
 }
 
 void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
@@ -46,6 +55,7 @@ void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
     ++stats_.invalidations;
     entries_.clear();
     index_.clear();
+    oversized_.clear();
   }
   hardware_seen_ = true;
   hardware_fp_ = fp;
@@ -56,16 +66,16 @@ void MatchCache::touch_locked(std::list<Entry>::iterator it) {
   entries_.splice(entries_.begin(), entries_, it);
 }
 
-void MatchCache::store_locked(Key key, std::vector<match::Match> matches,
-                              bool oversized) {
+void MatchCache::store_locked(std::uint64_t key,
+                              std::vector<match::Match> matches) {
   if (config_.max_entries == 0) return;  // a cache that holds nothing
   while (entries_.size() >= config_.max_entries) {
     index_.erase(entries_.back().key);
     entries_.pop_back();
     ++stats_.evictions;
   }
-  entries_.push_front(Entry{key, std::move(matches), oversized});
-  index_.emplace(std::move(key), entries_.begin());
+  entries_.push_front(Entry{key, std::move(matches)});
+  index_.emplace(key, entries_.begin());
 }
 
 void MatchCache::for_each_match(const graph::Graph& pattern,
@@ -75,26 +85,23 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
   const std::lock_guard<std::mutex> lock(mutex_);
   refresh_hardware_locked(hardware);
 
-  Key key;
-  key.pattern_fp = graph::adjacency_fingerprint(pattern);
-  key.flags = static_cast<std::uint64_t>(options.backend) |
-              (options.break_symmetry ? std::uint64_t{1} << 8 : 0);
-  key.mask_fp = options.forbidden.fingerprint();
+  const std::uint64_t key = unified_fingerprint(pattern, options);
+
+  // Known-oversized: stream live, never collect again and never occupy an
+  // LRU slot.
+  if (oversized_.contains(key)) {
+    ++stats_.bypasses;
+    match::for_each_match(pattern, hardware, visit, options);
+    return;
+  }
 
   const auto found = index_.find(key);
   if (found != index_.end()) {
     touch_locked(found->second);
-    const Entry& entry = *found->second;
-    if (!entry.oversized) {
-      ++stats_.hits;
-      for (const match::Match& m : entry.matches) {
-        if (!visit(m)) return;
-      }
-      return;
+    ++stats_.hits;
+    for (const match::Match& m : found->second->matches) {
+      if (!visit(m)) return;
     }
-    // Known-oversized: stream live, don't try to collect again.
-    ++stats_.bypasses;
-    match::for_each_match(pattern, hardware, visit, options);
     return;
   }
 
@@ -122,11 +129,16 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
         return true;
       },
       options);
-  // An early-stopped enumeration is incomplete; only a full one is
-  // replayable (an oversized marker is always safe to remember).
-  if (!stopped || oversized) {
-    store_locked(std::move(key), std::move(collected), oversized);
+  if (oversized) {
+    // Bypass, don't store: the fingerprint alone is remembered (always
+    // safe even for an early-stopped run — bypassed calls enumerate live).
+    if (oversized_.size() >= config_.max_oversized_keys) oversized_.clear();
+    oversized_.insert(key);
+    return;
   }
+  // An early-stopped enumeration is incomplete; only a full one is
+  // replayable.
+  if (!stopped) store_locked(key, std::move(collected));
 }
 
 std::optional<match::Match> best_cached_match(

@@ -8,21 +8,25 @@
 //
 //   (canonical pattern hash, free-GPU mask, backend + symmetry flags)
 //
-// and replays stored enumerations instead of re-searching. The pattern hash
-// is the adjacency fingerprint (the pattern factories build each shape with
-// one fixed labeling, so repeat jobs of one shape share an entry); the
-// free-GPU mask enters the key as VertexMask::fingerprint(), a 64-bit hash
-// over (size, words...) — one fixed-width field whether the fleet state is
-// a single DGX word or an 8-word rack mask, with no per-lookup word-array
-// copy. Key equality is fingerprint equality: a false hit needs two live
-// states of one pattern to collide in 64 bits, and with <= max_entries
-// (default 256) states resident the birthday bound puts that around 2^-52
-// per workload — far below any failure rate the simulator can observe.
+// folded into ONE unified 64-bit fingerprint per lookup, and replays
+// stored enumerations instead of re-searching. The pattern hash is the
+// adjacency fingerprint (the pattern factories build each shape with one
+// fixed labeling, so repeat jobs of one shape share an entry); the
+// free-GPU mask enters as VertexMask::fingerprint(), a 64-bit hash over
+// (size, words...) — fixed-width whether the fleet state is a single DGX
+// word or a 16-word pod mask, with no per-lookup word-array copy. The
+// three fields are mixed into a single unified fingerprint that is the
+// entire key: equality is fingerprint equality, so a false hit needs two
+// live states to collide in 64 bits, and with <= max_entries (default
+// 256) states resident the birthday bound puts that around 2^-52 per
+// workload — far below any failure rate the simulator can observe.
 // The cache pins the hardware graph's fingerprint and invalidates itself
 // wholesale when a different hardware graph shows up. Entries are
-// LRU-evicted, and match sets above `max_matches_per_entry` are remembered
-// as oversized and always enumerated live (bypass) so one 10^7-match
-// search cannot blow up memory.
+// LRU-evicted. Keys whose match set exceeds `max_matches_per_entry` are
+// bypassed, not stored: the fingerprint goes into a side set (a few bytes
+// per key, never an LRU entry), later calls enumerate live, and one
+// 10^7-match search can neither blow up memory nor evict the small
+// replayable entries that earn the cache its keep.
 
 #include <cstdint>
 #include <functional>
@@ -31,6 +35,7 @@
 #include <mutex>
 #include <optional>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "graph/bitgraph.hpp"
@@ -43,9 +48,13 @@ namespace mapa::policy {
 struct MatchCacheConfig {
   /// LRU capacity in entries (distinct fleet states x pattern shapes).
   std::size_t max_entries = 256;
-  /// Match lists longer than this are not stored; the key is remembered as
-  /// oversized and later calls enumerate live.
+  /// Match lists longer than this are bypassed, never stored: the key's
+  /// unified fingerprint is remembered in a side set (no LRU slot) and
+  /// later calls enumerate live.
   std::size_t max_matches_per_entry = 1 << 18;
+  /// Cap on remembered oversized fingerprints; on overflow the side set
+  /// is cleared (the worst case is one wasted re-collection per key).
+  std::size_t max_oversized_keys = 4096;
 };
 
 struct MatchCacheStats {
@@ -77,25 +86,14 @@ class MatchCache {
   void clear();
 
  private:
-  struct Key {
-    std::uint64_t pattern_fp = 0;
-    std::uint64_t flags = 0;    // backend | (break_symmetry << 8)
-    std::uint64_t mask_fp = 0;  // VertexMask::fingerprint() of the busy set
-    bool operator==(const Key&) const = default;
-  };
-  struct KeyHash {
-    std::size_t operator()(const Key& key) const;
-  };
   struct Entry {
-    Key key;
+    std::uint64_t key = 0;  // unified fingerprint
     std::vector<match::Match> matches;
-    bool oversized = false;
   };
 
   void refresh_hardware_locked(const graph::Graph& hardware);
   void touch_locked(std::list<Entry>::iterator it);
-  void store_locked(Key key, std::vector<match::Match> matches,
-                    bool oversized);
+  void store_locked(std::uint64_t key, std::vector<match::Match> matches);
 
   mutable std::mutex mutex_;
   MatchCacheConfig config_;
@@ -104,7 +102,8 @@ class MatchCache {
   std::size_t hardware_vertices_ = 0;
   bool hardware_seen_ = false;
   std::list<Entry> entries_;  // most recently used first
-  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+  std::unordered_set<std::uint64_t> oversized_;  // bypassed keys, no LRU slot
 };
 
 /// Fold over the match set keeping the highest-scoring match, through the

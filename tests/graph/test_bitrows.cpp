@@ -1,25 +1,28 @@
-// WideBitGraph (word-array adjacency for 65..512-vertex targets):
-// construction fidelity against the source Graph, the <=64 / <=512 /
-// generic dispatch boundaries, the actionable error messages on both
-// bitset cores, and the VertexMask multi-word fingerprint the match cache
-// keys on.
+// BitRows storages (graph/bitrows.hpp): InlineRows<1> (inline single-word
+// rows, the <= 64-vertex hot path) and DynRows (heap word-array rows, no
+// vertex ceiling) — construction fidelity against the source Graph, the
+// dispatch boundary, the actionable InlineRows overflow error, the
+// WideBitGraph alias, and the VertexMask multi-word fingerprint the match
+// cache keys on.
 
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <stdexcept>
+#include <type_traits>
 
 #include "graph/bitgraph.hpp"
+#include "graph/bitrows.hpp"
 #include "graph/topology.hpp"
 #include "graph/widebitgraph.hpp"
 
 namespace mapa::graph {
 namespace {
 
-TEST(WideBitGraph, RowsMatchGraphAdjacencyOnA128GpuRack) {
+TEST(DynRows, RowsMatchGraphAdjacencyOnA128GpuRack) {
   const Graph rack = dgx_rack(16, Connectivity::kNvlinkOnly);
   ASSERT_EQ(rack.num_vertices(), 128u);
-  const WideBitGraph bits(rack);
+  const DynRows bits(rack);
   EXPECT_EQ(bits.num_vertices(), 128u);
   EXPECT_EQ(bits.num_words(), 2u);
   for (VertexId u = 0; u < rack.num_vertices(); ++u) {
@@ -37,12 +40,12 @@ TEST(WideBitGraph, RowsMatchGraphAdjacencyOnA128GpuRack) {
   EXPECT_EQ(all_bits, 128u);
 }
 
-TEST(WideBitGraph, RowWordsCrossNodeBoundaries) {
+TEST(DynRows, RowWordsCrossNodeBoundaries) {
   // In a 16-node DGX rack, the inter-node rail links GPU 63 (last of node
   // 7, word 0) to GPU 64 (first of node 8, word 1): both row words of the
   // endpoints must carry the edge.
   const Graph rack = dgx_rack(16, Connectivity::kNvlinkOnly);
-  const WideBitGraph bits(rack);
+  const DynRows bits(rack);
   ASSERT_TRUE(rack.has_edge(63, 64));
   EXPECT_TRUE(bits.has_edge(63, 64));
   EXPECT_TRUE(bits.has_edge(64, 63));
@@ -50,39 +53,58 @@ TEST(WideBitGraph, RowWordsCrossNodeBoundaries) {
   EXPECT_EQ((bits.row(64)[0] >> 63) & 1, 1u);
 }
 
-TEST(WideBitGraph, DispatchBoundaries) {
-  EXPECT_TRUE(BitGraph::fits(pcie_only(64)));
-  EXPECT_FALSE(BitGraph::fits(pcie_only(65)));
-  EXPECT_TRUE(WideBitGraph::fits(pcie_only(65)));
-  EXPECT_TRUE(WideBitGraph::fits(pcie_only(512)));
-  EXPECT_FALSE(WideBitGraph::fits(Graph(513)));
+TEST(InlineRows, AgreesWithGraphAndBitGraphAdapter) {
+  const Graph g = dgx1_v100();
+  const InlineRows<1> rows(g);
+  const BitGraph bits(g);
+  EXPECT_EQ(rows.num_vertices(), g.num_vertices());
+  EXPECT_EQ(InlineRows<1>::num_words(), 1u);
+  for (VertexId u = 0; u < g.num_vertices(); ++u) {
+    EXPECT_EQ(rows.degree(u), g.degree(u));
+    // The BitGraph adapter's uint64_t row is word 0 of the storage row.
+    EXPECT_EQ(rows.row(u)[0], bits.row(u));
+    for (VertexId v = 0; v < g.num_vertices(); ++v) {
+      EXPECT_EQ(rows.has_edge(u, v), g.has_edge(u, v));
+    }
+  }
+  EXPECT_EQ(rows.all_vertices()[0], bits.all_vertices());
 }
 
-TEST(WideBitGraph, ErrorMessagesNameTheNextPath) {
-  // BitGraph's >64 rejection must point at the wide alternative, and the
-  // wide core's >512 rejection at the generic matcher path.
+TEST(BitRows, DispatchBoundary) {
+  // InlineRows<1> covers every machine the paper evaluates; DynRows has
+  // no ceiling — the old 512-vertex WideBitGraph limit is gone.
+  EXPECT_TRUE(InlineRows<1>::fits(pcie_only(64)));
+  EXPECT_FALSE(InlineRows<1>::fits(pcie_only(65)));
+  EXPECT_TRUE(DynRows::fits(pcie_only(65)));
+  EXPECT_TRUE(DynRows::fits(Graph(513)));
+  EXPECT_TRUE(DynRows::fits(Graph(4096)));
+}
+
+TEST(BitRows, InlineOverflowErrorNamesDynRows) {
+  // The InlineRows rejection must point at the unbounded storage.
   try {
-    const BitGraph bits(pcie_only(65));
-    FAIL() << "BitGraph accepted 65 vertices";
+    const InlineRows<1> rows(pcie_only(65));
+    FAIL() << "InlineRows<1> accepted 65 vertices";
   } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("WideBitGraph"), std::string::npos)
-        << e.what();
-  }
-  try {
-    const WideBitGraph bits(Graph(513));
-    FAIL() << "WideBitGraph accepted 513 vertices";
-  } catch (const std::invalid_argument& e) {
-    EXPECT_NE(std::string(e.what()).find("vf2_enumerate_generic"),
-              std::string::npos)
+    EXPECT_NE(std::string(e.what()).find("DynRows"), std::string::npos)
         << e.what();
   }
 }
 
-TEST(WideBitGraph, EmptyAndSingleVertexGraphs) {
-  const WideBitGraph empty((Graph(0)));
+TEST(BitRows, WideBitGraphIsAnAliasForDynRows) {
+  static_assert(std::is_same_v<WideBitGraph, DynRows>);
+  // A 1024-vertex target — beyond the old 512 ceiling — constructs fine.
+  const WideBitGraph bits(pcie_only(1024));
+  EXPECT_EQ(bits.num_vertices(), 1024u);
+  EXPECT_EQ(bits.num_words(), 16u);
+  EXPECT_EQ(bits.degree(0), 1023u);
+}
+
+TEST(DynRows, EmptyAndSingleVertexGraphs) {
+  const DynRows empty((Graph(0)));
   EXPECT_EQ(empty.num_vertices(), 0u);
   EXPECT_EQ(empty.num_words(), 0u);
-  const WideBitGraph one((Graph(1)));
+  const DynRows one((Graph(1)));
   EXPECT_EQ(one.num_words(), 1u);
   EXPECT_EQ(one.all_vertices()[0], 1u);
   EXPECT_EQ(one.degree(0), 0u);

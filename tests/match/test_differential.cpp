@@ -182,6 +182,21 @@ TEST(Differential, SymmetryBrokenCountsTimesAutGroupEqualsRaw) {
   }
 }
 
+TEST(Differential, ZeroMatchFastOutAgreesWithGeneric) {
+  // The degree-census fast-out must only reject provably-empty searches:
+  // a star whose center out-degrees every NVLink-only vertex, and a busy
+  // mask leaving fewer free GPUs than the pattern needs, both enumerate
+  // to exactly the generic baseline's (empty) match set.
+  const Graph hw = graph::dgx1_v100(graph::Connectivity::kNvlinkOnly);
+  expect_backends_agree(graph::star(7), hw, {}, nullptr);
+  EXPECT_EQ(vf2_count(graph::star(7), hw), 0u);
+  VertexMask mostly_busy(8);
+  for (VertexId v = 0; v < 6; ++v) mostly_busy.set(v);
+  expect_backends_agree(graph::ring(3), hw, {}, &mostly_busy);
+  EXPECT_EQ(vf2_count(graph::ring(3), hw, {}, &mostly_busy), 0u);
+  EXPECT_EQ(ullmann_count(graph::ring(3), hw, {}, &mostly_busy), 0u);
+}
+
 TEST(Differential, WidePathHandlesTargetsBeyond64Vertices) {
   // Above 64 vertices vf2_enumerate transparently switches to the wide
   // word-array core (and still honors the mask, which spans two words
@@ -196,13 +211,15 @@ TEST(Differential, WidePathHandlesTargetsBeyond64Vertices) {
   EXPECT_EQ(masked, 59u * 58u * 57u);
 }
 
-TEST(Differential, GenericFallbackHandlesTargetsBeyond512Vertices) {
-  // Beyond WideBitGraph::kMaxVertices (512) the generic loop takes over.
+TEST(Differential, BitsetCoreHandlesTargetsBeyond512Vertices) {
+  // Beyond the old 512-vertex WideBitGraph ceiling the DynRows core keeps
+  // going — the generic loop is no longer on any dispatch path.
   const Graph big = graph::pcie_only(520);
   VertexMask busy(520);
   for (VertexId v = 0; v < 500; ++v) busy.set(v);
   const Graph pattern = graph::ring(3);
   EXPECT_EQ(vf2_count(pattern, big, {}, &busy), 20u * 19u * 18u);
+  EXPECT_EQ(ullmann_count(pattern, big, {}, &busy), 20u * 19u * 18u);
 }
 
 std::vector<std::pair<std::string, Graph>> wide_targets() {
@@ -270,6 +287,83 @@ TEST(Differential, WideRandomSparseGraphs65To128Vertices) {
       const OrderingConstraints constraints = symmetry_constraints(pattern);
       expect_backends_agree(pattern, target, constraints, &busy);
     }
+  }
+}
+
+TEST(Differential, RandomSparseGraphs513To1024Vertices) {
+  // Targets beyond the old 512-vertex ceiling: random sparse graphs on
+  // the DynRows core vs the generic baseline, with busy masks straddling
+  // the high words (bits set on both sides of every word boundary the
+  // target spans).
+  util::Rng rng(513);
+  for (const std::size_t n : {513u, 768u, 1024u}) {
+    for (int trial = 0; trial < 2; ++trial) {
+      Graph target = random_pattern(rng, n);  // spanning tree + extras
+      for (int extra = 0; extra < 256; ++extra) {
+        const auto u = static_cast<VertexId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        const auto v = static_cast<VertexId>(
+            rng.uniform_int(0, static_cast<std::int64_t>(n) - 1));
+        if (u != v) target.add_edge(u, v, interconnect::LinkType::kNone, 0.0);
+      }
+      VertexMask busy = random_busy(rng, n, n / 3);
+      // Live busy bits hugging both sides of the 512-bit (word 7/8) edge
+      // and the last word boundary of this target.
+      busy.set(511);
+      busy.set(512);
+      busy.set(static_cast<VertexId>(((n - 1) / 64) * 64));
+      busy.set(static_cast<VertexId>(n - 1));
+      const Graph pattern = random_pattern(rng, 4);
+      SCOPED_TRACE(std::to_string(n) + "/trial" + std::to_string(trial));
+      const OrderingConstraints constraints = symmetry_constraints(pattern);
+      expect_backends_agree(pattern, target, constraints, &busy);
+    }
+  }
+}
+
+TEST(Differential, Rack1024GpusRunsTheBitsetCoreRecordIdentically) {
+  // A 128-node DGX rack — 1024 GPUs, 16 words per row — enumerates on
+  // the DynRows core record-identical to the generic baseline, busy mask
+  // straddling the highest word boundary included.
+  const Graph rack = graph::dgx_rack(128, graph::Connectivity::kNvlinkOnly);
+  ASSERT_EQ(rack.num_vertices(), 1024u);
+  VertexMask busy(1024);
+  for (VertexId v = 60; v < 70; ++v) busy.set(v);     // word 0/1 boundary
+  for (VertexId v = 950; v < 1000; ++v) busy.set(v);  // words 14/15
+  const Graph pattern = graph::ring(4);
+  const auto constraints = symmetry_constraints(pattern);
+  auto bitset = collect_bitset(pattern, rack, constraints, &busy);
+  auto generic = collect_generic(pattern, rack, constraints, &busy);
+  ASSERT_FALSE(bitset.empty());
+  EXPECT_EQ(bitset, generic);  // match-for-match, including order
+  auto ullmann = collect_ullmann(pattern, rack, constraints, &busy);
+  sort_matches(bitset);
+  sort_matches(ullmann);
+  EXPECT_EQ(bitset, ullmann);
+}
+
+TEST(Differential, RootSplitDeterminismBeyond512ForBothBackends) {
+  // threads=1 vs threads=8 must produce the identical (normalized) match
+  // list on a 1024-GPU rack for VF2 *and* Ullmann — the root split now
+  // runs the selected backend per root instead of always VF2.
+  const Graph rack = graph::dgx_rack(128, graph::Connectivity::kNvlinkOnly);
+  VertexMask busy(1024);
+  for (VertexId v = 500; v < 530; ++v) busy.set(v);
+  const Graph pattern = graph::chain(3);
+  for (const Backend backend : {Backend::kVf2, Backend::kUllmann}) {
+    SCOPED_TRACE(backend == Backend::kVf2 ? "vf2" : "ullmann");
+    EnumerateOptions sequential;
+    sequential.backend = backend;
+    sequential.forbidden = busy;
+    EnumerateOptions threaded = sequential;
+    threaded.threads = 8;
+    auto expected = find_matches(pattern, rack, sequential);
+    sort_matches(expected);  // threaded results are sort-normalized
+    const auto parallel = find_matches(pattern, rack, threaded);
+    ASSERT_FALSE(parallel.empty());
+    EXPECT_EQ(parallel, expected);
+    EXPECT_EQ(count_matches(pattern, rack, threaded), expected.size());
+    EXPECT_EQ(count_matches(pattern, rack, sequential), expected.size());
   }
 }
 

@@ -34,12 +34,42 @@ TEST(Ullmann, NoTriangleInSquare) {
   EXPECT_TRUE(ullmann_all(graph::ring(3), graph::ring(4)).empty());
 }
 
-TEST(Ullmann, RejectsTargetsBeyondBitWidth) {
-  // 65 vertices lands on the wide word-array core; only past
-  // WideBitGraph::kMaxVertices (512) is the backend out of bit-width.
+TEST(Ullmann, NoTargetCeilingOnTheDynRowsCore) {
+  // 65 vertices lands on the DynRows word-array instantiation, and so
+  // does everything larger — the old 512-vertex ceiling is gone.
   EXPECT_EQ(ullmann_count(graph::ring(3), graph::pcie_only(65)),
             65u * 64u * 63u);
-  EXPECT_THROW(ullmann_all(graph::ring(3), graph::Graph(513)),
+  graph::VertexMask busy(513);
+  for (graph::VertexId v = 0; v < 500; ++v) busy.set(v);
+  EXPECT_EQ(ullmann_count(graph::ring(3), graph::pcie_only(513), {}, &busy),
+            13u * 12u * 11u);
+}
+
+TEST(Ullmann, RootTargetPartitionsTheMatchSet) {
+  // Pinning pattern vertex 0 to each target vertex in turn must partition
+  // the full match set without overlap — the root-split contract the
+  // parallel enumerator relies on for every backend.
+  const Graph pattern = graph::chain(3);
+  const Graph target = graph::dgx1_v100(graph::Connectivity::kNvlinkOnly);
+  const std::size_t total = ullmann_count(pattern, target);
+  ASSERT_GT(total, 0u);
+  std::size_t by_root = 0;
+  for (graph::VertexId root = 0; root < target.num_vertices(); ++root) {
+    std::size_t rooted = 0;
+    ullmann_enumerate(
+        pattern, target,
+        [&](const Match& m) {
+          EXPECT_EQ(m.mapping[0], root);
+          ++rooted;
+          return true;
+        },
+        {}, nullptr, static_cast<std::int64_t>(root));
+    EXPECT_EQ(rooted, ullmann_count(pattern, target, {}, nullptr,
+                                    static_cast<std::int64_t>(root)));
+    by_root += rooted;
+  }
+  EXPECT_EQ(by_root, total);
+  EXPECT_THROW(ullmann_count(pattern, target, {}, nullptr, 99),
                std::invalid_argument);
 }
 

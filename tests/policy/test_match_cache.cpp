@@ -150,11 +150,46 @@ TEST(MatchCache, OversizedEntriesBypassStorage) {
   const auto first = drain(cache, pattern, hw, options);
   EXPECT_GT(first.size(), 2u);
   EXPECT_EQ(cache.stats().misses, 1u);
+  // Bypassed, not stored: the oversized key must not occupy an LRU slot.
+  EXPECT_EQ(cache.size(), 0u);
 
   const auto second = drain(cache, pattern, hw, options);
   EXPECT_EQ(second, first);  // live enumeration, not a truncated replay
   EXPECT_EQ(cache.stats().bypasses, 1u);
   EXPECT_EQ(cache.stats().hits, 0u);
+}
+
+TEST(MatchCache, OversizedKeysDoNotEvictReplayableEntries) {
+  // Regression: oversized keys used to be stored as marker entries and
+  // could LRU-evict the small replayable entries that earn the cache its
+  // keep. Under the unified fingerprint they live in a side set instead.
+  MatchCacheConfig config;
+  config.max_entries = 1;
+  // chain(2) has 28 symmetry-broken matches on the PCIe-fallback DGX-1V
+  // clique and fits; ring(3) (56) and star(3) (168) are oversized.
+  config.max_matches_per_entry = 30;
+  MatchCache cache(config);
+  const Graph hw = graph::dgx1_v100();
+  const auto options = options_with_busy(VertexMask(8));
+
+  const auto small = drain(cache, graph::chain(2), hw, options);
+  ASSERT_LE(small.size(), 30u);
+  EXPECT_EQ(cache.size(), 1u);
+
+  // Two different oversized patterns churn through; the single LRU slot
+  // must survive untouched.
+  drain(cache, graph::ring(3), hw, options);
+  drain(cache, graph::star(3), hw, options);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+
+  const auto replay = drain(cache, graph::chain(2), hw, options);
+  EXPECT_EQ(replay, small);
+  EXPECT_EQ(cache.stats().hits, 1u);
+
+  // And the oversized keys keep bypassing (enumerated live, no storage).
+  drain(cache, graph::ring(3), hw, options);
+  EXPECT_EQ(cache.stats().bypasses, 1u);
 }
 
 TEST(MatchCache, EarlyStoppedEnumerationsAreNotStored) {

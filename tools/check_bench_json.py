@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Perf-trajectory smoke gate for the committed BENCH_*.json files.
+
+Every bench driver accepts `--json` and writes BENCH_<name>.json through
+bench_common.hpp's JsonReport, and each PR commits the measured points.
+CI regenerates them on every push; this tool keeps the trajectory
+machine-readable by failing the build when a file stops conforming:
+
+  * schema: a JSON object with exactly the keys {"bench", "metrics",
+    "wall_s"}; "bench" is a non-empty string matching the file name
+    (BENCH_<bench>.json), "metrics" is a non-empty object mapping metric
+    names to finite numbers (bools are not numbers), "wall_s" is a
+    positive finite number;
+  * drift (with --baseline-dir DIR): a freshly regenerated file must
+    expose exactly the metric keys of the committed file of the same
+    name in DIR — a driver that silently drops or renames a headline
+    metric breaks the trajectory even when its numbers look fine.
+
+Exits 1 with per-file diagnostics on any violation.
+
+Usage: tools/check_bench_json.py [--baseline-dir DIR] BENCH_*.json
+"""
+
+import argparse
+import json
+import math
+import sys
+from pathlib import Path
+
+
+def is_number(value) -> bool:
+    return isinstance(value, (int, float)) and not isinstance(value, bool)
+
+
+def check_schema(path: Path) -> list:
+    """Schema errors for one BENCH_*.json file (empty list = conforming)."""
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        return [f"{path}: unreadable or invalid JSON ({err})"]
+    errors = []
+    if not isinstance(data, dict):
+        return [f"{path}: top level must be a JSON object"]
+    expected_keys = {"bench", "metrics", "wall_s"}
+    if set(data) != expected_keys:
+        errors.append(
+            f"{path}: top-level keys {sorted(data)} != {sorted(expected_keys)}"
+        )
+        return errors
+    bench = data["bench"]
+    if not isinstance(bench, str) or not bench:
+        errors.append(f"{path}: \"bench\" must be a non-empty string")
+    elif path.name != f"BENCH_{bench}.json":
+        errors.append(
+            f"{path}: file name does not match bench name "
+            f"(expected BENCH_{bench}.json)"
+        )
+    metrics = data["metrics"]
+    if not isinstance(metrics, dict) or not metrics:
+        errors.append(f"{path}: \"metrics\" must be a non-empty object")
+    else:
+        for key, value in metrics.items():
+            if not isinstance(key, str) or not key:
+                errors.append(f"{path}: metric names must be non-empty strings")
+            if not is_number(value) or not math.isfinite(value):
+                errors.append(
+                    f"{path}: metric \"{key}\" must be a finite number, "
+                    f"got {value!r}"
+                )
+    wall = data["wall_s"]
+    if not is_number(wall) or not math.isfinite(wall) or wall <= 0:
+        errors.append(f"{path}: \"wall_s\" must be a positive finite number")
+    return errors
+
+
+def metric_keys(path: Path) -> set:
+    return set(json.loads(path.read_text())["metrics"])
+
+
+def check_drift(path: Path, baseline_dir: Path) -> list:
+    """Key-set drift of a regenerated file against the committed baseline."""
+    baseline = baseline_dir / path.name
+    if not baseline.exists():
+        return [
+            f"{path}: no committed baseline {baseline} — commit the driver's "
+            "--json output alongside the driver"
+        ]
+    fresh = metric_keys(path)
+    committed = metric_keys(baseline)
+    errors = []
+    if missing := sorted(committed - fresh):
+        errors.append(f"{path}: metrics dropped vs committed file: {missing}")
+    if added := sorted(fresh - committed):
+        errors.append(
+            f"{path}: metrics added vs committed file: {added} — regenerate "
+            "and commit the new point"
+        )
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("files", nargs="+", type=Path, metavar="BENCH_*.json")
+    parser.add_argument(
+        "--baseline-dir",
+        type=Path,
+        help="directory holding the committed BENCH_*.json files to compare "
+        "freshly regenerated metric key sets against",
+    )
+    args = parser.parse_args()
+
+    errors = []
+    for path in args.files:
+        file_errors = check_schema(path)
+        if not file_errors and args.baseline_dir is not None:
+            file_errors = check_drift(path, args.baseline_dir)
+        if not file_errors:
+            print(f"{path}: ok")
+        errors.extend(file_errors)
+    for error in errors:
+        print(error, file=sys.stderr)
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
