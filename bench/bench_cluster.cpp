@@ -1,9 +1,22 @@
-// Fleet scaling study (cluster/): sweeps fleet size 1 -> 32 homogeneous
-// DGX-1V servers under three server-selection policies, plus a mixed
-// heterogeneous fleet, and reports scheduling wall-clock, fleet
-// throughput, queue waits, utilization balance, and cache behavior. This
-// is the perf-trajectory point for the cluster subsystem: the scaling
-// curve shows how dispatch cost grows with fleet size.
+// Fleet scaling study (cluster/): two sweeps plus a memory point.
+//
+//  1. The original selection-policy sweep — fleet size 1 -> 32 homogeneous
+//     DGX-1V servers under three server-selection policies, plus a mixed
+//     heterogeneous fleet — reporting scheduling wall-clock, fleet
+//     throughput, queue waits, utilization balance, and cache behavior.
+//  2. The sharded-dispatcher scaling sweep — 32 -> 1k -> 10k servers
+//     stamped from one shared archetype (cluster::archetype_fleet_specs),
+//     recording dispatcher microseconds per job as the fleet grows, plus
+//     a 64-server / 2-shard smoke point (the CI bench-smoke sharded run)
+//     and a head-to-head at 1k servers: sharded dispatcher vs the
+//     unsharded probe-all path on the identical trace.
+//  3. Resident bytes per server at 1k rack-class servers: shared
+//     TopologyHandle archetype vs the retired per-server dense
+//     graph::Graph copies (graph::Graph::memory_bytes).
+//
+// This is the perf-trajectory point for the cluster subsystem: the
+// scaling curve shows how dispatch cost grows with fleet size, and the
+// sharded/unsharded pair shows what the two-level dispatcher buys.
 //
 //   ./bench_cluster [jobs_per_server] [--json[=path]]
 
@@ -89,6 +102,67 @@ std::string metric_key(const RunPoint& p, const std::string& what) {
          what;
 }
 
+/// One sharded-dispatcher scaling point: `servers` DGX-1V servers stamped
+/// from ONE shared archetype, least-loaded selection (probe-all within
+/// the shard, so dispatch cost is visible), topo-aware per-server policy
+/// (the non-enumerating choice sensible at fleet scale), and the
+/// fleet-scale trace preset whose arrival pressure tracks the fleet size.
+struct ScalePoint {
+  std::size_t servers = 0;
+  std::size_t shards = 0;
+  std::size_t jobs = 0;
+  double wall_ms = 0.0;
+  double dispatch_us_per_job = 0.0;
+  double jobs_per_hour = 0.0;
+  double memo_hit_rate = 0.0;
+};
+
+ScalePoint run_scale_point(std::size_t servers, std::size_t shards,
+                           std::size_t jobs_per_server) {
+  workload::FleetTraceConfig trace =
+      workload::fleet_scale_trace_config(servers, jobs_per_server);
+  const auto jobs = workload::generate_fleet_trace(trace);
+
+  cluster::FleetArchetype arch;
+  arch.name = "dgx1v";
+  arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+  arch.policy = "topo-aware";
+  auto specs = cluster::archetype_fleet_specs(servers, {arch});
+
+  cluster::ClusterConfig config;
+  config.selection = "least-loaded";
+  config.shards = shards;
+  config.threads =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  config.seed = 42;
+
+  cluster::FleetSimulator fleet(std::move(specs), config);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto result = fleet.run(jobs);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ScalePoint point;
+  point.servers = servers;
+  point.shards = result.shards;
+  point.jobs = jobs.size();
+  point.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  point.dispatch_us_per_job =
+      result.total_scheduling_ms * 1000.0 / static_cast<double>(jobs.size());
+  point.jobs_per_hour = result.throughput_jobs_per_hour();
+  std::uint64_t probes = 0;
+  std::uint64_t memo_hits = 0;
+  for (const cluster::ServerResult& sr : result.servers) {
+    probes += sr.probes;
+    memo_hits += sr.probe_memo_hits;
+  }
+  if (probes + memo_hits > 0) {
+    point.memo_hit_rate = static_cast<double>(memo_hits) /
+                          static_cast<double>(probes + memo_hits);
+  }
+  return point;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -97,11 +171,18 @@ int main(int argc, char** argv) {
   if (argc > 1 && argv[1][0] != '-') {
     jobs_per_server = static_cast<std::size_t>(std::stoul(argv[1]));
   }
+  const std::size_t threads =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  // So committed points are interpretable across machines.
+  report.metric("threads", static_cast<double>(threads));
+  report.metric("hardware_concurrency",
+                static_cast<double>(std::thread::hardware_concurrency()));
 
   bench::print_header(
       "cluster/ fleet scheduler",
       "Fleet-size scaling sweep (1 -> 32 DGX-1V) x server-selection "
-      "policies, plus a mixed heterogeneous fleet");
+      "policies, a mixed heterogeneous fleet, and the sharded-dispatcher "
+      "32 -> 1k -> 10k sweep");
 
   const std::vector<std::string> selections = {"first-fit", "least-loaded",
                                                "best-score"};
@@ -175,6 +256,87 @@ int main(int argc, char** argv) {
     report.metric("best_score_ms_per_job_n32", per_job_n32);
     report.metric("best_score_per_job_scaling_n32_over_n1",
                   per_job_n32 / per_job_n1);
+  }
+
+  // ---- Sharded-dispatcher scaling sweep: 32 -> 1k -> 10k servers, one
+  // shared DGX-1V archetype, plus the 64-server / 2-shard smoke point the
+  // CI bench-smoke job leans on.
+  struct SweepEntry {
+    std::string key;
+    std::size_t servers;
+    std::size_t shards;
+  };
+  const std::vector<SweepEntry> sweep = {
+      {"smoke_n64_s2", 64, 2},
+      {"scale_n32", 32, 2},
+      {"scale_n1000", 1000, 32},
+      {"scale_n10000", 10000, 64},
+  };
+  util::Table scale_table({"servers", "shards", "jobs", "wall (ms)",
+                           "dispatch (us/job)", "jobs/h", "memo hit"});
+  for (const SweepEntry& entry : sweep) {
+    const ScalePoint p =
+        run_scale_point(entry.servers, entry.shards, jobs_per_server);
+    scale_table.add_row(
+        {std::to_string(p.servers), std::to_string(p.shards),
+         std::to_string(p.jobs), util::fixed(p.wall_ms, 1),
+         util::fixed(p.dispatch_us_per_job, 2),
+         util::fixed(p.jobs_per_hour, 1), util::fixed(p.memo_hit_rate, 3)});
+    report.metric(entry.key + "_dispatch_us_per_job", p.dispatch_us_per_job);
+    report.metric(entry.key + "_wall_ms", p.wall_ms);
+    report.metric(entry.key + "_memo_hit_rate", p.memo_hit_rate);
+  }
+  std::cout << "sharded dispatcher scaling (least-loaded, topo-aware, "
+               "shared archetype):\n"
+            << scale_table.render() << '\n';
+
+  // ---- Head-to-head at 1k servers: the sharded dispatcher vs the
+  // unsharded probe-all path (shards=1 disables the probe memo too, i.e.
+  // the pre-sharding dispatcher) on the identical trace.
+  {
+    const ScalePoint sharded = run_scale_point(1000, 32, jobs_per_server);
+    const ScalePoint unsharded = run_scale_point(1000, 1, jobs_per_server);
+    const double speedup =
+        sharded.dispatch_us_per_job > 0.0
+            ? unsharded.dispatch_us_per_job / sharded.dispatch_us_per_job
+            : 0.0;
+    std::cout << "1k-server dispatch: sharded "
+              << util::fixed(sharded.dispatch_us_per_job, 2)
+              << " us/job vs unsharded "
+              << util::fixed(unsharded.dispatch_us_per_job, 2) << " us/job ("
+              << util::fixed(speedup, 2) << "x)\n";
+    report.metric("n1000_sharded_dispatch_us_per_job",
+                  sharded.dispatch_us_per_job);
+    report.metric("n1000_unsharded_dispatch_us_per_job",
+                  unsharded.dispatch_us_per_job);
+    report.metric("n1000_sharded_speedup_x", speedup);
+  }
+
+  // ---- Resident bytes per server at 1k rack-class (64-GPU dgx_rack)
+  // servers: one shared TopologyHandle archetype vs the retired design of
+  // a dense graph::Graph copy per server. Mutable per-server state is the
+  // busy mask + allocation ledger + name — the same either way — so the
+  // delta is exactly the dense adjacency/bandwidth matrices.
+  {
+    const std::size_t n = 1000;
+    const graph::TopologyHandle rack(graph::dgx_rack(8));
+    const double graph_bytes = static_cast<double>(rack.memory_bytes());
+    const double per_server_state =
+        static_cast<double>(sizeof(core::Mapa)) +
+        static_cast<double>(rack.num_vertices()) / 8.0 +  // busy mask bits
+        32.0;                                             // name storage
+    const double shared_bps =
+        graph_bytes / static_cast<double>(n) + per_server_state;
+    const double copied_bps = graph_bytes + per_server_state;
+    std::cout << "1k-server rack fleet memory: "
+              << util::fixed(shared_bps / 1024.0, 1)
+              << " KiB/server shared archetype vs "
+              << util::fixed(copied_bps / 1024.0, 1)
+              << " KiB/server per-server copies ("
+              << util::fixed(copied_bps / shared_bps, 1) << "x)\n";
+    report.metric("n1000_bytes_per_server_shared", shared_bps);
+    report.metric("n1000_bytes_per_server_copied", copied_bps);
+    report.metric("n1000_memory_reduction_x", copied_bps / shared_bps);
   }
 
   return report.write();

@@ -1,12 +1,12 @@
 // Wide-matching-core microbench: the measured perf trajectory for the
-// >64-vertex word-array path (graph::WideBitGraph). Times symmetry-broken
+// >64-vertex word-array path (graph::DynRows). Times symmetry-broken
 // match enumeration on multi-node racks —
 //
 //  * the generic baseline — the seed VF2 inner loop
 //    (vf2_enumerate_generic), which was the production path above 64
 //    vertices before the wide core existed;
 //  * the bitset path — whatever vf2_count dispatches to (single-word
-//    BitGraph at 64 vertices, WideBitGraph above);
+//    BitGraph at 64 vertices, DynRows above);
 //  * the Ullmann backend, as the independent cross-check;
 //
 // across the paper's pattern shapes on a 64-GPU rack (the <= 64
@@ -26,7 +26,7 @@
 
 #include "bench_common.hpp"
 #include "graph/patterns.hpp"
-#include "graph/widebitgraph.hpp"
+#include "graph/bitrows.hpp"
 #include "match/enumerator.hpp"
 #include "match/ullmann.hpp"
 #include "match/vf2.hpp"

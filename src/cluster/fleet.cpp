@@ -5,8 +5,10 @@
 #include <deque>
 #include <queue>
 #include <stdexcept>
+#include <unordered_set>
 #include <utility>
 
+#include "graph/algorithms.hpp"
 #include "graph/topology.hpp"
 #include "interconnect/microbench.hpp"
 #include "policy/match_cache.hpp"
@@ -22,11 +24,26 @@ struct Running {
   double finish_s = 0.0;
   std::size_t server = 0;
   std::uint64_t allocation_id = 0;
+  std::size_t gpus = 0;  // for incremental free-GPU accounting on release
 
   bool operator>(const Running& other) const {
     return finish_s > other.finish_s;
   }
 };
+
+/// Probe-memo key: the pattern's adjacency fingerprint (shape identity —
+/// GPU count and edge structure) mixed with the sensitivity flag, then
+/// finalized so near-identical fingerprints spread across buckets. A
+/// policy's answer depends on nothing else once the server's busy mask is
+/// fixed, and the memo is cleared whenever that mask changes.
+std::uint64_t probe_key(const graph::Graph& pattern, bool sensitive) {
+  std::uint64_t x = graph::adjacency_fingerprint(pattern) ^
+                    (sensitive ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL);
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  return x;
+}
 
 }  // namespace
 
@@ -48,6 +65,15 @@ FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
   if (specs.empty()) {
     throw std::invalid_argument("FleetSimulator: empty fleet");
   }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("FleetSimulator: zero dispatcher shards");
+  }
+  if (config_.threads > 1 && config_.policy.threads > 1) {
+    throw std::invalid_argument(
+        "FleetSimulator: fleet-level (ClusterConfig::threads) and "
+        "policy-level (policy.threads) parallelism both requested; keep "
+        "policy.threads at 1 and parallelize across servers instead");
+  }
   selection_ = make_selection(config_.selection);
 
   // The master seed derives one policy sub-seed per server, in fleet
@@ -60,26 +86,68 @@ FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
     std::string name = spec.name.empty()
                            ? spec.topology.name() + "-" + std::to_string(i)
                            : std::move(spec.name);
-    Server server{std::move(name), spec.policy,
+    Server server{std::move(name),
+                  spec.policy,
                   core::Mapa(std::move(spec.topology),
                              policy::make_policy(spec.policy, config_.policy,
                                                  policy_seed)),
-                  nullptr, false};
-    if (config_.sim.use_match_cache) {
-      server.cache = std::make_shared<policy::MatchCache>();
-      server.mapa.policy().set_match_cache(server.cache);
-    }
+                  /*cache=*/nullptr,
+                  /*cache_primary=*/false,
+                  // Replaying a memoized probe for a stochastic policy
+                  // would skip an RNG draw and shift its stream.
+                  /*memoizable=*/spec.policy != "random",
+                  /*shard=*/0,
+                  /*draining=*/false};
     servers_.push_back(std::move(server));
   }
 
+  // One match cache per topology archetype: servers with the same
+  // adjacency fingerprint — the identity MatchCache itself pins hardware
+  // on — share one cache, so a fleet stamped from a handful of archetypes
+  // holds a handful of caches instead of one per server. The cache key
+  // folds the busy-mask fingerprint, so per-state entries stay correct on
+  // every sharing server. The lowest-indexed server of each archetype is
+  // the one that reports the shared cache's stats.
+  if (config_.sim.use_match_cache) {
+    std::unordered_map<std::uint64_t, std::shared_ptr<policy::MatchCache>>
+        caches;
+    for (Server& server : servers_) {
+      auto [it, inserted] =
+          caches.try_emplace(server.mapa.topology().fingerprint(), nullptr);
+      if (inserted) {
+        it->second = std::make_shared<policy::MatchCache>();
+        server.cache_primary = true;
+      }
+      server.cache = it->second;
+      server.mapa.policy().set_match_cache(server.cache);
+    }
+  }
+
+  // Contiguous shard partition: shard i owns servers [i*n/S, (i+1)*n/S).
+  // Every shard is non-empty because S is clamped to the server count.
+  const std::size_t n = servers_.size();
+  const std::size_t num_shards = std::min(config_.shards, n);
+  shards_.resize(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const std::size_t begin = i * n / num_shards;
+    const std::size_t end = (i + 1) * n / num_shards;
+    for (std::size_t s = begin; s < end; ++s) {
+      servers_[s].shard = i;
+      shards_[i].servers.push_back(s);
+      shards_[i].max_gpus = std::max(shards_[i].max_gpus,
+                                     servers_[s].mapa.topology().num_vertices());
+    }
+  }
+  memo_enabled_ = config_.probe_memo.value_or(num_shards > 1);
+
   // Metrics and examples key per-server aggregations by name; duplicates
   // would silently merge two servers' samples.
-  for (std::size_t i = 0; i < servers_.size(); ++i) {
-    for (std::size_t j = i + 1; j < servers_.size(); ++j) {
-      if (servers_[i].name == servers_[j].name) {
-        throw std::invalid_argument("FleetSimulator: duplicate server name '" +
-                                    servers_[i].name + "'");
-      }
+  std::unordered_set<std::string> names;
+  names.reserve(servers_.size());
+  for (const Server& server : servers_) {
+    if (!names.insert(server.name).second) {
+      throw std::invalid_argument("FleetSimulator: duplicate server name '" +
+                                  server.name + "'");
     }
   }
 
@@ -104,38 +172,70 @@ const graph::Graph& FleetSimulator::hardware(std::size_t server) const {
   return servers_[server].mapa.hardware();
 }
 
-std::vector<ServerProbe> FleetSimulator::probe(const graph::Graph& pattern,
-                                               const workload::Job& job) {
+std::size_t FleetSimulator::shard_of(std::size_t server) const {
+  if (server >= servers_.size()) {
+    throw std::out_of_range("FleetSimulator::shard_of: bad server index");
+  }
+  return servers_[server].shard;
+}
+
+std::vector<ServerProbe> FleetSimulator::probe_servers(
+    const std::vector<std::size_t>& candidates, const graph::Graph& pattern,
+    std::uint64_t pattern_key, const workload::Job& job,
+    const std::vector<std::size_t>& server_free, std::vector<ProbeMemo>& memo,
+    std::vector<std::uint64_t>& probe_count,
+    std::vector<std::uint64_t>& memo_hits) {
   std::vector<std::size_t> eligible;
-  eligible.reserve(servers_.size());
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
+  eligible.reserve(candidates.size());
+  for (const std::size_t s : candidates) {
     if (servers_[s].draining) continue;
     if (job.num_gpus > servers_[s].mapa.hardware().num_vertices()) continue;
     eligible.push_back(s);
   }
 
-  // Probes touch only their own server's policy, cache, and busy mask, so
-  // they are independent; results land at fixed indices and the selection
-  // scans them in server order — thread count cannot change the outcome.
+  // Probes touch only their own server's policy, cache, busy mask, and
+  // memo bucket, so they are independent; results land at fixed indices
+  // and the selection scans them in server order — thread count cannot
+  // change the outcome. Memoized probes replay the policy's last answer
+  // for this (pattern, sensitivity) against the server's unchanged busy
+  // mask; the memo caches "does not fit" too.
   std::vector<ServerProbe> probes;
   const auto probe_one = [&](std::size_t k) {
-    Server& server = servers_[eligible[k]];
+    const std::size_t index = eligible[k];
+    Server& server = servers_[index];
     ServerProbe p;
-    p.server = eligible[k];
+    p.server = index;
     p.total_gpus = server.mapa.hardware().num_vertices();
-    p.free_gpus = server.mapa.free_accelerators();
+    // The incremental free count run() maintains on commit/release —
+    // equal to mapa.free_accelerators() but O(1) instead of an O(V) scan
+    // per probe, which dominates probe-all selections at fleet scale.
+    p.free_gpus = server_free[index];
     p.bandwidth_sensitive = job.bandwidth_sensitive;
-    policy::AllocationRequest request;
-    request.pattern = &pattern;
-    request.bandwidth_sensitive = job.bandwidth_sensitive;
-    p.placement = server.mapa.policy().allocate(server.mapa.hardware(),
-                                                server.mapa.busy(), request);
+    const bool memoize = memo_enabled_ && server.memoizable;
+    bool replayed = false;
+    if (memoize) {
+      const auto it = memo[index].find(pattern_key);
+      if (it != memo[index].end()) {
+        p.placement = it->second;
+        ++memo_hits[index];
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      policy::AllocationRequest request;
+      request.pattern = &pattern;
+      request.bandwidth_sensitive = job.bandwidth_sensitive;
+      p.placement = server.mapa.policy().allocate(server.mapa.hardware(),
+                                                  server.mapa.busy(), request);
+      ++probe_count[index];
+      if (memoize) memo[index].emplace(pattern_key, p.placement);
+    }
     probes[k] = std::move(p);
   };
   if (!selection_->needs_all_probes()) {
     // First-fit never looks past the first fitting probe: run the matchers
     // sequentially in server order and stop at the first fit, so dispatch
-    // cost stays O(1) probes instead of O(fleet size).
+    // cost stays O(1) probes instead of O(shard size).
     for (std::size_t k = 0; k < eligible.size(); ++k) {
       probes.resize(k + 1);
       probe_one(k);
@@ -192,6 +292,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
 
   FleetResult result;
   result.selection = selection_->name();
+  result.shards = shards_.size();
   result.records.reserve(jobs.size());
   result.servers.resize(servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) {
@@ -200,108 +301,267 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     sr.topology = servers_[s].mapa.hardware().name();
     sr.policy = servers_[s].policy_name;
     sr.num_gpus = servers_[s].mapa.hardware().num_vertices();
+    sr.shard = servers_[s].shard;
+    sr.cache_primary = servers_[s].cache_primary;
   }
 
-  std::deque<std::size_t> queue;  // indices into `jobs`
+  // Per-shard queues plus incremental free-GPU counts so shard routing is
+  // O(shards) per admission instead of O(servers). shard_free counts only
+  // non-draining members; the per-tick probe memo is per server and is
+  // dropped whenever that server commits or releases an allocation.
+  std::vector<std::deque<std::size_t>> queues(shards_.size());
+  std::vector<ProbeMemo> memo(servers_.size());
+  std::vector<std::uint64_t> probe_count(servers_.size(), 0);
+  std::vector<std::uint64_t> memo_hits(servers_.size(), 0);
+  std::vector<std::size_t> server_free(servers_.size(), 0);
+  std::vector<std::size_t> shard_free(shards_.size(), 0);
+  // GPUs requested by jobs sitting in each shard's queue: routing ranks
+  // shards by free capacity NET of this backlog, so a burst of same-time
+  // arrivals spreads across shards instead of all chasing the shard that
+  // looked freest before any of them was served.
+  std::vector<long long> queued_gpus(shards_.size(), 0);
+  // A shard needs re-scanning only after something it can see changed: a
+  // job entered its queue, one of its servers committed/released/
+  // drained/restored, or a rescue moved its work. A clean shard's scan
+  // would replay the exact probes of its last failed scan (the memo makes
+  // that cheap but not free — at 10k servers the redundant sweeps
+  // dominate dispatch cost), so clean shards are skipped entirely; the
+  // outcome is identical because nothing that scan reads has changed.
+  std::vector<char> shard_dirty(shards_.size(), 1);
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    server_free[s] = servers_[s].mapa.free_accelerators();
+    shard_free[servers_[s].shard] += server_free[s];
+  }
+  std::vector<std::size_t> all_servers(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) all_servers[s] = s;
+
   std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
   std::size_t next_arrival = 0;
   std::size_t next_event = 0;
   double now = 0.0;
 
+  const auto queues_empty = [&]() {
+    for (const std::deque<std::size_t>& q : queues) {
+      if (!q.empty()) return false;
+    }
+    return true;
+  };
+
+  const auto set_draining = [&](std::size_t s, bool draining) {
+    Server& server = servers_[s];
+    if (server.draining == draining) return;
+    server.draining = draining;
+    shard_dirty[server.shard] = 1;
+    if (draining) {
+      shard_free[server.shard] -= server_free[s];
+    } else {
+      shard_free[server.shard] += server_free[s];
+    }
+  };
+
+  // Deterministic shard picker: among shards with at least one server
+  // large enough for the job, route to the one with the most free
+  // accelerators (draining servers count zero) net of the GPUs its queue
+  // already owes, ties toward the lowest shard index. Capacity
+  // eligibility is static (run() has already validated that some server
+  // fits), so a routed job may still have to wait out a drain — the
+  // rescue pass below covers pathological cases.
+  const auto route = [&](std::size_t job_index) {
+    const workload::Job& job = jobs[job_index];
+    std::size_t best = 0;
+    long long best_slack = 0;
+    bool found = false;
+    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+      if (shards_[sh].max_gpus < job.num_gpus) continue;
+      const long long slack =
+          static_cast<long long>(shard_free[sh]) - queued_gpus[sh];
+      if (!found || slack > best_slack) {
+        best = sh;
+        best_slack = slack;
+        found = true;
+      }
+    }
+    queued_gpus[best] += static_cast<long long>(job.num_gpus);
+    queues[best].push_back(job_index);
+    shard_dirty[best] = 1;
+  };
+
   const auto admit_arrivals = [&](double time) {
     while (next_arrival < arrival_order.size() &&
            jobs[arrival_order[next_arrival]].arrival_time_s <= time) {
-      queue.push_back(arrival_order[next_arrival]);
+      route(arrival_order[next_arrival]);
       ++next_arrival;
     }
   };
   const auto apply_events = [&](double time) {
     while (next_event < events.size() && events[next_event].time_s <= time) {
       const ServerEvent& event = events[next_event];
-      servers_[event.server].draining =
-          event.kind == ServerEvent::Kind::kDrain;
+      set_draining(event.server, event.kind == ServerEvent::Kind::kDrain);
       ++next_event;
     }
   };
   apply_events(now);
   admit_arrivals(now);
 
-  // Events are pure wakeups for queued work: once the queue, running set,
-  // and arrivals are exhausted, remaining drains/restores can't change
-  // anything and must not extend the makespan.
-  while (!queue.empty() || !running.empty() ||
-         next_arrival < arrival_order.size()) {
-    // Serve the queue: FIFO head first; optionally backfill a later job
-    // past a blocked head (SimConfig.backfill, same window semantics as
-    // the single-server engine).
-    bool progressed = true;
-    while (progressed && !queue.empty()) {
-      progressed = false;
+  // Commit a winning probe and record the placement. `queue_shard` and
+  // `queue_pos` locate the job in the queue it currently sits in (its own
+  // shard's, or — on a rescue — one foreign to the winning server).
+  const auto place = [&](std::size_t queue_shard, std::size_t queue_pos,
+                         ServerProbe& winner, const graph::Graph& pattern,
+                         double overhead_ms) {
+    std::deque<std::size_t>& queue = queues[queue_shard];
+    Server& server = servers_[winner.server];
+    const workload::Job& job = jobs[queue[queue_pos]];
+    const core::Allocation allocation =
+        server.mapa.commit(std::move(*winner.placement));
 
-      std::size_t queue_pos = 0;
-      std::optional<std::size_t> chosen_probe;
-      std::vector<ServerProbe> probes;
-      double overhead_ms = 0.0;
+    sim::JobRecord record;
+    record.job = job;
+    record.gpus = allocation.gpus();
+    record.queued_s = job.arrival_time_s;
+    record.start_s = now;
+    record.aggregated_bw = allocation.aggregated_bw();
+    record.predicted_effbw = allocation.predicted_effbw();
+    record.preserved_bw = allocation.preserved_bw();
+    record.scheduling_overhead_ms = overhead_ms;
+
+    match::Match m;
+    m.mapping = allocation.gpus();
+    record.measured_effbw = interconnect::measured_effective_bandwidth(
+        pattern, server.mapa.hardware(), m, config_.sim.microbench);
+
+    const workload::ExecModel model(job.profile());
+    const double effbw = config_.sim.exec_uses_measured_effbw
+                             ? record.measured_effbw
+                             : record.predicted_effbw;
+    record.exec_s = model.exec_time_s(job.num_gpus, effbw, job.iter_scale);
+    record.finish_s = now + record.exec_s;
+
+    ServerResult& sr = result.servers[winner.server];
+    ++sr.jobs_placed;
+    sr.busy_gpu_seconds +=
+        static_cast<double>(record.gpus.size()) * record.exec_s;
+
+    const std::size_t gpus = record.gpus.size();
+    server_free[winner.server] -= gpus;
+    if (!server.draining) shard_free[server.shard] -= gpus;
+    queued_gpus[queue_shard] -= static_cast<long long>(job.num_gpus);
+    shard_dirty[queue_shard] = 1;
+    shard_dirty[server.shard] = 1;
+    memo[winner.server].clear();  // busy mask changed: stale probe answers
+
+    running.push(
+        Running{record.finish_s, winner.server, allocation.id(), gpus});
+    result.records.push_back(FleetRecord{std::move(record), winner.server});
+    queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
+  };
+
+  // Serve one shard: FIFO head first; optionally backfill a later job
+  // past a blocked head (SimConfig.backfill, same window semantics as the
+  // single-server engine). Places at most one job per call; probes only
+  // the shard's own servers.
+  const auto serve_shard = [&](std::size_t sh) {
+    std::deque<std::size_t>& queue = queues[sh];
+    if (queue.empty()) return false;
+
+    std::size_t queue_pos = 0;
+    std::optional<std::size_t> chosen_probe;
+    std::vector<ServerProbe> probes;
+    double overhead_ms = 0.0;
+    const std::size_t scan_limit =
+        config_.sim.backfill
+            ? std::min(queue.size(), config_.sim.backfill_window + 1)
+            : std::size_t{1};
+    graph::Graph pattern;
+    for (; queue_pos < scan_limit; ++queue_pos) {
+      const workload::Job& candidate = jobs[queue[queue_pos]];
+      pattern = candidate.application_graph();
+      const std::uint64_t key =
+          memo_enabled_ ? probe_key(pattern, candidate.bandwidth_sensitive)
+                        : 0;
+      const auto wall_start = std::chrono::steady_clock::now();
+      probes = probe_servers(shards_[sh].servers, pattern, key, candidate,
+                             server_free, memo, probe_count, memo_hits);
+      chosen_probe = selection_->select(probes);
+      const auto wall_end = std::chrono::steady_clock::now();
+      overhead_ms +=
+          std::chrono::duration<double, std::milli>(wall_end - wall_start)
+              .count();
+      if (chosen_probe) break;
+    }
+    result.total_scheduling_ms += overhead_ms;
+    if (!chosen_probe) return false;  // nothing fits here: wait or rescue
+
+    place(sh, queue_pos, probes[*chosen_probe], pattern, overhead_ms);
+    return true;
+  };
+
+  // Cross-shard rescue: only reached when the fleet is otherwise idle
+  // (nothing running, arriving, or scheduled) yet some shard queue is
+  // stuck — e.g. every sufficiently large server of the routed shard was
+  // drained after routing. Re-probe each shard's servable candidates
+  // against the whole fleet and place the first one that fits anywhere;
+  // the scan respects the same head/backfill window as normal serving, so
+  // rescue never places a job the in-shard scheduler would not have
+  // reached. Returns false only when no server in the fleet fits any
+  // servable candidate — the genuinely-unplaceable case.
+  const auto rescue = [&]() {
+    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+      std::deque<std::size_t>& queue = queues[sh];
+      if (queue.empty()) continue;
       const std::size_t scan_limit =
           config_.sim.backfill
               ? std::min(queue.size(), config_.sim.backfill_window + 1)
               : std::size_t{1};
       graph::Graph pattern;
-      for (; queue_pos < scan_limit; ++queue_pos) {
-        const workload::Job& candidate = jobs[queue[queue_pos]];
+      for (std::size_t pos = 0; pos < scan_limit; ++pos) {
+        const workload::Job& candidate = jobs[queue[pos]];
         pattern = candidate.application_graph();
+        const std::uint64_t key =
+            memo_enabled_ ? probe_key(pattern, candidate.bandwidth_sensitive)
+                          : 0;
         const auto wall_start = std::chrono::steady_clock::now();
-        probes = probe(pattern, candidate);
-        chosen_probe = selection_->select(probes);
+        std::vector<ServerProbe> probes =
+            probe_servers(all_servers, pattern, key, candidate, server_free,
+                          memo, probe_count, memo_hits);
+        const std::optional<std::size_t> chosen = selection_->select(probes);
         const auto wall_end = std::chrono::steady_clock::now();
-        overhead_ms +=
+        const double overhead_ms =
             std::chrono::duration<double, std::milli>(wall_end - wall_start)
                 .count();
-        if (chosen_probe) break;
+        result.total_scheduling_ms += overhead_ms;
+        if (chosen) {
+          place(sh, pos, probes[*chosen], pattern, overhead_ms);
+          return true;
+        }
       }
-      result.total_scheduling_ms += overhead_ms;
-      if (!chosen_probe) break;  // nothing fits anywhere: wait for an event
+    }
+    return false;
+  };
 
-      ServerProbe& winner = probes[*chosen_probe];
-      Server& server = servers_[winner.server];
-      const workload::Job& job = jobs[queue[queue_pos]];
-      const core::Allocation allocation =
-          server.mapa.commit(std::move(*winner.placement));
-
-      sim::JobRecord record;
-      record.job = job;
-      record.gpus = allocation.gpus();
-      record.queued_s = job.arrival_time_s;
-      record.start_s = now;
-      record.aggregated_bw = allocation.aggregated_bw();
-      record.predicted_effbw = allocation.predicted_effbw();
-      record.preserved_bw = allocation.preserved_bw();
-      record.scheduling_overhead_ms = overhead_ms;
-
-      match::Match m;
-      m.mapping = allocation.gpus();
-      record.measured_effbw = interconnect::measured_effective_bandwidth(
-          pattern, server.mapa.hardware(), m, config_.sim.microbench);
-
-      const workload::ExecModel model(job.profile());
-      const double effbw = config_.sim.exec_uses_measured_effbw
-                               ? record.measured_effbw
-                               : record.predicted_effbw;
-      record.exec_s = model.exec_time_s(job.num_gpus, effbw, job.iter_scale);
-      record.finish_s = now + record.exec_s;
-
-      ServerResult& sr = result.servers[winner.server];
-      ++sr.jobs_placed;
-      sr.busy_gpu_seconds +=
-          static_cast<double>(record.gpus.size()) * record.exec_s;
-
-      running.push(Running{record.finish_s, winner.server, allocation.id()});
-      result.records.push_back(FleetRecord{std::move(record), winner.server});
-      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
-      progressed = true;
+  // Events are pure wakeups for queued work: once the queues, running set,
+  // and arrivals are exhausted, remaining drains/restores can't change
+  // anything and must not extend the makespan.
+  while (!queues_empty() || !running.empty() ||
+         next_arrival < arrival_order.size()) {
+    // Serve the shards round-robin, one placement at a time, until no
+    // shard can place anything more at the current instant. Shards whose
+    // visible state hasn't changed since their last failed scan are
+    // skipped (see shard_dirty above).
+    bool progressed = true;
+    while (progressed) {
+      progressed = false;
+      for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+        if (!shard_dirty[sh]) continue;
+        if (serve_shard(sh)) {
+          progressed = true;
+        } else {
+          shard_dirty[sh] = 0;
+        }
+      }
     }
 
-    if (running.empty() && queue.empty() &&
+    if (running.empty() && queues_empty() &&
         next_arrival >= arrival_order.size()) {
       break;
     }
@@ -320,18 +580,34 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     }
     if (next_event < events.size()) consider(events[next_event].time_s);
     if (!have_next) {
-      // Queue non-empty but nothing running, arriving, or scheduled: the
-      // head can never be placed (no structural match on any idle
-      // eligible server, or the whole fleet is drained for good).
-      throw std::runtime_error(
-          "FleetSimulator::run: job " +
-          std::to_string(jobs[queue.front()].id) +
-          " cannot be placed on any idle server");
+      if (shards_.size() > 1 && rescue()) continue;
+      // Some queue is non-empty but nothing is running, arriving, or
+      // scheduled, and (after the rescue pass, when sharded) no server in
+      // the fleet fits: the head can never be placed — no structural
+      // match on any idle eligible server, or the whole fleet is drained
+      // for good.
+      std::size_t stuck = 0;
+      for (const std::deque<std::size_t>& q : queues) {
+        if (!q.empty()) {
+          stuck = q.front();
+          break;
+        }
+      }
+      throw std::runtime_error("FleetSimulator::run: job " +
+                               std::to_string(jobs[stuck].id) +
+                               " cannot be placed on any idle server");
     }
     now = std::max(now, next_time);
 
     while (!running.empty() && running.top().finish_s <= now) {
-      servers_[running.top().server].mapa.release(running.top().allocation_id);
+      const Running& done = running.top();
+      servers_[done.server].mapa.release(done.allocation_id);
+      server_free[done.server] += done.gpus;
+      if (!servers_[done.server].draining) {
+        shard_free[servers_[done.server].shard] += done.gpus;
+      }
+      shard_dirty[servers_[done.server].shard] = 1;
+      memo[done.server].clear();  // busy mask changed: stale probe answers
       running.pop();
     }
     apply_events(now);
@@ -345,7 +621,11 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       sr.utilization = sr.busy_gpu_seconds /
                        (static_cast<double>(sr.num_gpus) * result.makespan_s);
     }
-    if (servers_[s].cache != nullptr) {
+    sr.probes = probe_count[s];
+    sr.probe_memo_hits = memo_hits[s];
+    // Shared caches report through the archetype's primary server only,
+    // so pooled fleet totals never double-count one cache's deltas.
+    if (servers_[s].cache != nullptr && servers_[s].cache_primary) {
       const policy::MatchCacheStats stats = servers_[s].cache->stats();
       sr.match_cache_hits = stats.hits - cache_baseline[s].hits;
       sr.match_cache_misses = stats.misses - cache_baseline[s].misses;
@@ -362,7 +642,7 @@ FleetResult run_fleet(std::vector<graph::Graph> topologies,
   specs.reserve(topologies.size());
   for (graph::Graph& topology : topologies) {
     ServerSpec spec;
-    spec.topology = std::move(topology);
+    spec.topology = graph::TopologyHandle(std::move(topology));
     spec.policy = policy_name;
     specs.push_back(std::move(spec));
   }
@@ -370,19 +650,65 @@ FleetResult run_fleet(std::vector<graph::Graph> topologies,
   return simulator.run(jobs);
 }
 
-std::vector<ServerSpec> rack_fleet_specs(std::size_t racks,
-                                         std::size_t nodes_per_rack,
-                                         const std::string& policy_name) {
+std::vector<ServerSpec> archetype_fleet_specs(
+    std::size_t servers, const std::vector<FleetArchetype>& archetypes) {
+  if (servers == 0) {
+    throw std::invalid_argument("archetype_fleet_specs: zero servers");
+  }
+  if (archetypes.empty()) {
+    throw std::invalid_argument("archetype_fleet_specs: no archetypes");
+  }
+  std::size_t total_weight = 0;
+  for (const FleetArchetype& arch : archetypes) {
+    if (arch.weight == 0) {
+      throw std::invalid_argument("archetype_fleet_specs: zero weight");
+    }
+    if (arch.topology.empty()) {
+      throw std::invalid_argument("archetype_fleet_specs: empty topology");
+    }
+    total_weight += arch.weight;
+  }
+
+  // Smooth weighted round-robin: each step every archetype gains its
+  // weight in credit, the richest archetype (ties toward the earliest) is
+  // stamped and pays back the total. A 3:1 weighting therefore
+  // interleaves A A A B A A A B ... instead of front-loading one
+  // archetype, which keeps contiguous dispatcher shards representative of
+  // the whole fleet mix.
+  std::vector<long long> credit(archetypes.size(), 0);
+  std::vector<std::size_t> stamped(archetypes.size(), 0);
   std::vector<ServerSpec> specs;
-  specs.reserve(racks);
-  for (std::size_t r = 0; r < racks; ++r) {
+  specs.reserve(servers);
+  for (std::size_t i = 0; i < servers; ++i) {
+    std::size_t pick = 0;
+    for (std::size_t a = 0; a < archetypes.size(); ++a) {
+      credit[a] += static_cast<long long>(archetypes[a].weight);
+      if (credit[a] > credit[pick]) pick = a;
+    }
+    credit[pick] -= static_cast<long long>(total_weight);
+
+    const FleetArchetype& arch = archetypes[pick];
     ServerSpec spec;
-    spec.name = "rack-" + std::to_string(r);
-    spec.topology = graph::dgx_rack(nodes_per_rack);
-    spec.policy = policy_name;
+    spec.name = (arch.name.empty() ? arch.topology.name() : arch.name) + "-" +
+                std::to_string(stamped[pick]++);
+    spec.topology = arch.topology;  // shared handle, not a graph copy
+    spec.policy = arch.policy;
     specs.push_back(std::move(spec));
   }
   return specs;
+}
+
+std::vector<ServerSpec> rack_fleet_specs(std::size_t racks,
+                                         std::size_t nodes_per_rack,
+                                         const std::string& policy_name) {
+  // One rack archetype built once and shared across every server: at
+  // fleet scale the dense rack matrices are the dominant per-server
+  // allocation, so the fleet holds one copy instead of `racks`.
+  FleetArchetype arch;
+  arch.name = "rack";
+  arch.topology = graph::TopologyHandle(graph::dgx_rack(nodes_per_rack));
+  arch.policy = policy_name;
+  return archetype_fleet_specs(racks, {arch});
 }
 
 }  // namespace mapa::cluster

@@ -2,29 +2,80 @@
 // cluster/ — a discrete-event fleet scheduler layered above the
 // single-server MAPA engine (sim/engine.hpp). Where sim::Simulator models one
 // multi-GPU server behind a FIFO queue, FleetSimulator owns N server
-// instances — each a hardware graph with its own allocation policy and
-// allocation-state match cache — behind one fleet-level dispatcher queue.
-// For every queue candidate the dispatcher probes each eligible server's
-// matcher (dry-run allocate against that server's busy mask) and a
-// pluggable ServerSelection (cluster/selection.hpp) picks the winner; the
-// probed placement is then committed without re-running the search
-// (core::Mapa::commit). Optional drain/restore events take servers out of
-// and back into rotation mid-run, so heterogeneous-fleet, imbalance, and
-// maintenance scenarios are all expressible. Servers can be any topology
-// the matcher handles — single nodes or >64-GPU racks on the wide bitset
-// path (rack_fleet_specs below; docs/ARCHITECTURE.md has the dispatch
-// table).
+// instances — each a mutable busy mask + allocation policy over a shared,
+// immutable topology archetype (graph::TopologyHandle) — behind a sharded
+// fleet-level dispatcher. Optional drain/restore events take servers out
+// of and back into rotation mid-run, so heterogeneous-fleet, imbalance,
+// and maintenance scenarios are all expressible. Servers can be any
+// topology the matcher handles — single nodes or >64-GPU racks
+// (rack_fleet_specs / archetype_fleet_specs below; docs/ARCHITECTURE.md
+// has the dispatch table).
 //
-// Per-server probes are independent (each touches only its own policy,
-// cache, and busy mask), so they fan out across a util::ThreadPool when
-// ClusterConfig::threads > 1 and merge in fixed server order.
+// Sharded dispatch (the 10k-server path). The fleet's servers are split
+// into `ClusterConfig::shards` contiguous shards, each with its own
+// arrival queue. Dispatch is two-level:
+//
+//   1. Shard picker (deterministic): when a job is admitted it is routed
+//      to the shard with the most free accelerators NET of the GPUs its
+//      queue already owes, among shards that have at least one server
+//      large enough for the job (ties toward the lowest shard index).
+//      Netting out the queued backlog spreads a burst of same-time
+//      arrivals across shards instead of piling them all onto the shard
+//      that looked freest before any of them was served. Free counts and
+//      backlogs are maintained incrementally on commit/release/
+//      drain/restore and enqueue/place, so routing is O(shards), not
+//      O(servers).
+//   2. In-shard probe fan-out: each scheduling round serves the shards in
+//      index order, one placement at a time. A served candidate probes
+//      only its shard's eligible servers (dry-run allocate against each
+//      server's busy mask), the pluggable ServerSelection
+//      (cluster/selection.hpp) picks the winner among the shard's probes,
+//      and the winning placement is committed without re-running the
+//      search (core::Mapa::commit). Probes batch onto util::ThreadPool
+//      when ClusterConfig::threads > 1 and merge in fixed server order.
+//      A shard whose queue and servers are unchanged since its last
+//      failed scan is skipped — the skipped scan would replay the same
+//      probes to the same answers, so records are unaffected while
+//      steady-state dispatch stops paying a full-fleet sweep per tick.
+//
+// Probe results are memoized within a tick (ClusterConfig::probe_memo):
+// a (server, pattern, sensitivity) probe outcome — fit or no-fit — is
+// reused across queue candidates until that server's allocation state
+// changes (commit or release), so a backfill scan over k candidates of
+// one pattern shape costs one matcher run per server, not k. Servers
+// running the stochastic "random" policy are never memoized (a replayed
+// probe would skip an RNG draw and change the stream).
+//
+// If the fleet goes fully idle (nothing running, arriving, or scheduled)
+// while some shard queue is stuck, the dispatcher runs a cross-shard
+// rescue pass: each stuck shard's servable candidates are probed against
+// the whole fleet and re-routed to a shard that fits, falling back to the
+// unsharded "cannot be placed" error only when no server in the fleet can
+// take them. With shards = 1 (the default) the dispatcher degenerates to
+// the single global queue and is record-identical to the pre-sharding
+// dispatcher.
+//
+// Shared topology and caches: ServerSpec carries a graph::TopologyHandle,
+// so same-archetype servers (equal adjacency fingerprints) reference one
+// immutable graph instead of owning dense per-server copies, and — when
+// SimConfig::use_match_cache is on — share one policy/match_cache. The
+// cache key already folds the busy-mask fingerprint, so state-specific
+// entries stay correct per server while cache hits transfer across
+// servers that reach the same allocation state. Draining or restoring a
+// server never touches the shared cache: siblings' entries stay valid.
 //
 // Determinism contract: for a fixed server list, job list, and
 // configuration, run() produces identical FleetResult contents — records,
 // their order, simulated times, placements, and per-server statistics —
-// regardless of ClusterConfig::threads and of match-cache state. The only
-// exceptions are the wall-clock fields (FleetResult::total_scheduling_ms
-// and JobRecord::scheduling_overhead_ms), which measure real elapsed time.
+// regardless of ClusterConfig::threads and of match-cache state. The
+// exceptions are (a) the wall-clock fields (FleetResult::
+// total_scheduling_ms and JobRecord::scheduling_overhead_ms), which
+// measure real elapsed time, and (b) the match-cache hit/miss counters
+// when an archetype cache is shared by more than one server AND
+// threads > 1: parallel probes then race on who misses first, so the
+// hit/miss split (never the records — replay and live enumeration are
+// interchangeable) can vary. With threads == 1, or one server per
+// archetype, the counters are deterministic too.
 // ClusterConfig::seed is the single master seed of a fleet run: it derives
 // one sub-seed per server (in fleet order, via util::Rng) for stochastic
 // policies such as "random", and callers should feed the same seed to
@@ -38,12 +89,15 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "cluster/selection.hpp"
 #include "core/mapa.hpp"
 #include "graph/graph.hpp"
+#include "graph/topology_handle.hpp"
 #include "policy/policy.hpp"
 #include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
@@ -51,14 +105,31 @@
 
 namespace mapa::cluster {
 
-/// One server of the fleet: a topology plus the allocation policy it runs.
+/// One server of the fleet: a (possibly shared) topology archetype plus
+/// the allocation policy it runs.
 struct ServerSpec {
   /// Display name; empty = "<topology>-<index>".
   std::string name;
-  graph::Graph topology;
+  /// Topology archetype. Converts implicitly from graph::Graph (a private
+  /// archetype); copy one handle across specs to share storage — see
+  /// archetype_fleet_specs.
+  graph::TopologyHandle topology;
   /// Policy factory name ("baseline", "topo-aware", "greedy", "preserve",
   /// "random"); see policy::make_policy.
   std::string policy = "preserve";
+};
+
+/// One archetype of an archetype-weighted fleet (archetype_fleet_specs):
+/// every server stamped from it shares the same TopologyHandle (and thus,
+/// when caching is on, the same match cache).
+struct FleetArchetype {
+  /// Server-name prefix ("<name>-<k>", k counting per archetype); empty =
+  /// the topology's name.
+  std::string name;
+  graph::TopologyHandle topology;
+  std::string policy = "preserve";
+  /// Relative share of the fleet's servers; must be > 0.
+  std::size_t weight = 1;
 };
 
 /// Scheduled fleet-state change: a server leaves rotation (drain — running
@@ -76,13 +147,23 @@ struct ClusterConfig {
   sim::SimConfig sim;
   /// Per-server policy knobs, applied identically to every server. Keep
   /// `policy.threads` at 1: the fleet parallelizes across servers instead
-  /// (see `threads`), and nesting both oversubscribes the machine.
+  /// (see `threads`), and nesting both oversubscribes the machine — the
+  /// constructor throws when both are > 1.
   policy::PolicyConfig policy;
   /// Server-selection policy name; see cluster/selection.hpp.
   std::string selection = "first-fit";
-  /// Probe fan-out across servers (1 = sequential). Never changes results;
-  /// see the determinism contract above.
+  /// Probe fan-out across a shard's servers (1 = sequential). Never
+  /// changes records; see the determinism contract above.
   std::size_t threads = 1;
+  /// Dispatcher shards (contiguous server ranges, each with its own
+  /// queue). 1 = the single-queue dispatcher; values above the server
+  /// count are clamped to one server per shard.
+  std::size_t shards = 1;
+  /// Per-tick probe memoization (see the file comment). Unset = enabled
+  /// exactly when shards > 1, so the default single-queue dispatcher
+  /// stays bit-identical to the pre-sharding one — including match-cache
+  /// accounting, which memoization (correctly) reduces.
+  std::optional<bool> probe_memo;
   /// Master seed; derives per-server policy sub-seeds in fleet order.
   std::uint64_t seed = 42;
   /// Drain/restore schedule (any order; sorted by time internally).
@@ -101,18 +182,30 @@ struct ServerResult {
   std::string topology;
   std::string policy;
   std::size_t num_gpus = 0;
+  std::size_t shard = 0;  // dispatcher shard this server belongs to
   std::size_t jobs_placed = 0;
   /// GPU-seconds of modeled busy time accumulated on this server.
   double busy_gpu_seconds = 0.0;
   /// busy_gpu_seconds / (num_gpus * makespan); 0 for an empty run.
   double utilization = 0.0;
-  // Match-cache accounting (zeros when caching is off).
+  /// Dispatcher probes answered by this server's policy (matcher runs),
+  /// and probes served from the per-tick memo without a matcher run.
+  /// Both are deterministic across thread counts.
+  std::uint64_t probes = 0;
+  std::uint64_t probe_memo_hits = 0;
+  // Match-cache accounting (zeros when caching is off). When servers
+  // share an archetype cache, the shared per-run delta is attributed to
+  // the archetype's lowest-indexed server (cache_primary below) and the
+  // siblings report zero, so pooled fleet totals never double-count.
   std::uint64_t match_cache_hits = 0;
   std::uint64_t match_cache_misses = 0;
+  /// True when this server reports its (possibly shared) cache's stats.
+  bool cache_primary = false;
 };
 
 struct FleetResult {
   std::string selection;
+  std::size_t shards = 1;
   std::vector<ServerResult> servers;
   /// Placement order (same convention as sim::SimResult::records).
   std::vector<FleetRecord> records;
@@ -130,22 +223,28 @@ struct FleetResult {
 
 class FleetSimulator {
  public:
-  /// Takes ownership of the server topologies; builds one policy (and,
-  /// when configured, one match cache) per server. Throws on an empty
-  /// fleet, unknown policy/selection names, duplicate server names, or
-  /// events naming a server the fleet does not have.
+  /// Takes the server specs (topology handles are shared, not copied) and
+  /// builds one policy per server plus, when configured, one match cache
+  /// per topology archetype. Throws on an empty fleet, unknown
+  /// policy/selection names, duplicate server names, zero shards, events
+  /// naming a server the fleet does not have, or fleet-level and
+  /// policy-level parallelism both requested.
   explicit FleetSimulator(std::vector<ServerSpec> servers,
                           ClusterConfig config = {});
 
-  /// Run a job list to completion: jobs queue in arrival order and are
-  /// served FIFO (optionally backfilled past a blocked head, mirroring
-  /// sim::Simulator). Throws std::invalid_argument when a job requests more
-  /// accelerators than any server has, and std::runtime_error when a
-  /// queued job can never be placed (idle fleet, no pending arrivals or
-  /// events).
+  /// Run a job list to completion: jobs queue in arrival order, are routed
+  /// to a shard on admission, and are served FIFO per shard (optionally
+  /// backfilled past a blocked head, mirroring sim::Simulator). Throws
+  /// std::invalid_argument when a job requests more accelerators than any
+  /// server has, and std::runtime_error when a queued job can never be
+  /// placed (idle fleet, no pending arrivals or events, and no server in
+  /// any shard fits it).
   FleetResult run(const std::vector<workload::Job>& jobs);
 
   std::size_t num_servers() const { return servers_.size(); }
+  std::size_t num_shards() const { return shards_.size(); }
+  /// Dispatcher shard of a server; throws std::out_of_range on bad index.
+  std::size_t shard_of(std::size_t server) const;
   const graph::Graph& hardware(std::size_t server) const;
 
  private:
@@ -154,14 +253,37 @@ class FleetSimulator {
     std::string policy_name;
     core::Mapa mapa;
     std::shared_ptr<policy::MatchCache> cache;  // null when caching is off
+    bool cache_primary = false;  // reports the (shared) cache's stats
+    bool memoizable = true;      // false for stochastic policies
+    std::size_t shard = 0;
     bool draining = false;
   };
 
-  std::vector<ServerProbe> probe(const graph::Graph& pattern,
-                                 const workload::Job& job);
+  /// Contiguous server range with its own dispatch queue (queue state
+  /// lives in run()).
+  struct Shard {
+    std::vector<std::size_t> servers;  // ascending fleet indices
+    std::size_t max_gpus = 0;          // largest member server
+  };
+
+  /// Probe outcome memo for one server: key = pattern fingerprint mixed
+  /// with the sensitivity flag, value = the policy's answer (including
+  /// "does not fit" as nullopt).
+  using ProbeMemo =
+      std::unordered_map<std::uint64_t,
+                         std::optional<policy::AllocationResult>>;
+
+  std::vector<ServerProbe> probe_servers(
+      const std::vector<std::size_t>& candidates, const graph::Graph& pattern,
+      std::uint64_t pattern_key, const workload::Job& job,
+      const std::vector<std::size_t>& server_free, std::vector<ProbeMemo>& memo,
+      std::vector<std::uint64_t>& probe_count,
+      std::vector<std::uint64_t>& memo_hits);
 
   ClusterConfig config_;
   std::vector<Server> servers_;
+  std::vector<Shard> shards_;
+  bool memo_enabled_ = false;
   std::unique_ptr<ServerSelection> selection_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads <= 1
 };
@@ -173,14 +295,26 @@ FleetResult run_fleet(std::vector<graph::Graph> topologies,
                       const std::vector<workload::Job>& jobs,
                       const ClusterConfig& config = {});
 
+/// Archetype-weighted fleet builder: `servers` specs drawn from
+/// `archetypes` by smooth weighted round-robin (deterministic; ties
+/// toward the earlier archetype), so a 3:1 weighting of two archetypes
+/// interleaves them 3:1 across the fleet — and thus across contiguous
+/// dispatcher shards. All servers stamped from one archetype share its
+/// TopologyHandle (one graph allocation for the whole fleet) and, when
+/// caching is on, one match cache. Throws on zero servers, no archetypes,
+/// a zero weight, or an empty archetype topology.
+std::vector<ServerSpec> archetype_fleet_specs(
+    std::size_t servers, const std::vector<FleetArchetype>& archetypes);
+
 /// Wide-topology fleet preset: `racks` servers, each a DGX rack of
 /// `nodes_per_rack` 8-GPU nodes (graph::dgx_rack; 16 nodes = a 128-GPU
-/// server whose matcher runs on the wide bitset path), all running
-/// `policy_name`. Defaults to "topo-aware": the non-enumerating policies
-/// are the sensible choice at rack scale, because under the PCIe-fallback
-/// convention a rack graph is fully connected and the enumerating
-/// policies' match sets grow combinatorially with free GPUs. Pair with
-/// workload::rack_trace_config for a job mix that spans node boundaries.
+/// server whose matcher runs on the wide bitset path), all sharing ONE
+/// rack archetype (built once) and running `policy_name`. Defaults to
+/// "topo-aware": the non-enumerating policies are the sensible choice at
+/// rack scale, because under the PCIe-fallback convention a rack graph is
+/// fully connected and the enumerating policies' match sets grow
+/// combinatorially with free GPUs. Pair with workload::rack_trace_config
+/// for a job mix that spans node boundaries.
 std::vector<ServerSpec> rack_fleet_specs(std::size_t racks,
                                          std::size_t nodes_per_rack,
                                          const std::string& policy_name =

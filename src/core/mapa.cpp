@@ -5,16 +5,16 @@
 
 namespace mapa::core {
 
-Mapa::Mapa(graph::Graph hardware, std::unique_ptr<policy::Policy> policy)
-    : hardware_(std::move(hardware)),
-      policy_(std::move(policy)),
-      busy_(hardware_.num_vertices(), false) {
+Mapa::Mapa(graph::TopologyHandle hardware,
+           std::unique_ptr<policy::Policy> policy)
+    : topology_(std::move(hardware)), policy_(std::move(policy)) {
   if (policy_ == nullptr) {
     throw std::invalid_argument("Mapa: null policy");
   }
-  if (hardware_.num_vertices() == 0) {
+  if (topology_.empty() || topology_.num_vertices() == 0) {
     throw std::invalid_argument("Mapa: empty hardware graph");
   }
+  busy_.assign(topology_.num_vertices(), false);
 }
 
 std::size_t Mapa::free_accelerators() const {
@@ -28,7 +28,7 @@ std::optional<Allocation> Mapa::allocate(const graph::Graph& pattern,
   request.pattern = &pattern;
   request.bandwidth_sensitive = bandwidth_sensitive;
 
-  auto result = policy_->allocate(hardware_, busy_, request);
+  auto result = policy_->allocate(topology_.graph(), busy_, request);
   if (!result) return std::nullopt;
   return commit(std::move(*result));
 }

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "graph/graph.hpp"
+#include "graph/topology_handle.hpp"
 #include "policy/policy.hpp"
 
 namespace mapa::core {
@@ -51,10 +52,16 @@ class Allocation {
 
 class Mapa {
  public:
-  /// Takes ownership of the hardware graph and the selection policy.
-  Mapa(graph::Graph hardware, std::unique_ptr<policy::Policy> policy);
+  /// Takes a (possibly shared) hardware topology handle and ownership of
+  /// the selection policy. graph::TopologyHandle converts implicitly from
+  /// graph::Graph, so single-server callers keep passing graphs by value;
+  /// fleet callers pass one shared handle per archetype and every Mapa is
+  /// then a busy mask + allocation ledger over shared immutable storage.
+  Mapa(graph::TopologyHandle hardware, std::unique_ptr<policy::Policy> policy);
 
-  const graph::Graph& hardware() const { return hardware_; }
+  const graph::Graph& hardware() const { return topology_.graph(); }
+  /// The shared archetype handle (e.g. for fingerprint-based grouping).
+  const graph::TopologyHandle& topology() const { return topology_; }
   const std::string policy_name() const { return policy_->name(); }
 
   /// The selection policy (e.g. to install a match cache post-construction).
@@ -89,7 +96,7 @@ class Mapa {
   std::size_t live_allocations() const { return live_.size(); }
 
  private:
-  graph::Graph hardware_;
+  graph::TopologyHandle topology_;
   std::unique_ptr<policy::Policy> policy_;
   std::vector<bool> busy_;
   // id -> vertices held (for release bookkeeping).

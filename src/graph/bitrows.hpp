@@ -24,8 +24,8 @@
 //    differential-test baseline, not as a dispatch target.
 //
 // `BitGraph` (graph/bitgraph.hpp) remains as a thin single-word adapter
-// over InlineRows<1> for code that wants uint64_t masks directly, and
-// `WideBitGraph` (graph/widebitgraph.hpp) is now an alias for DynRows.
+// over InlineRows<1> for code that wants uint64_t masks directly. (The
+// old `WideBitGraph` alias header is retired; use DynRows.)
 
 #include <cstdint>
 #include <stdexcept>

@@ -129,6 +129,20 @@ std::vector<VertexId> Graph::vertex_ids() const {
   return ids;
 }
 
+std::size_t Graph::memory_bytes() const {
+  std::size_t bytes = sizeof(Graph);
+  bytes += name_.capacity();
+  bytes += sockets_.capacity() * sizeof(int);
+  bytes += edges_.capacity() * sizeof(Edge);
+  bytes += edge_index_.capacity() * sizeof(std::int32_t);
+  bytes += bandwidth_matrix_.capacity() * sizeof(double);
+  bytes += adjacency_.capacity() * sizeof(std::vector<VertexId>);
+  for (const std::vector<VertexId>& row : adjacency_) {
+    bytes += row.capacity() * sizeof(VertexId);
+  }
+  return bytes;
+}
+
 bool Graph::operator==(const Graph& other) const {
   if (num_vertices_ != other.num_vertices_ ||
       edges_.size() != other.edges_.size() || sockets_ != other.sockets_) {

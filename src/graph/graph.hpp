@@ -108,6 +108,13 @@ class Graph {
   /// All vertex ids, 0..n-1 (convenience for range iteration).
   std::vector<VertexId> vertex_ids() const;
 
+  /// Approximate heap footprint in bytes: the dense edge-index and
+  /// bandwidth matrices (O(V^2), the dominant term), the edge list, the
+  /// per-vertex adjacency lists, and the socket/name storage. Used by the
+  /// fleet memory accounting (bench_cluster) to compare per-server graph
+  /// copies against shared TopologyHandle archetypes.
+  std::size_t memory_bytes() const;
+
   bool operator==(const Graph& other) const;
 
  private:

@@ -1,0 +1,31 @@
+#include "graph/topology_handle.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+
+namespace mapa::graph {
+
+TopologyHandle::TopologyHandle(Graph graph)
+    : graph_(std::make_shared<const Graph>(std::move(graph))) {
+  fingerprint_ = adjacency_fingerprint(*graph_);
+}
+
+TopologyHandle::TopologyHandle(std::shared_ptr<const Graph> graph)
+    : graph_(std::move(graph)) {
+  if (graph_ != nullptr) fingerprint_ = adjacency_fingerprint(*graph_);
+}
+
+const Graph& TopologyHandle::graph() const {
+  if (graph_ == nullptr) {
+    throw std::logic_error("TopologyHandle: empty handle");
+  }
+  return *graph_;
+}
+
+std::size_t TopologyHandle::memory_bytes() const {
+  return graph_ == nullptr ? 0 : graph_->memory_bytes();
+}
+
+}  // namespace mapa::graph

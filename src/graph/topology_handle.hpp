@@ -1,0 +1,82 @@
+#pragma once
+// Shared-topology handles for fleet-scale simulation. A datacenter fleet
+// is built from a handful of topology archetypes (every DGX rack of the
+// same shape is the same graph), yet a 10k-server fleet that gives every
+// server a by-value graph::Graph copy pays the dense O(V^2) bandwidth /
+// edge-index matrices 10k times over. TopologyHandle makes the archetype
+// an immutable, refcounted shared object built once:
+//
+//   * the wrapped graph::Graph is const — mutation APIs are unreachable
+//     through the handle, so any number of servers can read it from any
+//     number of probe threads with no synchronization;
+//   * the adjacency fingerprint (graph::adjacency_fingerprint, the same
+//     hash the match cache pins its hardware state on) is computed once at
+//     construction and cached, so archetype grouping — e.g. "these 1000
+//     servers may share one allocation-state match cache" — is a 64-bit
+//     compare instead of a graph compare;
+//   * copying a handle is a refcount bump; per-server mutable state (the
+//     busy mask, the allocation ledger) lives outside, in core::Mapa.
+//
+// The single-argument Graph constructor is deliberately implicit: every
+// pre-handle call site that passed a graph::Graph by value (Mapa,
+// cluster::ServerSpec) keeps compiling, it just now allocates the one
+// shared archetype instead of a private copy. To actually share storage
+// across servers, construct the handle once and copy it (see
+// cluster::archetype_fleet_specs).
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "graph/graph.hpp"
+
+namespace mapa::graph {
+
+/// Immutable, refcounted handle to a topology archetype.
+class TopologyHandle {
+ public:
+  /// Empty handle; graph() throws until a graph is attached.
+  TopologyHandle() = default;
+
+  /// Adopt a graph as a new shared archetype (implicit on purpose — see
+  /// the file comment).
+  TopologyHandle(Graph graph);  // NOLINT(google-explicit-constructor)
+
+  /// Wrap an existing shared graph (null = empty handle).
+  explicit TopologyHandle(std::shared_ptr<const Graph> graph);
+
+  bool empty() const { return graph_ == nullptr; }
+
+  /// The shared archetype. Throws std::logic_error on an empty handle.
+  const Graph& graph() const;
+
+  /// Conveniences forwarded to the archetype (throw when empty).
+  std::size_t num_vertices() const { return graph().num_vertices(); }
+  const std::string& name() const { return graph().name(); }
+
+  /// Archetype identity: graph::adjacency_fingerprint of the wrapped
+  /// graph, cached at construction. Two handles with equal fingerprints
+  /// have (up to 64-bit collision) identical adjacency, which is exactly
+  /// the state the match cache keys on — so equal-fingerprint servers may
+  /// share one cache. 0 for an empty handle.
+  std::uint64_t fingerprint() const { return fingerprint_; }
+
+  /// How many handles share this archetype (0 when empty).
+  long use_count() const { return graph_.use_count(); }
+
+  /// Heap footprint of the shared archetype (Graph::memory_bytes); the
+  /// whole fleet pays this once per archetype, not once per server.
+  std::size_t memory_bytes() const;
+
+  /// Identity comparison (same shared object, not graph equality).
+  bool same_storage(const TopologyHandle& other) const {
+    return graph_ == other.graph_;
+  }
+
+ private:
+  std::shared_ptr<const Graph> graph_;
+  std::uint64_t fingerprint_ = 0;
+};
+
+}  // namespace mapa::graph

@@ -122,4 +122,18 @@ FleetTraceConfig rack_trace_config(std::size_t num_jobs, std::uint64_t seed) {
   return config;
 }
 
+FleetTraceConfig fleet_scale_trace_config(std::size_t servers,
+                                          std::size_t jobs_per_server,
+                                          std::uint64_t seed) {
+  FleetTraceConfig config;
+  config.num_jobs = servers * jobs_per_server;
+  config.seed = seed;
+  // Hold per-server arrival pressure at the single-server default
+  // (0.05 jobs/s each): a 10k-server fleet sees a 500 jobs/s aggregate
+  // stream, so the dispatcher — not the workload — is what the sweep
+  // stresses as the fleet grows.
+  config.arrival_rate_per_s = 0.05 * static_cast<double>(servers);
+  return config;
+}
+
 }  // namespace mapa::workload

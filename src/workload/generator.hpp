@@ -64,4 +64,18 @@ std::vector<Job> generate_fleet_trace(const FleetTraceConfig& config);
 FleetTraceConfig rack_trace_config(std::size_t num_jobs = 1000,
                                    std::uint64_t seed = 42);
 
+/// Fleet-scale preset of FleetTraceConfig for 1k/10k-server sweeps (the
+/// sharded-dispatcher benches and tests): `servers * jobs_per_server`
+/// jobs whose Poisson arrival rate scales linearly with the fleet size,
+/// so per-server pressure — and thus queue depth and placement mix —
+/// stays comparable as the fleet grows from tens to tens of thousands of
+/// servers instead of the stream going idle. GPU range and duration tail
+/// match the FleetTraceConfig defaults; tweak the returned config before
+/// passing it to generate_fleet_trace, and pair `seed` with
+/// cluster::ClusterConfig::seed as usual. Throws via generate_fleet_trace
+/// when `servers` or `jobs_per_server` is 0.
+FleetTraceConfig fleet_scale_trace_config(std::size_t servers,
+                                          std::size_t jobs_per_server = 10,
+                                          std::uint64_t seed = 42);
+
 }  // namespace mapa::workload

@@ -246,7 +246,10 @@ TEST(Fleet, DuplicateServerNamesAreRejected) {
 
 TEST(Fleet, FirstFitProbesStopAtTheFirstFit) {
   // Every job fits server 0, so the lazy first-fit probe path must never
-  // touch server 1's matcher (its cache sees zero lookups).
+  // touch server 1's matcher: zero probes answered, zero memo replays.
+  // (The two identical servers share one archetype cache, reported by the
+  // primary — server 0 — so server 1's cache counters are zero by
+  // attribution; the probe counters are the per-server laziness proof.)
   ClusterConfig config;
   config.selection = "first-fit";
   const auto result = run_fleet(
@@ -254,6 +257,11 @@ TEST(Fleet, FirstFitProbesStopAtTheFirstFit) {
       {job_of(1, "vgg-16", 2), job_of(2, "gmm", 2), job_of(3, "jacobi", 2)},
       config);
   EXPECT_EQ(result.servers[0].jobs_placed, 3u);
+  EXPECT_GT(result.servers[0].probes, 0u);
+  EXPECT_EQ(result.servers[1].probes, 0u);
+  EXPECT_EQ(result.servers[1].probe_memo_hits, 0u);
+  EXPECT_TRUE(result.servers[0].cache_primary);
+  EXPECT_FALSE(result.servers[1].cache_primary);
   EXPECT_EQ(result.servers[1].match_cache_hits, 0u);
   EXPECT_EQ(result.servers[1].match_cache_misses, 0u);
 }

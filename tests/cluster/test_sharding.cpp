@@ -1,0 +1,364 @@
+// Sharded-dispatcher and shared-topology tests (cluster/fleet.hpp): shard
+// partitioning and clamping, shard-count record-equivalence, the
+// thread-count determinism contract at 1k archetype-weighted servers,
+// probe memoization transparency, the cross-shard rescue pass,
+// archetype_fleet_specs sharing/interleaving, shared-cache survival
+// across sibling drains, and the fleet/policy parallelism exclusivity
+// check.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+workload::Job job_of(int id, const std::string& workload, std::size_t gpus,
+                     double arrival_s = 0.0, double iter_scale = 1.0) {
+  workload::Job j;
+  j.id = id;
+  j.workload = workload;
+  j.num_gpus = gpus;
+  j.pattern = gpus <= 1 ? graph::PatternKind::kSingle
+                        : graph::PatternKind::kRing;
+  j.bandwidth_sensitive =
+      workload::workload_by_name(workload).bandwidth_sensitive;
+  j.arrival_time_s = arrival_s;
+  j.iter_scale = iter_scale;
+  return j;
+}
+
+std::vector<ServerSpec> dgx_archetype_fleet(std::size_t n,
+                                            const std::string& policy) {
+  FleetArchetype arch;
+  arch.name = "dgx";
+  arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+  arch.policy = policy;
+  return archetype_fleet_specs(n, {arch});
+}
+
+/// The 1k-server archetype-weighted fleet the determinism tests run: a
+/// 3:1 mix of 8-GPU DGX-1V and 16-GPU NVSwitch servers, every server
+/// sharing its archetype's TopologyHandle, under the non-enumerating
+/// topo-aware policy (the sensible per-server choice at fleet scale).
+std::vector<ServerSpec> thousand_server_fleet() {
+  FleetArchetype dgx;
+  dgx.name = "dgx";
+  dgx.topology = graph::TopologyHandle(graph::dgx1_v100());
+  dgx.policy = "topo-aware";
+  dgx.weight = 3;
+  FleetArchetype nvswitch;
+  nvswitch.name = "nvs";
+  nvswitch.topology = graph::TopologyHandle(graph::nvswitch_16());
+  nvswitch.policy = "topo-aware";
+  nvswitch.weight = 1;
+  return archetype_fleet_specs(1000, {dgx, nvswitch});
+}
+
+TEST(Sharding, PartitionIsContiguousCompleteAndClamped) {
+  ClusterConfig config;
+  config.shards = 3;
+  FleetSimulator fleet(dgx_archetype_fleet(10, "preserve"), config);
+  EXPECT_EQ(fleet.num_shards(), 3u);
+  // Contiguous, complete, and non-decreasing shard assignment.
+  std::size_t previous = 0;
+  for (std::size_t s = 0; s < fleet.num_servers(); ++s) {
+    const std::size_t shard = fleet.shard_of(s);
+    EXPECT_LT(shard, fleet.num_shards());
+    EXPECT_GE(shard, previous);
+    previous = shard;
+  }
+  EXPECT_EQ(fleet.shard_of(0), 0u);
+  EXPECT_EQ(fleet.shard_of(9), 2u);
+  EXPECT_THROW(fleet.shard_of(10), std::out_of_range);
+
+  // More shards than servers clamps to one server per shard.
+  ClusterConfig many;
+  many.shards = 64;
+  FleetSimulator clamped(dgx_archetype_fleet(4, "preserve"), many);
+  EXPECT_EQ(clamped.num_shards(), 4u);
+
+  ClusterConfig zero;
+  zero.shards = 0;
+  EXPECT_THROW(FleetSimulator(dgx_archetype_fleet(2, "preserve"), zero),
+               std::invalid_argument);
+}
+
+TEST(Sharding, ShardCountsProduceEquivalentRecords) {
+  // Full-server jobs on a homogeneous fleet: every placement consumes one
+  // idle identical server, so the schedule — who starts when, on what
+  // shape, for how long — cannot depend on the shard count; only the
+  // server a given job lands on may differ. 16 eight-GPU jobs on 8
+  // servers: the second wave must wait for the first wave's completions.
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 16; ++i) {
+    jobs.push_back(job_of(i, "vgg-16", 8, /*arrival_s=*/0.0,
+                          /*iter_scale=*/1.0 + 0.1 * i));
+  }
+
+  std::vector<FleetResult> results;
+  for (const std::size_t shards : {std::size_t{1}, std::size_t{4},
+                                   std::size_t{8}}) {
+    ClusterConfig config;
+    config.selection = "first-fit";
+    config.shards = shards;
+    FleetSimulator fleet(dgx_archetype_fleet(8, "preserve"), config);
+    results.push_back(fleet.run(jobs));
+  }
+
+  const FleetResult& baseline = results[0];
+  EXPECT_EQ(baseline.shards, 1u);
+  for (std::size_t v = 1; v < results.size(); ++v) {
+    const FleetResult& sharded = results[v];
+    EXPECT_GT(sharded.shards, 1u);
+    EXPECT_DOUBLE_EQ(sharded.makespan_s, baseline.makespan_s);
+    ASSERT_EQ(sharded.records.size(), baseline.records.size());
+    for (const workload::Job& job : jobs) {
+      const FleetRecord* a = baseline.find(job.id);
+      const FleetRecord* b = sharded.find(job.id);
+      ASSERT_NE(a, nullptr);
+      ASSERT_NE(b, nullptr);
+      EXPECT_DOUBLE_EQ(a->record.start_s, b->record.start_s) << job.id;
+      EXPECT_DOUBLE_EQ(a->record.finish_s, b->record.finish_s) << job.id;
+      EXPECT_DOUBLE_EQ(a->record.exec_s, b->record.exec_s) << job.id;
+      EXPECT_DOUBLE_EQ(a->record.predicted_effbw, b->record.predicted_effbw)
+          << job.id;
+      EXPECT_EQ(a->record.gpus.size(), b->record.gpus.size()) << job.id;
+    }
+  }
+}
+
+TEST(Sharding, ThreadCountsByteIdenticalAtOneThousandServers) {
+  // The cluster/fleet.hpp determinism contract at scale: a 1k-server
+  // archetype-weighted fleet under the sharded dispatcher must produce
+  // byte-identical records and per-server statistics at threads=1 and
+  // threads=8. (The shared archetype caches' hit/miss split is the one
+  // documented exception under parallel probing, so it is not compared.)
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(1000, /*jobs_per_server=*/1,
+                                         /*seed=*/29));
+
+  std::vector<FleetResult> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ClusterConfig config;
+    config.selection = "least-loaded";
+    config.shards = 32;
+    config.threads = threads;
+    config.seed = 29;
+    FleetSimulator fleet(thousand_server_fleet(), config);
+    results.push_back(fleet.run(jobs));
+  }
+
+  const FleetResult& a = results[0];
+  const FleetResult& b = results[1];
+  ASSERT_EQ(a.records.size(), jobs.size());
+  ASSERT_EQ(a.records.size(), b.records.size());
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].server, b.records[i].server);
+    EXPECT_EQ(a.records[i].record.job, b.records[i].record.job);
+    EXPECT_EQ(a.records[i].record.gpus, b.records[i].record.gpus);
+    EXPECT_DOUBLE_EQ(a.records[i].record.start_s, b.records[i].record.start_s);
+    EXPECT_DOUBLE_EQ(a.records[i].record.finish_s,
+                     b.records[i].record.finish_s);
+    EXPECT_DOUBLE_EQ(a.records[i].record.predicted_effbw,
+                     b.records[i].record.predicted_effbw);
+    EXPECT_DOUBLE_EQ(a.records[i].record.measured_effbw,
+                     b.records[i].record.measured_effbw);
+  }
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t s = 0; s < a.servers.size(); ++s) {
+    EXPECT_EQ(a.servers[s].shard, b.servers[s].shard);
+    EXPECT_EQ(a.servers[s].jobs_placed, b.servers[s].jobs_placed);
+    EXPECT_EQ(a.servers[s].probes, b.servers[s].probes);
+    EXPECT_EQ(a.servers[s].probe_memo_hits, b.servers[s].probe_memo_hits);
+    EXPECT_DOUBLE_EQ(a.servers[s].utilization, b.servers[s].utilization);
+  }
+}
+
+TEST(Sharding, ProbeMemoDoesNotChangeRecords) {
+  // Memoized probe replay must be indistinguishable from re-running the
+  // policy: identical records with the memo forced off and on, and the
+  // enabled run must actually replay something.
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(64, /*jobs_per_server=*/4,
+                                         /*seed=*/31));
+
+  std::vector<FleetResult> results;
+  for (const bool memo : {false, true}) {
+    ClusterConfig config;
+    config.selection = "least-loaded";
+    config.shards = 4;
+    config.probe_memo = memo;
+    FleetSimulator fleet(dgx_archetype_fleet(64, "preserve"), config);
+    results.push_back(fleet.run(jobs));
+  }
+
+  const FleetResult& off = results[0];
+  const FleetResult& on = results[1];
+  ASSERT_EQ(off.records.size(), on.records.size());
+  EXPECT_DOUBLE_EQ(off.makespan_s, on.makespan_s);
+  for (std::size_t i = 0; i < off.records.size(); ++i) {
+    EXPECT_EQ(off.records[i].server, on.records[i].server);
+    EXPECT_EQ(off.records[i].record.job, on.records[i].record.job);
+    EXPECT_EQ(off.records[i].record.gpus, on.records[i].record.gpus);
+    EXPECT_DOUBLE_EQ(off.records[i].record.start_s,
+                     on.records[i].record.start_s);
+    EXPECT_DOUBLE_EQ(off.records[i].record.finish_s,
+                     on.records[i].record.finish_s);
+  }
+  std::uint64_t replayed = 0;
+  std::uint64_t probes_off = 0;
+  std::uint64_t probes_on = 0;
+  for (std::size_t s = 0; s < on.servers.size(); ++s) {
+    EXPECT_EQ(off.servers[s].probe_memo_hits, 0u);
+    replayed += on.servers[s].probe_memo_hits;
+    probes_off += off.servers[s].probes;
+    probes_on += on.servers[s].probes;
+  }
+  EXPECT_GT(replayed, 0u);
+  EXPECT_LT(probes_on, probes_off);
+}
+
+TEST(Sharding, RescuePlacesAJobWhoseRoutedShardDrainedAway) {
+  // Shard 1's server is drained from t=0, so both 8-GPU jobs route to
+  // shard 0 (job 2 on the zero/zero slack tie toward the lowest index)
+  // and job 2 queues behind job 1. Shard 0's server then drains for good
+  // while shard 1's is restored: job 2's routed shard can never serve it,
+  // and only the cross-shard rescue pass can move it to shard 1's idle
+  // identical server instead of throwing.
+  ClusterConfig config;
+  config.selection = "first-fit";
+  config.shards = 2;
+  config.events = {{0.0, 1, ServerEvent::Kind::kDrain},
+                   {2.0, 0, ServerEvent::Kind::kDrain},
+                   {100.0, 1, ServerEvent::Kind::kRestore}};
+  FleetSimulator fleet(dgx_archetype_fleet(2, "preserve"), config);
+  const auto result = fleet.run(
+      {job_of(1, "vgg-16", 8, 0.0, /*iter_scale=*/10.0),
+       job_of(2, "gmm", 8, 1.0)});
+  ASSERT_EQ(result.records.size(), 2u);
+  const FleetRecord* second = result.find(2);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->server, 1u);
+  const FleetRecord* first = result.find(1);
+  ASSERT_NE(first, nullptr);
+  EXPECT_EQ(first->server, 0u);
+  // The rescue only fires once the fleet is otherwise idle: after job 1
+  // completes and server 1's restore has been applied.
+  EXPECT_GE(second->record.start_s, first->record.finish_s);
+  EXPECT_GE(second->record.start_s, 100.0);
+}
+
+TEST(Sharding, ArchetypeFleetSpecsShareStorageAndInterleave) {
+  FleetArchetype a;
+  a.name = "a";
+  a.topology = graph::TopologyHandle(graph::dgx1_v100());
+  a.weight = 3;
+  FleetArchetype b;
+  b.name = "b";
+  b.topology = graph::TopologyHandle(graph::nvswitch_16());
+  b.policy = "topo-aware";
+  b.weight = 1;
+  const auto specs = archetype_fleet_specs(8, {a, b});
+  ASSERT_EQ(specs.size(), 8u);
+
+  // 3:1 weighting over 8 servers: 6 of a, 2 of b, interleaved (each half
+  // of the fleet gets the same 3:1 mix, so contiguous shards stay
+  // representative) — not front-loaded a a a a a a b b.
+  std::size_t a_count = 0;
+  std::size_t a_in_first_half = 0;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const bool is_a = specs[i].topology.same_storage(a.topology);
+    a_count += is_a;
+    if (i < 4) a_in_first_half += is_a;
+    EXPECT_EQ(specs[i].policy, is_a ? "preserve" : "topo-aware");
+  }
+  EXPECT_EQ(a_count, 6u);
+  EXPECT_EQ(a_in_first_half, 3u);
+  EXPECT_EQ(specs[0].name, "a-0");
+
+  // Shared handles: every `a` server references the one archetype graph
+  // (refcount: the archetype's own handle plus its six spec copies).
+  EXPECT_EQ(a.topology.use_count(), 7);
+  EXPECT_EQ(b.topology.use_count(), 3);
+
+  EXPECT_THROW(archetype_fleet_specs(0, {a}), std::invalid_argument);
+  EXPECT_THROW(archetype_fleet_specs(4, {}), std::invalid_argument);
+  FleetArchetype zero_weight = a;
+  zero_weight.weight = 0;
+  EXPECT_THROW(archetype_fleet_specs(4, {zero_weight}),
+               std::invalid_argument);
+}
+
+TEST(Sharding, RackFleetSpecsShareOneArchetype) {
+  const auto specs = rack_fleet_specs(/*racks=*/4, /*nodes_per_rack=*/2);
+  ASSERT_EQ(specs.size(), 4u);
+  EXPECT_EQ(specs[0].name, "rack-0");
+  EXPECT_EQ(specs[3].name, "rack-3");
+  for (std::size_t r = 1; r < specs.size(); ++r) {
+    EXPECT_TRUE(specs[0].topology.same_storage(specs[r].topology));
+  }
+  EXPECT_EQ(specs[0].topology.use_count(), 4);
+}
+
+TEST(Sharding, DrainingASiblingKeepsTheSharedCacheWarm) {
+  // Two servers stamped from one archetype share one match cache. Server
+  // 1 is drained from t=0 and restored at t=1, so the first wave (two
+  // long ring-3 jobs at t=0) lands entirely on server 0 and warms the
+  // shared cache — including the entry for a ring-3 pattern against an
+  // idle busy mask. When an identical shape arrives at t=2, server 0 is
+  // too full to take it, but the freshly restored server 1 replays its
+  // sibling's idle-mask entry: the drain/restore cycle must not have
+  // invalidated the shared archetype cache.
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.events = {{0.0, 1, ServerEvent::Kind::kDrain},
+                   {1.0, 1, ServerEvent::Kind::kRestore}};
+  FleetSimulator fleet(dgx_archetype_fleet(2, "preserve"), config);
+  const auto result =
+      fleet.run({job_of(1, "vgg-16", 3, 0.0, /*iter_scale=*/100.0),
+                 job_of(2, "gmm", 3, 0.0, /*iter_scale=*/100.0),
+                 job_of(3, "vgg-16", 3, 2.0)});
+  ASSERT_EQ(result.records.size(), 3u);
+  const FleetRecord* first = result.find(1);
+  const FleetRecord* third = result.find(3);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(third, nullptr);
+  EXPECT_EQ(first->server, 0u);
+  EXPECT_EQ(third->server, 1u);  // the restored sibling took it
+  EXPECT_DOUBLE_EQ(third->record.start_s, 2.0);
+
+  // The shared cache's statistics are reported once, by the archetype's
+  // lowest-indexed (primary) server.
+  ASSERT_TRUE(result.servers[0].cache_primary);
+  EXPECT_FALSE(result.servers[1].cache_primary);
+  EXPECT_EQ(result.servers[1].match_cache_hits, 0u);
+  EXPECT_GT(result.servers[0].match_cache_hits, 0u);
+}
+
+TEST(Sharding, FleetAndPolicyParallelismAreExclusive) {
+  ClusterConfig both;
+  both.threads = 4;
+  both.policy.threads = 2;
+  EXPECT_THROW(FleetSimulator(dgx_archetype_fleet(2, "preserve"), both),
+               std::invalid_argument);
+
+  // Either level alone is fine.
+  ClusterConfig fleet_only;
+  fleet_only.threads = 4;
+  EXPECT_NO_THROW(FleetSimulator(dgx_archetype_fleet(2, "preserve"),
+                                 fleet_only));
+  ClusterConfig policy_only;
+  policy_only.policy.threads = 4;
+  EXPECT_NO_THROW(FleetSimulator(dgx_archetype_fleet(2, "preserve"),
+                                 policy_only));
+}
+
+}  // namespace
+}  // namespace mapa::cluster

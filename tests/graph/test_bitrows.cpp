@@ -2,19 +2,17 @@
 // rows, the <= 64-vertex hot path) and DynRows (heap word-array rows, no
 // vertex ceiling) — construction fidelity against the source Graph, the
 // dispatch boundary, the actionable InlineRows overflow error, the
-// WideBitGraph alias, and the VertexMask multi-word fingerprint the match
+// VertexMask multi-word fingerprint the match
 // cache keys on.
 
 #include <gtest/gtest.h>
 
 #include <bit>
 #include <stdexcept>
-#include <type_traits>
 
 #include "graph/bitgraph.hpp"
 #include "graph/bitrows.hpp"
 #include "graph/topology.hpp"
-#include "graph/widebitgraph.hpp"
 
 namespace mapa::graph {
 namespace {
@@ -91,10 +89,10 @@ TEST(BitRows, InlineOverflowErrorNamesDynRows) {
   }
 }
 
-TEST(BitRows, WideBitGraphIsAnAliasForDynRows) {
-  static_assert(std::is_same_v<WideBitGraph, DynRows>);
-  // A 1024-vertex target — beyond the old 512 ceiling — constructs fine.
-  const WideBitGraph bits(pcie_only(1024));
+TEST(DynRows, ConstructsWellBeyondTheRetiredCeiling) {
+  // A 1024-vertex target — beyond the old 512-vertex WideBitGraph ceiling
+  // (the alias header itself is retired; DynRows is the one wide storage).
+  const DynRows bits(pcie_only(1024));
   EXPECT_EQ(bits.num_vertices(), 1024u);
   EXPECT_EQ(bits.num_words(), 16u);
   EXPECT_EQ(bits.degree(0), 1023u);

@@ -1,0 +1,86 @@
+// TopologyHandle tests (graph/topology_handle.hpp): empty-handle
+// behavior, the cached adjacency fingerprint and its
+// bandwidth-independence (the property that lets equal-fingerprint
+// servers share one match cache), refcounted sharing semantics, and the
+// once-per-archetype memory footprint.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <utility>
+
+#include "graph/algorithms.hpp"
+#include "graph/topology.hpp"
+#include "graph/topology_handle.hpp"
+
+namespace mapa::graph {
+namespace {
+
+TEST(TopologyHandle, EmptyHandleThrowsOnAccess) {
+  const TopologyHandle empty;
+  EXPECT_TRUE(empty.empty());
+  EXPECT_EQ(empty.fingerprint(), 0u);
+  EXPECT_EQ(empty.use_count(), 0);
+  EXPECT_EQ(empty.memory_bytes(), 0u);
+  EXPECT_THROW(empty.graph(), std::logic_error);
+  EXPECT_THROW(empty.num_vertices(), std::logic_error);
+
+  const TopologyHandle null_shared{std::shared_ptr<const Graph>{}};
+  EXPECT_TRUE(null_shared.empty());
+}
+
+TEST(TopologyHandle, FingerprintIsTheCachedAdjacencyFingerprint) {
+  const Graph dgx = dgx1_v100();
+  const TopologyHandle handle(dgx);
+  EXPECT_FALSE(handle.empty());
+  EXPECT_EQ(handle.fingerprint(), adjacency_fingerprint(dgx));
+  EXPECT_EQ(handle.num_vertices(), dgx.num_vertices());
+  EXPECT_EQ(handle.name(), dgx.name());
+
+  // Bandwidth does not move the fingerprint — it is adjacency identity,
+  // matching what the match cache keys on.
+  Graph scaled = dgx1_v100();
+  for (const Edge& e : dgx.edges()) {
+    // Re-adding an edge keeps the higher-bandwidth label in place, so
+    // this doubles every weight without touching the structure.
+    scaled.add_edge(e.u, e.v, e.type, e.bandwidth_gbps * 2.0);
+  }
+  EXPECT_EQ(TopologyHandle(std::move(scaled)).fingerprint(),
+            handle.fingerprint());
+
+  // A structurally different archetype gets a different fingerprint.
+  EXPECT_NE(TopologyHandle(nvswitch_16()).fingerprint(),
+            handle.fingerprint());
+}
+
+TEST(TopologyHandle, CopiesShareOneArchetype) {
+  const TopologyHandle original(dgx1_v100());
+  EXPECT_EQ(original.use_count(), 1);
+  {
+    const TopologyHandle copy = original;  // refcount bump, no graph copy
+    EXPECT_EQ(original.use_count(), 2);
+    EXPECT_TRUE(copy.same_storage(original));
+    EXPECT_EQ(&copy.graph(), &original.graph());
+    EXPECT_EQ(copy.fingerprint(), original.fingerprint());
+  }
+  EXPECT_EQ(original.use_count(), 1);
+
+  // Equal graphs adopted separately are distinct archetypes: identity,
+  // not structural equality.
+  const TopologyHandle separate(dgx1_v100());
+  EXPECT_FALSE(separate.same_storage(original));
+  EXPECT_EQ(separate.fingerprint(), original.fingerprint());
+}
+
+TEST(TopologyHandle, MemoryIsPaidOncePerArchetype) {
+  const TopologyHandle handle(dgx1_v100());
+  // The dense bandwidth/edge-index matrices dominate: the archetype costs
+  // well more than a pointer, and copies add nothing.
+  EXPECT_GT(handle.memory_bytes(), 8 * 8 * sizeof(double));
+  const TopologyHandle copy = handle;
+  EXPECT_EQ(copy.memory_bytes(), handle.memory_bytes());
+}
+
+}  // namespace
+}  // namespace mapa::graph

@@ -11,6 +11,10 @@ machine-readable by failing the build when a file stops conforming:
     (BENCH_<bench>.json), "metrics" is a non-empty object mapping metric
     names to finite numbers (bools are not numbers), "wall_s" is a
     positive finite number;
+  * required metrics: benches listed in REQUIRED_METRICS must expose
+    their headline keys (each pattern must match at least one metric
+    name) — the perf trajectory loses meaning if, say, bench_cluster
+    stops reporting dispatcher microseconds per job;
   * drift (with --baseline-dir DIR): a freshly regenerated file must
     expose exactly the metric keys of the committed file of the same
     name in DIR — a driver that silently drops or renames a headline
@@ -24,8 +28,34 @@ Usage: tools/check_bench_json.py [--baseline-dir DIR] BENCH_*.json
 import argparse
 import json
 import math
+import re
 import sys
 from pathlib import Path
+
+# Headline metrics a bench must always expose, as regexes fully matched
+# against metric names; each pattern must match at least one metric.
+# Benches not listed here are gated only by the generic schema and the
+# drift check.
+REQUIRED_METRICS = {
+    "bitrows": [
+        r"hardware_concurrency",
+        r".*_threads\d+_us",
+    ],
+    "cluster": [
+        r"threads",
+        r"hardware_concurrency",
+        # The fleet-scale sweep: dispatcher cost per job at each point.
+        r"scale_n\d+_dispatch_us_per_job",
+        # Sharded-vs-unsharded head-to-head at 1k servers.
+        r"n1000_sharded_dispatch_us_per_job",
+        r"n1000_unsharded_dispatch_us_per_job",
+        r"n1000_sharded_speedup_x",
+        # Shared-topology memory story.
+        r"n1000_bytes_per_server_shared",
+        r"n1000_bytes_per_server_copied",
+        r"n1000_memory_reduction_x",
+    ],
+}
 
 
 def is_number(value) -> bool:
@@ -70,6 +100,13 @@ def check_schema(path: Path) -> list:
     wall = data["wall_s"]
     if not is_number(wall) or not math.isfinite(wall) or wall <= 0:
         errors.append(f"{path}: \"wall_s\" must be a positive finite number")
+    if isinstance(metrics, dict) and isinstance(bench, str):
+        for pattern in REQUIRED_METRICS.get(bench, []):
+            if not any(re.fullmatch(pattern, key) for key in metrics):
+                errors.append(
+                    f"{path}: no metric matches required pattern "
+                    f"\"{pattern}\""
+                )
     return errors
 
 
