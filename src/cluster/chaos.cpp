@@ -1,0 +1,94 @@
+#include "cluster/chaos.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace mapa::cluster {
+
+std::vector<FaultEvent> generate_fault_schedule(
+    const workload::ChaosTraceConfig& config,
+    const std::vector<ServerSpec>& specs) {
+  if (specs.empty()) {
+    throw std::invalid_argument("generate_fault_schedule: empty fleet");
+  }
+  if (!(config.mtbf_s > 0.0) || !(config.mttr_s > 0.0)) {
+    throw std::invalid_argument(
+        "generate_fault_schedule: MTBF and MTTR must be > 0");
+  }
+  if (config.horizon_s < 0.0) {
+    throw std::invalid_argument(
+        "generate_fault_schedule: negative horizon");
+  }
+  const double crash_w = std::max(0.0, config.server_crash_weight);
+  const double gpu_w = std::max(0.0, config.gpu_loss_weight);
+  const double link_w = std::max(0.0, config.link_degrade_weight);
+  const double total_w = crash_w + gpu_w + link_w;
+  if (!(total_w > 0.0)) {
+    throw std::invalid_argument(
+        "generate_fault_schedule: all fault-kind weights are zero");
+  }
+  if (config.link_down_chance < 0.0 || config.link_down_chance > 1.0) {
+    throw std::invalid_argument(
+        "generate_fault_schedule: link_down_chance outside [0, 1]");
+  }
+
+  util::Rng rng(config.seed);
+  const auto exponential = [&rng](double mean) {
+    return -mean * std::log(1.0 - rng.uniform());
+  };
+
+  std::vector<FaultEvent> events;
+  double t = exponential(config.mtbf_s);
+  while (t < config.horizon_s) {
+    const std::size_t server = static_cast<std::size_t>(rng.uniform_int(
+        0, static_cast<std::int64_t>(specs.size()) - 1));
+    const graph::Graph& topology = specs[server].topology.graph();
+    const double repair_s = t + exponential(config.mttr_s);
+
+    double pick = rng.uniform() * total_w;
+    FaultEvent fault;
+    fault.time_s = t;
+    fault.server = server;
+    FaultEvent repair;
+    repair.time_s = repair_s;
+    repair.server = server;
+    if (pick < crash_w) {
+      fault.kind = FaultEvent::Kind::kServerCrash;
+      repair.kind = FaultEvent::Kind::kRestore;
+    } else if (pick < crash_w + gpu_w ||
+               topology.num_edges() == 0) {
+      // A link fault on an edgeless (single-GPU) server falls back here.
+      fault.kind = FaultEvent::Kind::kGpuLoss;
+      repair.kind = FaultEvent::Kind::kGpuRecover;
+      fault.u = static_cast<graph::VertexId>(rng.uniform_int(
+          0, static_cast<std::int64_t>(topology.num_vertices()) - 1));
+      repair.u = fault.u;
+    } else {
+      fault.kind = FaultEvent::Kind::kLinkDegrade;
+      repair.kind = FaultEvent::Kind::kLinkRepair;
+      const graph::Edge& edge = topology.edges()[static_cast<std::size_t>(
+          rng.uniform_int(
+              0, static_cast<std::int64_t>(topology.num_edges()) - 1))];
+      fault.u = edge.u;
+      fault.v = edge.v;
+      fault.bandwidth_factor =
+          rng.chance(config.link_down_chance) ? 0.0 : rng.uniform(0.25, 0.75);
+      repair.u = edge.u;
+      repair.v = edge.v;
+    }
+    events.push_back(fault);
+    events.push_back(repair);
+    t += exponential(config.mtbf_s);
+  }
+
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+  return events;
+}
+
+}  // namespace mapa::cluster

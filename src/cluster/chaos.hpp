@@ -1,0 +1,42 @@
+#pragma once
+// Seeded fault-schedule generation — the bridge between
+// workload::ChaosTraceConfig (the parameters of the fault process) and
+// the concrete cluster::FaultEvent list a FleetSimulator consumes. Kept
+// in cluster/ because picking a victim GPU or link requires the server
+// topologies, which the workload layer deliberately does not know.
+//
+// The schedule is a pure function of (config, specs): one util::Rng
+// stream drives every draw, so the same seed replays the same faults on
+// any machine — which is what lets the resilience tests pin byte-exact
+// FleetRecords across thread and shard counts "under an identical fault
+// schedule", and lets bench_resilience sweep fault rates reproducibly.
+
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+
+/// Generate a fault/repair schedule over `specs` per `config`:
+///
+///   * fault instants: Poisson with mean gap `config.mtbf_s`, injected in
+///     [0, config.horizon_s);
+///   * victim server: uniform over the fleet;
+///   * kind: weighted pick among kServerCrash, kGpuLoss, kLinkDegrade
+///     (a link fault on an edgeless server falls back to a GPU loss);
+///   * repair: every fault schedules its matching kRestore / kGpuRecover
+///     / kLinkRepair at +Exp(config.mttr_s) — repairs may land past the
+///     horizon, so long outages truncate naturally at run end.
+///
+/// Faults of one kind may overlap on one server (e.g. a second crash
+/// before the first restore); FleetSimulator treats redundant events as
+/// no-ops, so independently drawn sub-schedules compose safely. The
+/// returned list is sorted by time. Throws std::invalid_argument on an
+/// empty fleet, a non-positive MTBF/MTTR, a negative horizon, all kind
+/// weights zero or negative, or link_down_chance outside [0, 1].
+std::vector<FaultEvent> generate_fault_schedule(
+    const workload::ChaosTraceConfig& config,
+    const std::vector<ServerSpec>& specs);
+
+}  // namespace mapa::cluster

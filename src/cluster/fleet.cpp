@@ -2,8 +2,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <deque>
-#include <queue>
 #include <stdexcept>
 #include <unordered_set>
 #include <utility>
@@ -11,6 +11,7 @@
 #include "graph/algorithms.hpp"
 #include "graph/topology.hpp"
 #include "interconnect/microbench.hpp"
+#include "match/enumerator.hpp"
 #include "policy/match_cache.hpp"
 #include "util/rng.hpp"
 #include "workload/exec_model.hpp"
@@ -19,7 +20,10 @@ namespace mapa::cluster {
 
 namespace {
 
-/// One running job inside the fleet loop.
+/// One running job inside the fleet loop. Kept in a min-heap on finish
+/// time; a fault kill erases the entry outright (std::erase_if +
+/// make_heap — kills are rare), so the heap never holds stale jobs and
+/// the makespan never stretches to a killed job's original finish.
 struct Running {
   double finish_s = 0.0;
   std::size_t server = 0;
@@ -28,6 +32,30 @@ struct Running {
 
   bool operator>(const Running& other) const {
     return finish_s > other.finish_s;
+  }
+};
+
+/// Fault-side view of a running job, kept only when the event list arms
+/// the fault machinery: everything a kill needs to unwind the placement.
+struct LiveJob {
+  std::size_t job_index = 0;
+  std::size_t num_gpus = 0;  // allocation size; the mapping itself lives
+                             // in the job's (still-alive) FleetRecord
+  double finish_s = 0.0;
+  std::size_t record_index = 0;  // into FleetResult::records
+};
+
+/// A killed job waiting out its backoff before re-entering the queue.
+/// Min-heap on (ready time, kill sequence) — the sequence breaks ties
+/// deterministically.
+struct Retry {
+  double ready_s = 0.0;
+  std::uint64_t seq = 0;
+  std::size_t job_index = 0;
+
+  bool operator>(const Retry& other) const {
+    if (ready_s != other.ready_s) return ready_s > other.ready_s;
+    return seq > other.seq;
   }
 };
 
@@ -97,7 +125,15 @@ FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
                   // would skip an RNG draw and shift its stream.
                   /*memoizable=*/spec.policy != "random",
                   /*shard=*/0,
-                  /*draining=*/false};
+                  /*draining=*/false,
+                  /*crashed=*/false,
+                  // Pristine shared handle, kept so a degraded server can
+                  // re-join its archetype after its last fault is repaired.
+                  /*archetype=*/{},
+                  /*lost_gpus=*/{},
+                  /*degraded_links=*/{},
+                  /*fault_cache=*/nullptr};
+    server.archetype = server.mapa.topology();
     servers_.push_back(std::move(server));
   }
 
@@ -151,12 +187,52 @@ FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
     }
   }
 
-  for (const ServerEvent& event : config_.events) {
+  for (const FaultEvent& event : config_.events) {
     if (event.server >= servers_.size()) {
       throw std::invalid_argument(
           "FleetSimulator: event names server " +
           std::to_string(event.server) + " but the fleet has " +
           std::to_string(servers_.size()) + " servers");
+    }
+    const std::size_t vertices =
+        servers_[event.server].mapa.topology().num_vertices();
+    switch (event.kind) {
+      case FaultEvent::Kind::kGpuLoss:
+      case FaultEvent::Kind::kGpuRecover:
+        if (event.u >= vertices) {
+          throw std::invalid_argument(
+              "FleetSimulator: GPU fault names accelerator " +
+              std::to_string(event.u) + " but server " +
+              std::to_string(event.server) + " has " +
+              std::to_string(vertices));
+        }
+        break;
+      case FaultEvent::Kind::kLinkDegrade:
+      case FaultEvent::Kind::kLinkRepair:
+        if (event.u >= vertices || event.v >= vertices ||
+            event.u == event.v) {
+          throw std::invalid_argument(
+              "FleetSimulator: link fault names a bad endpoint pair on "
+              "server " +
+              std::to_string(event.server));
+        }
+        if (event.kind == FaultEvent::Kind::kLinkDegrade &&
+            (event.bandwidth_factor < 0.0 || event.bandwidth_factor >= 1.0)) {
+          throw std::invalid_argument(
+              "FleetSimulator: kLinkDegrade bandwidth_factor must be in "
+              "[0, 1)");
+        }
+        break;
+      case FaultEvent::Kind::kDrain:
+      case FaultEvent::Kind::kRestore:
+      case FaultEvent::Kind::kServerCrash:
+        break;
+    }
+    if (event.kind != FaultEvent::Kind::kDrain &&
+        event.kind != FaultEvent::Kind::kRestore) {
+      // Any real fault kind arms the kill/re-queue machinery in run();
+      // drain/restore-only schedules keep the fault-free fast path.
+      faults_armed_ = true;
     }
   }
 
@@ -188,7 +264,7 @@ std::vector<ServerProbe> FleetSimulator::probe_servers(
   std::vector<std::size_t> eligible;
   eligible.reserve(candidates.size());
   for (const std::size_t s : candidates) {
-    if (servers_[s].draining) continue;
+    if (servers_[s].out_of_rotation()) continue;
     if (job.num_gpus > servers_[s].mapa.hardware().num_vertices()) continue;
     eligible.push_back(s);
   }
@@ -274,12 +350,31 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
                      return jobs[a].arrival_time_s < jobs[b].arrival_time_s;
                    });
 
-  std::vector<ServerEvent> events = config_.events;
+  std::vector<FaultEvent> events = config_.events;
   std::stable_sort(events.begin(), events.end(),
-                   [](const ServerEvent& a, const ServerEvent& b) {
+                   [](const FaultEvent& a, const FaultEvent& b) {
                      return a.time_s < b.time_s;
                    });
-  for (Server& server : servers_) server.draining = false;
+  // A reused simulator starts clean: rotation flags off, fault state
+  // cleared, degraded servers re-joined to their pristine archetype (and
+  // shared cache) before the first job arrives.
+  for (Server& server : servers_) {
+    const bool was_degraded = server.degraded();
+    for (const graph::VertexId v : server.lost_gpus) {
+      server.mapa.set_unusable(v, false);
+    }
+    server.lost_gpus.clear();
+    server.degraded_links.clear();
+    if (was_degraded) {
+      server.mapa.rebind_topology(server.archetype);
+      server.fault_cache.reset();
+      if (server.cache != nullptr) {
+        server.mapa.policy().set_match_cache(server.cache);
+      }
+    }
+    server.draining = false;
+    server.crashed = false;
+  }
 
   // Caches live for the simulator's lifetime; snapshot their counters so
   // this run reports per-run deltas even on a reused FleetSimulator.
@@ -335,7 +430,40 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   std::vector<std::size_t> all_servers(servers_.size());
   for (std::size_t s = 0; s < servers_.size(); ++s) all_servers[s] = s;
 
-  std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
+  // Fault machinery, populated only when the event list arms it (see
+  // faults_armed_): the per-server live-job list a kill unwinds through,
+  // per-job retry counters and last-kill times, the backoff heap, and the
+  // alive flags killed placements are compacted through at run end. The
+  // backoff jitter stream is derived from the master seed alone and drawn
+  // in kill order (single-threaded, deterministic), so identical fault
+  // schedules replay identical backoff delays at any thread count.
+  const bool armed = faults_armed_;
+  // Per-server live list, sorted ascending by allocation id without any
+  // effort: each server's Mapa hands out strictly increasing ids, so
+  // appending keeps placement order, and the list length is bounded by
+  // the server's GPU count — linear find beats a node-allocating map.
+  std::vector<std::vector<std::pair<std::uint64_t, LiveJob>>> live(
+      servers_.size());
+  std::vector<std::uint32_t> job_retries(jobs.size(), 0);
+  std::vector<double> job_kill_time(jobs.size(), 0.0);
+  std::vector<Retry> retry_heap;
+  std::uint64_t retry_seq = 0;
+  util::Rng backoff_rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  std::vector<char> record_alive;
+  // Private-cache stats harvested at each archetype re-join (and at run
+  // end for still-degraded servers), attributed to the degraded server.
+  std::vector<std::uint64_t> fault_hits(servers_.size(), 0);
+  std::vector<std::uint64_t> fault_misses(servers_.size(), 0);
+  // In-rotation server count per shard (routing avoids dead shards) and
+  // fleet-wide crash/degrade counts for the capacity_degraded_ticks stat.
+  std::vector<std::size_t> shard_alive(shards_.size(), 0);
+  for (const Shard& shard : shards_) {
+    shard_alive[&shard - shards_.data()] = shard.servers.size();
+  }
+  std::size_t num_crashed = 0;
+  std::size_t num_degraded = 0;
+
+  std::vector<Running> running;  // min-heap on finish_s (std::greater)
   std::size_t next_arrival = 0;
   std::size_t next_event = 0;
   double now = 0.0;
@@ -347,16 +475,43 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     return true;
   };
 
-  const auto set_draining = [&](std::size_t s, bool draining) {
+  // EVERY event that touches a server drops that server's probe memo and
+  // re-dirties its shard, whatever the kind: a fault changes the answers
+  // probes would give (lost GPU, cut link), and even drain/restore must
+  // wake a clean shard so the skip never hides an eligibility change.
+  const auto invalidate_server = [&](std::size_t s) {
+    memo[s].clear();
+    shard_dirty[servers_[s].shard] = 1;
+  };
+
+  const auto in_rotation = [&](std::size_t s) {
+    return !servers_[s].draining && !servers_[s].crashed;
+  };
+
+  // Rotation transitions (drain/restore/crash) keep shard_free — which
+  // counts in-rotation servers only — and the per-shard alive count in
+  // sync.
+  const auto update_rotation = [&](std::size_t s, bool draining,
+                                   bool crashed) {
     Server& server = servers_[s];
-    if (server.draining == draining) return;
+    const bool was = !server.draining && !server.crashed;
+    if (crashed != server.crashed) num_crashed += crashed ? 1 : -1;
     server.draining = draining;
-    shard_dirty[server.shard] = 1;
-    if (draining) {
+    server.crashed = crashed;
+    const bool is = !server.draining && !server.crashed;
+    if (was && !is) {
       shard_free[server.shard] -= server_free[s];
-    } else {
+      --shard_alive[server.shard];
+    } else if (!was && is) {
       shard_free[server.shard] += server_free[s];
+      ++shard_alive[server.shard];
     }
+    shard_dirty[server.shard] = 1;
+  };
+
+  const auto link_key = [](graph::VertexId u, graph::VertexId v) {
+    return std::pair<graph::VertexId, graph::VertexId>(std::min(u, v),
+                                                       std::max(u, v));
   };
 
   // Deterministic shard picker: among shards with at least one server
@@ -366,19 +521,29 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // eligibility is static (run() has already validated that some server
   // fits), so a routed job may still have to wait out a drain — the
   // rescue pass below covers pathological cases.
+  // Shards whose every server is out of rotation (e.g. crashed away) are
+  // avoided while any eligible shard still has a live server, so re-tried
+  // and re-routed jobs never queue behind a dead shard; when every
+  // eligible shard is dead the job queues on the best dead one and waits
+  // for a restore. Fault-free this is the original picker bit for bit
+  // (every shard is alive).
   const auto route = [&](std::size_t job_index) {
     const workload::Job& job = jobs[job_index];
     std::size_t best = 0;
     long long best_slack = 0;
     bool found = false;
+    bool found_alive = false;
     for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
       if (shards_[sh].max_gpus < job.num_gpus) continue;
+      const bool alive = shard_alive[sh] > 0;
+      if (found_alive && !alive) continue;
       const long long slack =
           static_cast<long long>(shard_free[sh]) - queued_gpus[sh];
-      if (!found || slack > best_slack) {
+      if (!found || (alive && !found_alive) || slack > best_slack) {
         best = sh;
         best_slack = slack;
         found = true;
+        found_alive = alive;
       }
     }
     queued_gpus[best] += static_cast<long long>(job.num_gpus);
@@ -393,11 +558,278 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       ++next_arrival;
     }
   };
+  // Kill one running job: release its accelerators, erase its (not yet
+  // surviving) record and heap entry, and either re-queue it with
+  // exponential backoff or dead-letter it when the retry budget is spent.
+  const auto kill_job = [&](std::size_t s, std::uint64_t allocation_id) {
+    const auto it =
+        std::find_if(live[s].begin(), live[s].end(),
+                     [&](const auto& e) { return e.first == allocation_id; });
+    if (it == live[s].end()) return;  // already finished this instant
+    const LiveJob lj = it->second;
+    live[s].erase(it);
+    servers_[s].mapa.release(allocation_id);
+    const std::size_t gpus = lj.num_gpus;
+    server_free[s] += gpus;
+    if (in_rotation(s)) shard_free[servers_[s].shard] += gpus;
+    std::erase_if(running, [&](const Running& r) {
+      return r.server == s && r.allocation_id == allocation_id;
+    });
+    std::make_heap(running.begin(), running.end(), std::greater<>{});
+    record_alive[lj.record_index] = 0;
+    ServerResult& sr = result.servers[s];
+    --sr.jobs_placed;  // only surviving placements count
+    sr.busy_gpu_seconds -=
+        static_cast<double>(gpus) * (lj.finish_s - now);  // unexecuted part
+    ++result.resilience.jobs_killed;
+    const std::uint32_t kills = ++job_retries[lj.job_index];
+    job_kill_time[lj.job_index] = now;
+    if (kills > config_.max_retries) {
+      result.dead_letters.push_back(
+          DeadLetter{jobs[lj.job_index], kills, now});
+      ++result.resilience.jobs_dead_lettered;
+    } else {
+      const double u = backoff_rng.uniform();
+      const double delay =
+          config_.backoff_base_s *
+          std::pow(config_.backoff_factor, static_cast<double>(kills - 1)) *
+          (1.0 + config_.backoff_jitter * u);
+      retry_heap.push_back(Retry{now + delay, retry_seq++, lj.job_index});
+      std::push_heap(retry_heap.begin(), retry_heap.end(), std::greater<>{});
+      ++result.resilience.jobs_requeued;
+    }
+  };
+
+  const auto kill_all_on = [&](std::size_t s) {
+    std::vector<std::uint64_t> victims;  // ascending id = placement order
+    victims.reserve(live[s].size());
+    for (const auto& [id, lj] : live[s]) victims.push_back(id);
+    for (const std::uint64_t id : victims) kill_job(s, id);
+  };
+
+  // Rebuild server s's working topology from its archetype plus fault
+  // state. Degraded: a private fork — lost GPUs isolated, degraded links
+  // scaled or removed — whose fingerprint differs from the archetype's
+  // (bandwidth enters graph::topology_fingerprint), plus a private match
+  // cache so the fork's wholesale invalidation can never evict the
+  // healthy siblings' shared entries. Clean again: re-join the archetype
+  // handle and shared cache, harvesting the private cache's stats.
+  const auto fork_or_rejoin = [&](std::size_t s, bool was_degraded) {
+    Server& server = servers_[s];
+    if (server.degraded()) {
+      const graph::Graph& base = server.archetype.graph();
+      graph::Graph forked(base.num_vertices(), base.name());
+      for (std::size_t v = 0; v < base.num_vertices(); ++v) {
+        forked.set_socket(static_cast<graph::VertexId>(v),
+                          base.socket(static_cast<graph::VertexId>(v)));
+      }
+      for (const graph::Edge& e : base.edges()) {
+        if (std::binary_search(server.lost_gpus.begin(),
+                               server.lost_gpus.end(), e.u) ||
+            std::binary_search(server.lost_gpus.begin(),
+                               server.lost_gpus.end(), e.v)) {
+          continue;
+        }
+        double factor = 1.0;
+        const auto key = link_key(e.u, e.v);
+        for (const auto& [link, f] : server.degraded_links) {
+          if (link == key) {
+            factor = f;
+            break;
+          }
+        }
+        if (factor == 0.0) continue;  // link down: the edge disappears
+        forked.add_edge(e.u, e.v, e.type, e.bandwidth_gbps * factor);
+      }
+      server.mapa.rebind_topology(graph::TopologyHandle(std::move(forked)));
+      ++result.resilience.topology_forks;
+      if (!was_degraded) {
+        ++num_degraded;
+        if (server.cache != nullptr) {
+          server.fault_cache = std::make_shared<policy::MatchCache>();
+          server.mapa.policy().set_match_cache(server.fault_cache);
+        }
+      }
+    } else if (was_degraded) {
+      server.mapa.rebind_topology(server.archetype);
+      ++result.resilience.archetype_rejoins;
+      --num_degraded;
+      if (server.fault_cache != nullptr) {
+        const policy::MatchCacheStats stats = server.fault_cache->stats();
+        fault_hits[s] += stats.hits;
+        fault_misses[s] += stats.misses;
+        server.fault_cache.reset();
+        server.mapa.policy().set_match_cache(server.cache);
+      }
+    }
+  };
+
+  // After a link change, walk server s's running jobs: a mapping whose
+  // pattern edges all survive is untouched (a factor > 0 degrade keeps
+  // every edge, so it never disturbs running work); a broken mapping is
+  // re-matched in place — the pattern re-enumerated over the job's own
+  // held accelerators on the degraded topology — and only killed when no
+  // embedding remains. A re-match keeps the job's accelerators, exec
+  // time, and finish time; the record's mapping is updated (its placement
+  // scores still describe the original decision).
+  const auto recheck_running = [&](std::size_t s) {
+    Server& server = servers_[s];
+    const graph::Graph& hw = server.mapa.hardware();
+    std::vector<std::uint64_t> broken;
+    for (auto& [id, lj] : live[s]) {
+      std::vector<graph::VertexId>& mapped =
+          result.records[lj.record_index].record.gpus;
+      const graph::Graph pattern = jobs[lj.job_index].application_graph();
+      bool intact = true;
+      for (const graph::Edge& e : pattern.edges()) {
+        if (!hw.has_edge(mapped[e.u], mapped[e.v])) {
+          intact = false;
+          break;
+        }
+      }
+      if (intact) continue;
+      std::vector<bool> outside(hw.num_vertices(), true);
+      for (const graph::VertexId v : mapped) outside[v] = false;
+      match::EnumerateOptions options;
+      options.forbidden = graph::VertexMask::of_busy(outside);
+      const std::vector<match::Match> matches =
+          match::find_matches(pattern, hw, options, /*limit=*/1);
+      if (!matches.empty()) {
+        mapped = matches.front().mapping;
+        ++result.resilience.jobs_rematched;
+      } else {
+        broken.push_back(id);
+      }
+    }
+    for (const std::uint64_t id : broken) kill_job(s, id);
+  };
+
+  // A crash that takes a shard's last in-rotation server re-routes the
+  // shard's queued jobs immediately — while capacity exists elsewhere
+  // they are rescued, not left to wait for the fleet-idle rescue pass.
+  const auto reroute_if_dead = [&](std::size_t sh) {
+    if (shard_alive[sh] > 0 || queues[sh].empty()) return;
+    std::deque<std::size_t> moved;
+    moved.swap(queues[sh]);
+    for (const std::size_t ji : moved) {
+      queued_gpus[sh] -= static_cast<long long>(jobs[ji].num_gpus);
+    }
+    for (const std::size_t ji : moved) route(ji);
+  };
+
+  const auto admit_retries = [&](double time) {
+    while (!retry_heap.empty() && retry_heap.front().ready_s <= time) {
+      std::pop_heap(retry_heap.begin(), retry_heap.end(), std::greater<>{});
+      const Retry retry = retry_heap.back();
+      retry_heap.pop_back();
+      route(retry.job_index);
+    }
+  };
+
   const auto apply_events = [&](double time) {
     while (next_event < events.size() && events[next_event].time_s <= time) {
-      const ServerEvent& event = events[next_event];
-      set_draining(event.server, event.kind == ServerEvent::Kind::kDrain);
+      const FaultEvent& event = events[next_event];
       ++next_event;
+      const std::size_t s = event.server;
+      Server& server = servers_[s];
+      switch (event.kind) {
+        case FaultEvent::Kind::kDrain:
+          update_rotation(s, true, server.crashed);
+          break;
+        case FaultEvent::Kind::kRestore:
+          update_rotation(s, false, false);
+          break;
+        case FaultEvent::Kind::kServerCrash: {
+          if (server.crashed) break;
+          update_rotation(s, server.draining, true);
+          kill_all_on(s);
+          reroute_if_dead(server.shard);
+          break;
+        }
+        case FaultEvent::Kind::kGpuLoss: {
+          if (std::binary_search(server.lost_gpus.begin(),
+                                 server.lost_gpus.end(), event.u)) {
+            break;  // already lost
+          }
+          const bool was_degraded = server.degraded();
+          // Kill the job holding the lost accelerator first (a pattern
+          // cannot embed in its shrunken hold), so the unusable mark
+          // below never overlaps a live allocation.
+          if (server.mapa.busy()[event.u]) {
+            for (const auto& [id, lj] : live[s]) {
+              const std::vector<graph::VertexId>& mapped =
+                  result.records[lj.record_index].record.gpus;
+              if (std::find(mapped.begin(), mapped.end(), event.u) !=
+                  mapped.end()) {
+                kill_job(s, id);
+                break;
+              }
+            }
+          }
+          server.lost_gpus.insert(
+              std::lower_bound(server.lost_gpus.begin(),
+                               server.lost_gpus.end(), event.u),
+              event.u);
+          server.mapa.set_unusable(event.u, true);
+          --server_free[s];
+          if (in_rotation(s)) --shard_free[server.shard];
+          fork_or_rejoin(s, was_degraded);
+          break;
+        }
+        case FaultEvent::Kind::kGpuRecover: {
+          const auto found =
+              std::lower_bound(server.lost_gpus.begin(),
+                               server.lost_gpus.end(), event.u);
+          if (found == server.lost_gpus.end() || *found != event.u) {
+            break;  // not lost: no-op
+          }
+          const bool was_degraded = server.degraded();
+          server.lost_gpus.erase(found);
+          server.mapa.set_unusable(event.u, false);
+          ++server_free[s];
+          if (in_rotation(s)) ++shard_free[server.shard];
+          fork_or_rejoin(s, was_degraded);
+          break;
+        }
+        case FaultEvent::Kind::kLinkDegrade: {
+          if (server.archetype.graph().edge(event.u, event.v) == nullptr) {
+            break;  // no such link on this archetype: no-op
+          }
+          const auto key = link_key(event.u, event.v);
+          const bool was_degraded = server.degraded();
+          auto it = std::lower_bound(
+              server.degraded_links.begin(), server.degraded_links.end(),
+              key,
+              [](const auto& entry, const auto& k) { return entry.first < k; });
+          if (it != server.degraded_links.end() && it->first == key) {
+            if (it->second == event.bandwidth_factor) break;  // no change
+            it->second = event.bandwidth_factor;
+          } else {
+            server.degraded_links.insert(it,
+                                         {key, event.bandwidth_factor});
+          }
+          fork_or_rejoin(s, was_degraded);
+          recheck_running(s);
+          break;
+        }
+        case FaultEvent::Kind::kLinkRepair: {
+          const auto key = link_key(event.u, event.v);
+          const bool was_degraded = server.degraded();
+          auto it = std::lower_bound(
+              server.degraded_links.begin(), server.degraded_links.end(),
+              key,
+              [](const auto& entry, const auto& k) { return entry.first < k; });
+          if (it == server.degraded_links.end() || it->first != key) {
+            break;  // link is healthy: no-op
+          }
+          server.degraded_links.erase(it);
+          // Repair only adds edges/bandwidth back; running mappings that
+          // embedded before still embed, so no re-check is needed.
+          fork_or_rejoin(s, was_degraded);
+          break;
+        }
+      }
+      invalidate_server(s);
     }
   };
   apply_events(now);
@@ -411,7 +843,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
                          double overhead_ms) {
     std::deque<std::size_t>& queue = queues[queue_shard];
     Server& server = servers_[winner.server];
-    const workload::Job& job = jobs[queue[queue_pos]];
+    const std::size_t job_index = queue[queue_pos];
+    const workload::Job& job = jobs[job_index];
     const core::Allocation allocation =
         server.mapa.commit(std::move(*winner.placement));
 
@@ -450,9 +883,29 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     shard_dirty[server.shard] = 1;
     memo[winner.server].clear();  // busy mask changed: stale probe answers
 
-    running.push(
-        Running{record.finish_s, winner.server, allocation.id(), gpus});
-    result.records.push_back(FleetRecord{std::move(record), winner.server});
+    const double finish_s = record.finish_s;
+    running.push_back(
+        Running{finish_s, winner.server, allocation.id(), gpus});
+    std::push_heap(running.begin(), running.end(), std::greater<>{});
+    // job_retries is a random 32 KB read per placement; every entry is
+    // still zero until the first kill, so skip it while no fault has
+    // fired (keeps the armed-but-idle path at fault-free speed).
+    const std::uint32_t retries = (armed && result.resilience.jobs_killed > 0)
+                                      ? job_retries[job_index]
+                                      : 0;
+    if (retries > 0) {
+      // Simulated kill-to-re-placement latency (includes the backoff).
+      result.resilience.replace_latency_s.push_back(
+          now - job_kill_time[job_index]);
+    }
+    result.records.push_back(
+        FleetRecord{std::move(record), winner.server, retries});
+    if (armed) {
+      record_alive.push_back(1);
+      live[winner.server].emplace_back(
+          allocation.id(),
+          LiveJob{job_index, gpus, finish_s, result.records.size() - 1});
+    }
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
   };
 
@@ -542,8 +995,11 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // Events are pure wakeups for queued work: once the queues, running set,
   // and arrivals are exhausted, remaining drains/restores can't change
   // anything and must not extend the makespan.
-  while (!queues_empty() || !running.empty() ||
+  while (!queues_empty() || !running.empty() || !retry_heap.empty() ||
          next_arrival < arrival_order.size()) {
+    if (num_crashed > 0 || num_degraded > 0) {
+      ++result.resilience.capacity_degraded_ticks;
+    }
     // Serve the shards round-robin, one placement at a time, until no
     // shard can place anything more at the current instant. Shards whose
     // visible state hasn't changed since their last failed scan are
@@ -561,31 +1017,50 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       }
     }
 
-    if (running.empty() && queues_empty() &&
+    if (running.empty() && queues_empty() && retry_heap.empty() &&
         next_arrival >= arrival_order.size()) {
       break;
     }
 
-    // Advance time to the next event: a completion, an arrival, or a
-    // scheduled drain/restore.
+    // Advance time to the next event: a completion, an arrival, a
+    // scheduled fault/repair, or a retry coming off backoff.
     bool have_next = false;
     double next_time = 0.0;
     const auto consider = [&](double t) {
       if (!have_next || t < next_time) next_time = t;
       have_next = true;
     };
-    if (!running.empty()) consider(running.top().finish_s);
+    if (!running.empty()) consider(running.front().finish_s);
     if (next_arrival < arrival_order.size()) {
       consider(jobs[arrival_order[next_arrival]].arrival_time_s);
     }
     if (next_event < events.size()) consider(events[next_event].time_s);
+    if (!retry_heap.empty()) consider(retry_heap.front().ready_s);
     if (!have_next) {
       if (shards_.size() > 1 && rescue()) continue;
       // Some queue is non-empty but nothing is running, arriving, or
       // scheduled, and (after the rescue pass, when sharded) no server in
-      // the fleet fits: the head can never be placed — no structural
-      // match on any idle eligible server, or the whole fleet is drained
-      // for good.
+      // the fleet fits. A fault-retried job stuck here was made
+      // unplaceable by permanent faults: dead-letter it and move on. A
+      // fresh job that never fit anywhere keeps the hard error.
+      bool dropped = false;
+      for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+        std::deque<std::size_t>& queue = queues[sh];
+        for (std::size_t pos = 0; pos < queue.size();) {
+          const std::size_t ji = queue[pos];
+          if (armed && job_retries[ji] > 0) {
+            result.dead_letters.push_back(
+                DeadLetter{jobs[ji], job_retries[ji], now});
+            ++result.resilience.jobs_dead_lettered;
+            queued_gpus[sh] -= static_cast<long long>(jobs[ji].num_gpus);
+            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pos));
+            dropped = true;
+          } else {
+            ++pos;
+          }
+        }
+      }
+      if (dropped) continue;
       std::size_t stuck = 0;
       for (const std::deque<std::size_t>& q : queues) {
         if (!q.empty()) {
@@ -599,19 +1074,37 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     }
     now = std::max(now, next_time);
 
-    while (!running.empty() && running.top().finish_s <= now) {
-      const Running& done = running.top();
+    while (!running.empty() && running.front().finish_s <= now) {
+      const Running done = running.front();
+      std::pop_heap(running.begin(), running.end(), std::greater<>{});
+      running.pop_back();
       servers_[done.server].mapa.release(done.allocation_id);
+      if (armed) {
+        std::erase_if(live[done.server], [&](const auto& e) {
+          return e.first == done.allocation_id;
+        });
+      }
       server_free[done.server] += done.gpus;
-      if (!servers_[done.server].draining) {
+      if (in_rotation(done.server)) {
         shard_free[servers_[done.server].shard] += done.gpus;
       }
       shard_dirty[servers_[done.server].shard] = 1;
       memo[done.server].clear();  // busy mask changed: stale probe answers
-      running.pop();
     }
     apply_events(now);
+    admit_retries(now);
     admit_arrivals(now);
+  }
+
+  // Compact away killed placements: only surviving runs are records.
+  if (armed) {
+    std::size_t write = 0;
+    for (std::size_t i = 0; i < result.records.size(); ++i) {
+      if (!record_alive[i]) continue;
+      if (write != i) result.records[write] = std::move(result.records[i]);
+      ++write;
+    }
+    result.records.resize(write);
   }
 
   result.makespan_s = now;
@@ -630,6 +1123,15 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       sr.match_cache_hits = stats.hits - cache_baseline[s].hits;
       sr.match_cache_misses = stats.misses - cache_baseline[s].misses;
     }
+    // A server still degraded at run end reports its private cache here;
+    // re-joined servers were harvested at re-join time.
+    if (servers_[s].fault_cache != nullptr) {
+      const policy::MatchCacheStats stats = servers_[s].fault_cache->stats();
+      fault_hits[s] += stats.hits;
+      fault_misses[s] += stats.misses;
+    }
+    sr.match_cache_hits += fault_hits[s];
+    sr.match_cache_misses += fault_misses[s];
   }
   return result;
 }

@@ -4,9 +4,11 @@
 // multi-GPU server behind a FIFO queue, FleetSimulator owns N server
 // instances — each a mutable busy mask + allocation policy over a shared,
 // immutable topology archetype (graph::TopologyHandle) — behind a sharded
-// fleet-level dispatcher. Optional drain/restore events take servers out
-// of and back into rotation mid-run, so heterogeneous-fleet, imbalance,
-// and maintenance scenarios are all expressible. Servers can be any
+// fleet-level dispatcher. Scheduled FaultEvents take servers out of and
+// back into rotation mid-run (drain/restore) or damage them outright
+// (crash, GPU loss, link degrade — see the failure model below), so
+// heterogeneous-fleet, imbalance, maintenance, and chaos scenarios are
+// all expressible. Servers can be any
 // topology the matcher handles — single nodes or >64-GPU racks
 // (rack_fleet_specs / archetype_fleet_specs below; docs/ARCHITECTURE.md
 // has the dispatch table).
@@ -64,10 +66,42 @@
 // servers that reach the same allocation state. Draining or restoring a
 // server never touches the shared cache: siblings' entries stay valid.
 //
+// Failure model. Beyond drain/restore, FaultEvents inject hardware
+// damage: kServerCrash kills every running job on the victim and
+// re-queues them; kGpuLoss removes one vertex (killing only the job
+// holding it — losing a free GPU kills nothing); kLinkDegrade scales one
+// link's bandwidth by `factor` (factor > 0 never disturbs running jobs;
+// factor == 0 cuts the link, and an affected job is re-matched IN PLACE
+// when its pattern still embeds in the degraded topology, killed
+// otherwise). The first damage forks the server off its archetype onto a
+// private TopologyHandle whose graph::topology_fingerprint (adjacency +
+// bandwidth bits) differs, so the shared match cache and probe memo go
+// stale by construction; the server probes through a private fault cache
+// until the last repair restores the archetype fingerprint and it
+// re-joins. Killed jobs retry after a deterministic exponential backoff
+// (retry_backoff_base_s * retry_backoff_factor^(kills-1), plus seeded
+// jitter drawn in kill order from a util::Rng stream derived from
+// ClusterConfig::seed); more than max_retries kills dead-letters the job
+// (FleetResult::dead_letters) instead of recording it.
+// FleetResult::resilience aggregates kills, re-queues, re-matches, dead
+// letters, topology forks/rejoins, capacity-degraded ticks, and per-kill
+// re-place latencies. When a forked server holds a private cache, its
+// hit/miss stats are attributed to that server at re-join or run end;
+// the shared archetype pool's stats land on the lowest-indexed resident
+// sibling (ServerResult::cache_primary).
+//
 // Determinism contract: for a fixed server list, job list, and
-// configuration, run() produces identical FleetResult contents — records,
-// their order, simulated times, placements, and per-server statistics —
-// regardless of ClusterConfig::threads and of match-cache state. The
+// configuration — the fault-event schedule included — run() produces
+// identical FleetResult contents: records, their order, simulated times,
+// placements, retries, dead letters, resilience counters, and per-server
+// statistics — regardless of ClusterConfig::threads and of match-cache
+// state. The backoff-jitter stream is part of the configuration (seeded
+// from ClusterConfig::seed, consumed in kill order), so replaying a
+// chaos schedule is record-identical from the same seed. One sharding
+// caveat is inherent rather than accidental: a retried job is routed to
+// a shard at admit time, so a server restored later in a different shard
+// can be used by the shards = 1 dispatcher but not the sharded one (no
+// mid-run cross-shard migration outside the idle-fleet rescue pass). The
 // exceptions are (a) the wall-clock fields (FleetResult::
 // total_scheduling_ms and JobRecord::scheduling_overhead_ms), which
 // measure real elapsed time, and (b) the match-cache hit/miss counters
@@ -132,14 +166,58 @@ struct FleetArchetype {
   std::size_t weight = 1;
 };
 
-/// Scheduled fleet-state change: a server leaves rotation (drain — running
-/// jobs finish, no new placements) or re-enters it (restore).
-struct ServerEvent {
-  enum class Kind { kDrain, kRestore };
+/// Scheduled fleet-state change. The graceful pair — kDrain (running jobs
+/// finish, no new placements) and kRestore (back into rotation) — models
+/// maintenance; the fault kinds model hardware failing mid-run:
+///
+///   * kServerCrash — the server leaves rotation NOW: every running job
+///     on it is killed and re-queued with a retry budget (see
+///     ClusterConfig), its busy mask is cleared. kRestore brings the
+///     machine back.
+///   * kGpuLoss / kGpuRecover — accelerator `u` leaves / re-enters the
+///     server's usable set. A loss that hits only free GPUs kills
+///     nothing; a loss under a running job kills and re-queues that job
+///     (its pattern cannot embed in the shrunken hold). Either way the
+///     server forks a private degraded TopologyHandle (the lost GPU's
+///     links removed) with a fresh fingerprint.
+///   * kLinkDegrade / kLinkRepair — the bandwidth of edge {u, v} on the
+///     server's topology is cut to `bandwidth_factor` of nominal
+///     (0 = the link is down and the edge disappears). Running jobs whose
+///     mapping no longer embeds are re-matched in place within their held
+///     GPUs when possible, killed and re-queued otherwise. The server
+///     forks a private handle here too — bandwidth enters the topology
+///     fingerprint, so even a pure bandwidth cut invalidates shared
+///     match-cache and probe-memo state by construction.
+///
+/// A degraded server re-joins its archetype (pristine shared handle and
+/// shared match cache) when its last fault is repaired. Redundant events
+/// (crashing a crashed server, repairing a healthy link) are no-ops, so
+/// independently generated schedules compose safely.
+struct FaultEvent {
+  enum class Kind {
+    kDrain,
+    kRestore,
+    kServerCrash,
+    kGpuLoss,
+    kGpuRecover,
+    kLinkDegrade,
+    kLinkRepair,
+  };
   double time_s = 0.0;
   std::size_t server = 0;  // index into the fleet's server list
   Kind kind = Kind::kDrain;
+  /// Affected accelerator (kGpuLoss/kGpuRecover) or first link endpoint
+  /// (kLinkDegrade/kLinkRepair); unused for the server-level kinds.
+  graph::VertexId u = 0;
+  /// Second link endpoint (kLinkDegrade/kLinkRepair only).
+  graph::VertexId v = 0;
+  /// kLinkDegrade: remaining fraction of the nominal bandwidth, in
+  /// [0, 1). 0 means the link is down (the edge is removed entirely).
+  double bandwidth_factor = 0.0;
 };
+
+/// Pre-fault name, kept for call sites that only drain and restore.
+using ServerEvent = FaultEvent;
 
 struct ClusterConfig {
   /// Per-server engine knobs (microbench, exec model source, backfill,
@@ -164,16 +242,67 @@ struct ClusterConfig {
   /// stays bit-identical to the pre-sharding one — including match-cache
   /// accounting, which memoization (correctly) reduces.
   std::optional<bool> probe_memo;
-  /// Master seed; derives per-server policy sub-seeds in fleet order.
+  /// Master seed; derives per-server policy sub-seeds in fleet order and
+  /// the retry-backoff jitter stream.
   std::uint64_t seed = 42;
-  /// Drain/restore schedule (any order; sorted by time internally).
-  std::vector<ServerEvent> events;
+  /// Drain/restore and fault schedule (any order; sorted by time
+  /// internally; ties keep list order).
+  std::vector<FaultEvent> events;
+  /// Retry budget for jobs killed by a fault: a killed job is re-queued
+  /// up to `max_retries` times, then lands in FleetResult::dead_letters
+  /// instead of looping forever.
+  std::uint32_t max_retries = 3;
+  /// Deterministic exponential backoff before a killed job re-enters the
+  /// queue: delay = backoff_base_s * backoff_factor^attempt *
+  /// (1 + backoff_jitter * u), with u drawn in [0, 1) from a util::Rng
+  /// stream derived from `seed` — identical schedules replay identically.
+  double backoff_base_s = 4.0;
+  double backoff_factor = 2.0;
+  double backoff_jitter = 0.5;
 };
 
 /// A completed job plus where it ran.
 struct FleetRecord {
   sim::JobRecord record;
   std::size_t server = 0;  // index into FleetResult::servers
+  /// Times this job was killed by a fault and re-placed before this
+  /// (surviving) run; 0 for a job the fault schedule never touched.
+  std::uint32_t retries = 0;
+};
+
+/// A job that exhausted its retry budget (or could no longer be placed
+/// anywhere after a fault) and was dropped from the queue.
+struct DeadLetter {
+  workload::Job job;
+  std::uint32_t retries = 0;  // kills it absorbed before being dropped
+  double time_s = 0.0;        // simulated time it was dead-lettered
+};
+
+/// Fleet-level resilience accounting for one run (all deterministic
+/// under the fleet determinism contract).
+struct ResilienceStats {
+  /// Running jobs killed by a crash, GPU loss, or link cut (a job killed
+  /// twice counts twice).
+  std::uint64_t jobs_killed = 0;
+  /// Kills that re-entered the queue with backoff (killed minus
+  /// dead-lettered-at-kill).
+  std::uint64_t jobs_requeued = 0;
+  /// Running jobs whose mapping broke but whose pattern still embedded in
+  /// the degraded topology within their held GPUs: re-mapped in place,
+  /// never killed.
+  std::uint64_t jobs_rematched = 0;
+  /// Jobs dropped into FleetResult::dead_letters.
+  std::uint64_t jobs_dead_lettered = 0;
+  /// Scheduling rounds during which at least one server was crashed or
+  /// running on a degraded (forked) topology.
+  std::uint64_t capacity_degraded_ticks = 0;
+  /// Private-handle forks taken and archetype re-joins completed.
+  std::uint64_t topology_forks = 0;
+  std::uint64_t archetype_rejoins = 0;
+  /// Simulated seconds from each kill to the job's next successful
+  /// placement, in re-placement order (feed util::box_plot / quantile for
+  /// p50/p99). One entry per successful re-placement.
+  std::vector<double> replace_latency_s;
 };
 
 /// Per-server summary of a fleet run.
@@ -207,8 +336,14 @@ struct FleetResult {
   std::string selection;
   std::size_t shards = 1;
   std::vector<ServerResult> servers;
-  /// Placement order (same convention as sim::SimResult::records).
+  /// Placement order (same convention as sim::SimResult::records). Only
+  /// surviving placements appear: a job killed by a fault and re-placed
+  /// later is recorded once, at its final placement.
   std::vector<FleetRecord> records;
+  /// Jobs dropped after exhausting ClusterConfig::max_retries (or left
+  /// unplaceable by permanent faults), in drop order.
+  std::vector<DeadLetter> dead_letters;
+  ResilienceStats resilience;
   double makespan_s = 0.0;
   /// Wall-clock cost of all dispatch decisions (probes + selection);
   /// excluded from the determinism contract.
@@ -256,7 +391,29 @@ class FleetSimulator {
     bool cache_primary = false;  // reports the (shared) cache's stats
     bool memoizable = true;      // false for stochastic policies
     std::size_t shard = 0;
-    bool draining = false;
+    bool draining = false;  // graceful drain (kDrain)
+    bool crashed = false;   // hard down (kServerCrash) until kRestore
+
+    // Fault state. While any of it is non-empty the server runs on a
+    // privately forked TopologyHandle (degraded()) and a private match
+    // cache; on the last repair it re-joins `archetype` and re-attaches
+    // the shared `cache`.
+    graph::TopologyHandle archetype;  // the pristine shared handle
+    std::vector<graph::VertexId> lost_gpus;  // sorted
+    /// Degraded links as ((min, max) endpoint, remaining fraction);
+    /// sorted by endpoint pair. Factor 0 = link down.
+    std::vector<std::pair<std::pair<graph::VertexId, graph::VertexId>,
+                          double>>
+        degraded_links;
+    /// Private cache while degraded (null when caching is off); fresh on
+    /// first fork, invalidates itself via the fork's fingerprint on every
+    /// further topology change.
+    std::shared_ptr<policy::MatchCache> fault_cache;
+
+    bool out_of_rotation() const { return draining || crashed; }
+    bool degraded() const {
+      return !lost_gpus.empty() || !degraded_links.empty();
+    }
   };
 
   /// Contiguous server range with its own dispatch queue (queue state
@@ -284,6 +441,10 @@ class FleetSimulator {
   std::vector<Server> servers_;
   std::vector<Shard> shards_;
   bool memo_enabled_ = false;
+  /// True when the event list contains any fault kind beyond
+  /// drain/restore; gates the kill/re-queue bookkeeping in run() so a
+  /// fault-free run pays (near) nothing for the fault subsystem.
+  bool faults_armed_ = false;
   std::unique_ptr<ServerSelection> selection_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads <= 1
 };

@@ -79,4 +79,17 @@ double fleet_cache_hit_rate(const FleetResult& result) {
   return static_cast<double>(hits) / static_cast<double>(lookups);
 }
 
+util::BoxPlot replace_latency_box_plot(const FleetResult& result) {
+  if (result.resilience.replace_latency_s.empty()) return util::BoxPlot{};
+  return util::box_plot(result.resilience.replace_latency_s);
+}
+
+double dead_letter_rate(const FleetResult& result) {
+  const std::size_t total =
+      result.records.size() + result.dead_letters.size();
+  if (total == 0) return 0.0;
+  return static_cast<double>(result.dead_letters.size()) /
+         static_cast<double>(total);
+}
+
 }  // namespace mapa::cluster

@@ -41,4 +41,13 @@ double allocation_quality_spread(const FleetResult& result);
 /// lookups happened (caching off, or non-enumerating policies).
 double fleet_cache_hit_rate(const FleetResult& result);
 
+/// Kill-to-re-placement latency distribution (simulated seconds,
+/// including backoff) over ResilienceStats::replace_latency_s; the
+/// all-zero box plot when no job was ever re-placed.
+util::BoxPlot replace_latency_box_plot(const FleetResult& result);
+
+/// Fraction of jobs the fault schedule dropped: dead-lettered /
+/// (records + dead-lettered). 0 for an empty or fault-free run.
+double dead_letter_rate(const FleetResult& result);
+
 }  // namespace mapa::cluster

@@ -15,11 +15,42 @@ Mapa::Mapa(graph::TopologyHandle hardware,
     throw std::invalid_argument("Mapa: empty hardware graph");
   }
   busy_.assign(topology_.num_vertices(), false);
+  unusable_.assign(topology_.num_vertices(), false);
+  view_.assign(topology_.num_vertices(), false);
+}
+
+void Mapa::rebind_topology(graph::TopologyHandle hardware) {
+  if (hardware.empty()) {
+    throw std::invalid_argument("Mapa::rebind_topology: empty handle");
+  }
+  if (hardware.num_vertices() != topology_.num_vertices()) {
+    throw std::invalid_argument(
+        "Mapa::rebind_topology: vertex count changed (faults never renumber "
+        "accelerators)");
+  }
+  topology_ = std::move(hardware);
+}
+
+void Mapa::set_unusable(graph::VertexId v, bool unusable) {
+  if (v >= unusable_.size()) {
+    throw std::out_of_range("Mapa::set_unusable: bad vertex");
+  }
+  if (unusable_[v] == unusable) return;
+  unusable_[v] = unusable;
+  num_unusable_ += unusable ? 1 : std::size_t(-1);
+  view_[v] = busy_[v] || unusable_[v];
+}
+
+bool Mapa::unusable(graph::VertexId v) const {
+  if (v >= unusable_.size()) {
+    throw std::out_of_range("Mapa::unusable: bad vertex");
+  }
+  return unusable_[v];
 }
 
 std::size_t Mapa::free_accelerators() const {
   return static_cast<std::size_t>(
-      std::count(busy_.begin(), busy_.end(), false));
+      std::count(view_.begin(), view_.end(), false));
 }
 
 std::optional<Allocation> Mapa::allocate(const graph::Graph& pattern,
@@ -28,20 +59,25 @@ std::optional<Allocation> Mapa::allocate(const graph::Graph& pattern,
   request.pattern = &pattern;
   request.bandwidth_sensitive = bandwidth_sensitive;
 
-  auto result = policy_->allocate(topology_.graph(), busy_, request);
+  auto result = policy_->allocate(topology_.graph(), view_, request);
   if (!result) return std::nullopt;
   return commit(std::move(*result));
 }
 
 Allocation Mapa::commit(policy::AllocationResult result) {
   // Commit: mark the accelerators busy (§3.6 — remove vertices and their
-  // incident edges from the available graph).
+  // incident edges from the available graph). Unusable vertices read as
+  // busy through view_, so a stale probe that maps onto a lost GPU is
+  // rejected here too.
   for (const graph::VertexId v : result.match.mapping) {
-    if (v >= busy_.size() || busy_[v]) {
+    if (v >= view_.size() || view_[v]) {
       throw std::logic_error("Mapa::commit: placement maps a busy vertex");
     }
   }
-  for (const graph::VertexId v : result.match.mapping) busy_[v] = true;
+  for (const graph::VertexId v : result.match.mapping) {
+    busy_[v] = true;
+    view_[v] = true;
+  }
 
   Allocation allocation(next_id_++, std::move(result));
   live_.emplace_back(allocation.id(), allocation.gpus());
@@ -58,7 +94,10 @@ void Mapa::release(std::uint64_t allocation_id) {
     throw std::invalid_argument(
         "Mapa::release: unknown or already-released allocation");
   }
-  for (const graph::VertexId v : it->second) busy_[v] = false;
+  for (const graph::VertexId v : it->second) {
+    busy_[v] = false;
+    view_[v] = unusable_[v];
+  }
   live_.erase(it);
 }
 

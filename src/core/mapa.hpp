@@ -64,12 +64,36 @@ class Mapa {
   const graph::TopologyHandle& topology() const { return topology_; }
   const std::string policy_name() const { return policy_->name(); }
 
+  /// Swap the hardware topology in place, keeping the busy mask, the
+  /// unusable mask, and the allocation ledger. This is how the fleet's
+  /// fault subsystem degrades a server mid-run: the archetype handle is
+  /// replaced by a privately forked one (a GPU isolated, a link bandwidth
+  /// cut) and later by the pristine archetype again on full repair.
+  /// Throws std::invalid_argument when the vertex counts differ (faults
+  /// never renumber accelerators) or the handle is empty.
+  void rebind_topology(graph::TopologyHandle hardware);
+
+  /// Mark an accelerator lost to a hardware fault (or recovered from
+  /// one). An unusable accelerator reads as busy to policies and probes
+  /// (busy() folds it in) and is rejected by commit(), but is NOT part of
+  /// any allocation — release() of a job that held the vertex still
+  /// works, which is exactly the kill-then-lose order the fleet applies
+  /// on a GPU loss that hits a running job. Throws std::out_of_range on
+  /// a bad vertex.
+  void set_unusable(graph::VertexId v, bool unusable);
+  bool unusable(graph::VertexId v) const;
+  /// Accelerators currently marked unusable.
+  std::size_t num_unusable() const { return num_unusable_; }
+
   /// The selection policy (e.g. to install a match cache post-construction).
   policy::Policy& policy() { return *policy_; }
   const policy::Policy& policy() const { return *policy_; }
 
-  /// Accelerators currently held by live allocations.
-  const std::vector<bool>& busy() const { return busy_; }
+  /// Accelerators unavailable to new allocations: held by a live
+  /// allocation OR marked unusable by a fault. This merged view is what
+  /// policies and probes consume; it equals the pure allocation mask
+  /// whenever no accelerator is unusable (the fault-free case).
+  const std::vector<bool>& busy() const { return view_; }
   std::size_t free_accelerators() const;
 
   /// Run matching + scoring + selection for an application pattern.
@@ -98,7 +122,10 @@ class Mapa {
  private:
   graph::TopologyHandle topology_;
   std::unique_ptr<policy::Policy> policy_;
-  std::vector<bool> busy_;
+  std::vector<bool> busy_;      // held by a live allocation
+  std::vector<bool> unusable_;  // lost to a hardware fault
+  std::vector<bool> view_;      // busy_ | unusable_ (what busy() returns)
+  std::size_t num_unusable_ = 0;
   // id -> vertices held (for release bookkeeping).
   std::vector<std::pair<std::uint64_t, std::vector<graph::VertexId>>> live_;
   std::uint64_t next_id_ = 1;

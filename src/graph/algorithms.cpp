@@ -1,6 +1,7 @@
 #include "graph/algorithms.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <functional>
 #include <stdexcept>
 
@@ -128,6 +129,22 @@ std::uint64_t adjacency_fingerprint(const Graph& g) {
   mix(g.num_vertices());
   for (const Edge& e : g.edges()) {
     mix((static_cast<std::uint64_t>(e.u) << 32) | e.v);
+  }
+  return hash;
+}
+
+std::uint64_t topology_fingerprint(const Graph& g) {
+  // The adjacency hash continued over each edge's bandwidth bit pattern
+  // (bit_cast keeps it exact: any bandwidth change, however small, is a
+  // different fingerprint). Same FNV-1a stream, so the two fingerprints
+  // stay independent hashes of the same edge order.
+  std::uint64_t hash = adjacency_fingerprint(g) ^ 0x9e3779b97f4a7c15ULL;
+  const auto mix = [&hash](std::uint64_t value) {
+    hash ^= value;
+    hash *= 0x100000001b3ULL;
+  };
+  for (const Edge& e : g.edges()) {
+    mix(std::bit_cast<std::uint64_t>(e.bandwidth_gbps));
   }
   return hash;
 }

@@ -44,9 +44,19 @@ std::size_t automorphism_count(const Graph& g);
 /// structure (edge labels and bandwidths are ignored — matching is
 /// structure-only per §3.3). Equal fingerprints on equally-sized graphs
 /// mean identical adjacency, up to hash collisions; the match cache uses
-/// this both as the canonical pattern key (the pattern factories build
-/// each shape with one fixed labeling, so repeat jobs of a shape collide
-/// onto one entry) and to detect hardware-graph changes.
+/// this as the canonical pattern key (the pattern factories build each
+/// shape with one fixed labeling, so repeat jobs of a shape collide onto
+/// one entry).
 std::uint64_t adjacency_fingerprint(const Graph& g);
+
+/// adjacency_fingerprint extended with every edge's bandwidth bits:
+/// hardware identity for cache pinning and archetype grouping. Two graphs
+/// with equal topology fingerprints have identical adjacency AND link
+/// bandwidths (up to hash collisions), so a link-degraded fork of a
+/// topology — same edges, one bandwidth cut — hashes differently even
+/// though its structure-only match sets would still agree. The fault
+/// subsystem (cluster/fleet.hpp) relies on this: forked degraded handles
+/// invalidate shared match caches and probe memos by construction.
+std::uint64_t topology_fingerprint(const Graph& g);
 
 }  // namespace mapa::graph

@@ -9,12 +9,12 @@ namespace mapa::graph {
 
 TopologyHandle::TopologyHandle(Graph graph)
     : graph_(std::make_shared<const Graph>(std::move(graph))) {
-  fingerprint_ = adjacency_fingerprint(*graph_);
+  fingerprint_ = topology_fingerprint(*graph_);
 }
 
 TopologyHandle::TopologyHandle(std::shared_ptr<const Graph> graph)
     : graph_(std::move(graph)) {
-  if (graph_ != nullptr) fingerprint_ = adjacency_fingerprint(*graph_);
+  if (graph_ != nullptr) fingerprint_ = topology_fingerprint(*graph_);
 }
 
 const Graph& TopologyHandle::graph() const {

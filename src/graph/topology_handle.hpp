@@ -55,11 +55,13 @@ class TopologyHandle {
   std::size_t num_vertices() const { return graph().num_vertices(); }
   const std::string& name() const { return graph().name(); }
 
-  /// Archetype identity: graph::adjacency_fingerprint of the wrapped
+  /// Archetype identity: graph::topology_fingerprint of the wrapped
   /// graph, cached at construction. Two handles with equal fingerprints
-  /// have (up to 64-bit collision) identical adjacency, which is exactly
-  /// the state the match cache keys on — so equal-fingerprint servers may
-  /// share one cache. 0 for an empty handle.
+  /// have (up to 64-bit collision) identical adjacency AND link
+  /// bandwidths — exactly the hardware state the match cache pins — so
+  /// equal-fingerprint servers may share one cache, and a degraded fork
+  /// (a GPU isolated or a link bandwidth cut; see cluster::FaultEvent)
+  /// is guaranteed a fresh fingerprint. 0 for an empty handle.
   std::uint64_t fingerprint() const { return fingerprint_; }
 
   /// How many handles share this archetype (0 when empty).

@@ -46,7 +46,12 @@ void MatchCache::clear() {
 }
 
 void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
-  const std::uint64_t fp = graph::adjacency_fingerprint(hardware);
+  // Hardware identity pins adjacency AND bandwidths (topology, not
+  // adjacency, fingerprint): a link-degraded fork of the pinned graph —
+  // same structure, one bandwidth cut — must invalidate wholesale, so a
+  // degraded server probing this cache can never replay entries computed
+  // for the healthy topology (cluster/fleet.hpp fault model).
+  const std::uint64_t fp = graph::topology_fingerprint(hardware);
   if (hardware_seen_ && fp == hardware_fp_ &&
       hardware.num_vertices() == hardware_vertices_) {
     return;

@@ -20,8 +20,11 @@
 // live states to collide in 64 bits, and with <= max_entries (default
 // 256) states resident the birthday bound puts that around 2^-52 per
 // workload — far below any failure rate the simulator can observe.
-// The cache pins the hardware graph's fingerprint and invalidates itself
-// wholesale when a different hardware graph shows up. Entries are
+// The cache pins the hardware graph's topology fingerprint (adjacency +
+// link bandwidths, graph::topology_fingerprint) and invalidates itself
+// wholesale when a different hardware graph shows up — including a
+// link-degraded fork of the pinned one, whose structure is identical but
+// whose bandwidths are not. Entries are
 // LRU-evicted. Keys whose match set exceeds `max_matches_per_entry` are
 // bypassed, not stored: the fingerprint goes into a side set (a few bytes
 // per key, never an LRU entry), later calls enumerate live, and one

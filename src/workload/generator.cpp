@@ -122,6 +122,24 @@ FleetTraceConfig rack_trace_config(std::size_t num_jobs, std::uint64_t seed) {
   return config;
 }
 
+ChaosTraceConfig chaos_trace_config(std::size_t servers,
+                                    double per_server_mtbf_s,
+                                    std::uint64_t seed) {
+  if (servers == 0) {
+    throw std::invalid_argument("chaos_trace_config: zero servers");
+  }
+  if (!(per_server_mtbf_s > 0.0)) {
+    throw std::invalid_argument(
+        "chaos_trace_config: per-server MTBF must be > 0");
+  }
+  ChaosTraceConfig config;
+  // Independent per-server fault clocks superpose into one Poisson
+  // process whose rate is the sum, i.e. fleet MTBF = per-server MTBF / N.
+  config.mtbf_s = per_server_mtbf_s / static_cast<double>(servers);
+  config.seed = seed;
+  return config;
+}
+
 FleetTraceConfig fleet_scale_trace_config(std::size_t servers,
                                           std::size_t jobs_per_server,
                                           std::uint64_t seed) {

@@ -78,4 +78,45 @@ FleetTraceConfig fleet_scale_trace_config(std::size_t servers,
                                           std::size_t jobs_per_server = 10,
                                           std::uint64_t seed = 42);
 
+/// Parameters of a seeded chaos (fault-injection) schedule. This is the
+/// workload-side half of the resilience story: it only describes the
+/// fault process — cluster::generate_fault_schedule turns it into a
+/// concrete cluster::FaultEvent list against a server list (the cluster
+/// layer knows topologies; this layer must not).
+///
+/// Faults arrive as a Poisson process at fleet-wide rate 1 / mtbf_s over
+/// [0, horizon_s); each fault picks a uniform server, a kind by weight,
+/// and schedules its own repair an Exp(mttr_s) later. All draws come from
+/// one util::Rng stream seeded by `seed`, so a schedule is a pure
+/// function of this struct plus the server list.
+struct ChaosTraceConfig {
+  /// Mean time between fault injections across the whole fleet, seconds
+  /// of simulated time. Must be > 0.
+  double mtbf_s = 500.0;
+  /// Mean time from a fault to its paired repair/restore. Must be > 0.
+  double mttr_s = 200.0;
+  /// Faults are injected in [0, horizon_s); repairs may land later.
+  double horizon_s = 10'000.0;
+  /// Relative weights of the fault kinds (need not sum to anything);
+  /// a weight of 0 disables that kind. At least one must be > 0.
+  double server_crash_weight = 1.0;
+  double gpu_loss_weight = 2.0;
+  double link_degrade_weight = 2.0;
+  /// Chance a link fault severs the link outright (bandwidth factor 0);
+  /// otherwise the factor is drawn uniform in [0.25, 0.75]. In [0, 1].
+  double link_down_chance = 0.5;
+  std::uint64_t seed = 42;
+};
+
+/// Fleet-sized chaos preset: per-server MTBF is held at
+/// `per_server_mtbf_s` (default ~8 simulated hours), so the fleet-wide
+/// fault rate scales linearly with `servers` — a 1k-server fleet sees
+/// ~30x the faults of a 32-server one over the same horizon, the way a
+/// real fleet does. Tweak the returned config before handing it to
+/// cluster::generate_fault_schedule; pair `seed` with
+/// cluster::ClusterConfig::seed as usual. Throws on zero servers.
+ChaosTraceConfig chaos_trace_config(std::size_t servers,
+                                    double per_server_mtbf_s = 30'000.0,
+                                    std::uint64_t seed = 42);
+
 }  // namespace mapa::workload

@@ -1,0 +1,189 @@
+// Chaos-schedule generation tests (cluster/chaos.hpp +
+// workload::ChaosTraceConfig): seeded determinism, schedule shape
+// (sorted, in-horizon faults, paired repairs, valid victims), kind
+// weighting, config validation, and an end-to-end run where every job
+// either survives into the records or lands in the dead-letter list.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/chaos.hpp"
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+std::vector<ServerSpec> dgx_fleet(std::size_t n) {
+  FleetArchetype arch;
+  arch.name = "dgx";
+  arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+  arch.policy = "topo-aware";
+  return archetype_fleet_specs(n, {arch});
+}
+
+bool is_repair(FaultEvent::Kind kind) {
+  return kind == FaultEvent::Kind::kRestore ||
+         kind == FaultEvent::Kind::kGpuRecover ||
+         kind == FaultEvent::Kind::kLinkRepair;
+}
+
+TEST(Chaos, SameSeedGeneratesTheSameSchedule) {
+  workload::ChaosTraceConfig config = workload::chaos_trace_config(8, 800.0, 5);
+  config.horizon_s = 2000.0;
+  const auto specs = dgx_fleet(8);
+  const auto a = generate_fault_schedule(config, specs);
+  const auto b = generate_fault_schedule(config, specs);
+  ASSERT_FALSE(a.empty());
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a[i].time_s, b[i].time_s);
+    EXPECT_EQ(a[i].server, b[i].server);
+    EXPECT_EQ(a[i].kind, b[i].kind);
+    EXPECT_EQ(a[i].u, b[i].u);
+    EXPECT_EQ(a[i].v, b[i].v);
+    EXPECT_DOUBLE_EQ(a[i].bandwidth_factor, b[i].bandwidth_factor);
+  }
+  // A different seed moves the schedule.
+  config.seed = 6;
+  const auto c = generate_fault_schedule(config, specs);
+  bool differs = c.size() != a.size();
+  for (std::size_t i = 0; !differs && i < a.size(); ++i) {
+    differs = a[i].time_s != c[i].time_s || a[i].kind != c[i].kind ||
+              a[i].server != c[i].server;
+  }
+  EXPECT_TRUE(differs);
+}
+
+TEST(Chaos, ScheduleIsSortedPairedAndInBounds) {
+  workload::ChaosTraceConfig config = workload::chaos_trace_config(8, 400.0, 9);
+  config.horizon_s = 1000.0;
+  const auto specs = dgx_fleet(8);
+  const auto events = generate_fault_schedule(config, specs);
+  ASSERT_FALSE(events.empty());
+
+  std::size_t faults = 0;
+  std::size_t repairs = 0;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const FaultEvent& e = events[i];
+    if (i > 0) {
+      EXPECT_GE(e.time_s, events[i - 1].time_s);
+    }
+    EXPECT_LT(e.server, specs.size());
+    const graph::Graph& topo = specs[e.server].topology.graph();
+    if (is_repair(e.kind)) {
+      ++repairs;  // repairs may land past the horizon
+    } else {
+      ++faults;
+      EXPECT_LT(e.time_s, config.horizon_s);
+    }
+    switch (e.kind) {
+      case FaultEvent::Kind::kGpuLoss:
+      case FaultEvent::Kind::kGpuRecover:
+        EXPECT_LT(static_cast<std::size_t>(e.u), topo.num_vertices());
+        break;
+      case FaultEvent::Kind::kLinkDegrade:
+        EXPECT_NE(topo.edge(e.u, e.v), nullptr);
+        EXPECT_TRUE(e.bandwidth_factor == 0.0 ||
+                    (e.bandwidth_factor >= 0.25 && e.bandwidth_factor <= 0.75))
+            << e.bandwidth_factor;
+        break;
+      case FaultEvent::Kind::kLinkRepair:
+        EXPECT_NE(topo.edge(e.u, e.v), nullptr);
+        break;
+      default:
+        break;
+    }
+  }
+  // Every fault schedules exactly one repair.
+  EXPECT_EQ(faults, repairs);
+  EXPECT_EQ(faults + repairs, events.size());
+}
+
+TEST(Chaos, KindWeightsGateWhichFaultsAppear) {
+  workload::ChaosTraceConfig config = workload::chaos_trace_config(4, 100.0, 3);
+  config.horizon_s = 2000.0;
+  config.server_crash_weight = 0.0;
+  config.link_degrade_weight = 0.0;
+  const auto events = generate_fault_schedule(config, dgx_fleet(4));
+  ASSERT_FALSE(events.empty());
+  for (const FaultEvent& e : events) {
+    EXPECT_TRUE(e.kind == FaultEvent::Kind::kGpuLoss ||
+                e.kind == FaultEvent::Kind::kGpuRecover);
+  }
+}
+
+TEST(Chaos, ValidationRejectsBadConfigs) {
+  const auto specs = dgx_fleet(2);
+  workload::ChaosTraceConfig good = workload::chaos_trace_config(2, 100.0, 1);
+  EXPECT_NO_THROW(generate_fault_schedule(good, specs));
+  EXPECT_THROW(generate_fault_schedule(good, {}), std::invalid_argument);
+
+  workload::ChaosTraceConfig bad = good;
+  bad.mtbf_s = 0.0;
+  EXPECT_THROW(generate_fault_schedule(bad, specs), std::invalid_argument);
+  bad = good;
+  bad.mttr_s = -1.0;
+  EXPECT_THROW(generate_fault_schedule(bad, specs), std::invalid_argument);
+  bad = good;
+  bad.horizon_s = -1.0;
+  EXPECT_THROW(generate_fault_schedule(bad, specs), std::invalid_argument);
+  bad = good;
+  bad.server_crash_weight = 0.0;
+  bad.gpu_loss_weight = 0.0;
+  bad.link_degrade_weight = 0.0;
+  EXPECT_THROW(generate_fault_schedule(bad, specs), std::invalid_argument);
+  bad = good;
+  bad.link_down_chance = 1.5;
+  EXPECT_THROW(generate_fault_schedule(bad, specs), std::invalid_argument);
+
+  // The workload-side helper validates its own inputs and superposes
+  // per-server fault clocks into a fleet-level MTBF.
+  EXPECT_THROW(workload::chaos_trace_config(0, 100.0), std::invalid_argument);
+  EXPECT_THROW(workload::chaos_trace_config(4, 0.0), std::invalid_argument);
+  EXPECT_DOUBLE_EQ(workload::chaos_trace_config(10, 500.0).mtbf_s, 50.0);
+}
+
+TEST(Chaos, EveryJobSurvivesOrIsDeadLetteredUnderChaos) {
+  // End-to-end conservation: under a dense chaos schedule no job is
+  // silently dropped — each appears exactly once across the surviving
+  // records and the dead-letter list.
+  workload::ChaosTraceConfig chaos = workload::chaos_trace_config(16, 160.0, 3);
+  chaos.horizon_s = 100.0;
+  chaos.mttr_s = 20.0;
+  const auto specs = dgx_fleet(16);
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.shards = 4;
+  config.events = generate_fault_schedule(chaos, specs);
+  ASSERT_FALSE(config.events.empty());
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(16, 2, 5));
+
+  FleetSimulator fleet(specs, config);
+  const auto result = fleet.run(jobs);
+  std::set<int> seen;
+  for (const FleetRecord& r : result.records) {
+    EXPECT_TRUE(seen.insert(r.record.job.id).second)
+        << "job " << r.record.job.id << " appears twice";
+  }
+  for (const DeadLetter& d : result.dead_letters) {
+    EXPECT_TRUE(seen.insert(d.job.id).second)
+        << "job " << d.job.id << " appears twice";
+    EXPECT_GE(d.retries, 1u);
+  }
+  EXPECT_EQ(seen.size(), jobs.size());
+  // Kills split into re-queues and budget dead-letters; stuck-queue
+  // dead-letters (no capacity left anywhere) add no kill of their own.
+  EXPECT_GE(result.resilience.jobs_killed,
+            result.resilience.jobs_dead_lettered > 0
+                ? std::uint64_t{1}
+                : std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace mapa::cluster

@@ -1,0 +1,565 @@
+// Fault-injection and self-healing tests (cluster/fleet.hpp): crash
+// kill/re-queue with deterministic backoff, retry-budget dead-lettering,
+// seed replay and thread/shard record-identity under a fault schedule,
+// GPU loss on free vs allocated GPUs, link degrades that never disturb
+// running jobs vs link cuts that re-match in place or kill, the private
+// fault-cache fork that keeps a degraded server from poisoning its
+// siblings' shared match cache, probe-memo invalidation on every fault
+// kind, cross-shard rescue out of a crashed shard, and the resilience
+// metrics helpers.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/chaos.hpp"
+#include "cluster/fleet.hpp"
+#include "cluster/metrics.hpp"
+#include "graph/algorithms.hpp"
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "interconnect/link.hpp"
+#include "policy/match_cache.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+workload::Job job_of(int id, const std::string& workload, std::size_t gpus,
+                     double arrival_s = 0.0, double iter_scale = 1.0,
+                     graph::PatternKind pattern = graph::PatternKind::kRing) {
+  workload::Job j;
+  j.id = id;
+  j.workload = workload;
+  j.num_gpus = gpus;
+  j.pattern = gpus <= 1 ? graph::PatternKind::kSingle : pattern;
+  j.bandwidth_sensitive =
+      workload::workload_by_name(workload).bandwidth_sensitive;
+  j.arrival_time_s = arrival_s;
+  j.iter_scale = iter_scale;
+  return j;
+}
+
+std::vector<ServerSpec> dgx_archetype_fleet(std::size_t n,
+                                            const std::string& policy) {
+  FleetArchetype arch;
+  arch.name = "dgx";
+  arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+  arch.policy = policy;
+  return archetype_fleet_specs(n, {arch});
+}
+
+/// A 3-GPU fully connected server: the smallest topology where a star-3
+/// job can lose a link and still re-embed within the GPUs it holds.
+std::vector<ServerSpec> triangle_fleet() {
+  graph::Graph g(3);
+  g.add_edge(0, 1, interconnect::LinkType::kNvLink2Double);
+  g.add_edge(0, 2, interconnect::LinkType::kNvLink2Double);
+  g.add_edge(1, 2, interconnect::LinkType::kNvLink2Double);
+  ServerSpec spec;
+  spec.name = "tri";
+  spec.topology = graph::TopologyHandle(std::move(g));
+  spec.policy = "preserve";
+  return {spec};
+}
+
+/// Full record-identity check: every surviving record, dead letter, and
+/// resilience counter must match field for field.
+void expect_same_results(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const FleetRecord& ra = a.records[i];
+    const FleetRecord& rb = b.records[i];
+    EXPECT_EQ(ra.record.job.id, rb.record.job.id) << "record " << i;
+    EXPECT_EQ(ra.server, rb.server) << "record " << i;
+    EXPECT_EQ(ra.retries, rb.retries) << "record " << i;
+    EXPECT_EQ(ra.record.gpus, rb.record.gpus) << "record " << i;
+    EXPECT_DOUBLE_EQ(ra.record.start_s, rb.record.start_s);
+    EXPECT_DOUBLE_EQ(ra.record.finish_s, rb.record.finish_s);
+    EXPECT_DOUBLE_EQ(ra.record.predicted_effbw, rb.record.predicted_effbw);
+    EXPECT_DOUBLE_EQ(ra.record.measured_effbw, rb.record.measured_effbw);
+  }
+  ASSERT_EQ(a.dead_letters.size(), b.dead_letters.size());
+  for (std::size_t i = 0; i < a.dead_letters.size(); ++i) {
+    EXPECT_EQ(a.dead_letters[i].job.id, b.dead_letters[i].job.id);
+    EXPECT_EQ(a.dead_letters[i].retries, b.dead_letters[i].retries);
+    EXPECT_DOUBLE_EQ(a.dead_letters[i].time_s, b.dead_letters[i].time_s);
+  }
+  EXPECT_EQ(a.resilience.jobs_killed, b.resilience.jobs_killed);
+  EXPECT_EQ(a.resilience.jobs_requeued, b.resilience.jobs_requeued);
+  EXPECT_EQ(a.resilience.jobs_rematched, b.resilience.jobs_rematched);
+  EXPECT_EQ(a.resilience.jobs_dead_lettered,
+            b.resilience.jobs_dead_lettered);
+  EXPECT_EQ(a.resilience.topology_forks, b.resilience.topology_forks);
+  EXPECT_EQ(a.resilience.archetype_rejoins, b.resilience.archetype_rejoins);
+  ASSERT_EQ(a.resilience.replace_latency_s.size(),
+            b.resilience.replace_latency_s.size());
+  for (std::size_t i = 0; i < a.resilience.replace_latency_s.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.resilience.replace_latency_s[i],
+                     b.resilience.replace_latency_s[i]);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(Faults, FaultFreeRunHasZeroResilienceFootprint) {
+  // Drain/restore alone must not arm the fault machinery: no kills, no
+  // retries, no forks, and every record reports zero retries.
+  ClusterConfig config;
+  config.events = {{0.0, 1, FaultEvent::Kind::kDrain},
+                   {1.0, 1, FaultEvent::Kind::kRestore}};
+  FleetSimulator fleet(dgx_archetype_fleet(2, "preserve"), config);
+  const auto result = fleet.run(
+      {job_of(1, "vgg-16", 3), job_of(2, "gmm", 2, 0.5),
+       job_of(3, "jacobi", 1)});
+  ASSERT_EQ(result.records.size(), 3u);
+  for (const FleetRecord& r : result.records) EXPECT_EQ(r.retries, 0u);
+  EXPECT_TRUE(result.dead_letters.empty());
+  EXPECT_EQ(result.resilience.jobs_killed, 0u);
+  EXPECT_EQ(result.resilience.jobs_requeued, 0u);
+  EXPECT_EQ(result.resilience.jobs_rematched, 0u);
+  EXPECT_EQ(result.resilience.jobs_dead_lettered, 0u);
+  EXPECT_EQ(result.resilience.capacity_degraded_ticks, 0u);
+  EXPECT_EQ(result.resilience.topology_forks, 0u);
+  EXPECT_EQ(result.resilience.archetype_rejoins, 0u);
+  EXPECT_TRUE(result.resilience.replace_latency_s.empty());
+  EXPECT_DOUBLE_EQ(dead_letter_rate(result), 0.0);
+  EXPECT_DOUBLE_EQ(replace_latency_box_plot(result).count, 0.0);
+}
+
+TEST(Faults, CrashKillsRunningJobAndRequeuesWithBackoff) {
+  // One long 8-GPU job; the server crashes at t=10 and restores in the
+  // same instant. The job is killed, absorbs one backoff delay (jitter
+  // off: exactly backoff_base_s = 4), and re-places at t=14. Only the
+  // surviving placement appears in the records.
+  ClusterConfig config;
+  config.backoff_jitter = 0.0;
+  config.events = {{10.0, 0, FaultEvent::Kind::kServerCrash},
+                   {10.0, 0, FaultEvent::Kind::kRestore}};
+  FleetSimulator fleet(dgx_archetype_fleet(1, "preserve"), config);
+  const auto result =
+      fleet.run({job_of(1, "vgg-16", 8, 0.0, /*iter_scale=*/1000.0)});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].retries, 1u);
+  EXPECT_DOUBLE_EQ(result.records[0].record.start_s, 14.0);
+  EXPECT_DOUBLE_EQ(result.makespan_s, result.records[0].record.finish_s);
+  EXPECT_EQ(result.resilience.jobs_killed, 1u);
+  EXPECT_EQ(result.resilience.jobs_requeued, 1u);
+  EXPECT_EQ(result.resilience.jobs_dead_lettered, 0u);
+  ASSERT_EQ(result.resilience.replace_latency_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.resilience.replace_latency_s[0], 4.0);
+  EXPECT_DOUBLE_EQ(replace_latency_box_plot(result).median, 4.0);
+  EXPECT_TRUE(result.dead_letters.empty());
+}
+
+TEST(Faults, ExhaustedRetryBudgetLandsInTheDeadLetterList) {
+  // max_retries = 1: the second kill drops the job. Both placements are
+  // compacted out of the records, and the dead letter reports the number
+  // of kills the job absorbed.
+  ClusterConfig config;
+  config.max_retries = 1;
+  config.backoff_base_s = 1.0;
+  config.backoff_jitter = 0.0;
+  config.events = {{1.0, 0, FaultEvent::Kind::kServerCrash},
+                   {1.0, 0, FaultEvent::Kind::kRestore},
+                   {3.0, 0, FaultEvent::Kind::kServerCrash},
+                   {3.0, 0, FaultEvent::Kind::kRestore}};
+  FleetSimulator fleet(dgx_archetype_fleet(1, "preserve"), config);
+  const auto result =
+      fleet.run({job_of(7, "vgg-16", 8, 0.0, /*iter_scale=*/1000.0)});
+  EXPECT_TRUE(result.records.empty());
+  ASSERT_EQ(result.dead_letters.size(), 1u);
+  EXPECT_EQ(result.dead_letters[0].job.id, 7);
+  EXPECT_EQ(result.dead_letters[0].retries, 2u);
+  EXPECT_DOUBLE_EQ(result.dead_letters[0].time_s, 3.0);
+  EXPECT_EQ(result.resilience.jobs_killed, 2u);
+  EXPECT_EQ(result.resilience.jobs_requeued, 1u);
+  EXPECT_EQ(result.resilience.jobs_dead_lettered, 1u);
+  EXPECT_EQ(result.servers[0].jobs_placed, 0u);
+  EXPECT_DOUBLE_EQ(dead_letter_rate(result), 1.0);
+}
+
+TEST(Faults, GpuLossOnAFreeGpuKillsNothingButShrinksCapacity) {
+  // Losing an idle GPU disturbs no running job, but the vertex leaves
+  // the usable set: placements avoid it, and a full-server job must wait
+  // for the recovery. The degraded server forks off its archetype and
+  // re-joins on recovery.
+  ClusterConfig config;
+  config.events = {{0.0, 0, FaultEvent::Kind::kGpuLoss, 0},
+                   {100.0, 0, FaultEvent::Kind::kGpuRecover, 0}};
+  FleetSimulator fleet(dgx_archetype_fleet(1, "preserve"), config);
+  const auto result = fleet.run({job_of(1, "vgg-16", 3, 1.0),
+                                 job_of(2, "vgg-16", 8, 2.0)});
+  ASSERT_EQ(result.records.size(), 2u);
+  const FleetRecord* small = result.find(1);
+  const FleetRecord* full = result.find(2);
+  ASSERT_NE(small, nullptr);
+  ASSERT_NE(full, nullptr);
+  EXPECT_DOUBLE_EQ(small->record.start_s, 1.0);
+  EXPECT_EQ(std::count(small->record.gpus.begin(), small->record.gpus.end(),
+                       graph::VertexId{0}),
+            0);
+  // The 8-GPU job needs the lost vertex back (and the small job gone).
+  EXPECT_DOUBLE_EQ(full->record.start_s,
+                   std::max(100.0, small->record.finish_s));
+  EXPECT_EQ(result.resilience.jobs_killed, 0u);
+  EXPECT_EQ(result.resilience.jobs_requeued, 0u);
+  EXPECT_EQ(result.resilience.topology_forks, 1u);
+  EXPECT_EQ(result.resilience.archetype_rejoins, 1u);
+  EXPECT_GT(result.resilience.capacity_degraded_ticks, 0u);
+  EXPECT_TRUE(result.dead_letters.empty());
+}
+
+TEST(Faults, GpuLossUnderARunningJobKillsExactlyThatJob) {
+  // The lost GPU is part of the running 8-GPU allocation: the job is
+  // killed, waits out its backoff, and can only re-place once the GPU
+  // recovers at t=300 (7 usable GPUs never fit an 8-GPU pattern).
+  ClusterConfig config;
+  config.backoff_base_s = 1.0;
+  config.backoff_jitter = 0.0;
+  config.events = {{5.0, 0, FaultEvent::Kind::kGpuLoss, 0},
+                   {300.0, 0, FaultEvent::Kind::kGpuRecover, 0}};
+  FleetSimulator fleet(dgx_archetype_fleet(1, "preserve"), config);
+  const auto result =
+      fleet.run({job_of(1, "vgg-16", 8, 0.0, /*iter_scale=*/1000.0)});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].retries, 1u);
+  EXPECT_DOUBLE_EQ(result.records[0].record.start_s, 300.0);
+  EXPECT_EQ(result.resilience.jobs_killed, 1u);
+  EXPECT_EQ(result.resilience.jobs_requeued, 1u);
+  ASSERT_EQ(result.resilience.replace_latency_s.size(), 1u);
+  EXPECT_DOUBLE_EQ(result.resilience.replace_latency_s[0], 295.0);
+  EXPECT_EQ(result.resilience.topology_forks, 1u);
+  EXPECT_EQ(result.resilience.archetype_rejoins, 1u);
+}
+
+TEST(Faults, LinkDegradeKeepsRunningJobsAndForksTheTopology) {
+  // A bandwidth cut (factor > 0) leaves every edge in place, so running
+  // jobs are neither killed nor re-matched — but the server forks off
+  // its archetype: its hardware graph reports the scaled bandwidth and a
+  // different topology fingerprint until repaired. Without a repair
+  // event the outage persists to run end.
+  std::vector<ServerSpec> specs = dgx_archetype_fleet(1, "preserve");
+  const graph::Graph& pristine = specs[0].topology.graph();
+  const graph::Edge edge = pristine.edges()[0];
+  const std::uint64_t healthy_fp = graph::topology_fingerprint(pristine);
+
+  ClusterConfig config;
+  config.events = {
+      {5.0, 0, FaultEvent::Kind::kLinkDegrade, edge.u, edge.v, 0.5}};
+  FleetSimulator fleet(std::move(specs), config);
+  const auto result =
+      fleet.run({job_of(1, "vgg-16", 8, 0.0, /*iter_scale=*/1000.0)});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].retries, 0u);
+  EXPECT_EQ(result.resilience.jobs_killed, 0u);
+  EXPECT_EQ(result.resilience.jobs_rematched, 0u);
+  EXPECT_EQ(result.resilience.topology_forks, 1u);
+  EXPECT_EQ(result.resilience.archetype_rejoins, 0u);
+  EXPECT_DOUBLE_EQ(fleet.hardware(0).edge_bandwidth(edge.u, edge.v),
+                   edge.bandwidth_gbps * 0.5);
+  EXPECT_NE(graph::topology_fingerprint(fleet.hardware(0)), healthy_fp);
+  // Structure is untouched: only bandwidth forked the fingerprint.
+  EXPECT_EQ(graph::adjacency_fingerprint(fleet.hardware(0)),
+            graph::adjacency_fingerprint(pristine));
+}
+
+TEST(Faults, LinkCutRematchesInPlaceWhenThePatternStillEmbeds) {
+  // Star-3 on a triangle: cutting one of the two star edges breaks the
+  // current embedding, but re-rooting the star on the third GPU uses
+  // only the surviving edges. The job keeps its GPUs and its schedule —
+  // a re-match, not a kill.
+  const auto star_job = [] {
+    return job_of(1, "vgg-16", 3, 0.0, /*iter_scale=*/1000.0,
+                  graph::PatternKind::kStar);
+  };
+  FleetSimulator healthy(triangle_fleet(), ClusterConfig{});
+  const auto baseline = healthy.run({star_job()});
+  ASSERT_EQ(baseline.records.size(), 1u);
+  const std::vector<graph::VertexId> mapping = baseline.records[0].record.gpus;
+  ASSERT_EQ(mapping.size(), 3u);
+
+  // gpus is in pattern-vertex order, so (gpus[0], gpus[1]) is the
+  // hardware edge carrying the star's first spoke.
+  ClusterConfig config;
+  config.events = {{5.0, 0, FaultEvent::Kind::kLinkDegrade, mapping[0],
+                    mapping[1], 0.0}};
+  FleetSimulator fleet(triangle_fleet(), config);
+  const auto result = fleet.run({star_job()});
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.resilience.jobs_rematched, 1u);
+  EXPECT_EQ(result.resilience.jobs_killed, 0u);
+  EXPECT_EQ(result.records[0].retries, 0u);
+  // Same GPUs, same schedule; only the embedding moved.
+  std::vector<graph::VertexId> held = result.records[0].record.gpus;
+  std::vector<graph::VertexId> original = mapping;
+  std::sort(held.begin(), held.end());
+  std::sort(original.begin(), original.end());
+  EXPECT_EQ(held, original);
+  EXPECT_DOUBLE_EQ(result.records[0].record.finish_s,
+                   baseline.records[0].record.finish_s);
+}
+
+TEST(Faults, LinkCutKillsWhenThePatternNoLongerEmbeds) {
+  // Cut all three triangle edges: by the last cut no star-3 embedding
+  // survives anywhere on the server, the job is killed, and with no
+  // repair coming it can never re-place — the stuck retry is
+  // dead-lettered instead of spinning or throwing.
+  ClusterConfig config;
+  config.backoff_base_s = 1.0;
+  config.backoff_jitter = 0.0;
+  config.events = {{5.0, 0, FaultEvent::Kind::kLinkDegrade, 0, 1, 0.0},
+                   {6.0, 0, FaultEvent::Kind::kLinkDegrade, 0, 2, 0.0},
+                   {7.0, 0, FaultEvent::Kind::kLinkDegrade, 1, 2, 0.0}};
+  FleetSimulator fleet(triangle_fleet(), config);
+  const auto result = fleet.run({job_of(1, "vgg-16", 3, 0.0,
+                                        /*iter_scale=*/1000.0,
+                                        graph::PatternKind::kStar)});
+  EXPECT_TRUE(result.records.empty());
+  ASSERT_EQ(result.dead_letters.size(), 1u);
+  EXPECT_EQ(result.dead_letters[0].job.id, 1);
+  EXPECT_EQ(result.dead_letters[0].retries, 1u);
+  EXPECT_EQ(result.resilience.jobs_killed, 1u);
+  EXPECT_EQ(result.resilience.jobs_dead_lettered, 1u);
+}
+
+TEST(Faults, ReplayIsRecordIdenticalFromTheSameSeed) {
+  // Same seed, same fault schedule, fresh simulator: every surviving
+  // record, dead letter, and resilience counter replays exactly —
+  // including the jittered backoff delays (jitter left at its nonzero
+  // default here on purpose).
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.events = {{3.0, 1, FaultEvent::Kind::kServerCrash},
+                   {30.0, 1, FaultEvent::Kind::kRestore},
+                   {4.0, 2, FaultEvent::Kind::kGpuLoss, 1},
+                   {40.0, 2, FaultEvent::Kind::kGpuRecover, 1},
+                   {5.0, 3, FaultEvent::Kind::kLinkDegrade, 0, 1, 0.5},
+                   {50.0, 3, FaultEvent::Kind::kLinkRepair, 0, 1}};
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 10; ++i) {
+    jobs.push_back(job_of(i, i % 2 ? "vgg-16" : "gmm", 2 + i % 4,
+                          0.5 * i, /*iter_scale=*/40.0 + i));
+  }
+  FleetSimulator first(dgx_archetype_fleet(4, "preserve"), config);
+  FleetSimulator second(dgx_archetype_fleet(4, "preserve"), config);
+  const auto a = first.run(jobs);
+  const auto b = second.run(jobs);
+  EXPECT_GT(a.resilience.jobs_killed, 0u);
+  expect_same_results(a, b);
+}
+
+TEST(Faults, ShardCountsAreRecordIdenticalUnderAFaultSchedule) {
+  // Eight full-server jobs on eight identical servers pin the job ->
+  // server mapping for any shard count, so a crash at server 3 and a
+  // GPU loss under server 5's allocation kill the same two jobs in the
+  // single-queue and in the 8-shard dispatcher. Both faults heal before
+  // the retries come off backoff, so each retried job re-places on a
+  // recovered server — the lowest-indexed one first under the single
+  // queue and under shard routing alike.
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 8; ++i) {
+    jobs.push_back(
+        job_of(i, "vgg-16", 8, 0.0, /*iter_scale=*/1000.0 + 10.0 * i));
+  }
+  ClusterConfig config;
+  config.events = {{5.0, 3, FaultEvent::Kind::kServerCrash},
+                   {6.0, 5, FaultEvent::Kind::kGpuLoss, 0},
+                   {7.0, 5, FaultEvent::Kind::kGpuRecover, 0},
+                   {8.0, 3, FaultEvent::Kind::kRestore}};
+  config.shards = 1;
+  FleetSimulator single(dgx_archetype_fleet(8, "preserve"), config);
+  config.shards = 8;
+  FleetSimulator sharded(dgx_archetype_fleet(8, "preserve"), config);
+  const auto a = single.run(jobs);
+  const auto b = sharded.run(jobs);
+  EXPECT_EQ(a.resilience.jobs_killed, 2u);
+  EXPECT_EQ(a.resilience.jobs_requeued, 2u);
+  ASSERT_EQ(a.records.size(), 8u);
+  expect_same_results(a, b);
+}
+
+TEST(Faults, ThreadCountsAreRecordIdenticalUnderAFaultSchedule) {
+  // The unconditional thread-count contract extends to faults: a
+  // 64-server fleet under a chaos-generated schedule produces identical
+  // records, dead letters, and resilience stats at 1 and 8 probe
+  // threads.
+  workload::ChaosTraceConfig chaos =
+      workload::chaos_trace_config(64, /*per_server_mtbf_s=*/2000.0, 7);
+  chaos.horizon_s = 300.0;
+  chaos.mttr_s = 60.0;
+  const std::vector<ServerSpec> specs =
+      dgx_archetype_fleet(64, "topo-aware");
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.shards = 8;
+  config.events = generate_fault_schedule(chaos, specs);
+  ASSERT_FALSE(config.events.empty());
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(64, 2, 11));
+
+  config.threads = 1;
+  FleetSimulator sequential(specs, config);
+  config.threads = 8;
+  FleetSimulator parallel(specs, config);
+  const auto a = sequential.run(jobs);
+  const auto b = parallel.run(jobs);
+  EXPECT_GT(a.resilience.jobs_killed, 0u);
+  expect_same_results(a, b);
+  for (std::size_t s = 0; s < a.servers.size(); ++s) {
+    EXPECT_EQ(a.servers[s].jobs_placed, b.servers[s].jobs_placed);
+    EXPECT_EQ(a.servers[s].probes, b.servers[s].probes);
+    EXPECT_EQ(a.servers[s].probe_memo_hits, b.servers[s].probe_memo_hits);
+  }
+}
+
+TEST(Faults, DegradedForkInvalidatesARawSharedCache) {
+  // Why the fleet must fork a private cache: MatchCache pins the
+  // topology fingerprint, and a link-degraded fork — structurally
+  // identical, different bandwidths — invalidates the shared entries
+  // wholesale, then the healthy graph invalidates them right back.
+  graph::Graph healthy = graph::dgx1_v100();
+  graph::Graph degraded(healthy.num_vertices());
+  for (const graph::Edge& e : healthy.edges()) {
+    const double factor = (e.u == 0 && e.v == 1) || (e.u == 1 && e.v == 0)
+                              ? 0.5
+                              : 1.0;
+    degraded.add_edge(e.u, e.v, e.type, e.bandwidth_gbps * factor);
+  }
+  ASSERT_EQ(graph::adjacency_fingerprint(healthy),
+            graph::adjacency_fingerprint(degraded));
+  ASSERT_NE(graph::topology_fingerprint(healthy),
+            graph::topology_fingerprint(degraded));
+
+  policy::MatchCache cache;
+  const graph::Graph pattern = graph::make_pattern(graph::PatternKind::kRing, 3);
+  const match::EnumerateOptions options;
+  const auto consume = [](const match::Match&) { return true; };
+  cache.for_each_match(pattern, healthy, options, consume);   // miss, store
+  cache.for_each_match(pattern, healthy, options, consume);   // hit
+  cache.for_each_match(pattern, degraded, options, consume);  // invalidates
+  cache.for_each_match(pattern, healthy, options, consume);   // invalidates
+  const auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 3u);
+  EXPECT_EQ(stats.invalidations, 2u);
+}
+
+TEST(Faults, SharedCacheSurvivesASiblingsArchetypeFork) {
+  // Three servers share one archetype cache; server 2 is link-degraded
+  // from t=0 and probes through a private fork instead. Two identical
+  // ring-3 jobs at t=1 make every server probe the idle mask: if the
+  // degraded server still touched the shared cache, its foreign
+  // fingerprint would wipe the idle-mask entry between the healthy
+  // probes and server 1's hits would vanish.
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.events = {{0.0, 2, FaultEvent::Kind::kLinkDegrade, 0, 1, 0.5}};
+  FleetSimulator fleet(dgx_archetype_fleet(3, "preserve"), config);
+  const auto result =
+      fleet.run({job_of(1, "vgg-16", 3, 1.0, /*iter_scale=*/1000.0),
+                 job_of(2, "vgg-16", 3, 1.0, /*iter_scale=*/1000.0)});
+  ASSERT_EQ(result.records.size(), 2u);
+  EXPECT_EQ(result.resilience.topology_forks, 1u);
+  // Server 1's idle-mask probes replay the shared entry both times;
+  // the shared stats are reported by the archetype primary (server 0).
+  ASSERT_TRUE(result.servers[0].cache_primary);
+  EXPECT_EQ(result.servers[0].match_cache_hits, 2u);
+  // The degraded server's lookups ran against its private fork and are
+  // attributed to it directly — it is not the shared-cache primary.
+  EXPECT_FALSE(result.servers[2].cache_primary);
+  EXPECT_GT(result.servers[2].match_cache_misses, 0u);
+}
+
+TEST(Faults, EveryFaultEventInvalidatesTheProbeMemo) {
+  // Regression (probe-memo staleness): at t=0 a probe memoizes server
+  // 1's idle-mask answer; at t=0.5 that server loses the very GPU the
+  // memoized mapping uses, with no commit or release touching it. The
+  // t=1 job must not replay the stale mapping (committing a lost vertex
+  // throws) — the loss event itself has to drop the memo.
+  FleetSimulator probe(dgx_archetype_fleet(1, "preserve"), ClusterConfig{});
+  const auto mapping =
+      probe.run({job_of(1, "vgg-16", 3)}).records[0].record.gpus;
+  const graph::VertexId lost = mapping[0];
+
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.probe_memo = true;
+  config.events = {{0.5, 1, FaultEvent::Kind::kGpuLoss, lost}};
+  FleetSimulator fleet(dgx_archetype_fleet(2, "preserve"), config);
+  FleetResult result;
+  ASSERT_NO_THROW(
+      result = fleet.run({job_of(1, "vgg-16", 3, 0.0, /*iter_scale=*/1000.0),
+                          job_of(2, "vgg-16", 3, 1.0)}));
+  const FleetRecord* second = result.find(2);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(second->server, 1u);  // the freer (degraded) server won
+  EXPECT_EQ(std::count(second->record.gpus.begin(),
+                       second->record.gpus.end(), lost),
+            0);
+  EXPECT_EQ(result.resilience.jobs_killed, 0u);
+}
+
+TEST(Faults, CrashedShardsQueueIsRescuedNotDeadLettered) {
+  // Two single-server shards. Shard 1 holds a running job and a queued
+  // one when its only server crashes: the running job is killed and
+  // re-queued, the queued job re-routed — and both finish on shard 0,
+  // because routing and retries avoid dead shards while capacity exists
+  // elsewhere.
+  std::vector<workload::Job> jobs = {
+      job_of(1, "vgg-16", 8, 0.0, /*iter_scale=*/100.0),
+      job_of(2, "vgg-16", 8, 0.0, /*iter_scale=*/100.0),
+      job_of(3, "vgg-16", 8, 0.0, /*iter_scale=*/100.0),
+      job_of(4, "vgg-16", 8, 1.0, /*iter_scale=*/100.0)};
+  ClusterConfig config;
+  config.shards = 2;
+  config.events = {{2.0, 1, FaultEvent::Kind::kServerCrash}};
+  FleetSimulator fleet(dgx_archetype_fleet(2, "preserve"), config);
+  const auto result = fleet.run(jobs);
+  ASSERT_EQ(result.records.size(), 4u);
+  EXPECT_TRUE(result.dead_letters.empty());
+  for (const FleetRecord& r : result.records) {
+    if (r.record.start_s > 2.0) {
+      EXPECT_EQ(r.server, 0u) << "job " << r.record.job.id
+                              << " placed on the crashed server";
+    }
+  }
+  const FleetRecord* killed = result.find(2);
+  ASSERT_NE(killed, nullptr);
+  EXPECT_EQ(killed->retries, 1u);
+  EXPECT_EQ(result.resilience.jobs_killed, 1u);
+}
+
+TEST(Faults, EventValidationRejectsMalformedSchedules) {
+  const auto fleet_with = [](std::vector<FaultEvent> events) {
+    ClusterConfig config;
+    config.events = std::move(events);
+    return FleetSimulator(dgx_archetype_fleet(2, "preserve"), config);
+  };
+  // In-range events construct fine.
+  EXPECT_NO_THROW(fleet_with({{1.0, 0, FaultEvent::Kind::kGpuLoss, 7}}));
+  // Server index out of range.
+  EXPECT_THROW(fleet_with({{1.0, 9, FaultEvent::Kind::kDrain}}),
+               std::invalid_argument);
+  // GPU vertex out of range (a DGX-1V has 8 GPUs).
+  EXPECT_THROW(fleet_with({{1.0, 0, FaultEvent::Kind::kGpuLoss, 8}}),
+               std::invalid_argument);
+  // Link endpoints: out of range, and self-loops.
+  EXPECT_THROW(
+      fleet_with({{1.0, 0, FaultEvent::Kind::kLinkDegrade, 0, 8, 0.5}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      fleet_with({{1.0, 0, FaultEvent::Kind::kLinkDegrade, 3, 3, 0.5}}),
+      std::invalid_argument);
+  // Degrade factor must be in [0, 1): 1.0 would be a no-op "repair".
+  EXPECT_THROW(
+      fleet_with({{1.0, 0, FaultEvent::Kind::kLinkDegrade, 0, 1, 1.0}}),
+      std::invalid_argument);
+  EXPECT_THROW(
+      fleet_with({{1.0, 0, FaultEvent::Kind::kLinkDegrade, 0, 1, -0.5}}),
+      std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mapa::cluster

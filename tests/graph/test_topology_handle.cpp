@@ -1,7 +1,8 @@
 // TopologyHandle tests (graph/topology_handle.hpp): empty-handle
-// behavior, the cached adjacency fingerprint and its
-// bandwidth-independence (the property that lets equal-fingerprint
-// servers share one match cache), refcounted sharing semantics, and the
+// behavior, the cached topology fingerprint and its bandwidth
+// sensitivity (the property that makes a link-degraded fork of an
+// archetype a distinct identity, so it can never share the healthy
+// siblings' match cache), refcounted sharing semantics, and the
 // once-per-archetype memory footprint.
 
 #include <gtest/gtest.h>
@@ -30,23 +31,27 @@ TEST(TopologyHandle, EmptyHandleThrowsOnAccess) {
   EXPECT_TRUE(null_shared.empty());
 }
 
-TEST(TopologyHandle, FingerprintIsTheCachedAdjacencyFingerprint) {
+TEST(TopologyHandle, FingerprintIsTheCachedTopologyFingerprint) {
   const Graph dgx = dgx1_v100();
   const TopologyHandle handle(dgx);
   EXPECT_FALSE(handle.empty());
-  EXPECT_EQ(handle.fingerprint(), adjacency_fingerprint(dgx));
+  EXPECT_EQ(handle.fingerprint(), topology_fingerprint(dgx));
   EXPECT_EQ(handle.num_vertices(), dgx.num_vertices());
   EXPECT_EQ(handle.name(), dgx.name());
 
-  // Bandwidth does not move the fingerprint — it is adjacency identity,
-  // matching what the match cache keys on.
+  // Bandwidth DOES move the fingerprint: handle identity pins adjacency
+  // plus link bandwidths, so a link-degraded fork — same structure, one
+  // bandwidth cut — can never pass for the healthy archetype (the fault
+  // subsystem's cache-invalidation-by-construction guarantee). Structure
+  // alone still hashes equal via adjacency_fingerprint.
   Graph scaled = dgx1_v100();
   for (const Edge& e : dgx.edges()) {
     // Re-adding an edge keeps the higher-bandwidth label in place, so
     // this doubles every weight without touching the structure.
     scaled.add_edge(e.u, e.v, e.type, e.bandwidth_gbps * 2.0);
   }
-  EXPECT_EQ(TopologyHandle(std::move(scaled)).fingerprint(),
+  EXPECT_EQ(adjacency_fingerprint(scaled), adjacency_fingerprint(dgx));
+  EXPECT_NE(TopologyHandle(std::move(scaled)).fingerprint(),
             handle.fingerprint());
 
   // A structurally different archetype gets a different fingerprint.

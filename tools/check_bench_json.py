@@ -55,6 +55,20 @@ REQUIRED_METRICS = {
         r"n1000_bytes_per_server_copied",
         r"n1000_memory_reduction_x",
     ],
+    "resilience": [
+        r"threads",
+        # The armed-but-idle fault machinery must stay ~free; the
+        # acceptance gate for the committed point is <= 1%.
+        r"fault_free_overhead_pct",
+        # Fault-rate sweep headlines at both fleet sizes: service
+        # quality and the kill-to-re-place latency tail.
+        r"n32_mtbf\d+_jobs_per_hour",
+        r"n32_mtbf\d+_wait_p99_s",
+        r"n32_mtbf\d+_replace_p99_s",
+        r"n1000_mtbf\d+_jobs_per_hour",
+        r"n1000_mtbf\d+_replace_p99_s",
+        r"n1000_mtbf\d+_dead_letter_rate",
+    ],
 }
 
 
