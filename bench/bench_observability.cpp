@@ -1,0 +1,285 @@
+// Observability bench (obs/): what does the runtime observability layer
+// cost when it is off, and what does it cost when it is on?
+//
+//  1. Disabled overhead — the same 1000-server fleet run with no
+//     observer at all (the seed configuration) vs an Observer whose
+//     every backend is off (all instrumentation sites branch on a null
+//     pointer either way). Twelve interleaved pairs with the order
+//     flipped every other pair; the headline disabled_overhead_pct is
+//     the median per-pair difference and the acceptance gate is <= 1%.
+//  2. Enabled overhead — the same trace with tracing + counters +
+//     telemetry all on, reported as enabled_overhead_pct plus the
+//     event/sample volumes, so the cost of actually observing is a
+//     committed number rather than folklore.
+//  3. Span micro-throughput — spans/second against a live sink from a
+//     single thread, and the per-span cost of the disabled (null-sink)
+//     path, which the <= 1% gate rests on.
+//
+//   ./bench_observability [jobs_per_server] [--json[=path]]
+//                         [--trace=path] [--telemetry=path]
+//
+// --trace / --telemetry run one small fully-observed fleet and write
+// the Chrome trace-event JSON and the telemetry JSONL there (the CI
+// smoke feeds both to tools/trace_summary.py).
+
+#include <algorithm>
+#include <chrono>
+#include <iostream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "obs/obs.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+#include "workload/generator.hpp"
+
+using namespace mapa;
+
+namespace {
+
+std::vector<cluster::ServerSpec> dgx_fleet(std::size_t servers) {
+  cluster::FleetArchetype arch;
+  arch.name = "dgx1v";
+  arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+  arch.policy = "topo-aware";
+  return cluster::archetype_fleet_specs(servers, {arch});
+}
+
+enum class ObserverMode { kNone, kDisabled, kEnabled };
+
+std::shared_ptr<obs::Observer> make_observer(ObserverMode mode) {
+  switch (mode) {
+    case ObserverMode::kNone:
+      return nullptr;
+    case ObserverMode::kDisabled:
+      return std::make_shared<obs::Observer>(obs::ObsConfig{});
+    case ObserverMode::kEnabled: {
+      obs::ObsConfig config;
+      config.tracing = true;
+      config.counters = true;
+      config.telemetry_every_ticks = 64;
+      return std::make_shared<obs::Observer>(config);
+    }
+  }
+  return nullptr;
+}
+
+struct TimedRun {
+  double wall_ms = 0.0;
+  std::uint64_t trace_events = 0;
+  std::uint64_t trace_dropped = 0;
+  std::size_t telemetry_samples = 0;
+};
+
+/// One timed run of `jobs` on a 1000-server fleet with sequential
+/// probing (threads = 1, so thread-pool scheduling jitter stays out of
+/// a sub-1% comparison).
+TimedRun timed_run(ObserverMode mode, const std::vector<workload::Job>& jobs) {
+  auto specs = dgx_fleet(1000);
+  cluster::ClusterConfig config;
+  config.selection = "least-loaded";
+  config.shards = 32;
+  config.threads = 1;
+  config.seed = 42;
+  config.observer = make_observer(mode);
+
+  cluster::FleetSimulator fleet(std::move(specs), config);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto result = fleet.run(jobs);
+  const auto wall_end = std::chrono::steady_clock::now();
+  if (result.records.size() != jobs.size()) {
+    std::cerr << "observability run lost jobs\n";
+  }
+
+  TimedRun timed;
+  timed.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  if (config.observer != nullptr && config.observer->trace() != nullptr) {
+    timed.trace_events = config.observer->trace()->size();
+    timed.trace_dropped = config.observer->trace()->dropped();
+  }
+  if (config.observer != nullptr && config.observer->telemetry() != nullptr) {
+    timed.telemetry_samples = config.observer->telemetry()->size();
+  }
+  return timed;
+}
+
+/// Median per-pair overhead of `variant` over `baseline`, interleaved
+/// with the order flipped every other pair (bench_resilience's
+/// methodology: machine drift hits both sides alike, and the median
+/// means one descheduled run cannot fake an overhead either way).
+double paired_overhead_pct(ObserverMode baseline, ObserverMode variant,
+                           const std::vector<workload::Job>& jobs,
+                           double* baseline_ms, double* variant_ms) {
+  // Two discarded warmup runs: the first iterations pay for page
+  // faults and allocator growth (~40% slower in practice), which would
+  // otherwise land entirely on whichever side runs first. Each pair
+  // side is then a best-of-two — a deschedule can only inflate a run,
+  // so the min is the honest estimate of that side at that moment.
+  timed_run(baseline, jobs);
+  timed_run(variant, jobs);
+  const auto best_of_two = [&](ObserverMode mode) {
+    return std::min(timed_run(mode, jobs).wall_ms,
+                    timed_run(mode, jobs).wall_ms);
+  };
+  std::vector<double> pair_pct;
+  for (int i = 0; i < 12; ++i) {
+    double off;
+    double on;
+    if (i % 2 == 0) {
+      off = best_of_two(baseline);
+      on = best_of_two(variant);
+    } else {
+      on = best_of_two(variant);
+      off = best_of_two(baseline);
+    }
+    if (i == 0 || off < *baseline_ms) *baseline_ms = off;
+    if (i == 0 || on < *variant_ms) *variant_ms = on;
+    pair_pct.push_back((on - off) / off * 100.0);
+  }
+  return util::quantile(pair_pct, 0.5);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "observability");
+  std::size_t jobs_per_server = 8;
+  std::string trace_path;
+  std::string telemetry_path;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--trace=", 0) == 0) trace_path = arg.substr(8);
+    if (arg.rfind("--telemetry=", 0) == 0) telemetry_path = arg.substr(12);
+  }
+  if (argc > 1 && argv[1][0] != '-') {
+    jobs_per_server = static_cast<std::size_t>(std::stoul(argv[1]));
+  }
+
+  bench::print_header(
+      "obs/ runtime observability",
+      "Disabled and enabled overhead of tracing + counters + telemetry "
+      "on a 1000-server fleet run, and span micro-throughput");
+
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(1000, jobs_per_server));
+
+  // 1. Disabled overhead: no observer vs an all-off Observer. Both
+  // resolve every site to a null-pointer branch; the difference is the
+  // shared_ptr plumbing and the per-run backend lookups, and the gate
+  // says it must stay within noise of zero.
+  double none_ms = 0.0;
+  double disabled_ms = 0.0;
+  const double disabled_pct = paired_overhead_pct(
+      ObserverMode::kNone, ObserverMode::kDisabled, jobs, &none_ms,
+      &disabled_ms);
+  std::cout << "no observer: " << util::fixed(none_ms, 1)
+            << " ms, observer disabled: " << util::fixed(disabled_ms, 1)
+            << " ms -> overhead " << util::fixed(disabled_pct, 2) << "%\n";
+  report.metric("no_observer_wall_ms", none_ms);
+  report.metric("disabled_wall_ms", disabled_ms);
+  report.metric("disabled_overhead_pct", disabled_pct);
+
+  // 2. Enabled overhead: the same run with everything collecting.
+  double none2_ms = 0.0;
+  double enabled_ms = 0.0;
+  const double enabled_pct = paired_overhead_pct(
+      ObserverMode::kNone, ObserverMode::kEnabled, jobs, &none2_ms,
+      &enabled_ms);
+  const TimedRun enabled = timed_run(ObserverMode::kEnabled, jobs);
+  std::cout << "observer enabled: " << util::fixed(enabled_ms, 1)
+            << " ms -> overhead " << util::fixed(enabled_pct, 2) << "% ("
+            << enabled.trace_events << " events, " << enabled.trace_dropped
+            << " dropped, " << enabled.telemetry_samples
+            << " telemetry samples)\n\n";
+  report.metric("enabled_wall_ms", enabled_ms);
+  report.metric("enabled_overhead_pct", enabled_pct);
+  report.metric("trace_events", static_cast<double>(enabled.trace_events));
+  report.metric("trace_dropped", static_cast<double>(enabled.trace_dropped));
+  report.metric("telemetry_samples",
+                static_cast<double>(enabled.telemetry_samples));
+
+  // 3. Span micro-throughput: a tight loop of two-arg spans against a
+  // live sink, and the same loop against a null sink (the disabled
+  // path's per-span cost — the number the <= 1% gate rests on).
+  constexpr std::size_t kSpans = 400000;
+  obs::TraceSink sink(kSpans + 16);
+  auto micro_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    obs::Span span(&sink, "bench", "span");
+    span.arg("i", i);
+    span.arg("phase", "micro");
+  }
+  auto micro_end = std::chrono::steady_clock::now();
+  const double live_s =
+      std::chrono::duration<double>(micro_end - micro_start).count();
+  const double spans_per_sec = static_cast<double>(kSpans) / live_s;
+
+  micro_start = std::chrono::steady_clock::now();
+  for (std::size_t i = 0; i < kSpans; ++i) {
+    obs::Span span(nullptr, "bench", "span");
+    span.arg("i", i);
+    span.arg("phase", "micro");
+  }
+  micro_end = std::chrono::steady_clock::now();
+  const double null_ns =
+      std::chrono::duration<double, std::nano>(micro_end - micro_start)
+          .count() /
+      static_cast<double>(kSpans);
+
+  util::Table table({"path", "per-span", "throughput"});
+  table.add_row({"live sink",
+                 util::fixed(live_s * 1e9 / static_cast<double>(kSpans), 1) +
+                     " ns",
+                 util::fixed(spans_per_sec / 1e6, 2) + " M spans/s"});
+  table.add_row({"null sink (disabled)", util::fixed(null_ns, 2) + " ns", "-"});
+  std::cout << table.render() << '\n';
+  report.metric("spans_per_sec", spans_per_sec);
+  report.metric("disabled_span_ns", null_ns);
+
+  // Artifact mode: one small fully-observed fleet, written to disk for
+  // tools/trace_summary.py and for loading into Perfetto by hand.
+  if (!trace_path.empty() || !telemetry_path.empty()) {
+    obs::ObsConfig config;
+    config.tracing = true;
+    config.counters = true;
+    config.telemetry_every_ticks = 16;
+    auto observer = std::make_shared<obs::Observer>(config);
+    cluster::ClusterConfig fleet_config;
+    fleet_config.selection = "least-loaded";
+    fleet_config.shards = 4;
+    fleet_config.threads = 4;
+    fleet_config.seed = 42;
+    fleet_config.observer = observer;
+    // Preserve enumerates through the match cache, so the artifact
+    // exercises the whole span taxonomy (cache/ and match/ included),
+    // not just the dispatcher categories topo-aware emits.
+    cluster::FleetArchetype arch;
+    arch.name = "dgx1v";
+    arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+    arch.policy = "preserve";
+    cluster::FleetSimulator fleet(cluster::archetype_fleet_specs(64, {arch}),
+                                  fleet_config);
+    const auto artifact_jobs = workload::generate_fleet_trace(
+        workload::fleet_scale_trace_config(64, 8));
+    fleet.run(artifact_jobs);
+    if (!trace_path.empty()) {
+      observer->trace()->write_json(trace_path);
+      std::cout << "wrote " << trace_path << " ("
+                << observer->trace()->size() << " events)\n";
+    }
+    if (!telemetry_path.empty()) {
+      observer->telemetry()->write_jsonl(telemetry_path);
+      std::cout << "wrote " << telemetry_path << " ("
+                << observer->telemetry()->size() << " samples)\n";
+    }
+    std::cout << "registry: " << observer->registry()->to_json() << "\n";
+  }
+
+  return report.write();
+}

@@ -2,12 +2,14 @@
 // application. Generates (or loads) a job file, replays it through the
 // discrete-event simulator under all four policies, and prints the
 // per-policy comparison plus Table-3-style speedups. Artifacts (job file
-// and per-policy CSV logs) are written to the working directory.
+// and per-policy CSV logs) land in examples/data/, created on demand
+// under the working directory.
 //
 //   ./multi_tenant_trace [num_jobs] [seed] [jobfile.txt]
 //
 // When a job file path is given it is loaded instead of generated.
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <sstream>
@@ -25,6 +27,8 @@ int main(int argc, char** argv) {
       argc > 1 ? static_cast<std::size_t>(std::stoul(argv[1])) : 120;
   const std::uint64_t seed = argc > 2 ? std::stoull(argv[2]) : 42;
 
+  std::filesystem::create_directories("examples/data");
+
   std::vector<mapa::workload::Job> jobs;
   if (argc > 3) {
     std::ifstream in(argv[3]);
@@ -40,10 +44,10 @@ int main(int argc, char** argv) {
     config.num_jobs = num_jobs;
     config.seed = seed;
     jobs = mapa::workload::generate_jobs(config);
-    std::ofstream out("trace_jobs.txt");
+    std::ofstream out("examples/data/trace_jobs.txt");
     out << mapa::workload::serialize_job_file(jobs);
     std::cout << "Generated " << jobs.size() << " jobs (seed " << seed
-              << "), saved to trace_jobs.txt\n\n";
+              << "), saved to examples/data/trace_jobs.txt\n\n";
   }
 
   const mapa::graph::Graph hardware = mapa::graph::dgx1_v100();
@@ -51,7 +55,7 @@ int main(int argc, char** argv) {
   std::vector<mapa::sim::SimResult> results;
   for (const std::string& policy : mapa::policy::paper_policy_names()) {
     results.push_back(mapa::sim::run_simulation(hardware, policy, jobs));
-    std::ofstream csv(policy + "_log.csv");
+    std::ofstream csv("examples/data/" + policy + "_log.csv");
     mapa::sim::write_csv(results.back(), csv);
   }
 
@@ -85,6 +89,7 @@ int main(int argc, char** argv) {
   }
   std::cout << "Per-job speedup vs baseline (Table 3 format):\n"
             << speedups.render();
-  std::cout << "\nWrote per-policy CSV logs (<policy>_log.csv).\n";
+  std::cout << "\nWrote per-policy CSV logs "
+               "(examples/data/<policy>_log.csv).\n";
   return 0;
 }

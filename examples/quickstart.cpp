@@ -3,10 +3,12 @@
 // Builds the DGX-1 V100 hardware graph, allocates three jobs under the
 // Preserve policy (paper Algorithm 1), prints the scores MAPA computed for
 // each placement, releases one job, and shows the freed capacity being
-// reused. Also writes the hardware topology as Graphviz DOT.
+// reused. Also writes the hardware topology as Graphviz DOT to
+// examples/data/ (created on demand under the working directory).
 //
 //   ./quickstart [policy]        (default: preserve)
 
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 
@@ -76,8 +78,10 @@ int main(int argc, char** argv) {
   }
 
   // 5. Export the machine for visual inspection.
-  std::ofstream dot("dgx1_v100.dot");
+  std::filesystem::create_directories("examples/data");
+  std::ofstream dot("examples/data/dgx1_v100.dot");
   dot << mapa::graph::to_dot(hardware);
-  std::cout << "\nWrote dgx1_v100.dot (render with: dot -Tpng ...)\n";
+  std::cout << "\nWrote examples/data/dgx1_v100.dot "
+               "(render with: dot -Tpng ...)\n";
   return 0;
 }

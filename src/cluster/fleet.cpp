@@ -275,7 +275,19 @@ std::vector<ServerProbe> FleetSimulator::probe_servers(
   // change the outcome. Memoized probes replay the policy's last answer
   // for this (pattern, sensitivity) against the server's unchanged busy
   // mask; the memo caches "does not fit" too.
+  //
+  // Cache accounting runs in probe mode: each probe fills a
+  // CacheProbeTicket instead of counting hits/misses in arrival order,
+  // and the tickets are committed below in ascending server order — the
+  // only place probe-phase lookups mutate cache stats or LRU state — so
+  // the hit/miss split is part of the determinism contract at any
+  // thread count.
+  obs::TraceSink* const trace = obs::trace_of(config_.observer);
+  obs::Span fanout_span(trace, "fleet", "probe_fanout");
+  fanout_span.arg("eligible", eligible.size());
+  fanout_span.arg("job", job.id);
   std::vector<ServerProbe> probes;
+  std::vector<policy::CacheProbeTicket> tickets(eligible.size());
   const auto probe_one = [&](std::size_t k) {
     const std::size_t index = eligible[k];
     Server& server = servers_[index];
@@ -298,11 +310,16 @@ std::vector<ServerProbe> FleetSimulator::probe_servers(
       }
     }
     if (!replayed) {
+      obs::Span probe_span(trace, "probe", "allocate");
+      probe_span.arg("server", index);
       policy::AllocationRequest request;
       request.pattern = &pattern;
       request.bandwidth_sensitive = job.bandwidth_sensitive;
+      request.cache_probe = &tickets[k];
+      request.trace = trace;
       p.placement = server.mapa.policy().allocate(server.mapa.hardware(),
                                                   server.mapa.busy(), request);
+      probe_span.arg("fits", p.placement.has_value());
       ++probe_count[index];
       if (memoize) memo[index].emplace(pattern_key, p.placement);
     }
@@ -324,10 +341,58 @@ std::vector<ServerProbe> FleetSimulator::probe_servers(
     probes.resize(eligible.size());
     for (std::size_t k = 0; k < eligible.size(); ++k) probe_one(k);
   }
+  // Sequential commit in ascending server order (eligible is ascending;
+  // probes.size() <= eligible.size() when first-fit stopped early).
+  // Untouched tickets (memo replays, non-caching policies) are kNone and
+  // return without taking the cache lock.
+  for (std::size_t k = 0; k < probes.size(); ++k) {
+    if (tickets[k].kind() == policy::CacheProbeTicket::Kind::kNone) continue;
+    Server& server = servers_[eligible[k]];
+    policy::MatchCache* cache = server.fault_cache != nullptr
+                                    ? server.fault_cache.get()
+                                    : server.cache.get();
+    if (cache != nullptr) cache->commit_probe(tickets[k]);
+  }
   return probes;
 }
 
 FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
+  // Observability handles: all null when no observer is configured (or
+  // the corresponding ObsConfig flag is off), making every
+  // instrumentation site below a branch on a null pointer.
+  obs::TraceSink* const trace = obs::trace_of(config_.observer);
+  obs::Registry* const metrics = obs::registry_of(config_.observer);
+  obs::TelemetryLog* const telemetry =
+      config_.observer != nullptr ? config_.observer->telemetry() : nullptr;
+  const std::size_t telemetry_every =
+      config_.observer != nullptr
+          ? config_.observer->config().telemetry_every_ticks
+          : 0;
+  struct {
+    obs::Counter* ticks = nullptr;
+    obs::Counter* placements = nullptr;
+    obs::Counter* kills = nullptr;
+    obs::Counter* requeues = nullptr;
+    obs::Counter* dead_letters = nullptr;
+    obs::Counter* rematches = nullptr;
+    obs::Counter* forks = nullptr;
+    obs::Counter* rejoins = nullptr;
+    obs::Counter* rescues = nullptr;
+    obs::Histogram* queue_wait_ms = nullptr;
+  } fm;
+  if (metrics != nullptr) {
+    fm.ticks = &metrics->counter("fleet.ticks");
+    fm.placements = &metrics->counter("fleet.placements");
+    fm.kills = &metrics->counter("fleet.kills");
+    fm.requeues = &metrics->counter("fleet.requeues");
+    fm.dead_letters = &metrics->counter("fleet.dead_letters");
+    fm.rematches = &metrics->counter("fleet.rematches");
+    fm.forks = &metrics->counter("fleet.topology_forks");
+    fm.rejoins = &metrics->counter("fleet.archetype_rejoins");
+    fm.rescues = &metrics->counter("fleet.rescues");
+    fm.queue_wait_ms = &metrics->histogram("fleet.queue_wait_ms");
+  }
+
   std::size_t max_server_gpus = 0;
   for (const Server& server : servers_) {
     max_server_gpus =
@@ -467,6 +532,69 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   std::size_t next_arrival = 0;
   std::size_t next_event = 0;
   double now = 0.0;
+  std::uint64_t tick = 0;
+  std::uint64_t finished_jobs = 0;
+
+  // Telemetry time-series: one fleet-state sample every
+  // `telemetry_every` ticks (plus a final one at drain), written from
+  // this single-threaded dispatch loop only.
+  std::size_t fleet_total_gpus = 0;
+  for (const Server& server : servers_) {
+    fleet_total_gpus += server.mapa.hardware().num_vertices();
+  }
+  const auto sample_telemetry = [&]() {
+    obs::TelemetrySample sample;
+    sample.tick = tick;
+    sample.sim_time_s = now;
+    for (const std::deque<std::size_t>& q : queues) {
+      sample.jobs_pending += q.size();
+    }
+    sample.jobs_running = running.size();
+    sample.jobs_finished = finished_jobs;
+    sample.dead_letters = result.dead_letters.size();
+    sample.retry_backlog = retry_heap.size();
+    for (const std::size_t f : server_free) sample.free_gpus += f;
+    sample.total_gpus = fleet_total_gpus;
+    sample.crashed_servers = num_crashed;
+    sample.degraded_servers = num_degraded;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      if (servers_[s].fault_cache != nullptr) ++sample.forked_servers;
+      sample.memo_hits += memo_hits[s];
+      sample.memo_probes += memo_hits[s] + probe_count[s];
+    }
+    sample.shards.resize(shards_.size());
+    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+      obs::ShardSample& ss = sample.shards[sh];
+      ss.queue_depth = queues[sh].size();
+      ss.queued_gpus =
+          static_cast<std::uint64_t>(std::max(queued_gpus[sh], 0LL));
+      ss.free_gpus = shard_free[sh];
+      ss.live_servers = shard_alive[sh];
+    }
+    // Per-archetype cache state: one entry per distinct shared cache, in
+    // fleet order of the archetype's primary server. Forked servers
+    // probe a private fault cache, so they are not counted as attached.
+    std::unordered_map<const policy::MatchCache*, std::size_t> archetype_of;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      const Server& server = servers_[s];
+      if (server.cache == nullptr) continue;
+      const auto [it, inserted] = archetype_of.try_emplace(
+          server.cache.get(), sample.archetypes.size());
+      if (inserted) {
+        obs::ArchetypeSample as;
+        as.name = server.archetype.graph().name();
+        const policy::MatchCacheStats stats = server.cache->stats();
+        as.cache_hits = stats.hits - cache_baseline[s].hits;
+        as.cache_misses = stats.misses - cache_baseline[s].misses;
+        as.cache_bypasses = stats.bypasses - cache_baseline[s].bypasses;
+        sample.archetypes.push_back(std::move(as));
+      }
+      if (server.fault_cache == nullptr) {
+        ++sample.archetypes[it->second].servers;
+      }
+    }
+    telemetry->append(std::move(sample));
+  };
 
   const auto queues_empty = [&]() {
     for (const std::deque<std::size_t>& q : queues) {
@@ -528,6 +656,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // for a restore. Fault-free this is the original picker bit for bit
   // (every shard is alive).
   const auto route = [&](std::size_t job_index) {
+    obs::Span span(trace, "fleet", "route");
     const workload::Job& job = jobs[job_index];
     std::size_t best = 0;
     long long best_slack = 0;
@@ -549,6 +678,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     queued_gpus[best] += static_cast<long long>(job.num_gpus);
     queues[best].push_back(job_index);
     shard_dirty[best] = 1;
+    span.arg("job", job.id);
+    span.arg("shard", best);
   };
 
   const auto admit_arrivals = [&](double time) {
@@ -566,6 +697,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
         std::find_if(live[s].begin(), live[s].end(),
                      [&](const auto& e) { return e.first == allocation_id; });
     if (it == live[s].end()) return;  // already finished this instant
+    obs::Span span(trace, "fleet", "kill");
+    span.arg("server", s);
     const LiveJob lj = it->second;
     live[s].erase(it);
     servers_[s].mapa.release(allocation_id);
@@ -582,12 +715,15 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     sr.busy_gpu_seconds -=
         static_cast<double>(gpus) * (lj.finish_s - now);  // unexecuted part
     ++result.resilience.jobs_killed;
+    if (fm.kills != nullptr) fm.kills->inc();
     const std::uint32_t kills = ++job_retries[lj.job_index];
+    span.arg("kills", kills);
     job_kill_time[lj.job_index] = now;
     if (kills > config_.max_retries) {
       result.dead_letters.push_back(
           DeadLetter{jobs[lj.job_index], kills, now});
       ++result.resilience.jobs_dead_lettered;
+      if (fm.dead_letters != nullptr) fm.dead_letters->inc();
     } else {
       const double u = backoff_rng.uniform();
       const double delay =
@@ -597,6 +733,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       retry_heap.push_back(Retry{now + delay, retry_seq++, lj.job_index});
       std::push_heap(retry_heap.begin(), retry_heap.end(), std::greater<>{});
       ++result.resilience.jobs_requeued;
+      if (fm.requeues != nullptr) fm.requeues->inc();
     }
   };
 
@@ -643,6 +780,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       }
       server.mapa.rebind_topology(graph::TopologyHandle(std::move(forked)));
       ++result.resilience.topology_forks;
+      if (fm.forks != nullptr) fm.forks->inc();
+      if (trace != nullptr) trace->instant("fleet", "fork");
       if (!was_degraded) {
         ++num_degraded;
         if (server.cache != nullptr) {
@@ -653,6 +792,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     } else if (was_degraded) {
       server.mapa.rebind_topology(server.archetype);
       ++result.resilience.archetype_rejoins;
+      if (fm.rejoins != nullptr) fm.rejoins->inc();
+      if (trace != nullptr) trace->instant("fleet", "rejoin");
       --num_degraded;
       if (server.fault_cache != nullptr) {
         const policy::MatchCacheStats stats = server.fault_cache->stats();
@@ -692,11 +833,14 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       for (const graph::VertexId v : mapped) outside[v] = false;
       match::EnumerateOptions options;
       options.forbidden = graph::VertexMask::of_busy(outside);
+      options.trace = trace;
       const std::vector<match::Match> matches =
           match::find_matches(pattern, hw, options, /*limit=*/1);
       if (!matches.empty()) {
         mapped = matches.front().mapping;
         ++result.resilience.jobs_rematched;
+        if (fm.rematches != nullptr) fm.rematches->inc();
+        if (trace != nullptr) trace->instant("fleet", "rematch");
       } else {
         broken.push_back(id);
       }
@@ -722,16 +866,34 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       std::pop_heap(retry_heap.begin(), retry_heap.end(), std::greater<>{});
       const Retry retry = retry_heap.back();
       retry_heap.pop_back();
+      if (trace != nullptr) trace->instant("fleet", "retry");
       route(retry.job_index);
     }
   };
 
+  // Static span names per fault kind, so a trace groups fault handling
+  // by what happened rather than one opaque "event".
+  const auto event_span_name = [](FaultEvent::Kind kind) {
+    switch (kind) {
+      case FaultEvent::Kind::kDrain: return "drain";
+      case FaultEvent::Kind::kRestore: return "restore";
+      case FaultEvent::Kind::kServerCrash: return "server_crash";
+      case FaultEvent::Kind::kGpuLoss: return "gpu_loss";
+      case FaultEvent::Kind::kGpuRecover: return "gpu_recover";
+      case FaultEvent::Kind::kLinkDegrade: return "link_degrade";
+      case FaultEvent::Kind::kLinkRepair: return "link_repair";
+    }
+    return "fault";
+  };
   const auto apply_events = [&](double time) {
     while (next_event < events.size() && events[next_event].time_s <= time) {
       const FaultEvent& event = events[next_event];
       ++next_event;
       const std::size_t s = event.server;
       Server& server = servers_[s];
+      obs::Span span(trace, "fault", event_span_name(event.kind));
+      span.arg("server", s);
+      span.arg("sim_time_s", event.time_s);
       switch (event.kind) {
         case FaultEvent::Kind::kDrain:
           update_rotation(s, true, server.crashed);
@@ -841,10 +1003,13 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   const auto place = [&](std::size_t queue_shard, std::size_t queue_pos,
                          ServerProbe& winner, const graph::Graph& pattern,
                          double overhead_ms) {
+    obs::Span span(trace, "fleet", "commit");
+    span.arg("server", winner.server);
     std::deque<std::size_t>& queue = queues[queue_shard];
     Server& server = servers_[winner.server];
     const std::size_t job_index = queue[queue_pos];
     const workload::Job& job = jobs[job_index];
+    span.arg("job", job.id);
     const core::Allocation allocation =
         server.mapa.commit(std::move(*winner.placement));
 
@@ -874,6 +1039,11 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     ++sr.jobs_placed;
     sr.busy_gpu_seconds +=
         static_cast<double>(record.gpus.size()) * record.exec_s;
+    if (fm.placements != nullptr) fm.placements->inc();
+    if (fm.queue_wait_ms != nullptr) {
+      fm.queue_wait_ms->record(static_cast<std::uint64_t>(
+          std::max(0.0, (now - record.queued_s) * 1000.0)));
+    }
 
     const std::size_t gpus = record.gpus.size();
     server_free[winner.server] -= gpus;
@@ -916,6 +1086,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   const auto serve_shard = [&](std::size_t sh) {
     std::deque<std::size_t>& queue = queues[sh];
     if (queue.empty()) return false;
+    obs::Span span(trace, "fleet", "serve_shard");
+    span.arg("shard", sh);
 
     std::size_t queue_pos = 0;
     std::optional<std::size_t> chosen_probe;
@@ -959,6 +1131,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // reached. Returns false only when no server in the fleet fits any
   // servable candidate — the genuinely-unplaceable case.
   const auto rescue = [&]() {
+    obs::Span span(trace, "fleet", "rescue");
     for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
       std::deque<std::size_t>& queue = queues[sh];
       if (queue.empty()) continue;
@@ -984,6 +1157,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
                 .count();
         result.total_scheduling_ms += overhead_ms;
         if (chosen) {
+          if (fm.rescues != nullptr) fm.rescues->inc();
           place(sh, pos, probes[*chosen], pattern, overhead_ms);
           return true;
         }
@@ -997,6 +1171,15 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // anything and must not extend the makespan.
   while (!queues_empty() || !running.empty() || !retry_heap.empty() ||
          next_arrival < arrival_order.size()) {
+    obs::Span tick_span(trace, "fleet", "tick");
+    tick_span.arg("tick", tick);
+    tick_span.arg("sim_time_s", now);
+    if (fm.ticks != nullptr) fm.ticks->inc();
+    if (telemetry != nullptr && telemetry_every > 0 &&
+        tick % telemetry_every == 0) {
+      sample_telemetry();
+    }
+    ++tick;
     if (num_crashed > 0 || num_degraded > 0) {
       ++result.resilience.capacity_degraded_ticks;
     }
@@ -1078,6 +1261,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       const Running done = running.front();
       std::pop_heap(running.begin(), running.end(), std::greater<>{});
       running.pop_back();
+      ++finished_jobs;
       servers_[done.server].mapa.release(done.allocation_id);
       if (armed) {
         std::erase_if(live[done.server], [&](const auto& e) {
@@ -1132,6 +1316,23 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     }
     sr.match_cache_hits += fault_hits[s];
     sr.match_cache_misses += fault_misses[s];
+  }
+  if (telemetry != nullptr) sample_telemetry();
+  if (metrics != nullptr) {
+    std::uint64_t total_probes = 0;
+    std::uint64_t total_memo_hits = 0;
+    for (std::size_t s = 0; s < servers_.size(); ++s) {
+      total_probes += probe_count[s];
+      total_memo_hits += memo_hits[s];
+    }
+    metrics->counter("fleet.probes").add(total_probes);
+    metrics->counter("fleet.memo_hits").add(total_memo_hits);
+  }
+  if (config_.observer != nullptr && config_.observer->config().zero_wall_clock) {
+    result.total_scheduling_ms = 0.0;
+    for (FleetRecord& r : result.records) {
+      r.record.scheduling_overhead_ms = 0.0;
+    }
   }
   return result;
 }

@@ -95,21 +95,23 @@
 // identical FleetResult contents: records, their order, simulated times,
 // placements, retries, dead letters, resilience counters, and per-server
 // statistics — regardless of ClusterConfig::threads and of match-cache
-// state. The backoff-jitter stream is part of the configuration (seeded
+// state. The match-cache hit/miss split is included: parallel probes run
+// the cache in probe mode (policy::CacheProbeTicket), and the tickets
+// are committed sequentially in ascending server order after each probe
+// batch, so the hit/miss accounting — like everything else — depends
+// only on the server order, never on thread scheduling. The
+// backoff-jitter stream is part of the configuration (seeded
 // from ClusterConfig::seed, consumed in kill order), so replaying a
 // chaos schedule is record-identical from the same seed. One sharding
 // caveat is inherent rather than accidental: a retried job is routed to
 // a shard at admit time, so a server restored later in a different shard
 // can be used by the shards = 1 dispatcher but not the sharded one (no
 // mid-run cross-shard migration outside the idle-fleet rescue pass). The
-// exceptions are (a) the wall-clock fields (FleetResult::
+// only exception is the wall-clock fields (FleetResult::
 // total_scheduling_ms and JobRecord::scheduling_overhead_ms), which
-// measure real elapsed time, and (b) the match-cache hit/miss counters
-// when an archetype cache is shared by more than one server AND
-// threads > 1: parallel probes then race on who misses first, so the
-// hit/miss split (never the records — replay and live enumeration are
-// interchangeable) can vary. With threads == 1, or one server per
-// archetype, the counters are deterministic too.
+// measure real elapsed time — and ObsConfig::zero_wall_clock (carried by
+// ClusterConfig::observer) zeroes even those, so golden-record suites
+// can compare full structs byte for byte.
 // ClusterConfig::seed is the single master seed of a fleet run: it derives
 // one sub-seed per server (in fleet order, via util::Rng) for stochastic
 // policies such as "random", and callers should feed the same seed to
@@ -132,6 +134,7 @@
 #include "core/mapa.hpp"
 #include "graph/graph.hpp"
 #include "graph/topology_handle.hpp"
+#include "obs/obs.hpp"
 #include "policy/policy.hpp"
 #include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
@@ -259,6 +262,12 @@ struct ClusterConfig {
   double backoff_base_s = 4.0;
   double backoff_factor = 2.0;
   double backoff_jitter = 0.5;
+  /// Optional runtime observability (src/obs/): tracing spans, metric
+  /// registry, and telemetry time-series per the Observer's ObsConfig.
+  /// Null (the default) costs one branch per instrumentation site and
+  /// never perturbs the determinism contract; the observer may be shared
+  /// across runs/simulators (all backends are thread-safe).
+  std::shared_ptr<obs::Observer> observer;
 };
 
 /// A completed job plus where it ran.

@@ -54,10 +54,12 @@ std::size_t Mapa::free_accelerators() const {
 }
 
 std::optional<Allocation> Mapa::allocate(const graph::Graph& pattern,
-                                         bool bandwidth_sensitive) {
+                                         bool bandwidth_sensitive,
+                                         obs::TraceSink* trace) {
   policy::AllocationRequest request;
   request.pattern = &pattern;
   request.bandwidth_sensitive = bandwidth_sensitive;
+  request.trace = trace;
 
   auto result = policy_->allocate(topology_.graph(), view_, request);
   if (!result) return std::nullopt;

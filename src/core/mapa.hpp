@@ -98,9 +98,12 @@ class Mapa {
 
   /// Run matching + scoring + selection for an application pattern.
   /// Returns std::nullopt when the job cannot be placed right now
-  /// (insufficient free accelerators or no structural match).
+  /// (insufficient free accelerators or no structural match). `trace`,
+  /// when non-null, receives spans from the match/cache layers for this
+  /// decision (see obs/trace.hpp); it never affects the result.
   std::optional<Allocation> allocate(const graph::Graph& pattern,
-                                     bool bandwidth_sensitive);
+                                     bool bandwidth_sensitive,
+                                     obs::TraceSink* trace = nullptr);
 
   /// Adopt an externally computed placement — e.g. a fleet dispatcher that
   /// probed this machine's policy directly and now commits the winning

@@ -6,6 +6,7 @@
 #include <set>
 
 #include "graph/algorithms.hpp"
+#include "obs/trace.hpp"
 #include "util/thread_pool.hpp"
 
 namespace mapa::match {
@@ -126,6 +127,9 @@ OrderingConstraints symmetry_constraints(const Graph& pattern) {
 
 std::size_t count_matches(const Graph& pattern, const Graph& target,
                           const EnumerateOptions& options) {
+  obs::Span span(options.trace, "match", "count_matches");
+  span.arg("pattern_vertices", pattern.num_vertices());
+  span.arg("target_vertices", target.num_vertices());
   const OrderingConstraints constraints =
       options.break_symmetry ? symmetry_constraints(pattern)
                              : OrderingConstraints{};
@@ -178,6 +182,9 @@ std::size_t count_matches(const Graph& pattern, const Graph& target,
 std::vector<Match> find_matches(const Graph& pattern, const Graph& target,
                                 const EnumerateOptions& options,
                                 std::size_t limit) {
+  obs::Span span(options.trace, "match", "find_matches");
+  span.arg("pattern_vertices", pattern.num_vertices());
+  span.arg("target_vertices", target.num_vertices());
   const OrderingConstraints constraints =
       options.break_symmetry ? symmetry_constraints(pattern)
                              : OrderingConstraints{};
@@ -213,6 +220,9 @@ std::vector<Match> find_matches(const Graph& pattern, const Graph& target,
 void for_each_match(const Graph& pattern, const Graph& target,
                     const MatchVisitor& visit,
                     const EnumerateOptions& options) {
+  obs::Span span(options.trace, "match", "enumerate");
+  span.arg("pattern_vertices", pattern.num_vertices());
+  span.arg("target_vertices", target.num_vertices());
   const OrderingConstraints constraints =
       options.break_symmetry ? symmetry_constraints(pattern)
                              : OrderingConstraints{};
@@ -223,6 +233,9 @@ std::optional<Match> best_match(
     const Graph& pattern, const Graph& target,
     const std::function<double(const Match&)>& scorer,
     const EnumerateOptions& options) {
+  obs::Span span(options.trace, "match", "best_match");
+  span.arg("pattern_vertices", pattern.num_vertices());
+  span.arg("target_vertices", target.num_vertices());
   const OrderingConstraints constraints =
       options.break_symmetry ? symmetry_constraints(pattern)
                              : OrderingConstraints{};

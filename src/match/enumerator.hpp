@@ -18,6 +18,10 @@
 #include "match/ullmann.hpp"
 #include "match/vf2.hpp"
 
+namespace mapa::obs {
+class TraceSink;
+}  // namespace mapa::obs
+
 namespace mapa::match {
 
 enum class Backend { kVf2, kUllmann };
@@ -36,6 +40,10 @@ struct EnumerateOptions {
   /// free-GPU bitmask; a default-constructed (empty) mask means none.
   /// Build from a busy vector with graph::VertexMask::of_busy().
   graph::VertexMask forbidden;
+  /// Optional observability sink (src/obs/): when non-null the
+  /// enumeration entry points emit "match/enumerate" spans. Not part of
+  /// any cache key; null (the default) costs one branch.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// Ordering constraints that eliminate all automorphisms of `pattern`:

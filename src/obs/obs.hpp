@@ -1,0 +1,75 @@
+#pragma once
+// Front door of the runtime observability layer. An Observer bundles
+// the three backends — TraceSink (spans), Registry (counters/gauges/
+// histograms), TelemetryLog (fleet time-series) — behind one object a
+// scheduler config can carry as a shared_ptr. Each backend exists only
+// if its ObsConfig flag asked for it; the accessors return nullptr
+// otherwise, and every instrumentation site in the hot paths branches
+// on that pointer. No observer (the default) and a fully disabled
+// observer both cost one predictable branch per site.
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+#include "obs/registry.hpp"
+#include "obs/telemetry.hpp"
+#include "obs/trace.hpp"
+
+namespace mapa::obs {
+
+struct ObsConfig {
+  /// Collect RAII spans into a TraceSink (Chrome trace-event JSON).
+  bool tracing = false;
+  /// Collect named counters/gauges/histograms into a Registry.
+  bool counters = false;
+  /// Sample fleet telemetry every N dispatcher ticks (0 = off). The
+  /// final drained state is always sampled too when enabled.
+  std::size_t telemetry_every_ticks = 0;
+  /// Cap on stored trace events (excess counted as dropped).
+  std::size_t trace_max_events = TraceSink::kDefaultMaxEvents;
+  /// Zero the wall-clock overhead fields (scheduling_overhead_ms,
+  /// total_scheduling_ms) in results so full structs compare
+  /// byte-for-byte across runs. Independent of the collection flags —
+  /// golden-record suites can set just this.
+  bool zero_wall_clock = false;
+};
+
+class Observer {
+ public:
+  explicit Observer(ObsConfig config) : config_(config) {
+    if (config_.tracing) {
+      trace_ = std::make_unique<TraceSink>(config_.trace_max_events);
+    }
+    if (config_.counters) {
+      registry_ = std::make_unique<Registry>();
+    }
+    if (config_.telemetry_every_ticks > 0) {
+      telemetry_ = std::make_unique<TelemetryLog>();
+    }
+  }
+
+  const ObsConfig& config() const { return config_; }
+
+  /// Null when the corresponding ObsConfig flag is off.
+  TraceSink* trace() const { return trace_.get(); }
+  Registry* registry() const { return registry_.get(); }
+  TelemetryLog* telemetry() const { return telemetry_.get(); }
+
+ private:
+  ObsConfig config_;
+  std::unique_ptr<TraceSink> trace_;
+  std::unique_ptr<Registry> registry_;
+  std::unique_ptr<TelemetryLog> telemetry_;
+};
+
+/// Shorthand used at instrumentation sites: the TraceSink of an
+/// optional observer, or nullptr.
+inline TraceSink* trace_of(const std::shared_ptr<Observer>& observer) {
+  return observer ? observer->trace() : nullptr;
+}
+inline Registry* registry_of(const std::shared_ptr<Observer>& observer) {
+  return observer ? observer->registry() : nullptr;
+}
+
+}  // namespace mapa::obs

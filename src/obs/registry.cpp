@@ -1,0 +1,176 @@
+#include "obs/registry.hpp"
+
+#include <bit>
+#include <sstream>
+#include <stdexcept>
+
+namespace mapa::obs {
+
+std::size_t thread_slot() {
+  static std::atomic<std::size_t> next{0};
+  thread_local const std::size_t slot =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return slot;
+}
+
+std::size_t Histogram::bucket_of(std::uint64_t v) {
+  return static_cast<std::size_t>(std::bit_width(v));
+}
+
+std::uint64_t Histogram::bucket_upper_bound(std::size_t bucket) {
+  if (bucket == 0) return 0;
+  if (bucket >= 64) return ~std::uint64_t{0};
+  return (std::uint64_t{1} << bucket) - 1;
+}
+
+void Histogram::record(std::uint64_t v) {
+  Shard& shard = shards_[thread_slot() % kMetricShards];
+  shard.buckets[bucket_of(v)].fetch_add(1, std::memory_order_relaxed);
+  shard.count.fetch_add(1, std::memory_order_relaxed);
+  shard.sum.fetch_add(v, std::memory_order_relaxed);
+}
+
+std::uint64_t Histogram::count() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.count.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::uint64_t Histogram::sum() const {
+  std::uint64_t total = 0;
+  for (const Shard& shard : shards_) {
+    total += shard.sum.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+std::array<std::uint64_t, Histogram::kBuckets> Histogram::buckets() const {
+  std::array<std::uint64_t, kBuckets> merged{};
+  for (const Shard& shard : shards_) {
+    for (std::size_t b = 0; b < kBuckets; ++b) {
+      merged[b] += shard.buckets[b].load(std::memory_order_relaxed);
+    }
+  }
+  return merged;
+}
+
+std::uint64_t Histogram::quantile(double q) const {
+  const auto merged = buckets();
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : merged) total += c;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  const double target = q * static_cast<double>(total);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    cumulative += merged[b];
+    if (static_cast<double>(cumulative) >= target && merged[b] > 0) {
+      return bucket_upper_bound(b);
+    }
+  }
+  return bucket_upper_bound(kBuckets - 1);
+}
+
+Counter& Registry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[name];
+  if (inst.counter == nullptr) {
+    if (inst.gauge != nullptr || inst.histogram != nullptr) {
+      throw std::logic_error("Registry: '" + name +
+                             "' already registered as a different kind");
+    }
+    inst.kind = MetricSnapshot::Kind::kCounter;
+    inst.counter = std::make_unique<Counter>();
+  }
+  return *inst.counter;
+}
+
+Gauge& Registry::gauge(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[name];
+  if (inst.gauge == nullptr) {
+    if (inst.counter != nullptr || inst.histogram != nullptr) {
+      throw std::logic_error("Registry: '" + name +
+                             "' already registered as a different kind");
+    }
+    inst.kind = MetricSnapshot::Kind::kGauge;
+    inst.gauge = std::make_unique<Gauge>();
+  }
+  return *inst.gauge;
+}
+
+Histogram& Registry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  Instrument& inst = instruments_[name];
+  if (inst.histogram == nullptr) {
+    if (inst.counter != nullptr || inst.gauge != nullptr) {
+      throw std::logic_error("Registry: '" + name +
+                             "' already registered as a different kind");
+    }
+    inst.kind = MetricSnapshot::Kind::kHistogram;
+    inst.histogram = std::make_unique<Histogram>();
+  }
+  return *inst.histogram;
+}
+
+std::size_t Registry::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return instruments_.size();
+}
+
+std::vector<MetricSnapshot> Registry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<MetricSnapshot> out;
+  out.reserve(instruments_.size());
+  // std::map iteration is name-sorted, so the merge order — and thus the
+  // snapshot — is deterministic regardless of registration order.
+  for (const auto& [name, inst] : instruments_) {
+    MetricSnapshot s;
+    s.name = name;
+    s.kind = inst.kind;
+    switch (inst.kind) {
+      case MetricSnapshot::Kind::kCounter:
+        s.value = static_cast<std::int64_t>(inst.counter->value());
+        break;
+      case MetricSnapshot::Kind::kGauge:
+        s.value = inst.gauge->value();
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        s.count = inst.histogram->count();
+        s.sum = inst.histogram->sum();
+        s.p50 = inst.histogram->quantile(0.50);
+        s.p99 = inst.histogram->quantile(0.99);
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+std::string Registry::to_json() const {
+  const std::vector<MetricSnapshot> snaps = snapshot();
+  std::ostringstream out;
+  out << "{";
+  bool first = true;
+  for (const MetricSnapshot& s : snaps) {
+    out << (first ? "" : ",") << "\n  \"" << s.name << "\": ";
+    first = false;
+    switch (s.kind) {
+      case MetricSnapshot::Kind::kCounter:
+      case MetricSnapshot::Kind::kGauge:
+        out << s.value;
+        break;
+      case MetricSnapshot::Kind::kHistogram:
+        out << "{\"count\": " << s.count << ", \"sum\": " << s.sum
+            << ", \"p50\": " << s.p50 << ", \"p99\": " << s.p99 << "}";
+        break;
+    }
+  }
+  out << (first ? "" : "\n") << "}";
+  return out.str();
+}
+
+}  // namespace mapa::obs

@@ -1,0 +1,159 @@
+#pragma once
+// Counter/gauge/histogram registry — the metrics half of the runtime
+// observability layer (src/obs/). Hot paths hold references to named
+// instruments obtained once from a Registry and update them with relaxed
+// atomics striped across cache-line-padded thread shards, so concurrent
+// probe workers never contend on one line and enabling stats never
+// perturbs the fleet's byte-identical records contract: instruments are
+// write-only from the schedulers' point of view (nothing ever reads one
+// mid-run to make a decision), and shard merging happens only at
+// collection points (snapshot()/to_json()), summing shards in fixed
+// index order — addition commutes, so the merged totals are identical
+// for any thread interleaving that produced the same events.
+//
+// Instrument kinds:
+//   * Counter   — monotonic u64 (events, placements, kills).
+//   * Gauge     — latest-value i64, single-writer by convention (queue
+//                 depths sampled from the single-threaded dispatch loop).
+//   * Histogram — log2-bucketed u64 samples (bucket b holds values whose
+//                 bit width is b, i.e. [2^(b-1), 2^b); bucket 0 holds 0),
+//                 with merged count/sum and a bucket-resolution quantile.
+//
+// Everything is allocation-free after registration; Registry hands out
+// stable references (instruments are never destroyed before the Registry).
+
+#include <array>
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace mapa::obs {
+
+/// Number of thread shards an instrument stripes its updates across.
+/// Threads hash onto shards by a process-wide thread slot; collisions are
+/// safe (shards are atomics) and merely share a line.
+inline constexpr std::size_t kMetricShards = 16;
+
+/// Small dense id for the calling thread, assigned on first use. Used to
+/// pick a metric shard and to label trace events with a stable tid.
+std::size_t thread_slot();
+
+namespace detail {
+struct alignas(64) PaddedU64 {
+  std::atomic<std::uint64_t> value{0};
+};
+}  // namespace detail
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) {
+    shards_[thread_slot() % kMetricShards].value.fetch_add(
+        n, std::memory_order_relaxed);
+  }
+  void inc() { add(1); }
+
+  /// Merged total across shards (fixed shard order; sum is interleaving
+  /// independent).
+  std::uint64_t value() const {
+    std::uint64_t total = 0;
+    for (const detail::PaddedU64& shard : shards_) {
+      total += shard.value.load(std::memory_order_relaxed);
+    }
+    return total;
+  }
+
+ private:
+  std::array<detail::PaddedU64, kMetricShards> shards_;
+};
+
+class Gauge {
+ public:
+  void set(std::int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void add(std::int64_t v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  std::int64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::int64_t> value_{0};
+};
+
+/// Log2-bucketed histogram: record(v) lands in bucket bit_width(v)
+/// (0 -> bucket 0, 1 -> 1, 2..3 -> 2, 4..7 -> 3, ...), 65 buckets total.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 65;
+
+  /// Bucket index a value lands in (exposed for tests and summaries).
+  static std::size_t bucket_of(std::uint64_t v);
+  /// Inclusive upper bound of a bucket (2^b - 1; bucket 0 -> 0).
+  static std::uint64_t bucket_upper_bound(std::size_t bucket);
+
+  void record(std::uint64_t v);
+
+  std::uint64_t count() const;
+  std::uint64_t sum() const;
+  /// Merged per-bucket counts, in bucket order.
+  std::array<std::uint64_t, kBuckets> buckets() const;
+  /// Quantile estimate at bucket resolution: the upper bound of the first
+  /// bucket whose cumulative count reaches q * count (q in [0, 1]).
+  /// 0 when empty.
+  std::uint64_t quantile(double q) const;
+
+ private:
+  struct alignas(64) Shard {
+    std::array<std::atomic<std::uint64_t>, kBuckets> buckets{};
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum{0};
+  };
+  std::array<Shard, kMetricShards> shards_;
+};
+
+/// One instrument's merged state at snapshot time.
+struct MetricSnapshot {
+  enum class Kind { kCounter, kGauge, kHistogram };
+  std::string name;
+  Kind kind = Kind::kCounter;
+  std::int64_t value = 0;       // counter total or gauge value
+  std::uint64_t count = 0;      // histogram only
+  std::uint64_t sum = 0;        // histogram only
+  std::uint64_t p50 = 0;        // histogram only (bucket resolution)
+  std::uint64_t p99 = 0;        // histogram only (bucket resolution)
+};
+
+class Registry {
+ public:
+  /// Find-or-create by name; the returned reference is stable for the
+  /// Registry's lifetime. A name registers exactly one kind — re-using it
+  /// for a different kind throws std::logic_error.
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+
+  /// Deterministic merge of every instrument, sorted by name.
+  std::vector<MetricSnapshot> snapshot() const;
+
+  /// Snapshot as a JSON object keyed by instrument name (counters and
+  /// gauges map to numbers; histograms to {count, sum, p50, p99}).
+  std::string to_json() const;
+
+  std::size_t size() const;
+
+ private:
+  struct Instrument {
+    MetricSnapshot::Kind kind = MetricSnapshot::Kind::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Instrument> instruments_;  // sorted by name
+};
+
+}  // namespace mapa::obs

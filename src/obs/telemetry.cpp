@@ -1,0 +1,60 @@
+#include "obs/telemetry.hpp"
+
+#include <fstream>
+#include <sstream>
+
+namespace mapa::obs {
+
+std::string TelemetrySample::to_json() const {
+  std::ostringstream out;
+  out << "{\"tick\": " << tick << ", \"sim_time_s\": " << sim_time_s
+      << ", \"jobs_pending\": " << jobs_pending
+      << ", \"jobs_running\": " << jobs_running
+      << ", \"jobs_finished\": " << jobs_finished
+      << ", \"dead_letters\": " << dead_letters
+      << ", \"retry_backlog\": " << retry_backlog
+      << ", \"free_gpus\": " << free_gpus
+      << ", \"total_gpus\": " << total_gpus
+      << ", \"utilization\": " << utilization()
+      << ", \"crashed_servers\": " << crashed_servers
+      << ", \"degraded_servers\": " << degraded_servers
+      << ", \"forked_servers\": " << forked_servers
+      << ", \"memo_hits\": " << memo_hits
+      << ", \"memo_probes\": " << memo_probes;
+  out << ", \"shards\": [";
+  for (std::size_t i = 0; i < shards.size(); ++i) {
+    const ShardSample& s = shards[i];
+    out << (i == 0 ? "" : ", ") << "{\"queue_depth\": " << s.queue_depth
+        << ", \"queued_gpus\": " << s.queued_gpus
+        << ", \"free_gpus\": " << s.free_gpus
+        << ", \"live_servers\": " << s.live_servers << "}";
+  }
+  out << "], \"archetypes\": [";
+  for (std::size_t i = 0; i < archetypes.size(); ++i) {
+    const ArchetypeSample& a = archetypes[i];
+    out << (i == 0 ? "" : ", ") << "{\"name\": \"" << a.name
+        << "\", \"cache_hits\": " << a.cache_hits
+        << ", \"cache_misses\": " << a.cache_misses
+        << ", \"cache_bypasses\": " << a.cache_bypasses
+        << ", \"servers\": " << a.servers << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+std::string TelemetryLog::to_jsonl() const {
+  std::ostringstream out;
+  for (const TelemetrySample& sample : samples_) {
+    out << sample.to_json() << '\n';
+  }
+  return out.str();
+}
+
+bool TelemetryLog::write_jsonl(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_jsonl();
+  return static_cast<bool>(out);
+}
+
+}  // namespace mapa::obs

@@ -1,0 +1,90 @@
+#pragma once
+// Fleet telemetry time-series — the third leg of the runtime
+// observability layer (src/obs/). The FleetSimulator samples one
+// TelemetrySample every `telemetry_every_ticks` dispatcher ticks (plus
+// a final sample at drain), capturing the queue/cache/fault state that
+// post-hoc aggregates cannot show *over time*: where the backlog built
+// up after a crash burst, when an archetype fork collapsed the memo hit
+// rate, how utilization recovered as servers healed.
+//
+// Samples append to a TelemetryLog (single-writer: the dispatch loop)
+// and serialize as JSONL — one JSON object per line, streamable and
+// greppable, summarized by tools/trace_summary.py.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mapa::obs {
+
+/// Per-shard state at a sample point.
+struct ShardSample {
+  std::uint64_t queue_depth = 0;    // jobs waiting in the shard queue
+  std::uint64_t queued_gpus = 0;    // GPUs those jobs ask for
+  std::uint64_t free_gpus = 0;      // free GPUs across the shard
+  std::uint64_t live_servers = 0;   // servers not crashed
+};
+
+/// Per-archetype cache state at a sample point (cumulative counters;
+/// deltas between samples give the rate over the window).
+struct ArchetypeSample {
+  std::string name;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t cache_bypasses = 0;
+  std::uint64_t servers = 0;  // servers currently on this archetype
+};
+
+/// One telemetry sample: fleet-wide state at a simulated-time point.
+struct TelemetrySample {
+  std::uint64_t tick = 0;
+  double sim_time_s = 0.0;
+  std::uint64_t jobs_pending = 0;    // arrived, not yet placed
+  std::uint64_t jobs_running = 0;
+  std::uint64_t jobs_finished = 0;
+  std::uint64_t dead_letters = 0;
+  std::uint64_t retry_backlog = 0;   // jobs parked in the retry heap
+  std::uint64_t free_gpus = 0;
+  std::uint64_t total_gpus = 0;
+  std::uint64_t crashed_servers = 0;
+  std::uint64_t degraded_servers = 0;
+  std::uint64_t forked_servers = 0;  // servers on a forked fault cache
+  std::uint64_t memo_hits = 0;       // cumulative probe-memo hits
+  std::uint64_t memo_probes = 0;     // cumulative memo-eligible probes
+  std::vector<ShardSample> shards;
+  std::vector<ArchetypeSample> archetypes;
+
+  /// Fraction of total GPUs busy, in [0, 1]. 0 when the fleet is empty.
+  double utilization() const {
+    if (total_gpus == 0) return 0.0;
+    return static_cast<double>(total_gpus - free_gpus) /
+           static_cast<double>(total_gpus);
+  }
+
+  /// One JSON object (single line, no trailing newline).
+  std::string to_json() const;
+};
+
+/// Append-only series of samples. Single-writer by design (the
+/// dispatcher's tick loop); readers consume after the run.
+class TelemetryLog {
+ public:
+  void append(TelemetrySample sample) {
+    samples_.push_back(std::move(sample));
+  }
+
+  const std::vector<TelemetrySample>& samples() const { return samples_; }
+  std::size_t size() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// JSONL: one sample object per line.
+  std::string to_jsonl() const;
+  /// to_jsonl() written to `path`; returns false on I/O failure.
+  bool write_jsonl(const std::string& path) const;
+
+ private:
+  std::vector<TelemetrySample> samples_;
+};
+
+}  // namespace mapa::obs

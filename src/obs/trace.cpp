@@ -1,0 +1,115 @@
+#include "obs/trace.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+namespace mapa::obs {
+
+TraceSink::TraceSink(std::size_t max_events) : max_events_(max_events) {}
+
+std::uint64_t TraceSink::now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+void TraceSink::complete(TraceEvent event) {
+  if (total_.fetch_add(1, std::memory_order_relaxed) >= max_events_) {
+    total_.fetch_sub(1, std::memory_order_relaxed);
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& slot = slots_[thread_slot() % kMetricShards];
+  const std::lock_guard<std::mutex> lock(slot.mutex);
+  slot.events.push_back(std::move(event));
+}
+
+void TraceSink::instant(const char* category, const char* name) {
+  TraceEvent event;
+  event.category = category;
+  event.name = name;
+  event.start_ns = now_ns();
+  event.instant = true;
+  event.tid = static_cast<std::uint32_t>(thread_slot());
+  complete(std::move(event));
+}
+
+std::size_t TraceSink::size() const {
+  std::size_t total = 0;
+  for (const Slot& slot : slots_) {
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    total += slot.events.size();
+  }
+  return total;
+}
+
+std::uint64_t TraceSink::dropped() const {
+  return dropped_.load(std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent> TraceSink::sorted_events() const {
+  std::vector<TraceEvent> merged;
+  merged.reserve(total_.load(std::memory_order_relaxed));
+  for (const Slot& slot : slots_) {
+    const std::lock_guard<std::mutex> lock(slot.mutex);
+    merged.insert(merged.end(), slot.events.begin(), slot.events.end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const TraceEvent& a, const TraceEvent& b) {
+                     if (a.start_ns != b.start_ns) {
+                       return a.start_ns < b.start_ns;
+                     }
+                     if (a.tid != b.tid) return a.tid < b.tid;
+                     return std::strcmp(a.name, b.name) < 0;
+                   });
+  return merged;
+}
+
+std::string TraceSink::to_json() const {
+  const std::vector<TraceEvent> events = sorted_events();
+  std::uint64_t base_ns = 0;
+  if (!events.empty()) base_ns = events.front().start_ns;
+
+  std::ostringstream out;
+  out << "{\"traceEvents\": [";
+  bool first = true;
+  for (const TraceEvent& e : events) {
+    out << (first ? "\n" : ",\n");
+    first = false;
+    const std::uint64_t rel_ns = e.start_ns - base_ns;
+    out << "{\"name\": \"" << e.name << "\", \"cat\": \"" << e.category
+        << "\", \"ph\": \"" << (e.instant ? "i" : "X") << "\", \"ts\": "
+        << rel_ns / 1000 << "." << (rel_ns % 1000) / 100;
+    if (!e.instant) {
+      out << ", \"dur\": " << e.duration_ns / 1000 << "."
+          << (e.duration_ns % 1000) / 100;
+    } else {
+      out << ", \"s\": \"t\"";
+    }
+    out << ", \"pid\": 1, \"tid\": " << e.tid;
+    if (e.num_args > 0) {
+      out << ", \"args\": {";
+      for (std::uint8_t i = 0; i < e.num_args; ++i) {
+        out << (i == 0 ? "" : ", ") << "\"" << e.arg_keys[i]
+            << "\": " << e.arg_values[i];
+      }
+      out << "}";
+    }
+    out << "}";
+  }
+  out << "\n]}";
+  return out.str();
+}
+
+bool TraceSink::write_json(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << to_json() << '\n';
+  return static_cast<bool>(out);
+}
+
+}  // namespace mapa::obs

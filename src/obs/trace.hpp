@@ -1,0 +1,169 @@
+#pragma once
+// Structured tracing — the spans half of the runtime observability layer
+// (src/obs/). A TraceSink collects complete ("ph":"X") and instant
+// ("ph":"i") events into per-thread-slot buffers (no lock on the hot
+// path; each slot is only ever appended to by threads hashing onto it,
+// guarded by a per-slot spinlock that is uncontended in practice) and
+// serializes them as Chrome trace-event JSON, loadable in Perfetto or
+// chrome://tracing.
+//
+// The emitting side is the RAII Span: constructed against a
+// `TraceSink*` that may be null, it captures a start timestamp, takes
+// up to four small key/value args, and emits one complete event on
+// destruction. When the sink pointer is null every method is a branch
+// and a return — no clock read, no allocation — which is what makes the
+// disabled path cheap enough to leave compiled into the hot loops
+// (gated <= 1% by bench_observability).
+//
+// Span taxonomy used by the schedulers (category / name):
+//   fleet / tick, serve_shard, probe_fanout, route, commit, rescue, kill
+//   fault / drain, restore, server_crash, gpu_loss, gpu_recover,
+//           link_degrade, link_repair
+//   probe / allocate
+//   cache / lookup
+//   match / enumerate, count_matches, find_matches, best_match
+//   sim   / allocate
+// plus instants: fleet / fork, rejoin, rematch, retry.
+// Events carry the emitting thread's dense slot id as "tid", so the
+// probe fan-out renders as parallel tracks under one process.
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "obs/registry.hpp"
+
+namespace mapa::obs {
+
+/// One trace event in Chrome trace-event terms. Args are stored as
+/// up-to-kMaxArgs key/value pairs; values are pre-rendered JSON scalars
+/// (numbers or quoted strings).
+struct TraceEvent {
+  static constexpr std::size_t kMaxArgs = 4;
+  const char* name = "";  // static-lifetime strings only
+  const char* category = "";
+  std::uint64_t start_ns = 0;
+  std::uint64_t duration_ns = 0;  // 0 + instant=true -> "ph":"i"
+  std::uint32_t tid = 0;
+  bool instant = false;
+  std::uint8_t num_args = 0;
+  const char* arg_keys[kMaxArgs] = {};
+  std::string arg_values[kMaxArgs];
+};
+
+/// Collects trace events into per-thread-slot buffers. Bounded: after
+/// `max_events` events across all slots, further events are counted as
+/// dropped instead of stored, so a pathological run cannot OOM the
+/// host. All methods are thread-safe.
+class TraceSink {
+ public:
+  explicit TraceSink(std::size_t max_events = kDefaultMaxEvents);
+
+  static constexpr std::size_t kDefaultMaxEvents = 1u << 20;
+
+  /// Monotonic timestamp for span boundaries.
+  static std::uint64_t now_ns();
+
+  /// Record a complete ("ph":"X") event. Called by ~Span.
+  void complete(TraceEvent event);
+  /// Record an instant ("ph":"i") event at now_ns().
+  void instant(const char* category, const char* name);
+
+  std::size_t size() const;
+  std::uint64_t dropped() const;
+
+  /// All events merged across slots and sorted by (start_ns, tid, name)
+  /// — a deterministic order for any set of identical events.
+  std::vector<TraceEvent> sorted_events() const;
+
+  /// Chrome trace-event JSON: {"traceEvents": [...]}. Timestamps are
+  /// rebased to the earliest event and expressed in microseconds with
+  /// one fractional digit (Perfetto accepts fractional "ts"/"dur").
+  std::string to_json() const;
+  /// to_json() written to `path`; returns false on I/O failure.
+  bool write_json(const std::string& path) const;
+
+ private:
+  struct alignas(64) Slot {
+    mutable std::mutex mutex;
+    std::vector<TraceEvent> events;
+  };
+
+  std::size_t max_events_;
+  std::atomic<std::size_t> total_{0};
+  std::atomic<std::uint64_t> dropped_{0};
+  std::array<Slot, kMetricShards> slots_;
+};
+
+/// RAII scoped span. All methods are no-ops when the sink is null.
+/// `category` and `name` must be string literals (stored by pointer).
+class Span {
+ public:
+  Span(TraceSink* sink, const char* category, const char* name)
+      : sink_(sink) {
+    if (sink_ == nullptr) return;
+    event_.category = category;
+    event_.name = name;
+    event_.start_ns = TraceSink::now_ns();
+  }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { finish(); }
+
+  /// Attach a key/value arg (up to TraceEvent::kMaxArgs; extras are
+  /// silently ignored). Keys must be string literals. One template for
+  /// every integer type — a fixed overload set would collide where
+  /// std::size_t aliases std::uint64_t.
+  template <typename T,
+            std::enable_if_t<std::is_integral_v<T> && !std::is_same_v<T, bool>,
+                             int> = 0>
+  void arg(const char* key, T value) {
+    if (sink_ != nullptr) push_arg(key, std::to_string(value));
+  }
+  void arg(const char* key, bool value) {
+    if (sink_ != nullptr) push_arg(key, value ? "true" : "false");
+  }
+  void arg(const char* key, double value) {
+    if (sink_ != nullptr) push_arg(key, std::to_string(value));
+  }
+  /// String values are quoted (assumed free of characters needing JSON
+  /// escapes — span args are identifiers, not user data).
+  void arg(const char* key, const std::string& value) {
+    if (sink_ == nullptr) return;
+    std::string quoted;
+    quoted.reserve(value.size() + 2);
+    quoted.push_back('"');
+    quoted.append(value);
+    quoted.push_back('"');
+    push_arg(key, std::move(quoted));
+  }
+  void arg(const char* key, const char* value) {
+    if (sink_ != nullptr) arg(key, std::string(value));
+  }
+
+  /// End the span early (idempotent; the destructor becomes a no-op).
+  void finish() {
+    if (sink_ == nullptr) return;
+    event_.duration_ns = TraceSink::now_ns() - event_.start_ns;
+    event_.tid = static_cast<std::uint32_t>(thread_slot());
+    sink_->complete(std::move(event_));
+    sink_ = nullptr;
+  }
+
+ private:
+  void push_arg(const char* key, std::string value) {
+    if (event_.num_args >= TraceEvent::kMaxArgs) return;
+    event_.arg_keys[event_.num_args] = key;
+    event_.arg_values[event_.num_args] = std::move(value);
+    ++event_.num_args;
+  }
+
+  TraceSink* sink_;
+  TraceEvent event_;
+};
+
+}  // namespace mapa::obs

@@ -16,12 +16,14 @@ std::optional<AllocationResult> GreedyPolicy::allocate(
   options.break_symmetry = config_.break_symmetry;
   options.threads = config_.threads;
   options.forbidden = graph::VertexMask::of_busy(busy);
+  options.trace = request.trace;
 
   const auto best = best_cached_match(
       cache(), *request.pattern, hardware, options,
       [&](const match::Match& m) {
         return score::aggregated_bandwidth(*request.pattern, hardware, m);
-      });
+      },
+      request.cache_probe);
   if (!best) return std::nullopt;
   return score_result(hardware, busy, request, *best, config_);
 }

@@ -1,6 +1,7 @@
 #include "policy/match_cache.hpp"
 
 #include "graph/algorithms.hpp"
+#include "obs/trace.hpp"
 
 namespace mapa::policy {
 
@@ -43,6 +44,7 @@ void MatchCache::clear() {
   entries_.clear();
   index_.clear();
   oversized_.clear();
+  staging_.clear();
 }
 
 void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
@@ -61,6 +63,7 @@ void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
     entries_.clear();
     index_.clear();
     oversized_.clear();
+    staging_.clear();
   }
   hardware_seen_ = true;
   hardware_fp_ = fp;
@@ -83,19 +86,104 @@ void MatchCache::store_locked(std::uint64_t key,
   index_.emplace(key, entries_.begin());
 }
 
+void MatchCache::note_oversized_locked(std::uint64_t key) {
+  // Bypass, don't store: the fingerprint alone is remembered (always
+  // safe even for an early-stopped run — bypassed calls enumerate live).
+  if (oversized_.size() >= config_.max_oversized_keys) oversized_.clear();
+  oversized_.insert(key);
+}
+
 void MatchCache::for_each_match(const graph::Graph& pattern,
                                 const graph::Graph& hardware,
                                 const match::EnumerateOptions& options,
-                                const match::MatchVisitor& visit) {
+                                const match::MatchVisitor& visit,
+                                CacheProbeTicket* ticket) {
+  obs::Span span(options.trace, "cache", "lookup");
   const std::lock_guard<std::mutex> lock(mutex_);
   refresh_hardware_locked(hardware);
 
   const std::uint64_t key = unified_fingerprint(pattern, options);
 
+  if (ticket != nullptr) {
+    // Probe mode: classify and stream, mutate nothing observable. The
+    // classification is the same whichever probe of a batch gets here
+    // first; commit_probe (called in server order) decides who counts
+    // the miss.
+    ticket->key_ = key;
+    if (oversized_.contains(key)) {
+      ticket->kind_ = CacheProbeTicket::Kind::kBypass;
+      span.arg("outcome", "bypass");
+      match::for_each_match(pattern, hardware, visit, options);
+      return;
+    }
+    if (const auto found = index_.find(key); found != index_.end()) {
+      ticket->kind_ = CacheProbeTicket::Kind::kHit;
+      span.arg("outcome", "hit");
+      for (const match::Match& m : found->second->matches) {
+        if (!visit(m)) return;
+      }
+      return;
+    }
+    if (const auto staged = staging_.find(key); staged != staging_.end()) {
+      if (staged->second.oversized) {
+        ticket->kind_ = CacheProbeTicket::Kind::kStagedOversized;
+        span.arg("outcome", "staged_bypass");
+        match::for_each_match(pattern, hardware, visit, options);
+      } else {
+        ticket->kind_ = CacheProbeTicket::Kind::kStagedStore;
+        span.arg("outcome", "staged_replay");
+        for (const match::Match& m : staged->second.matches) {
+          if (!visit(m)) return;
+        }
+      }
+      return;
+    }
+    // First probe of an absent key: enumerate, teeing into a staged
+    // entry for the rest of the batch to replay.
+    std::vector<match::Match> collected;
+    bool oversized = false;
+    bool stopped = false;
+    match::for_each_match(
+        pattern, hardware,
+        [&](const match::Match& m) {
+          if (!oversized) {
+            if (collected.size() >= config_.max_matches_per_entry) {
+              oversized = true;
+              collected.clear();
+              collected.shrink_to_fit();
+            } else {
+              collected.push_back(m);
+            }
+          }
+          if (!visit(m)) {
+            stopped = true;
+            return false;
+          }
+          return true;
+        },
+        options);
+    if (oversized) {
+      staging_.emplace(key, StagedEntry{true, {}});
+      ticket->kind_ = CacheProbeTicket::Kind::kStagedOversized;
+      span.arg("outcome", "staged_enumerate");
+    } else if (stopped) {
+      // Incomplete enumeration: nothing replayable to stage.
+      ticket->kind_ = CacheProbeTicket::Kind::kUnreplayable;
+      span.arg("outcome", "unreplayable");
+    } else {
+      staging_.emplace(key, StagedEntry{false, std::move(collected)});
+      ticket->kind_ = CacheProbeTicket::Kind::kStagedStore;
+      span.arg("outcome", "staged_enumerate");
+    }
+    return;
+  }
+
+  // Immediate mode (single-threaded callers): count and mutate in place.
   // Known-oversized: stream live, never collect again and never occupy an
   // LRU slot.
   if (oversized_.contains(key)) {
     ++stats_.bypasses;
+    span.arg("outcome", "bypass");
     match::for_each_match(pattern, hardware, visit, options);
     return;
   }
@@ -104,6 +192,7 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
   if (found != index_.end()) {
     touch_locked(found->second);
     ++stats_.hits;
+    span.arg("outcome", "hit");
     for (const match::Match& m : found->second->matches) {
       if (!visit(m)) return;
     }
@@ -112,6 +201,7 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
 
   // Miss: enumerate once, teeing matches into a candidate entry.
   ++stats_.misses;
+  span.arg("outcome", "miss");
   std::vector<match::Match> collected;
   bool oversized = false;
   bool stopped = false;
@@ -135,10 +225,7 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
       },
       options);
   if (oversized) {
-    // Bypass, don't store: the fingerprint alone is remembered (always
-    // safe even for an early-stopped run — bypassed calls enumerate live).
-    if (oversized_.size() >= config_.max_oversized_keys) oversized_.clear();
-    oversized_.insert(key);
+    note_oversized_locked(key);
     return;
   }
   // An early-stopped enumeration is incomplete; only a full one is
@@ -146,26 +233,86 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
   if (!stopped) store_locked(key, std::move(collected));
 }
 
+void MatchCache::commit_probe(CacheProbeTicket& ticket) {
+  const CacheProbeTicket::Kind kind = ticket.kind_;
+  const std::uint64_t key = ticket.key_;
+  ticket.kind_ = CacheProbeTicket::Kind::kNone;
+  if (kind == CacheProbeTicket::Kind::kNone) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  switch (kind) {
+    case CacheProbeTicket::Kind::kNone:
+      break;
+    case CacheProbeTicket::Kind::kHit: {
+      ++stats_.hits;
+      if (const auto found = index_.find(key); found != index_.end()) {
+        touch_locked(found->second);
+      }
+      break;
+    }
+    case CacheProbeTicket::Kind::kBypass:
+      ++stats_.bypasses;
+      break;
+    case CacheProbeTicket::Kind::kStagedStore: {
+      if (const auto found = index_.find(key); found != index_.end()) {
+        // A prior commit (in server order) already charged the miss and
+        // stored the entry; this probe replayed it.
+        ++stats_.hits;
+        touch_locked(found->second);
+      } else if (const auto staged = staging_.find(key);
+                 staged != staging_.end()) {
+        ++stats_.misses;
+        store_locked(key, std::move(staged->second.matches));
+        staging_.erase(staged);
+      } else if (config_.max_entries == 0) {
+        // The store was a no-op; immediate mode would re-miss too.
+        ++stats_.misses;
+      } else {
+        // Stored by an earlier commit of this batch and evicted again by
+        // later ones — the probe still replayed a valid list.
+        ++stats_.hits;
+      }
+      break;
+    }
+    case CacheProbeTicket::Kind::kStagedOversized: {
+      if (oversized_.contains(key)) {
+        ++stats_.bypasses;
+      } else {
+        ++stats_.misses;
+        note_oversized_locked(key);
+        staging_.erase(key);
+      }
+      break;
+    }
+    case CacheProbeTicket::Kind::kUnreplayable:
+      ++stats_.misses;
+      break;
+  }
+}
+
 std::optional<match::Match> best_cached_match(
     MatchCache* cache, const graph::Graph& pattern,
     const graph::Graph& hardware, const match::EnumerateOptions& options,
-    const std::function<double(const match::Match&)>& scorer) {
+    const std::function<double(const match::Match&)>& scorer,
+    CacheProbeTicket* ticket) {
   if (cache == nullptr) {
     return match::best_match(pattern, hardware, scorer, options);
   }
   bool valid = false;
   double best_score = 0.0;
   match::Match best;
-  cache->for_each_match(pattern, hardware, options, [&](const match::Match& m) {
-    const double score = scorer(m);
-    if (!valid || score > best_score ||
-        (score == best_score && m.mapping < best.mapping)) {
-      valid = true;
-      best_score = score;
-      best = m;
-    }
-    return true;
-  });
+  cache->for_each_match(
+      pattern, hardware, options,
+      [&](const match::Match& m) {
+        const double score = scorer(m);
+        if (!valid || score > best_score ||
+            (score == best_score && m.mapping < best.mapping)) {
+          valid = true;
+          best_score = score;
+          best = m;
+        }
+        return true;
+      },
+      ticket);
   if (!valid) return std::nullopt;
   return best;
 }

@@ -48,6 +48,37 @@
 
 namespace mapa::policy {
 
+/// Outcome of one probe-mode cache lookup (see
+/// MatchCache::for_each_match's `ticket` parameter). Parallel probe
+/// workers each fill a ticket; the dispatcher then commits the tickets
+/// sequentially in server order via MatchCache::commit_probe, which is
+/// where ALL stats counting and LRU/eviction mutation happens — so the
+/// hit/miss/bypass split and the eviction order depend only on the
+/// server order, never on which worker thread won a race. The
+/// classification itself is symmetric: every probe of a key that was
+/// absent when the batch began gets kStagedStore/kStagedOversized,
+/// whether it did the enumeration or replayed the staged result, and
+/// commit_probe charges the one miss to the first committer.
+class CacheProbeTicket {
+ public:
+  enum class Kind {
+    kNone,             // no cache lookup happened (ticket untouched)
+    kHit,              // replayed a committed entry
+    kBypass,           // key in the committed oversized set, enumerated live
+    kStagedStore,      // key absent at batch start; replayable result staged
+    kStagedOversized,  // key absent at batch start; oversized, streamed live
+    kUnreplayable,     // enumerated, but early-stopped: nothing to stage
+  };
+
+  Kind kind() const { return kind_; }
+  std::uint64_t key() const { return key_; }
+
+ private:
+  friend class MatchCache;
+  Kind kind_ = Kind::kNone;
+  std::uint64_t key_ = 0;
+};
+
 struct MatchCacheConfig {
   /// LRU capacity in entries (distinct fleet states x pattern shapes).
   std::size_t max_entries = 256;
@@ -79,10 +110,29 @@ class MatchCache {
   /// enumerations (visitor returned false) are never stored. Thread-safe,
   /// but the visitor runs under the cache lock; do not re-enter the cache
   /// from inside it. `options.threads` is ignored (replay is sequential).
+  ///
+  /// With `ticket` non-null the call runs in PROBE mode: the match stream
+  /// is identical, but nothing observable about the cache changes — no
+  /// stats counting, no LRU touch, no store/eviction. First-seen results
+  /// are parked in a staging area keyed by fingerprint (so later probes
+  /// of the same key in the same batch replay instead of re-enumerating)
+  /// and the outcome is classified into the ticket. The caller must
+  /// commit every filled ticket with commit_probe(), in a fixed
+  /// (server) order, before the next probe batch.
   void for_each_match(const graph::Graph& pattern,
                       const graph::Graph& hardware,
                       const match::EnumerateOptions& options,
-                      const match::MatchVisitor& visit);
+                      const match::MatchVisitor& visit,
+                      CacheProbeTicket* ticket = nullptr);
+
+  /// Sequential commit of a probe-mode ticket: counts the hit/miss/
+  /// bypass, performs the LRU touch, and on the first commit of a staged
+  /// key moves the staged result into the cache proper (with normal
+  /// eviction). Resets the ticket to kNone, so committing twice is
+  /// harmless. Call in a deterministic order (the fleet commits in
+  /// ascending server order) — that order alone decides which probe of a
+  /// shared key is the miss and which are the hits.
+  void commit_probe(CacheProbeTicket& ticket);
 
   MatchCacheStats stats() const;
   std::size_t size() const;
@@ -94,9 +144,18 @@ class MatchCache {
     std::vector<match::Match> matches;
   };
 
+  /// A probe batch's first result for a key not yet committed: either a
+  /// full replayable match list or an oversized marker. Moved into the
+  /// cache proper (or the oversized set) by the key's first commit.
+  struct StagedEntry {
+    bool oversized = false;
+    std::vector<match::Match> matches;
+  };
+
   void refresh_hardware_locked(const graph::Graph& hardware);
   void touch_locked(std::list<Entry>::iterator it);
   void store_locked(std::uint64_t key, std::vector<match::Match> matches);
+  void note_oversized_locked(std::uint64_t key);
 
   mutable std::mutex mutex_;
   MatchCacheConfig config_;
@@ -107,15 +166,19 @@ class MatchCache {
   std::list<Entry> entries_;  // most recently used first
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
   std::unordered_set<std::uint64_t> oversized_;  // bypassed keys, no LRU slot
+  std::unordered_map<std::uint64_t, StagedEntry> staging_;  // probe batch
 };
 
 /// Fold over the match set keeping the highest-scoring match, through the
 /// cache when `cache` is non-null, with exactly `match::best_match`'s
 /// tie-breaking (lexicographically smallest mapping). Without a cache this
 /// defers to match::best_match, keeping the parallel-scoring path.
+/// `ticket` forwards to MatchCache::for_each_match's probe mode (ignored
+/// when `cache` is null).
 std::optional<match::Match> best_cached_match(
     MatchCache* cache, const graph::Graph& pattern,
     const graph::Graph& hardware, const match::EnumerateOptions& options,
-    const std::function<double(const match::Match&)>& scorer);
+    const std::function<double(const match::Match&)>& scorer,
+    CacheProbeTicket* ticket = nullptr);
 
 }  // namespace mapa::policy

@@ -18,14 +18,28 @@
 #include "match/enumerator.hpp"
 #include "match/match.hpp"
 
+namespace mapa::obs {
+class TraceSink;
+}  // namespace mapa::obs
+
 namespace mapa::policy {
 
 class MatchCache;
+class CacheProbeTicket;
 
 /// What a job asks for.
 struct AllocationRequest {
   const graph::Graph* pattern = nullptr;  // application graph (not owned)
   bool bandwidth_sensitive = false;
+  /// Probe-mode cache ticket (see match_cache.hpp). Non-null when the
+  /// caller is one of several parallel probes sharing a match cache: the
+  /// enumerating policies pass it through to the cache so that stats and
+  /// LRU mutation defer to the caller's sequential commit_probe pass.
+  /// Null (the default) keeps the immediate-mode cache path.
+  CacheProbeTicket* cache_probe = nullptr;
+  /// Optional trace sink (src/obs/): forwarded into the enumeration
+  /// options so cache lookups and match-core searches emit spans.
+  obs::TraceSink* trace = nullptr;
 };
 
 /// A placement decision plus its quality scores.

@@ -18,6 +18,7 @@ std::optional<AllocationResult> PreservePolicy::allocate(
   options.break_symmetry = config_.break_symmetry;
   options.threads = config_.threads;
   options.forbidden = graph::VertexMask::of_busy(busy);
+  options.trace = request.trace;
 
   // Algorithm 1: sensitive jobs maximize Predicted Effective Bandwidth;
   // insensitive jobs maximize Preserved Bandwidth for future sensitive
@@ -39,8 +40,8 @@ std::optional<AllocationResult> PreservePolicy::allocate(
     return score::preserved_bandwidth(hardware, m, options.forbidden);
   };
 
-  const auto best =
-      best_cached_match(cache(), *request.pattern, hardware, options, scorer);
+  const auto best = best_cached_match(cache(), *request.pattern, hardware,
+                                      options, scorer, request.cache_probe);
   if (!best) return std::nullopt;
   return score_result(hardware, busy, request, *best, config_);
 }

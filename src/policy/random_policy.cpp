@@ -14,6 +14,7 @@ std::optional<AllocationResult> RandomPolicy::allocate(
   options.backend = config_.backend;
   options.break_symmetry = config_.break_symmetry;
   options.forbidden = graph::VertexMask::of_busy(busy);
+  options.trace = request.trace;
 
   // Reservoir-sample one match uniformly from the stream of matches, so we
   // never materialize the full match set. Replaying a cached enumeration
@@ -28,7 +29,8 @@ std::optional<AllocationResult> RandomPolicy::allocate(
     return true;
   };
   if (cache() != nullptr) {
-    cache()->for_each_match(*request.pattern, hardware, options, sample);
+    cache()->for_each_match(*request.pattern, hardware, options, sample,
+                            request.cache_probe);
   } else {
     match::for_each_match(*request.pattern, hardware, sample, options);
   }

@@ -68,6 +68,8 @@ SimResult Simulator::run(const std::vector<workload::Job>& jobs) {
   result.topology = mapa_.hardware().name();
   result.records.reserve(jobs.size());
 
+  obs::TraceSink* const trace = obs::trace_of(config_.observer);
+
   std::deque<std::size_t> queue;  // indices into `jobs`
   std::priority_queue<Running, std::vector<Running>, std::greater<>> running;
   std::size_t next_arrival = 0;
@@ -101,9 +103,13 @@ SimResult Simulator::run(const std::vector<workload::Job>& jobs) {
       for (; queue_pos < scan_limit; ++queue_pos) {
         const workload::Job& candidate = jobs[queue[queue_pos]];
         pattern = candidate.application_graph();
+        obs::Span span(trace, "sim", "allocate");
+        span.arg("job", static_cast<std::int64_t>(candidate.id));
+        span.arg("gpus", candidate.num_gpus);
         const auto wall_start = std::chrono::steady_clock::now();
         allocation =
-            mapa_.allocate(pattern, candidate.bandwidth_sensitive);
+            mapa_.allocate(pattern, candidate.bandwidth_sensitive, trace);
+        span.arg("placed", allocation.has_value());
         const auto wall_end = std::chrono::steady_clock::now();
         overhead_ms +=
             std::chrono::duration<double, std::milli>(wall_end - wall_start)
@@ -179,6 +185,10 @@ SimResult Simulator::run(const std::vector<workload::Job>& jobs) {
     const policy::MatchCacheStats stats = cache_->stats();
     result.match_cache_hits = stats.hits;
     result.match_cache_misses = stats.misses;
+  }
+  if (config_.observer != nullptr && config_.observer->config().zero_wall_clock) {
+    result.total_scheduling_ms = 0.0;
+    for (JobRecord& r : result.records) r.scheduling_overhead_ms = 0.0;
   }
   return result;
 }

@@ -18,6 +18,7 @@
 #include "core/mapa.hpp"
 #include "graph/graph.hpp"
 #include "interconnect/microbench.hpp"
+#include "obs/obs.hpp"
 #include "policy/policy.hpp"
 #include "workload/exec_model.hpp"
 #include "workload/job.hpp"
@@ -44,6 +45,12 @@ struct SimConfig {
   /// wall-clock changes. Note the cache path enumerates and scores
   /// sequentially — turn this off to exercise PolicyConfig::threads.
   bool use_match_cache = true;
+  /// Optional observability backends (see obs/obs.hpp). Null (the default)
+  /// costs one pointer test per allocation; a configured observer records
+  /// "sim"/"allocate" spans plus the match/cache spans underneath them,
+  /// and ObsConfig::zero_wall_clock scrubs the wall-clock fields of the
+  /// result so two runs can be compared byte-for-byte.
+  std::shared_ptr<obs::Observer> observer;
 };
 
 /// Everything logged about one completed job (Fig. 14 log file, plus the

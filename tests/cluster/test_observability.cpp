@@ -1,0 +1,228 @@
+// The fleet/observability contract (cluster/fleet.hpp + obs/): enabling
+// observation must never change what the fleet computes. Pins
+//  * obs off vs fully on: byte-identical records, dead letters, and
+//    resilience stats under a chaos schedule;
+//  * zero_wall_clock: full-struct equality between two runs;
+//  * the probe-ticket determinism of the shared archetype caches'
+//    hit/miss split at threads=1 vs threads=8 (the old documented
+//    exception this layer deleted);
+//  * that an enabled observer actually collects: fleet counters that
+//    agree with the result's own accounting, a loadable span set, and
+//    a telemetry series that drains to zero.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "obs/obs.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+std::vector<ServerSpec> dgx_archetype_fleet(std::size_t n,
+                                            const std::string& policy) {
+  FleetArchetype arch;
+  arch.name = "dgx";
+  arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+  arch.policy = policy;
+  return archetype_fleet_specs(n, {arch});
+}
+
+/// A chaos schedule that exercises every fault path the instrumentation
+/// touches: a crash+restore (kill, requeue, retry, rescue windows), a
+/// GPU loss+recover (topology fork and re-join), and a link degrade.
+std::vector<FaultEvent> chaos_schedule() {
+  return {{5.0, 1, FaultEvent::Kind::kServerCrash},
+          {40.0, 1, FaultEvent::Kind::kRestore},
+          {10.0, 2, FaultEvent::Kind::kGpuLoss, 3},
+          {60.0, 2, FaultEvent::Kind::kGpuRecover, 3},
+          {15.0, 4, FaultEvent::Kind::kLinkDegrade, 0, 1, 0.5},
+          {70.0, 4, FaultEvent::Kind::kLinkRepair, 0, 1}};
+}
+
+ClusterConfig chaos_config(std::shared_ptr<obs::Observer> observer) {
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.shards = 4;
+  config.threads = 4;
+  config.seed = 7;
+  config.events = chaos_schedule();
+  config.observer = std::move(observer);
+  return config;
+}
+
+void expect_identical_results(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].server, b.records[i].server) << i;
+    EXPECT_EQ(a.records[i].retries, b.records[i].retries) << i;
+    EXPECT_EQ(a.records[i].record.job, b.records[i].record.job) << i;
+    EXPECT_EQ(a.records[i].record.gpus, b.records[i].record.gpus) << i;
+    EXPECT_DOUBLE_EQ(a.records[i].record.start_s, b.records[i].record.start_s);
+    EXPECT_DOUBLE_EQ(a.records[i].record.finish_s,
+                     b.records[i].record.finish_s);
+    EXPECT_DOUBLE_EQ(a.records[i].record.measured_effbw,
+                     b.records[i].record.measured_effbw);
+  }
+  ASSERT_EQ(a.dead_letters.size(), b.dead_letters.size());
+  for (std::size_t i = 0; i < a.dead_letters.size(); ++i) {
+    EXPECT_EQ(a.dead_letters[i].job.id, b.dead_letters[i].job.id);
+    EXPECT_EQ(a.dead_letters[i].retries, b.dead_letters[i].retries);
+    EXPECT_DOUBLE_EQ(a.dead_letters[i].time_s, b.dead_letters[i].time_s);
+  }
+  EXPECT_EQ(a.resilience.jobs_killed, b.resilience.jobs_killed);
+  EXPECT_EQ(a.resilience.jobs_requeued, b.resilience.jobs_requeued);
+  EXPECT_EQ(a.resilience.jobs_rematched, b.resilience.jobs_rematched);
+  EXPECT_EQ(a.resilience.jobs_dead_lettered, b.resilience.jobs_dead_lettered);
+  EXPECT_EQ(a.resilience.topology_forks, b.resilience.topology_forks);
+  EXPECT_EQ(a.resilience.archetype_rejoins, b.resilience.archetype_rejoins);
+  EXPECT_EQ(a.resilience.replace_latency_s, b.resilience.replace_latency_s);
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+  ASSERT_EQ(a.servers.size(), b.servers.size());
+  for (std::size_t s = 0; s < a.servers.size(); ++s) {
+    EXPECT_EQ(a.servers[s].jobs_placed, b.servers[s].jobs_placed) << s;
+    EXPECT_EQ(a.servers[s].match_cache_hits, b.servers[s].match_cache_hits)
+        << s;
+    EXPECT_EQ(a.servers[s].match_cache_misses,
+              b.servers[s].match_cache_misses)
+        << s;
+    EXPECT_DOUBLE_EQ(a.servers[s].utilization, b.servers[s].utilization);
+  }
+}
+
+TEST(Observability, FullyEnabledObserverChangesNothingUnderChaos) {
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(8, /*jobs_per_server=*/6,
+                                         /*seed=*/7));
+
+  FleetSimulator off_fleet(dgx_archetype_fleet(8, "preserve"),
+                           chaos_config(nullptr));
+  const FleetResult off = off_fleet.run(jobs);
+  // The chaos schedule must actually bite, or this pin proves nothing.
+  ASSERT_GT(off.resilience.jobs_killed, 0u);
+  ASSERT_GT(off.resilience.topology_forks, 0u);
+
+  obs::ObsConfig obs_config;
+  obs_config.tracing = true;
+  obs_config.counters = true;
+  obs_config.telemetry_every_ticks = 4;
+  auto observer = std::make_shared<obs::Observer>(obs_config);
+  FleetSimulator on_fleet(dgx_archetype_fleet(8, "preserve"),
+                          chaos_config(observer));
+  const FleetResult on = on_fleet.run(jobs);
+
+  expect_identical_results(off, on);
+
+  // And the observer did observe: spans from the fault machinery, fleet
+  // counters agreeing with the result's own accounting, telemetry that
+  // drains to an idle fleet.
+  ASSERT_NE(observer->trace(), nullptr);
+  EXPECT_GT(observer->trace()->size(), 0u);
+  bool saw_fault_span = false;
+  for (const obs::TraceEvent& e : observer->trace()->sorted_events()) {
+    if (std::string(e.category) == "fault") saw_fault_span = true;
+  }
+  EXPECT_TRUE(saw_fault_span);
+
+  ASSERT_NE(observer->registry(), nullptr);
+  EXPECT_EQ(observer->registry()->counter("fleet.kills").value(),
+            on.resilience.jobs_killed);
+  EXPECT_EQ(observer->registry()->counter("fleet.dead_letters").value(),
+            on.resilience.jobs_dead_lettered);
+  EXPECT_EQ(observer->registry()->counter("fleet.topology_forks").value(),
+            on.resilience.topology_forks);
+  // fleet.placements counts every placement event; ServerResult::
+  // jobs_placed only the surviving ones (a kill decrements it). Every
+  // kill therefore accounts for exactly one extra placement event.
+  std::uint64_t placed = 0;
+  for (const ServerResult& sr : on.servers) placed += sr.jobs_placed;
+  EXPECT_EQ(observer->registry()->counter("fleet.placements").value(),
+            placed + on.resilience.jobs_killed);
+
+  ASSERT_NE(observer->telemetry(), nullptr);
+  ASSERT_GT(observer->telemetry()->size(), 1u);
+  const obs::TelemetrySample& last = observer->telemetry()->samples().back();
+  EXPECT_EQ(last.jobs_running, 0u);
+  EXPECT_EQ(last.jobs_pending, 0u);
+  EXPECT_EQ(last.jobs_finished, on.records.size());
+  EXPECT_EQ(last.free_gpus, last.total_gpus);
+  EXPECT_EQ(last.dead_letters, on.resilience.jobs_dead_lettered);
+}
+
+TEST(Observability, ZeroWallClockMakesRunsCompareByteForByte) {
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(8, /*jobs_per_server=*/4,
+                                         /*seed=*/11));
+
+  const auto run_scrubbed = [&] {
+    obs::ObsConfig obs_config;
+    obs_config.zero_wall_clock = true;  // independent of collection flags
+    ClusterConfig config;
+    config.selection = "least-loaded";
+    config.shards = 2;
+    config.threads = 4;
+    config.observer = std::make_shared<obs::Observer>(obs_config);
+    FleetSimulator fleet(dgx_archetype_fleet(8, "preserve"), config);
+    return fleet.run(jobs);
+  };
+
+  const FleetResult a = run_scrubbed();
+  const FleetResult b = run_scrubbed();
+
+  // With the wall-clock fields scrubbed, EVERY field — including the
+  // ones the determinism contract normally has to except — compares
+  // exactly across the two runs.
+  EXPECT_EQ(a.total_scheduling_ms, 0.0);
+  EXPECT_EQ(b.total_scheduling_ms, 0.0);
+  expect_identical_results(a, b);
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].record.scheduling_overhead_ms, 0.0);
+    EXPECT_EQ(a.records[i].record.scheduling_overhead_ms,
+              b.records[i].record.scheduling_overhead_ms);
+  }
+}
+
+TEST(Observability, SharedCacheHitMissSplitIsThreadCountIndependent) {
+  // The probe-ticket protocol's whole point: with one cache shared by
+  // the archetype's servers and parallel probe workers racing on it,
+  // the hit/miss split used to depend on probe completion order. Probes
+  // now stage through CacheProbeTickets and the dispatch loop commits
+  // them in ascending server order, so threads=1 and threads=8 must
+  // agree exactly — records AND cache accounting.
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(16, /*jobs_per_server=*/4,
+                                         /*seed=*/13));
+
+  std::vector<FleetResult> results;
+  for (const std::size_t threads : {std::size_t{1}, std::size_t{8}}) {
+    ClusterConfig config;
+    config.selection = "least-loaded";
+    config.shards = 2;  // 8 servers per shard -> real probe fan-out
+    config.threads = threads;
+    FleetSimulator fleet(dgx_archetype_fleet(16, "preserve"), config);
+    results.push_back(fleet.run(jobs));
+  }
+
+  const FleetResult& a = results[0];
+  const FleetResult& b = results[1];
+  expect_identical_results(a, b);
+  // The comparison must not be vacuous: the shared cache served real
+  // traffic through its primary server's accounting.
+  std::uint64_t hits = 0;
+  std::uint64_t misses = 0;
+  for (const ServerResult& sr : a.servers) {
+    hits += sr.match_cache_hits;
+    misses += sr.match_cache_misses;
+  }
+  EXPECT_GT(hits, 0u);
+  EXPECT_GT(misses, 0u);
+}
+
+}  // namespace
+}  // namespace mapa::cluster

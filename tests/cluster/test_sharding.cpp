@@ -137,8 +137,9 @@ TEST(Sharding, ThreadCountsByteIdenticalAtOneThousandServers) {
   // The cluster/fleet.hpp determinism contract at scale: a 1k-server
   // archetype-weighted fleet under the sharded dispatcher must produce
   // byte-identical records and per-server statistics at threads=1 and
-  // threads=8. (The shared archetype caches' hit/miss split is the one
-  // documented exception under parallel probing, so it is not compared.)
+  // threads=8 — including the shared archetype caches' hit/miss split,
+  // which probe tickets make thread-count independent (parallel probes
+  // stage, the dispatch loop commits in ascending server order).
   const auto jobs = workload::generate_fleet_trace(
       workload::fleet_scale_trace_config(1000, /*jobs_per_server=*/1,
                                          /*seed=*/29));
@@ -177,6 +178,9 @@ TEST(Sharding, ThreadCountsByteIdenticalAtOneThousandServers) {
     EXPECT_EQ(a.servers[s].jobs_placed, b.servers[s].jobs_placed);
     EXPECT_EQ(a.servers[s].probes, b.servers[s].probes);
     EXPECT_EQ(a.servers[s].probe_memo_hits, b.servers[s].probe_memo_hits);
+    EXPECT_EQ(a.servers[s].match_cache_hits, b.servers[s].match_cache_hits);
+    EXPECT_EQ(a.servers[s].match_cache_misses,
+              b.servers[s].match_cache_misses);
     EXPECT_DOUBLE_EQ(a.servers[s].utilization, b.servers[s].utilization);
   }
 }

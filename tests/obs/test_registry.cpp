@@ -1,0 +1,188 @@
+// Registry (obs/registry.hpp): find-or-create semantics, kind safety,
+// log2 histogram bucketing, and the determinism contract — merged
+// totals are identical for any thread interleaving that produced the
+// same events.
+
+#include "obs/registry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mapa::obs {
+namespace {
+
+TEST(Registry, CounterFindOrCreateIsStable) {
+  Registry registry;
+  Counter& a = registry.counter("fleet.ticks");
+  Counter& b = registry.counter("fleet.ticks");
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(registry.size(), 1u);
+
+  a.inc();
+  b.add(2);
+  EXPECT_EQ(a.value(), 3u);
+}
+
+TEST(Registry, NameRegistersExactlyOneKind) {
+  Registry registry;
+  registry.counter("x");
+  EXPECT_THROW(registry.gauge("x"), std::logic_error);
+  EXPECT_THROW(registry.histogram("x"), std::logic_error);
+  registry.histogram("h");
+  EXPECT_THROW(registry.counter("h"), std::logic_error);
+}
+
+TEST(Registry, GaugeTracksLatestValue) {
+  Registry registry;
+  Gauge& g = registry.gauge("depth");
+  g.set(7);
+  EXPECT_EQ(g.value(), 7);
+  g.add(-3);
+  EXPECT_EQ(g.value(), 4);
+  g.set(-10);
+  EXPECT_EQ(g.value(), -10);
+}
+
+TEST(Histogram, BucketEdges) {
+  // Bucket b holds values of bit width b: 0 -> 0, 1 -> 1, 2..3 -> 2,
+  // 4..7 -> 3, ... Every power of two starts a new bucket.
+  EXPECT_EQ(Histogram::bucket_of(0), 0u);
+  EXPECT_EQ(Histogram::bucket_of(1), 1u);
+  EXPECT_EQ(Histogram::bucket_of(2), 2u);
+  EXPECT_EQ(Histogram::bucket_of(3), 2u);
+  EXPECT_EQ(Histogram::bucket_of(4), 3u);
+  EXPECT_EQ(Histogram::bucket_of(7), 3u);
+  EXPECT_EQ(Histogram::bucket_of(8), 4u);
+  EXPECT_EQ(Histogram::bucket_of((1ull << 63) - 1), 63u);
+  EXPECT_EQ(Histogram::bucket_of(1ull << 63), 64u);
+  EXPECT_EQ(Histogram::bucket_of(~0ull), 64u);
+
+  EXPECT_EQ(Histogram::bucket_upper_bound(0), 0u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(1), 1u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(2), 3u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(3), 7u);
+  EXPECT_EQ(Histogram::bucket_upper_bound(64), ~0ull);
+
+  // Round trip: every value is <= its bucket's upper bound, and above
+  // the previous bucket's.
+  for (const std::uint64_t v : {0ull, 1ull, 2ull, 5ull, 100ull, 4096ull}) {
+    const std::size_t b = Histogram::bucket_of(v);
+    EXPECT_LE(v, Histogram::bucket_upper_bound(b));
+    if (b > 0) {
+      EXPECT_GT(v, Histogram::bucket_upper_bound(b - 1));
+    }
+  }
+}
+
+TEST(Histogram, CountSumAndQuantiles) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.quantile(0.5), 0u);
+
+  for (std::uint64_t v = 1; v <= 100; ++v) h.record(v);
+  EXPECT_EQ(h.count(), 100u);
+  EXPECT_EQ(h.sum(), 5050u);
+  // Quantiles are bucket-resolution upper bounds: the median of 1..100
+  // lands in bucket 6 (32..63), the p99 in bucket 7 (64..127).
+  EXPECT_EQ(h.quantile(0.5), 63u);
+  EXPECT_EQ(h.quantile(0.99), 127u);
+
+  const auto buckets = h.buckets();
+  std::uint64_t total = 0;
+  for (const std::uint64_t b : buckets) total += b;
+  EXPECT_EQ(total, 100u);
+  EXPECT_EQ(buckets[1], 1u);  // value 1
+  EXPECT_EQ(buckets[2], 2u);  // 2..3
+  EXPECT_EQ(buckets[7], 37u); // 64..100
+}
+
+// The determinism contract: the same multiset of events produces the
+// same merged totals no matter how many threads recorded them or how
+// the scheduler interleaved them.
+TEST(Registry, MergedTotalsAreThreadCountIndependent) {
+  constexpr std::uint64_t kEventsPerThread = 20000;
+
+  const auto run = [&](std::size_t num_threads) {
+    Registry registry;
+    Counter& events = registry.counter("events");
+    Histogram& values = registry.histogram("values");
+    const auto work = [&](std::size_t thread_index) {
+      for (std::uint64_t i = 0; i < kEventsPerThread; ++i) {
+        events.inc();
+        // Same multiset of recorded values regardless of the split.
+        values.record((thread_index * kEventsPerThread + i) % 1000);
+      }
+    };
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < num_threads; ++t) {
+      threads.emplace_back(work, t);
+    }
+    for (std::thread& t : threads) t.join();
+    return registry.snapshot();
+  };
+
+  // 8 threads record 1/8th each vs 1 thread recording everything: the
+  // value streams cover the same multiset, so every merged number —
+  // count, sum, quantiles — must match exactly.
+  const auto one = run(1);
+  std::vector<MetricSnapshot> eight;
+  {
+    Registry registry;
+    Counter& events = registry.counter("events");
+    Histogram& values = registry.histogram("values");
+    std::vector<std::thread> threads;
+    for (std::size_t t = 0; t < 8; ++t) {
+      threads.emplace_back([&, t] {
+        for (std::uint64_t i = 0; i < kEventsPerThread / 8; ++i) {
+          events.inc();
+          values.record((t * (kEventsPerThread / 8) + i) % 1000);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    eight = registry.snapshot();
+  }
+
+  ASSERT_EQ(one.size(), 2u);
+  ASSERT_EQ(eight.size(), 2u);
+  for (std::size_t i = 0; i < one.size(); ++i) {
+    EXPECT_EQ(one[i].name, eight[i].name);
+    EXPECT_EQ(one[i].value, eight[i].value);
+    EXPECT_EQ(one[i].count, eight[i].count);
+    EXPECT_EQ(one[i].sum, eight[i].sum);
+    EXPECT_EQ(one[i].p50, eight[i].p50);
+    EXPECT_EQ(one[i].p99, eight[i].p99);
+  }
+}
+
+TEST(Registry, SnapshotIsSortedByName) {
+  Registry registry;
+  registry.counter("zebra");
+  registry.gauge("alpha");
+  registry.histogram("mid");
+  const auto snap = registry.snapshot();
+  ASSERT_EQ(snap.size(), 3u);
+  EXPECT_EQ(snap[0].name, "alpha");
+  EXPECT_EQ(snap[1].name, "mid");
+  EXPECT_EQ(snap[2].name, "zebra");
+}
+
+TEST(Registry, ToJsonShape) {
+  Registry registry;
+  registry.counter("c").add(5);
+  registry.gauge("g").set(-2);
+  Histogram& h = registry.histogram("h");
+  h.record(10);
+  const std::string json = registry.to_json();
+  EXPECT_NE(json.find("\"c\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"g\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"count\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"sum\": 10"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mapa::obs

@@ -1,0 +1,87 @@
+// TelemetryLog / TelemetrySample (obs/telemetry.hpp): JSONL shape,
+// utilization math, and the nested shard/archetype arrays.
+
+#include "obs/telemetry.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+
+namespace mapa::obs {
+namespace {
+
+TelemetrySample make_sample() {
+  TelemetrySample s;
+  s.tick = 42;
+  s.sim_time_s = 12.5;
+  s.jobs_pending = 3;
+  s.jobs_running = 5;
+  s.jobs_finished = 100;
+  s.free_gpus = 8;
+  s.total_gpus = 32;
+  s.shards.push_back(ShardSample{2, 6, 4, 16});
+  ArchetypeSample arch;
+  arch.name = "dgx1v";
+  arch.cache_hits = 90;
+  arch.cache_misses = 10;
+  arch.servers = 16;
+  s.archetypes.push_back(arch);
+  return s;
+}
+
+TEST(TelemetrySample, Utilization) {
+  TelemetrySample s;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);  // empty fleet: no div by zero
+  s.total_gpus = 32;
+  s.free_gpus = 8;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.75);
+  s.free_gpus = 32;
+  EXPECT_DOUBLE_EQ(s.utilization(), 0.0);
+  s.free_gpus = 0;
+  EXPECT_DOUBLE_EQ(s.utilization(), 1.0);
+}
+
+TEST(TelemetrySample, ToJsonIsSingleLineWithNestedArrays) {
+  const std::string json = make_sample().to_json();
+  EXPECT_EQ(json.find('\n'), std::string::npos);
+  EXPECT_NE(json.find("\"tick\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"jobs_finished\": 100"), std::string::npos);
+  EXPECT_NE(json.find("\"shards\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"archetypes\": ["), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"dgx1v\""), std::string::npos);
+  EXPECT_NE(json.find("\"cache_hits\": 90"), std::string::npos);
+  // Balanced braces outside strings (archetype names are identifiers).
+  int depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TelemetryLog, JsonlOneObjectPerLine) {
+  TelemetryLog log;
+  EXPECT_TRUE(log.empty());
+  log.append(make_sample());
+  TelemetrySample second = make_sample();
+  second.tick = 43;
+  log.append(second);
+  EXPECT_EQ(log.size(), 2u);
+
+  const std::string jsonl = log.to_jsonl();
+  std::istringstream lines(jsonl);
+  std::string line;
+  std::size_t count = 0;
+  while (std::getline(lines, line)) {
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  EXPECT_NE(jsonl.find("\"tick\": 43"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mapa::obs

@@ -1,0 +1,169 @@
+// TraceSink / Span (obs/trace.hpp): RAII span lifecycle, nesting order,
+// the null-sink no-op path, the event cap, and the Chrome trace-event
+// JSON serialization (brace-balanced, rebased timestamps, args intact).
+
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace mapa::obs {
+namespace {
+
+TEST(Span, NullSinkIsANoOp) {
+  // Must not crash, allocate into a sink, or misbehave on arg()/finish().
+  Span span(nullptr, "cat", "name");
+  span.arg("k", 1);
+  span.arg("s", "value");
+  span.finish();
+  span.finish();  // idempotent
+}
+
+TEST(Span, CompletesOnDestruction) {
+  TraceSink sink;
+  {
+    Span span(&sink, "fleet", "tick");
+    span.arg("tick", 7);
+  }
+  ASSERT_EQ(sink.size(), 1u);
+  const auto events = sink.sorted_events();
+  EXPECT_STREQ(events[0].category, "fleet");
+  EXPECT_STREQ(events[0].name, "tick");
+  EXPECT_FALSE(events[0].instant);
+  ASSERT_EQ(events[0].num_args, 1u);
+  EXPECT_STREQ(events[0].arg_keys[0], "tick");
+  EXPECT_EQ(events[0].arg_values[0], "7");
+}
+
+TEST(Span, FinishIsIdempotent) {
+  TraceSink sink;
+  Span span(&sink, "cat", "once");
+  span.finish();
+  span.finish();
+  EXPECT_EQ(sink.size(), 1u);
+}
+
+TEST(Span, ArgsBeyondCapAreDropped) {
+  TraceSink sink;
+  {
+    Span span(&sink, "cat", "name");
+    for (int i = 0; i < 10; ++i) span.arg("k", i);
+  }
+  EXPECT_EQ(sink.sorted_events()[0].num_args, TraceEvent::kMaxArgs);
+}
+
+TEST(TraceSink, NestedSpansSortOuterFirst) {
+  TraceSink sink;
+  {
+    Span outer(&sink, "fleet", "tick");
+    // Force the clock forward so the inner span's start is strictly
+    // later even on a coarse steady_clock.
+    const std::uint64_t mark = TraceSink::now_ns();
+    while (TraceSink::now_ns() == mark) {
+    }
+    {
+      Span inner(&sink, "fleet", "serve_shard");
+    }
+  }
+  // Inner finishes (and lands in the sink) first, but sorted_events
+  // orders by start time: the outer span started earlier.
+  ASSERT_EQ(sink.size(), 2u);
+  const auto events = sink.sorted_events();
+  EXPECT_STREQ(events[0].name, "tick");
+  EXPECT_STREQ(events[1].name, "serve_shard");
+  EXPECT_LE(events[0].start_ns, events[1].start_ns);
+  // The outer span's interval contains the inner's.
+  EXPECT_GE(events[0].start_ns + events[0].duration_ns,
+            events[1].start_ns + events[1].duration_ns);
+}
+
+TEST(TraceSink, InstantEvents) {
+  TraceSink sink;
+  sink.instant("fleet", "fork");
+  sink.instant("fleet", "rejoin");
+  ASSERT_EQ(sink.size(), 2u);
+  for (const TraceEvent& e : sink.sorted_events()) {
+    EXPECT_TRUE(e.instant);
+    EXPECT_EQ(e.duration_ns, 0u);
+  }
+}
+
+TEST(TraceSink, CapsAtMaxEventsAndCountsDropped) {
+  TraceSink sink(/*max_events=*/4);
+  for (int i = 0; i < 10; ++i) sink.instant("cat", "tick");
+  EXPECT_EQ(sink.size(), 4u);
+  EXPECT_EQ(sink.dropped(), 6u);
+}
+
+TEST(TraceSink, ConcurrentEmittersLoseNothing) {
+  TraceSink sink;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 500;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&sink] {
+      for (int i = 0; i < kPerThread; ++i) {
+        Span span(&sink, "cat", "work");
+        span.arg("i", i);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(sink.size(), static_cast<std::size_t>(kThreads * kPerThread));
+  EXPECT_EQ(sink.dropped(), 0u);
+}
+
+// Hand-rolled structural check: balanced braces/brackets outside
+// strings, so a serializer regression cannot produce silently broken
+// JSON (the Python-side smoke does full parsing in CI).
+void expect_balanced_json(const std::string& json) {
+  int braces = 0;
+  int brackets = 0;
+  bool in_string = false;
+  for (std::size_t i = 0; i < json.size(); ++i) {
+    const char c = json[i];
+    if (c == '"' && (i == 0 || json[i - 1] != '\\')) in_string = !in_string;
+    if (in_string) continue;
+    if (c == '{') ++braces;
+    if (c == '}') --braces;
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    EXPECT_GE(braces, 0);
+    EXPECT_GE(brackets, 0);
+  }
+  EXPECT_FALSE(in_string);
+  EXPECT_EQ(braces, 0);
+  EXPECT_EQ(brackets, 0);
+}
+
+TEST(TraceSink, ToJsonIsWellFormed) {
+  TraceSink sink;
+  {
+    Span span(&sink, "fleet", "tick");
+    span.arg("tick", 1);
+    span.arg("label", "dgx1v");
+    span.arg("ok", true);
+  }
+  sink.instant("fleet", "fork");
+  const std::string json = sink.to_json();
+  expect_balanced_json(json);
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"dgx1v\""), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+  // Timestamps are rebased to the earliest event: some event is at 0.
+  EXPECT_NE(json.find("\"ts\": 0.0"), std::string::npos);
+}
+
+TEST(TraceSink, EmptySinkSerializes) {
+  TraceSink sink;
+  expect_balanced_json(sink.to_json());
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+}  // namespace
+}  // namespace mapa::obs

@@ -55,6 +55,21 @@ REQUIRED_METRICS = {
         r"n1000_bytes_per_server_copied",
         r"n1000_memory_reduction_x",
     ],
+    "observability": [
+        # A null observer vs an all-off Observer must stay within noise
+        # of zero; the acceptance gate for the committed point is <= 1%.
+        r"disabled_overhead_pct",
+        r"no_observer_wall_ms",
+        r"disabled_wall_ms",
+        # The cost of actually collecting, as a committed number.
+        r"enabled_overhead_pct",
+        r"trace_events",
+        r"telemetry_samples",
+        # Span micro-costs: the live-sink throughput and the per-span
+        # price of the disabled (null-sink) path.
+        r"spans_per_sec",
+        r"disabled_span_ns",
+    ],
     "resilience": [
         r"threads",
         # The armed-but-idle fault machinery must stay ~free; the

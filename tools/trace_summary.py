@@ -1,0 +1,153 @@
+#!/usr/bin/env python3
+"""Summarize a Chrome trace-event JSON file produced by the obs/ layer.
+
+Reads the trace written by TraceSink::write_json (and optionally the
+telemetry JSONL written by TelemetryLog::write_jsonl) and prints:
+
+  * per-category totals: event count, total/mean/max duration, and the
+    share of the trace's busy time, sorted by total time;
+  * the top-N slowest complete spans with their args;
+  * instant-event counts by name;
+  * with --telemetry: the sampled fleet time-series condensed to first/
+    peak/last for queue depth, running jobs, utilization, and dead
+    letters.
+
+Exits 1 when the trace is unreadable, empty, or not trace-event shaped,
+so CI can use it as a smoke check that an instrumented run actually
+emitted a loadable trace. Stdlib only.
+
+Usage: tools/trace_summary.py TRACE.json [--telemetry FLEET.jsonl]
+                              [--top N]
+"""
+
+import argparse
+import json
+import sys
+from collections import defaultdict
+from pathlib import Path
+
+
+def load_events(path: Path) -> list:
+    try:
+        data = json.loads(path.read_text())
+    except (OSError, json.JSONDecodeError) as err:
+        sys.exit(f"{path}: unreadable or invalid JSON ({err})")
+    if not isinstance(data, dict) or "traceEvents" not in data:
+        sys.exit(f"{path}: not a Chrome trace-event file (no traceEvents)")
+    events = data["traceEvents"]
+    if not isinstance(events, list) or not events:
+        sys.exit(f"{path}: traceEvents is empty")
+    for event in events:
+        for key in ("name", "cat", "ph", "ts"):
+            if key not in event:
+                sys.exit(f"{path}: event missing required key {key!r}")
+    return events
+
+
+def summarize_trace(events: list, top: int) -> None:
+    spans = [e for e in events if e["ph"] == "X"]
+    instants = [e for e in events if e["ph"] == "i"]
+
+    by_category = defaultdict(lambda: {"count": 0, "total": 0.0, "max": 0.0})
+    for span in spans:
+        dur = float(span.get("dur", 0.0))
+        entry = by_category[span["cat"]]
+        entry["count"] += 1
+        entry["total"] += dur
+        entry["max"] = max(entry["max"], dur)
+    busy_us = sum(entry["total"] for entry in by_category.values()) or 1.0
+
+    threads = {e.get("tid", 0) for e in events}
+    span_us = [float(s.get("dur", 0.0)) for s in spans]
+    wall_us = max((float(e["ts"]) + float(e.get("dur", 0.0)) for e in events),
+                  default=0.0)
+    print(f"{len(events)} events ({len(spans)} spans, {len(instants)} "
+          f"instants) on {len(threads)} threads over "
+          f"{wall_us / 1000.0:.1f} ms")
+
+    print("\nby category (span time, not wall time — nested spans overlap):")
+    header = f"  {'category':<10} {'count':>7} {'total ms':>10} " \
+             f"{'mean us':>9} {'max us':>9} {'share':>7}"
+    print(header)
+    for cat, entry in sorted(by_category.items(),
+                             key=lambda kv: -kv[1]["total"]):
+        mean = entry["total"] / entry["count"]
+        print(f"  {cat:<10} {entry['count']:>7} "
+              f"{entry['total'] / 1000.0:>10.2f} {mean:>9.1f} "
+              f"{entry['max']:>9.1f} {entry['total'] / busy_us:>6.1%}")
+
+    if spans:
+        print(f"\ntop {min(top, len(spans))} slowest spans:")
+        slowest = sorted(spans, key=lambda s: -float(s.get("dur", 0.0)))
+        for span in slowest[:top]:
+            args = span.get("args", {})
+            rendered = " ".join(f"{k}={v}" for k, v in args.items())
+            print(f"  {float(span['dur']):>10.1f} us  "
+                  f"{span['cat']}/{span['name']}"
+                  f"{'  ' + rendered if rendered else ''}")
+
+    if instants:
+        counts = defaultdict(int)
+        for inst in instants:
+            counts[f"{inst['cat']}/{inst['name']}"] += 1
+        print("\ninstant events:")
+        for name, count in sorted(counts.items(), key=lambda kv: -kv[1]):
+            print(f"  {count:>7}  {name}")
+
+
+def summarize_telemetry(path: Path) -> None:
+    samples = []
+    try:
+        for line_no, line in enumerate(path.read_text().splitlines(), 1):
+            if not line.strip():
+                continue
+            try:
+                samples.append(json.loads(line))
+            except json.JSONDecodeError as err:
+                sys.exit(f"{path}:{line_no}: invalid JSON ({err})")
+    except OSError as err:
+        sys.exit(f"{path}: unreadable ({err})")
+    if not samples:
+        sys.exit(f"{path}: no telemetry samples")
+
+    def series(key):
+        return [float(s.get(key, 0)) for s in samples]
+
+    print(f"\ntelemetry: {len(samples)} samples over ticks "
+          f"{samples[0]['tick']}..{samples[-1]['tick']} "
+          f"({samples[-1].get('sim_time_s', 0.0):.0f} s simulated)")
+    rows = [
+        ("jobs pending", series("jobs_pending")),
+        ("jobs running", series("jobs_running")),
+        ("free GPUs", series("free_gpus")),
+        ("utilization", [1.0 - f / t if t else 0.0
+                         for f, t in zip(series("free_gpus"),
+                                         series("total_gpus"))]),
+        ("retry backlog", series("retry_backlog")),
+        ("dead letters", series("dead_letters")),
+        ("crashed servers", series("crashed_servers")),
+    ]
+    print(f"  {'series':<16} {'first':>9} {'peak':>9} {'last':>9}")
+    for name, values in rows:
+        fmt = "{:>9.2f}" if name == "utilization" else "{:>9.0f}"
+        print(f"  {name:<16} " + " ".join(
+            fmt.format(v) for v in (values[0], max(values), values[-1])))
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("trace", type=Path, metavar="TRACE.json")
+    parser.add_argument("--telemetry", type=Path, metavar="FLEET.jsonl",
+                        help="telemetry JSONL from TelemetryLog::write_jsonl")
+    parser.add_argument("--top", type=int, default=10,
+                        help="slowest spans to list (default 10)")
+    args = parser.parse_args()
+
+    summarize_trace(load_events(args.trace), args.top)
+    if args.telemetry is not None:
+        summarize_telemetry(args.telemetry)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
