@@ -1,0 +1,79 @@
+// Allocation-as-a-service in ~80 lines: start the AF_UNIX daemon over a
+// small DGX fleet, drive it with the protocol client — allocate a burst,
+// release one job early, query another, pull a stats snapshot — then
+// stop it gracefully. Runs argument-free and doubles as the example
+// smoke test for the real-socket path (unit tests use the in-process
+// loopback instead; see tests/svc/).
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+#include "workload/job.hpp"
+
+int main() {
+  using namespace mapa;
+
+  std::vector<cluster::ServerSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    cluster::ServerSpec spec;
+    spec.name = "dgx-" + std::to_string(i);
+    spec.topology = graph::dgx1_v100();
+    spec.policy = "preserve";
+    specs.push_back(std::move(spec));
+  }
+
+  const std::string path =
+      "/tmp/mapa_allocation_daemon_" + std::to_string(::getpid()) + ".sock";
+  svc::SocketServer server(path, std::move(specs), svc::ServiceConfig{});
+  server.start();
+  std::printf("daemon listening on %s\n", path.c_str());
+
+  {
+    svc::SocketChannel channel(path);
+    svc::Client client(channel);
+
+    // A burst of ring jobs; ids double as job handles.
+    std::vector<std::uint64_t> requests;
+    for (int id = 1; id <= 8; ++id) {
+      workload::Job job;
+      job.id = id;
+      job.workload = id % 2 == 0 ? "resnet-50" : "gmm";
+      job.num_gpus = 1 + static_cast<std::size_t>(id % 4);
+      job.pattern = job.num_gpus <= 1 ? graph::PatternKind::kSingle
+                                      : graph::PatternKind::kRing;
+      job.bandwidth_sensitive = id % 2 == 0;
+      requests.push_back(client.allocate(job));
+    }
+    for (std::size_t i = 0; i < requests.size(); ++i) {
+      const svc::Reply reply = client.wait(requests[i]);
+      const auto ok = std::get<svc::AllocateReply>(reply.payload);
+      std::printf("job %d -> server %u, %zu GPUs, t=[%.1f, %.1f]s\n",
+                  ok.job_id, ok.server, ok.gpus.size(), ok.start_s,
+                  ok.finish_s);
+    }
+
+    const auto released =
+        std::get<svc::ReleaseReply>(client.wait(client.release(3)).payload);
+    std::printf("release job 3 -> outcome %u\n", released.outcome);
+
+    const auto queried =
+        std::get<svc::QueryReply>(client.wait(client.query(4)).payload);
+    std::printf("query job 4 -> state %u on server %u\n",
+                static_cast<unsigned>(queried.state), queried.server);
+
+    const auto stats =
+        std::get<svc::StatsReply>(client.wait(client.stats()).payload);
+    std::printf("stats: %s\n", stats.json.c_str());
+  }
+
+  server.stop();
+  std::printf("daemon stopped\n");
+  return 0;
+}

@@ -20,45 +20,6 @@ namespace mapa::cluster {
 
 namespace {
 
-/// One running job inside the fleet loop. Kept in a min-heap on finish
-/// time; a fault kill erases the entry outright (std::erase_if +
-/// make_heap — kills are rare), so the heap never holds stale jobs and
-/// the makespan never stretches to a killed job's original finish.
-struct Running {
-  double finish_s = 0.0;
-  std::size_t server = 0;
-  std::uint64_t allocation_id = 0;
-  std::size_t gpus = 0;  // for incremental free-GPU accounting on release
-
-  bool operator>(const Running& other) const {
-    return finish_s > other.finish_s;
-  }
-};
-
-/// Fault-side view of a running job, kept only when the event list arms
-/// the fault machinery: everything a kill needs to unwind the placement.
-struct LiveJob {
-  std::size_t job_index = 0;
-  std::size_t num_gpus = 0;  // allocation size; the mapping itself lives
-                             // in the job's (still-alive) FleetRecord
-  double finish_s = 0.0;
-  std::size_t record_index = 0;  // into FleetResult::records
-};
-
-/// A killed job waiting out its backoff before re-entering the queue.
-/// Min-heap on (ready time, kill sequence) — the sequence breaks ties
-/// deterministically.
-struct Retry {
-  double ready_s = 0.0;
-  std::uint64_t seq = 0;
-  std::size_t job_index = 0;
-
-  bool operator>(const Retry& other) const {
-    if (ready_s != other.ready_s) return ready_s > other.ready_s;
-    return seq > other.seq;
-  }
-};
-
 /// Probe-memo key: the pattern's adjacency fingerprint (shape identity —
 /// GPU count and edge structure) mixed with the sensitivity flag, then
 /// finalized so near-identical fingerprints spread across buckets. A
@@ -87,288 +48,70 @@ const FleetRecord* FleetResult::find(int job_id) const {
   return nullptr;
 }
 
-FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
-                               ClusterConfig config)
-    : config_(std::move(config)) {
-  if (specs.empty()) {
-    throw std::invalid_argument("FleetSimulator: empty fleet");
-  }
-  if (config_.shards == 0) {
-    throw std::invalid_argument("FleetSimulator: zero dispatcher shards");
-  }
-  if (config_.threads > 1 && config_.policy.threads > 1) {
-    throw std::invalid_argument(
-        "FleetSimulator: fleet-level (ClusterConfig::threads) and "
-        "policy-level (policy.threads) parallelism both requested; keep "
-        "policy.threads at 1 and parallelize across servers instead");
-  }
-  selection_ = make_selection(config_.selection);
+/// All mutable state of one start()..finish() session. This is the former
+/// run() body's locals verbatim, lifted into a struct so the loop can be
+/// suspended between ticks: run() is now start + submit-all + step-to-idle
+/// + finish over this state, and the svc/ daemon drives the same methods
+/// one tick at a time — both paths execute identical code, which is what
+/// extends the determinism contract to the service layer.
+struct FleetSimulator::RunState {
+  /// One running job inside the fleet loop. Kept in a min-heap on finish
+  /// time; a fault kill erases the entry outright (std::erase_if +
+  /// make_heap — kills are rare), so the heap never holds stale jobs and
+  /// the makespan never stretches to a killed job's original finish.
+  struct Running {
+    double finish_s = 0.0;
+    std::size_t server = 0;
+    std::uint64_t allocation_id = 0;
+    std::size_t gpus = 0;  // for incremental free-GPU accounting on release
 
-  // The master seed derives one policy sub-seed per server, in fleet
-  // order, so stochastic policies are reproducible across thread counts.
-  util::Rng seed_stream(config_.seed);
-  servers_.reserve(specs.size());
-  for (std::size_t i = 0; i < specs.size(); ++i) {
-    ServerSpec& spec = specs[i];
-    const std::uint64_t policy_seed = seed_stream.next_u64();
-    std::string name = spec.name.empty()
-                           ? spec.topology.name() + "-" + std::to_string(i)
-                           : std::move(spec.name);
-    Server server{std::move(name),
-                  spec.policy,
-                  core::Mapa(std::move(spec.topology),
-                             policy::make_policy(spec.policy, config_.policy,
-                                                 policy_seed)),
-                  /*cache=*/nullptr,
-                  /*cache_primary=*/false,
-                  // Replaying a memoized probe for a stochastic policy
-                  // would skip an RNG draw and shift its stream.
-                  /*memoizable=*/spec.policy != "random",
-                  /*shard=*/0,
-                  /*draining=*/false,
-                  /*crashed=*/false,
-                  // Pristine shared handle, kept so a degraded server can
-                  // re-join its archetype after its last fault is repaired.
-                  /*archetype=*/{},
-                  /*lost_gpus=*/{},
-                  /*degraded_links=*/{},
-                  /*fault_cache=*/nullptr};
-    server.archetype = server.mapa.topology();
-    servers_.push_back(std::move(server));
-  }
-
-  // One match cache per topology archetype: servers with the same
-  // adjacency fingerprint — the identity MatchCache itself pins hardware
-  // on — share one cache, so a fleet stamped from a handful of archetypes
-  // holds a handful of caches instead of one per server. The cache key
-  // folds the busy-mask fingerprint, so per-state entries stay correct on
-  // every sharing server. The lowest-indexed server of each archetype is
-  // the one that reports the shared cache's stats.
-  if (config_.sim.use_match_cache) {
-    std::unordered_map<std::uint64_t, std::shared_ptr<policy::MatchCache>>
-        caches;
-    for (Server& server : servers_) {
-      auto [it, inserted] =
-          caches.try_emplace(server.mapa.topology().fingerprint(), nullptr);
-      if (inserted) {
-        it->second = std::make_shared<policy::MatchCache>();
-        server.cache_primary = true;
-      }
-      server.cache = it->second;
-      server.mapa.policy().set_match_cache(server.cache);
+    bool operator>(const Running& other) const {
+      return finish_s > other.finish_s;
     }
-  }
-
-  // Contiguous shard partition: shard i owns servers [i*n/S, (i+1)*n/S).
-  // Every shard is non-empty because S is clamped to the server count.
-  const std::size_t n = servers_.size();
-  const std::size_t num_shards = std::min(config_.shards, n);
-  shards_.resize(num_shards);
-  for (std::size_t i = 0; i < num_shards; ++i) {
-    const std::size_t begin = i * n / num_shards;
-    const std::size_t end = (i + 1) * n / num_shards;
-    for (std::size_t s = begin; s < end; ++s) {
-      servers_[s].shard = i;
-      shards_[i].servers.push_back(s);
-      shards_[i].max_gpus = std::max(shards_[i].max_gpus,
-                                     servers_[s].mapa.topology().num_vertices());
-    }
-  }
-  memo_enabled_ = config_.probe_memo.value_or(num_shards > 1);
-
-  // Metrics and examples key per-server aggregations by name; duplicates
-  // would silently merge two servers' samples.
-  std::unordered_set<std::string> names;
-  names.reserve(servers_.size());
-  for (const Server& server : servers_) {
-    if (!names.insert(server.name).second) {
-      throw std::invalid_argument("FleetSimulator: duplicate server name '" +
-                                  server.name + "'");
-    }
-  }
-
-  for (const FaultEvent& event : config_.events) {
-    if (event.server >= servers_.size()) {
-      throw std::invalid_argument(
-          "FleetSimulator: event names server " +
-          std::to_string(event.server) + " but the fleet has " +
-          std::to_string(servers_.size()) + " servers");
-    }
-    const std::size_t vertices =
-        servers_[event.server].mapa.topology().num_vertices();
-    switch (event.kind) {
-      case FaultEvent::Kind::kGpuLoss:
-      case FaultEvent::Kind::kGpuRecover:
-        if (event.u >= vertices) {
-          throw std::invalid_argument(
-              "FleetSimulator: GPU fault names accelerator " +
-              std::to_string(event.u) + " but server " +
-              std::to_string(event.server) + " has " +
-              std::to_string(vertices));
-        }
-        break;
-      case FaultEvent::Kind::kLinkDegrade:
-      case FaultEvent::Kind::kLinkRepair:
-        if (event.u >= vertices || event.v >= vertices ||
-            event.u == event.v) {
-          throw std::invalid_argument(
-              "FleetSimulator: link fault names a bad endpoint pair on "
-              "server " +
-              std::to_string(event.server));
-        }
-        if (event.kind == FaultEvent::Kind::kLinkDegrade &&
-            (event.bandwidth_factor < 0.0 || event.bandwidth_factor >= 1.0)) {
-          throw std::invalid_argument(
-              "FleetSimulator: kLinkDegrade bandwidth_factor must be in "
-              "[0, 1)");
-        }
-        break;
-      case FaultEvent::Kind::kDrain:
-      case FaultEvent::Kind::kRestore:
-      case FaultEvent::Kind::kServerCrash:
-        break;
-    }
-    if (event.kind != FaultEvent::Kind::kDrain &&
-        event.kind != FaultEvent::Kind::kRestore) {
-      // Any real fault kind arms the kill/re-queue machinery in run();
-      // drain/restore-only schedules keep the fault-free fast path.
-      faults_armed_ = true;
-    }
-  }
-
-  if (config_.threads > 1) {
-    pool_ = std::make_unique<util::ThreadPool>(config_.threads);
-  }
-}
-
-const graph::Graph& FleetSimulator::hardware(std::size_t server) const {
-  if (server >= servers_.size()) {
-    throw std::out_of_range("FleetSimulator::hardware: bad server index");
-  }
-  return servers_[server].mapa.hardware();
-}
-
-std::size_t FleetSimulator::shard_of(std::size_t server) const {
-  if (server >= servers_.size()) {
-    throw std::out_of_range("FleetSimulator::shard_of: bad server index");
-  }
-  return servers_[server].shard;
-}
-
-std::vector<ServerProbe> FleetSimulator::probe_servers(
-    const std::vector<std::size_t>& candidates, const graph::Graph& pattern,
-    std::uint64_t pattern_key, const workload::Job& job,
-    const std::vector<std::size_t>& server_free, std::vector<ProbeMemo>& memo,
-    std::vector<std::uint64_t>& probe_count,
-    std::vector<std::uint64_t>& memo_hits) {
-  std::vector<std::size_t> eligible;
-  eligible.reserve(candidates.size());
-  for (const std::size_t s : candidates) {
-    if (servers_[s].out_of_rotation()) continue;
-    if (job.num_gpus > servers_[s].mapa.hardware().num_vertices()) continue;
-    eligible.push_back(s);
-  }
-
-  // Probes touch only their own server's policy, cache, busy mask, and
-  // memo bucket, so they are independent; results land at fixed indices
-  // and the selection scans them in server order — thread count cannot
-  // change the outcome. Memoized probes replay the policy's last answer
-  // for this (pattern, sensitivity) against the server's unchanged busy
-  // mask; the memo caches "does not fit" too.
-  //
-  // Cache accounting runs in probe mode: each probe fills a
-  // CacheProbeTicket instead of counting hits/misses in arrival order,
-  // and the tickets are committed below in ascending server order — the
-  // only place probe-phase lookups mutate cache stats or LRU state — so
-  // the hit/miss split is part of the determinism contract at any
-  // thread count.
-  obs::TraceSink* const trace = obs::trace_of(config_.observer);
-  obs::Span fanout_span(trace, "fleet", "probe_fanout");
-  fanout_span.arg("eligible", eligible.size());
-  fanout_span.arg("job", job.id);
-  std::vector<ServerProbe> probes;
-  std::vector<policy::CacheProbeTicket> tickets(eligible.size());
-  const auto probe_one = [&](std::size_t k) {
-    const std::size_t index = eligible[k];
-    Server& server = servers_[index];
-    ServerProbe p;
-    p.server = index;
-    p.total_gpus = server.mapa.hardware().num_vertices();
-    // The incremental free count run() maintains on commit/release —
-    // equal to mapa.free_accelerators() but O(1) instead of an O(V) scan
-    // per probe, which dominates probe-all selections at fleet scale.
-    p.free_gpus = server_free[index];
-    p.bandwidth_sensitive = job.bandwidth_sensitive;
-    const bool memoize = memo_enabled_ && server.memoizable;
-    bool replayed = false;
-    if (memoize) {
-      const auto it = memo[index].find(pattern_key);
-      if (it != memo[index].end()) {
-        p.placement = it->second;
-        ++memo_hits[index];
-        replayed = true;
-      }
-    }
-    if (!replayed) {
-      obs::Span probe_span(trace, "probe", "allocate");
-      probe_span.arg("server", index);
-      policy::AllocationRequest request;
-      request.pattern = &pattern;
-      request.bandwidth_sensitive = job.bandwidth_sensitive;
-      request.cache_probe = &tickets[k];
-      request.trace = trace;
-      p.placement = server.mapa.policy().allocate(server.mapa.hardware(),
-                                                  server.mapa.busy(), request);
-      probe_span.arg("fits", p.placement.has_value());
-      ++probe_count[index];
-      if (memoize) memo[index].emplace(pattern_key, p.placement);
-    }
-    probes[k] = std::move(p);
   };
-  if (!selection_->needs_all_probes()) {
-    // First-fit never looks past the first fitting probe: run the matchers
-    // sequentially in server order and stop at the first fit, so dispatch
-    // cost stays O(1) probes instead of O(shard size).
-    for (std::size_t k = 0; k < eligible.size(); ++k) {
-      probes.resize(k + 1);
-      probe_one(k);
-      if (probes[k].fits()) break;
-    }
-  } else if (pool_ != nullptr && eligible.size() > 1) {
-    probes.resize(eligible.size());
-    pool_->parallel_for(eligible.size(), probe_one);
-  } else {
-    probes.resize(eligible.size());
-    for (std::size_t k = 0; k < eligible.size(); ++k) probe_one(k);
-  }
-  // Sequential commit in ascending server order (eligible is ascending;
-  // probes.size() <= eligible.size() when first-fit stopped early).
-  // Untouched tickets (memo replays, non-caching policies) are kNone and
-  // return without taking the cache lock.
-  for (std::size_t k = 0; k < probes.size(); ++k) {
-    if (tickets[k].kind() == policy::CacheProbeTicket::Kind::kNone) continue;
-    Server& server = servers_[eligible[k]];
-    policy::MatchCache* cache = server.fault_cache != nullptr
-                                    ? server.fault_cache.get()
-                                    : server.cache.get();
-    if (cache != nullptr) cache->commit_probe(tickets[k]);
-  }
-  return probes;
-}
 
-FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
-  // Observability handles: all null when no observer is configured (or
-  // the corresponding ObsConfig flag is off), making every
-  // instrumentation site below a branch on a null pointer.
-  obs::TraceSink* const trace = obs::trace_of(config_.observer);
-  obs::Registry* const metrics = obs::registry_of(config_.observer);
-  obs::TelemetryLog* const telemetry =
-      config_.observer != nullptr ? config_.observer->telemetry() : nullptr;
-  const std::size_t telemetry_every =
-      config_.observer != nullptr
-          ? config_.observer->config().telemetry_every_ticks
-          : 0;
-  struct {
+  /// Fault-side view of a running job, kept only when the session arms
+  /// the fault machinery: everything a kill needs to unwind the placement.
+  struct LiveJob {
+    std::size_t job_index = 0;
+    std::size_t num_gpus = 0;  // allocation size; the mapping itself lives
+                               // in the job's (still-alive) FleetRecord
+    double finish_s = 0.0;
+    std::size_t record_index = 0;  // into FleetResult::records
+  };
+
+  /// A killed job waiting out its backoff before re-entering the queue.
+  /// Min-heap on (ready time, kill sequence) — the sequence breaks ties
+  /// deterministically.
+  struct Retry {
+    double ready_s = 0.0;
+    std::uint64_t seq = 0;
+    std::size_t job_index = 0;
+
+    bool operator>(const Retry& other) const {
+      if (ready_s != other.ready_s) return ready_s > other.ready_s;
+      return seq > other.seq;
+    }
+  };
+
+  /// A submitted job waiting for its arrival time. Min-heap on
+  /// (arrival time, submission sequence) — exactly the order run()'s
+  /// stable sort produced, so incremental submission reproduces the batch
+  /// arrival order when everything is submitted up front.
+  struct Pending {
+    double arrival_s = 0.0;
+    std::uint64_t seq = 0;
+    std::size_t job_index = 0;
+
+    bool operator>(const Pending& other) const {
+      if (arrival_s != other.arrival_s) return arrival_s > other.arrival_s;
+      return seq > other.seq;
+    }
+  };
+
+  /// Fleet metric handles, resolved once per session (null when the
+  /// registry is off).
+  struct MetricHandles {
     obs::Counter* ticks = nullptr;
     obs::Counter* placements = nullptr;
     obs::Counter* kills = nullptr;
@@ -379,107 +122,52 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     obs::Counter* rejoins = nullptr;
     obs::Counter* rescues = nullptr;
     obs::Histogram* queue_wait_ms = nullptr;
-  } fm;
-  if (metrics != nullptr) {
-    fm.ticks = &metrics->counter("fleet.ticks");
-    fm.placements = &metrics->counter("fleet.placements");
-    fm.kills = &metrics->counter("fleet.kills");
-    fm.requeues = &metrics->counter("fleet.requeues");
-    fm.dead_letters = &metrics->counter("fleet.dead_letters");
-    fm.rematches = &metrics->counter("fleet.rematches");
-    fm.forks = &metrics->counter("fleet.topology_forks");
-    fm.rejoins = &metrics->counter("fleet.archetype_rejoins");
-    fm.rescues = &metrics->counter("fleet.rescues");
-    fm.queue_wait_ms = &metrics->histogram("fleet.queue_wait_ms");
-  }
+  };
+
+  FleetSimulator& fleet;
+  StepOptions options;
+  bool armed = false;
+
+  // Observability handles: all null when no observer is configured (or
+  // the corresponding ObsConfig flag is off), making every
+  // instrumentation site below a branch on a null pointer.
+  obs::TraceSink* trace = nullptr;
+  obs::Registry* metrics = nullptr;
+  obs::TelemetryLog* telemetry = nullptr;
+  std::size_t telemetry_every = 0;
+  MetricHandles fm;
 
   std::size_t max_server_gpus = 0;
-  for (const Server& server : servers_) {
-    max_server_gpus =
-        std::max(max_server_gpus, server.mapa.hardware().num_vertices());
-  }
-  for (const workload::Job& job : jobs) {
-    if (job.num_gpus > max_server_gpus) {
-      throw std::invalid_argument(
-          "FleetSimulator::run: job " + std::to_string(job.id) +
-          " requests more GPUs than any server has");
-    }
-  }
+  std::size_t fleet_total_gpus = 0;
 
-  // Arrival order: by arrival time, stable by list position (FIFO) —
-  // mirrors sim::Simulator so a 1-server fleet reproduces its schedule.
-  std::vector<std::size_t> arrival_order(jobs.size());
-  for (std::size_t i = 0; i < jobs.size(); ++i) arrival_order[i] = i;
-  std::stable_sort(arrival_order.begin(), arrival_order.end(),
-                   [&](std::size_t a, std::size_t b) {
-                     return jobs[a].arrival_time_s < jobs[b].arrival_time_s;
-                   });
+  std::vector<workload::Job> jobs;  // submitted jobs, by session index
+  std::vector<Pending> pending;     // min-heap (arrival_s, seq)
+  std::uint64_t submit_seq = 0;
 
-  std::vector<FaultEvent> events = config_.events;
-  std::stable_sort(events.begin(), events.end(),
-                   [](const FaultEvent& a, const FaultEvent& b) {
-                     return a.time_s < b.time_s;
-                   });
-  // A reused simulator starts clean: rotation flags off, fault state
-  // cleared, degraded servers re-joined to their pristine archetype (and
-  // shared cache) before the first job arrives.
-  for (Server& server : servers_) {
-    const bool was_degraded = server.degraded();
-    for (const graph::VertexId v : server.lost_gpus) {
-      server.mapa.set_unusable(v, false);
-    }
-    server.lost_gpus.clear();
-    server.degraded_links.clear();
-    if (was_degraded) {
-      server.mapa.rebind_topology(server.archetype);
-      server.fault_cache.reset();
-      if (server.cache != nullptr) {
-        server.mapa.policy().set_match_cache(server.cache);
-      }
-    }
-    server.draining = false;
-    server.crashed = false;
-  }
+  std::vector<FaultEvent> events;  // sorted by time, ties keep list order
+  std::size_t next_event = 0;
 
-  // Caches live for the simulator's lifetime; snapshot their counters so
-  // this run reports per-run deltas even on a reused FleetSimulator.
-  std::vector<policy::MatchCacheStats> cache_baseline(servers_.size());
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
-    if (servers_[s].cache != nullptr) {
-      cache_baseline[s] = servers_[s].cache->stats();
-    }
-  }
-
+  // Caches live for the simulator's lifetime; their counters are
+  // snapshotted at start() so each session reports per-run deltas even on
+  // a reused FleetSimulator.
+  std::vector<policy::MatchCacheStats> cache_baseline;
   FleetResult result;
-  result.selection = selection_->name();
-  result.shards = shards_.size();
-  result.records.reserve(jobs.size());
-  result.servers.resize(servers_.size());
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
-    ServerResult& sr = result.servers[s];
-    sr.name = servers_[s].name;
-    sr.topology = servers_[s].mapa.hardware().name();
-    sr.policy = servers_[s].policy_name;
-    sr.num_gpus = servers_[s].mapa.hardware().num_vertices();
-    sr.shard = servers_[s].shard;
-    sr.cache_primary = servers_[s].cache_primary;
-  }
 
   // Per-shard queues plus incremental free-GPU counts so shard routing is
   // O(shards) per admission instead of O(servers). shard_free counts only
   // non-draining members; the per-tick probe memo is per server and is
   // dropped whenever that server commits or releases an allocation.
-  std::vector<std::deque<std::size_t>> queues(shards_.size());
-  std::vector<ProbeMemo> memo(servers_.size());
-  std::vector<std::uint64_t> probe_count(servers_.size(), 0);
-  std::vector<std::uint64_t> memo_hits(servers_.size(), 0);
-  std::vector<std::size_t> server_free(servers_.size(), 0);
-  std::vector<std::size_t> shard_free(shards_.size(), 0);
+  std::vector<std::deque<std::size_t>> queues;
+  std::vector<ProbeMemo> memo;
+  std::vector<std::uint64_t> probe_count;
+  std::vector<std::uint64_t> memo_hits;
+  std::vector<std::size_t> server_free;
+  std::vector<std::size_t> shard_free;
   // GPUs requested by jobs sitting in each shard's queue: routing ranks
   // shards by free capacity NET of this backlog, so a burst of same-time
   // arrivals spreads across shards instead of all chasing the shard that
   // looked freest before any of them was served.
-  std::vector<long long> queued_gpus(shards_.size(), 0);
+  std::vector<long long> queued_gpus;
   // A shard needs re-scanning only after something it can see changed: a
   // job entered its queue, one of its servers committed/released/
   // drained/restored, or a rescue moved its work. A clean shard's scan
@@ -487,62 +175,56 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // that cheap but not free — at 10k servers the redundant sweeps
   // dominate dispatch cost), so clean shards are skipped entirely; the
   // outcome is identical because nothing that scan reads has changed.
-  std::vector<char> shard_dirty(shards_.size(), 1);
-  for (std::size_t s = 0; s < servers_.size(); ++s) {
-    server_free[s] = servers_[s].mapa.free_accelerators();
-    shard_free[servers_[s].shard] += server_free[s];
-  }
-  std::vector<std::size_t> all_servers(servers_.size());
-  for (std::size_t s = 0; s < servers_.size(); ++s) all_servers[s] = s;
+  std::vector<char> shard_dirty;
+  std::vector<std::size_t> all_servers;
 
-  // Fault machinery, populated only when the event list arms it (see
-  // faults_armed_): the per-server live-job list a kill unwinds through,
+  // Fault machinery, populated only when the session arms it (see
+  // `armed`): the per-server live-job list a kill unwinds through,
   // per-job retry counters and last-kill times, the backoff heap, and the
-  // alive flags killed placements are compacted through at run end. The
+  // alive flags killed placements are compacted through at finish(). The
   // backoff jitter stream is derived from the master seed alone and drawn
   // in kill order (single-threaded, deterministic), so identical fault
   // schedules replay identical backoff delays at any thread count.
-  const bool armed = faults_armed_;
+  //
   // Per-server live list, sorted ascending by allocation id without any
   // effort: each server's Mapa hands out strictly increasing ids, so
   // appending keeps placement order, and the list length is bounded by
   // the server's GPU count — linear find beats a node-allocating map.
-  std::vector<std::vector<std::pair<std::uint64_t, LiveJob>>> live(
-      servers_.size());
-  std::vector<std::uint32_t> job_retries(jobs.size(), 0);
-  std::vector<double> job_kill_time(jobs.size(), 0.0);
+  std::vector<std::vector<std::pair<std::uint64_t, LiveJob>>> live;
+  std::vector<std::uint32_t> job_retries;
+  std::vector<double> job_kill_time;
   std::vector<Retry> retry_heap;
   std::uint64_t retry_seq = 0;
-  util::Rng backoff_rng(config_.seed ^ 0x9e3779b97f4a7c15ULL);
+  util::Rng backoff_rng;
   std::vector<char> record_alive;
-  // Private-cache stats harvested at each archetype re-join (and at run
-  // end for still-degraded servers), attributed to the degraded server.
-  std::vector<std::uint64_t> fault_hits(servers_.size(), 0);
-  std::vector<std::uint64_t> fault_misses(servers_.size(), 0);
+  // Private-cache stats harvested at each archetype re-join (and at
+  // finish() for still-degraded servers), attributed to the degraded
+  // server.
+  std::vector<std::uint64_t> fault_hits;
+  std::vector<std::uint64_t> fault_misses;
   // In-rotation server count per shard (routing avoids dead shards) and
   // fleet-wide crash/degrade counts for the capacity_degraded_ticks stat.
-  std::vector<std::size_t> shard_alive(shards_.size(), 0);
-  for (const Shard& shard : shards_) {
-    shard_alive[&shard - shards_.data()] = shard.servers.size();
-  }
+  std::vector<std::size_t> shard_alive;
   std::size_t num_crashed = 0;
   std::size_t num_degraded = 0;
 
   std::vector<Running> running;  // min-heap on finish_s (std::greater)
-  std::size_t next_arrival = 0;
-  std::size_t next_event = 0;
   double now = 0.0;
   std::uint64_t tick = 0;
   std::uint64_t finished_jobs = 0;
 
+  /// Outbox of jobs the dispatch loop proved unplaceable on an idle
+  /// fleet, populated instead of throwing when
+  /// StepOptions::collect_unplaceable is set.
+  std::vector<std::size_t> unplaceable;
+
+  explicit RunState(FleetSimulator& f)
+      : fleet(f), backoff_rng(f.config_.seed ^ 0x9e3779b97f4a7c15ULL) {}
+
   // Telemetry time-series: one fleet-state sample every
   // `telemetry_every` ticks (plus a final one at drain), written from
-  // this single-threaded dispatch loop only.
-  std::size_t fleet_total_gpus = 0;
-  for (const Server& server : servers_) {
-    fleet_total_gpus += server.mapa.hardware().num_vertices();
-  }
-  const auto sample_telemetry = [&]() {
+  // the single-threaded dispatch loop only.
+  void sample_telemetry() {
     obs::TelemetrySample sample;
     sample.tick = tick;
     sample.sim_time_s = now;
@@ -557,13 +239,13 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     sample.total_gpus = fleet_total_gpus;
     sample.crashed_servers = num_crashed;
     sample.degraded_servers = num_degraded;
-    for (std::size_t s = 0; s < servers_.size(); ++s) {
-      if (servers_[s].fault_cache != nullptr) ++sample.forked_servers;
+    for (std::size_t s = 0; s < fleet.servers_.size(); ++s) {
+      if (fleet.servers_[s].fault_cache != nullptr) ++sample.forked_servers;
       sample.memo_hits += memo_hits[s];
       sample.memo_probes += memo_hits[s] + probe_count[s];
     }
-    sample.shards.resize(shards_.size());
-    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+    sample.shards.resize(fleet.shards_.size());
+    for (std::size_t sh = 0; sh < fleet.shards_.size(); ++sh) {
       obs::ShardSample& ss = sample.shards[sh];
       ss.queue_depth = queues[sh].size();
       ss.queued_gpus =
@@ -575,8 +257,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     // fleet order of the archetype's primary server. Forked servers
     // probe a private fault cache, so they are not counted as attached.
     std::unordered_map<const policy::MatchCache*, std::size_t> archetype_of;
-    for (std::size_t s = 0; s < servers_.size(); ++s) {
-      const Server& server = servers_[s];
+    for (std::size_t s = 0; s < fleet.servers_.size(); ++s) {
+      const Server& server = fleet.servers_[s];
       if (server.cache == nullptr) continue;
       const auto [it, inserted] = archetype_of.try_emplace(
           server.cache.get(), sample.archetypes.size());
@@ -594,34 +276,38 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       }
     }
     telemetry->append(std::move(sample));
-  };
+  }
 
-  const auto queues_empty = [&]() {
+  bool queues_empty() const {
     for (const std::deque<std::size_t>& q : queues) {
       if (!q.empty()) return false;
     }
     return true;
-  };
+  }
+
+  bool fully_idle() const {
+    return queues_empty() && running.empty() && retry_heap.empty() &&
+           pending.empty();
+  }
 
   // EVERY event that touches a server drops that server's probe memo and
   // re-dirties its shard, whatever the kind: a fault changes the answers
   // probes would give (lost GPU, cut link), and even drain/restore must
   // wake a clean shard so the skip never hides an eligibility change.
-  const auto invalidate_server = [&](std::size_t s) {
+  void invalidate_server(std::size_t s) {
     memo[s].clear();
-    shard_dirty[servers_[s].shard] = 1;
-  };
+    shard_dirty[fleet.servers_[s].shard] = 1;
+  }
 
-  const auto in_rotation = [&](std::size_t s) {
-    return !servers_[s].draining && !servers_[s].crashed;
-  };
+  bool in_rotation(std::size_t s) const {
+    return !fleet.servers_[s].draining && !fleet.servers_[s].crashed;
+  }
 
   // Rotation transitions (drain/restore/crash) keep shard_free — which
   // counts in-rotation servers only — and the per-shard alive count in
   // sync.
-  const auto update_rotation = [&](std::size_t s, bool draining,
-                                   bool crashed) {
-    Server& server = servers_[s];
+  void update_rotation(std::size_t s, bool draining, bool crashed) {
+    Server& server = fleet.servers_[s];
     const bool was = !server.draining && !server.crashed;
     if (crashed != server.crashed) num_crashed += crashed ? 1 : -1;
     server.draining = draining;
@@ -635,35 +321,35 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       ++shard_alive[server.shard];
     }
     shard_dirty[server.shard] = 1;
-  };
+  }
 
-  const auto link_key = [](graph::VertexId u, graph::VertexId v) {
-    return std::pair<graph::VertexId, graph::VertexId>(std::min(u, v),
-                                                       std::max(u, v));
-  };
+  static std::pair<graph::VertexId, graph::VertexId> link_key(
+      graph::VertexId u, graph::VertexId v) {
+    return {std::min(u, v), std::max(u, v)};
+  }
 
   // Deterministic shard picker: among shards with at least one server
   // large enough for the job, route to the one with the most free
   // accelerators (draining servers count zero) net of the GPUs its queue
   // already owes, ties toward the lowest shard index. Capacity
-  // eligibility is static (run() has already validated that some server
-  // fits), so a routed job may still have to wait out a drain — the
-  // rescue pass below covers pathological cases.
+  // eligibility is static (admission has already validated that some
+  // server fits), so a routed job may still have to wait out a drain —
+  // the rescue pass below covers pathological cases.
   // Shards whose every server is out of rotation (e.g. crashed away) are
   // avoided while any eligible shard still has a live server, so re-tried
   // and re-routed jobs never queue behind a dead shard; when every
   // eligible shard is dead the job queues on the best dead one and waits
   // for a restore. Fault-free this is the original picker bit for bit
   // (every shard is alive).
-  const auto route = [&](std::size_t job_index) {
+  void route(std::size_t job_index) {
     obs::Span span(trace, "fleet", "route");
     const workload::Job& job = jobs[job_index];
     std::size_t best = 0;
     long long best_slack = 0;
     bool found = false;
     bool found_alive = false;
-    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
-      if (shards_[sh].max_gpus < job.num_gpus) continue;
+    for (std::size_t sh = 0; sh < fleet.shards_.size(); ++sh) {
+      if (fleet.shards_[sh].max_gpus < job.num_gpus) continue;
       const bool alive = shard_alive[sh] > 0;
       if (found_alive && !alive) continue;
       const long long slack =
@@ -680,19 +366,21 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     shard_dirty[best] = 1;
     span.arg("job", job.id);
     span.arg("shard", best);
-  };
+  }
 
-  const auto admit_arrivals = [&](double time) {
-    while (next_arrival < arrival_order.size() &&
-           jobs[arrival_order[next_arrival]].arrival_time_s <= time) {
-      route(arrival_order[next_arrival]);
-      ++next_arrival;
+  void admit_arrivals(double time) {
+    while (!pending.empty() && pending.front().arrival_s <= time) {
+      std::pop_heap(pending.begin(), pending.end(), std::greater<>{});
+      const Pending next = pending.back();
+      pending.pop_back();
+      route(next.job_index);
     }
-  };
+  }
+
   // Kill one running job: release its accelerators, erase its (not yet
   // surviving) record and heap entry, and either re-queue it with
   // exponential backoff or dead-letter it when the retry budget is spent.
-  const auto kill_job = [&](std::size_t s, std::uint64_t allocation_id) {
+  void kill_job(std::size_t s, std::uint64_t allocation_id) {
     const auto it =
         std::find_if(live[s].begin(), live[s].end(),
                      [&](const auto& e) { return e.first == allocation_id; });
@@ -701,10 +389,10 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     span.arg("server", s);
     const LiveJob lj = it->second;
     live[s].erase(it);
-    servers_[s].mapa.release(allocation_id);
+    fleet.servers_[s].mapa.release(allocation_id);
     const std::size_t gpus = lj.num_gpus;
     server_free[s] += gpus;
-    if (in_rotation(s)) shard_free[servers_[s].shard] += gpus;
+    if (in_rotation(s)) shard_free[fleet.servers_[s].shard] += gpus;
     std::erase_if(running, [&](const Running& r) {
       return r.server == s && r.allocation_id == allocation_id;
     });
@@ -719,7 +407,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     const std::uint32_t kills = ++job_retries[lj.job_index];
     span.arg("kills", kills);
     job_kill_time[lj.job_index] = now;
-    if (kills > config_.max_retries) {
+    if (kills > fleet.config_.max_retries) {
       result.dead_letters.push_back(
           DeadLetter{jobs[lj.job_index], kills, now});
       ++result.resilience.jobs_dead_lettered;
@@ -727,22 +415,23 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     } else {
       const double u = backoff_rng.uniform();
       const double delay =
-          config_.backoff_base_s *
-          std::pow(config_.backoff_factor, static_cast<double>(kills - 1)) *
-          (1.0 + config_.backoff_jitter * u);
+          fleet.config_.backoff_base_s *
+          std::pow(fleet.config_.backoff_factor,
+                   static_cast<double>(kills - 1)) *
+          (1.0 + fleet.config_.backoff_jitter * u);
       retry_heap.push_back(Retry{now + delay, retry_seq++, lj.job_index});
       std::push_heap(retry_heap.begin(), retry_heap.end(), std::greater<>{});
       ++result.resilience.jobs_requeued;
       if (fm.requeues != nullptr) fm.requeues->inc();
     }
-  };
+  }
 
-  const auto kill_all_on = [&](std::size_t s) {
+  void kill_all_on(std::size_t s) {
     std::vector<std::uint64_t> victims;  // ascending id = placement order
     victims.reserve(live[s].size());
     for (const auto& [id, lj] : live[s]) victims.push_back(id);
     for (const std::uint64_t id : victims) kill_job(s, id);
-  };
+  }
 
   // Rebuild server s's working topology from its archetype plus fault
   // state. Degraded: a private fork — lost GPUs isolated, degraded links
@@ -751,8 +440,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // cache so the fork's wholesale invalidation can never evict the
   // healthy siblings' shared entries. Clean again: re-join the archetype
   // handle and shared cache, harvesting the private cache's stats.
-  const auto fork_or_rejoin = [&](std::size_t s, bool was_degraded) {
-    Server& server = servers_[s];
+  void fork_or_rejoin(std::size_t s, bool was_degraded) {
+    Server& server = fleet.servers_[s];
     if (server.degraded()) {
       const graph::Graph& base = server.archetype.graph();
       graph::Graph forked(base.num_vertices(), base.name());
@@ -803,7 +492,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
         server.mapa.policy().set_match_cache(server.cache);
       }
     }
-  };
+  }
 
   // After a link change, walk server s's running jobs: a mapping whose
   // pattern edges all survive is untouched (a factor > 0 degrade keeps
@@ -813,8 +502,8 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // embedding remains. A re-match keeps the job's accelerators, exec
   // time, and finish time; the record's mapping is updated (its placement
   // scores still describe the original decision).
-  const auto recheck_running = [&](std::size_t s) {
-    Server& server = servers_[s];
+  void recheck_running(std::size_t s) {
+    Server& server = fleet.servers_[s];
     const graph::Graph& hw = server.mapa.hardware();
     std::vector<std::uint64_t> broken;
     for (auto& [id, lj] : live[s]) {
@@ -846,12 +535,12 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       }
     }
     for (const std::uint64_t id : broken) kill_job(s, id);
-  };
+  }
 
   // A crash that takes a shard's last in-rotation server re-routes the
   // shard's queued jobs immediately — while capacity exists elsewhere
   // they are rescued, not left to wait for the fleet-idle rescue pass.
-  const auto reroute_if_dead = [&](std::size_t sh) {
+  void reroute_if_dead(std::size_t sh) {
     if (shard_alive[sh] > 0 || queues[sh].empty()) return;
     std::deque<std::size_t> moved;
     moved.swap(queues[sh]);
@@ -859,9 +548,9 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       queued_gpus[sh] -= static_cast<long long>(jobs[ji].num_gpus);
     }
     for (const std::size_t ji : moved) route(ji);
-  };
+  }
 
-  const auto admit_retries = [&](double time) {
+  void admit_retries(double time) {
     while (!retry_heap.empty() && retry_heap.front().ready_s <= time) {
       std::pop_heap(retry_heap.begin(), retry_heap.end(), std::greater<>{});
       const Retry retry = retry_heap.back();
@@ -869,11 +558,11 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       if (trace != nullptr) trace->instant("fleet", "retry");
       route(retry.job_index);
     }
-  };
+  }
 
   // Static span names per fault kind, so a trace groups fault handling
   // by what happened rather than one opaque "event".
-  const auto event_span_name = [](FaultEvent::Kind kind) {
+  static const char* event_span_name(FaultEvent::Kind kind) {
     switch (kind) {
       case FaultEvent::Kind::kDrain: return "drain";
       case FaultEvent::Kind::kRestore: return "restore";
@@ -884,13 +573,14 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       case FaultEvent::Kind::kLinkRepair: return "link_repair";
     }
     return "fault";
-  };
-  const auto apply_events = [&](double time) {
+  }
+
+  void apply_events(double time) {
     while (next_event < events.size() && events[next_event].time_s <= time) {
       const FaultEvent& event = events[next_event];
       ++next_event;
       const std::size_t s = event.server;
-      Server& server = servers_[s];
+      Server& server = fleet.servers_[s];
       obs::Span span(trace, "fault", event_span_name(event.kind));
       span.arg("server", s);
       span.arg("sim_time_s", event.time_s);
@@ -993,20 +683,18 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       }
       invalidate_server(s);
     }
-  };
-  apply_events(now);
-  admit_arrivals(now);
+  }
 
   // Commit a winning probe and record the placement. `queue_shard` and
   // `queue_pos` locate the job in the queue it currently sits in (its own
   // shard's, or — on a rescue — one foreign to the winning server).
-  const auto place = [&](std::size_t queue_shard, std::size_t queue_pos,
-                         ServerProbe& winner, const graph::Graph& pattern,
-                         double overhead_ms) {
+  void place(std::size_t queue_shard, std::size_t queue_pos,
+             ServerProbe& winner, const graph::Graph& pattern,
+             double overhead_ms) {
     obs::Span span(trace, "fleet", "commit");
     span.arg("server", winner.server);
     std::deque<std::size_t>& queue = queues[queue_shard];
-    Server& server = servers_[winner.server];
+    Server& server = fleet.servers_[winner.server];
     const std::size_t job_index = queue[queue_pos];
     const workload::Job& job = jobs[job_index];
     span.arg("job", job.id);
@@ -1026,10 +714,10 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     match::Match m;
     m.mapping = allocation.gpus();
     record.measured_effbw = interconnect::measured_effective_bandwidth(
-        pattern, server.mapa.hardware(), m, config_.sim.microbench);
+        pattern, server.mapa.hardware(), m, fleet.config_.sim.microbench);
 
     const workload::ExecModel model(job.profile());
-    const double effbw = config_.sim.exec_uses_measured_effbw
+    const double effbw = fleet.config_.sim.exec_uses_measured_effbw
                              ? record.measured_effbw
                              : record.predicted_effbw;
     record.exec_s = model.exec_time_s(job.num_gpus, effbw, job.iter_scale);
@@ -1077,13 +765,13 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
           LiveJob{job_index, gpus, finish_s, result.records.size() - 1});
     }
     queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(queue_pos));
-  };
+  }
 
   // Serve one shard: FIFO head first; optionally backfill a later job
   // past a blocked head (SimConfig.backfill, same window semantics as the
   // single-server engine). Places at most one job per call; probes only
   // the shard's own servers.
-  const auto serve_shard = [&](std::size_t sh) {
+  bool serve_shard(std::size_t sh) {
     std::deque<std::size_t>& queue = queues[sh];
     if (queue.empty()) return false;
     obs::Span span(trace, "fleet", "serve_shard");
@@ -1094,20 +782,22 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
     std::vector<ServerProbe> probes;
     double overhead_ms = 0.0;
     const std::size_t scan_limit =
-        config_.sim.backfill
-            ? std::min(queue.size(), config_.sim.backfill_window + 1)
+        fleet.config_.sim.backfill
+            ? std::min(queue.size(), fleet.config_.sim.backfill_window + 1)
             : std::size_t{1};
     graph::Graph pattern;
     for (; queue_pos < scan_limit; ++queue_pos) {
       const workload::Job& candidate = jobs[queue[queue_pos]];
       pattern = candidate.application_graph();
       const std::uint64_t key =
-          memo_enabled_ ? probe_key(pattern, candidate.bandwidth_sensitive)
-                        : 0;
+          fleet.memo_enabled_
+              ? probe_key(pattern, candidate.bandwidth_sensitive)
+              : 0;
       const auto wall_start = std::chrono::steady_clock::now();
-      probes = probe_servers(shards_[sh].servers, pattern, key, candidate,
-                             server_free, memo, probe_count, memo_hits);
-      chosen_probe = selection_->select(probes);
+      probes = fleet.probe_servers(fleet.shards_[sh].servers, pattern, key,
+                                   candidate, server_free, memo, probe_count,
+                                   memo_hits);
+      chosen_probe = fleet.selection_->select(probes);
       const auto wall_end = std::chrono::steady_clock::now();
       overhead_ms +=
           std::chrono::duration<double, std::milli>(wall_end - wall_start)
@@ -1119,7 +809,7 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
 
     place(sh, queue_pos, probes[*chosen_probe], pattern, overhead_ms);
     return true;
-  };
+  }
 
   // Cross-shard rescue: only reached when the fleet is otherwise idle
   // (nothing running, arriving, or scheduled) yet some shard queue is
@@ -1130,27 +820,29 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
   // rescue never places a job the in-shard scheduler would not have
   // reached. Returns false only when no server in the fleet fits any
   // servable candidate — the genuinely-unplaceable case.
-  const auto rescue = [&]() {
+  bool rescue() {
     obs::Span span(trace, "fleet", "rescue");
-    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+    for (std::size_t sh = 0; sh < fleet.shards_.size(); ++sh) {
       std::deque<std::size_t>& queue = queues[sh];
       if (queue.empty()) continue;
       const std::size_t scan_limit =
-          config_.sim.backfill
-              ? std::min(queue.size(), config_.sim.backfill_window + 1)
+          fleet.config_.sim.backfill
+              ? std::min(queue.size(), fleet.config_.sim.backfill_window + 1)
               : std::size_t{1};
       graph::Graph pattern;
       for (std::size_t pos = 0; pos < scan_limit; ++pos) {
         const workload::Job& candidate = jobs[queue[pos]];
         pattern = candidate.application_graph();
         const std::uint64_t key =
-            memo_enabled_ ? probe_key(pattern, candidate.bandwidth_sensitive)
-                          : 0;
+            fleet.memo_enabled_
+                ? probe_key(pattern, candidate.bandwidth_sensitive)
+                : 0;
         const auto wall_start = std::chrono::steady_clock::now();
         std::vector<ServerProbe> probes =
-            probe_servers(all_servers, pattern, key, candidate, server_free,
-                          memo, probe_count, memo_hits);
-        const std::optional<std::size_t> chosen = selection_->select(probes);
+            fleet.probe_servers(all_servers, pattern, key, candidate,
+                                server_free, memo, probe_count, memo_hits);
+        const std::optional<std::size_t> chosen =
+            fleet.selection_->select(probes);
         const auto wall_end = std::chrono::steady_clock::now();
         const double overhead_ms =
             std::chrono::duration<double, std::milli>(wall_end - wall_start)
@@ -1164,177 +856,821 @@ FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
       }
     }
     return false;
-  };
+  }
+};
 
-  // Events are pure wakeups for queued work: once the queues, running set,
-  // and arrivals are exhausted, remaining drains/restores can't change
-  // anything and must not extend the makespan.
-  while (!queues_empty() || !running.empty() || !retry_heap.empty() ||
-         next_arrival < arrival_order.size()) {
-    obs::Span tick_span(trace, "fleet", "tick");
-    tick_span.arg("tick", tick);
-    tick_span.arg("sim_time_s", now);
-    if (fm.ticks != nullptr) fm.ticks->inc();
-    if (telemetry != nullptr && telemetry_every > 0 &&
-        tick % telemetry_every == 0) {
-      sample_telemetry();
-    }
-    ++tick;
-    if (num_crashed > 0 || num_degraded > 0) {
-      ++result.resilience.capacity_degraded_ticks;
-    }
-    // Serve the shards round-robin, one placement at a time, until no
-    // shard can place anything more at the current instant. Shards whose
-    // visible state hasn't changed since their last failed scan are
-    // skipped (see shard_dirty above).
-    bool progressed = true;
-    while (progressed) {
-      progressed = false;
-      for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
-        if (!shard_dirty[sh]) continue;
-        if (serve_shard(sh)) {
-          progressed = true;
-        } else {
-          shard_dirty[sh] = 0;
-        }
-      }
-    }
+FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
+                               ClusterConfig config)
+    : config_(std::move(config)) {
+  if (specs.empty()) {
+    throw std::invalid_argument("FleetSimulator: empty fleet");
+  }
+  if (config_.shards == 0) {
+    throw std::invalid_argument("FleetSimulator: zero dispatcher shards");
+  }
+  if (config_.threads > 1 && config_.policy.threads > 1) {
+    throw std::invalid_argument(
+        "FleetSimulator: fleet-level (ClusterConfig::threads) and "
+        "policy-level (policy.threads) parallelism both requested; keep "
+        "policy.threads at 1 and parallelize across servers instead");
+  }
+  selection_ = make_selection(config_.selection);
 
-    if (running.empty() && queues_empty() && retry_heap.empty() &&
-        next_arrival >= arrival_order.size()) {
-      break;
-    }
-
-    // Advance time to the next event: a completion, an arrival, a
-    // scheduled fault/repair, or a retry coming off backoff.
-    bool have_next = false;
-    double next_time = 0.0;
-    const auto consider = [&](double t) {
-      if (!have_next || t < next_time) next_time = t;
-      have_next = true;
-    };
-    if (!running.empty()) consider(running.front().finish_s);
-    if (next_arrival < arrival_order.size()) {
-      consider(jobs[arrival_order[next_arrival]].arrival_time_s);
-    }
-    if (next_event < events.size()) consider(events[next_event].time_s);
-    if (!retry_heap.empty()) consider(retry_heap.front().ready_s);
-    if (!have_next) {
-      if (shards_.size() > 1 && rescue()) continue;
-      // Some queue is non-empty but nothing is running, arriving, or
-      // scheduled, and (after the rescue pass, when sharded) no server in
-      // the fleet fits. A fault-retried job stuck here was made
-      // unplaceable by permanent faults: dead-letter it and move on. A
-      // fresh job that never fit anywhere keeps the hard error.
-      bool dropped = false;
-      for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
-        std::deque<std::size_t>& queue = queues[sh];
-        for (std::size_t pos = 0; pos < queue.size();) {
-          const std::size_t ji = queue[pos];
-          if (armed && job_retries[ji] > 0) {
-            result.dead_letters.push_back(
-                DeadLetter{jobs[ji], job_retries[ji], now});
-            ++result.resilience.jobs_dead_lettered;
-            queued_gpus[sh] -= static_cast<long long>(jobs[ji].num_gpus);
-            queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pos));
-            dropped = true;
-          } else {
-            ++pos;
-          }
-        }
-      }
-      if (dropped) continue;
-      std::size_t stuck = 0;
-      for (const std::deque<std::size_t>& q : queues) {
-        if (!q.empty()) {
-          stuck = q.front();
-          break;
-        }
-      }
-      throw std::runtime_error("FleetSimulator::run: job " +
-                               std::to_string(jobs[stuck].id) +
-                               " cannot be placed on any idle server");
-    }
-    now = std::max(now, next_time);
-
-    while (!running.empty() && running.front().finish_s <= now) {
-      const Running done = running.front();
-      std::pop_heap(running.begin(), running.end(), std::greater<>{});
-      running.pop_back();
-      ++finished_jobs;
-      servers_[done.server].mapa.release(done.allocation_id);
-      if (armed) {
-        std::erase_if(live[done.server], [&](const auto& e) {
-          return e.first == done.allocation_id;
-        });
-      }
-      server_free[done.server] += done.gpus;
-      if (in_rotation(done.server)) {
-        shard_free[servers_[done.server].shard] += done.gpus;
-      }
-      shard_dirty[servers_[done.server].shard] = 1;
-      memo[done.server].clear();  // busy mask changed: stale probe answers
-    }
-    apply_events(now);
-    admit_retries(now);
-    admit_arrivals(now);
+  // The master seed derives one policy sub-seed per server, in fleet
+  // order, so stochastic policies are reproducible across thread counts.
+  util::Rng seed_stream(config_.seed);
+  servers_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    ServerSpec& spec = specs[i];
+    const std::uint64_t policy_seed = seed_stream.next_u64();
+    std::string name = spec.name.empty()
+                           ? spec.topology.name() + "-" + std::to_string(i)
+                           : std::move(spec.name);
+    Server server{std::move(name),
+                  spec.policy,
+                  core::Mapa(std::move(spec.topology),
+                             policy::make_policy(spec.policy, config_.policy,
+                                                 policy_seed)),
+                  /*cache=*/nullptr,
+                  /*cache_primary=*/false,
+                  // Replaying a memoized probe for a stochastic policy
+                  // would skip an RNG draw and shift its stream.
+                  /*memoizable=*/spec.policy != "random",
+                  /*shard=*/0,
+                  /*draining=*/false,
+                  /*crashed=*/false,
+                  // Pristine shared handle, kept so a degraded server can
+                  // re-join its archetype after its last fault is repaired.
+                  /*archetype=*/{},
+                  /*lost_gpus=*/{},
+                  /*degraded_links=*/{},
+                  /*fault_cache=*/nullptr};
+    server.archetype = server.mapa.topology();
+    servers_.push_back(std::move(server));
   }
 
+  // One match cache per topology archetype: servers with the same
+  // adjacency fingerprint — the identity MatchCache itself pins hardware
+  // on — share one cache, so a fleet stamped from a handful of archetypes
+  // holds a handful of caches instead of one per server. The cache key
+  // folds the busy-mask fingerprint, so per-state entries stay correct on
+  // every sharing server. The lowest-indexed server of each archetype is
+  // the one that reports the shared cache's stats.
+  if (config_.sim.use_match_cache) {
+    std::unordered_map<std::uint64_t, std::shared_ptr<policy::MatchCache>>
+        caches;
+    for (Server& server : servers_) {
+      auto [it, inserted] =
+          caches.try_emplace(server.mapa.topology().fingerprint(), nullptr);
+      if (inserted) {
+        it->second = std::make_shared<policy::MatchCache>();
+        server.cache_primary = true;
+      }
+      server.cache = it->second;
+      server.mapa.policy().set_match_cache(server.cache);
+    }
+  }
+
+  // Contiguous shard partition: shard i owns servers [i*n/S, (i+1)*n/S).
+  // Every shard is non-empty because S is clamped to the server count.
+  const std::size_t n = servers_.size();
+  const std::size_t num_shards = std::min(config_.shards, n);
+  shards_.resize(num_shards);
+  for (std::size_t i = 0; i < num_shards; ++i) {
+    const std::size_t begin = i * n / num_shards;
+    const std::size_t end = (i + 1) * n / num_shards;
+    for (std::size_t s = begin; s < end; ++s) {
+      servers_[s].shard = i;
+      shards_[i].servers.push_back(s);
+      shards_[i].max_gpus = std::max(shards_[i].max_gpus,
+                                     servers_[s].mapa.topology().num_vertices());
+    }
+  }
+  memo_enabled_ = config_.probe_memo.value_or(num_shards > 1);
+
+  // Metrics and examples key per-server aggregations by name; duplicates
+  // would silently merge two servers' samples.
+  std::unordered_set<std::string> names;
+  names.reserve(servers_.size());
+  for (const Server& server : servers_) {
+    if (!names.insert(server.name).second) {
+      throw std::invalid_argument("FleetSimulator: duplicate server name '" +
+                                  server.name + "'");
+    }
+  }
+
+  for (const FaultEvent& event : config_.events) {
+    validate_event(event);
+    if (event.kind != FaultEvent::Kind::kDrain &&
+        event.kind != FaultEvent::Kind::kRestore) {
+      // Any real fault kind arms the kill/re-queue machinery in the
+      // dispatch loop; drain/restore-only schedules keep the fault-free
+      // fast path.
+      faults_armed_ = true;
+    }
+  }
+
+  if (config_.threads > 1) {
+    pool_ = std::make_unique<util::ThreadPool>(config_.threads);
+  }
+}
+
+// Out of line for the std::unique_ptr<RunState> member (incomplete in the
+// header).
+FleetSimulator::~FleetSimulator() = default;
+
+void FleetSimulator::validate_event(const FaultEvent& event) const {
+  if (event.server >= servers_.size()) {
+    throw std::invalid_argument(
+        "FleetSimulator: event names server " +
+        std::to_string(event.server) + " but the fleet has " +
+        std::to_string(servers_.size()) + " servers");
+  }
+  const std::size_t vertices =
+      servers_[event.server].mapa.topology().num_vertices();
+  switch (event.kind) {
+    case FaultEvent::Kind::kGpuLoss:
+    case FaultEvent::Kind::kGpuRecover:
+      if (event.u >= vertices) {
+        throw std::invalid_argument(
+            "FleetSimulator: GPU fault names accelerator " +
+            std::to_string(event.u) + " but server " +
+            std::to_string(event.server) + " has " +
+            std::to_string(vertices));
+      }
+      break;
+    case FaultEvent::Kind::kLinkDegrade:
+    case FaultEvent::Kind::kLinkRepair:
+      if (event.u >= vertices || event.v >= vertices ||
+          event.u == event.v) {
+        throw std::invalid_argument(
+            "FleetSimulator: link fault names a bad endpoint pair on "
+            "server " +
+            std::to_string(event.server));
+      }
+      if (event.kind == FaultEvent::Kind::kLinkDegrade &&
+          (event.bandwidth_factor < 0.0 || event.bandwidth_factor >= 1.0)) {
+        throw std::invalid_argument(
+            "FleetSimulator: kLinkDegrade bandwidth_factor must be in "
+            "[0, 1)");
+      }
+      break;
+    case FaultEvent::Kind::kDrain:
+    case FaultEvent::Kind::kRestore:
+    case FaultEvent::Kind::kServerCrash:
+      break;
+  }
+}
+
+const graph::Graph& FleetSimulator::hardware(std::size_t server) const {
+  if (server >= servers_.size()) {
+    throw std::out_of_range("FleetSimulator::hardware: bad server index");
+  }
+  return servers_[server].mapa.hardware();
+}
+
+std::size_t FleetSimulator::shard_of(std::size_t server) const {
+  if (server >= servers_.size()) {
+    throw std::out_of_range("FleetSimulator::shard_of: bad server index");
+  }
+  return servers_[server].shard;
+}
+
+std::vector<ServerProbe> FleetSimulator::probe_servers(
+    const std::vector<std::size_t>& candidates, const graph::Graph& pattern,
+    std::uint64_t pattern_key, const workload::Job& job,
+    const std::vector<std::size_t>& server_free, std::vector<ProbeMemo>& memo,
+    std::vector<std::uint64_t>& probe_count,
+    std::vector<std::uint64_t>& memo_hits) {
+  std::vector<std::size_t> eligible;
+  eligible.reserve(candidates.size());
+  for (const std::size_t s : candidates) {
+    if (servers_[s].out_of_rotation()) continue;
+    if (job.num_gpus > servers_[s].mapa.hardware().num_vertices()) continue;
+    eligible.push_back(s);
+  }
+
+  // Probes touch only their own server's policy, cache, busy mask, and
+  // memo bucket, so they are independent; results land at fixed indices
+  // and the selection scans them in server order — thread count cannot
+  // change the outcome. Memoized probes replay the policy's last answer
+  // for this (pattern, sensitivity) against the server's unchanged busy
+  // mask; the memo caches "does not fit" too.
+  //
+  // Cache accounting runs in probe mode: each probe fills a
+  // CacheProbeTicket instead of counting hits/misses in arrival order,
+  // and the tickets are committed below in ascending server order — the
+  // only place probe-phase lookups mutate cache stats or LRU state — so
+  // the hit/miss split is part of the determinism contract at any
+  // thread count.
+  obs::TraceSink* const trace = obs::trace_of(config_.observer);
+  obs::Span fanout_span(trace, "fleet", "probe_fanout");
+  fanout_span.arg("eligible", eligible.size());
+  fanout_span.arg("job", job.id);
+  std::vector<ServerProbe> probes;
+  std::vector<policy::CacheProbeTicket> tickets(eligible.size());
+  const auto probe_one = [&](std::size_t k) {
+    const std::size_t index = eligible[k];
+    Server& server = servers_[index];
+    ServerProbe p;
+    p.server = index;
+    p.total_gpus = server.mapa.hardware().num_vertices();
+    // The incremental free count the dispatch loop maintains on
+    // commit/release — equal to mapa.free_accelerators() but O(1) instead
+    // of an O(V) scan per probe, which dominates probe-all selections at
+    // fleet scale.
+    p.free_gpus = server_free[index];
+    p.bandwidth_sensitive = job.bandwidth_sensitive;
+    const bool memoize = memo_enabled_ && server.memoizable;
+    bool replayed = false;
+    if (memoize) {
+      const auto it = memo[index].find(pattern_key);
+      if (it != memo[index].end()) {
+        p.placement = it->second;
+        ++memo_hits[index];
+        replayed = true;
+      }
+    }
+    if (!replayed) {
+      obs::Span probe_span(trace, "probe", "allocate");
+      probe_span.arg("server", index);
+      policy::AllocationRequest request;
+      request.pattern = &pattern;
+      request.bandwidth_sensitive = job.bandwidth_sensitive;
+      request.cache_probe = &tickets[k];
+      request.trace = trace;
+      p.placement = server.mapa.policy().allocate(server.mapa.hardware(),
+                                                  server.mapa.busy(), request);
+      probe_span.arg("fits", p.placement.has_value());
+      ++probe_count[index];
+      if (memoize) memo[index].emplace(pattern_key, p.placement);
+    }
+    probes[k] = std::move(p);
+  };
+  if (!selection_->needs_all_probes()) {
+    // First-fit never looks past the first fitting probe: run the matchers
+    // sequentially in server order and stop at the first fit, so dispatch
+    // cost stays O(1) probes instead of O(shard size).
+    for (std::size_t k = 0; k < eligible.size(); ++k) {
+      probes.resize(k + 1);
+      probe_one(k);
+      if (probes[k].fits()) break;
+    }
+  } else if (pool_ != nullptr && eligible.size() > 1) {
+    probes.resize(eligible.size());
+    pool_->parallel_for(eligible.size(), probe_one);
+  } else {
+    probes.resize(eligible.size());
+    for (std::size_t k = 0; k < eligible.size(); ++k) probe_one(k);
+  }
+  // Sequential commit in ascending server order (eligible is ascending;
+  // probes.size() <= eligible.size() when first-fit stopped early).
+  // Untouched tickets (memo replays, non-caching policies) are kNone and
+  // return without taking the cache lock.
+  for (std::size_t k = 0; k < probes.size(); ++k) {
+    if (tickets[k].kind() == policy::CacheProbeTicket::Kind::kNone) continue;
+    Server& server = servers_[eligible[k]];
+    policy::MatchCache* cache = server.fault_cache != nullptr
+                                    ? server.fault_cache.get()
+                                    : server.cache.get();
+    if (cache != nullptr) cache->commit_probe(tickets[k]);
+  }
+  return probes;
+}
+
+void FleetSimulator::start(StepOptions options) {
+  if (state_ != nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::start: a session is already active (finish() it "
+        "first)");
+  }
+  state_ = std::make_unique<RunState>(*this);
+  RunState& st = *state_;
+  st.options = options;
+  st.armed = options.arm_faults || faults_armed_;
+
+  st.trace = obs::trace_of(config_.observer);
+  st.metrics = obs::registry_of(config_.observer);
+  st.telemetry =
+      config_.observer != nullptr ? config_.observer->telemetry() : nullptr;
+  st.telemetry_every =
+      config_.observer != nullptr
+          ? config_.observer->config().telemetry_every_ticks
+          : 0;
+  if (st.metrics != nullptr) {
+    st.fm.ticks = &st.metrics->counter("fleet.ticks");
+    st.fm.placements = &st.metrics->counter("fleet.placements");
+    st.fm.kills = &st.metrics->counter("fleet.kills");
+    st.fm.requeues = &st.metrics->counter("fleet.requeues");
+    st.fm.dead_letters = &st.metrics->counter("fleet.dead_letters");
+    st.fm.rematches = &st.metrics->counter("fleet.rematches");
+    st.fm.forks = &st.metrics->counter("fleet.topology_forks");
+    st.fm.rejoins = &st.metrics->counter("fleet.archetype_rejoins");
+    st.fm.rescues = &st.metrics->counter("fleet.rescues");
+    st.fm.queue_wait_ms = &st.metrics->histogram("fleet.queue_wait_ms");
+  }
+
+  for (const Server& server : servers_) {
+    const std::size_t gpus = server.mapa.hardware().num_vertices();
+    st.max_server_gpus = std::max(st.max_server_gpus, gpus);
+    st.fleet_total_gpus += gpus;
+  }
+
+  st.jobs.reserve(options.expected_jobs);
+  st.pending.reserve(options.expected_jobs);
+  st.job_retries.reserve(options.expected_jobs);
+  st.job_kill_time.reserve(options.expected_jobs);
+
+  st.events = config_.events;
+  std::stable_sort(st.events.begin(), st.events.end(),
+                   [](const FaultEvent& a, const FaultEvent& b) {
+                     return a.time_s < b.time_s;
+                   });
+
+  // A reused simulator starts clean: rotation flags off, fault state
+  // cleared, degraded servers re-joined to their pristine archetype (and
+  // shared cache) before the first job arrives.
+  for (Server& server : servers_) {
+    const bool was_degraded = server.degraded();
+    for (const graph::VertexId v : server.lost_gpus) {
+      server.mapa.set_unusable(v, false);
+    }
+    server.lost_gpus.clear();
+    server.degraded_links.clear();
+    if (was_degraded) {
+      server.mapa.rebind_topology(server.archetype);
+      server.fault_cache.reset();
+      if (server.cache != nullptr) {
+        server.mapa.policy().set_match_cache(server.cache);
+      }
+    }
+    server.draining = false;
+    server.crashed = false;
+  }
+
+  st.cache_baseline.resize(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    if (servers_[s].cache != nullptr) {
+      st.cache_baseline[s] = servers_[s].cache->stats();
+    }
+  }
+
+  st.result.selection = selection_->name();
+  st.result.shards = shards_.size();
+  st.result.records.reserve(options.expected_jobs);
+  st.result.servers.resize(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    ServerResult& sr = st.result.servers[s];
+    sr.name = servers_[s].name;
+    sr.topology = servers_[s].mapa.hardware().name();
+    sr.policy = servers_[s].policy_name;
+    sr.num_gpus = servers_[s].mapa.hardware().num_vertices();
+    sr.shard = servers_[s].shard;
+    sr.cache_primary = servers_[s].cache_primary;
+  }
+
+  st.queues.resize(shards_.size());
+  st.memo.resize(servers_.size());
+  st.probe_count.assign(servers_.size(), 0);
+  st.memo_hits.assign(servers_.size(), 0);
+  st.server_free.assign(servers_.size(), 0);
+  st.shard_free.assign(shards_.size(), 0);
+  st.queued_gpus.assign(shards_.size(), 0);
+  st.shard_dirty.assign(shards_.size(), 1);
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    st.server_free[s] = servers_[s].mapa.free_accelerators();
+    st.shard_free[servers_[s].shard] += st.server_free[s];
+  }
+  st.all_servers.resize(servers_.size());
+  for (std::size_t s = 0; s < servers_.size(); ++s) st.all_servers[s] = s;
+
+  st.live.resize(servers_.size());
+  st.fault_hits.assign(servers_.size(), 0);
+  st.fault_misses.assign(servers_.size(), 0);
+  st.shard_alive.resize(shards_.size());
+  for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+    st.shard_alive[sh] = shards_[sh].servers.size();
+  }
+
+  // Time-0 events fire before the first admission, exactly like the
+  // pre-loop apply_events of the batch path.
+  st.apply_events(st.now);
+}
+
+std::size_t FleetSimulator::submit(workload::Job job) {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::submit: no active session (call start())");
+  }
+  RunState& st = *state_;
+  if (job.num_gpus > st.max_server_gpus) {
+    throw std::invalid_argument(
+        "FleetSimulator::submit: job " + std::to_string(job.id) +
+        " requests more GPUs than any server has");
+  }
+  const std::size_t index = st.jobs.size();
+  st.jobs.push_back(std::move(job));
+  st.job_retries.push_back(0);
+  st.job_kill_time.push_back(0.0);
+  st.pending.push_back(RunState::Pending{st.jobs[index].arrival_time_s,
+                                         st.submit_seq++, index});
+  std::push_heap(st.pending.begin(), st.pending.end(), std::greater<>{});
+  return index;
+}
+
+bool FleetSimulator::step() {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::step: no active session (call start())");
+  }
+  RunState& st = *state_;
+  // Events are pure wakeups for queued work: once the queues, running
+  // set, retries, and pending arrivals are exhausted, remaining
+  // drains/restores can't change anything and must not extend the
+  // makespan.
+  if (st.fully_idle()) return false;
+  // Admissions the batch loop performed before its first iteration or at
+  // the previous iteration's end. Re-draining at the current instant is
+  // idempotent for the batch path (everything <= now is already in) and
+  // is what admits work submit()/inject_fault() added between ticks.
+  st.apply_events(st.now);
+  st.admit_retries(st.now);
+  st.admit_arrivals(st.now);
+
+  obs::Span tick_span(st.trace, "fleet", "tick");
+  tick_span.arg("tick", st.tick);
+  tick_span.arg("sim_time_s", st.now);
+  if (st.fm.ticks != nullptr) st.fm.ticks->inc();
+  if (st.telemetry != nullptr && st.telemetry_every > 0 &&
+      st.tick % st.telemetry_every == 0) {
+    st.sample_telemetry();
+  }
+  ++st.tick;
+  if (st.num_crashed > 0 || st.num_degraded > 0) {
+    ++st.result.resilience.capacity_degraded_ticks;
+  }
+  // Serve the shards round-robin, one placement at a time, until no
+  // shard can place anything more at the current instant. Shards whose
+  // visible state hasn't changed since their last failed scan are
+  // skipped (see shard_dirty above).
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+      if (!st.shard_dirty[sh]) continue;
+      if (st.serve_shard(sh)) {
+        progressed = true;
+      } else {
+        st.shard_dirty[sh] = 0;
+      }
+    }
+  }
+
+  if (st.fully_idle()) return false;
+
+  // Advance time to the next event: a completion, an arrival, a
+  // scheduled fault/repair, or a retry coming off backoff.
+  bool have_next = false;
+  double next_time = 0.0;
+  const auto consider = [&](double t) {
+    if (!have_next || t < next_time) next_time = t;
+    have_next = true;
+  };
+  if (!st.running.empty()) consider(st.running.front().finish_s);
+  if (!st.pending.empty()) consider(st.pending.front().arrival_s);
+  if (st.next_event < st.events.size()) {
+    consider(st.events[st.next_event].time_s);
+  }
+  if (!st.retry_heap.empty()) consider(st.retry_heap.front().ready_s);
+  if (!have_next) {
+    if (shards_.size() > 1 && st.rescue()) return true;
+    // Some queue is non-empty but nothing is running, arriving, or
+    // scheduled, and (after the rescue pass, when sharded) no server in
+    // the fleet fits. A fault-retried job stuck here was made
+    // unplaceable by permanent faults: dead-letter it and move on. A
+    // fresh job that never fit anywhere is either diverted to the
+    // unplaceable outbox (collect_unplaceable — the daemon answers it as
+    // a typed error) or keeps the hard batch error.
+    bool dropped = false;
+    for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+      std::deque<std::size_t>& queue = st.queues[sh];
+      for (std::size_t pos = 0; pos < queue.size();) {
+        const std::size_t ji = queue[pos];
+        if (st.armed && st.job_retries[ji] > 0) {
+          st.result.dead_letters.push_back(
+              DeadLetter{st.jobs[ji], st.job_retries[ji], st.now});
+          ++st.result.resilience.jobs_dead_lettered;
+          st.queued_gpus[sh] -= static_cast<long long>(st.jobs[ji].num_gpus);
+          queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pos));
+          dropped = true;
+        } else {
+          ++pos;
+        }
+      }
+    }
+    if (dropped) return true;
+    if (st.options.collect_unplaceable) {
+      // Every queue head was just proven unplaceable on an idle fleet
+      // (in-shard scan and, when sharded, the full-fleet rescue both
+      // failed): pop the heads into the outbox and keep serving the rest.
+      bool popped = false;
+      for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
+        std::deque<std::size_t>& queue = st.queues[sh];
+        if (queue.empty()) continue;
+        const std::size_t ji = queue.front();
+        st.queued_gpus[sh] -= static_cast<long long>(st.jobs[ji].num_gpus);
+        queue.pop_front();
+        st.shard_dirty[sh] = 1;
+        st.unplaceable.push_back(ji);
+        popped = true;
+      }
+      if (popped) return true;
+    }
+    std::size_t stuck = 0;
+    for (const std::deque<std::size_t>& q : st.queues) {
+      if (!q.empty()) {
+        stuck = q.front();
+        break;
+      }
+    }
+    throw std::runtime_error("FleetSimulator::run: job " +
+                             std::to_string(st.jobs[stuck].id) +
+                             " cannot be placed on any idle server");
+  }
+  st.now = std::max(st.now, next_time);
+
+  while (!st.running.empty() && st.running.front().finish_s <= st.now) {
+    const RunState::Running done = st.running.front();
+    std::pop_heap(st.running.begin(), st.running.end(), std::greater<>{});
+    st.running.pop_back();
+    ++st.finished_jobs;
+    servers_[done.server].mapa.release(done.allocation_id);
+    if (st.armed) {
+      std::erase_if(st.live[done.server], [&](const auto& e) {
+        return e.first == done.allocation_id;
+      });
+    }
+    st.server_free[done.server] += done.gpus;
+    if (st.in_rotation(done.server)) {
+      st.shard_free[servers_[done.server].shard] += done.gpus;
+    }
+    st.shard_dirty[servers_[done.server].shard] = 1;
+    st.memo[done.server].clear();  // busy mask changed: stale probe answers
+  }
+  st.apply_events(st.now);
+  st.admit_retries(st.now);
+  st.admit_arrivals(st.now);
+  return true;
+}
+
+bool FleetSimulator::idle() const {
+  return state_ == nullptr || state_->fully_idle();
+}
+
+double FleetSimulator::sim_now() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("FleetSimulator::sim_now: no active session");
+  }
+  return state_->now;
+}
+
+std::uint64_t FleetSimulator::ticks() const {
+  if (state_ == nullptr) {
+    throw std::logic_error("FleetSimulator::ticks: no active session");
+  }
+  return state_->tick;
+}
+
+const std::vector<workload::Job>& FleetSimulator::submitted_jobs() const {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::submitted_jobs: no active session");
+  }
+  return state_->jobs;
+}
+
+const FleetResult& FleetSimulator::partial_result() const {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::partial_result: no active session");
+  }
+  return state_->result;
+}
+
+std::vector<std::size_t> FleetSimulator::take_unplaceable() {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::take_unplaceable: no active session");
+  }
+  return std::exchange(state_->unplaceable, {});
+}
+
+FleetSimulator::ReleaseOutcome FleetSimulator::release(int job_id) {
+  if (state_ == nullptr) {
+    throw std::logic_error("FleetSimulator::release: no active session");
+  }
+  RunState& st = *state_;
+  if (!st.armed) {
+    throw std::logic_error(
+        "FleetSimulator::release: session must start() with "
+        "StepOptions::arm_faults (release unwinds through the fault "
+        "machinery's live-job index)");
+  }
+  // Queued in some shard: drop it before it is ever served.
+  for (std::size_t sh = 0; sh < st.queues.size(); ++sh) {
+    std::deque<std::size_t>& queue = st.queues[sh];
+    for (std::size_t pos = 0; pos < queue.size(); ++pos) {
+      const std::size_t ji = queue[pos];
+      if (st.jobs[ji].id != job_id) continue;
+      st.queued_gpus[sh] -= static_cast<long long>(st.jobs[ji].num_gpus);
+      queue.erase(queue.begin() + static_cast<std::ptrdiff_t>(pos));
+      st.shard_dirty[sh] = 1;
+      return ReleaseOutcome::kQueued;
+    }
+  }
+  // Not yet admitted (future arrival) or waiting out a retry backoff.
+  const auto pending_it = std::find_if(
+      st.pending.begin(), st.pending.end(), [&](const RunState::Pending& p) {
+        return st.jobs[p.job_index].id == job_id;
+      });
+  if (pending_it != st.pending.end()) {
+    st.pending.erase(pending_it);
+    std::make_heap(st.pending.begin(), st.pending.end(), std::greater<>{});
+    return ReleaseOutcome::kQueued;
+  }
+  const auto retry_it = std::find_if(
+      st.retry_heap.begin(), st.retry_heap.end(), [&](const RunState::Retry& r) {
+        return st.jobs[r.job_index].id == job_id;
+      });
+  if (retry_it != st.retry_heap.end()) {
+    st.retry_heap.erase(retry_it);
+    std::make_heap(st.retry_heap.begin(), st.retry_heap.end(),
+                   std::greater<>{});
+    return ReleaseOutcome::kQueued;
+  }
+  // Running: free the accelerators NOW and truncate the record to the
+  // elapsed execution time — an early release is a completed (shorter)
+  // run, not a kill, so the record survives with adjusted times.
+  for (std::size_t s = 0; s < servers_.size(); ++s) {
+    for (auto it = st.live[s].begin(); it != st.live[s].end(); ++it) {
+      if (st.jobs[it->second.job_index].id != job_id) continue;
+      const std::uint64_t allocation_id = it->first;
+      const RunState::LiveJob lj = it->second;
+      st.live[s].erase(it);
+      servers_[s].mapa.release(allocation_id);
+      st.server_free[s] += lj.num_gpus;
+      if (st.in_rotation(s)) {
+        st.shard_free[servers_[s].shard] += lj.num_gpus;
+      }
+      std::erase_if(st.running, [&](const RunState::Running& r) {
+        return r.server == s && r.allocation_id == allocation_id;
+      });
+      std::make_heap(st.running.begin(), st.running.end(), std::greater<>{});
+      st.shard_dirty[servers_[s].shard] = 1;
+      st.memo[s].clear();  // busy mask changed: stale probe answers
+      FleetRecord& fr = st.result.records[lj.record_index];
+      ServerResult& sr = st.result.servers[s];
+      sr.busy_gpu_seconds -=
+          static_cast<double>(lj.num_gpus) * (lj.finish_s - st.now);
+      fr.record.exec_s = std::max(0.0, st.now - fr.record.start_s);
+      fr.record.finish_s = st.now;
+      ++st.finished_jobs;
+      return ReleaseOutcome::kRunning;
+    }
+  }
+  return ReleaseOutcome::kNotFound;
+}
+
+void FleetSimulator::inject_fault(FaultEvent event) {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::inject_fault: no active session");
+  }
+  RunState& st = *state_;
+  validate_event(event);
+  const bool real_fault = event.kind != FaultEvent::Kind::kDrain &&
+                          event.kind != FaultEvent::Kind::kRestore;
+  if (real_fault && !st.armed) {
+    throw std::logic_error(
+        "FleetSimulator::inject_fault: fault kinds beyond drain/restore "
+        "need StepOptions::arm_faults");
+  }
+  // Never into the past: the applied prefix of the event list is
+  // immutable. upper_bound keeps same-time injections in insertion order
+  // (the schedule's stable-sort tie rule).
+  event.time_s = std::max(event.time_s, st.now);
+  const auto begin =
+      st.events.begin() + static_cast<std::ptrdiff_t>(st.next_event);
+  const auto pos = std::upper_bound(
+      begin, st.events.end(), event,
+      [](const FaultEvent& a, const FaultEvent& b) {
+        return a.time_s < b.time_s;
+      });
+  st.events.insert(pos, event);
+}
+
+FleetResult FleetSimulator::finish() {
+  if (state_ == nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::finish: no active session (call start())");
+  }
+  RunState& st = *state_;
+  FleetResult& result = st.result;
+
   // Compact away killed placements: only surviving runs are records.
-  if (armed) {
+  if (st.armed) {
     std::size_t write = 0;
     for (std::size_t i = 0; i < result.records.size(); ++i) {
-      if (!record_alive[i]) continue;
+      if (!st.record_alive[i]) continue;
       if (write != i) result.records[write] = std::move(result.records[i]);
       ++write;
     }
     result.records.resize(write);
   }
 
-  result.makespan_s = now;
+  result.makespan_s = st.now;
   for (std::size_t s = 0; s < servers_.size(); ++s) {
     ServerResult& sr = result.servers[s];
     if (result.makespan_s > 0.0 && sr.num_gpus > 0) {
       sr.utilization = sr.busy_gpu_seconds /
                        (static_cast<double>(sr.num_gpus) * result.makespan_s);
     }
-    sr.probes = probe_count[s];
-    sr.probe_memo_hits = memo_hits[s];
+    sr.probes = st.probe_count[s];
+    sr.probe_memo_hits = st.memo_hits[s];
     // Shared caches report through the archetype's primary server only,
     // so pooled fleet totals never double-count one cache's deltas.
     if (servers_[s].cache != nullptr && servers_[s].cache_primary) {
       const policy::MatchCacheStats stats = servers_[s].cache->stats();
-      sr.match_cache_hits = stats.hits - cache_baseline[s].hits;
-      sr.match_cache_misses = stats.misses - cache_baseline[s].misses;
+      sr.match_cache_hits = stats.hits - st.cache_baseline[s].hits;
+      sr.match_cache_misses = stats.misses - st.cache_baseline[s].misses;
     }
-    // A server still degraded at run end reports its private cache here;
-    // re-joined servers were harvested at re-join time.
+    // A server still degraded at session end reports its private cache
+    // here; re-joined servers were harvested at re-join time.
     if (servers_[s].fault_cache != nullptr) {
       const policy::MatchCacheStats stats = servers_[s].fault_cache->stats();
-      fault_hits[s] += stats.hits;
-      fault_misses[s] += stats.misses;
+      st.fault_hits[s] += stats.hits;
+      st.fault_misses[s] += stats.misses;
     }
-    sr.match_cache_hits += fault_hits[s];
-    sr.match_cache_misses += fault_misses[s];
+    sr.match_cache_hits += st.fault_hits[s];
+    sr.match_cache_misses += st.fault_misses[s];
   }
-  if (telemetry != nullptr) sample_telemetry();
-  if (metrics != nullptr) {
+  if (st.telemetry != nullptr) st.sample_telemetry();
+  if (st.metrics != nullptr) {
     std::uint64_t total_probes = 0;
     std::uint64_t total_memo_hits = 0;
     for (std::size_t s = 0; s < servers_.size(); ++s) {
-      total_probes += probe_count[s];
-      total_memo_hits += memo_hits[s];
+      total_probes += st.probe_count[s];
+      total_memo_hits += st.memo_hits[s];
     }
-    metrics->counter("fleet.probes").add(total_probes);
-    metrics->counter("fleet.memo_hits").add(total_memo_hits);
+    st.metrics->counter("fleet.probes").add(total_probes);
+    st.metrics->counter("fleet.memo_hits").add(total_memo_hits);
   }
-  if (config_.observer != nullptr && config_.observer->config().zero_wall_clock) {
+  if (config_.observer != nullptr &&
+      config_.observer->config().zero_wall_clock) {
     result.total_scheduling_ms = 0.0;
     for (FleetRecord& r : result.records) {
       r.record.scheduling_overhead_ms = 0.0;
     }
   }
-  return result;
+  FleetResult out = std::move(result);
+  state_.reset();
+  return out;
+}
+
+FleetResult FleetSimulator::run(const std::vector<workload::Job>& jobs) {
+  if (state_ != nullptr) {
+    throw std::logic_error(
+        "FleetSimulator::run: a tick-driven session is active");
+  }
+  std::size_t max_server_gpus = 0;
+  for (const Server& server : servers_) {
+    max_server_gpus =
+        std::max(max_server_gpus, server.mapa.hardware().num_vertices());
+  }
+  for (const workload::Job& job : jobs) {
+    if (job.num_gpus > max_server_gpus) {
+      throw std::invalid_argument(
+          "FleetSimulator::run: job " + std::to_string(job.id) +
+          " requests more GPUs than any server has");
+    }
+  }
+
+  StepOptions options;
+  options.expected_jobs = jobs.size();
+  start(options);
+  try {
+    // Submitting in list order gives (arrival time, list position) heap
+    // keys — exactly the stable sort the batch dispatcher used.
+    for (const workload::Job& job : jobs) submit(job);
+    while (step()) {
+    }
+  } catch (...) {
+    // Leave the simulator session-free (busy masks of still-running jobs
+    // stay held, matching the old single-function run() on throw).
+    state_.reset();
+    throw;
+  }
+  return finish();
 }
 
 FleetResult run_fleet(std::vector<graph::Graph> topologies,

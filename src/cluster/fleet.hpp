@@ -375,6 +375,7 @@ class FleetSimulator {
   /// policy-level parallelism both requested.
   explicit FleetSimulator(std::vector<ServerSpec> servers,
                           ClusterConfig config = {});
+  ~FleetSimulator();
 
   /// Run a job list to completion: jobs queue in arrival order, are routed
   /// to a shard on admission, and are served FIFO per shard (optionally
@@ -382,8 +383,94 @@ class FleetSimulator {
   /// std::invalid_argument when a job requests more accelerators than any
   /// server has, and std::runtime_error when a queued job can never be
   /// placed (idle fleet, no pending arrivals or events, and no server in
-  /// any shard fits it).
+  /// any shard fits it). Implemented on the tick-driven API below —
+  /// start(), submit() every job, step() to idle, finish() — so the batch
+  /// and daemon paths execute the same dispatch loop instruction for
+  /// instruction.
   FleetResult run(const std::vector<workload::Job>& jobs);
+
+  // ---- Tick-driven API (what the svc/ daemon drives) -------------------
+  //
+  // A "session" is start() .. finish(). Between the two, submit() feeds
+  // jobs incrementally (a job whose arrival time is already in the past is
+  // admitted on the next tick), step() advances the dispatch loop by one
+  // tick, and the daemon-facing extras — release(), inject_fault(),
+  // take_unplaceable() — mutate the live run. Submitting every job before
+  // the first step() reproduces run()'s batch schedule exactly: pending
+  // arrivals are ordered by (arrival time, submission order), which is
+  // run()'s stable sort.
+
+  struct StepOptions {
+    /// Force the fault bookkeeping (live-job lists, retry counters) on
+    /// even when the event schedule is fault-free. Record-neutral — the
+    /// batch path leaves it off purely as a fast path — and required by
+    /// release() and mid-run inject_fault() of real fault kinds.
+    bool arm_faults = false;
+    /// When a queued job can never be placed (the condition run() turns
+    /// into std::runtime_error), pop it into the take_unplaceable() outbox
+    /// and keep going instead of throwing — a long-lived daemon answers
+    /// with a typed error rather than dying.
+    bool collect_unplaceable = false;
+    /// Reserve hint for the expected total job count (0 = unknown).
+    std::size_t expected_jobs = 0;
+  };
+
+  /// Begin a session: resets per-run server state (rotation flags, fault
+  /// forks) exactly like the top of run() and applies any time-0 events.
+  /// Throws std::logic_error when a session is already active.
+  void start(StepOptions options);
+  void start() { start(StepOptions{}); }
+
+  /// Queue a job for admission at its arrival time (in the past = next
+  /// tick). Returns the job's index within this session. Throws
+  /// std::logic_error outside a session and std::invalid_argument when the
+  /// job is larger than every server.
+  std::size_t submit(workload::Job job);
+
+  /// One dispatch tick: serve the shards, then advance simulated time to
+  /// the next completion/arrival/event/retry. Returns false when the
+  /// session is fully idle (nothing queued, running, pending, or backed
+  /// off) — submitting more work makes step() live again.
+  bool step();
+
+  /// True when a session is active (start() called, finish() not yet).
+  bool active() const { return state_ != nullptr; }
+  /// True when an active session has nothing left to do.
+  bool idle() const;
+  /// Simulated time of the active session.
+  double sim_now() const;
+  /// Dispatch ticks executed so far in the active session.
+  std::uint64_t ticks() const;
+
+  /// Jobs submitted so far in this session (indexable by submit()'s
+  /// return value).
+  const std::vector<workload::Job>& submitted_jobs() const;
+  /// The session's result so far: records in placement order (killed
+  /// placements are only compacted away at finish()).
+  const FleetResult& partial_result() const;
+
+  /// Job indices that could not be placed anywhere (only populated with
+  /// StepOptions::collect_unplaceable); drains the outbox.
+  std::vector<std::size_t> take_unplaceable();
+
+  enum class ReleaseOutcome { kNotFound, kQueued, kRunning };
+  /// Release a job by id mid-session: a queued (or pending/backed-off)
+  /// job is dropped; a running job's allocation is freed NOW and its
+  /// record truncated to the elapsed execution time. Requires
+  /// StepOptions::arm_faults (the live-job index a release needs is the
+  /// fault machinery's); throws std::logic_error otherwise.
+  ReleaseOutcome release(int job_id);
+
+  /// Inject a fault event into the active session at
+  /// max(event.time_s, sim_now()). Validates like the constructor; real
+  /// fault kinds (beyond drain/restore) additionally require
+  /// StepOptions::arm_faults.
+  void inject_fault(FaultEvent event);
+
+  /// End the session: compacts killed records, finalizes per-server stats
+  /// and telemetry, and returns the result (the session is over; start()
+  /// begins a new one). Throws std::logic_error outside a session.
+  FleetResult finish();
 
   std::size_t num_servers() const { return servers_.size(); }
   std::size_t num_shards() const { return shards_.size(); }
@@ -446,6 +533,14 @@ class FleetSimulator {
       std::vector<std::uint64_t>& probe_count,
       std::vector<std::uint64_t>& memo_hits);
 
+  /// Constructor-grade validation of one fault event (server index, GPU /
+  /// link endpoints, bandwidth factor); throws std::invalid_argument.
+  void validate_event(const FaultEvent& event) const;
+
+  /// All mutable state of one start()..finish() session — the former
+  /// locals of the monolithic run() loop. Defined in fleet.cpp.
+  struct RunState;
+
   ClusterConfig config_;
   std::vector<Server> servers_;
   std::vector<Shard> shards_;
@@ -456,6 +551,7 @@ class FleetSimulator {
   bool faults_armed_ = false;
   std::unique_ptr<ServerSelection> selection_;
   std::unique_ptr<util::ThreadPool> pool_;  // null when threads <= 1
+  std::unique_ptr<RunState> state_;         // null outside a session
 };
 
 /// Convenience: build a fleet over `topologies` (one spec per graph, all

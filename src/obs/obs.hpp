@@ -11,6 +11,7 @@
 #include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <string>
 
 #include "obs/registry.hpp"
 #include "obs/telemetry.hpp"
@@ -55,6 +56,37 @@ class Observer {
   TraceSink* trace() const { return trace_.get(); }
   Registry* registry() const { return registry_.get(); }
   TelemetryLog* telemetry() const { return telemetry_.get(); }
+
+  /// On-demand combined snapshot as one JSON object — what the svc/
+  /// daemon's stats endpoint streams mid-run. Disabled backends report
+  /// null, so the shape is stable whatever the ObsConfig:
+  /// {"registry": {...}|null,
+  ///  "telemetry": {"samples": N, "last": {...}|null}|null,
+  ///  "trace": {"events": N}|null}.
+  /// Safe to call between scheduler ticks (every backend is
+  /// thread-safe); the registry merge is deterministic.
+  std::string snapshot_json() const {
+    std::string out = "{\"registry\": ";
+    out += registry_ != nullptr ? registry_->to_json() : "null";
+    out += ", \"telemetry\": ";
+    if (telemetry_ != nullptr) {
+      out += "{\"samples\": " + std::to_string(telemetry_->size()) +
+             ", \"last\": ";
+      out += telemetry_->empty() ? "null"
+                                 : telemetry_->samples().back().to_json();
+      out += "}";
+    } else {
+      out += "null";
+    }
+    out += ", \"trace\": ";
+    if (trace_ != nullptr) {
+      out += "{\"events\": " + std::to_string(trace_->size()) + "}";
+    } else {
+      out += "null";
+    }
+    out += "}";
+    return out;
+  }
 
  private:
   ObsConfig config_;

@@ -1,0 +1,105 @@
+#include "svc/client.hpp"
+
+#include <stdexcept>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace mapa::svc {
+
+void LoopbackHub::dispatch(std::vector<Outbound>& out) {
+  for (Outbound& o : out) {
+    inboxes_[o.client].push_back(std::move(o.frame));
+  }
+  out.clear();
+}
+
+void LoopbackChannel::send(const std::uint8_t* data, std::size_t size) {
+  std::vector<Outbound> out;
+  hub_.service_.ingest(client_id_, data, size, out);
+  hub_.dispatch(out);
+}
+
+std::vector<std::uint8_t> LoopbackChannel::receive() {
+  auto& inbox = hub_.inboxes_[client_id_];
+  if (inbox.empty()) {
+    std::vector<Outbound> out;
+    hub_.service_.poll(out);
+    hub_.dispatch(out);
+  }
+  if (inbox.empty()) return {};
+  std::vector<std::uint8_t> frame = std::move(inbox.front());
+  inbox.pop_front();
+  return frame;
+}
+
+std::uint64_t Client::send_request(Request request) {
+  const std::uint64_t id = request.id;
+  const std::vector<std::uint8_t> frame = encode(request);
+  channel_.send(frame.data(), frame.size());
+  return id;
+}
+
+std::uint64_t Client::allocate(const workload::Job& job) {
+  return send_request(
+      Request{next_id_++, AllocateRequest::from_job(job)});
+}
+
+std::uint64_t Client::release(int job_id) {
+  return send_request(Request{next_id_++, ReleaseRequest{job_id}});
+}
+
+std::uint64_t Client::query(int job_id) {
+  return send_request(Request{next_id_++, QueryRequest{job_id}});
+}
+
+std::uint64_t Client::stats() {
+  return send_request(Request{next_id_++, StatsRequest{}});
+}
+
+bool Client::pump() {
+  const std::vector<std::uint8_t> bytes = channel_.receive();
+  if (bytes.empty()) return false;
+  assembler_.feed(bytes.data(), bytes.size());
+  while (auto frame = assembler_.next()) {
+    DecodedReply decoded = decode_reply(frame->data(), frame->size());
+    if (const DecodeError* e = std::get_if<DecodeError>(&decoded)) {
+      throw std::runtime_error("svc::Client: undecodable reply frame: " +
+                               e->message);
+    }
+    Reply reply = std::move(std::get<Reply>(decoded));
+    ready_.insert_or_assign(reply.id, std::move(reply));
+  }
+  if (assembler_.error().has_value()) {
+    throw std::runtime_error("svc::Client: reply stream corrupt: " +
+                             assembler_.error()->message);
+  }
+  return true;
+}
+
+std::optional<Reply> Client::try_take(std::uint64_t request_id) {
+  const auto it = ready_.find(request_id);
+  if (it == ready_.end()) return std::nullopt;
+  Reply reply = std::move(it->second);
+  ready_.erase(it);
+  return reply;
+}
+
+Reply Client::wait(std::uint64_t request_id) {
+  // A handful of empty receives in a row means the transport is done and
+  // the reply is never coming (idle loopback service / socket EOF) — a
+  // protocol bug worth failing loudly on, not spinning.
+  int dry = 0;
+  while (true) {
+    if (auto reply = try_take(request_id)) return *std::move(reply);
+    if (pump()) {
+      dry = 0;
+    } else if (++dry >= 3) {
+      throw std::runtime_error(
+          "svc::Client: channel went silent with request " +
+          std::to_string(request_id) + " unanswered");
+    }
+  }
+}
+
+}  // namespace mapa::svc

@@ -1,0 +1,105 @@
+#pragma once
+// svc/client — client-side protocol library for the allocation daemon.
+//
+// Channel is the transport seam: bytes out, bytes in. Two
+// implementations exist — LoopbackChannel (in-process, deterministic,
+// pumps the AllocationService directly; what unit tests use so nothing
+// depends on real socket timing) and SocketChannel (svc/server, AF_UNIX;
+// exercised by the integration smoke test and the example daemon).
+//
+// Client speaks the wire protocol over any Channel: it assigns request
+// ids, encodes requests, reassembles and decodes reply frames, and
+// parks replies until wait() claims them by id — requests and replies
+// need not interleave 1:1 (an allocate's reply arrives only when the
+// job places, possibly many requests later).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <optional>
+#include <vector>
+
+#include "svc/service.hpp"
+#include "svc/wire.hpp"
+#include "workload/job.hpp"
+
+namespace mapa::svc {
+
+class Channel {
+ public:
+  virtual ~Channel() = default;
+  /// Write `size` bytes to the transport (all of them).
+  virtual void send(const std::uint8_t* data, std::size_t size) = 0;
+  /// Read some bytes. An empty vector means the transport has nothing
+  /// and never will without outside progress (loopback: the service is
+  /// idle; socket: orderly EOF).
+  virtual std::vector<std::uint8_t> receive() = 0;
+};
+
+/// Shared state behind every LoopbackChannel on one service: routes each
+/// Outbound frame into its client's inbox, so concurrent loopback
+/// clients never steal (or drop) each other's replies when one of them
+/// pumps the service.
+class LoopbackHub {
+ public:
+  explicit LoopbackHub(AllocationService& service) : service_(service) {}
+
+  AllocationService& service() { return service_; }
+
+ private:
+  friend class LoopbackChannel;
+  void dispatch(std::vector<Outbound>& out);
+
+  AllocationService& service_;
+  std::map<std::uint64_t, std::deque<std::vector<std::uint8_t>>> inboxes_;
+};
+
+/// In-process channel: send() feeds the service's ingest() directly and
+/// receive() pumps poll() when no reply is buffered. Single-threaded and
+/// fully deterministic — the unit-test fixture.
+class LoopbackChannel : public Channel {
+ public:
+  LoopbackChannel(LoopbackHub& hub, std::uint64_t client_id = 1)
+      : hub_(hub), client_id_(client_id) {}
+
+  void send(const std::uint8_t* data, std::size_t size) override;
+  std::vector<std::uint8_t> receive() override;
+
+ private:
+  LoopbackHub& hub_;
+  std::uint64_t client_id_;
+};
+
+class Client {
+ public:
+  explicit Client(Channel& channel) : channel_(channel) {}
+
+  /// Each returns the request id to wait() on.
+  std::uint64_t allocate(const workload::Job& job);
+  std::uint64_t release(int job_id);
+  std::uint64_t query(int job_id);
+  std::uint64_t stats();
+
+  /// Block until the reply for `request_id` arrives, pumping the
+  /// channel. Throws std::runtime_error when the channel goes silent
+  /// with the reply still outstanding (closed socket, idle service) or
+  /// the peer sends an undecodable frame.
+  Reply wait(std::uint64_t request_id);
+
+  /// Non-blocking: claim the reply if it already arrived.
+  std::optional<Reply> try_take(std::uint64_t request_id);
+
+ private:
+  std::uint64_t send_request(Request request);
+  /// One receive+decode round. Returns false when the channel returned
+  /// no bytes.
+  bool pump();
+
+  Channel& channel_;
+  FrameAssembler assembler_;
+  std::uint64_t next_id_ = 1;
+  std::map<std::uint64_t, Reply> ready_;
+};
+
+}  // namespace mapa::svc

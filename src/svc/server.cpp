@@ -1,0 +1,209 @@
+#include "svc/server.hpp"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+#include <stdexcept>
+#include <utility>
+
+namespace mapa::svc {
+
+namespace {
+
+void set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+/// Write all bytes to a (blocking or not) fd; false on a dead peer.
+bool write_all(int fd, const std::uint8_t* data, std::size_t size) {
+  std::size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n > 0) {
+      done += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EINTR || errno == EAGAIN)) continue;
+    return false;
+  }
+  return true;
+}
+
+sockaddr_un make_address(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.size() >= sizeof(addr.sun_path)) {
+    throw std::runtime_error("svc::SocketServer: socket path too long: " +
+                             path);
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return addr;
+}
+
+}  // namespace
+
+SocketServer::SocketServer(std::string socket_path,
+                           std::vector<cluster::ServerSpec> servers,
+                           ServiceConfig config)
+    : socket_path_(std::move(socket_path)),
+      service_(std::move(servers), std::move(config)) {}
+
+SocketServer::~SocketServer() { stop(); }
+
+void SocketServer::start() {
+  if (running_) return;
+  const sockaddr_un addr = make_address(socket_path_);
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (listen_fd_ < 0) {
+    throw std::runtime_error("svc::SocketServer: socket() failed");
+  }
+  ::unlink(socket_path_.c_str());  // stale path from a crashed run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    throw std::runtime_error("svc::SocketServer: cannot listen on " +
+                             socket_path_);
+  }
+  set_nonblocking(listen_fd_);
+  stop_requested_ = false;
+  running_ = true;
+  loop_ = std::thread([this] { run_loop(); });
+}
+
+void SocketServer::stop() {
+  if (!running_) return;
+  stop_requested_ = true;
+  loop_.join();
+  running_ = false;
+}
+
+void SocketServer::inject_fault(cluster::FaultEvent event) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  service_.inject_fault(event);
+}
+
+std::string SocketServer::stats_json() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return service_.stats_json();
+}
+
+void SocketServer::flush(std::vector<Outbound>& out) {
+  for (const Outbound& o : out) {
+    const int fd = static_cast<int>(o.client);
+    if (std::find(conn_fds_.begin(), conn_fds_.end(), fd) ==
+        conn_fds_.end()) {
+      continue;  // connection already gone; drop its replies
+    }
+    if (!write_all(fd, o.frame.data(), o.frame.size())) {
+      ::close(fd);
+      std::erase(conn_fds_, fd);
+    }
+  }
+  out.clear();
+}
+
+void SocketServer::run_loop() {
+  std::vector<Outbound> out;
+  std::vector<std::uint8_t> buf(64 * 1024);
+  while (!stop_requested_) {
+    std::vector<pollfd> fds;
+    fds.push_back(pollfd{listen_fd_, POLLIN, 0});
+    for (const int fd : conn_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
+    // 50ms cap so the stop flag is honored promptly even when idle.
+    ::poll(fds.data(), fds.size(), 50);
+
+    if ((fds[0].revents & POLLIN) != 0) {
+      while (true) {
+        const int conn = ::accept(listen_fd_, nullptr, nullptr);
+        if (conn < 0) break;
+        // Connections stay BLOCKING for writes (replies must not drop on
+        // a full pipe); reads are gated by poll() and sized to one buf.
+        conn_fds_.push_back(conn);
+      }
+    }
+
+    bool got_bytes = false;
+    for (std::size_t i = 1; i < fds.size(); ++i) {
+      if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
+      const int fd = fds[i].fd;
+      const ssize_t n = ::read(fd, buf.data(), buf.size());
+      if (n > 0) {
+        got_bytes = true;
+        const std::lock_guard<std::mutex> lock(mutex_);
+        service_.ingest(static_cast<std::uint64_t>(fd), buf.data(),
+                        static_cast<std::size_t>(n), out);
+      } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
+        ::close(fd);
+        std::erase(conn_fds_, fd);
+      }
+    }
+
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      if (got_bytes || service_.pending() > 0) service_.poll(out);
+    }
+    flush(out);
+  }
+
+  // Graceful drain: answer everything in flight, flush, then close.
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    service_.shutdown(out);
+  }
+  flush(out);
+  for (const int fd : conn_fds_) ::close(fd);
+  conn_fds_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  ::unlink(socket_path_.c_str());
+}
+
+SocketChannel::SocketChannel(const std::string& socket_path) {
+  const sockaddr_un addr = make_address(socket_path);
+  fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd_ < 0) {
+    throw std::runtime_error("svc::SocketChannel: socket() failed");
+  }
+  if (::connect(fd_, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd_);
+    fd_ = -1;
+    throw std::runtime_error("svc::SocketChannel: cannot connect to " +
+                             socket_path);
+  }
+}
+
+SocketChannel::~SocketChannel() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void SocketChannel::send(const std::uint8_t* data, std::size_t size) {
+  if (fd_ < 0 || !write_all(fd_, data, size)) {
+    throw std::runtime_error("svc::SocketChannel: send failed");
+  }
+}
+
+std::vector<std::uint8_t> SocketChannel::receive() {
+  std::vector<std::uint8_t> buf(64 * 1024);
+  while (true) {
+    const ssize_t n = ::read(fd_, buf.data(), buf.size());
+    if (n > 0) {
+      buf.resize(static_cast<std::size_t>(n));
+      return buf;
+    }
+    if (n == 0) return {};  // orderly EOF
+    if (errno == EINTR) continue;
+    throw std::runtime_error("svc::SocketChannel: receive failed");
+  }
+}
+
+}  // namespace mapa::svc

@@ -1,0 +1,93 @@
+#pragma once
+// svc/server — AF_UNIX socket front end for the allocation daemon.
+//
+// SocketServer owns an AllocationService and a background thread running
+// a poll(2) loop: accept connections, read raw bytes into
+// AllocationService::ingest (client id = connection fd), pump
+// AllocationService::poll, and write reply frames back out. All service
+// access happens under one mutex — the service itself stays
+// single-threaded; the socket loop is just a byte shuttle.
+//
+// SocketChannel is the matching client transport (svc::Client over a
+// connected AF_UNIX stream socket).
+//
+// Unit tests do NOT use this layer (they use LoopbackChannel); one
+// integration smoke test and examples/allocation_daemon.cpp exercise the
+// real socket path.
+
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "svc/client.hpp"
+#include "svc/service.hpp"
+
+namespace mapa::svc {
+
+class SocketServer {
+ public:
+  /// Builds the service; the socket is not created until start().
+  SocketServer(std::string socket_path,
+               std::vector<cluster::ServerSpec> servers,
+               ServiceConfig config);
+  ~SocketServer();
+
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind + listen on the unix socket path and launch the background
+  /// loop. Throws std::runtime_error on any socket failure (path too
+  /// long, bind refused).
+  void start();
+
+  /// Graceful stop: the service stops admitting, drains in-flight work,
+  /// flushes every reply (typed cancels included), then the loop exits
+  /// and the socket path is unlinked. Idempotent.
+  void stop();
+
+  bool running() const { return running_; }
+  const std::string& socket_path() const { return socket_path_; }
+
+  /// Schedule a fault into the live fleet session (thread-safe; this is
+  /// how the integration test perturbs a daemon mid-run).
+  void inject_fault(cluster::FaultEvent event);
+
+  /// Service stats snapshot (thread-safe).
+  std::string stats_json();
+
+ private:
+  void run_loop();
+  void flush(std::vector<Outbound>& out);
+
+  std::string socket_path_;
+  AllocationService service_;
+  std::mutex mutex_;  // guards service_
+  std::thread loop_;
+  int listen_fd_ = -1;
+  std::vector<int> conn_fds_;
+  bool running_ = false;
+  volatile bool stop_requested_ = false;
+};
+
+/// Client-side AF_UNIX transport for svc::Client.
+class SocketChannel : public Channel {
+ public:
+  /// Connects immediately; throws std::runtime_error on failure.
+  explicit SocketChannel(const std::string& socket_path);
+  ~SocketChannel() override;
+
+  SocketChannel(const SocketChannel&) = delete;
+  SocketChannel& operator=(const SocketChannel&) = delete;
+
+  void send(const std::uint8_t* data, std::size_t size) override;
+  /// Blocking read; empty vector on orderly EOF.
+  std::vector<std::uint8_t> receive() override;
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace mapa::svc

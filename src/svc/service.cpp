@@ -1,0 +1,332 @@
+#include "svc/service.hpp"
+
+#include <stdexcept>
+#include <utility>
+#include <variant>
+
+#include "obs/obs.hpp"
+#include "util/csv.hpp"
+#include "workload/profile.hpp"
+
+namespace mapa::svc {
+
+AllocationService::AllocationService(std::vector<cluster::ServerSpec> servers,
+                                     ServiceConfig config)
+    : config_(std::move(config)),
+      fleet_(std::move(servers), config_.cluster) {
+  if (obs::Registry* reg = obs::registry_of(config_.cluster.observer)) {
+    c_accepted_ = &reg->counter("svc.accepted");
+    c_rejected_ = &reg->counter("svc.rejected");
+    c_queue_full_ = &reg->counter("svc.rejected_queue_full");
+    c_decode_errors_ = &reg->counter("svc.decode_errors");
+    c_replies_ = &reg->counter("svc.replies");
+  }
+  cluster::FleetSimulator::StepOptions options;
+  options.arm_faults = true;          // release() needs the live-job index
+  options.collect_unplaceable = true; // unplaceable -> typed reply, not throw
+  fleet_.start(options);
+}
+
+AllocationService::~AllocationService() = default;
+
+void AllocationService::reply(std::uint64_t client, Reply r,
+                              std::vector<Outbound>& out) {
+  out.push_back(Outbound{client, encode(r)});
+  ++replies_;
+  if (c_replies_ != nullptr) c_replies_->inc();
+}
+
+void AllocationService::reply_error(std::uint64_t client,
+                                    std::uint64_t request_id, ErrorCode code,
+                                    std::string message,
+                                    std::vector<Outbound>& out) {
+  reply(client, Reply{request_id, ErrorReply{code, std::move(message)}}, out);
+}
+
+void AllocationService::ingest(std::uint64_t client, const std::uint8_t* data,
+                               std::size_t size, std::vector<Outbound>& out) {
+  Connection& conn = connections_[client];
+  conn.assembler.feed(data, size);
+  while (auto frame = conn.assembler.next()) {
+    DecodedRequest decoded = decode_request(frame->data(), frame->size());
+    if (const DecodeError* e = std::get_if<DecodeError>(&decoded)) {
+      ++decode_errors_;
+      if (c_decode_errors_ != nullptr) c_decode_errors_->inc();
+      reply_error(client, e->request_id, e->code, e->message, out);
+      continue;
+    }
+    enqueue(client, std::move(std::get<Request>(decoded)), out);
+  }
+  if (conn.assembler.error().has_value() && !conn.poison_reported) {
+    // The stream's frame boundary is unrecoverable — answer once so the
+    // client learns why, then stay silent; the transport should close.
+    conn.poison_reported = true;
+    const DecodeError& e = *conn.assembler.error();
+    ++decode_errors_;
+    if (c_decode_errors_ != nullptr) c_decode_errors_->inc();
+    reply_error(client, 0, e.code, e.message, out);
+  }
+}
+
+bool AllocationService::enqueue(std::uint64_t client, Request request,
+                                std::vector<Outbound>& out) {
+  if (!fleet_.active() || shutting_down_) {
+    ++rejected_;
+    if (c_rejected_ != nullptr) c_rejected_->inc();
+    reply_error(client, request.id, ErrorCode::kShuttingDown,
+                "service is shutting down", out);
+    return false;
+  }
+  if (pending_.size() >= config_.max_pending) {
+    ++rejected_;
+    ++queue_full_;
+    if (c_rejected_ != nullptr) c_rejected_->inc();
+    if (c_queue_full_ != nullptr) c_queue_full_->inc();
+    reply_error(client, request.id, ErrorCode::kQueueFull,
+                "admission queue full (" +
+                    std::to_string(config_.max_pending) + " pending)",
+                out);
+    return false;
+  }
+  ++accepted_;
+  if (c_accepted_ != nullptr) c_accepted_->inc();
+  pending_.push_back(PendingRequest{client, std::move(request)});
+  return true;
+}
+
+void AllocationService::serve_allocate(const PendingRequest& p,
+                                       const AllocateRequest& a,
+                                       std::vector<Outbound>& out) {
+  if (workload::find_workload(a.workload) == nullptr) {
+    reply_error(p.client, p.request.id, ErrorCode::kUnknownWorkload,
+                "unknown workload '" + a.workload + "'", out);
+    return;
+  }
+  if (a.num_gpus == 0) {
+    reply_error(p.client, p.request.id, ErrorCode::kBadPayload,
+                "job requests zero GPUs", out);
+    return;
+  }
+  if (jobs_.contains(a.job_id)) {
+    reply_error(p.client, p.request.id, ErrorCode::kDuplicateJob,
+                "job id " + std::to_string(a.job_id) + " already known",
+                out);
+    return;
+  }
+  try {
+    fleet_.submit(a.to_job());
+  } catch (const std::invalid_argument&) {
+    reply_error(p.client, p.request.id, ErrorCode::kTooManyGpus,
+                "job requests more GPUs than any server has", out);
+    return;
+  }
+  JobEntry entry;
+  entry.client = p.client;
+  entry.request_id = p.request.id;
+  entry.state = JobState::kQueued;
+  jobs_.emplace(a.job_id, entry);
+}
+
+void AllocationService::serve_release(const PendingRequest& p,
+                                      const ReleaseRequest& r,
+                                      std::vector<Outbound>& out) {
+  const auto outcome = fleet_.release(r.job_id);
+  const auto it = jobs_.find(r.job_id);
+  if (it != jobs_.end() &&
+      outcome != cluster::FleetSimulator::ReleaseOutcome::kNotFound) {
+    JobEntry& entry = it->second;
+    if (!entry.answered) {
+      // The allocate will never place now — close it out explicitly so
+      // every request still gets exactly one reply.
+      entry.answered = true;
+      reply_error(entry.client, entry.request_id, ErrorCode::kCancelled,
+                  "job released before placement", out);
+    }
+    entry.state = JobState::kReleased;
+    if (outcome == cluster::FleetSimulator::ReleaseOutcome::kRunning) {
+      entry.finish_s = fleet_.sim_now();
+    }
+  }
+  reply(p.client,
+        Reply{p.request.id,
+              ReleaseReply{r.job_id, static_cast<std::uint8_t>(outcome)}},
+        out);
+}
+
+void AllocationService::serve_query(const PendingRequest& p,
+                                    const QueryRequest& q,
+                                    std::vector<Outbound>& out) {
+  QueryReply reply_payload;
+  reply_payload.job_id = q.job_id;
+  const auto it = jobs_.find(q.job_id);
+  if (it == jobs_.end()) {
+    reply_payload.state = JobState::kUnknown;
+  } else {
+    const JobEntry& entry = it->second;
+    reply_payload.state = entry.state;
+    reply_payload.server = entry.server;
+    reply_payload.start_s = entry.start_s;
+    reply_payload.finish_s = entry.finish_s;
+    if (entry.state == JobState::kRunning &&
+        entry.finish_s <= fleet_.sim_now()) {
+      reply_payload.state = JobState::kFinished;
+    }
+  }
+  reply(p.client, Reply{p.request.id, reply_payload}, out);
+}
+
+void AllocationService::drain_admission(std::vector<Outbound>& out) {
+  while (!pending_.empty()) {
+    PendingRequest p = std::move(pending_.front());
+    pending_.pop_front();
+    std::visit(
+        [&](const auto& payload) {
+          using T = std::decay_t<decltype(payload)>;
+          if constexpr (std::is_same_v<T, AllocateRequest>) {
+            serve_allocate(p, payload, out);
+          } else if constexpr (std::is_same_v<T, ReleaseRequest>) {
+            serve_release(p, payload, out);
+          } else if constexpr (std::is_same_v<T, QueryRequest>) {
+            serve_query(p, payload, out);
+          } else {
+            static_assert(std::is_same_v<T, StatsRequest>);
+            reply(p.client, Reply{p.request.id, StatsReply{stats_json()}},
+                  out);
+          }
+        },
+        p.request.payload);
+  }
+}
+
+void AllocationService::harvest_outcomes(std::vector<Outbound>& out) {
+  const cluster::FleetResult& result = fleet_.partial_result();
+  const double now = fleet_.sim_now();
+
+  for (; records_cursor_ < result.records.size(); ++records_cursor_) {
+    const cluster::FleetRecord& rec = result.records[records_cursor_];
+    const auto it = jobs_.find(rec.record.job.id);
+    if (it == jobs_.end()) continue;  // released entry compacted? keep safe
+    JobEntry& entry = it->second;
+    entry.server = static_cast<std::uint32_t>(rec.server);
+    entry.start_s = rec.record.start_s;
+    entry.finish_s = rec.record.finish_s;
+    if (entry.state != JobState::kReleased) {
+      entry.state = rec.record.finish_s <= now ? JobState::kFinished
+                                               : JobState::kRunning;
+    }
+    if (entry.answered) continue;  // re-placement after a fault kill
+    entry.answered = true;
+    AllocateReply ok;
+    ok.job_id = rec.record.job.id;
+    ok.server = static_cast<std::uint32_t>(rec.server);
+    ok.retries = rec.retries;
+    ok.start_s = rec.record.start_s;
+    ok.finish_s = rec.record.finish_s;
+    ok.gpus.reserve(rec.record.gpus.size());
+    for (const auto g : rec.record.gpus) {
+      ok.gpus.push_back(static_cast<std::uint32_t>(g));
+    }
+    reply(entry.client, Reply{entry.request_id, std::move(ok)}, out);
+  }
+
+  for (; dead_letter_cursor_ < result.dead_letters.size();
+       ++dead_letter_cursor_) {
+    const cluster::DeadLetter& dl = result.dead_letters[dead_letter_cursor_];
+    const auto it = jobs_.find(dl.job.id);
+    if (it == jobs_.end()) continue;
+    JobEntry& entry = it->second;
+    entry.state = JobState::kDeadLettered;
+    entry.finish_s = dl.time_s;
+    if (entry.answered) continue;  // placed (and answered) before the kill
+    entry.answered = true;
+    reply_error(entry.client, entry.request_id, ErrorCode::kDeadLettered,
+                "job " + std::to_string(dl.job.id) +
+                    " dropped after exhausting its retry budget",
+                out);
+  }
+
+  const std::vector<std::size_t> unplaceable = fleet_.take_unplaceable();
+  const std::vector<workload::Job>& submitted = fleet_.submitted_jobs();
+  for (const std::size_t ji : unplaceable) {
+    const auto it = jobs_.find(submitted[ji].id);
+    if (it == jobs_.end()) continue;
+    JobEntry& entry = it->second;
+    entry.state = JobState::kUnplaceable;
+    if (entry.answered) continue;
+    entry.answered = true;
+    reply_error(entry.client, entry.request_id, ErrorCode::kUnplaceable,
+                "job " + std::to_string(submitted[ji].id) +
+                    " cannot be placed on any server in the fleet",
+                out);
+  }
+}
+
+std::size_t AllocationService::poll(std::vector<Outbound>& out) {
+  if (!fleet_.active()) return 0;
+  const std::size_t before = out.size();
+  ++polls_;
+  drain_admission(out);
+  while (fleet_.step()) {
+  }
+  harvest_outcomes(out);
+  return out.size() - before;
+}
+
+void AllocationService::shutdown(std::vector<Outbound>& out) {
+  if (shutting_down_) return;
+  // Drain what is already admitted first — graceful shutdown completes
+  // in-flight work; only NEW requests are refused.
+  if (fleet_.active()) poll(out);
+  shutting_down_ = true;
+  // Safety net: anything somehow still unanswered gets a typed cancel so
+  // no client waits forever.
+  for (auto& [job_id, entry] : jobs_) {
+    if (entry.answered) continue;
+    entry.answered = true;
+    entry.state = JobState::kReleased;
+    reply_error(entry.client, entry.request_id, ErrorCode::kCancelled,
+                "service shut down before job " + std::to_string(job_id) +
+                    " resolved",
+                out);
+  }
+}
+
+cluster::FleetResult AllocationService::finish() {
+  if (!fleet_.active()) {
+    throw std::logic_error("AllocationService::finish: no active session");
+  }
+  if (!pending_.empty()) {
+    throw std::logic_error(
+        "AllocationService::finish: admission queue not drained (poll() "
+        "first)");
+  }
+  return fleet_.finish();
+}
+
+void AllocationService::inject_fault(cluster::FaultEvent event) {
+  fleet_.inject_fault(event);
+}
+
+std::string AllocationService::stats_json() const {
+  std::string out = "{\"service\": {";
+  out += "\"accepted\": " + std::to_string(accepted_);
+  out += ", \"rejected\": " + std::to_string(rejected_);
+  out += ", \"rejected_queue_full\": " + std::to_string(queue_full_);
+  out += ", \"decode_errors\": " + std::to_string(decode_errors_);
+  out += ", \"replies\": " + std::to_string(replies_);
+  out += ", \"polls\": " + std::to_string(polls_);
+  out += ", \"pending\": " + std::to_string(pending_.size());
+  out += ", \"jobs\": " + std::to_string(jobs_.size());
+  if (fleet_.active()) {
+    out += ", \"ticks\": " + std::to_string(fleet_.ticks());
+    out += ", \"sim_now_s\": " + util::format_double(fleet_.sim_now());
+  }
+  out += "}, \"obs\": ";
+  out += config_.cluster.observer != nullptr
+             ? config_.cluster.observer->snapshot_json()
+             : "null";
+  out += "}";
+  return out;
+}
+
+}  // namespace mapa::svc

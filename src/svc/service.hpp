@@ -1,0 +1,190 @@
+#pragma once
+// svc/service — the allocation daemon's core: a long-lived
+// AllocationService owning a tick-driven cluster::FleetSimulator session
+// and serving allocate/release/query/stats requests over the svc/wire
+// protocol. Transport-agnostic and single-threaded by design: a socket
+// front end (svc/server) feeds raw bytes through ingest() and pumps
+// poll(); an in-process harness (svc/client LoopbackChannel) skips the
+// socket entirely and calls the same two entry points, so unit tests
+// never depend on real socket timing.
+//
+// Request lifecycle:
+//   ingest()/enqueue()  — admission control. Decode errors, queue-full
+//                         and shutting-down rejects are answered
+//                         IMMEDIATELY with a typed kError reply; accepted
+//                         requests join a bounded FIFO.
+//   poll()              — one batch tick. Drains the entire admission
+//                         queue in arrival order (allocates submit into
+//                         the fleet session, releases/queries/stats
+//                         answer from live state), then steps the fleet
+//                         simulator to idle, then converts every newly
+//                         finished placement / dead letter / unplaceable
+//                         job into exactly one reply for its originating
+//                         allocate.
+//   shutdown()          — stop admitting, drain in-flight work to idle,
+//                         and answer anything still unanswered with a
+//                         typed kCancelled error. Every accepted request
+//                         is answered exactly once, shutdown included.
+//
+// Determinism: because poll() drains the WHOLE queue before stepping,
+// feeding a request log through the daemon and calling finish() yields
+// FleetRecords byte-identical to cluster::FleetSimulator::run() on the
+// same job list (tests/svc/test_equivalence.cpp pins this).
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "svc/wire.hpp"
+
+namespace mapa::obs {
+class Counter;
+}  // namespace mapa::obs
+
+namespace mapa::svc {
+
+struct ServiceConfig {
+  /// Fleet configuration, observer included; the service registers its
+  /// own svc.* counters into ClusterConfig::observer's registry when one
+  /// is attached.
+  cluster::ClusterConfig cluster;
+  /// Admission queue bound: an enqueue past this depth is rejected with
+  /// ErrorCode::kQueueFull. Deterministic — depth only changes in
+  /// enqueue()/poll(), never on a background thread.
+  std::size_t max_pending = 1024;
+};
+
+/// One reply frame addressed to the client connection that sent the
+/// request. `client` is an opaque id chosen by the transport (socket fd,
+/// loopback channel id).
+struct Outbound {
+  std::uint64_t client = 0;
+  std::vector<std::uint8_t> frame;
+};
+
+class AllocationService {
+ public:
+  /// Builds the fleet and immediately opens a tick-driven session
+  /// (arm_faults + collect_unplaceable: releases and unplaceable
+  /// outcomes need both).
+  AllocationService(std::vector<cluster::ServerSpec> servers,
+                    ServiceConfig config);
+  ~AllocationService();
+
+  AllocationService(const AllocationService&) = delete;
+  AllocationService& operator=(const AllocationService&) = delete;
+
+  /// Feed raw transport bytes from `client`. Complete frames are decoded
+  /// and admitted; malformed frames are answered immediately with kError
+  /// (request id salvaged from the header when readable). A lying length
+  /// field poisons the connection's stream: one kError reply is emitted
+  /// and the transport should close the connection.
+  void ingest(std::uint64_t client, const std::uint8_t* data,
+              std::size_t size, std::vector<Outbound>& out);
+
+  /// Typed admission entry (what ingest() calls per decoded frame; also
+  /// the loopback harness' direct door). Returns true when the request
+  /// was queued, false when it was rejected with an immediate reply.
+  bool enqueue(std::uint64_t client, Request request,
+               std::vector<Outbound>& out);
+
+  /// One batch tick: drain admission queue -> step fleet to idle ->
+  /// reply to newly resolved allocates. Returns the number of reply
+  /// frames appended to `out`.
+  std::size_t poll(std::vector<Outbound>& out);
+
+  /// Stop admitting (further enqueues reject with kShuttingDown), drain
+  /// everything in flight via one final poll(), then kCancelled-answer
+  /// any allocate still unanswered.
+  void shutdown(std::vector<Outbound>& out);
+  bool shutting_down() const { return shutting_down_; }
+
+  /// Close the fleet session and return its FleetResult (same shape as
+  /// cluster::FleetSimulator::run()). The service cannot serve requests
+  /// afterwards. Requires the admission queue to be empty.
+  cluster::FleetResult finish();
+
+  /// Schedule a fault event into the live session (clamped to the
+  /// session's current simulated time). Mirrors
+  /// cluster::FleetSimulator::inject_fault.
+  void inject_fault(cluster::FaultEvent event);
+
+  /// Service + observability snapshot as one JSON object — the payload
+  /// of a kStatsOk reply.
+  std::string stats_json() const;
+
+  std::size_t pending() const { return pending_.size(); }
+  double sim_now() const { return fleet_.sim_now(); }
+  bool session_active() const { return fleet_.active(); }
+
+  /// Direct fleet access for white-box tests.
+  cluster::FleetSimulator& fleet() { return fleet_; }
+
+ private:
+  /// Everything the service remembers about one admitted allocate; the
+  /// source of truth for kQuery replies and the exactly-once ledger.
+  struct JobEntry {
+    std::uint64_t client = 0;
+    std::uint64_t request_id = 0;
+    JobState state = JobState::kQueued;
+    std::uint32_t server = 0;
+    double start_s = 0.0;
+    double finish_s = 0.0;
+    bool answered = false;  // original allocate request replied to
+  };
+
+  struct PendingRequest {
+    std::uint64_t client = 0;
+    Request request;
+  };
+
+  struct Connection {
+    FrameAssembler assembler;
+    bool poison_reported = false;
+  };
+
+  void reply(std::uint64_t client, Reply r, std::vector<Outbound>& out);
+  void reply_error(std::uint64_t client, std::uint64_t request_id,
+                   ErrorCode code, std::string message,
+                   std::vector<Outbound>& out);
+  void serve_allocate(const PendingRequest& p, const AllocateRequest& a,
+                      std::vector<Outbound>& out);
+  void serve_release(const PendingRequest& p, const ReleaseRequest& r,
+                     std::vector<Outbound>& out);
+  void serve_query(const PendingRequest& p, const QueryRequest& q,
+                   std::vector<Outbound>& out);
+  void drain_admission(std::vector<Outbound>& out);
+  void harvest_outcomes(std::vector<Outbound>& out);
+
+  ServiceConfig config_;
+  cluster::FleetSimulator fleet_;
+  std::deque<PendingRequest> pending_;
+  std::map<std::int32_t, JobEntry> jobs_;
+  std::unordered_map<std::uint64_t, Connection> connections_;
+  /// Cursors into the session's monotonically growing outcome vectors
+  /// (records / dead letters); everything past a cursor is news.
+  std::size_t records_cursor_ = 0;
+  std::size_t dead_letter_cursor_ = 0;
+  bool shutting_down_ = false;
+
+  // Plain tallies (authoritative, zero-dependency) mirrored into the
+  // observer registry's svc.* counters when one is attached.
+  std::uint64_t accepted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t queue_full_ = 0;
+  std::uint64_t decode_errors_ = 0;
+  std::uint64_t replies_ = 0;
+  std::uint64_t polls_ = 0;
+  obs::Counter* c_accepted_ = nullptr;
+  obs::Counter* c_rejected_ = nullptr;
+  obs::Counter* c_queue_full_ = nullptr;
+  obs::Counter* c_decode_errors_ = nullptr;
+  obs::Counter* c_replies_ = nullptr;
+};
+
+}  // namespace mapa::svc

@@ -1,0 +1,498 @@
+#include "svc/wire.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace mapa::svc {
+
+namespace {
+
+// ---- Writer ------------------------------------------------------------
+
+void put_u8(std::vector<std::uint8_t>& out, std::uint8_t v) {
+  out.push_back(v);
+}
+
+void put_u16(std::vector<std::uint8_t>& out, std::uint16_t v) {
+  out.push_back(static_cast<std::uint8_t>(v));
+  out.push_back(static_cast<std::uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64(std::vector<std::uint8_t>& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_i32(std::vector<std::uint8_t>& out, std::int32_t v) {
+  put_u32(out, static_cast<std::uint32_t>(v));
+}
+
+void put_f64(std::vector<std::uint8_t>& out, double v) {
+  put_u64(out, std::bit_cast<std::uint64_t>(v));
+}
+
+void put_string16(std::vector<std::uint8_t>& out, const std::string& s) {
+  const std::size_t n = std::min<std::size_t>(s.size(), 0xFFFF);
+  put_u16(out, static_cast<std::uint16_t>(n));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
+}
+
+void put_string32(std::vector<std::uint8_t>& out, const std::string& s) {
+  put_u32(out, static_cast<std::uint32_t>(s.size()));
+  out.insert(out.end(), s.begin(), s.end());
+}
+
+// ---- Bounds-checked reader ---------------------------------------------
+
+/// Every get_* advances `pos` only after verifying the read fits; on a
+/// short buffer it sets `ok` false once and every further read is a
+/// no-op, so decode functions can read the whole layout linearly and
+/// check `ok` at the end.
+struct Reader {
+  const std::uint8_t* data;
+  std::size_t size;
+  std::size_t pos = 0;
+  bool ok = true;
+
+  bool need(std::size_t n) {
+    if (!ok || size - pos < n) {
+      ok = false;
+      return false;
+    }
+    return true;
+  }
+
+  std::uint8_t get_u8() {
+    if (!need(1)) return 0;
+    return data[pos++];
+  }
+
+  std::uint16_t get_u16() {
+    if (!need(2)) return 0;
+    std::uint16_t v = static_cast<std::uint16_t>(data[pos]) |
+                      static_cast<std::uint16_t>(data[pos + 1]) << 8;
+    pos += 2;
+    return v;
+  }
+
+  std::uint32_t get_u32() {
+    if (!need(4)) return 0;
+    std::uint32_t v = 0;
+    for (int i = 0; i < 4; ++i) {
+      v |= static_cast<std::uint32_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 4;
+    return v;
+  }
+
+  std::uint64_t get_u64() {
+    if (!need(8)) return 0;
+    std::uint64_t v = 0;
+    for (int i = 0; i < 8; ++i) {
+      v |= static_cast<std::uint64_t>(data[pos + static_cast<std::size_t>(i)])
+           << (8 * i);
+    }
+    pos += 8;
+    return v;
+  }
+
+  std::int32_t get_i32() { return static_cast<std::int32_t>(get_u32()); }
+
+  double get_f64() { return std::bit_cast<double>(get_u64()); }
+
+  std::string get_string16() {
+    const std::size_t n = get_u16();
+    if (!need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+
+  std::string get_string32() {
+    const std::size_t n = get_u32();
+    if (!need(n)) return {};
+    std::string s(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return s;
+  }
+
+  bool done() const { return ok && pos == size; }
+};
+
+// ---- Frame scaffolding -------------------------------------------------
+
+std::vector<std::uint8_t> begin_frame(Op op, std::uint64_t request_id) {
+  std::vector<std::uint8_t> out;
+  out.reserve(32);
+  put_u32(out, 0);  // length back-patched by end_frame
+  put_u16(out, kMagic);
+  put_u8(out, kVersion);
+  put_u8(out, static_cast<std::uint8_t>(op));
+  put_u64(out, request_id);
+  return out;
+}
+
+std::vector<std::uint8_t> end_frame(std::vector<std::uint8_t> out) {
+  const std::uint32_t len = static_cast<std::uint32_t>(out.size() - 4);
+  out[0] = static_cast<std::uint8_t>(len);
+  out[1] = static_cast<std::uint8_t>(len >> 8);
+  out[2] = static_cast<std::uint8_t>(len >> 16);
+  out[3] = static_cast<std::uint8_t>(len >> 24);
+  return out;
+}
+
+DecodeError err(ErrorCode code, std::string message,
+                std::uint64_t request_id = 0) {
+  return DecodeError{code, std::move(message), request_id};
+}
+
+/// Shared header check for both decode directions. Returns the request
+/// id via `request_id` as soon as it is readable, so payload errors can
+/// still be correlated.
+std::optional<DecodeError> decode_header(Reader& r, std::uint8_t& op,
+                                         std::uint64_t& request_id) {
+  if (r.size < kFrameHeaderLen) {
+    return err(ErrorCode::kBadPayload, "frame shorter than header");
+  }
+  const std::uint16_t magic = r.get_u16();
+  if (magic != kMagic) {
+    return err(ErrorCode::kBadMagic, "bad magic");
+  }
+  const std::uint8_t version = r.get_u8();
+  op = r.get_u8();
+  request_id = r.get_u64();
+  if (version != kVersion) {
+    return err(ErrorCode::kBadVersion,
+               "unsupported protocol version " + std::to_string(version),
+               request_id);
+  }
+  return std::nullopt;
+}
+
+constexpr std::uint8_t kMaxPattern =
+    static_cast<std::uint8_t>(graph::PatternKind::kNcclMix);
+constexpr std::uint8_t kMaxJobState =
+    static_cast<std::uint8_t>(JobState::kReleased);
+constexpr std::uint16_t kMaxErrorCode =
+    static_cast<std::uint16_t>(ErrorCode::kCancelled);
+
+}  // namespace
+
+const char* to_string(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kNone: return "none";
+    case ErrorCode::kBadMagic: return "bad_magic";
+    case ErrorCode::kBadVersion: return "bad_version";
+    case ErrorCode::kBadOpcode: return "bad_opcode";
+    case ErrorCode::kBadPayload: return "bad_payload";
+    case ErrorCode::kOversizedFrame: return "oversized_frame";
+    case ErrorCode::kUnknownWorkload: return "unknown_workload";
+    case ErrorCode::kBadPattern: return "bad_pattern";
+    case ErrorCode::kQueueFull: return "queue_full";
+    case ErrorCode::kTooManyGpus: return "too_many_gpus";
+    case ErrorCode::kDuplicateJob: return "duplicate_job";
+    case ErrorCode::kUnplaceable: return "unplaceable";
+    case ErrorCode::kDeadLettered: return "dead_lettered";
+    case ErrorCode::kShuttingDown: return "shutting_down";
+    case ErrorCode::kCancelled: return "cancelled";
+  }
+  return "unknown";
+}
+
+workload::Job AllocateRequest::to_job() const {
+  workload::Job job;
+  job.id = job_id;
+  job.workload = workload;
+  job.num_gpus = num_gpus;
+  job.pattern = pattern;
+  job.bandwidth_sensitive = bandwidth_sensitive;
+  job.arrival_time_s = arrival_time_s;
+  job.iter_scale = iter_scale;
+  return job;
+}
+
+AllocateRequest AllocateRequest::from_job(const workload::Job& job) {
+  AllocateRequest request;
+  request.job_id = job.id;
+  request.workload = job.workload;
+  request.num_gpus = static_cast<std::uint32_t>(job.num_gpus);
+  request.pattern = job.pattern;
+  request.bandwidth_sensitive = job.bandwidth_sensitive;
+  request.arrival_time_s = job.arrival_time_s;
+  request.iter_scale = job.iter_scale;
+  return request;
+}
+
+std::vector<std::uint8_t> encode(const Request& request) {
+  return std::visit(
+      [&](const auto& payload) -> std::vector<std::uint8_t> {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, AllocateRequest>) {
+          auto out = begin_frame(Op::kAllocate, request.id);
+          put_i32(out, payload.job_id);
+          put_u8(out, static_cast<std::uint8_t>(payload.pattern));
+          put_u8(out, payload.bandwidth_sensitive ? 1 : 0);
+          put_u32(out, payload.num_gpus);
+          put_f64(out, payload.arrival_time_s);
+          put_f64(out, payload.iter_scale);
+          put_string16(out, payload.workload);
+          return end_frame(std::move(out));
+        } else if constexpr (std::is_same_v<T, ReleaseRequest>) {
+          auto out = begin_frame(Op::kRelease, request.id);
+          put_i32(out, payload.job_id);
+          return end_frame(std::move(out));
+        } else if constexpr (std::is_same_v<T, QueryRequest>) {
+          auto out = begin_frame(Op::kQuery, request.id);
+          put_i32(out, payload.job_id);
+          return end_frame(std::move(out));
+        } else {
+          static_assert(std::is_same_v<T, StatsRequest>);
+          return end_frame(begin_frame(Op::kStats, request.id));
+        }
+      },
+      request.payload);
+}
+
+std::vector<std::uint8_t> encode(const Reply& reply) {
+  return std::visit(
+      [&](const auto& payload) -> std::vector<std::uint8_t> {
+        using T = std::decay_t<decltype(payload)>;
+        if constexpr (std::is_same_v<T, AllocateReply>) {
+          auto out = begin_frame(Op::kAllocateOk, reply.id);
+          put_i32(out, payload.job_id);
+          put_u32(out, payload.server);
+          put_u32(out, payload.retries);
+          put_f64(out, payload.start_s);
+          put_f64(out, payload.finish_s);
+          put_u16(out, static_cast<std::uint16_t>(payload.gpus.size()));
+          for (const std::uint32_t g : payload.gpus) put_u32(out, g);
+          return end_frame(std::move(out));
+        } else if constexpr (std::is_same_v<T, ReleaseReply>) {
+          auto out = begin_frame(Op::kReleaseOk, reply.id);
+          put_i32(out, payload.job_id);
+          put_u8(out, payload.outcome);
+          return end_frame(std::move(out));
+        } else if constexpr (std::is_same_v<T, QueryReply>) {
+          auto out = begin_frame(Op::kQueryOk, reply.id);
+          put_i32(out, payload.job_id);
+          put_u8(out, static_cast<std::uint8_t>(payload.state));
+          put_u32(out, payload.server);
+          put_f64(out, payload.start_s);
+          put_f64(out, payload.finish_s);
+          return end_frame(std::move(out));
+        } else if constexpr (std::is_same_v<T, StatsReply>) {
+          auto out = begin_frame(Op::kStatsOk, reply.id);
+          put_string32(out, payload.json);
+          return end_frame(std::move(out));
+        } else {
+          static_assert(std::is_same_v<T, ErrorReply>);
+          auto out = begin_frame(Op::kError, reply.id);
+          put_u16(out, static_cast<std::uint16_t>(payload.code));
+          put_string16(out, payload.message);
+          return end_frame(std::move(out));
+        }
+      },
+      reply.payload);
+}
+
+DecodedRequest decode_request(const std::uint8_t* data, std::size_t size) {
+  Reader r{data, size};
+  std::uint8_t op = 0;
+  std::uint64_t request_id = 0;
+  if (auto header_error = decode_header(r, op, request_id)) {
+    return *header_error;
+  }
+  Request request;
+  request.id = request_id;
+  switch (static_cast<Op>(op)) {
+    case Op::kAllocate: {
+      AllocateRequest a;
+      a.job_id = r.get_i32();
+      const std::uint8_t pattern = r.get_u8();
+      a.bandwidth_sensitive = r.get_u8() != 0;
+      a.num_gpus = r.get_u32();
+      a.arrival_time_s = r.get_f64();
+      a.iter_scale = r.get_f64();
+      a.workload = r.get_string16();
+      if (!r.done()) {
+        return err(ErrorCode::kBadPayload, "malformed allocate payload",
+                   request_id);
+      }
+      if (pattern > kMaxPattern) {
+        return err(ErrorCode::kBadPattern,
+                   "pattern kind " + std::to_string(pattern) + " out of range",
+                   request_id);
+      }
+      a.pattern = static_cast<graph::PatternKind>(pattern);
+      request.payload = std::move(a);
+      return request;
+    }
+    case Op::kRelease: {
+      ReleaseRequest rel;
+      rel.job_id = r.get_i32();
+      if (!r.done()) {
+        return err(ErrorCode::kBadPayload, "malformed release payload",
+                   request_id);
+      }
+      request.payload = rel;
+      return request;
+    }
+    case Op::kQuery: {
+      QueryRequest q;
+      q.job_id = r.get_i32();
+      if (!r.done()) {
+        return err(ErrorCode::kBadPayload, "malformed query payload",
+                   request_id);
+      }
+      request.payload = q;
+      return request;
+    }
+    case Op::kStats: {
+      if (!r.done()) {
+        return err(ErrorCode::kBadPayload, "stats request carries no payload",
+                   request_id);
+      }
+      request.payload = StatsRequest{};
+      return request;
+    }
+    default:
+      return err(ErrorCode::kBadOpcode,
+                 "unknown request opcode " + std::to_string(op), request_id);
+  }
+}
+
+DecodedReply decode_reply(const std::uint8_t* data, std::size_t size) {
+  Reader r{data, size};
+  std::uint8_t op = 0;
+  std::uint64_t request_id = 0;
+  if (auto header_error = decode_header(r, op, request_id)) {
+    return *header_error;
+  }
+  Reply reply;
+  reply.id = request_id;
+  switch (static_cast<Op>(op)) {
+    case Op::kAllocateOk: {
+      AllocateReply a;
+      a.job_id = r.get_i32();
+      a.server = r.get_u32();
+      a.retries = r.get_u32();
+      a.start_s = r.get_f64();
+      a.finish_s = r.get_f64();
+      const std::uint16_t count = r.get_u16();
+      a.gpus.reserve(r.ok ? count : 0);
+      for (std::uint16_t i = 0; i < count && r.ok; ++i) {
+        a.gpus.push_back(r.get_u32());
+      }
+      if (!r.done()) {
+        return err(ErrorCode::kBadPayload, "malformed allocate reply",
+                   request_id);
+      }
+      reply.payload = std::move(a);
+      return reply;
+    }
+    case Op::kReleaseOk: {
+      ReleaseReply rel;
+      rel.job_id = r.get_i32();
+      rel.outcome = r.get_u8();
+      if (!r.done() || rel.outcome > 2) {
+        return err(ErrorCode::kBadPayload, "malformed release reply",
+                   request_id);
+      }
+      reply.payload = rel;
+      return reply;
+    }
+    case Op::kQueryOk: {
+      QueryReply q;
+      q.job_id = r.get_i32();
+      const std::uint8_t state = r.get_u8();
+      q.server = r.get_u32();
+      q.start_s = r.get_f64();
+      q.finish_s = r.get_f64();
+      if (!r.done() || state > kMaxJobState) {
+        return err(ErrorCode::kBadPayload, "malformed query reply",
+                   request_id);
+      }
+      q.state = static_cast<JobState>(state);
+      reply.payload = q;
+      return reply;
+    }
+    case Op::kStatsOk: {
+      StatsReply s;
+      s.json = r.get_string32();
+      if (!r.done()) {
+        return err(ErrorCode::kBadPayload, "malformed stats reply",
+                   request_id);
+      }
+      reply.payload = std::move(s);
+      return reply;
+    }
+    case Op::kError: {
+      ErrorReply e;
+      const std::uint16_t code = r.get_u16();
+      e.message = r.get_string16();
+      if (!r.done() || code > kMaxErrorCode) {
+        return err(ErrorCode::kBadPayload, "malformed error reply",
+                   request_id);
+      }
+      e.code = static_cast<ErrorCode>(code);
+      reply.payload = std::move(e);
+      return reply;
+    }
+    default:
+      return err(ErrorCode::kBadOpcode,
+                 "unknown reply opcode " + std::to_string(op), request_id);
+  }
+}
+
+void FrameAssembler::feed(const std::uint8_t* data, std::size_t size) {
+  if (error_.has_value()) return;  // poisoned: boundary is lost
+  buffer_.insert(buffer_.end(), data, data + size);
+}
+
+std::optional<std::vector<std::uint8_t>> FrameAssembler::next() {
+  if (error_.has_value()) return std::nullopt;
+  const std::size_t available = buffer_.size() - read_pos_;
+  if (available < 4) return std::nullopt;
+  std::uint32_t len = 0;
+  for (int i = 0; i < 4; ++i) {
+    len |= static_cast<std::uint32_t>(buffer_[read_pos_ +
+                                              static_cast<std::size_t>(i)])
+           << (8 * i);
+  }
+  if (len > kMaxFrameLen) {
+    error_ = DecodeError{ErrorCode::kOversizedFrame,
+                         "declared frame length " + std::to_string(len) +
+                             " exceeds cap " + std::to_string(kMaxFrameLen)};
+    return std::nullopt;
+  }
+  if (len < kFrameHeaderLen) {
+    error_ = DecodeError{ErrorCode::kBadPayload,
+                         "declared frame length " + std::to_string(len) +
+                             " below header size"};
+    return std::nullopt;
+  }
+  if (available - 4 < len) return std::nullopt;  // body still in flight
+  const auto begin =
+      buffer_.begin() + static_cast<std::ptrdiff_t>(read_pos_ + 4);
+  std::vector<std::uint8_t> frame(begin,
+                                  begin + static_cast<std::ptrdiff_t>(len));
+  read_pos_ += 4 + len;
+  // Reclaim consumed bytes once they dominate the buffer, so a
+  // long-lived connection doesn't grow its buffer forever.
+  if (read_pos_ > 4096 && read_pos_ * 2 > buffer_.size()) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<std::ptrdiff_t>(read_pos_));
+    read_pos_ = 0;
+  }
+  return frame;
+}
+
+}  // namespace mapa::svc

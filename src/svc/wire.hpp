@@ -1,0 +1,224 @@
+#pragma once
+// svc/wire — the allocation daemon's dependency-free binary wire format.
+//
+// Every message is one length-prefixed frame, little-endian throughout:
+//
+//   offset  size  field
+//   ------  ----  -----------------------------------------------------
+//   0       4     frame length N (bytes that follow this field, u32)
+//   4       2     magic 0x4D41 ("MA")
+//   6       1     protocol version (kVersion)
+//   7       1     opcode (Op)
+//   8       8     request id (echoed verbatim in the reply)
+//   16      N-12  typed payload (per-opcode layout below)
+//
+// Integers are fixed-width little-endian; doubles travel as their IEEE
+// 754 bit pattern in a u64. Strings and arrays are length-prefixed
+// (u16 count) — nothing is null-terminated and nothing is implicit, so a
+// decoder can bound-check every read. The decoder NEVER trusts a length
+// field: a frame longer than kMaxFrameLen, a truncated payload, an
+// unknown version/opcode/enum value, or trailing garbage all yield a
+// typed DecodeError (never UB) — tests/svc/test_wire.cpp fuzzes exactly
+// this contract under ASan+UBSan.
+//
+// Payload layouts (request → reply):
+//   kAllocate   i32 job_id, u8 pattern, u8 bandwidth_sensitive,
+//               u32 num_gpus, f64 arrival_time_s, f64 iter_scale,
+//               u16 len + workload name bytes
+//   kRelease    i32 job_id
+//   kQuery      i32 job_id
+//   kStats      (empty)
+//   kAllocateOk i32 job_id, u32 server, u32 retries, f64 start_s,
+//               f64 finish_s, u16 count + count * u32 gpu ids
+//   kReleaseOk  i32 job_id, u8 outcome (ReleaseOutcome)
+//   kQueryOk    i32 job_id, u8 state (JobState), u32 server,
+//               f64 start_s, f64 finish_s
+//   kStatsOk    u32 len + JSON bytes
+//   kError      u16 code (ErrorCode), u16 len + message bytes
+//
+// The codec is transport-agnostic: FrameAssembler turns an arbitrary
+// byte stream (socket reads of any granularity) into complete frames.
+
+#include <cstddef>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/patterns.hpp"
+#include "workload/job.hpp"
+
+namespace mapa::svc {
+
+inline constexpr std::uint16_t kMagic = 0x4D41;
+inline constexpr std::uint8_t kVersion = 1;
+/// Bytes of header inside the length-prefixed region (magic..request id).
+inline constexpr std::size_t kFrameHeaderLen = 12;
+/// Hard cap on the declared frame length — a corrupt or hostile length
+/// field must never trigger a giant allocation.
+inline constexpr std::size_t kMaxFrameLen = 1u << 20;
+
+enum class Op : std::uint8_t {
+  kAllocate = 0x01,
+  kRelease = 0x02,
+  kQuery = 0x03,
+  kStats = 0x04,
+  kAllocateOk = 0x81,
+  kReleaseOk = 0x82,
+  kQueryOk = 0x83,
+  kStatsOk = 0x84,
+  kError = 0xFF,
+};
+
+/// Typed failure surface: every way a request can be refused without the
+/// daemon dying, from transport-level garbage (kBadMagic..kBadPayload)
+/// through admission control (kQueueFull) to scheduling outcomes
+/// (kUnplaceable, kDeadLettered) and lifecycle (kShuttingDown,
+/// kCancelled).
+enum class ErrorCode : std::uint16_t {
+  kNone = 0,
+  kBadMagic = 1,
+  kBadVersion = 2,
+  kBadOpcode = 3,
+  kBadPayload = 4,
+  kOversizedFrame = 5,
+  kUnknownWorkload = 6,
+  kBadPattern = 7,
+  kQueueFull = 8,
+  kTooManyGpus = 9,
+  kDuplicateJob = 10,
+  kUnplaceable = 11,
+  kDeadLettered = 12,
+  kShuttingDown = 13,
+  kCancelled = 14,
+};
+
+const char* to_string(ErrorCode code);
+
+/// Lifecycle of a job as the daemon's query endpoint reports it.
+enum class JobState : std::uint8_t {
+  kUnknown = 0,      // id never seen (or long forgotten)
+  kQueued = 1,       // admitted, not yet placed
+  kRunning = 2,      // placed, finish time still in the simulated future
+  kFinished = 3,     // placed and past its finish time
+  kDeadLettered = 4, // killed by faults beyond the retry budget
+  kUnplaceable = 5,  // no server in the fleet could ever hold it
+  kReleased = 6,     // client released it before completion
+};
+
+struct AllocateRequest {
+  std::int32_t job_id = 0;
+  graph::PatternKind pattern = graph::PatternKind::kSingle;
+  bool bandwidth_sensitive = false;
+  std::uint32_t num_gpus = 0;
+  /// Simulated arrival time. The daemon clamps a past time to its
+  /// current simulated now at admission.
+  double arrival_time_s = 0.0;
+  double iter_scale = 1.0;
+  /// Workload profile name (workload::find_workload); validated by the
+  /// service, not the codec.
+  std::string workload;
+
+  workload::Job to_job() const;
+  static AllocateRequest from_job(const workload::Job& job);
+};
+
+struct ReleaseRequest {
+  std::int32_t job_id = 0;
+};
+
+struct QueryRequest {
+  std::int32_t job_id = 0;
+};
+
+struct StatsRequest {};
+
+struct AllocateReply {
+  std::int32_t job_id = 0;
+  std::uint32_t server = 0;
+  std::uint32_t retries = 0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+  std::vector<std::uint32_t> gpus;  // accelerator ids on `server`
+};
+
+struct ReleaseReply {
+  std::int32_t job_id = 0;
+  /// cluster::FleetSimulator::ReleaseOutcome: 0 not found, 1 dropped
+  /// from a queue, 2 freed while running.
+  std::uint8_t outcome = 0;
+};
+
+struct QueryReply {
+  std::int32_t job_id = 0;
+  JobState state = JobState::kUnknown;
+  std::uint32_t server = 0;
+  double start_s = 0.0;
+  double finish_s = 0.0;
+};
+
+struct StatsReply {
+  std::string json;
+};
+
+struct ErrorReply {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+};
+
+using RequestPayload =
+    std::variant<AllocateRequest, ReleaseRequest, QueryRequest, StatsRequest>;
+using ReplyPayload = std::variant<AllocateReply, ReleaseReply, QueryReply,
+                                  StatsReply, ErrorReply>;
+
+struct Request {
+  std::uint64_t id = 0;
+  RequestPayload payload;
+};
+
+struct Reply {
+  std::uint64_t id = 0;
+  ReplyPayload payload;
+};
+
+/// Typed decode failure. `request_id` is the offending frame's id when
+/// the header was readable (so the error reply can still be correlated),
+/// 0 otherwise.
+struct DecodeError {
+  ErrorCode code = ErrorCode::kNone;
+  std::string message;
+  std::uint64_t request_id = 0;
+};
+
+/// Encode one complete frame, length prefix included.
+std::vector<std::uint8_t> encode(const Request& request);
+std::vector<std::uint8_t> encode(const Reply& reply);
+
+using DecodedRequest = std::variant<Request, DecodeError>;
+using DecodedReply = std::variant<Reply, DecodeError>;
+
+/// Decode one frame BODY (everything after the 4-byte length prefix —
+/// what FrameAssembler::next() hands out). Bounds-checked everywhere;
+/// malformed input yields a DecodeError, never UB.
+DecodedRequest decode_request(const std::uint8_t* data, std::size_t size);
+DecodedReply decode_reply(const std::uint8_t* data, std::size_t size);
+
+/// Incremental stream framer: feed() raw bytes in any granularity,
+/// next() yields complete frame bodies in order. A declared length
+/// beyond kMaxFrameLen or below kFrameHeaderLen poisons the stream (the
+/// byte boundary is unrecoverable once a length field lies): error() is
+/// set and next() returns nothing further.
+class FrameAssembler {
+ public:
+  void feed(const std::uint8_t* data, std::size_t size);
+  std::optional<std::vector<std::uint8_t>> next();
+  const std::optional<DecodeError>& error() const { return error_; }
+
+ private:
+  std::vector<std::uint8_t> buffer_;
+  std::size_t read_pos_ = 0;
+  std::optional<DecodeError> error_;
+};
+
+}  // namespace mapa::svc

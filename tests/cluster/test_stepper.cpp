@@ -1,0 +1,258 @@
+// Tick-driven FleetSimulator session API (start/submit/step/finish):
+// run() equivalence by construction, incremental submission mid-session,
+// early release outcomes, live fault injection, the unplaceable outbox,
+// and session lifecycle errors. This is the substrate the svc/ daemon
+// builds on.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <stdexcept>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::cluster {
+namespace {
+
+std::vector<graph::Graph> dgx_fleet(std::size_t n) {
+  std::vector<graph::Graph> fleet;
+  for (std::size_t i = 0; i < n; ++i) fleet.push_back(graph::dgx1_v100());
+  return fleet;
+}
+
+std::vector<ServerSpec> dgx_specs(std::size_t n,
+                                  const std::string& policy = "preserve") {
+  std::vector<ServerSpec> specs;
+  for (auto& g : dgx_fleet(n)) {
+    ServerSpec spec;
+    spec.topology = std::move(g);
+    spec.policy = policy;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<workload::Job> trace(std::size_t num_jobs, std::uint64_t seed) {
+  workload::FleetTraceConfig config;
+  config.num_jobs = num_jobs;
+  config.seed = seed;
+  config.max_gpus = 5;
+  config.arrival_rate_per_s = 0.1;
+  return workload::generate_fleet_trace(config);
+}
+
+void expect_same_records(const FleetResult& a, const FleetResult& b) {
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (std::size_t i = 0; i < a.records.size(); ++i) {
+    const sim::JobRecord& x = a.records[i].record;
+    const sim::JobRecord& y = b.records[i].record;
+    EXPECT_EQ(a.records[i].server, b.records[i].server);
+    EXPECT_EQ(a.records[i].retries, b.records[i].retries);
+    EXPECT_EQ(x.job, y.job);
+    EXPECT_EQ(x.gpus, y.gpus);
+    EXPECT_DOUBLE_EQ(x.queued_s, y.queued_s);
+    EXPECT_DOUBLE_EQ(x.start_s, y.start_s);
+    EXPECT_DOUBLE_EQ(x.finish_s, y.finish_s);
+    EXPECT_DOUBLE_EQ(x.exec_s, y.exec_s);
+  }
+  EXPECT_DOUBLE_EQ(a.makespan_s, b.makespan_s);
+}
+
+TEST(Stepper, ManualSessionMatchesRun) {
+  const auto jobs = trace(100, 11);
+
+  FleetSimulator batch(dgx_specs(4));
+  const FleetResult expected = batch.run(jobs);
+
+  FleetSimulator ticked(dgx_specs(4));
+  FleetSimulator::StepOptions options;
+  options.expected_jobs = jobs.size();
+  ticked.start(options);
+  EXPECT_TRUE(ticked.active());
+  for (const auto& job : jobs) ticked.submit(job);
+  while (ticked.step()) {
+  }
+  EXPECT_TRUE(ticked.idle());
+  const FleetResult actual = ticked.finish();
+  EXPECT_FALSE(ticked.active());
+
+  expect_same_records(expected, actual);
+  EXPECT_EQ(expected.dead_letters.size(), actual.dead_letters.size());
+}
+
+TEST(Stepper, ArmedSessionMatchesUnarmedRun) {
+  // The daemon always arms the fault machinery (release() needs the
+  // live-job index); with an empty fault schedule that must not change a
+  // single record.
+  const auto jobs = trace(80, 23);
+
+  FleetSimulator batch(dgx_specs(3));
+  const FleetResult expected = batch.run(jobs);
+
+  FleetSimulator armed(dgx_specs(3));
+  FleetSimulator::StepOptions options;
+  options.arm_faults = true;
+  options.collect_unplaceable = true;
+  armed.start(options);
+  for (const auto& job : jobs) armed.submit(job);
+  while (armed.step()) {
+  }
+  EXPECT_TRUE(armed.take_unplaceable().empty());
+  expect_same_records(expected, armed.finish());
+}
+
+TEST(Stepper, IncrementalSubmissionBetweenSteps) {
+  // Jobs submitted AFTER the session started (and after time advanced)
+  // still place; arrival times in the past are honored as "now".
+  FleetSimulator fleet(dgx_specs(2));
+  FleetSimulator::StepOptions options;
+  options.arm_faults = true;
+  fleet.start(options);
+
+  const auto jobs = trace(40, 3);
+  for (std::size_t i = 0; i < 20; ++i) fleet.submit(jobs[i]);
+  while (fleet.step()) {
+  }
+  EXPECT_TRUE(fleet.idle());
+  const double mid = fleet.sim_now();
+  EXPECT_GT(mid, 0.0);
+
+  for (std::size_t i = 20; i < 40; ++i) fleet.submit(jobs[i]);
+  EXPECT_FALSE(fleet.idle());
+  while (fleet.step()) {
+  }
+
+  const FleetResult result = fleet.finish();
+  EXPECT_EQ(result.records.size(), jobs.size());
+  std::set<int> ids;
+  for (const auto& r : result.records) {
+    EXPECT_TRUE(ids.insert(r.record.job.id).second);
+  }
+}
+
+TEST(Stepper, ReleaseOutcomes) {
+  FleetSimulator fleet(dgx_specs(1));
+  FleetSimulator::StepOptions options;
+  options.arm_faults = true;
+  fleet.start(options);
+
+  workload::Job big;
+  big.id = 1;
+  big.workload = "resnet-50";
+  big.num_gpus = 8;  // fills the whole server
+  big.pattern = graph::PatternKind::kRing;
+  fleet.submit(big);
+
+  workload::Job blocked = big;
+  blocked.id = 2;            // queues behind job 1...
+  blocked.arrival_time_s = 1.0;  // ...arriving before job 1 finishes
+  fleet.submit(blocked);
+
+  // Step 1 places job 1 at t=0, then advances only to job 2's arrival
+  // (the nearest event), admitting it into a queue job 1 still blocks.
+  fleet.step();
+  EXPECT_DOUBLE_EQ(fleet.sim_now(), 1.0);
+  EXPECT_EQ(fleet.release(3), FleetSimulator::ReleaseOutcome::kNotFound);
+  EXPECT_EQ(fleet.release(2), FleetSimulator::ReleaseOutcome::kQueued);
+  EXPECT_EQ(fleet.release(1), FleetSimulator::ReleaseOutcome::kRunning);
+  // Released mid-run: its record is truncated to the elapsed time.
+  while (fleet.step()) {
+  }
+  const FleetResult result = fleet.finish();
+  ASSERT_EQ(result.records.size(), 1u);
+  EXPECT_EQ(result.records[0].record.job.id, 1);
+  EXPECT_DOUBLE_EQ(result.records[0].record.finish_s, 1.0);
+  EXPECT_DOUBLE_EQ(result.records[0].record.finish_s,
+                   result.records[0].record.start_s +
+                       result.records[0].record.exec_s);
+}
+
+TEST(Stepper, ReleaseRequiresArmedSession) {
+  FleetSimulator fleet(dgx_specs(1));
+  fleet.start();
+  EXPECT_THROW(fleet.release(1), std::logic_error);
+  fleet.finish();
+}
+
+TEST(Stepper, InjectFaultMidSession) {
+  FleetSimulator fleet(dgx_specs(2));
+  FleetSimulator::StepOptions options;
+  options.arm_faults = true;
+  fleet.start(options);
+
+  const auto jobs = trace(30, 7);
+  for (const auto& job : jobs) fleet.submit(job);
+  for (int i = 0; i < 5; ++i) fleet.step();
+
+  FaultEvent crash;
+  crash.kind = FaultEvent::Kind::kServerCrash;
+  crash.server = 0;
+  crash.time_s = fleet.sim_now() + 1.0;
+  fleet.inject_fault(crash);
+
+  while (fleet.step()) {
+  }
+  const FleetResult result = fleet.finish();
+  // Every job resolved: either a surviving record or a dead letter.
+  EXPECT_EQ(result.records.size() + result.dead_letters.size(), jobs.size());
+}
+
+TEST(Stepper, UnplaceableOutboxInsteadOfThrow) {
+  FleetSimulator fleet(dgx_specs(1));
+  FleetSimulator::StepOptions options;
+  options.collect_unplaceable = true;
+  fleet.start(options);
+
+  // submit() validates against the biggest server, so a job can only
+  // become unplaceable when the rotation shrinks afterwards: drain the
+  // sole server, then submit a full-server job.
+  workload::Job job;
+  job.id = 1;
+  job.workload = "resnet-50";
+  job.num_gpus = 8;
+  job.pattern = graph::PatternKind::kRing;
+
+  FaultEvent drain;
+  drain.kind = FaultEvent::Kind::kDrain;
+  drain.server = 0;
+  drain.time_s = 0.0;
+  fleet.inject_fault(drain);
+  fleet.submit(job);
+
+  while (fleet.step()) {
+  }
+  const auto unplaceable = fleet.take_unplaceable();
+  ASSERT_EQ(unplaceable.size(), 1u);
+  EXPECT_EQ(fleet.submitted_jobs()[unplaceable[0]].id, 1);
+  // The outbox is take-once.
+  EXPECT_TRUE(fleet.take_unplaceable().empty());
+  const FleetResult result = fleet.finish();
+  EXPECT_TRUE(result.records.empty());
+}
+
+TEST(Stepper, LifecycleErrors) {
+  FleetSimulator fleet(dgx_specs(1));
+  EXPECT_THROW(fleet.step(), std::logic_error);
+  EXPECT_THROW(fleet.finish(), std::logic_error);
+  EXPECT_THROW((void)fleet.sim_now(), std::logic_error);
+  fleet.start();
+  EXPECT_THROW(fleet.start(), std::logic_error);
+
+  workload::Job too_big;
+  too_big.id = 1;
+  too_big.workload = "resnet-50";
+  too_big.num_gpus = 9;  // dgx1 has 8
+  EXPECT_THROW(fleet.submit(too_big), std::invalid_argument);
+
+  (void)fleet.finish();
+  EXPECT_FALSE(fleet.active());
+  // A finished simulator can host a fresh batch run.
+  const auto jobs = trace(10, 2);
+  EXPECT_EQ(fleet.run(jobs).records.size(), jobs.size());
+}
+
+}  // namespace
+}  // namespace mapa::cluster

@@ -1,0 +1,89 @@
+// The ONE real-socket test: an AF_UNIX SocketServer fronting the
+// allocation service, exercised by svc::Client over svc::SocketChannel.
+// Protocol behavior is pinned by the loopback suites (tests/svc/); this
+// smoke test only proves the socket path itself — connect, framed
+// request/reply over a real byte stream, two concurrent connections,
+// graceful stop. Kept deliberately small to stay timing-robust.
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "svc/client.hpp"
+#include "svc/server.hpp"
+
+namespace mapa::svc {
+namespace {
+
+std::vector<cluster::ServerSpec> dgx_specs(std::size_t n) {
+  std::vector<cluster::ServerSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster::ServerSpec spec;
+    spec.topology = graph::dgx1_v100();
+    spec.policy = "preserve";
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+workload::Job job_of(int id, std::size_t gpus) {
+  workload::Job j;
+  j.id = id;
+  j.workload = "resnet-50";
+  j.num_gpus = gpus;
+  j.pattern = gpus <= 1 ? graph::PatternKind::kSingle
+                        : graph::PatternKind::kRing;
+  j.bandwidth_sensitive = true;
+  return j;
+}
+
+std::string temp_socket_path() {
+  return "/tmp/mapa_daemon_test_" + std::to_string(::getpid()) + ".sock";
+}
+
+TEST(Daemon, SocketSmoke) {
+  const std::string path = temp_socket_path();
+  SocketServer server(path, dgx_specs(2), ServiceConfig{});
+  server.start();
+  ASSERT_TRUE(server.running());
+
+  {
+    SocketChannel channel(path);
+    Client client(channel);
+
+    const auto alloc_id = client.allocate(job_of(1, 4));
+    const auto ok =
+        std::get<AllocateReply>(client.wait(alloc_id).payload);
+    EXPECT_EQ(ok.job_id, 1);
+    EXPECT_EQ(ok.gpus.size(), 4u);
+
+    // A second connection sees the same daemon state.
+    SocketChannel channel2(path);
+    Client client2(channel2);
+    const auto q =
+        std::get<QueryReply>(client2.wait(client2.query(1)).payload);
+    EXPECT_EQ(q.state, JobState::kFinished);
+    EXPECT_EQ(q.server, ok.server);
+
+    const auto stats =
+        std::get<StatsReply>(client.wait(client.stats()).payload);
+    EXPECT_NE(stats.json.find("\"accepted\": 3"), std::string::npos);
+
+    const auto err = std::get<ErrorReply>(
+        client.wait(client.allocate(job_of(1, 2))).payload);
+    EXPECT_EQ(err.code, ErrorCode::kDuplicateJob);
+  }
+
+  server.stop();
+  EXPECT_FALSE(server.running());
+  // Stop unlinks the socket path; a fresh connect must fail cleanly.
+  EXPECT_THROW(SocketChannel reconnect(path), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace mapa::svc

@@ -5,11 +5,21 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <variant>
+#include <vector>
 
+#include "cluster/fleet.hpp"
 #include "graph/topology.hpp"
+#include "obs/obs.hpp"
 #include "score/scores.hpp"
 #include "sim/engine.hpp"
 #include "sim/metrics.hpp"
+#include "svc/service.hpp"
 #include "workload/generator.hpp"
 
 namespace mapa::sim {
@@ -135,6 +145,92 @@ TEST(EndToEnd, AllPoliciesCompleteTheSameJobSet) {
        {&runs.baseline, &runs.topo, &runs.greedy, &runs.preserve}) {
     EXPECT_EQ(r->records.size(), jobs.size());
   }
+}
+
+TEST(EndToEnd, DaemonBurstWithMidRunFaultConservesEveryRequest) {
+  // The allocation daemon under a mixed allocate/release/query burst
+  // with a server crash landing mid-run: every admitted request must be
+  // answered exactly once (typed errors included), and the stats
+  // snapshot must agree with the observed reply stream.
+  namespace svc = mapa::svc;
+  obs::ObsConfig obs_config;
+  obs_config.counters = true;
+  svc::ServiceConfig config;
+  config.cluster.observer = std::make_shared<obs::Observer>(obs_config);
+  std::vector<cluster::ServerSpec> specs;
+  for (int i = 0; i < 3; ++i) {
+    cluster::ServerSpec spec;
+    spec.topology = graph::dgx1_v100();
+    spec.policy = "preserve";
+    specs.push_back(std::move(spec));
+  }
+  svc::AllocationService service(std::move(specs), std::move(config));
+
+  workload::FleetTraceConfig trace_config;
+  trace_config.num_jobs = 60;
+  trace_config.seed = 19;
+  trace_config.max_gpus = 5;
+  trace_config.arrival_rate_per_s = 0.2;
+  const auto jobs = workload::generate_fleet_trace(trace_config);
+
+  std::vector<svc::Outbound> out;
+  std::uint64_t next_request = 1;
+  std::set<std::uint64_t> outstanding;
+  const auto enqueue = [&](svc::RequestPayload payload) {
+    const std::uint64_t id = next_request++;
+    ASSERT_TRUE(service.enqueue(1, svc::Request{id, std::move(payload)},
+                                out));
+    outstanding.insert(id);
+  };
+
+  // First wave: half the trace, plus queries sprinkled in.
+  for (std::size_t i = 0; i < 30; ++i) {
+    enqueue(svc::AllocateRequest::from_job(jobs[i]));
+    if (i % 5 == 0) enqueue(svc::QueryRequest{jobs[i].id});
+  }
+  service.poll(out);
+
+  // Crash a server shortly after the current simulated instant, then
+  // throw the rest of the burst (and some releases) at the daemon.
+  cluster::FaultEvent crash;
+  crash.kind = cluster::FaultEvent::Kind::kServerCrash;
+  crash.server = 1;
+  crash.time_s = service.sim_now() + 1.0;
+  service.inject_fault(crash);
+
+  for (std::size_t i = 30; i < jobs.size(); ++i) {
+    enqueue(svc::AllocateRequest::from_job(jobs[i]));
+  }
+  enqueue(svc::ReleaseRequest{jobs[35].id});
+  enqueue(svc::ReleaseRequest{jobs[2].id});  // long finished: kNotFound
+  enqueue(svc::QueryRequest{jobs[35].id});
+  enqueue(svc::StatsRequest{});
+  service.poll(out);
+  std::vector<svc::Outbound> shutdown_out;
+  service.shutdown(shutdown_out);
+  out.insert(out.end(), shutdown_out.begin(), shutdown_out.end());
+
+  // Conservation: exactly one reply per admitted request, none invented.
+  std::map<std::uint64_t, std::size_t> reply_counts;
+  for (const svc::Outbound& o : out) {
+    const auto decoded = svc::decode_reply(o.frame.data() + 4,
+                                           o.frame.size() - 4);
+    ASSERT_TRUE(std::holds_alternative<svc::Reply>(decoded));
+    ++reply_counts[std::get<svc::Reply>(decoded).id];
+  }
+  EXPECT_EQ(reply_counts.size(), outstanding.size());
+  for (const std::uint64_t id : outstanding) {
+    EXPECT_EQ(reply_counts[id], 1u) << "request " << id;
+  }
+
+  // Stats consistency: the service's own tallies match both the reply
+  // stream we observed and the obs registry's svc.* counters.
+  const std::string stats = service.stats_json();
+  EXPECT_NE(stats.find("\"accepted\": " + std::to_string(outstanding.size())),
+            std::string::npos);
+  EXPECT_NE(stats.find("\"replies\": " + std::to_string(out.size())),
+            std::string::npos);
+  EXPECT_NE(stats.find("\"pending\": 0"), std::string::npos);
 }
 
 }  // namespace

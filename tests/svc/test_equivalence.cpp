@@ -1,0 +1,188 @@
+// Differential replay: feeding a request log through the daemon and
+// closing the session must yield FleetRecords byte-identical to batch
+// FleetSimulator::run() on the same trace — the service layer extends
+// the fleet determinism contract rather than weakening it. Pinned
+// across probe thread counts (1 vs 8) and dispatcher shard counts
+// (1 vs 8), and through the full wire codec (encode -> decode ->
+// admission) rather than handing Job structs to the service directly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <variant>
+#include <vector>
+
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "svc/client.hpp"
+#include "svc/service.hpp"
+#include "workload/generator.hpp"
+
+namespace mapa::svc {
+namespace {
+
+std::vector<cluster::ServerSpec> dgx_specs(std::size_t n) {
+  std::vector<cluster::ServerSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster::ServerSpec spec;
+    spec.topology = graph::dgx1_v100();
+    spec.policy = "preserve";
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<workload::Job> trace(std::size_t num_jobs, std::uint64_t seed) {
+  workload::FleetTraceConfig config;
+  config.num_jobs = num_jobs;
+  config.seed = seed;
+  config.max_gpus = 5;
+  config.arrival_rate_per_s = 0.2;
+  return workload::generate_fleet_trace(config);
+}
+
+/// Byte-level record equality: every field that the determinism contract
+/// covers (i.e. everything except wall-clock overheads).
+void expect_identical(const cluster::FleetResult& batch,
+                      const cluster::FleetResult& daemon) {
+  ASSERT_EQ(batch.records.size(), daemon.records.size());
+  for (std::size_t i = 0; i < batch.records.size(); ++i) {
+    const sim::JobRecord& b = batch.records[i].record;
+    const sim::JobRecord& d = daemon.records[i].record;
+    EXPECT_EQ(batch.records[i].server, daemon.records[i].server) << i;
+    EXPECT_EQ(batch.records[i].retries, daemon.records[i].retries) << i;
+    EXPECT_EQ(b.job, d.job) << i;
+    EXPECT_EQ(b.gpus, d.gpus) << i;
+    EXPECT_EQ(b.queued_s, d.queued_s) << i;
+    EXPECT_EQ(b.start_s, d.start_s) << i;
+    EXPECT_EQ(b.finish_s, d.finish_s) << i;
+    EXPECT_EQ(b.exec_s, d.exec_s) << i;
+    EXPECT_EQ(b.aggregated_bw, d.aggregated_bw) << i;
+    EXPECT_EQ(b.predicted_effbw, d.predicted_effbw) << i;
+    EXPECT_EQ(b.measured_effbw, d.measured_effbw) << i;
+    EXPECT_EQ(b.preserved_bw, d.preserved_bw) << i;
+  }
+  EXPECT_EQ(batch.makespan_s, daemon.makespan_s);
+  EXPECT_EQ(batch.dead_letters.size(), daemon.dead_letters.size());
+  ASSERT_EQ(batch.servers.size(), daemon.servers.size());
+  for (std::size_t s = 0; s < batch.servers.size(); ++s) {
+    EXPECT_EQ(batch.servers[s].jobs_placed, daemon.servers[s].jobs_placed);
+    EXPECT_EQ(batch.servers[s].busy_gpu_seconds,
+              daemon.servers[s].busy_gpu_seconds);
+  }
+}
+
+/// Replay `jobs` through a daemon over the wire codec, then close the
+/// session and hand back the FleetResult.
+cluster::FleetResult daemon_replay(const std::vector<workload::Job>& jobs,
+                                   std::size_t servers,
+                                   cluster::ClusterConfig cluster) {
+  ServiceConfig config;
+  config.cluster = std::move(cluster);
+  config.max_pending = jobs.size() + 1;
+  AllocationService service(dgx_specs(servers), std::move(config));
+  LoopbackHub hub(service);
+  LoopbackChannel channel(hub, 1);
+  Client client(channel);
+
+  std::vector<std::uint64_t> request_ids;
+  request_ids.reserve(jobs.size());
+  for (const workload::Job& job : jobs) {
+    request_ids.push_back(client.allocate(job));
+  }
+  // One poll drains the whole admission queue before stepping, so the
+  // fleet sees exactly the batch submission order.
+  std::set<int> answered;
+  for (const std::uint64_t id : request_ids) {
+    const Reply reply = client.wait(id);
+    const auto ok = std::get<AllocateReply>(reply.payload);
+    EXPECT_TRUE(answered.insert(ok.job_id).second);
+  }
+  EXPECT_EQ(answered.size(), jobs.size());
+  return service.finish();
+}
+
+void pin_daemon_to_batch(std::size_t servers, std::size_t threads,
+                         std::size_t shards, std::uint64_t seed) {
+  const auto jobs = trace(120, seed);
+  cluster::ClusterConfig config;
+  config.threads = threads;
+  config.shards = shards;
+
+  cluster::FleetSimulator batch(dgx_specs(servers), config);
+  const cluster::FleetResult expected = batch.run(jobs);
+  const cluster::FleetResult actual = daemon_replay(jobs, servers, config);
+  expect_identical(expected, actual);
+}
+
+TEST(SvcEquivalence, DaemonReplayMatchesBatchSingleThread) {
+  pin_daemon_to_batch(4, 1, 1, 31);
+}
+
+TEST(SvcEquivalence, DaemonReplayMatchesBatchEightProbeThreads) {
+  pin_daemon_to_batch(4, 8, 1, 31);
+}
+
+TEST(SvcEquivalence, DaemonReplayMatchesBatchEightShards) {
+  pin_daemon_to_batch(8, 1, 8, 47);
+}
+
+TEST(SvcEquivalence, DaemonReplayMatchesBatchShardedAndThreaded) {
+  pin_daemon_to_batch(8, 4, 4, 47);
+}
+
+TEST(SvcEquivalence, ThreadAndShardCountsAgreeThroughTheDaemon) {
+  // The daemon-side restatement of the fleet's parallelism contract
+  // (tests/cluster/test_sharding.cpp): probe-thread count changes are
+  // byte-identical on any trace; shard count changes preserve every
+  // job's timing and shape on a shape-symmetric workload (full-server
+  // jobs) — only which server a job lands on may move.
+  {
+    const auto jobs = trace(100, 13);
+    cluster::ClusterConfig config;
+    config.threads = 8;
+    cluster::ClusterConfig base;
+    expect_identical(daemon_replay(jobs, 8, base),
+                     daemon_replay(jobs, 8, config));
+  }
+
+  // Same 16 full-server jobs as the fleet-level sharding pin: every
+  // placement is a whole DGX, so exec time cannot depend on the server.
+  std::vector<workload::Job> jobs;
+  for (int i = 1; i <= 16; ++i) {
+    workload::Job j;
+    j.id = i;
+    j.workload = "vgg-16";
+    j.num_gpus = 8;
+    j.pattern = graph::PatternKind::kRing;
+    j.bandwidth_sensitive = true;
+    j.iter_scale = 1.0 + 0.1 * i;
+    jobs.push_back(j);
+  }
+  cluster::ClusterConfig base;
+  base.selection = "first-fit";
+  const cluster::FleetResult reference = daemon_replay(jobs, 8, base);
+
+  for (const std::size_t shards : {std::size_t{8}, std::size_t{4}}) {
+    cluster::ClusterConfig config;
+    config.selection = "first-fit";
+    config.shards = shards;
+    const cluster::FleetResult sharded = daemon_replay(jobs, 8, config);
+    EXPECT_DOUBLE_EQ(sharded.makespan_s, reference.makespan_s);
+    ASSERT_EQ(sharded.records.size(), reference.records.size());
+    EXPECT_EQ(sharded.dead_letters.size(), reference.dead_letters.size());
+    for (const workload::Job& job : jobs) {
+      const cluster::FleetRecord* a = reference.find(job.id);
+      const cluster::FleetRecord* b = sharded.find(job.id);
+      ASSERT_NE(a, nullptr) << job.id;
+      ASSERT_NE(b, nullptr) << job.id;
+      EXPECT_DOUBLE_EQ(a->record.start_s, b->record.start_s) << job.id;
+      EXPECT_DOUBLE_EQ(a->record.finish_s, b->record.finish_s) << job.id;
+      EXPECT_DOUBLE_EQ(a->record.exec_s, b->record.exec_s) << job.id;
+      EXPECT_EQ(a->record.gpus.size(), b->record.gpus.size()) << job.id;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mapa::svc

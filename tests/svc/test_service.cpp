@@ -1,0 +1,317 @@
+// AllocationService behavior over the in-process loopback fixture: the
+// full request lifecycle (allocate/release/query/stats), typed
+// rejections (unknown workload, duplicate id, too many GPUs, malformed
+// frames), deterministic queue-full admission control, graceful
+// shutdown (drain + typed cancels, exactly one reply per request), and
+// the obs-registry cross-check of the service counters. No real sockets
+// anywhere — tests/integration/test_daemon.cpp owns the one socket
+// smoke test.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "graph/topology.hpp"
+#include "obs/obs.hpp"
+#include "svc/client.hpp"
+#include "svc/service.hpp"
+
+namespace mapa::svc {
+namespace {
+
+std::vector<cluster::ServerSpec> dgx_specs(std::size_t n) {
+  std::vector<cluster::ServerSpec> specs;
+  for (std::size_t i = 0; i < n; ++i) {
+    cluster::ServerSpec spec;
+    spec.topology = graph::dgx1_v100();
+    spec.policy = "preserve";
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+workload::Job job_of(int id, std::size_t gpus, double arrival_s = 0.0) {
+  workload::Job j;
+  j.id = id;
+  j.workload = "resnet-50";
+  j.num_gpus = gpus;
+  j.pattern = gpus <= 1 ? graph::PatternKind::kSingle
+                        : graph::PatternKind::kRing;
+  j.bandwidth_sensitive = true;
+  j.arrival_time_s = arrival_s;
+  return j;
+}
+
+struct Fixture {
+  explicit Fixture(std::size_t servers = 2, ServiceConfig config = {})
+      : service(dgx_specs(servers), std::move(config)),
+        hub(service),
+        channel(hub),
+        client(channel) {}
+
+  AllocationService service;
+  LoopbackHub hub;
+  LoopbackChannel channel;
+  Client client;
+};
+
+TEST(Service, AllocateRoundtrip) {
+  Fixture fx;
+  const auto id = fx.client.allocate(job_of(1, 4));
+  const Reply reply = fx.client.wait(id);
+  const auto ok = std::get<AllocateReply>(reply.payload);
+  EXPECT_EQ(ok.job_id, 1);
+  EXPECT_LT(ok.server, 2u);
+  EXPECT_EQ(ok.gpus.size(), 4u);
+  EXPECT_EQ(ok.retries, 0u);
+  EXPECT_GT(ok.finish_s, ok.start_s);
+}
+
+TEST(Service, QueryLifecycle) {
+  Fixture fx;
+  // Unknown before anything happens.
+  {
+    const Reply reply = fx.client.wait(fx.client.query(5));
+    EXPECT_EQ(std::get<QueryReply>(reply.payload).state, JobState::kUnknown);
+  }
+  const auto alloc_id = fx.client.allocate(job_of(5, 2));
+  const auto ok = std::get<AllocateReply>(fx.client.wait(alloc_id).payload);
+  // poll() ran to idle, so the job is already past its finish time.
+  const Reply reply = fx.client.wait(fx.client.query(5));
+  const auto q = std::get<QueryReply>(reply.payload);
+  EXPECT_EQ(q.state, JobState::kFinished);
+  EXPECT_EQ(q.server, ok.server);
+  EXPECT_DOUBLE_EQ(q.start_s, ok.start_s);
+  EXPECT_DOUBLE_EQ(q.finish_s, ok.finish_s);
+}
+
+TEST(Service, ReleaseBeforePlacementCancelsTheAllocate) {
+  Fixture fx;
+  // Both requests enter the SAME admission batch: the release drops the
+  // job from the pending set before any step places it, so the allocate
+  // is answered with a typed cancel, not a placement.
+  const auto alloc_id = fx.client.allocate(job_of(1, 4, 10.0));
+  const auto release_id = fx.client.release(1);
+  const auto rel =
+      std::get<ReleaseReply>(fx.client.wait(release_id).payload);
+  EXPECT_EQ(rel.outcome, 1);  // kQueued
+  const auto err = std::get<ErrorReply>(fx.client.wait(alloc_id).payload);
+  EXPECT_EQ(err.code, ErrorCode::kCancelled);
+  // Exactly once: a later query sees the released state.
+  const auto q =
+      std::get<QueryReply>(fx.client.wait(fx.client.query(1)).payload);
+  EXPECT_EQ(q.state, JobState::kReleased);
+}
+
+TEST(Service, ReleaseUnknownJob) {
+  Fixture fx;
+  const auto rel =
+      std::get<ReleaseReply>(fx.client.wait(fx.client.release(404)).payload);
+  EXPECT_EQ(rel.outcome, 0);  // kNotFound
+}
+
+TEST(Service, TypedAllocateRejections) {
+  Fixture fx;
+  {
+    workload::Job j = job_of(1, 2);
+    j.workload = "no-such-model";
+    const auto err =
+        std::get<ErrorReply>(fx.client.wait(fx.client.allocate(j)).payload);
+    EXPECT_EQ(err.code, ErrorCode::kUnknownWorkload);
+  }
+  {
+    const auto err = std::get<ErrorReply>(
+        fx.client.wait(fx.client.allocate(job_of(2, 16))).payload);
+    EXPECT_EQ(err.code, ErrorCode::kTooManyGpus);
+  }
+  {
+    (void)fx.client.wait(fx.client.allocate(job_of(3, 1)));
+    const auto err = std::get<ErrorReply>(
+        fx.client.wait(fx.client.allocate(job_of(3, 1))).payload);
+    EXPECT_EQ(err.code, ErrorCode::kDuplicateJob);
+  }
+}
+
+TEST(Service, QueueFullRejectsDeterministically) {
+  ServiceConfig config;
+  config.max_pending = 2;
+  Fixture fx(1, std::move(config));
+
+  std::vector<Outbound> out;
+  EXPECT_TRUE(fx.service.enqueue(1, Request{1, AllocateRequest::from_job(
+                                                   job_of(1, 1))},
+                                 out));
+  EXPECT_TRUE(fx.service.enqueue(1, Request{2, AllocateRequest::from_job(
+                                                   job_of(2, 1))},
+                                 out));
+  EXPECT_TRUE(out.empty());
+  // Third in the same batch: immediate typed reject, queue untouched.
+  EXPECT_FALSE(fx.service.enqueue(1, Request{3, AllocateRequest::from_job(
+                                                    job_of(3, 1))},
+                                  out));
+  ASSERT_EQ(out.size(), 1u);
+  const DecodedReply d = decode_reply(out[0].frame.data() + 4,
+                                      out[0].frame.size() - 4);
+  const Reply reply = std::get<Reply>(d);
+  EXPECT_EQ(reply.id, 3u);
+  EXPECT_EQ(std::get<ErrorReply>(reply.payload).code, ErrorCode::kQueueFull);
+  EXPECT_EQ(fx.service.pending(), 2u);
+
+  // The poll drains the queue; admission reopens.
+  out.clear();
+  fx.service.poll(out);
+  EXPECT_EQ(fx.service.pending(), 0u);
+  EXPECT_TRUE(fx.service.enqueue(1, Request{4, StatsRequest{}}, out));
+
+  // The reject is counted in the stats snapshot.
+  const std::string stats = fx.service.stats_json();
+  EXPECT_NE(stats.find("\"rejected_queue_full\": 1"), std::string::npos);
+  EXPECT_NE(stats.find("\"rejected\": 1"), std::string::npos);
+}
+
+TEST(Service, StatsEndpointStreamsServiceAndObsState) {
+  obs::ObsConfig obs_config;
+  obs_config.counters = true;
+  obs_config.telemetry_every_ticks = 1;
+  ServiceConfig config;
+  config.cluster.observer = std::make_shared<obs::Observer>(obs_config);
+  Fixture fx(2, std::move(config));
+
+  (void)fx.client.wait(fx.client.allocate(job_of(1, 2)));
+  const auto stats =
+      std::get<StatsReply>(fx.client.wait(fx.client.stats()).payload);
+  EXPECT_NE(stats.json.find("\"service\""), std::string::npos);
+  EXPECT_NE(stats.json.find("\"accepted\": 2"), std::string::npos);
+  EXPECT_NE(stats.json.find("\"obs\""), std::string::npos);
+  EXPECT_NE(stats.json.find("\"registry\""), std::string::npos);
+  EXPECT_NE(stats.json.find("svc.accepted"), std::string::npos);
+  EXPECT_NE(stats.json.find("\"telemetry\""), std::string::npos);
+}
+
+TEST(Service, ObsCounterCrossCheck) {
+  // The registry's svc.* counters and the service's own tallies must
+  // agree — same pattern as tests/cluster/test_observability.cpp.
+  obs::ObsConfig obs_config;
+  obs_config.counters = true;
+  ServiceConfig config;
+  config.max_pending = 1;
+  auto observer = std::make_shared<obs::Observer>(obs_config);
+  config.cluster.observer = observer;
+  Fixture fx(1, std::move(config));
+
+  std::vector<Outbound> out;
+  fx.service.enqueue(1, Request{1, AllocateRequest::from_job(job_of(1, 1))},
+                     out);
+  fx.service.enqueue(1, Request{2, AllocateRequest::from_job(job_of(2, 1))},
+                     out);  // queue-full reject
+  fx.service.poll(out);
+  fx.service.enqueue(1, Request{3, QueryRequest{1}}, out);
+  fx.service.poll(out);
+
+  obs::Registry& reg = *observer->registry();
+  EXPECT_EQ(reg.counter("svc.accepted").value(), 2u);
+  EXPECT_EQ(reg.counter("svc.rejected").value(), 1u);
+  EXPECT_EQ(reg.counter("svc.rejected_queue_full").value(), 1u);
+  // Replies: queue-full reject + allocate ok + query ok.
+  EXPECT_EQ(reg.counter("svc.replies").value(), 3u);
+  EXPECT_EQ(reg.counter("svc.decode_errors").value(), 0u);
+}
+
+TEST(Service, MalformedFramesGetTypedErrors) {
+  Fixture fx;
+  std::vector<Outbound> out;
+  // A syntactically framed message with bad magic.
+  std::vector<std::uint8_t> bad = {16, 0, 0, 0,              // length 16
+                                   0x00, 0x00, 1, 0x04,      // magic! ver op
+                                   9, 0, 0, 0, 0, 0, 0, 0,   // request id
+                                   0, 0, 0, 0};
+  fx.service.ingest(7, bad.data(), bad.size(), out);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].client, 7u);
+  const Reply reply = std::get<Reply>(
+      decode_reply(out[0].frame.data() + 4, out[0].frame.size() - 4));
+  EXPECT_EQ(std::get<ErrorReply>(reply.payload).code, ErrorCode::kBadMagic);
+
+  // A lying length field poisons the connection: exactly one error.
+  out.clear();
+  std::vector<std::uint8_t> evil = {0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3};
+  fx.service.ingest(8, evil.data(), evil.size(), out);
+  fx.service.ingest(8, evil.data(), evil.size(), out);
+  ASSERT_EQ(out.size(), 1u);
+  const Reply poison = std::get<Reply>(
+      decode_reply(out[0].frame.data() + 4, out[0].frame.size() - 4));
+  EXPECT_EQ(std::get<ErrorReply>(poison.payload).code,
+            ErrorCode::kOversizedFrame);
+}
+
+TEST(Service, GracefulShutdownAnswersEverything) {
+  Fixture fx;
+  std::vector<Outbound> out;
+  // Admit three requests, then shut down WITHOUT polling first: the
+  // shutdown drain must still answer all of them exactly once.
+  fx.service.enqueue(1, Request{1, AllocateRequest::from_job(job_of(1, 2))},
+                     out);
+  fx.service.enqueue(2, Request{2, AllocateRequest::from_job(job_of(2, 3))},
+                     out);
+  fx.service.enqueue(1, Request{3, QueryRequest{1}}, out);
+  EXPECT_TRUE(out.empty());
+
+  fx.service.shutdown(out);
+  ASSERT_EQ(out.size(), 3u);
+  std::size_t allocate_oks = 0;
+  for (const Outbound& o : out) {
+    const Reply reply = std::get<Reply>(
+        decode_reply(o.frame.data() + 4, o.frame.size() - 4));
+    if (std::holds_alternative<AllocateReply>(reply.payload)) ++allocate_oks;
+  }
+  EXPECT_EQ(allocate_oks, 2u);
+
+  // After shutdown: typed kShuttingDown reject, nothing queued.
+  out.clear();
+  EXPECT_FALSE(
+      fx.service.enqueue(1, Request{4, QueryRequest{1}}, out));
+  ASSERT_EQ(out.size(), 1u);
+  const Reply reply = std::get<Reply>(
+      decode_reply(out[0].frame.data() + 4, out[0].frame.size() - 4));
+  EXPECT_EQ(std::get<ErrorReply>(reply.payload).code,
+            ErrorCode::kShuttingDown);
+  EXPECT_TRUE(fx.service.shutting_down());
+}
+
+TEST(Service, RepliesRouteToTheirOwnClients) {
+  Fixture fx;
+  LoopbackChannel channel_b(fx.hub, 2);
+  Client client_b(channel_b);
+
+  const auto id_a = fx.client.allocate(job_of(1, 2));
+  const auto id_b = client_b.allocate(job_of(2, 2));
+  const auto ok_b = std::get<AllocateReply>(client_b.wait(id_b).payload);
+  const auto ok_a = std::get<AllocateReply>(fx.client.wait(id_a).payload);
+  EXPECT_EQ(ok_a.job_id, 1);
+  EXPECT_EQ(ok_b.job_id, 2);
+}
+
+TEST(Service, UnplaceableJobGetsTypedError) {
+  Fixture fx(1);
+  // Drain the only server, then ask for a full-server job: the fleet
+  // diverts it to the unplaceable outbox and the service answers with a
+  // typed error instead of dying.
+  cluster::FaultEvent drain;
+  drain.kind = cluster::FaultEvent::Kind::kDrain;
+  drain.server = 0;
+  drain.time_s = 0.0;
+  fx.service.inject_fault(drain);
+
+  const auto id = fx.client.allocate(job_of(1, 8));
+  const auto err = std::get<ErrorReply>(fx.client.wait(id).payload);
+  EXPECT_EQ(err.code, ErrorCode::kUnplaceable);
+  const auto q =
+      std::get<QueryReply>(fx.client.wait(fx.client.query(1)).payload);
+  EXPECT_EQ(q.state, JobState::kUnplaceable);
+}
+
+}  // namespace
+}  // namespace mapa::svc

@@ -70,6 +70,16 @@ REQUIRED_METRICS = {
         r"spans_per_sec",
         r"disabled_span_ns",
     ],
+    "service": [
+        # Sustained daemon throughput and the allocate latency tail under
+        # open-loop Poisson load, single-server and fleet-fronted.
+        r"single_allocs_per_sec",
+        r"single_alloc_p50_ms",
+        r"single_alloc_p99_ms",
+        r"fleet_allocs_per_sec",
+        r"fleet_alloc_p50_ms",
+        r"fleet_alloc_p99_ms",
+    ],
     "resilience": [
         r"threads",
         # The armed-but-idle fault machinery must stay ~free; the
