@@ -74,14 +74,14 @@ void SocketServer::start() {
                              socket_path_);
   }
   set_nonblocking(listen_fd_);
-  stop_requested_ = false;
+  stop_requested_.store(false, std::memory_order_release);
   running_ = true;
   loop_ = std::thread([this] { run_loop(); });
 }
 
 void SocketServer::stop() {
   if (!running_) return;
-  stop_requested_ = true;
+  stop_requested_.store(true, std::memory_order_release);
   loop_.join();
   running_ = false;
 }
@@ -96,28 +96,43 @@ std::string SocketServer::stats_json() {
   return service_.stats_json();
 }
 
-void SocketServer::flush(std::vector<Outbound>& out) {
+void SocketServer::flush(std::vector<Outbound>& out,
+                         std::vector<std::uint64_t>& dead) {
   for (const Outbound& o : out) {
-    const int fd = static_cast<int>(o.client);
-    if (std::find(conn_fds_.begin(), conn_fds_.end(), fd) ==
-        conn_fds_.end()) {
-      continue;  // connection already gone; drop its replies
-    }
-    if (!write_all(fd, o.frame.data(), o.frame.size())) {
-      ::close(fd);
-      std::erase(conn_fds_, fd);
+    const auto it = std::find_if(
+        conns_.begin(), conns_.end(),
+        [&](const Conn& c) { return c.id == o.client; });
+    if (it == conns_.end()) continue;  // connection gone; drop its replies
+    if (!write_all(it->fd, o.frame.data(), o.frame.size())) {
+      dead.push_back(o.client);
     }
   }
   out.clear();
 }
 
+void SocketServer::reap(std::vector<std::uint64_t>& dead) {
+  if (dead.empty()) return;
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::uint64_t id : dead) {
+    const auto it = std::find_if(
+        conns_.begin(), conns_.end(),
+        [&](const Conn& c) { return c.id == id; });
+    if (it == conns_.end()) continue;  // already reaped this round
+    ::close(it->fd);
+    conns_.erase(it);
+    service_.disconnect(id);
+  }
+  dead.clear();
+}
+
 void SocketServer::run_loop() {
   std::vector<Outbound> out;
+  std::vector<std::uint64_t> dead;
   std::vector<std::uint8_t> buf(64 * 1024);
-  while (!stop_requested_) {
+  while (!stop_requested_.load(std::memory_order_acquire)) {
     std::vector<pollfd> fds;
     fds.push_back(pollfd{listen_fd_, POLLIN, 0});
-    for (const int fd : conn_fds_) fds.push_back(pollfd{fd, POLLIN, 0});
+    for (const Conn& c : conns_) fds.push_back(pollfd{c.fd, POLLIN, 0});
     // 50ms cap so the stop flag is honored promptly even when idle.
     ::poll(fds.data(), fds.size(), 50);
 
@@ -127,23 +142,30 @@ void SocketServer::run_loop() {
         if (conn < 0) break;
         // Connections stay BLOCKING for writes (replies must not drop on
         // a full pipe); reads are gated by poll() and sized to one buf.
-        conn_fds_.push_back(conn);
+        // Client ids are NEVER fds: the OS reuses fds across connections,
+        // a counter is unique for the server's lifetime.
+        conns_.push_back(Conn{++next_client_id_, conn});
       }
     }
 
+    // fds[1..] maps to conns_[0..] as of the top of this iteration;
+    // accept() only appends, so the alignment holds.
     bool got_bytes = false;
     for (std::size_t i = 1; i < fds.size(); ++i) {
       if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) == 0) continue;
-      const int fd = fds[i].fd;
-      const ssize_t n = ::read(fd, buf.data(), buf.size());
+      const Conn& c = conns_[i - 1];
+      const ssize_t n = ::read(c.fd, buf.data(), buf.size());
       if (n > 0) {
         got_bytes = true;
         const std::lock_guard<std::mutex> lock(mutex_);
-        service_.ingest(static_cast<std::uint64_t>(fd), buf.data(),
-                        static_cast<std::size_t>(n), out);
+        if (!service_.ingest(c.id, buf.data(), static_cast<std::size_t>(n),
+                             out)) {
+          // Poisoned stream: the one kError reply is in `out`; flush it
+          // below, then close so the peer sees EOF instead of hanging.
+          dead.push_back(c.id);
+        }
       } else if (n == 0 || (errno != EINTR && errno != EAGAIN)) {
-        ::close(fd);
-        std::erase(conn_fds_, fd);
+        dead.push_back(c.id);
       }
     }
 
@@ -151,7 +173,8 @@ void SocketServer::run_loop() {
       const std::lock_guard<std::mutex> lock(mutex_);
       if (got_bytes || service_.pending() > 0) service_.poll(out);
     }
-    flush(out);
+    flush(out, dead);
+    reap(dead);
   }
 
   // Graceful drain: answer everything in flight, flush, then close.
@@ -159,9 +182,9 @@ void SocketServer::run_loop() {
     const std::lock_guard<std::mutex> lock(mutex_);
     service_.shutdown(out);
   }
-  flush(out);
-  for (const int fd : conn_fds_) ::close(fd);
-  conn_fds_.clear();
+  flush(out, dead);
+  for (const Conn& c : conns_) ::close(c.fd);
+  conns_.clear();
   ::close(listen_fd_);
   listen_fd_ = -1;
   ::unlink(socket_path_.c_str());

@@ -3,9 +3,12 @@
 //
 // SocketServer owns an AllocationService and a background thread running
 // a poll(2) loop: accept connections, read raw bytes into
-// AllocationService::ingest (client id = connection fd), pump
-// AllocationService::poll, and write reply frames back out. All service
-// access happens under one mutex — the service itself stays
+// AllocationService::ingest, pump AllocationService::poll, and write
+// reply frames back out. Each accepted connection gets a monotonically
+// increasing client id (NOT the fd — the OS reuses fds, and a reused fd
+// must never inherit the old connection's framing state or collect its
+// late replies); on any close the service is told via disconnect(). All
+// service access happens under one mutex — the service itself stays
 // single-threaded; the socket loop is just a byte shuttle.
 //
 // SocketChannel is the matching client transport (svc::Client over a
@@ -15,6 +18,7 @@
 // integration smoke test and examples/allocation_daemon.cpp exercise the
 // real socket path.
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <mutex>
@@ -59,17 +63,28 @@ class SocketServer {
   std::string stats_json();
 
  private:
+  /// One live connection: transport-chosen client id + its fd.
+  struct Conn {
+    std::uint64_t id = 0;
+    int fd = -1;
+  };
+
   void run_loop();
-  void flush(std::vector<Outbound>& out);
+  /// Write every reply whose client is still connected; a failed write
+  /// appends that client id to `dead` (closed by the caller).
+  void flush(std::vector<Outbound>& out, std::vector<std::uint64_t>& dead);
+  /// Close + forget the connections in `dead` and tell the service.
+  void reap(std::vector<std::uint64_t>& dead);
 
   std::string socket_path_;
   AllocationService service_;
   std::mutex mutex_;  // guards service_
   std::thread loop_;
   int listen_fd_ = -1;
-  std::vector<int> conn_fds_;
+  std::vector<Conn> conns_;
+  std::uint64_t next_client_id_ = 0;
   bool running_ = false;
-  volatile bool stop_requested_ = false;
+  std::atomic<bool> stop_requested_{false};
 };
 
 /// Client-side AF_UNIX transport for svc::Client.

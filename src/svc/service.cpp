@@ -43,7 +43,7 @@ void AllocationService::reply_error(std::uint64_t client,
   reply(client, Reply{request_id, ErrorReply{code, std::move(message)}}, out);
 }
 
-void AllocationService::ingest(std::uint64_t client, const std::uint8_t* data,
+bool AllocationService::ingest(std::uint64_t client, const std::uint8_t* data,
                                std::size_t size, std::vector<Outbound>& out) {
   Connection& conn = connections_[client];
   conn.assembler.feed(data, size);
@@ -59,12 +59,29 @@ void AllocationService::ingest(std::uint64_t client, const std::uint8_t* data,
   }
   if (conn.assembler.error().has_value() && !conn.poison_reported) {
     // The stream's frame boundary is unrecoverable — answer once so the
-    // client learns why, then stay silent; the transport should close.
+    // client learns why; the caller must flush this reply and then close
+    // the connection (and disconnect()).
     conn.poison_reported = true;
     const DecodeError& e = *conn.assembler.error();
     ++decode_errors_;
     if (c_decode_errors_ != nullptr) c_decode_errors_->inc();
     reply_error(client, 0, e.code, e.message, out);
+  }
+  return !conn.assembler.error().has_value();
+}
+
+void AllocationService::disconnect(std::uint64_t client) {
+  connections_.erase(client);
+  // Requests admitted but not yet served have had no effect on the fleet
+  // — drop them rather than submit work for a client that is gone.
+  std::erase_if(pending_, [client](const PendingRequest& p) {
+    return p.client == client;
+  });
+  // Submitted jobs keep running, but their allocate replies have nowhere
+  // to go; tombstone them so a late placement never builds a frame that
+  // could be routed to whoever holds this id next.
+  for (auto& [job_id, entry] : jobs_) {
+    if (entry.client == client) entry.answered = true;
   }
 }
 
@@ -190,8 +207,16 @@ void AllocationService::drain_admission(std::vector<Outbound>& out) {
             serve_query(p, payload, out);
           } else {
             static_assert(std::is_same_v<T, StatsRequest>);
-            reply(p.client, Reply{p.request.id, StatsReply{stats_json()}},
-                  out);
+            // The obs snapshot is the only unbounded part; if it pushes
+            // the JSON past what one kStatsOk frame can carry, fall back
+            // to the service tallies alone so the reply stays valid JSON
+            // and under kMaxFrameLen.
+            std::string json = stats_json();
+            if (json.size() > kMaxStatsJsonLen) {
+              json = stats_json(/*include_obs=*/false);
+            }
+            reply(p.client,
+                  Reply{p.request.id, StatsReply{std::move(json)}}, out);
           }
         },
         p.request.payload);
@@ -307,7 +332,7 @@ void AllocationService::inject_fault(cluster::FaultEvent event) {
   fleet_.inject_fault(event);
 }
 
-std::string AllocationService::stats_json() const {
+std::string AllocationService::stats_json(bool include_obs) const {
   std::string out = "{\"service\": {";
   out += "\"accepted\": " + std::to_string(accepted_);
   out += ", \"rejected\": " + std::to_string(rejected_);
@@ -322,9 +347,13 @@ std::string AllocationService::stats_json() const {
     out += ", \"sim_now_s\": " + util::format_double(fleet_.sim_now());
   }
   out += "}, \"obs\": ";
-  out += config_.cluster.observer != nullptr
-             ? config_.cluster.observer->snapshot_json()
-             : "null";
+  if (!include_obs) {
+    out += "null, \"obs_truncated\": true";
+  } else {
+    out += config_.cluster.observer != nullptr
+               ? config_.cluster.observer->snapshot_json()
+               : "null";
+  }
   out += "}";
   return out;
 }

@@ -81,11 +81,20 @@ class AllocationService {
 
   /// Feed raw transport bytes from `client`. Complete frames are decoded
   /// and admitted; malformed frames are answered immediately with kError
-  /// (request id salvaged from the header when readable). A lying length
-  /// field poisons the connection's stream: one kError reply is emitted
-  /// and the transport should close the connection.
-  void ingest(std::uint64_t client, const std::uint8_t* data,
+  /// (request id salvaged from the header when readable). Returns false
+  /// when a lying length field has poisoned the connection's stream: one
+  /// kError reply is emitted (flush it first!) and the transport must
+  /// then close the connection and call disconnect().
+  bool ingest(std::uint64_t client, const std::uint8_t* data,
               std::size_t size, std::vector<Outbound>& out);
+
+  /// The transport lost `client` (peer closed, write failed, stream
+  /// poisoned). Drops the connection's framing state so a transport
+  /// reusing the id later starts clean, discards its not-yet-served
+  /// queued requests, and tombstones its unanswered allocates so late
+  /// placements don't produce replies that could reach a different
+  /// client.
+  void disconnect(std::uint64_t client);
 
   /// Typed admission entry (what ingest() calls per decoded frame; also
   /// the loopback harness' direct door). Returns true when the request
@@ -115,8 +124,12 @@ class AllocationService {
   void inject_fault(cluster::FaultEvent event);
 
   /// Service + observability snapshot as one JSON object — the payload
-  /// of a kStatsOk reply.
-  std::string stats_json() const;
+  /// of a kStatsOk reply. With include_obs false the obs snapshot is
+  /// replaced by `"obs": null, "obs_truncated": true` — the fallback the
+  /// stats endpoint uses when the full snapshot would exceed
+  /// kMaxStatsJsonLen (keeping the reply valid JSON instead of letting
+  /// the codec clamp cut it mid-token).
+  std::string stats_json(bool include_obs = true) const;
 
   std::size_t pending() const { return pending_.size(); }
   double sim_now() const { return fleet_.sim_now(); }

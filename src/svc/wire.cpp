@@ -1,5 +1,6 @@
 #include "svc/wire.hpp"
 
+#include <algorithm>
 #include <bit>
 #include <cstring>
 
@@ -45,8 +46,11 @@ void put_string16(std::vector<std::uint8_t>& out, const std::string& s) {
 }
 
 void put_string32(std::vector<std::uint8_t>& out, const std::string& s) {
-  put_u32(out, static_cast<std::uint32_t>(s.size()));
-  out.insert(out.end(), s.begin(), s.end());
+  // Clamped so the finished frame stays under kMaxFrameLen — an
+  // oversized reply would poison the receiving FrameAssembler.
+  const std::size_t n = std::min(s.size(), kMaxStatsJsonLen);
+  put_u32(out, static_cast<std::uint32_t>(n));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<std::ptrdiff_t>(n));
 }
 
 // ---- Bounds-checked reader ---------------------------------------------

@@ -58,6 +58,13 @@ inline constexpr std::size_t kFrameHeaderLen = 12;
 /// Hard cap on the declared frame length — a corrupt or hostile length
 /// field must never trigger a giant allocation.
 inline constexpr std::size_t kMaxFrameLen = 1u << 20;
+/// Largest JSON payload a kStatsOk frame can carry and still fit under
+/// kMaxFrameLen (header + u32 length prefix + bytes). encode() clamps to
+/// this so a stats reply can never poison the client's reply stream; the
+/// service swaps in an obs-free snapshot before the clamp would cut JSON
+/// mid-token.
+inline constexpr std::size_t kMaxStatsJsonLen =
+    kMaxFrameLen - kFrameHeaderLen - 4;
 
 enum class Op : std::uint8_t {
   kAllocate = 0x01,

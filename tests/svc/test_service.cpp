@@ -235,16 +235,55 @@ TEST(Service, MalformedFramesGetTypedErrors) {
       decode_reply(out[0].frame.data() + 4, out[0].frame.size() - 4));
   EXPECT_EQ(std::get<ErrorReply>(reply.payload).code, ErrorCode::kBadMagic);
 
-  // A lying length field poisons the connection: exactly one error.
+  // A lying length field poisons the connection: exactly one error, and
+  // ingest() tells the transport to close by returning false.
   out.clear();
   std::vector<std::uint8_t> evil = {0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3};
-  fx.service.ingest(8, evil.data(), evil.size(), out);
-  fx.service.ingest(8, evil.data(), evil.size(), out);
+  EXPECT_FALSE(fx.service.ingest(8, evil.data(), evil.size(), out));
+  EXPECT_FALSE(fx.service.ingest(8, evil.data(), evil.size(), out));
   ASSERT_EQ(out.size(), 1u);
   const Reply poison = std::get<Reply>(
       decode_reply(out[0].frame.data() + 4, out[0].frame.size() - 4));
   EXPECT_EQ(std::get<ErrorReply>(poison.payload).code,
             ErrorCode::kOversizedFrame);
+}
+
+TEST(Service, DisconnectResetsStreamAndDropsPendingWork) {
+  Fixture fx;
+  std::vector<Outbound> out;
+
+  // Poison client 8's stream, then disconnect it. A transport that later
+  // reuses id 8 must get a FRESH framing state, not the poisoned one.
+  std::vector<std::uint8_t> evil = {0xFF, 0xFF, 0xFF, 0x7F, 1, 2, 3};
+  EXPECT_FALSE(fx.service.ingest(8, evil.data(), evil.size(), out));
+  out.clear();
+  fx.service.disconnect(8);
+  const std::vector<std::uint8_t> query = encode(Request{1, QueryRequest{1}});
+  EXPECT_TRUE(fx.service.ingest(8, query.data(), query.size(), out));
+  fx.service.poll(out);
+  ASSERT_EQ(out.size(), 1u);  // fresh stream decodes and answers again
+  EXPECT_EQ(out[0].client, 8u);
+
+  // A request admitted but not yet served when its client disconnects is
+  // dropped: it must not submit work (or build a reply) for a ghost.
+  out.clear();
+  fx.service.enqueue(9, Request{2, AllocateRequest::from_job(job_of(1, 2))},
+                     out);
+  EXPECT_EQ(fx.service.pending(), 1u);
+  fx.service.disconnect(9);
+  EXPECT_EQ(fx.service.pending(), 0u);
+  fx.service.poll(out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(Service, StatsJsonObsFallbackStaysBounded) {
+  Fixture fx;
+  // The obs-free fallback (used when the full snapshot would overflow a
+  // kStatsOk frame) must stay valid JSON and under the payload cap.
+  const std::string lean = fx.service.stats_json(/*include_obs=*/false);
+  EXPECT_NE(lean.find("\"obs\": null, \"obs_truncated\": true"),
+            std::string::npos);
+  EXPECT_LT(lean.size(), kMaxStatsJsonLen);
 }
 
 TEST(Service, GracefulShutdownAnswersEverything) {

@@ -138,6 +138,24 @@ TEST(Wire, ReplyRoundtrips) {
   }
 }
 
+TEST(Wire, OversizedStatsReplyIsClampedNotPoisonous) {
+  // A stats payload past kMaxStatsJsonLen must be clamped at encode time:
+  // an emitted frame over kMaxFrameLen would poison the receiving
+  // FrameAssembler and kill the connection.
+  StatsReply s;
+  s.json.assign(kMaxFrameLen + 1234, 'x');
+  const auto frame = encode(Reply{7, s});
+  ASSERT_EQ(frame.size(), kMaxFrameLen + 4);  // exactly at the cap
+
+  FrameAssembler assembler;
+  assembler.feed(frame.data(), frame.size());
+  ASSERT_TRUE(assembler.next().has_value());
+  EXPECT_FALSE(assembler.error().has_value());
+
+  const Reply back = decode_reply_ok(frame);
+  EXPECT_EQ(std::get<StatsReply>(back.payload).json.size(), kMaxStatsJsonLen);
+}
+
 TEST(Wire, RejectsShortHeader) {
   const DecodeError e = decode_request_err({0x41, 0x4D, 0x01});
   EXPECT_EQ(e.code, ErrorCode::kBadPayload);
