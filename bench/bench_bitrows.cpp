@@ -216,11 +216,9 @@ int main(int argc, char** argv) {
   {
     const graph::Graph& hw = machines[2].second;
     const graph::Graph pattern = graph::chain(6);
-    // Scaling is bounded by the cores actually available; record them so
-    // the committed point is interpretable (a 1-core runner can only show
-    // that the split's overhead is near zero, not a speedup).
-    report.metric("hardware_concurrency",
-                  static_cast<double>(std::thread::hardware_concurrency()));
+    // Scaling is bounded by the cores actually available (recorded by
+    // JsonReport for every bench); a 1-core runner can only show that
+    // the split's overhead is near zero, not a speedup.
     std::cout << "\nhardware_concurrency: "
               << std::thread::hardware_concurrency() << "\n";
     match::EnumerateOptions ullmann_sequential;

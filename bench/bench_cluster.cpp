@@ -173,10 +173,9 @@ int main(int argc, char** argv) {
   }
   const std::size_t threads =
       std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
-  // So committed points are interpretable across machines.
+  // So committed points are interpretable across machines (JsonReport
+  // records hardware_concurrency itself).
   report.metric("threads", static_cast<double>(threads));
-  report.metric("hardware_concurrency",
-                static_cast<double>(std::thread::hardware_concurrency()));
 
   bench::print_header(
       "cluster/ fleet scheduler",

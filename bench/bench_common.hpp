@@ -11,6 +11,7 @@
 #include <limits>
 #include <sstream>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -42,6 +43,12 @@ class JsonReport {
       }
     }
     if (path_.empty()) path_ = "BENCH_" + name_ + ".json";
+    // Every report records the host's core count up front: wall-clock
+    // metrics are incomparable across machines without it, and hoisting
+    // it here keeps the key uniform across all BENCH_*.json files
+    // instead of each driver remembering (or forgetting) to emit it.
+    metric("hardware_concurrency",
+           static_cast<double>(std::thread::hardware_concurrency()));
   }
 
   bool enabled() const { return enabled_; }

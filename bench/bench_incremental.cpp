@@ -1,0 +1,203 @@
+// Incremental match reuse study: steady-state allocate/release churn at
+// fleet scale, measuring what the reuse layers buy over re-searching
+// from scratch on every state change:
+//
+//   * delta-keyed cache lookups — an exact-fingerprint miss whose shape
+//     has a cached superset-state entry is served by a mask-AND filter
+//     over the stored match list instead of a matcher run
+//     (policy::MatchCacheConfig::enable_delta);
+//   * cross-tick probe memoization — probe answers keyed by the server's
+//     allocation-state fingerprint survive commits and releases, so a
+//     server cycling back through a previously probed state replays the
+//     answer with no policy call at all
+//     (cluster::ClusterConfig::cross_tick_memo).
+//
+// The workload is the fleet-scale churn trace (Poisson arrivals whose
+// pressure tracks the fleet size), so allocations and releases interleave
+// throughout the run and servers keep revisiting a recurring set of busy
+// states — the regime the paper's overhead study (Fig. 19) identifies as
+// search-dominated. Both reuse layers are record-identical to the
+// baseline by construction (tests/cluster pins this), so the comparison
+// below is pure dispatch cost on the SAME schedule.
+//
+// Headline points:
+//   1k servers (one shared DGX-1V archetype, 32 shards, least-loaded
+//   selection, enumerating "preserve" policy): dispatch us/job with reuse
+//   on vs off, plus the delta-hit and memo-hit rates that explain the
+//   gap. A 64-server / 2-shard smoke point rides along for CI.
+//
+//   ./bench_incremental [jobs_per_server] [--json[=path]]
+
+#include <chrono>
+#include <cstdint>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "cluster/fleet.hpp"
+#include "graph/topology.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+using namespace mapa;
+
+namespace {
+
+struct ChurnPoint {
+  std::size_t servers = 0;
+  bool reuse = false;
+  std::size_t jobs = 0;
+  double wall_ms = 0.0;
+  double us_per_job = 0.0;
+  double memo_hit_rate = 0.0;
+  double cache_hit_rate = 0.0;   // exact-fingerprint replays
+  double delta_hit_rate = 0.0;   // superset-filter hits among lookups
+  double makespan_s = 0.0;       // identical across reuse modes
+};
+
+/// One churn run: `servers` DGX-1V servers stamped from ONE shared
+/// archetype (one shared match cache), least-loaded selection so every
+/// placement probes its whole shard, and the enumerating "preserve"
+/// policy so the match cache is on the probe path. `reuse` toggles BOTH
+/// incremental layers; off = the legacy clear-on-commit memo and
+/// exact-only cache — the pre-incremental dispatcher.
+ChurnPoint run_churn(std::size_t servers, std::size_t shards,
+                     std::size_t jobs_per_server, bool reuse) {
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(servers, jobs_per_server));
+
+  cluster::FleetArchetype arch;
+  arch.name = "dgx1v";
+  arch.topology = graph::TopologyHandle(graph::dgx1_v100());
+  arch.policy = "preserve";
+  auto specs = cluster::archetype_fleet_specs(servers, {arch});
+
+  cluster::ClusterConfig config;
+  config.selection = "least-loaded";
+  config.shards = shards;
+  config.threads =
+      std::max<std::size_t>(std::thread::hardware_concurrency(), 1);
+  config.seed = 42;
+  config.cross_tick_memo = reuse;
+  config.cache.enable_delta = reuse;
+
+  cluster::FleetSimulator fleet(std::move(specs), config);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const auto result = fleet.run(jobs);
+  const auto wall_end = std::chrono::steady_clock::now();
+
+  ChurnPoint point;
+  point.servers = servers;
+  point.reuse = reuse;
+  point.jobs = jobs.size();
+  point.wall_ms =
+      std::chrono::duration<double, std::milli>(wall_end - wall_start).count();
+  point.us_per_job =
+      result.total_scheduling_ms * 1000.0 / static_cast<double>(jobs.size());
+  point.makespan_s = result.makespan_s;
+  std::uint64_t probes = 0;
+  std::uint64_t memo_hits = 0;
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t delta_hits = 0;
+  for (const cluster::ServerResult& sr : result.servers) {
+    probes += sr.probes;
+    memo_hits += sr.probe_memo_hits;
+    cache_hits += sr.match_cache_hits;
+    cache_misses += sr.match_cache_misses;
+    delta_hits += sr.match_cache_delta_hits;
+  }
+  if (probes + memo_hits > 0) {
+    point.memo_hit_rate = static_cast<double>(memo_hits) /
+                          static_cast<double>(probes + memo_hits);
+  }
+  const std::uint64_t lookups = cache_hits + cache_misses + delta_hits;
+  if (lookups > 0) {
+    point.cache_hit_rate =
+        static_cast<double>(cache_hits) / static_cast<double>(lookups);
+    point.delta_hit_rate =
+        static_cast<double>(delta_hits) / static_cast<double>(lookups);
+  }
+  return point;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bench::JsonReport report(argc, argv, "incremental");
+  std::size_t jobs_per_server = 25;
+  if (argc > 1 && argv[1][0] != '-') {
+    jobs_per_server = static_cast<std::size_t>(std::stoul(argv[1]));
+  }
+
+  bench::print_header(
+      "incremental match reuse",
+      "Steady-state churn dispatch cost: delta-keyed cache lookups + "
+      "cross-tick probe memo vs from-scratch re-search, 1k-server shared "
+      "DGX-1V archetype under least-loaded/preserve");
+
+  struct Entry {
+    std::string key;
+    std::size_t servers;
+    std::size_t shards;
+  };
+  const std::vector<Entry> entries = {
+      {"smoke_n64_s2", 64, 2},
+      {"churn_n1000", 1000, 32},
+  };
+
+  util::Table table({"servers", "reuse", "jobs", "wall (ms)", "us/job",
+                     "memo hit", "cache hit", "delta hit"});
+  double headline_on = 0.0;
+  double headline_off = 0.0;
+  double headline_delta_rate = 0.0;
+  for (const Entry& entry : entries) {
+    ChurnPoint on;
+    ChurnPoint off;
+    for (const bool reuse : {false, true}) {
+      ChurnPoint p =
+          run_churn(entry.servers, entry.shards, jobs_per_server, reuse);
+      table.add_row({std::to_string(p.servers), reuse ? "on" : "off",
+                     std::to_string(p.jobs), util::fixed(p.wall_ms, 1),
+                     util::fixed(p.us_per_job, 2),
+                     util::fixed(p.memo_hit_rate, 3),
+                     util::fixed(p.cache_hit_rate, 3),
+                     util::fixed(p.delta_hit_rate, 3)});
+      (reuse ? on : off) = p;
+    }
+    // Reuse must never change the schedule: a makespan drift here means
+    // the record-identity contract broke, which the tests would also
+    // catch — surface it in the bench output too.
+    if (on.makespan_s != off.makespan_s) {
+      std::cerr << "WARNING: makespan drift between reuse modes ("
+                << off.makespan_s << " vs " << on.makespan_s << ")\n";
+    }
+    const double speedup =
+        on.us_per_job > 0.0 ? off.us_per_job / on.us_per_job : 0.0;
+    report.metric(entry.key + "_us_per_job_reuse", on.us_per_job);
+    report.metric(entry.key + "_us_per_job_baseline", off.us_per_job);
+    report.metric(entry.key + "_speedup_x", speedup);
+    report.metric(entry.key + "_memo_hit_rate", on.memo_hit_rate);
+    report.metric(entry.key + "_delta_hit_rate", on.delta_hit_rate);
+    if (entry.servers == 1000) {
+      headline_on = on.us_per_job;
+      headline_off = off.us_per_job;
+      headline_delta_rate = on.delta_hit_rate;
+      std::cout << "1k-server churn dispatch: reuse "
+                << util::fixed(on.us_per_job, 2) << " us/job vs baseline "
+                << util::fixed(off.us_per_job, 2) << " us/job ("
+                << util::fixed(speedup, 2) << "x), delta-hit rate "
+                << util::fixed(on.delta_hit_rate, 3) << "\n";
+    }
+  }
+  std::cout << table.render() << '\n';
+
+  // Headline keys the CI schema gate requires (tools/check_bench_json.py).
+  report.metric("us_per_job_churn", headline_on);
+  report.metric("us_per_job_churn_baseline", headline_off);
+  report.metric("delta_hit_rate", headline_delta_rate);
+
+  return report.write();
+}

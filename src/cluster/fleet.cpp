@@ -24,7 +24,10 @@ namespace {
 /// GPU count and edge structure) mixed with the sensitivity flag, then
 /// finalized so near-identical fingerprints spread across buckets. A
 /// policy's answer depends on nothing else once the server's busy mask is
-/// fixed, and the memo is cleared whenever that mask changes.
+/// fixed; the legacy memo clears whenever that mask changes, while the
+/// cross-tick memo additionally folds the server's allocation-state
+/// fingerprint into the key (see probe_servers), so stale entries stop
+/// matching instead of needing a clear.
 std::uint64_t probe_key(const graph::Graph& pattern, bool sensitive) {
   std::uint64_t x = graph::adjacency_fingerprint(pattern) ^
                     (sensitive ? 0x9e3779b97f4a7c15ULL : 0x2545f4914f6cdd1dULL);
@@ -159,6 +162,13 @@ struct FleetSimulator::RunState {
   // dropped whenever that server commits or releases an allocation.
   std::vector<std::deque<std::size_t>> queues;
   std::vector<ProbeMemo> memo;
+  // Cross-tick memo support: each server's allocation-state fingerprint
+  // (busy mask + working topology), recomputed lazily in probe_servers
+  // when its dirty flag is set. Only that server's own probe reads or
+  // writes its slot within a batch, so the lazy recompute is race-free
+  // under the parallel fan-out.
+  std::vector<std::uint64_t> state_fp;
+  std::vector<char> state_dirty;
   std::vector<std::uint64_t> probe_count;
   std::vector<std::uint64_t> memo_hits;
   std::vector<std::size_t> server_free;
@@ -202,6 +212,7 @@ struct FleetSimulator::RunState {
   // server.
   std::vector<std::uint64_t> fault_hits;
   std::vector<std::uint64_t> fault_misses;
+  std::vector<std::uint64_t> fault_delta;
   // In-rotation server count per shard (routing avoids dead shards) and
   // fleet-wide crash/degrade counts for the capacity_degraded_ticks stat.
   std::vector<std::size_t> shard_alive;
@@ -290,12 +301,28 @@ struct FleetSimulator::RunState {
            pending.empty();
   }
 
-  // EVERY event that touches a server drops that server's probe memo and
-  // re-dirties its shard, whatever the kind: a fault changes the answers
-  // probes would give (lost GPU, cut link), and even drain/restore must
-  // wake a clean shard so the skip never hides an eligibility change.
+  // A commit, release, or fault changed what probes of server s would
+  // answer. Legacy memo: drop the bucket outright. Cross-tick memo: mark
+  // the state fingerprint dirty — existing entries stay, keyed by the
+  // OLD state, and simply stop matching; a server that returns to a
+  // previously probed state replays its old answers with no matcher run.
+  void touch_server_state(std::size_t s) {
+    if (fleet.cross_tick_) {
+      state_dirty[s] = 1;
+    } else {
+      memo[s].clear();
+    }
+  }
+
+  // EVERY event that touches a server invalidates that server's probe
+  // memo and re-dirties its shard, whatever the kind: a fault changes
+  // the answers probes would give (lost GPU, cut link), and even
+  // drain/restore must wake a clean shard so the skip never hides an
+  // eligibility change. (Under the cross-tick memo a fault is stale by
+  // construction — the fork's topology fingerprint enters the state
+  // fingerprint — but the dirty flag must still be raised.)
   void invalidate_server(std::size_t s) {
-    memo[s].clear();
+    touch_server_state(s);
     shard_dirty[fleet.servers_[s].shard] = 1;
   }
 
@@ -474,7 +501,8 @@ struct FleetSimulator::RunState {
       if (!was_degraded) {
         ++num_degraded;
         if (server.cache != nullptr) {
-          server.fault_cache = std::make_shared<policy::MatchCache>();
+          server.fault_cache =
+              std::make_shared<policy::MatchCache>(fleet.config_.cache);
           server.mapa.policy().set_match_cache(server.fault_cache);
         }
       }
@@ -488,6 +516,7 @@ struct FleetSimulator::RunState {
         const policy::MatchCacheStats stats = server.fault_cache->stats();
         fault_hits[s] += stats.hits;
         fault_misses[s] += stats.misses;
+        fault_delta[s] += stats.delta_hits;
         server.fault_cache.reset();
         server.mapa.policy().set_match_cache(server.cache);
       }
@@ -739,7 +768,7 @@ struct FleetSimulator::RunState {
     queued_gpus[queue_shard] -= static_cast<long long>(job.num_gpus);
     shard_dirty[queue_shard] = 1;
     shard_dirty[server.shard] = 1;
-    memo[winner.server].clear();  // busy mask changed: stale probe answers
+    touch_server_state(winner.server);  // busy mask changed
 
     const double finish_s = record.finish_s;
     running.push_back(
@@ -795,8 +824,7 @@ struct FleetSimulator::RunState {
               : 0;
       const auto wall_start = std::chrono::steady_clock::now();
       probes = fleet.probe_servers(fleet.shards_[sh].servers, pattern, key,
-                                   candidate, server_free, memo, probe_count,
-                                   memo_hits);
+                                   candidate, *this);
       chosen_probe = fleet.selection_->select(probes);
       const auto wall_end = std::chrono::steady_clock::now();
       overhead_ms +=
@@ -839,8 +867,7 @@ struct FleetSimulator::RunState {
                 : 0;
         const auto wall_start = std::chrono::steady_clock::now();
         std::vector<ServerProbe> probes =
-            fleet.probe_servers(all_servers, pattern, key, candidate,
-                                server_free, memo, probe_count, memo_hits);
+            fleet.probe_servers(all_servers, pattern, key, candidate, *this);
         const std::optional<std::size_t> chosen =
             fleet.selection_->select(probes);
         const auto wall_end = std::chrono::steady_clock::now();
@@ -923,7 +950,7 @@ FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
       auto [it, inserted] =
           caches.try_emplace(server.mapa.topology().fingerprint(), nullptr);
       if (inserted) {
-        it->second = std::make_shared<policy::MatchCache>();
+        it->second = std::make_shared<policy::MatchCache>(config_.cache);
         server.cache_primary = true;
       }
       server.cache = it->second;
@@ -947,6 +974,10 @@ FleetSimulator::FleetSimulator(std::vector<ServerSpec> specs,
     }
   }
   memo_enabled_ = config_.probe_memo.value_or(num_shards > 1);
+  // Cross-tick survival defaults on whenever memoization itself is on;
+  // setting cross_tick_memo = false keeps the legacy clear-on-commit
+  // memo (the bench_incremental baseline).
+  cross_tick_ = memo_enabled_ && config_.cross_tick_memo.value_or(true);
 
   // Metrics and examples key per-server aggregations by name; duplicates
   // would silently merge two servers' samples.
@@ -1038,10 +1069,11 @@ std::size_t FleetSimulator::shard_of(std::size_t server) const {
 
 std::vector<ServerProbe> FleetSimulator::probe_servers(
     const std::vector<std::size_t>& candidates, const graph::Graph& pattern,
-    std::uint64_t pattern_key, const workload::Job& job,
-    const std::vector<std::size_t>& server_free, std::vector<ProbeMemo>& memo,
-    std::vector<std::uint64_t>& probe_count,
-    std::vector<std::uint64_t>& memo_hits) {
+    std::uint64_t pattern_key, const workload::Job& job, RunState& rs) {
+  std::vector<ProbeMemo>& memo = rs.memo;
+  std::vector<std::uint64_t>& probe_count = rs.probe_count;
+  std::vector<std::uint64_t>& memo_hits = rs.memo_hits;
+  const std::vector<std::size_t>& server_free = rs.server_free;
   std::vector<std::size_t> eligible;
   eligible.reserve(candidates.size());
   for (const std::size_t s : candidates) {
@@ -1083,8 +1115,25 @@ std::vector<ServerProbe> FleetSimulator::probe_servers(
     p.bandwidth_sensitive = job.bandwidth_sensitive;
     const bool memoize = memo_enabled_ && server.memoizable;
     bool replayed = false;
+    std::uint64_t key = pattern_key;
+    if (memoize && cross_tick_) {
+      // Fold the server's allocation-state fingerprint into the memo key
+      // so entries survive commits and releases: an entry for an old
+      // state simply stops matching, and a server that RETURNS to a
+      // previously probed state (steady-state churn) replays the old
+      // answer. A fault fork changes the topology fingerprint, so fault
+      // staleness is by construction. The lazy recompute below is
+      // race-free: only this server's probe touches its slot in a batch.
+      if (rs.state_dirty[index] != 0) {
+        rs.state_fp[index] =
+            graph::VertexMask::of_busy(server.mapa.busy()).fingerprint() ^
+            server.mapa.topology().fingerprint();
+        rs.state_dirty[index] = 0;
+      }
+      key ^= rs.state_fp[index] * 0x9e3779b97f4a7c15ULL;
+    }
     if (memoize) {
-      const auto it = memo[index].find(pattern_key);
+      const auto it = memo[index].find(key);
       if (it != memo[index].end()) {
         p.placement = it->second;
         ++memo_hits[index];
@@ -1103,7 +1152,17 @@ std::vector<ServerProbe> FleetSimulator::probe_servers(
                                                   server.mapa.busy(), request);
       probe_span.arg("fits", p.placement.has_value());
       ++probe_count[index];
-      if (memoize) memo[index].emplace(pattern_key, p.placement);
+      if (memoize) {
+        // Cross-tick buckets grow until their server's bound, then clear
+        // wholesale — deterministic, since growth depends only on the
+        // probe sequence, never on thread timing. The legacy memo is
+        // cleared on every state change and needs no bound.
+        if (cross_tick_ &&
+            memo[index].size() >= config_.memo_entries_per_server) {
+          memo[index].clear();
+        }
+        memo[index].emplace(key, p.placement);
+      }
     }
     probes[k] = std::move(p);
   };
@@ -1231,6 +1290,8 @@ void FleetSimulator::start(StepOptions options) {
 
   st.queues.resize(shards_.size());
   st.memo.resize(servers_.size());
+  st.state_fp.assign(servers_.size(), 0);
+  st.state_dirty.assign(servers_.size(), 1);
   st.probe_count.assign(servers_.size(), 0);
   st.memo_hits.assign(servers_.size(), 0);
   st.server_free.assign(servers_.size(), 0);
@@ -1247,6 +1308,7 @@ void FleetSimulator::start(StepOptions options) {
   st.live.resize(servers_.size());
   st.fault_hits.assign(servers_.size(), 0);
   st.fault_misses.assign(servers_.size(), 0);
+  st.fault_delta.assign(servers_.size(), 0);
   st.shard_alive.resize(shards_.size());
   for (std::size_t sh = 0; sh < shards_.size(); ++sh) {
     st.shard_alive[sh] = shards_[sh].servers.size();
@@ -1415,7 +1477,7 @@ bool FleetSimulator::step() {
       st.shard_free[servers_[done.server].shard] += done.gpus;
     }
     st.shard_dirty[servers_[done.server].shard] = 1;
-    st.memo[done.server].clear();  // busy mask changed: stale probe answers
+    st.touch_server_state(done.server);  // busy mask changed
   }
   st.apply_events(st.now);
   st.admit_retries(st.now);
@@ -1527,7 +1589,7 @@ FleetSimulator::ReleaseOutcome FleetSimulator::release(int job_id) {
       });
       std::make_heap(st.running.begin(), st.running.end(), std::greater<>{});
       st.shard_dirty[servers_[s].shard] = 1;
-      st.memo[s].clear();  // busy mask changed: stale probe answers
+      st.touch_server_state(s);  // busy mask changed
       FleetRecord& fr = st.result.records[lj.record_index];
       ServerResult& sr = st.result.servers[s];
       sr.busy_gpu_seconds -=
@@ -1603,6 +1665,8 @@ FleetResult FleetSimulator::finish() {
       const policy::MatchCacheStats stats = servers_[s].cache->stats();
       sr.match_cache_hits = stats.hits - st.cache_baseline[s].hits;
       sr.match_cache_misses = stats.misses - st.cache_baseline[s].misses;
+      sr.match_cache_delta_hits =
+          stats.delta_hits - st.cache_baseline[s].delta_hits;
     }
     // A server still degraded at session end reports its private cache
     // here; re-joined servers were harvested at re-join time.
@@ -1610,9 +1674,11 @@ FleetResult FleetSimulator::finish() {
       const policy::MatchCacheStats stats = servers_[s].fault_cache->stats();
       st.fault_hits[s] += stats.hits;
       st.fault_misses[s] += stats.misses;
+      st.fault_delta[s] += stats.delta_hits;
     }
     sr.match_cache_hits += st.fault_hits[s];
     sr.match_cache_misses += st.fault_misses[s];
+    sr.match_cache_delta_hits += st.fault_delta[s];
   }
   if (st.telemetry != nullptr) st.sample_telemetry();
   if (st.metrics != nullptr) {
@@ -1624,6 +1690,11 @@ FleetResult FleetSimulator::finish() {
     }
     st.metrics->counter("fleet.probes").add(total_probes);
     st.metrics->counter("fleet.memo_hits").add(total_memo_hits);
+    std::uint64_t total_delta_hits = 0;
+    for (const ServerResult& sr : result.servers) {
+      total_delta_hits += sr.match_cache_delta_hits;
+    }
+    st.metrics->counter("cache.delta_hits").add(total_delta_hits);
   }
   if (config_.observer != nullptr &&
       config_.observer->config().zero_wall_clock) {

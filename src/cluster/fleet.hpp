@@ -40,13 +40,20 @@
 //      probes to the same answers, so records are unaffected while
 //      steady-state dispatch stops paying a full-fleet sweep per tick.
 //
-// Probe results are memoized within a tick (ClusterConfig::probe_memo):
-// a (server, pattern, sensitivity) probe outcome — fit or no-fit — is
-// reused across queue candidates until that server's allocation state
-// changes (commit or release), so a backfill scan over k candidates of
-// one pattern shape costs one matcher run per server, not k. Servers
-// running the stochastic "random" policy are never memoized (a replayed
-// probe would skip an RNG draw and change the stream).
+// Probe results are memoized (ClusterConfig::probe_memo): a (server,
+// pattern, sensitivity) probe outcome — fit or no-fit — is reused across
+// queue candidates, so a backfill scan over k candidates of one pattern
+// shape costs one matcher run per server, not k. By default the memo is
+// CROSS-TICK (ClusterConfig::cross_tick_memo): entries are keyed by the
+// server's allocation-state fingerprint (busy mask + working topology),
+// survive commits and releases — a server that returns to a previously
+// probed state replays the old answer with no matcher run — and go stale
+// by construction when a fault forks the topology fingerprint. With
+// cross_tick_memo = false the legacy memo clears on every state change.
+// Servers running the stochastic "random" policy are never memoized (a
+// replayed probe would skip an RNG draw and change the stream). Either
+// mode is record-identical to no memo at all; only the probe/memo-hit
+// statistics differ.
 //
 // If the fleet goes fully idle (nothing running, arriving, or scheduled)
 // while some shard queue is stuck, the dispatcher runs a cross-shard
@@ -135,6 +142,7 @@
 #include "graph/graph.hpp"
 #include "graph/topology_handle.hpp"
 #include "obs/obs.hpp"
+#include "policy/match_cache.hpp"
 #include "policy/policy.hpp"
 #include "sim/engine.hpp"
 #include "util/thread_pool.hpp"
@@ -240,11 +248,34 @@ struct ClusterConfig {
   /// queue). 1 = the single-queue dispatcher; values above the server
   /// count are clamped to one server per shard.
   std::size_t shards = 1;
-  /// Per-tick probe memoization (see the file comment). Unset = enabled
-  /// exactly when shards > 1, so the default single-queue dispatcher
-  /// stays bit-identical to the pre-sharding one — including match-cache
+  /// Probe memoization (see the file comment). Unset = enabled exactly
+  /// when shards > 1, so the default single-queue dispatcher stays
+  /// bit-identical to the pre-sharding one — including match-cache
   /// accounting, which memoization (correctly) reduces.
   std::optional<bool> probe_memo;
+  /// Cross-tick probe-memo survival: memo entries are keyed by the
+  /// server's allocation-state fingerprint (busy mask + topology), so a
+  /// commit or release no longer wipes the server's memo — entries for
+  /// the old state simply stop matching, and a server that RETURNS to a
+  /// previously probed state (steady-state churn) replays the old answer
+  /// without a matcher run. Staleness is by construction (a fault fork
+  /// changes the topology fingerprint), and records are identical either
+  /// way. Unset = follow the effective probe_memo setting; set false to
+  /// keep the legacy clear-on-commit memo (the bench baseline).
+  std::optional<bool> cross_tick_memo;
+  /// Bound on cross-tick memo entries retained per server; on overflow
+  /// the server's memo is cleared wholesale (deterministic — overflow
+  /// depends only on the probe sequence, never on thread timing). Sized
+  /// to hold the recurring (pattern, state) working set of a server
+  /// under steady-state churn: at 512 the wholesale clears visibly
+  /// thrash the warm set (memo hit ~0.95 vs ~0.96 at 1024 in
+  /// bench_incremental, worth ~1.5x dispatch cost), while 4096 buys
+  /// almost nothing more for 4x the footprint.
+  std::size_t memo_entries_per_server = 1024;
+  /// Match-cache knobs (delta reuse, capacity, oversized bounds) applied
+  /// to every archetype-shared cache and every private fault cache the
+  /// fleet creates. Only meaningful when sim.use_match_cache is on.
+  policy::MatchCacheConfig cache;
   /// Master seed; derives per-server policy sub-seeds in fleet order and
   /// the retry-backoff jitter stream.
   std::uint64_t seed = 42;
@@ -337,6 +368,9 @@ struct ServerResult {
   // siblings report zero, so pooled fleet totals never double-count.
   std::uint64_t match_cache_hits = 0;
   std::uint64_t match_cache_misses = 0;
+  /// Exact-fingerprint misses served by filtering a cached superset-state
+  /// entry instead of running the matcher (MatchCacheConfig::enable_delta).
+  std::uint64_t match_cache_delta_hits = 0;
   /// True when this server reports its (possibly shared) cache's stats.
   bool cache_primary = false;
 };
@@ -520,31 +554,32 @@ class FleetSimulator {
   };
 
   /// Probe outcome memo for one server: key = pattern fingerprint mixed
-  /// with the sensitivity flag, value = the policy's answer (including
-  /// "does not fit" as nullopt).
+  /// with the sensitivity flag — and, in cross-tick mode, with the
+  /// server's allocation-state fingerprint — value = the policy's answer
+  /// (including "does not fit" as nullopt).
   using ProbeMemo =
       std::unordered_map<std::uint64_t,
                          std::optional<policy::AllocationResult>>;
-
-  std::vector<ServerProbe> probe_servers(
-      const std::vector<std::size_t>& candidates, const graph::Graph& pattern,
-      std::uint64_t pattern_key, const workload::Job& job,
-      const std::vector<std::size_t>& server_free, std::vector<ProbeMemo>& memo,
-      std::vector<std::uint64_t>& probe_count,
-      std::vector<std::uint64_t>& memo_hits);
-
-  /// Constructor-grade validation of one fault event (server index, GPU /
-  /// link endpoints, bandwidth factor); throws std::invalid_argument.
-  void validate_event(const FaultEvent& event) const;
 
   /// All mutable state of one start()..finish() session — the former
   /// locals of the monolithic run() loop. Defined in fleet.cpp.
   struct RunState;
 
+  std::vector<ServerProbe> probe_servers(
+      const std::vector<std::size_t>& candidates, const graph::Graph& pattern,
+      std::uint64_t pattern_key, const workload::Job& job, RunState& rs);
+
+  /// Constructor-grade validation of one fault event (server index, GPU /
+  /// link endpoints, bandwidth factor); throws std::invalid_argument.
+  void validate_event(const FaultEvent& event) const;
+
   ClusterConfig config_;
   std::vector<Server> servers_;
   std::vector<Shard> shards_;
   bool memo_enabled_ = false;
+  /// Memo entries survive commits/releases, keyed by state fingerprint
+  /// (ClusterConfig::cross_tick_memo).
+  bool cross_tick_ = false;
   /// True when the event list contains any fault kind beyond
   /// drain/restore; gates the kill/re-queue bookkeeping in run() so a
   /// fault-free run pays (near) nothing for the fault subsystem.

@@ -37,13 +37,18 @@ void enumerate_sequential(const Graph& pattern, const Graph& target,
   throw std::invalid_argument("enumerate: unknown backend");
 }
 
-/// Contiguous root ranges for a parallel split: a few chunks per worker
+/// Contiguous root ranges for a parallel split: several chunks per worker
 /// for load balance, but far fewer than one per root — each range pays
 /// the per-search setup (degree screen, row construction, domains) once
 /// for the whole range, which is what makes the split profitable on
-/// rack-scale targets where setup is proportional to target size.
+/// rack-scale targets where setup is proportional to target size. Ranges
+/// are claimed off a shared counter (ThreadPool::dynamic_for), not
+/// pre-assigned, so a worker stuck in one dense range never strands the
+/// rest of a static chunk assignment behind it — that is what lets the
+/// chunk count run higher than the old static 4-per-worker split without
+/// the skew penalty.
 std::size_t split_chunks(std::size_t vertices, std::size_t threads) {
-  return std::min(vertices, threads * 4);
+  return std::min(vertices, threads * 8);
 }
 
 /// One root-range search of the selected backend: the candidate set of
@@ -83,7 +88,7 @@ void enumerate_parallel_roots(
   const std::size_t vertices = target.num_vertices();
   const std::size_t chunks = split_chunks(vertices, options.threads);
   std::atomic<bool> stop{false};
-  pool.parallel_for(chunks, [&](std::size_t chunk) {
+  pool.dynamic_for(chunks, [&](std::size_t chunk) {
     if (stop.load(std::memory_order_relaxed)) return;
     enumerate_root_range(
         pattern, target,
@@ -159,7 +164,7 @@ std::size_t count_matches(const Graph& pattern, const Graph& target,
   const std::size_t vertices = target.num_vertices();
   const std::size_t chunks = split_chunks(vertices, options.threads);
   std::atomic<std::size_t> count{0};
-  pool.parallel_for(chunks, [&](std::size_t chunk) {
+  pool.dynamic_for(chunks, [&](std::size_t chunk) {
     const auto begin = static_cast<std::int64_t>(chunk * vertices / chunks);
     const auto end =
         static_cast<std::int64_t>((chunk + 1) * vertices / chunks);

@@ -6,11 +6,23 @@
 // instantiated per storage.
 
 #include <algorithm>
+#include <bit>
 #include <cstdint>
 #include <vector>
 
 #include "graph/bitgraph.hpp"
 #include "graph/graph.hpp"
+
+// AVX2 word-span kernels for the DynRows hot loops, compiled behind a
+// function-level target attribute (no global -mavx2) and selected once
+// per process via cpuid — the binary stays safe on non-AVX2 hosts and
+// the build stays portable when the toolchain lacks the attribute
+// (MAPA_ENABLE_AVX2 is only defined when CMake proved it compiles).
+#if defined(MAPA_ENABLE_AVX2) && defined(__x86_64__) && \
+    (defined(__GNUC__) || defined(__clang__))
+#define MAPA_AVX2_DISPATCH 1
+#include <immintrin.h>
+#endif
 
 namespace mapa::match::rows {
 
@@ -56,6 +68,236 @@ std::vector<std::uint64_t> degree_domains(const PatternLike& pattern,
     for (std::size_t w = 0; w < words; ++w) dom[w] &= allowed[w];
   }
   return domains;
+}
+
+// ---------------------------------------------------------------------
+// Word-span kernels. The matcher cores spend their inner loops ANDing
+// adjacency rows into candidate spans and testing the result for
+// emptiness; these helpers are that loop, written once. For InlineRows<1>
+// `words` is the compile-time constant 1, the dispatch branch folds away,
+// and every helper compiles to the single-uint64 op the <= 64-vertex hot
+// path has always been. For DynRows (multi-word rack/pod targets) the
+// helpers run 4 words per AVX2 vector when the build and the CPU both
+// support it — bit-identical to the scalar loop, pinned by
+// tests/match/test_simd.cpp. The "any" results are zero iff the span is
+// all-zero; callers must not rely on the exact nonzero value (the vector
+// path collapses it to a flag).
+
+namespace detail {
+
+inline std::uint64_t and_into_scalar(std::uint64_t* cand,
+                                     const std::uint64_t* row,
+                                     std::size_t words) {
+  std::uint64_t any = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    cand[w] &= row[w];
+    any |= cand[w];
+  }
+  return any;
+}
+
+inline std::uint64_t andnot_into_scalar(std::uint64_t* cand,
+                                        const std::uint64_t* dom,
+                                        const std::uint64_t* excl,
+                                        std::size_t words) {
+  std::uint64_t any = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    cand[w] = dom[w] & ~excl[w];
+    any |= cand[w];
+  }
+  return any;
+}
+
+inline std::uint64_t and_any_scalar(const std::uint64_t* a,
+                                    const std::uint64_t* b,
+                                    std::size_t words) {
+  std::uint64_t any = 0;
+  for (std::size_t w = 0; w < words; ++w) any |= a[w] & b[w];
+  return any;
+}
+
+inline std::uint64_t any_bits_scalar(const std::uint64_t* p,
+                                     std::size_t words) {
+  std::uint64_t any = 0;
+  for (std::size_t w = 0; w < words; ++w) any |= p[w];
+  return any;
+}
+
+inline std::size_t popcount_words_scalar(const std::uint64_t* p,
+                                         std::size_t words) {
+  std::size_t total = 0;
+  for (std::size_t w = 0; w < words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(p[w]));
+  }
+  return total;
+}
+
+#ifdef MAPA_AVX2_DISPATCH
+
+inline bool have_avx2() {
+  static const bool ok = __builtin_cpu_supports("avx2");
+  return ok;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t and_into_avx2(
+    std::uint64_t* cand, const std::uint64_t* row, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i c =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(cand + w));
+    const __m256i r =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(row + w));
+    const __m256i out = _mm256_and_si256(c, r);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cand + w), out);
+    acc = _mm256_or_si256(acc, out);
+  }
+  std::uint64_t any = _mm256_testz_si256(acc, acc) ? 0 : 1;
+  for (; w < words; ++w) {
+    cand[w] &= row[w];
+    any |= cand[w];
+  }
+  return any;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t andnot_into_avx2(
+    std::uint64_t* cand, const std::uint64_t* dom, const std::uint64_t* excl,
+    std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dom + w));
+    const __m256i e =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(excl + w));
+    // andnot(e, d) = ~e & d
+    const __m256i out = _mm256_andnot_si256(e, d);
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(cand + w), out);
+    acc = _mm256_or_si256(acc, out);
+  }
+  std::uint64_t any = _mm256_testz_si256(acc, acc) ? 0 : 1;
+  for (; w < words; ++w) {
+    cand[w] = dom[w] & ~excl[w];
+    any |= cand[w];
+  }
+  return any;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t and_any_avx2(
+    const std::uint64_t* a, const std::uint64_t* b, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + w));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + w));
+    acc = _mm256_or_si256(acc, _mm256_and_si256(va, vb));
+  }
+  std::uint64_t any = _mm256_testz_si256(acc, acc) ? 0 : 1;
+  for (; w < words; ++w) any |= a[w] & b[w];
+  return any;
+}
+
+__attribute__((target("avx2"))) inline std::uint64_t any_bits_avx2(
+    const std::uint64_t* p, std::size_t words) {
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    acc = _mm256_or_si256(
+        acc, _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + w)));
+  }
+  std::uint64_t any = _mm256_testz_si256(acc, acc) ? 0 : 1;
+  for (; w < words; ++w) any |= p[w];
+  return any;
+}
+
+/// Mula's vpshufb nibble-LUT popcount, 4 words per vector; the per-byte
+/// partials are widened through _mm256_sad_epu8 every iteration, so no
+/// 8-bit accumulator can saturate whatever `words` is.
+__attribute__((target("avx2"))) inline std::size_t popcount_words_avx2(
+    const std::uint64_t* p, std::size_t words) {
+  const __m256i lut =
+      _mm256_setr_epi8(0, 1, 1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4, 0, 1,
+                       1, 2, 1, 2, 2, 3, 1, 2, 2, 3, 2, 3, 3, 4);
+  const __m256i low_mask = _mm256_set1_epi8(0x0f);
+  __m256i acc = _mm256_setzero_si256();
+  std::size_t w = 0;
+  for (; w + 4 <= words; w += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p + w));
+    const __m256i lo = _mm256_and_si256(v, low_mask);
+    const __m256i hi = _mm256_and_si256(_mm256_srli_epi32(v, 4), low_mask);
+    const __m256i cnt = _mm256_add_epi8(_mm256_shuffle_epi8(lut, lo),
+                                        _mm256_shuffle_epi8(lut, hi));
+    acc = _mm256_add_epi64(acc, _mm256_sad_epu8(cnt, _mm256_setzero_si256()));
+  }
+  alignas(32) std::uint64_t lanes[4];
+  _mm256_store_si256(reinterpret_cast<__m256i*>(lanes), acc);
+  std::size_t total =
+      static_cast<std::size_t>(lanes[0] + lanes[1] + lanes[2] + lanes[3]);
+  for (; w < words; ++w) {
+    total += static_cast<std::size_t>(std::popcount(p[w]));
+  }
+  return total;
+}
+
+#endif  // MAPA_AVX2_DISPATCH
+
+}  // namespace detail
+
+/// cand &= row over `words` words; zero result iff the span emptied.
+inline std::uint64_t and_into(std::uint64_t* cand, const std::uint64_t* row,
+                              std::size_t words) {
+#ifdef MAPA_AVX2_DISPATCH
+  if (words >= 4 && detail::have_avx2()) {
+    return detail::and_into_avx2(cand, row, words);
+  }
+#endif
+  return detail::and_into_scalar(cand, row, words);
+}
+
+/// cand = dom & ~excl over `words` words; zero result iff all-zero.
+inline std::uint64_t andnot_into(std::uint64_t* cand, const std::uint64_t* dom,
+                                 const std::uint64_t* excl,
+                                 std::size_t words) {
+#ifdef MAPA_AVX2_DISPATCH
+  if (words >= 4 && detail::have_avx2()) {
+    return detail::andnot_into_avx2(cand, dom, excl, words);
+  }
+#endif
+  return detail::andnot_into_scalar(cand, dom, excl, words);
+}
+
+/// Zero iff (a & b) has no set bit over `words` words (no stores).
+inline std::uint64_t and_any(const std::uint64_t* a, const std::uint64_t* b,
+                             std::size_t words) {
+#ifdef MAPA_AVX2_DISPATCH
+  if (words >= 4 && detail::have_avx2()) {
+    return detail::and_any_avx2(a, b, words);
+  }
+#endif
+  return detail::and_any_scalar(a, b, words);
+}
+
+/// Zero iff the span has no set bit.
+inline std::uint64_t any_bits(const std::uint64_t* p, std::size_t words) {
+#ifdef MAPA_AVX2_DISPATCH
+  if (words >= 4 && detail::have_avx2()) {
+    return detail::any_bits_avx2(p, words);
+  }
+#endif
+  return detail::any_bits_scalar(p, words);
+}
+
+/// Population count over a word span.
+inline std::size_t popcount_words(const std::uint64_t* p, std::size_t words) {
+#ifdef MAPA_AVX2_DISPATCH
+  if (words >= 4 && detail::have_avx2()) {
+    return detail::popcount_words_avx2(p, words);
+  }
+#endif
+  return detail::popcount_words_scalar(p, words);
 }
 
 /// cand &= { bits strictly above v } over a `words`-word span.

@@ -77,10 +77,7 @@ class UllmannCore {
   std::size_t pwords() const { return rows::word_count(pattern_); }
 
   bool domain_empty(const std::uint64_t* dom) const {
-    const std::size_t tw = twords();
-    std::uint64_t acc = 0;
-    for (std::size_t w = 0; w < tw; ++w) acc |= dom[w];
-    return acc == 0;
+    return rows::any_bits(dom, twords()) == 0;
   }
 
   /// Classic Ullmann refinement over word spans: candidate t for pattern
@@ -112,11 +109,7 @@ class UllmannCore {
                     static_cast<std::size_t>(std::countr_zero(nbs)));
                 nbs &= nbs - 1;
                 const std::uint64_t* qdom = domains + q * tw;
-                std::uint64_t acc = 0;
-                for (std::size_t w2 = 0; w2 < tw; ++w2) {
-                  acc |= qdom[w2] & trow[w2];
-                }
-                if (acc == 0) {
+                if (rows::and_any(qdom, trow, tw) == 0) {
                   dead = true;
                   break;
                 }
@@ -157,7 +150,7 @@ class UllmannCore {
     // candidate span up front instead of per-candidate edge probes.
     std::uint64_t* cand = cand_.data() + p * tw;
     const std::uint64_t* dom = domains + p * tw;
-    for (std::size_t w = 0; w < tw; ++w) cand[w] = dom[w] & ~used_[w];
+    rows::andnot_into(cand, dom, used_.data(), tw);
     const std::uint64_t* prow = pattern_.row(p);
     const std::size_t p_word = p >> 6;
     for (std::size_t pwi = 0; pwi <= p_word; ++pwi) {
@@ -168,7 +161,7 @@ class UllmannCore {
             (pwi << 6) + static_cast<std::size_t>(std::countr_zero(earlier)));
         earlier &= earlier - 1;
         const std::uint64_t* qrow = target_.row(mapping[q]);
-        for (std::size_t w = 0; w < tw; ++w) cand[w] &= qrow[w];
+        rows::and_into(cand, qrow, tw);
       }
     }
     for (std::size_t w = 0; w < tw; ++w) {
@@ -190,7 +183,7 @@ class UllmannCore {
           std::uint64_t* qdom = next + q * tw;
           qdom[w] &= ~t_bit;
           if (pattern_.has_edge(p, q)) {
-            for (std::size_t w2 = 0; w2 < tw; ++w2) qdom[w2] &= trow[w2];
+            rows::and_into(qdom, trow, tw);
           }
           if (domain_empty(qdom)) {
             viable = false;

@@ -140,20 +140,12 @@ class Vf2Core {
 
     std::uint64_t* cand = cand_.data() + depth * nw;
     const std::uint64_t* dom = deg_ok_.data() + u * nw;
-    std::uint64_t any = 0;
-    for (std::size_t w = 0; w < nw; ++w) {
-      cand[w] = dom[w] & ~used_[w];
-      any |= cand[w];
-    }
-    if (any == 0) return true;
+    if (rows::andnot_into(cand, dom, used_.data(), nw) == 0) return true;
     for (const VertexId nb : plan_.placed_neighbors[u]) {
       const std::uint64_t* row = target_.row(mapping[nb]);
-      any = 0;
-      for (std::size_t w = 0; w < nw; ++w) {
-        cand[w] &= row[w];
-        any |= cand[w];
+      if (rows::and_into(cand, row, nw) == 0) {
+        return true;  // empty domain: prune this subtree
       }
-      if (any == 0) return true;  // empty domain: prune this subtree
     }
     for (const Check& check : plan_.checks[u]) {
       const VertexId other = mapping[check.other];

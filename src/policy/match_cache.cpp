@@ -1,6 +1,7 @@
 #include "policy/match_cache.hpp"
 
 #include "graph/algorithms.hpp"
+#include "match/rows_common.hpp"
 #include "obs/trace.hpp"
 
 namespace mapa::policy {
@@ -12,17 +13,38 @@ std::uint64_t mix_hash(std::uint64_t hash, std::uint64_t value) {
   return hash;
 }
 
-/// The unified cache key: (pattern adjacency fingerprint, backend +
-/// symmetry flags, busy-mask fingerprint) mixed into one 64-bit value.
-/// Key equality is fingerprint equality — see the collision-probability
-/// argument in the header.
-std::uint64_t unified_fingerprint(const graph::Graph& pattern,
-                                  const match::EnumerateOptions& options) {
+/// The pattern-shape half of the key: adjacency fingerprint mixed with
+/// the backend + symmetry flags. Two lookups with equal shape enumerate
+/// the same pattern under the same contract and differ only in the busy
+/// mask — which is exactly the set the superset (delta) index groups by.
+std::uint64_t shape_fingerprint(const graph::Graph& pattern,
+                                const match::EnumerateOptions& options) {
   const std::uint64_t flags =
       static_cast<std::uint64_t>(options.backend) |
       (options.break_symmetry ? std::uint64_t{1} << 8 : 0);
-  return mix_hash(mix_hash(graph::adjacency_fingerprint(pattern), flags),
-                  options.forbidden.fingerprint());
+  return mix_hash(graph::adjacency_fingerprint(pattern), flags);
+}
+
+/// The unified cache key: shape fingerprint mixed with the busy-mask
+/// fingerprint. Key equality is fingerprint equality — see the
+/// collision-probability argument in the header.
+std::uint64_t unified_fingerprint(std::uint64_t shape,
+                                  const match::EnumerateOptions& options) {
+  return mix_hash(shape, options.forbidden.fingerprint());
+}
+
+/// True when every vertex forbidden in `a` is also forbidden in `b` — the
+/// cached state `a` has at least the free GPUs of the current state `b`,
+/// so its stored match list is a superset of `b`'s. The test is on the
+/// real mask words, not fingerprints: a delta source is proven, never
+/// guessed. An empty (default) mask forbids nothing and is the universal
+/// subset.
+bool mask_subset(const graph::VertexMask& a, const graph::VertexMask& b) {
+  for (std::size_t w = 0; w < a.num_words(); ++w) {
+    const std::uint64_t bw = w < b.num_words() ? b.word(w) : 0;
+    if ((a.word(w) & ~bw) != 0) return false;
+  }
+  return true;
 }
 
 }  // namespace
@@ -45,6 +67,7 @@ void MatchCache::clear() {
   index_.clear();
   oversized_.clear();
   staging_.clear();
+  shape_index_.clear();
 }
 
 void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
@@ -59,11 +82,15 @@ void MatchCache::refresh_hardware_locked(const graph::Graph& hardware) {
     return;
   }
   if (hardware_seen_) {
+    // Every side structure goes with the entries: the oversized-bypass
+    // fingerprints, any staged probe results, and the superset index
+    // all describe match sets of the previous hardware graph.
     ++stats_.invalidations;
     entries_.clear();
     index_.clear();
     oversized_.clear();
     staging_.clear();
+    shape_index_.clear();
   }
   hardware_seen_ = true;
   hardware_fp_ = fp;
@@ -74,16 +101,85 @@ void MatchCache::touch_locked(std::list<Entry>::iterator it) {
   entries_.splice(entries_.begin(), entries_, it);
 }
 
-void MatchCache::store_locked(std::uint64_t key,
+void MatchCache::store_locked(std::uint64_t key, std::uint64_t shape,
+                              graph::VertexMask forbidden,
                               std::vector<match::Match> matches) {
   if (config_.max_entries == 0) return;  // a cache that holds nothing
   while (entries_.size() >= config_.max_entries) {
+    unregister_shape_locked(std::prev(entries_.end()));
     index_.erase(entries_.back().key);
     entries_.pop_back();
     ++stats_.evictions;
   }
-  entries_.push_front(Entry{key, std::move(matches)});
+  entries_.push_front(
+      Entry{key, shape, std::move(forbidden), std::move(matches)});
   index_.emplace(key, entries_.begin());
+  // Register for superset lookups, bounded per shape: an entry past the
+  // bound keeps its LRU slot but stays delta-invisible, so the index can
+  // never grow past max_entries * 1 iterators total and eviction order
+  // stays exactly the LRU order delta reuse found it in.
+  if (config_.enable_delta && config_.max_delta_candidates > 0) {
+    std::vector<std::list<Entry>::iterator>& reg = shape_index_[shape];
+    if (reg.size() < config_.max_delta_candidates) {
+      reg.push_back(entries_.begin());
+    }
+  }
+}
+
+void MatchCache::unregister_shape_locked(std::list<Entry>::iterator it) {
+  const auto found = shape_index_.find(it->shape);
+  if (found == shape_index_.end()) return;
+  std::erase(found->second, it);
+  if (found->second.empty()) shape_index_.erase(found);
+}
+
+auto MatchCache::delta_source_locked(std::uint64_t shape,
+                                     const graph::VertexMask& forbidden)
+    -> std::list<Entry>::iterator {
+  const auto found = shape_index_.find(shape);
+  if (found == shape_index_.end()) return entries_.end();
+  auto best = entries_.end();
+  for (const std::list<Entry>::iterator it : found->second) {
+    if (!mask_subset(it->forbidden, forbidden)) continue;
+    if (best == entries_.end() || it->matches.size() < best->matches.size()) {
+      best = it;
+    }
+  }
+  return best;
+}
+
+std::vector<match::Match> MatchCache::filter_matches_locked(
+    const Entry& source, const graph::VertexMask& forbidden) const {
+  // Only the DELTA bits — busy now but free in the source state — can
+  // block a stored match (every stored match already avoids the source
+  // state's busy bits), so the per-match scan tests those alone. For a
+  // fixed pattern + flags the DFS with the more-restricted candidate set
+  // emits exactly the subsequence of the source run whose mappings avoid
+  // the delta bits, so this filter is record-identical to a live search.
+  const std::size_t words = forbidden.num_words();
+  std::vector<std::uint64_t> delta(words, 0);
+  for (std::size_t w = 0; w < words; ++w) {
+    const std::uint64_t cached =
+        w < source.forbidden.num_words() ? source.forbidden.word(w) : 0;
+    delta[w] = forbidden.word(w) & ~cached;
+  }
+  if (match::rows::popcount_words(delta.data(), words) == 0) {
+    // Identical free sets (the states differ only in mask size): the
+    // stored list IS the answer.
+    return source.matches;
+  }
+  std::vector<match::Match> filtered;
+  for (const match::Match& m : source.matches) {
+    bool blocked = false;
+    for (const graph::VertexId v : m.mapping) {
+      if ((delta[v >> 6] >> (v & 63)) & 1) {
+        blocked = true;
+        break;
+      }
+    }
+    if (!blocked) filtered.push_back(m);
+  }
+  return filtered;
 }
 
 void MatchCache::note_oversized_locked(std::uint64_t key) {
@@ -102,7 +198,8 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
   const std::lock_guard<std::mutex> lock(mutex_);
   refresh_hardware_locked(hardware);
 
-  const std::uint64_t key = unified_fingerprint(pattern, options);
+  const std::uint64_t shape = shape_fingerprint(pattern, options);
+  const std::uint64_t key = unified_fingerprint(shape, options);
 
   if (ticket != nullptr) {
     // Probe mode: classify and stream, mutate nothing observable. The
@@ -130,13 +227,39 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
         span.arg("outcome", "staged_bypass");
         match::for_each_match(pattern, hardware, visit, options);
       } else {
-        ticket->kind_ = CacheProbeTicket::Kind::kStagedStore;
+        // Replays inherit the producer's classification (delta-filtered
+        // vs enumerated), so every probe of a key in a batch carries the
+        // same kind whichever arrived first — the commit-order stats
+        // split cannot depend on thread scheduling.
+        ticket->kind_ = staged->second.delta
+                            ? CacheProbeTicket::Kind::kStagedDelta
+                            : CacheProbeTicket::Kind::kStagedStore;
         span.arg("outcome", "staged_replay");
         for (const match::Match& m : staged->second.matches) {
           if (!visit(m)) return;
         }
       }
       return;
+    }
+    // Exact miss: before enumerating, try to derive the list from a
+    // committed superset-state entry of the same shape. Committed
+    // structures are frozen for the whole batch (stores happen at
+    // commit time), so the source — and hence the staged list — is the
+    // same whichever probe of the key runs first.
+    if (config_.enable_delta) {
+      const auto source = delta_source_locked(shape, options.forbidden);
+      if (source != entries_.end()) {
+        ticket->kind_ = CacheProbeTicket::Kind::kStagedDelta;
+        span.arg("outcome", "delta");
+        const auto [staged_it, inserted] = staging_.emplace(
+            key,
+            StagedEntry{false, true, shape, options.forbidden,
+                        filter_matches_locked(*source, options.forbidden)});
+        for (const match::Match& m : staged_it->second.matches) {
+          if (!visit(m)) return;
+        }
+        return;
+      }
     }
     // First probe of an absent key: enumerate, teeing into a staged
     // entry for the rest of the batch to replay.
@@ -163,7 +286,7 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
         },
         options);
     if (oversized) {
-      staging_.emplace(key, StagedEntry{true, {}});
+      staging_.emplace(key, StagedEntry{true, false, shape, {}, {}});
       ticket->kind_ = CacheProbeTicket::Kind::kStagedOversized;
       span.arg("outcome", "staged_enumerate");
     } else if (stopped) {
@@ -171,7 +294,8 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
       ticket->kind_ = CacheProbeTicket::Kind::kUnreplayable;
       span.arg("outcome", "unreplayable");
     } else {
-      staging_.emplace(key, StagedEntry{false, std::move(collected)});
+      staging_.emplace(key, StagedEntry{false, false, shape, options.forbidden,
+                                        std::move(collected)});
       ticket->kind_ = CacheProbeTicket::Kind::kStagedStore;
       span.arg("outcome", "staged_enumerate");
     }
@@ -197,6 +321,26 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
       if (!visit(m)) return;
     }
     return;
+  }
+
+  // Exact miss: a committed superset-state entry of the same shape lets
+  // a mask-AND scan stand in for the whole matcher run. The filtered
+  // list is complete, so it is stored under the exact key — the next
+  // lookup of this state is a plain hit.
+  if (config_.enable_delta) {
+    const auto source = delta_source_locked(shape, options.forbidden);
+    if (source != entries_.end()) {
+      ++stats_.delta_hits;
+      span.arg("outcome", "delta");
+      std::vector<match::Match> filtered =
+          filter_matches_locked(*source, options.forbidden);
+      touch_locked(source);
+      store_locked(key, shape, options.forbidden, filtered);
+      for (const match::Match& m : filtered) {
+        if (!visit(m)) return;
+      }
+      return;
+    }
   }
 
   // Miss: enumerate once, teeing matches into a candidate entry.
@@ -230,7 +374,9 @@ void MatchCache::for_each_match(const graph::Graph& pattern,
   }
   // An early-stopped enumeration is incomplete; only a full one is
   // replayable.
-  if (!stopped) store_locked(key, std::move(collected));
+  if (!stopped) {
+    store_locked(key, shape, options.forbidden, std::move(collected));
+  }
 }
 
 void MatchCache::commit_probe(CacheProbeTicket& ticket) {
@@ -261,7 +407,9 @@ void MatchCache::commit_probe(CacheProbeTicket& ticket) {
       } else if (const auto staged = staging_.find(key);
                  staged != staging_.end()) {
         ++stats_.misses;
-        store_locked(key, std::move(staged->second.matches));
+        store_locked(key, staged->second.shape,
+                     std::move(staged->second.forbidden),
+                     std::move(staged->second.matches));
         staging_.erase(staged);
       } else if (config_.max_entries == 0) {
         // The store was a no-op; immediate mode would re-miss too.
@@ -269,6 +417,27 @@ void MatchCache::commit_probe(CacheProbeTicket& ticket) {
       } else {
         // Stored by an earlier commit of this batch and evicted again by
         // later ones — the probe still replayed a valid list.
+        ++stats_.hits;
+      }
+      break;
+    }
+    case CacheProbeTicket::Kind::kStagedDelta: {
+      // Same commit choreography as kStagedStore, but the first commit
+      // charges a delta hit — the batch paid a mask-AND filter, never a
+      // matcher run, and the filtered list is stored under the exact key.
+      if (const auto found = index_.find(key); found != index_.end()) {
+        ++stats_.hits;
+        touch_locked(found->second);
+      } else if (const auto staged = staging_.find(key);
+                 staged != staging_.end()) {
+        ++stats_.delta_hits;
+        store_locked(key, staged->second.shape,
+                     std::move(staged->second.forbidden),
+                     std::move(staged->second.matches));
+        staging_.erase(staged);
+      } else if (config_.max_entries == 0) {
+        ++stats_.delta_hits;
+      } else {
         ++stats_.hits;
       }
       break;

@@ -67,6 +67,7 @@ class CacheProbeTicket {
     kBypass,           // key in the committed oversized set, enumerated live
     kStagedStore,      // key absent at batch start; replayable result staged
     kStagedOversized,  // key absent at batch start; oversized, streamed live
+    kStagedDelta,      // key absent; filtered from a superset-state entry
     kUnreplayable,     // enumerated, but early-stopped: nothing to stage
   };
 
@@ -89,12 +90,26 @@ struct MatchCacheConfig {
   /// Cap on remembered oversized fingerprints; on overflow the side set
   /// is cleared (the worst case is one wasted re-collection per key).
   std::size_t max_oversized_keys = 4096;
+  /// Delta reuse: on an exact-fingerprint miss, derive the match set by
+  /// filtering a cached entry of the same pattern shape + flags whose
+  /// busy mask is a SUBSET of the current one (a state with strictly more
+  /// free GPUs — its match list is a superset, and the DFS emits the
+  /// current state's matches as the exact subsequence whose mappings
+  /// avoid the extra busy bits). A mask-AND scan per stored match
+  /// replaces a full matcher run; output is record-identical by the
+  /// subsequence property (tests/policy/test_match_cache.cpp).
+  bool enable_delta = true;
+  /// Bound on entries indexed per pattern shape for superset lookups; a
+  /// stored entry beyond the bound keeps its LRU slot but is not
+  /// delta-discoverable.
+  std::size_t max_delta_candidates = 8;
 };
 
 struct MatchCacheStats {
   std::uint64_t hits = 0;           // replayed a stored match list
   std::uint64_t misses = 0;         // enumerated and (maybe) stored
   std::uint64_t bypasses = 0;       // known-oversized key, enumerated live
+  std::uint64_t delta_hits = 0;     // filtered from a superset-state entry
   std::uint64_t invalidations = 0;  // wholesale clears on hardware change
   std::uint64_t evictions = 0;      // LRU evictions
 };
@@ -140,22 +155,42 @@ class MatchCache {
 
  private:
   struct Entry {
-    std::uint64_t key = 0;  // unified fingerprint
+    std::uint64_t key = 0;    // unified fingerprint
+    std::uint64_t shape = 0;  // pattern + flags part of the key
+    graph::VertexMask forbidden;  // the busy mask this list was built for
     std::vector<match::Match> matches;
   };
 
   /// A probe batch's first result for a key not yet committed: either a
   /// full replayable match list or an oversized marker. Moved into the
   /// cache proper (or the oversized set) by the key's first commit.
+  /// `delta` marks a list derived by superset filtering, so every probe
+  /// of the key classifies identically whichever arrived first — the
+  /// commit-order stats split stays independent of thread count.
   struct StagedEntry {
     bool oversized = false;
+    bool delta = false;
+    std::uint64_t shape = 0;
+    graph::VertexMask forbidden;
     std::vector<match::Match> matches;
   };
 
   void refresh_hardware_locked(const graph::Graph& hardware);
   void touch_locked(std::list<Entry>::iterator it);
-  void store_locked(std::uint64_t key, std::vector<match::Match> matches);
+  void store_locked(std::uint64_t key, std::uint64_t shape,
+                    graph::VertexMask forbidden,
+                    std::vector<match::Match> matches);
   void note_oversized_locked(std::uint64_t key);
+  void unregister_shape_locked(std::list<Entry>::iterator it);
+  /// Best committed superset-state source for (shape, forbidden), or
+  /// entries_.end(): eligible entries hold a busy mask that is a subset
+  /// of `forbidden`; among them the shortest match list wins (cheapest
+  /// filter), ties toward the oldest registration. Read-only — safe in
+  /// probe mode, where committed structures are frozen for the batch.
+  std::list<Entry>::iterator delta_source_locked(
+      std::uint64_t shape, const graph::VertexMask& forbidden);
+  std::vector<match::Match> filter_matches_locked(
+      const Entry& source, const graph::VertexMask& forbidden) const;
 
   mutable std::mutex mutex_;
   MatchCacheConfig config_;
@@ -167,6 +202,12 @@ class MatchCache {
   std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
   std::unordered_set<std::uint64_t> oversized_;  // bypassed keys, no LRU slot
   std::unordered_map<std::uint64_t, StagedEntry> staging_;  // probe batch
+  /// Superset index: pattern-shape fingerprint -> up to
+  /// max_delta_candidates stored entries, in registration order. Bounded
+  /// side structure like oversized_: cleared wholesale on hardware change
+  /// and clear(), pruned on eviction.
+  std::unordered_map<std::uint64_t, std::vector<std::list<Entry>::iterator>>
+      shape_index_;
 };
 
 /// Fold over the match set keeping the highest-scoring match, through the

@@ -1,6 +1,8 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <memory>
 #include <stdexcept>
 
 namespace mapa::util {
@@ -52,6 +54,29 @@ void ThreadPool::parallel_for(std::size_t count,
     if (begin >= end) break;
     futures.push_back(submit([&fn, begin, end] {
       for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
+  }
+  for (auto& f : futures) f.get();  // rethrows any task exception
+}
+
+void ThreadPool::dynamic_for(std::size_t count,
+                             const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  const std::size_t tasks = std::min(count, workers_.size());
+  if (tasks <= 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+  auto next = std::make_shared<std::atomic<std::size_t>>(0);
+  std::vector<std::future<void>> futures;
+  futures.reserve(tasks);
+  for (std::size_t t = 0; t < tasks; ++t) {
+    futures.push_back(submit([&fn, next, count] {
+      for (std::size_t i = next->fetch_add(1, std::memory_order_relaxed);
+           i < count;
+           i = next->fetch_add(1, std::memory_order_relaxed)) {
+        fn(i);
+      }
     }));
   }
   for (auto& f : futures) f.get();  // rethrows any task exception

@@ -36,6 +36,17 @@ class ThreadPool {
   void parallel_for(std::size_t count,
                     const std::function<void(std::size_t)>& fn);
 
+  /// Work-stealing variant: run fn(i) for i in [0, count) and wait for
+  /// all, with indices claimed one at a time off a shared atomic counter
+  /// instead of pre-split into contiguous chunks. One task per worker is
+  /// submitted regardless of count, so per-index dispatch is a single
+  /// fetch_add — a skewed index (one root range holding most of the
+  /// search tree) no longer strands the rest of its pre-assigned chunk
+  /// behind it. Indices complete in arbitrary order; callers needing
+  /// determinism must merge by index, exactly as with parallel_for.
+  void dynamic_for(std::size_t count,
+                   const std::function<void(std::size_t)>& fn);
+
  private:
   void worker_loop();
 

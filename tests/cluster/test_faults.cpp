@@ -11,6 +11,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -411,7 +412,94 @@ TEST(Faults, ThreadCountsAreRecordIdenticalUnderAFaultSchedule) {
     EXPECT_EQ(a.servers[s].jobs_placed, b.servers[s].jobs_placed);
     EXPECT_EQ(a.servers[s].probes, b.servers[s].probes);
     EXPECT_EQ(a.servers[s].probe_memo_hits, b.servers[s].probe_memo_hits);
+    EXPECT_EQ(a.servers[s].match_cache_delta_hits,
+              b.servers[s].match_cache_delta_hits);
   }
+}
+
+TEST(Faults, IncrementalReuseIsRecordIdenticalUnderChaos) {
+  // The tentpole contract under the harshest schedule we can generate:
+  // cross-tick probe memoization and delta-keyed cache lookups must not
+  // move a single record, dead letter, or resilience counter relative
+  // to the legacy dispatcher (clear-on-commit memo, exact-only cache)
+  // while crashes, GPU losses, and link faults fork topologies out from
+  // under both reuse layers. Staleness is by construction — a fault
+  // changes the topology fingerprint in the memo key, and a fork swaps
+  // the degraded server onto a private cache — so the only visible
+  // difference may be the reuse counters themselves.
+  workload::ChaosTraceConfig chaos =
+      workload::chaos_trace_config(32, /*per_server_mtbf_s=*/1500.0, 13);
+  chaos.horizon_s = 400.0;
+  chaos.mttr_s = 50.0;
+  const std::vector<ServerSpec> specs = dgx_archetype_fleet(32, "preserve");
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.shards = 4;
+  config.events = generate_fault_schedule(chaos, specs);
+  ASSERT_FALSE(config.events.empty());
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(32, 6, 17));
+
+  config.cross_tick_memo = false;
+  config.cache.enable_delta = false;
+  FleetSimulator legacy(specs, config);
+  config.cross_tick_memo = true;
+  config.cache.enable_delta = true;
+  FleetSimulator incremental(specs, config);
+  const auto off = legacy.run(jobs);
+  const auto on = incremental.run(jobs);
+  EXPECT_GT(on.resilience.topology_forks + on.resilience.jobs_killed, 0u);
+  expect_same_results(off, on);
+
+  std::uint64_t memo_off = 0;
+  std::uint64_t memo_on = 0;
+  std::uint64_t delta_off = 0;
+  std::uint64_t delta_on = 0;
+  for (std::size_t s = 0; s < on.servers.size(); ++s) {
+    memo_off += off.servers[s].probe_memo_hits;
+    memo_on += on.servers[s].probe_memo_hits;
+    delta_off += off.servers[s].match_cache_delta_hits;
+    delta_on += on.servers[s].match_cache_delta_hits;
+  }
+  // Cross-tick keys survive the churn the legacy memo clears on, so the
+  // faulted run must still replay strictly more probes; the legacy run
+  // must report zero delta activity.
+  EXPECT_GT(memo_on, memo_off);
+  EXPECT_GT(delta_on, 0u);
+  EXPECT_EQ(delta_off, 0u);
+}
+
+TEST(Faults, ForkedServersDeltaHitsStayPrivate) {
+  // Delta reuse must respect the fault-cache fork: a link-degraded
+  // server filters supersets out of its PRIVATE fork (whose entries
+  // were enumerated against the degraded bandwidths), never out of the
+  // shared archetype cache, and its delta hits are attributed to the
+  // degraded server itself — the shared-cache primary only reports the
+  // healthy servers' activity. Three servers, server 2 degraded from
+  // t=0; four staggered long jobs make every later probe see busier
+  // and busier states, so both the shared cache and the fork serve
+  // delta hits.
+  ClusterConfig config;
+  config.selection = "least-loaded";
+  config.events = {{0.0, 2, FaultEvent::Kind::kLinkDegrade, 0, 1, 0.5}};
+  FleetSimulator fleet(dgx_archetype_fleet(3, "preserve"), config);
+  const auto result =
+      fleet.run({job_of(1, "vgg-16", 3, 1.0, /*iter_scale=*/1000.0),
+                 job_of(2, "vgg-16", 3, 2.0, /*iter_scale=*/1000.0),
+                 job_of(3, "vgg-16", 3, 3.0, /*iter_scale=*/1000.0),
+                 job_of(4, "vgg-16", 3, 4.0, /*iter_scale=*/1000.0)});
+  ASSERT_EQ(result.records.size(), 4u);
+  EXPECT_EQ(result.resilience.topology_forks, 1u);
+
+  // The healthy servers' busier-state probes filtered from the shared
+  // idle-state entry; those hits are reported by the archetype primary.
+  ASSERT_TRUE(result.servers[0].cache_primary);
+  EXPECT_GT(result.servers[0].match_cache_delta_hits, 0u);
+  // The degraded server is not the shared primary, so every delta hit
+  // attributed to it came from its private fork.
+  EXPECT_FALSE(result.servers[2].cache_primary);
+  EXPECT_GT(result.servers[2].match_cache_delta_hits, 0u);
+  EXPECT_GT(result.servers[2].match_cache_misses, 0u);
 }
 
 TEST(Faults, DegradedForkInvalidatesARawSharedCache) {

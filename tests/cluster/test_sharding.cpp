@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <vector>
 
@@ -181,8 +182,64 @@ TEST(Sharding, ThreadCountsByteIdenticalAtOneThousandServers) {
     EXPECT_EQ(a.servers[s].match_cache_hits, b.servers[s].match_cache_hits);
     EXPECT_EQ(a.servers[s].match_cache_misses,
               b.servers[s].match_cache_misses);
+    EXPECT_EQ(a.servers[s].match_cache_delta_hits,
+              b.servers[s].match_cache_delta_hits);
     EXPECT_DOUBLE_EQ(a.servers[s].utilization, b.servers[s].utilization);
   }
+}
+
+TEST(Sharding, IncrementalReuseDoesNotChangeRecords) {
+  // Cross-tick probe memoization plus delta-keyed cache lookups (both on
+  // by default) against the legacy dispatcher (clear-on-commit memo,
+  // exact-only cache): the schedule must be identical job for job, and
+  // only the reuse counters may move. The churn trace interleaves
+  // allocations and releases, so servers revisit earlier busy states —
+  // exactly what the legacy memo forgets and the cross-tick memo keeps.
+  const auto jobs = workload::generate_fleet_trace(
+      workload::fleet_scale_trace_config(64, /*jobs_per_server=*/6,
+                                         /*seed=*/37));
+
+  std::vector<FleetResult> results;
+  for (const bool reuse : {false, true}) {
+    ClusterConfig config;
+    config.selection = "least-loaded";
+    config.shards = 4;
+    config.cross_tick_memo = reuse;
+    config.cache.enable_delta = reuse;
+    FleetSimulator fleet(dgx_archetype_fleet(64, "preserve"), config);
+    results.push_back(fleet.run(jobs));
+  }
+
+  const FleetResult& off = results[0];
+  const FleetResult& on = results[1];
+  ASSERT_EQ(off.records.size(), on.records.size());
+  EXPECT_DOUBLE_EQ(off.makespan_s, on.makespan_s);
+  for (std::size_t i = 0; i < off.records.size(); ++i) {
+    EXPECT_EQ(off.records[i].server, on.records[i].server);
+    EXPECT_EQ(off.records[i].record.job, on.records[i].record.job);
+    EXPECT_EQ(off.records[i].record.gpus, on.records[i].record.gpus);
+    EXPECT_DOUBLE_EQ(off.records[i].record.start_s,
+                     on.records[i].record.start_s);
+    EXPECT_DOUBLE_EQ(off.records[i].record.finish_s,
+                     on.records[i].record.finish_s);
+    EXPECT_DOUBLE_EQ(off.records[i].record.predicted_effbw,
+                     on.records[i].record.predicted_effbw);
+    EXPECT_DOUBLE_EQ(off.records[i].record.measured_effbw,
+                     on.records[i].record.measured_effbw);
+  }
+  std::uint64_t memo_off = 0;
+  std::uint64_t memo_on = 0;
+  std::uint64_t delta_off = 0;
+  std::uint64_t delta_on = 0;
+  for (std::size_t s = 0; s < on.servers.size(); ++s) {
+    memo_off += off.servers[s].probe_memo_hits;
+    memo_on += on.servers[s].probe_memo_hits;
+    delta_off += off.servers[s].match_cache_delta_hits;
+    delta_on += on.servers[s].match_cache_delta_hits;
+  }
+  EXPECT_GT(memo_on, memo_off);  // survival across busy-state churn
+  EXPECT_GT(delta_on, 0u);       // the superset filter actually fired
+  EXPECT_EQ(delta_off, 0u);
 }
 
 TEST(Sharding, ProbeMemoDoesNotChangeRecords) {

@@ -1,0 +1,243 @@
+// Differential tests for the AVX2 word-span kernels behind the DynRows
+// matcher hot loops (match/rows_common.hpp). The dispatch wrappers
+// (rows::and_into & co.) must be bit-identical to the scalar reference
+// loops on every host: on AVX2 machines that pins the vector kernels,
+// elsewhere the wrappers ARE the scalar loops and the tests degenerate
+// to self-consistency — either way the contract below holds everywhere.
+//
+// Contract under test (documented in rows_common.hpp):
+//   * mutated spans (and_into, andnot_into) end up word-for-word equal;
+//   * the returned "any" value is zero iff the span is all-zero — the
+//     exact nonzero value is unspecified (the vector path collapses it
+//     to a flag), so it is only compared as a boolean;
+//   * popcount_words is an exact count, compared for equality.
+//
+// Word counts sweep 1..20 so both sides of the dispatch threshold
+// (words >= 4) and every tail residue mod 4 are covered, and the
+// end-to-end case runs full enumeration on a 320-GPU rack (5-word
+// DynRows spans with a ragged tail) against the generic baseline.
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/patterns.hpp"
+#include "graph/topology.hpp"
+#include "match/enumerator.hpp"
+#include "match/rows_common.hpp"
+#include "match/ullmann.hpp"
+#include "match/vf2.hpp"
+#include "util/rng.hpp"
+
+namespace mapa::match {
+namespace {
+
+// Random word spans with a mix of dense, sparse, and all-zero words so
+// the "any" flag exercises both outcomes and carry-free lanes appear.
+std::vector<std::uint64_t> random_span(util::Rng& rng, std::size_t words) {
+  std::vector<std::uint64_t> span(words);
+  for (std::uint64_t& w : span) {
+    switch (rng.next_u64() % 4) {
+      case 0: w = 0; break;                                  // empty word
+      case 1: w = rng.next_u64(); break;                     // dense word
+      case 2: w = rng.next_u64() & rng.next_u64(); break;    // medium
+      default: w = rng.next_u64() & rng.next_u64() & rng.next_u64();
+    }
+  }
+  return span;
+}
+
+// The "any" contract: zero iff all-zero; nonzero values are unspecified.
+void expect_any_equivalent(std::uint64_t got, std::uint64_t ref,
+                           const char* what, std::size_t words,
+                           std::size_t trial) {
+  EXPECT_EQ(got == 0, ref == 0)
+      << what << " any-flag diverged at words=" << words
+      << " trial=" << trial;
+}
+
+TEST(Simd, AndIntoMatchesScalar) {
+  util::Rng rng(0x51D0001);
+  for (std::size_t words = 1; words <= 20; ++words) {
+    for (std::size_t trial = 0; trial < 64; ++trial) {
+      const auto row = random_span(rng, words);
+      const auto base = random_span(rng, words);
+      auto got = base;
+      auto ref = base;
+      const std::uint64_t got_any =
+          rows::and_into(got.data(), row.data(), words);
+      const std::uint64_t ref_any =
+          rows::detail::and_into_scalar(ref.data(), row.data(), words);
+      EXPECT_EQ(got, ref) << "and_into span diverged at words=" << words
+                          << " trial=" << trial;
+      expect_any_equivalent(got_any, ref_any, "and_into", words, trial);
+    }
+  }
+}
+
+TEST(Simd, AndnotIntoMatchesScalar) {
+  util::Rng rng(0x51D0002);
+  for (std::size_t words = 1; words <= 20; ++words) {
+    for (std::size_t trial = 0; trial < 64; ++trial) {
+      const auto dom = random_span(rng, words);
+      const auto excl = random_span(rng, words);
+      std::vector<std::uint64_t> got(words, 0xfeedfeedfeedfeedULL);
+      std::vector<std::uint64_t> ref(words, 0xfeedfeedfeedfeedULL);
+      const std::uint64_t got_any =
+          rows::andnot_into(got.data(), dom.data(), excl.data(), words);
+      const std::uint64_t ref_any = rows::detail::andnot_into_scalar(
+          ref.data(), dom.data(), excl.data(), words);
+      EXPECT_EQ(got, ref) << "andnot_into span diverged at words=" << words
+                          << " trial=" << trial;
+      expect_any_equivalent(got_any, ref_any, "andnot_into", words, trial);
+    }
+  }
+}
+
+TEST(Simd, AndAnyMatchesScalar) {
+  util::Rng rng(0x51D0003);
+  for (std::size_t words = 1; words <= 20; ++words) {
+    for (std::size_t trial = 0; trial < 64; ++trial) {
+      auto a = random_span(rng, words);
+      auto b = random_span(rng, words);
+      // Force disjoint spans half the time so the zero branch is common
+      // (random dense words almost always intersect).
+      if (trial % 2 == 0) {
+        for (std::size_t w = 0; w < words; ++w) b[w] &= ~a[w];
+      }
+      const auto a_copy = a;
+      const auto b_copy = b;
+      const std::uint64_t got = rows::and_any(a.data(), b.data(), words);
+      const std::uint64_t ref =
+          rows::detail::and_any_scalar(a.data(), b.data(), words);
+      expect_any_equivalent(got, ref, "and_any", words, trial);
+      EXPECT_EQ(a, a_copy) << "and_any must not mutate its inputs";
+      EXPECT_EQ(b, b_copy) << "and_any must not mutate its inputs";
+    }
+  }
+}
+
+TEST(Simd, AnyBitsMatchesScalar) {
+  util::Rng rng(0x51D0004);
+  for (std::size_t words = 1; words <= 20; ++words) {
+    for (std::size_t trial = 0; trial < 64; ++trial) {
+      auto span = random_span(rng, words);
+      // All-zero spans a quarter of the time, plus a single-bit-in-last-
+      // word case: the vector tail is the likeliest place to drop a bit.
+      if (trial % 4 == 0) span.assign(words, 0);
+      if (trial % 4 == 1) {
+        span.assign(words, 0);
+        span[words - 1] = std::uint64_t{1} << (trial % 64);
+      }
+      const std::uint64_t got = rows::any_bits(span.data(), words);
+      const std::uint64_t ref =
+          rows::detail::any_bits_scalar(span.data(), words);
+      expect_any_equivalent(got, ref, "any_bits", words, trial);
+    }
+  }
+}
+
+TEST(Simd, PopcountWordsMatchesScalar) {
+  util::Rng rng(0x51D0005);
+  for (std::size_t words = 1; words <= 20; ++words) {
+    for (std::size_t trial = 0; trial < 64; ++trial) {
+      auto span = random_span(rng, words);
+      if (trial == 0) span.assign(words, 0);
+      if (trial == 1) span.assign(words, ~std::uint64_t{0});
+      EXPECT_EQ(rows::popcount_words(span.data(), words),
+                rows::detail::popcount_words_scalar(span.data(), words))
+          << "popcount diverged at words=" << words << " trial=" << trial;
+    }
+  }
+}
+
+// Saturation check for the vectorized popcount: 20 all-ones words is
+// 1280 bits, enough to overflow any per-byte accumulator that skips the
+// widening step (the Mula kernel must fold into 64-bit lanes every
+// iteration).
+TEST(Simd, PopcountAllOnesLongSpan) {
+  for (std::size_t words = 4; words <= 64; words += 4) {
+    const std::vector<std::uint64_t> span(words, ~std::uint64_t{0});
+    EXPECT_EQ(rows::popcount_words(span.data(), words), words * 64);
+  }
+}
+
+// End-to-end record identity through the dispatched kernels: full
+// enumeration on a 320-GPU NVLink rack (5-word DynRows spans, so the
+// AVX2 path covers words 0..3 and the scalar tail word 4) must equal
+// the generic baseline match-for-match, including order, with a busy
+// mask straddling the vector/tail boundary.
+TEST(Simd, DynRowsEnumerationMatchesGenericOn320GpuRack) {
+  const graph::Graph hw =
+      graph::dgx_rack(40, graph::Connectivity::kNvlinkOnly);
+  ASSERT_EQ(hw.num_vertices(), 320u);
+
+  graph::VertexMask busy(hw.num_vertices());
+  for (graph::VertexId v = 250; v < 262; ++v) busy.set(v);  // words 3/4
+  for (graph::VertexId v = 0; v < 6; ++v) busy.set(v);      // word 0
+
+  for (const auto& pattern :
+       {graph::ring(4), graph::chain(5), graph::make_pattern(
+                                             graph::PatternKind::kStar, 4)}) {
+    const auto constraints = symmetry_constraints(pattern);
+    std::vector<Match> bit_matches;
+    vf2_enumerate(
+        pattern, hw,
+        [&](const Match& m) {
+          bit_matches.push_back(m);
+          return true;
+        },
+        constraints, &busy);
+    std::vector<Match> generic_matches;
+    vf2_enumerate_generic(
+        pattern, hw,
+        [&](const Match& m) {
+          generic_matches.push_back(m);
+          return true;
+        },
+        constraints, &busy);
+    EXPECT_EQ(bit_matches, generic_matches)
+        << "DynRows enumeration diverged from the generic baseline on "
+        << pattern.name();
+    EXPECT_EQ(ullmann_count(pattern, hw, constraints, &busy),
+              generic_matches.size())
+        << "Ullmann count diverged on " << pattern.name();
+  }
+}
+
+#ifdef MAPA_AVX2_DISPATCH
+// When the build carries the AVX2 kernels and the host supports them,
+// call them directly (not via dispatch) so a future change to the
+// words>=4 threshold can't silently stop testing the vector path.
+TEST(Simd, Avx2KernelsDirectWhenSupported) {
+  if (!rows::detail::have_avx2()) {
+    GTEST_SKIP() << "host lacks AVX2";
+  }
+  util::Rng rng(0x51D0006);
+  for (std::size_t words = 4; words <= 19; ++words) {
+    for (std::size_t trial = 0; trial < 32; ++trial) {
+      const auto row = random_span(rng, words);
+      const auto base = random_span(rng, words);
+      auto got = base;
+      auto ref = base;
+      const std::uint64_t got_any =
+          rows::detail::and_into_avx2(got.data(), row.data(), words);
+      const std::uint64_t ref_any =
+          rows::detail::and_into_scalar(ref.data(), row.data(), words);
+      EXPECT_EQ(got, ref);
+      EXPECT_EQ(got_any == 0, ref_any == 0);
+      EXPECT_EQ(rows::detail::popcount_words_avx2(base.data(), words),
+                rows::detail::popcount_words_scalar(base.data(), words));
+      EXPECT_EQ(
+          rows::detail::and_any_avx2(base.data(), row.data(), words) == 0,
+          rows::detail::and_any_scalar(base.data(), row.data(), words) == 0);
+      EXPECT_EQ(rows::detail::any_bits_avx2(base.data(), words) == 0,
+                rows::detail::any_bits_scalar(base.data(), words) == 0);
+    }
+  }
+}
+#endif  // MAPA_AVX2_DISPATCH
+
+}  // namespace
+}  // namespace mapa::match

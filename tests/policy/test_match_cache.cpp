@@ -52,15 +52,17 @@ TEST(MatchCache, HitAndMissAccounting) {
   EXPECT_EQ(cache.stats().hits, 1u);
   EXPECT_EQ(first, second);  // replay is byte-for-byte the live stream
 
-  // A different fleet state is a different key.
+  // A different fleet state is a different key — served by the superset
+  // filter (the idle-state entry covers it), not by replay or re-search.
   VertexMask busy(8);
   busy.set(5);
   drain(cache, pattern, hw, options_with_busy(busy));
-  EXPECT_EQ(cache.stats().misses, 2u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().delta_hits, 1u);
 
-  // A different pattern shape is a different key.
+  // A different pattern shape is a different key with no delta source.
   drain(cache, graph::chain(3), hw, options);
-  EXPECT_EQ(cache.stats().misses, 3u);
+  EXPECT_EQ(cache.stats().misses, 2u);
   EXPECT_EQ(cache.size(), 3u);
 }
 
@@ -84,7 +86,10 @@ TEST(MatchCache, MultiWordMasksKeyDistinctFleetStates) {
   VertexMask both_words = low_only;
   both_words.set(100);
   const auto on_both = drain(cache, pattern, hw, options_with_busy(both_words));
-  EXPECT_EQ(cache.stats().misses, 2u);
+  // The low-word state is a subset across BOTH words, so the superset
+  // filter serves this — still a distinct key, stored separately.
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().delta_hits, 1u);
   EXPECT_EQ(cache.stats().hits, 0u);
   // The high-word busy bit really constrained the match set.
   EXPECT_LT(on_both.size(), first.size());
@@ -246,6 +251,186 @@ TEST(MatchCache, BestCachedMatchAgreesWithBestMatch) {
   EXPECT_EQ(uncached->mapping, miss->mapping);
   EXPECT_EQ(uncached->mapping, hit->mapping);
   EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(MatchCacheDelta, SupersetFilterIsRecordIdenticalToFreshEnumeration) {
+  // The core delta contract: an exact-fingerprint miss whose shape has a
+  // cached entry under a SUBSET busy mask is served by filtering that
+  // entry, and the filtered stream must equal a from-scratch enumeration
+  // match-for-match, including order.
+  MatchCache cache;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+
+  const auto warm = drain(cache, pattern, hw, options_with_busy(VertexMask(8)));
+  ASSERT_FALSE(warm.empty());
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  VertexMask busy(8);
+  busy.set(2);
+  busy.set(5);
+  const auto filtered = drain(cache, pattern, hw, options_with_busy(busy));
+  EXPECT_EQ(cache.stats().delta_hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);  // served without a matcher run
+
+  MatchCache fresh;
+  const auto reference = drain(fresh, pattern, hw, options_with_busy(busy));
+  EXPECT_EQ(filtered, reference);
+  for (const match::Match& m : filtered) {
+    for (const graph::VertexId v : m.mapping) {
+      EXPECT_NE(v, 2u);
+      EXPECT_NE(v, 5u);
+    }
+  }
+
+  // The filtered list was stored under its own fingerprint: the same
+  // state replays as a plain hit, byte-identical.
+  const auto replay = drain(cache, pattern, hw, options_with_busy(busy));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().delta_hits, 1u);
+  EXPECT_EQ(replay, filtered);
+}
+
+TEST(MatchCacheDelta, NeverFiltersFromAMoreRestrictedState) {
+  // Filtering can only remove matches; a cached entry under a BUSIER mask
+  // than the query's must not be used (the query needs matches the entry
+  // never saw). This direction must be a plain miss.
+  MatchCache cache;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  VertexMask busy(8);
+  busy.set(3);
+  drain(cache, pattern, hw, options_with_busy(busy));
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  const auto unrestricted =
+      drain(cache, pattern, hw, options_with_busy(VertexMask(8)));
+  EXPECT_EQ(cache.stats().delta_hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  MatchCache fresh;
+  EXPECT_EQ(unrestricted,
+            drain(fresh, pattern, hw, options_with_busy(VertexMask(8))));
+}
+
+TEST(MatchCacheDelta, DisabledConfigFallsBackToPlainMisses) {
+  MatchCacheConfig config;
+  config.enable_delta = false;
+  MatchCache cache(config);
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  drain(cache, pattern, hw, options_with_busy(VertexMask(8)));
+  VertexMask busy(8);
+  busy.set(1);
+  const auto second = drain(cache, pattern, hw, options_with_busy(busy));
+  EXPECT_EQ(cache.stats().delta_hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  MatchCache fresh;
+  EXPECT_EQ(second, drain(fresh, pattern, hw, options_with_busy(busy)));
+}
+
+TEST(MatchCacheDelta, ShapeIndexStaysBoundedAndKeepsServing) {
+  // Only the first max_delta_candidates entries per shape are
+  // delta-visible; later states keep their LRU slots but never register.
+  // With the bound at 1, every new state must still delta-filter from the
+  // single registered (unrestricted) entry — and keep being
+  // record-identical while doing so.
+  MatchCacheConfig config;
+  config.max_delta_candidates = 1;
+  MatchCache cache(config);
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  drain(cache, pattern, hw, options_with_busy(VertexMask(8)));
+
+  for (graph::VertexId v = 0; v < 4; ++v) {
+    VertexMask busy(8);
+    busy.set(v);
+    busy.set(v + 4);
+    const auto filtered = drain(cache, pattern, hw, options_with_busy(busy));
+    MatchCache fresh;
+    EXPECT_EQ(filtered, drain(fresh, pattern, hw, options_with_busy(busy)));
+  }
+  EXPECT_EQ(cache.stats().delta_hits, 4u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.size(), 5u);  // every filtered state stored normally
+}
+
+TEST(MatchCacheDelta, ChainedDerivationsStayExact) {
+  // Delta-derived lists are stored and registered like any entry, so a
+  // later, busier state may filter from a list that was itself produced
+  // by filtering (the scan prefers the smallest eligible source — here
+  // the 1-busy derivation over the unrestricted original). However deep
+  // the chain, every stream must equal a from-scratch enumeration.
+  MatchCache cache;
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  drain(cache, pattern, hw, options_with_busy(VertexMask(8)));
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  VertexMask one(8);
+  one.set(0);
+  const auto small = drain(cache, pattern, hw, options_with_busy(one));
+  EXPECT_EQ(cache.stats().delta_hits, 1u);  // filtered from the original
+  EXPECT_EQ(cache.stats().misses, 1u);
+
+  VertexMask two = one;
+  two.set(6);
+  const auto filtered = drain(cache, pattern, hw, options_with_busy(two));
+  EXPECT_EQ(cache.stats().delta_hits, 2u);  // filtered from a derivation
+  EXPECT_EQ(cache.stats().misses, 1u);
+  MatchCache fresh;
+  EXPECT_EQ(filtered, drain(fresh, pattern, hw, options_with_busy(two)));
+  EXPECT_LT(filtered.size(), small.size());
+}
+
+TEST(MatchCacheDelta, HardwareChangeClearsTheShapeIndexToo) {
+  // Regression guard for the side structures: after a topology swap the
+  // shape index (like the oversized set) must be empty — a same-shape
+  // query on the new hardware must re-enumerate, never filter a stale
+  // entry computed against the old adjacency.
+  MatchCache cache;
+  const Graph pattern = graph::ring(3);
+  drain(cache, pattern, graph::dgx1_v100(), options_with_busy(VertexMask(8)));
+  EXPECT_EQ(cache.size(), 1u);
+
+  const Graph other = graph::dgx1_v100(graph::Connectivity::kNvlinkOnly);
+  VertexMask busy(8);
+  busy.set(4);
+  const auto on_other = drain(cache, pattern, other, options_with_busy(busy));
+  EXPECT_EQ(cache.stats().invalidations, 1u);
+  EXPECT_EQ(cache.stats().delta_hits, 0u);  // no stale superset filtering
+  MatchCache fresh;
+  EXPECT_EQ(on_other, drain(fresh, pattern, other, options_with_busy(busy)));
+
+  // And the index was rebuilt for the new hardware: a busier state now
+  // delta-filters from the fresh entry.
+  VertexMask busier = busy;
+  busier.set(6);
+  const auto filtered =
+      drain(cache, pattern, other, options_with_busy(busier));
+  EXPECT_EQ(cache.stats().delta_hits, 1u);
+  MatchCache fresh2;
+  EXPECT_EQ(filtered, drain(fresh2, pattern, other, options_with_busy(busier)));
+}
+
+TEST(MatchCacheDelta, OversizedShapesAreNeverDeltaSources) {
+  // An oversized key bypasses storage, so its shape never registers; a
+  // busier same-shape state must miss (and itself bypass or store by its
+  // own size), not filter from a list that was never captured.
+  MatchCacheConfig config;
+  config.max_matches_per_entry = 2;
+  MatchCache cache(config);
+  const Graph hw = graph::dgx1_v100();
+  const Graph pattern = graph::ring(3);
+  drain(cache, pattern, hw, options_with_busy(VertexMask(8)));
+  EXPECT_EQ(cache.size(), 0u);
+
+  VertexMask busy(8);
+  busy.set(1);
+  const auto second = drain(cache, pattern, hw, options_with_busy(busy));
+  EXPECT_EQ(cache.stats().delta_hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+  MatchCache fresh;
+  EXPECT_EQ(second, drain(fresh, pattern, hw, options_with_busy(busy)));
 }
 
 /// Everything the engine logs except wall-clock scheduling overhead.

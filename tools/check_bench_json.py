@@ -55,6 +55,15 @@ REQUIRED_METRICS = {
         r"n1000_bytes_per_server_copied",
         r"n1000_memory_reduction_x",
     ],
+    "incremental": [
+        # Steady-state churn dispatch cost with both reuse layers on vs
+        # the pre-incremental baseline, plus the delta-filter share that
+        # explains the gap (see bench_incremental.cpp).
+        r"us_per_job_churn",
+        r"us_per_job_churn_baseline",
+        r"delta_hit_rate",
+        r"churn_n1000_speedup_x",
+    ],
     "observability": [
         # A null observer vs an all-off Observer must stay within noise
         # of zero; the acceptance gate for the committed point is <= 1%.
